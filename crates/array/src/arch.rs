@@ -1,0 +1,83 @@
+//! Architecture-family execution semantics.
+
+use std::fmt;
+
+/// How the architecture realizes a logic gate, following §2.2 and §4.
+///
+/// Both families read the input cells and write one output cell per gate;
+/// they differ in whether the output cell's *initial* value matters:
+///
+/// * [`ArchStyle::SenseAmp`] (Pinatubo-like): the result is computed at the
+///   periphery and written back, so the output cell needs no preparation —
+///   1 write, 1 time step per gate.
+/// * [`ArchStyle::PresetOutput`] (CRAM-like): current flows through input
+///   devices into the output device, so the output cell must be preset
+///   before the gate fires — 2 writes, 2 time steps per gate. This is the
+///   paper's evaluated configuration ("we also account for the overhead for
+///   pre-setting the output memory cell", §4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ArchStyle {
+    /// Sense-amplifier-assisted gates (e.g. Pinatubo).
+    SenseAmp,
+    /// Output cell preset before each gate (e.g. CRAM). Paper default.
+    #[default]
+    PresetOutput,
+}
+
+impl ArchStyle {
+    /// Cell writes the output cell receives per gate (1 or 2).
+    #[must_use]
+    pub fn writes_per_gate(self) -> u64 {
+        match self {
+            ArchStyle::SenseAmp => 1,
+            ArchStyle::PresetOutput => 2,
+        }
+    }
+
+    /// Sequential time steps one gate occupies (1 or 2).
+    #[must_use]
+    pub fn steps_per_gate(self) -> u64 {
+        self.writes_per_gate()
+    }
+
+    /// Whether the output cell must be preset before the gate.
+    #[must_use]
+    pub fn needs_preset(self) -> bool {
+        matches!(self, ArchStyle::PresetOutput)
+    }
+}
+
+impl fmt::Display for ArchStyle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArchStyle::SenseAmp => f.write_str("sense-amp"),
+            ArchStyle::PresetOutput => f.write_str("preset-output"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preset_doubles_writes() {
+        assert_eq!(ArchStyle::SenseAmp.writes_per_gate(), 1);
+        assert_eq!(ArchStyle::PresetOutput.writes_per_gate(), 2);
+        assert!(ArchStyle::PresetOutput.needs_preset());
+        assert!(!ArchStyle::SenseAmp.needs_preset());
+    }
+
+    #[test]
+    fn default_matches_paper_evaluation() {
+        assert_eq!(ArchStyle::default(), ArchStyle::PresetOutput);
+    }
+
+    #[test]
+    fn paper_dot_product_claim() {
+        // §4: "A multiplication takes over 20,000 sequential operations"
+        // — 9 824 gates at 2 steps each under preset semantics.
+        let steps = 9_824 * ArchStyle::PresetOutput.steps_per_gate();
+        assert!(steps > 19_000, "steps {steps}");
+    }
+}

@@ -1,0 +1,353 @@
+//! Functional PIM array execution.
+//!
+//! [`PimArray`] holds actual cell values so that traces can be verified to
+//! compute correct results — including while their addresses are being
+//! redirected by a load-balancing [`AddressMap`], and including after cells
+//! start failing from exhausted endurance (§3.3).
+
+use nvpim_nvm::EnduranceModel;
+
+use crate::{AddressMap, ArchStyle, ArrayDims, Step, Trace, WearMap, WriteSource};
+
+/// Aggregate statistics of one [`PimArray::execute`] call.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExecStats {
+    /// Sequential time steps consumed.
+    pub sequential_steps: u64,
+    /// Cell writes performed (including presets).
+    pub cell_writes: u64,
+    /// Cell reads performed.
+    pub cell_reads: u64,
+}
+
+/// A PIM array with real cell contents, wear counters, and optional per-cell
+/// endurance limits.
+///
+/// # Examples
+///
+/// ```
+/// use nvpim_array::{ArrayDims, IdentityMap, LaneSet, PimArray, Step, Trace, WriteSource};
+/// use nvpim_logic::GateKind;
+///
+/// let dims = ArrayDims::new(8, 2);
+/// let mut trace = Trace::new(dims);
+/// let all = trace.add_class(LaneSet::full(2));
+/// trace.push(Step::Write { row: 0, class: all, source: WriteSource::Input(0) });
+/// trace.push(Step::Write { row: 1, class: all, source: WriteSource::Input(1) });
+/// trace.push(Step::Gate { kind: GateKind::Nand, ins: [0, 1], out: 2, class: all });
+///
+/// let mut array = PimArray::new(dims);
+/// let mut map = IdentityMap;
+/// array.execute(&trace, &mut map, &mut |lane, k| lane == 0 || k == 1);
+/// assert!(!array.bit(2, 0, &map)); // NAND(1,1) = 0 in lane 0
+/// assert!(array.bit(2, 1, &map));  // NAND(0,1) = 1 in lane 1
+/// ```
+#[derive(Debug, Clone)]
+pub struct PimArray {
+    dims: ArrayDims,
+    arch: ArchStyle,
+    values: Vec<bool>,
+    wear: WearMap,
+    endurance: Option<Vec<u64>>,
+}
+
+impl PimArray {
+    /// A fresh array with unlimited endurance and the paper's default
+    /// (preset-output) architecture style.
+    #[must_use]
+    pub fn new(dims: ArrayDims) -> Self {
+        PimArray {
+            dims,
+            arch: ArchStyle::default(),
+            values: vec![false; dims.cells()],
+            wear: WearMap::new(dims),
+            endurance: None,
+        }
+    }
+
+    /// Selects the architecture style (sense-amp vs. preset-output).
+    #[must_use]
+    pub fn with_arch(mut self, arch: ArchStyle) -> Self {
+        self.arch = arch;
+        self
+    }
+
+    /// Assigns per-cell endurance limits drawn from `model`; cells whose
+    /// write count reaches their limit become stuck at their current value.
+    #[must_use]
+    pub fn with_endurance(mut self, model: EnduranceModel, seed: u64) -> Self {
+        let sampler = nvpim_nvm::EnduranceSampler::new(model, seed);
+        self.endurance = Some(sampler.sample_n(self.dims.cells()));
+        self
+    }
+
+    /// The array's dimensions.
+    #[must_use]
+    pub fn dims(&self) -> ArrayDims {
+        self.dims
+    }
+
+    /// The architecture style in effect.
+    #[must_use]
+    pub fn arch(&self) -> ArchStyle {
+        self.arch
+    }
+
+    /// Accumulated wear counters.
+    #[must_use]
+    pub fn wear(&self) -> &WearMap {
+        &self.wear
+    }
+
+    /// The value of the cell holding logical `(row, lane)` under `map`.
+    #[must_use]
+    pub fn bit(&self, row: usize, lane: usize, map: &dyn AddressMap) -> bool {
+        let idx = self.dims.index_of(map.lookup_row(row), map.lookup_lane(lane));
+        self.values[idx]
+    }
+
+    /// Reads an LSB-first word from logical rows `rows` of logical `lane`.
+    #[must_use]
+    pub fn word(&self, rows: &[usize], lane: usize, map: &dyn AddressMap) -> u64 {
+        rows.iter()
+            .enumerate()
+            .fold(0u64, |acc, (i, &r)| acc | (u64::from(self.bit(r, lane, map)) << i))
+    }
+
+    /// Coordinates of failed cells (endurance exhausted), if endurance
+    /// limits were assigned.
+    #[must_use]
+    pub fn failed_cells(&self) -> Vec<(usize, usize)> {
+        let Some(limits) = &self.endurance else { return Vec::new() };
+        let mut failed = Vec::new();
+        for row in 0..self.dims.rows() {
+            for lane in 0..self.dims.lanes() {
+                let idx = self.dims.index_of(row, lane);
+                if self.wear.writes_at(row, lane) >= limits[idx] {
+                    failed.push((row, lane));
+                }
+            }
+        }
+        failed
+    }
+
+    fn write_cell(&mut self, row: usize, lane: usize, value: bool) {
+        let idx = self.dims.index_of(row, lane);
+        let stuck = self
+            .endurance
+            .as_ref()
+            .is_some_and(|limits| self.wear.writes_at(row, lane) >= limits[idx]);
+        self.wear.add_write_at(row, lane, 1);
+        if !stuck {
+            self.values[idx] = value;
+        }
+    }
+
+    fn read_cell(&mut self, row: usize, lane: usize) -> bool {
+        self.wear.add_read_at(row, lane, 1);
+        self.values[self.dims.index_of(row, lane)]
+    }
+
+    /// Executes one iteration of `trace` under `map`, pulling per-lane input
+    /// bits from `inputs(logical_lane, input_slot)`.
+    ///
+    /// Wear accumulates across calls; values persist, so repeated execution
+    /// models the paper's "as soon as it computes the final results a new
+    /// set of inputs is loaded and the process repeats" (§4).
+    pub fn execute(
+        &mut self,
+        trace: &Trace,
+        map: &mut dyn AddressMap,
+        inputs: &mut dyn FnMut(usize, usize) -> bool,
+    ) -> ExecStats {
+        assert_eq!(trace.dims(), self.dims, "trace/array dimension mismatch");
+        let mut stats = ExecStats::default();
+        let lanes = self.dims.lanes();
+        for step in trace.steps() {
+            match *step {
+                Step::Write { row, class, source } => {
+                    let prow = map.lookup_row(row);
+                    for lane in trace.classes()[class].iter() {
+                        let value = match source {
+                            WriteSource::Input(k) => inputs(lane, k),
+                            WriteSource::Const(v) => v,
+                        };
+                        self.write_cell(prow, map.lookup_lane(lane), value);
+                        stats.cell_writes += 1;
+                    }
+                    stats.sequential_steps += 1;
+                }
+                Step::Read { row, class } => {
+                    let prow = map.lookup_row(row);
+                    for lane in trace.classes()[class].iter() {
+                        let _ = self.read_cell(prow, map.lookup_lane(lane));
+                        stats.cell_reads += 1;
+                    }
+                    stats.sequential_steps += 1;
+                }
+                Step::Gate { kind, ins, out, class } => {
+                    let all_lanes = trace.classes()[class].count() == lanes;
+                    let arity = kind.arity() as usize;
+                    let in_rows = [map.lookup_row(ins[0]), map.lookup_row(ins[1])];
+                    let out_row = map.gate_output_row(out, all_lanes);
+                    for lane in trace.classes()[class].iter() {
+                        let plane = map.lookup_lane(lane);
+                        if self.arch.needs_preset() {
+                            self.write_cell(out_row, plane, false);
+                            stats.cell_writes += 1;
+                        }
+                        let a = self.read_cell(in_rows[0], plane);
+                        let b = if arity == 2 { self.read_cell(in_rows[1], plane) } else { a };
+                        stats.cell_reads += arity as u64;
+                        self.write_cell(out_row, plane, kind.apply(a, b));
+                        stats.cell_writes += 1;
+                    }
+                    stats.sequential_steps += self.arch.steps_per_gate();
+                }
+                Step::Transfer { src_row, dst_row, src_class, dst_class } => {
+                    let psrc = map.lookup_row(src_row);
+                    let pdst = map.lookup_row(dst_row);
+                    let src_lanes: Vec<usize> = trace.classes()[src_class].iter().collect();
+                    let dst_lanes: Vec<usize> = trace.classes()[dst_class].iter().collect();
+                    for (&s, &d) in src_lanes.iter().zip(&dst_lanes) {
+                        let value = self.read_cell(psrc, map.lookup_lane(s));
+                        self.write_cell(pdst, map.lookup_lane(d), value);
+                        stats.cell_reads += 1;
+                        stats.cell_writes += 1;
+                    }
+                    stats.sequential_steps += 2;
+                }
+            }
+        }
+        stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{IdentityMap, LaneSet};
+    use nvpim_logic::GateKind;
+
+    fn and_trace(dims: ArrayDims) -> Trace {
+        let mut t = Trace::new(dims);
+        let all = t.add_class(LaneSet::full(dims.lanes()));
+        t.push(Step::Write { row: 0, class: all, source: WriteSource::Input(0) });
+        t.push(Step::Write { row: 1, class: all, source: WriteSource::Input(1) });
+        t.push(Step::Gate { kind: GateKind::And, ins: [0, 1], out: 2, class: all });
+        t
+    }
+
+    #[test]
+    fn gate_execution_per_lane() {
+        let dims = ArrayDims::new(4, 4);
+        let mut array = PimArray::new(dims).with_arch(ArchStyle::SenseAmp);
+        let mut map = IdentityMap;
+        // lane l: inputs (l & 1, l & 2).
+        array.execute(&and_trace(dims), &mut map, &mut |lane, k| {
+            if k == 0 {
+                lane & 1 != 0
+            } else {
+                lane & 2 != 0
+            }
+        });
+        for lane in 0..4 {
+            let expect = (lane & 1 != 0) && (lane & 2 != 0);
+            assert_eq!(array.bit(2, lane, &map), expect, "lane {lane}");
+        }
+    }
+
+    #[test]
+    fn stats_and_wear_sense_amp() {
+        let dims = ArrayDims::new(4, 4);
+        let mut array = PimArray::new(dims).with_arch(ArchStyle::SenseAmp);
+        let stats = array.execute(&and_trace(dims), &mut IdentityMap, &mut |_, _| true);
+        assert_eq!(stats.sequential_steps, 3);
+        assert_eq!(stats.cell_writes, 12); // 2 input rows + 1 gate row, ×4 lanes
+        assert_eq!(stats.cell_reads, 8);
+        assert_eq!(array.wear().writes_at(2, 0), 1);
+        assert_eq!(array.wear().total_writes(), 12);
+    }
+
+    #[test]
+    fn preset_adds_write_and_step() {
+        let dims = ArrayDims::new(4, 4);
+        let mut array = PimArray::new(dims); // default PresetOutput
+        let stats = array.execute(&and_trace(dims), &mut IdentityMap, &mut |_, _| true);
+        assert_eq!(stats.sequential_steps, 4);
+        assert_eq!(stats.cell_writes, 16);
+        assert_eq!(array.wear().writes_at(2, 0), 2);
+    }
+
+    #[test]
+    fn preset_does_not_corrupt_result() {
+        let dims = ArrayDims::new(4, 2);
+        let mut array = PimArray::new(dims);
+        array.execute(&and_trace(dims), &mut IdentityMap, &mut |lane, _| lane == 0);
+        assert!(array.bit(2, 0, &IdentityMap));
+        assert!(!array.bit(2, 1, &IdentityMap));
+    }
+
+    #[test]
+    fn transfer_moves_values_between_lanes() {
+        let dims = ArrayDims::new(4, 4);
+        let mut t = Trace::new(dims);
+        let all = t.add_class(LaneSet::full(4));
+        let hi = t.add_class(LaneSet::range(4, 2, 4));
+        let lo = t.add_class(LaneSet::range(4, 0, 2));
+        t.push(Step::Write { row: 0, class: all, source: WriteSource::Input(0) });
+        t.push(Step::Transfer { src_row: 0, dst_row: 1, src_class: hi, dst_class: lo });
+        let mut array = PimArray::new(dims);
+        let stats = array.execute(&t, &mut IdentityMap, &mut |lane, _| lane >= 2);
+        // Lane 2's value (true) lands in lane 0, row 1; lane 3's in lane 1.
+        assert!(array.bit(1, 0, &IdentityMap));
+        assert!(array.bit(1, 1, &IdentityMap));
+        assert!(!array.bit(1, 2, &IdentityMap));
+        assert_eq!(stats.sequential_steps, 3); // 1 write + 2 for transfer
+    }
+
+    #[test]
+    fn word_readout() {
+        let dims = ArrayDims::new(8, 1);
+        let mut t = Trace::new(dims);
+        let all = t.add_class(LaneSet::full(1));
+        for i in 0..4 {
+            t.push(Step::Write { row: i, class: all, source: WriteSource::Input(i) });
+        }
+        let mut array = PimArray::new(dims);
+        array.execute(&t, &mut IdentityMap, &mut |_, k| (0b1011 >> k) & 1 == 1);
+        assert_eq!(array.word(&[0, 1, 2, 3], 0, &IdentityMap), 0b1011);
+    }
+
+    #[test]
+    fn endurance_exhaustion_sticks_cells() {
+        let dims = ArrayDims::new(4, 1);
+        let mut t = Trace::new(dims);
+        let all = t.add_class(LaneSet::full(1));
+        t.push(Step::Write { row: 0, class: all, source: WriteSource::Input(0) });
+        let mut array = PimArray::new(dims)
+            .with_endurance(nvpim_nvm::EnduranceModel::Fixed(2), 0)
+            .with_arch(ArchStyle::SenseAmp);
+        let mut toggle = false;
+        for _ in 0..4 {
+            toggle = !toggle;
+            let v = toggle;
+            array.execute(&t, &mut IdentityMap, &mut move |_, _| v);
+        }
+        // Writes 3 and 4 exceeded endurance 2: cell stuck at write 2's value.
+        assert!(!array.bit(0, 0, &IdentityMap));
+        assert_eq!(array.failed_cells(), vec![(0, 0)]);
+    }
+
+    #[test]
+    fn constant_writes() {
+        let dims = ArrayDims::new(2, 2);
+        let mut t = Trace::new(dims);
+        let all = t.add_class(LaneSet::full(2));
+        t.push(Step::Write { row: 0, class: all, source: WriteSource::Const(true) });
+        let mut array = PimArray::new(dims);
+        array.execute(&t, &mut IdentityMap, &mut |_, _| unreachable!("no inputs"));
+        assert!(array.bit(0, 0, &IdentityMap));
+        assert!(array.bit(0, 1, &IdentityMap));
+    }
+}

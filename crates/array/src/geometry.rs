@@ -1,0 +1,140 @@
+//! Array geometry and lane orientation.
+
+use std::fmt;
+
+/// Which physical dimension forms a compute lane.
+///
+/// §2.2: in a column-parallel architecture a lane is a column and logic
+/// operations are perpendicular to (row-oriented) memory accesses; in a
+/// row-parallel architecture a lane is a row. The two are logically
+/// equivalent but constrain balancing differently (Fig. 8). The paper's
+/// evaluation — and this workspace's default — is column-parallel, "a more
+/// realistic hardware implementation, requiring few modifications to
+/// existing NVM designs" (§4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Orientation {
+    /// Lanes are columns; memory reads/writes access one row at a time.
+    #[default]
+    ColumnParallel,
+    /// Lanes are rows; memory reads/writes access an entire lane at once.
+    RowParallel,
+}
+
+impl fmt::Display for Orientation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Orientation::ColumnParallel => f.write_str("column-parallel"),
+            Orientation::RowParallel => f.write_str("row-parallel"),
+        }
+    }
+}
+
+/// Dimensions of a PIM array, in lane-local coordinates.
+///
+/// `rows` is the number of cells *within* a lane (the bit positions a
+/// computation can use); `lanes` is the number of parallel lanes. For the
+/// paper's 1024 × 1024 column-parallel array both are 1024.
+///
+/// # Examples
+///
+/// ```
+/// use nvpim_array::ArrayDims;
+///
+/// let dims = ArrayDims::new(1024, 1024);
+/// assert_eq!(dims.cells(), 1 << 20);
+/// assert_eq!(dims.index_of(2, 3), 2 * 1024 + 3);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ArrayDims {
+    rows: usize,
+    lanes: usize,
+}
+
+impl ArrayDims {
+    /// Creates array dimensions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    #[must_use]
+    pub fn new(rows: usize, lanes: usize) -> Self {
+        assert!(rows > 0 && lanes > 0, "array dimensions must be nonzero");
+        ArrayDims { rows, lanes }
+    }
+
+    /// The paper's evaluated configuration: 1024 × 1024.
+    #[must_use]
+    pub fn paper() -> Self {
+        ArrayDims::new(1024, 1024)
+    }
+
+    /// Cells per lane.
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of lanes.
+    #[must_use]
+    pub fn lanes(&self) -> usize {
+        self.lanes
+    }
+
+    /// Total cell count.
+    #[must_use]
+    pub fn cells(&self) -> usize {
+        self.rows * self.lanes
+    }
+
+    /// Flat index of the cell at `(row, lane)`, row-major.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if the coordinates are out of bounds.
+    #[must_use]
+    pub fn index_of(&self, row: usize, lane: usize) -> usize {
+        debug_assert!(row < self.rows && lane < self.lanes, "({row},{lane}) out of bounds");
+        row * self.lanes + lane
+    }
+}
+
+impl fmt::Display for ArrayDims {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}x{}", self.rows, self.lanes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_dimensions() {
+        let d = ArrayDims::paper();
+        assert_eq!(d.rows(), 1024);
+        assert_eq!(d.lanes(), 1024);
+        assert_eq!(d.cells(), 1_048_576);
+        assert_eq!(d.to_string(), "1024x1024");
+    }
+
+    #[test]
+    fn flat_indexing_is_row_major() {
+        let d = ArrayDims::new(4, 8);
+        assert_eq!(d.index_of(0, 0), 0);
+        assert_eq!(d.index_of(0, 7), 7);
+        assert_eq!(d.index_of(1, 0), 8);
+        assert_eq!(d.index_of(3, 7), 31);
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn zero_dims_rejected() {
+        let _ = ArrayDims::new(0, 8);
+    }
+
+    #[test]
+    fn orientation_default_is_column_parallel() {
+        assert_eq!(Orientation::default(), Orientation::ColumnParallel);
+        assert_eq!(Orientation::ColumnParallel.to_string(), "column-parallel");
+    }
+}

@@ -1,0 +1,278 @@
+//! Sets of lanes that participate in one parallel operation.
+
+use std::fmt;
+
+const BITS: usize = 64;
+
+/// A fixed-universe bit set over the lanes of an array.
+///
+/// PIM operations apply one gate (or masked write) to an arbitrary subset of
+/// lanes simultaneously (§2.2): a `LaneSet` names that subset. Sets are
+/// created against a fixed lane count and all binary operations require both
+/// operands to share it.
+///
+/// # Examples
+///
+/// ```
+/// use nvpim_array::LaneSet;
+///
+/// let evens = LaneSet::from_pred(8, |lane| lane % 2 == 0);
+/// assert_eq!(evens.count(), 4);
+/// assert!(evens.contains(2));
+/// assert!(!evens.contains(3));
+/// assert_eq!(evens.iter().collect::<Vec<_>>(), vec![0, 2, 4, 6]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct LaneSet {
+    words: Vec<u64>,
+    lanes: usize,
+}
+
+impl LaneSet {
+    /// The empty set over `lanes` lanes.
+    #[must_use]
+    pub fn empty(lanes: usize) -> Self {
+        LaneSet { words: vec![0; lanes.div_ceil(BITS)], lanes }
+    }
+
+    /// The full set over `lanes` lanes.
+    #[must_use]
+    pub fn full(lanes: usize) -> Self {
+        let mut set = LaneSet::empty(lanes);
+        for lane in 0..lanes {
+            set.insert(lane);
+        }
+        set
+    }
+
+    /// The half-open range `start..end`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start > end` or `end > lanes`.
+    #[must_use]
+    pub fn range(lanes: usize, start: usize, end: usize) -> Self {
+        assert!(start <= end && end <= lanes, "invalid lane range {start}..{end} of {lanes}");
+        let mut set = LaneSet::empty(lanes);
+        for lane in start..end {
+            set.insert(lane);
+        }
+        set
+    }
+
+    /// The set of lanes satisfying a predicate.
+    #[must_use]
+    pub fn from_pred(lanes: usize, pred: impl Fn(usize) -> bool) -> Self {
+        let mut set = LaneSet::empty(lanes);
+        for lane in (0..lanes).filter(|&l| pred(l)) {
+            set.insert(lane);
+        }
+        set
+    }
+
+    /// The set containing exactly the given lanes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of bounds.
+    #[must_use]
+    pub fn from_indices(lanes: usize, indices: &[usize]) -> Self {
+        let mut set = LaneSet::empty(lanes);
+        for &lane in indices {
+            set.insert(lane);
+        }
+        set
+    }
+
+    /// The universe size this set is defined over.
+    #[must_use]
+    pub fn lanes(&self) -> usize {
+        self.lanes
+    }
+
+    /// Adds a lane.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane` is out of bounds.
+    pub fn insert(&mut self, lane: usize) {
+        assert!(lane < self.lanes, "lane {lane} out of bounds ({})", self.lanes);
+        self.words[lane / BITS] |= 1u64 << (lane % BITS);
+    }
+
+    /// Removes a lane.
+    pub fn remove(&mut self, lane: usize) {
+        assert!(lane < self.lanes, "lane {lane} out of bounds ({})", self.lanes);
+        self.words[lane / BITS] &= !(1u64 << (lane % BITS));
+    }
+
+    /// Membership test.
+    #[must_use]
+    pub fn contains(&self, lane: usize) -> bool {
+        lane < self.lanes && self.words[lane / BITS] & (1u64 << (lane % BITS)) != 0
+    }
+
+    /// Number of member lanes.
+    #[must_use]
+    pub fn count(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Whether the set is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Whether every lane is a member.
+    #[must_use]
+    pub fn is_full(&self) -> bool {
+        self.count() == self.lanes
+    }
+
+    /// Fraction of lanes that are members.
+    #[must_use]
+    pub fn fraction(&self) -> f64 {
+        self.count() as f64 / self.lanes as f64
+    }
+
+    /// Iterates over member lanes in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &word)| {
+            let mut w = word;
+            std::iter::from_fn(move || {
+                if w == 0 {
+                    None
+                } else {
+                    let bit = w.trailing_zeros() as usize;
+                    w &= w - 1;
+                    Some(wi * BITS + bit)
+                }
+            })
+        })
+    }
+
+    /// The image of this set under a lane permutation: lane `l` maps to
+    /// `perm[l]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `perm.len() != self.lanes()` or a target is out of bounds.
+    #[must_use]
+    pub fn permuted(&self, perm: &[usize]) -> LaneSet {
+        assert_eq!(perm.len(), self.lanes, "permutation length mismatch");
+        let mut out = LaneSet::empty(self.lanes);
+        for lane in self.iter() {
+            out.insert(perm[lane]);
+        }
+        out
+    }
+
+    /// Union with another set over the same universe.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the universes differ.
+    #[must_use]
+    pub fn union(&self, other: &LaneSet) -> LaneSet {
+        assert_eq!(self.lanes, other.lanes, "lane universe mismatch");
+        let words = self.words.iter().zip(&other.words).map(|(a, b)| a | b).collect();
+        LaneSet { words, lanes: self.lanes }
+    }
+
+    /// Intersection with another set over the same universe.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the universes differ.
+    #[must_use]
+    pub fn intersection(&self, other: &LaneSet) -> LaneSet {
+        assert_eq!(self.lanes, other.lanes, "lane universe mismatch");
+        let words = self.words.iter().zip(&other.words).map(|(a, b)| a & b).collect();
+        LaneSet { words, lanes: self.lanes }
+    }
+}
+
+impl fmt::Display for LaneSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{{}/{} lanes}}", self.count(), self.lanes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_and_full() {
+        let e = LaneSet::empty(100);
+        assert!(e.is_empty());
+        assert_eq!(e.count(), 0);
+        let f = LaneSet::full(100);
+        assert!(f.is_full());
+        assert_eq!(f.count(), 100);
+        assert!((f.fraction() - 1.0).abs() < f64::EPSILON);
+    }
+
+    #[test]
+    fn non_word_aligned_universe() {
+        let f = LaneSet::full(70);
+        assert_eq!(f.count(), 70);
+        assert!(f.contains(69));
+        assert!(!f.contains(70));
+        assert_eq!(f.iter().count(), 70);
+    }
+
+    #[test]
+    fn insert_remove_contains() {
+        let mut s = LaneSet::empty(128);
+        s.insert(0);
+        s.insert(64);
+        s.insert(127);
+        assert!(s.contains(0) && s.contains(64) && s.contains(127));
+        s.remove(64);
+        assert!(!s.contains(64));
+        assert_eq!(s.count(), 2);
+    }
+
+    #[test]
+    fn range_and_pred() {
+        let r = LaneSet::range(16, 4, 8);
+        assert_eq!(r.iter().collect::<Vec<_>>(), vec![4, 5, 6, 7]);
+        let every4th = LaneSet::from_pred(16, |l| l % 4 == 0);
+        assert_eq!(every4th.iter().collect::<Vec<_>>(), vec![0, 4, 8, 12]);
+    }
+
+    #[test]
+    fn permutation_moves_members() {
+        let s = LaneSet::from_indices(4, &[0, 1]);
+        // Rotate right by one.
+        let p = s.permuted(&[1, 2, 3, 0]);
+        assert_eq!(p.iter().collect::<Vec<_>>(), vec![1, 2]);
+    }
+
+    #[test]
+    fn set_algebra() {
+        let a = LaneSet::from_indices(8, &[0, 1, 2]);
+        let b = LaneSet::from_indices(8, &[2, 3]);
+        assert_eq!(a.union(&b).count(), 4);
+        assert_eq!(a.intersection(&b).iter().collect::<Vec<_>>(), vec![2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn insert_out_of_bounds_panics() {
+        LaneSet::empty(8).insert(8);
+    }
+
+    #[test]
+    #[should_panic(expected = "universe mismatch")]
+    fn union_universe_mismatch_panics() {
+        let _ = LaneSet::empty(8).union(&LaneSet::empty(16));
+    }
+
+    #[test]
+    fn display_shows_cardinality() {
+        assert_eq!(LaneSet::range(8, 0, 3).to_string(), "{3/8 lanes}");
+    }
+}

@@ -1,0 +1,75 @@
+//! The address-translation hook through which load-balancing strategies act.
+
+/// Logical-to-physical address translation for rows and lanes.
+///
+/// Traces are authored in logical coordinates; an `AddressMap` decides which
+/// physical cell each logical coordinate lands on. Software strategies
+/// (static, random shuffling, byte shifting — §3.2) are pure lookups that
+/// change only at re-compilation boundaries; hardware re-mapping mutates the
+/// row map on gate-output writes, which is why
+/// [`AddressMap::gate_output_row`] takes `&mut self`.
+pub trait AddressMap {
+    /// Physical row currently holding logical row `logical`.
+    fn lookup_row(&self, logical: usize) -> usize;
+
+    /// Physical lane currently holding logical lane `logical`.
+    fn lookup_lane(&self, logical: usize) -> usize;
+
+    /// Physical row that the output of a gate writing logical row `logical`
+    /// should be directed to. `all_lanes` tells the map whether the gate is
+    /// being applied across every lane — the paper's hardware re-mapper only
+    /// rotates its free row on such gates (§4).
+    ///
+    /// The default implementation performs no redirection.
+    fn gate_output_row(&mut self, logical: usize, all_lanes: bool) -> usize {
+        let _ = all_lanes;
+        self.lookup_row(logical)
+    }
+}
+
+/// The identity translation (the paper's `St × St` without hardware
+/// re-mapping).
+///
+/// # Examples
+///
+/// ```
+/// use nvpim_array::{AddressMap, IdentityMap};
+///
+/// let mut map = IdentityMap;
+/// assert_eq!(map.lookup_row(5), 5);
+/// assert_eq!(map.gate_output_row(7, true), 7);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IdentityMap;
+
+impl AddressMap for IdentityMap {
+    fn lookup_row(&self, logical: usize) -> usize {
+        logical
+    }
+
+    fn lookup_lane(&self, logical: usize) -> usize {
+        logical
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_is_identity() {
+        let mut m = IdentityMap;
+        for i in [0usize, 1, 17, 1023] {
+            assert_eq!(m.lookup_row(i), i);
+            assert_eq!(m.lookup_lane(i), i);
+            assert_eq!(m.gate_output_row(i, false), i);
+        }
+    }
+
+    #[test]
+    fn trait_is_object_safe() {
+        let mut m: Box<dyn AddressMap> = Box::new(IdentityMap);
+        assert_eq!(m.lookup_row(3), 3);
+        assert_eq!(m.gate_output_row(3, true), 3);
+    }
+}

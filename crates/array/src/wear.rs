@@ -1,0 +1,326 @@
+//! Per-cell read/write accounting and distribution statistics.
+
+use crate::{ArrayDims, LaneSet};
+
+/// A 2-D map of accumulated cell writes (and reads) over an array.
+///
+/// This is the paper's core measurement artifact: the write distributions
+/// visualized as heatmaps in Figs. 14–16 and fed into the lifetime formula
+/// (Eq. 4) via [`WearMap::max_writes`].
+///
+/// # Examples
+///
+/// ```
+/// use nvpim_array::{ArrayDims, LaneSet, WearMap};
+///
+/// let mut wear = WearMap::new(ArrayDims::new(4, 4));
+/// wear.add_writes(0, &LaneSet::full(4), 5);
+/// wear.add_writes(1, &LaneSet::range(4, 0, 2), 1);
+/// assert_eq!(wear.max_writes(), 5);
+/// assert_eq!(wear.writes_at(1, 1), 1);
+/// assert_eq!(wear.writes_at(1, 3), 0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct WearMap {
+    dims: ArrayDims,
+    writes: Vec<u64>,
+    reads: Vec<u64>,
+}
+
+impl WearMap {
+    /// A zeroed wear map.
+    #[must_use]
+    pub fn new(dims: ArrayDims) -> Self {
+        WearMap { dims, writes: vec![0; dims.cells()], reads: vec![0; dims.cells()] }
+    }
+
+    /// The dimensions this map covers.
+    #[must_use]
+    pub fn dims(&self) -> ArrayDims {
+        self.dims
+    }
+
+    /// Adds `count` writes to the cell at every lane of `lanes` in `row`.
+    pub fn add_writes(&mut self, row: usize, lanes: &LaneSet, count: u64) {
+        let base = row * self.dims.lanes();
+        for lane in lanes.iter() {
+            self.writes[base + lane] += count;
+        }
+    }
+
+    /// Adds `count` reads to the cell at every lane of `lanes` in `row`.
+    pub fn add_reads(&mut self, row: usize, lanes: &LaneSet, count: u64) {
+        let base = row * self.dims.lanes();
+        for lane in lanes.iter() {
+            self.reads[base + lane] += count;
+        }
+    }
+
+    /// Adds one write at a single cell.
+    pub fn add_write_at(&mut self, row: usize, lane: usize, count: u64) {
+        self.writes[self.dims.index_of(row, lane)] += count;
+    }
+
+    /// Adds one read at a single cell.
+    pub fn add_read_at(&mut self, row: usize, lane: usize, count: u64) {
+        self.reads[self.dims.index_of(row, lane)] += count;
+    }
+
+    /// Accumulated writes at `(row, lane)`.
+    #[must_use]
+    pub fn writes_at(&self, row: usize, lane: usize) -> u64 {
+        self.writes[self.dims.index_of(row, lane)]
+    }
+
+    /// Accumulated reads at `(row, lane)`.
+    #[must_use]
+    pub fn reads_at(&self, row: usize, lane: usize) -> u64 {
+        self.reads[self.dims.index_of(row, lane)]
+    }
+
+    /// Merges another wear map into this one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dimensions differ.
+    pub fn merge(&mut self, other: &WearMap) {
+        assert_eq!(self.dims, other.dims, "wear map dimension mismatch");
+        for (a, b) in self.writes.iter_mut().zip(&other.writes) {
+            *a += b;
+        }
+        for (a, b) in self.reads.iter_mut().zip(&other.reads) {
+            *a += b;
+        }
+    }
+
+    /// Maximum writes over all cells (the lifetime-limiting cell, Eq. 4).
+    #[must_use]
+    pub fn max_writes(&self) -> u64 {
+        self.writes.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Total writes over all cells.
+    #[must_use]
+    pub fn total_writes(&self) -> u64 {
+        self.writes.iter().sum()
+    }
+
+    /// Total reads over all cells.
+    #[must_use]
+    pub fn total_reads(&self) -> u64 {
+        self.reads.iter().sum()
+    }
+
+    /// Mean writes per cell.
+    #[must_use]
+    pub fn mean_writes(&self) -> f64 {
+        self.total_writes() as f64 / self.dims.cells() as f64
+    }
+
+    /// Coordinates `(row, lane)` of a maximally-written cell.
+    #[must_use]
+    pub fn argmax_writes(&self) -> (usize, usize) {
+        let (idx, _) = self
+            .writes
+            .iter()
+            .enumerate()
+            .max_by_key(|&(_, &w)| w)
+            .expect("wear map is never empty");
+        (idx / self.dims.lanes(), idx % self.dims.lanes())
+    }
+
+    /// Ratio of the maximum to the mean write count (1.0 = perfectly
+    /// balanced). The paper's balancing strategies aim to drive this
+    /// toward 1.
+    #[must_use]
+    pub fn imbalance(&self) -> f64 {
+        let mean = self.mean_writes();
+        if mean == 0.0 {
+            1.0
+        } else {
+            self.max_writes() as f64 / mean
+        }
+    }
+
+    /// Per-row totals (marginal over lanes).
+    #[must_use]
+    pub fn row_totals(&self) -> Vec<u64> {
+        (0..self.dims.rows())
+            .map(|r| {
+                let base = r * self.dims.lanes();
+                self.writes[base..base + self.dims.lanes()].iter().sum()
+            })
+            .collect()
+    }
+
+    /// Per-lane totals (marginal over rows).
+    #[must_use]
+    pub fn lane_totals(&self) -> Vec<u64> {
+        let mut totals = vec![0u64; self.dims.lanes()];
+        for r in 0..self.dims.rows() {
+            let base = r * self.dims.lanes();
+            for (lane, t) in totals.iter_mut().enumerate() {
+                *t += self.writes[base + lane];
+            }
+        }
+        totals
+    }
+
+    /// Per-cell write counts of one row.
+    #[must_use]
+    pub fn row_writes(&self, row: usize) -> &[u64] {
+        let base = row * self.dims.lanes();
+        &self.writes[base..base + self.dims.lanes()]
+    }
+
+    /// Gini coefficient of the write distribution (0 = perfectly even,
+    /// → 1 = concentrated on few cells). A scalar summary of heatmap
+    /// uniformity used in reports.
+    #[must_use]
+    pub fn gini(&self) -> f64 {
+        let mut sorted: Vec<u64> = self.writes.clone();
+        sorted.sort_unstable();
+        let n = sorted.len() as f64;
+        let total: u64 = sorted.iter().sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let weighted: f64 = sorted
+            .iter()
+            .enumerate()
+            .map(|(i, &w)| (i as f64 + 1.0) * w as f64)
+            .sum();
+        (2.0 * weighted) / (n * total as f64) - (n + 1.0) / n
+    }
+
+    /// Downsamples the write map onto a `grid_rows × grid_lanes` grid of
+    /// cell-averaged densities normalized to the maximum bucket (1.0 =
+    /// hottest bucket), for heatmap rendering.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either grid dimension is zero or exceeds the array
+    /// dimension.
+    #[must_use]
+    pub fn heatmap(&self, grid_rows: usize, grid_lanes: usize) -> Vec<Vec<f64>> {
+        assert!(grid_rows > 0 && grid_rows <= self.dims.rows(), "bad grid rows");
+        assert!(grid_lanes > 0 && grid_lanes <= self.dims.lanes(), "bad grid lanes");
+        let mut sums = vec![vec![0f64; grid_lanes]; grid_rows];
+        let mut counts = vec![vec![0u64; grid_lanes]; grid_rows];
+        for r in 0..self.dims.rows() {
+            let gr = r * grid_rows / self.dims.rows();
+            let base = r * self.dims.lanes();
+            for l in 0..self.dims.lanes() {
+                let gl = l * grid_lanes / self.dims.lanes();
+                sums[gr][gl] += self.writes[base + l] as f64;
+                counts[gr][gl] += 1;
+            }
+        }
+        let mut max = 0f64;
+        for (row, crow) in sums.iter_mut().zip(&counts) {
+            for (v, &c) in row.iter_mut().zip(crow) {
+                *v /= c as f64;
+                max = max.max(*v);
+            }
+        }
+        if max > 0.0 {
+            for row in &mut sums {
+                for v in row {
+                    *v /= max;
+                }
+            }
+        }
+        sums
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulation_and_queries() {
+        let mut w = WearMap::new(ArrayDims::new(4, 4));
+        w.add_writes(2, &LaneSet::full(4), 3);
+        w.add_write_at(2, 1, 2);
+        assert_eq!(w.writes_at(2, 1), 5);
+        assert_eq!(w.max_writes(), 5);
+        assert_eq!(w.total_writes(), 14);
+        assert_eq!(w.argmax_writes(), (2, 1));
+    }
+
+    #[test]
+    fn reads_tracked_separately() {
+        let mut w = WearMap::new(ArrayDims::new(2, 2));
+        w.add_reads(0, &LaneSet::full(2), 7);
+        w.add_read_at(1, 1, 1);
+        assert_eq!(w.total_reads(), 15);
+        assert_eq!(w.reads_at(1, 1), 1);
+        assert_eq!(w.total_writes(), 0);
+    }
+
+    #[test]
+    fn marginals() {
+        let mut w = WearMap::new(ArrayDims::new(3, 2));
+        w.add_writes(0, &LaneSet::full(2), 1);
+        w.add_writes(1, &LaneSet::from_indices(2, &[1]), 4);
+        assert_eq!(w.row_totals(), vec![2, 4, 0]);
+        assert_eq!(w.lane_totals(), vec![1, 5]);
+        assert_eq!(w.row_writes(1), &[0, 4]);
+    }
+
+    #[test]
+    fn imbalance_of_uniform_map_is_one() {
+        let mut w = WearMap::new(ArrayDims::new(8, 8));
+        for r in 0..8 {
+            w.add_writes(r, &LaneSet::full(8), 10);
+        }
+        assert!((w.imbalance() - 1.0).abs() < 1e-12);
+        assert!(w.gini().abs() < 1e-9);
+    }
+
+    #[test]
+    fn gini_detects_concentration() {
+        let mut even = WearMap::new(ArrayDims::new(4, 4));
+        for r in 0..4 {
+            even.add_writes(r, &LaneSet::full(4), 1);
+        }
+        let mut skewed = WearMap::new(ArrayDims::new(4, 4));
+        skewed.add_write_at(0, 0, 16);
+        assert!(skewed.gini() > even.gini());
+        assert!(skewed.gini() > 0.9);
+    }
+
+    #[test]
+    fn merge_adds_counts() {
+        let mut a = WearMap::new(ArrayDims::new(2, 2));
+        let mut b = WearMap::new(ArrayDims::new(2, 2));
+        a.add_write_at(0, 0, 1);
+        b.add_write_at(0, 0, 2);
+        b.add_read_at(1, 1, 3);
+        a.merge(&b);
+        assert_eq!(a.writes_at(0, 0), 3);
+        assert_eq!(a.reads_at(1, 1), 3);
+    }
+
+    #[test]
+    fn heatmap_normalizes_to_unit_max() {
+        let mut w = WearMap::new(ArrayDims::new(8, 8));
+        w.add_writes(0, &LaneSet::full(8), 10);
+        w.add_writes(4, &LaneSet::full(8), 5);
+        let h = w.heatmap(2, 2);
+        assert_eq!(h.len(), 2);
+        assert!((h[0][0] - 1.0).abs() < 1e-12);
+        assert!((h[1][0] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_map_statistics_are_defined() {
+        let w = WearMap::new(ArrayDims::new(4, 4));
+        assert_eq!(w.max_writes(), 0);
+        assert!((w.imbalance() - 1.0).abs() < 1e-12);
+        assert_eq!(w.gini(), 0.0);
+        let h = w.heatmap(2, 2);
+        assert_eq!(h[0][0], 0.0);
+    }
+}

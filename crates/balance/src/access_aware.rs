@@ -1,0 +1,190 @@
+//! Memory-access-aware re-mapping: shuffle with COPY gates, compute, and
+//! un-shuffle — Table 2 of the paper.
+//!
+//! Unlike logical→physical table re-mapping, this strategy physically moves
+//! the input operands to fresh locations with COPY gates (or 2× NOT on
+//! architectures without COPY), runs the computation at the new addresses,
+//! and moves the output back — leaving standard memory read/write access
+//! patterns untouched. The price is extra gates: `2b` COPYs to move two
+//! b-bit inputs in, plus COPYs to move the output back (`2b` for a
+//! multiplication's 2b-bit product; `b + 1` for an addition's sum).
+//!
+//! Table 2 expresses that price relative to the *idealized* two-input gate
+//! counts of §3.2 (`6b² − 8b` for multiplication, `5b − 3` for addition);
+//! the `*_nand_scheme` variants report the same overhead against the NAND
+//! gate counts the simulator actually executes.
+
+use nvpim_logic::{circuits, counts, BitId, CircuitBuilder};
+
+/// COPY gates needed to shuffle a b-bit multiplication: `2b` in + `2b` out.
+#[must_use]
+pub fn mul_shuffle_gates(b: u64) -> u64 {
+    4 * b
+}
+
+/// COPY gates needed to shuffle a b-bit addition: `2b` in + `b + 1` out.
+#[must_use]
+pub fn add_shuffle_gates(b: u64) -> u64 {
+    3 * b + 1
+}
+
+/// Table 2, multiplication column: relative overhead of shuffling a b-bit
+/// multiplication, against the idealized `6b² − 8b` gate count. Equals
+/// `1 / (3b/2 − 2)`.
+#[must_use]
+pub fn mul_overhead(b: u64) -> f64 {
+    mul_shuffle_gates(b) as f64 / counts::mul_gates_ideal(b) as f64
+}
+
+/// Table 2, addition column: relative overhead of shuffling a b-bit
+/// addition, against the idealized `5b − 3` gate count. Equals
+/// `(3b + 1) / (5b − 3)`.
+#[must_use]
+pub fn add_overhead(b: u64) -> f64 {
+    add_shuffle_gates(b) as f64 / counts::add_gates_ideal(b) as f64
+}
+
+/// Shuffling overhead of a b-bit multiplication against the NAND-scheme gate
+/// count the simulator executes (`10b² − 13b` gates).
+#[must_use]
+pub fn mul_overhead_nand_scheme(b: u64) -> f64 {
+    mul_shuffle_gates(b) as f64 / counts::mul_gate_writes(b) as f64
+}
+
+/// Shuffling overhead of a b-bit addition against the NAND-scheme gate count
+/// (`9b − 4` gates).
+#[must_use]
+pub fn add_overhead_nand_scheme(b: u64) -> f64 {
+    add_shuffle_gates(b) as f64 / counts::add_gate_writes(b) as f64
+}
+
+/// The bit precisions listed in Table 2.
+pub const TABLE2_PRECISIONS: [u64; 5] = [4, 8, 16, 32, 64];
+
+/// One row of Table 2 (percent overheads).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Table2Row {
+    /// Bit precision.
+    pub bits: u64,
+    /// Multiplication overhead, percent.
+    pub mul_percent: f64,
+    /// Addition overhead, percent.
+    pub add_percent: f64,
+}
+
+/// Regenerates Table 2.
+#[must_use]
+pub fn table2() -> Vec<Table2Row> {
+    TABLE2_PRECISIONS
+        .iter()
+        .map(|&b| Table2Row {
+            bits: b,
+            mul_percent: 100.0 * mul_overhead(b),
+            add_percent: 100.0 * add_overhead(b),
+        })
+        .collect()
+}
+
+/// Builds a multiplication circuit with access-aware shuffling: inputs are
+/// COPY-moved to fresh bits, the product is computed there, and the result
+/// is COPY-moved to its dedicated output bits.
+///
+/// Returns the output bits. The emitted circuit has exactly
+/// [`mul_shuffle_gates`]`(b)` more gates than a bare multiplication —
+/// asserted in tests — and computes the same product.
+pub fn shuffled_multiply(b: &mut CircuitBuilder, x: &[BitId], y: &[BitId]) -> Vec<BitId> {
+    let moved_x = circuits::copy_word(b, x);
+    let moved_y = circuits::copy_word(b, y);
+    let product = circuits::multiply(b, &moved_x, &moved_y);
+    circuits::copy_word(b, &product)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nvpim_logic::words;
+
+    #[test]
+    fn table2_multiplication_column() {
+        // Paper values: 25, 10, 4.55, 2.17, 1.06 (%).
+        let expect = [25.0, 10.0, 4.55, 2.17, 1.06];
+        for (&b, &e) in TABLE2_PRECISIONS.iter().zip(&expect) {
+            let got = 100.0 * mul_overhead(b);
+            assert!((got - e).abs() < 0.01, "mul b={b}: got {got}, paper {e}");
+        }
+    }
+
+    #[test]
+    fn table2_addition_column() {
+        // Paper values: 76.47, 67.57, 63.64, 61.78, 60.88 (%).
+        let expect = [76.47, 67.57, 63.64, 61.78, 60.88];
+        for (&b, &e) in TABLE2_PRECISIONS.iter().zip(&expect) {
+            let got = 100.0 * add_overhead(b);
+            assert!((got - e).abs() < 0.01, "add b={b}: got {got}, paper {e}");
+        }
+    }
+
+    #[test]
+    fn table2_rows_are_complete() {
+        let rows = table2();
+        assert_eq!(rows.len(), 5);
+        assert_eq!(rows[3].bits, 32);
+        assert!((rows[3].mul_percent - 2.17).abs() < 0.01);
+        assert!((rows[3].add_percent - 61.78).abs() < 0.01);
+    }
+
+    #[test]
+    fn overhead_decreases_with_precision() {
+        for w in TABLE2_PRECISIONS.windows(2) {
+            assert!(mul_overhead(w[0]) > mul_overhead(w[1]));
+            assert!(add_overhead(w[0]) > add_overhead(w[1]));
+        }
+        // Addition overhead converges to 60% (= 3b/5b), never below.
+        assert!(add_overhead(1 << 20) > 0.59);
+    }
+
+    #[test]
+    fn nand_scheme_overheads_are_lower() {
+        // The NAND scheme uses more gates per operation, so the same number
+        // of COPYs is relatively cheaper.
+        for &b in &TABLE2_PRECISIONS {
+            assert!(mul_overhead_nand_scheme(b) < mul_overhead(b));
+            assert!(add_overhead_nand_scheme(b) < add_overhead(b));
+        }
+        // 32-bit: 128 extra gates on 9 824 ≈ 1.30%.
+        assert!((100.0 * mul_overhead_nand_scheme(32) - 1.303).abs() < 0.01);
+    }
+
+    #[test]
+    fn shuffled_multiply_adds_exactly_4b_gates() {
+        for width in [4usize, 8, 16] {
+            let mut plain = CircuitBuilder::new();
+            let xs = plain.inputs(width);
+            let ys = plain.inputs(width);
+            let _ = circuits::multiply(&mut plain, &xs, &ys);
+            let plain_gates = plain.build().stats().total_gates();
+
+            let mut shuffled = CircuitBuilder::new();
+            let xs = shuffled.inputs(width);
+            let ys = shuffled.inputs(width);
+            let _ = shuffled_multiply(&mut shuffled, &xs, &ys);
+            let shuffled_gates = shuffled.build().stats().total_gates();
+
+            assert_eq!(shuffled_gates - plain_gates, mul_shuffle_gates(width as u64));
+        }
+    }
+
+    #[test]
+    fn shuffled_multiply_is_correct() {
+        let mut b = CircuitBuilder::new();
+        let xs = b.inputs(8);
+        let ys = b.inputs(8);
+        let out = shuffled_multiply(&mut b, &xs, &ys);
+        b.mark_outputs(&out);
+        let c = b.build();
+        for (a, bb) in [(0u64, 0u64), (255, 255), (19, 87), (128, 2)] {
+            let bits = c.eval(&[words::to_bits(a, 8), words::to_bits(bb, 8)]).unwrap();
+            assert_eq!(words::from_bits(&bits), a * bb);
+        }
+    }
+}

@@ -1,0 +1,143 @@
+//! Memory-access cost of re-mapped variables — the Fig. 8 analysis.
+//!
+//! Re-mapping logic-gate operations scatters the bits of a variable across
+//! a lane. A *column-parallel* architecture reads a lane one bit per cycle
+//! anyway, so scattering is free. A *row-parallel* architecture reads whole
+//! byte-addressable rows of the lane at once: scattered bits touch more
+//! bytes, and a permuted order needs external post-processing to reassemble
+//! the word. `Bs` (byte-shifting) was designed to avoid exactly this; this
+//! module quantifies the difference.
+
+use nvpim_array::Orientation;
+
+/// Byte width assumed for row-parallel memory accesses.
+pub const BYTE_BITS: usize = 8;
+
+/// Cost of reading (or writing) one multi-bit variable through the memory
+/// interface.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AccessCost {
+    /// Sequential memory accesses needed to fetch every bit.
+    pub accesses: usize,
+    /// Whether the bits arrive in operand order (no reassembly needed).
+    pub in_order: bool,
+}
+
+impl AccessCost {
+    /// Relative cost against the densely-packed, in-order baseline.
+    #[must_use]
+    pub fn overhead_vs(&self, baseline: AccessCost) -> f64 {
+        self.accesses as f64 / baseline.accesses as f64
+    }
+}
+
+/// Cost of accessing a variable whose bits live at the physical lane
+/// positions `physical_bits` (operand order, LSB first).
+///
+/// Column-parallel lanes are read bit-serially: always `len` accesses, and
+/// order is imposed by the controller, so scattering costs nothing (the
+/// right half of Fig. 8). Row-parallel lanes fetch one byte-aligned group
+/// per access: the cost is the number of *distinct bytes* touched, and the
+/// word needs reassembly unless the bits are consecutive and ascending.
+///
+/// # Panics
+///
+/// Panics if `physical_bits` is empty.
+#[must_use]
+pub fn variable_access_cost(physical_bits: &[usize], orientation: Orientation) -> AccessCost {
+    assert!(!physical_bits.is_empty(), "variable must have bits");
+    match orientation {
+        Orientation::ColumnParallel => {
+            AccessCost { accesses: physical_bits.len(), in_order: true }
+        }
+        Orientation::RowParallel => {
+            let mut bytes: Vec<usize> = physical_bits.iter().map(|&b| b / BYTE_BITS).collect();
+            bytes.sort_unstable();
+            bytes.dedup();
+            let in_order = physical_bits.windows(2).all(|w| w[1] == w[0] + 1);
+            AccessCost { accesses: bytes.len(), in_order }
+        }
+    }
+}
+
+/// Cost of accessing a `width`-bit variable at logical positions
+/// `base..base+width` through a row permutation `map` (physical position of
+/// logical bit `i` is `map[base + i]`).
+#[must_use]
+pub fn mapped_access_cost(
+    map: &[usize],
+    base: usize,
+    width: usize,
+    orientation: Orientation,
+) -> AccessCost {
+    let physical: Vec<usize> = (base..base + width).map(|l| map[l]).collect();
+    variable_access_cost(&physical, orientation)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Strategy, StrategyMapper};
+
+    fn costs_for(strategy: Strategy) -> AccessCost {
+        let mut m = StrategyMapper::new(strategy, 64, 11);
+        m.advance_epoch();
+        mapped_access_cost(m.as_slice(), 0, 32, Orientation::RowParallel)
+    }
+
+    #[test]
+    fn packed_variable_is_cheap_row_parallel() {
+        let physical: Vec<usize> = (8..40).collect(); // 32 bits in 4 bytes
+        let c = variable_access_cost(&physical, Orientation::RowParallel);
+        assert_eq!(c.accesses, 4);
+        assert!(c.in_order);
+    }
+
+    #[test]
+    fn column_parallel_is_scatter_immune() {
+        // Fig. 8: column-parallel architectures read bits serially, so a
+        // scrambled layout costs exactly the same.
+        let packed: Vec<usize> = (0..32).collect();
+        let scattered: Vec<usize> = (0..32).map(|i| (i * 37 + 5) % 1024).collect();
+        let a = variable_access_cost(&packed, Orientation::ColumnParallel);
+        let b = variable_access_cost(&scattered, Orientation::ColumnParallel);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn byte_shift_preserves_row_parallel_cost() {
+        // Bs shifts by whole bytes: same byte count, still in order.
+        let baseline = costs_for(Strategy::Static);
+        let shifted = costs_for(Strategy::ByteShift);
+        assert_eq!(baseline.accesses, 4);
+        assert_eq!(shifted.accesses, 4);
+        assert!(shifted.in_order);
+        assert!((shifted.overhead_vs(baseline) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn random_shuffle_inflates_row_parallel_cost() {
+        // Ra scatters the 32 bits over many bytes and out of order — the
+        // Fig. 8 pathology.
+        let baseline = costs_for(Strategy::Static);
+        let random = costs_for(Strategy::Random);
+        assert!(random.accesses > baseline.accesses, "{random:?}");
+        assert!(!random.in_order);
+        assert!(random.overhead_vs(baseline) > 1.5);
+    }
+
+    #[test]
+    fn misaligned_but_contiguous_still_touches_extra_byte() {
+        // 32 bits starting at bit 4 straddle 5 bytes.
+        let physical: Vec<usize> = (4..36).collect();
+        let c = variable_access_cost(&physical, Orientation::RowParallel);
+        assert_eq!(c.accesses, 5);
+        assert!(c.in_order);
+    }
+
+    #[test]
+    #[should_panic(expected = "must have bits")]
+    fn empty_variable_rejected() {
+        let _ = variable_access_cost(&[], Orientation::RowParallel);
+    }
+}

@@ -1,0 +1,285 @@
+//! Composition of software and hardware re-mapping into one address map.
+
+use nvpim_array::AddressMap;
+
+use crate::{BalanceConfig, HwRemapper, RemapSchedule, StrategyMapper};
+
+/// The full logical→physical translation of one balancing configuration.
+///
+/// Translation composes in two stages, mirroring the paper's architecture:
+/// the *software* stage (set at compile/re-compile time) maps logical rows
+/// and lanes through [`StrategyMapper`]s; the *hardware* stage (if `Hw` is
+/// enabled) renames the software-produced row through the free-row
+/// [`HwRemapper`] on every all-lane gate.
+///
+/// When `Hw` is enabled one physical row is reserved as the spare, so the
+/// software row space shrinks by one — [`CombinedMap::logical_rows`] reports
+/// the space available to layouts.
+///
+/// # Examples
+///
+/// ```
+/// use nvpim_array::AddressMap;
+/// use nvpim_balance::{BalanceConfig, CombinedMap, RemapSchedule};
+///
+/// let config: BalanceConfig = "BsxSt".parse().unwrap();
+/// let mut map = CombinedMap::new(config, 64, 16, 7);
+/// assert_eq!(map.lookup_row(0), 0);
+/// map.advance_epoch();
+/// assert_eq!(map.lookup_row(0), 8); // byte-shifted rows
+/// assert_eq!(map.lookup_lane(3), 3); // static lanes
+/// # let _ = RemapSchedule::never();
+/// ```
+#[derive(Debug, Clone)]
+pub struct CombinedMap {
+    config: BalanceConfig,
+    rows: StrategyMapper,
+    lanes: StrategyMapper,
+    hw: Option<HwRemapper>,
+}
+
+impl CombinedMap {
+    /// Builds the map for an array with `physical_rows × lanes` cells.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `physical_rows < 2` with `Hw` enabled, or if either
+    /// dimension is zero.
+    #[must_use]
+    pub fn new(config: BalanceConfig, physical_rows: usize, lanes: usize, seed: u64) -> Self {
+        let hw = config.hw.then(|| HwRemapper::new(physical_rows));
+        let row_space = if config.hw { physical_rows - 1 } else { physical_rows };
+        CombinedMap {
+            config,
+            // Derive distinct streams for the two mappers from one seed.
+            rows: StrategyMapper::new(config.row, row_space, seed.wrapping_mul(2).wrapping_add(1)),
+            lanes: StrategyMapper::new(config.col, lanes, seed.wrapping_mul(2)),
+            hw,
+        }
+    }
+
+    /// The configuration in effect.
+    #[must_use]
+    pub fn config(&self) -> BalanceConfig {
+        self.config
+    }
+
+    /// Rows available to logical layouts (one less than physical when `Hw`
+    /// reserves the spare row).
+    #[must_use]
+    pub fn logical_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Applies one software re-mapping event (re-compilation) to both the
+    /// row and lane mappers.
+    pub fn advance_epoch(&mut self) {
+        self.rows.advance_epoch();
+        self.lanes.advance_epoch();
+    }
+
+    /// The current lane permutation (logical lane → physical lane).
+    #[must_use]
+    pub fn lane_permutation(&self) -> &[usize] {
+        self.lanes.as_slice()
+    }
+
+    /// Whether this map ever changes state during execution (i.e. `Hw` is
+    /// on). Static-during-epoch maps allow the simulator's fast path.
+    #[must_use]
+    pub fn is_dynamic(&self) -> bool {
+        self.hw.is_some()
+    }
+
+    /// Direct access to the hardware remapper, if enabled.
+    #[must_use]
+    pub fn hw(&self) -> Option<&HwRemapper> {
+        self.hw.as_ref()
+    }
+}
+
+impl AddressMap for CombinedMap {
+    fn lookup_row(&self, logical: usize) -> usize {
+        let sw = self.rows.lookup(logical);
+        match &self.hw {
+            Some(hw) => hw.lookup(sw),
+            None => sw,
+        }
+    }
+
+    fn lookup_lane(&self, logical: usize) -> usize {
+        self.lanes.lookup(logical)
+    }
+
+    fn gate_output_row(&mut self, logical: usize, all_lanes: bool) -> usize {
+        let sw = self.rows.lookup(logical);
+        match &mut self.hw {
+            // §4: hardware re-mapping fires on every gate that uses all
+            // lanes; other gates write through the current mapping.
+            Some(hw) if all_lanes => hw.redirect(sw),
+            Some(hw) => hw.lookup(sw),
+            None => sw,
+        }
+    }
+}
+
+/// Convenience bundle tying a map to its re-mapping schedule, advancing
+/// epochs as iterations complete.
+///
+/// # Examples
+///
+/// ```
+/// use nvpim_balance::{BalanceConfig, CombinedMap, RemapSchedule, ScheduledMap};
+///
+/// let map = CombinedMap::new("RaxRa".parse().unwrap(), 32, 8, 1);
+/// let mut scheduled = ScheduledMap::new(map, RemapSchedule::every(100));
+/// assert!(!scheduled.finish_iteration(98)); // iterations 0..99: epoch 0
+/// assert!(scheduled.finish_iteration(99));  // epoch boundary after #99
+/// ```
+#[derive(Debug, Clone)]
+pub struct ScheduledMap {
+    map: CombinedMap,
+    schedule: RemapSchedule,
+}
+
+impl ScheduledMap {
+    /// Couples a map with a schedule.
+    #[must_use]
+    pub fn new(map: CombinedMap, schedule: RemapSchedule) -> Self {
+        ScheduledMap { map, schedule }
+    }
+
+    /// The underlying map.
+    #[must_use]
+    pub fn map(&self) -> &CombinedMap {
+        &self.map
+    }
+
+    /// Mutable access to the underlying map (for execution).
+    pub fn map_mut(&mut self) -> &mut CombinedMap {
+        &mut self.map
+    }
+
+    /// The schedule.
+    #[must_use]
+    pub fn schedule(&self) -> RemapSchedule {
+        self.schedule
+    }
+
+    /// Records that iteration `iteration` (0-based) completed; advances the
+    /// software epoch if the schedule calls for it and reports whether it
+    /// did.
+    pub fn finish_iteration(&mut self, iteration: u64) -> bool {
+        if self.schedule.remaps_after(iteration) {
+            self.map.advance_epoch();
+            true
+        } else {
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nvpim_array::AddressMap;
+
+    fn physical_rows_cover(map: &mut CombinedMap, logical_rows: usize, physical_rows: usize) {
+        let mut seen = vec![false; physical_rows];
+        for l in 0..logical_rows {
+            let p = map.lookup_row(l);
+            assert!(!seen[p], "row collision at {p}");
+            seen[p] = true;
+        }
+    }
+
+    #[test]
+    fn static_config_is_identity() {
+        let mut m = CombinedMap::new(BalanceConfig::baseline(), 16, 8, 0);
+        for r in 0..16 {
+            assert_eq!(m.lookup_row(r), r);
+            assert_eq!(m.gate_output_row(r, true), r);
+        }
+        for l in 0..8 {
+            assert_eq!(m.lookup_lane(l), l);
+        }
+        assert!(!m.is_dynamic());
+        assert_eq!(m.logical_rows(), 16);
+    }
+
+    #[test]
+    fn hw_reserves_a_row() {
+        let m = CombinedMap::new("StxSt+Hw".parse().unwrap(), 16, 8, 0);
+        assert_eq!(m.logical_rows(), 15);
+        assert!(m.is_dynamic());
+    }
+
+    #[test]
+    fn hw_redirect_only_on_all_lane_gates() {
+        let mut m = CombinedMap::new("StxSt+Hw".parse().unwrap(), 8, 4, 0);
+        let before = m.lookup_row(2);
+        assert_eq!(m.gate_output_row(2, false), before, "partial gates don't remap");
+        assert_eq!(m.lookup_row(2), before);
+        let redirected = m.gate_output_row(2, true);
+        assert_ne!(redirected, before, "all-lane gates redirect");
+        assert_eq!(m.lookup_row(2), redirected, "mapping follows the redirect");
+    }
+
+    #[test]
+    fn composition_stays_injective_under_stress() {
+        let mut m = CombinedMap::new("RaxRa+Hw".parse().unwrap(), 33, 16, 3);
+        for epoch in 0..5 {
+            for i in 0..200 {
+                let _ = m.gate_output_row((i * 7 + epoch) % 32, i % 3 != 0);
+            }
+            physical_rows_cover(&mut m, 32, 33);
+            m.advance_epoch();
+        }
+    }
+
+    #[test]
+    fn random_rows_remap_on_epoch() {
+        let mut m = CombinedMap::new("RaxSt".parse().unwrap(), 64, 4, 9);
+        let before: Vec<usize> = (0..64).map(|r| m.lookup_row(r)).collect();
+        m.advance_epoch();
+        let after: Vec<usize> = (0..64).map(|r| m.lookup_row(r)).collect();
+        assert_ne!(before, after);
+        physical_rows_cover(&mut m, 64, 64);
+    }
+
+    #[test]
+    fn lane_and_row_streams_are_independent() {
+        let m = CombinedMap::new("RaxRa".parse().unwrap(), 32, 32, 5);
+        let mut m2 = m.clone();
+        m2.advance_epoch();
+        // After one epoch both mappers changed, and they are not the same
+        // permutation of each other (different derived seeds).
+        let rows: Vec<usize> = (0..32).map(|r| m2.lookup_row(r)).collect();
+        let lanes: Vec<usize> = (0..32).map(|l| m2.lookup_lane(l)).collect();
+        assert_ne!(rows, lanes);
+    }
+
+    #[test]
+    fn scheduled_map_advances_on_boundaries() {
+        let map = CombinedMap::new("BsxSt".parse().unwrap(), 32, 4, 0);
+        let mut s = ScheduledMap::new(map, RemapSchedule::every(10));
+        let mut epochs = 0;
+        for it in 0..100 {
+            if s.finish_iteration(it) {
+                epochs += 1;
+            }
+        }
+        assert_eq!(epochs, 10);
+        assert_eq!(s.map().lookup_row(0), (10 * 8) % 32);
+    }
+
+    #[test]
+    fn never_schedule_keeps_epoch_zero() {
+        let map = CombinedMap::new("RaxRa".parse().unwrap(), 32, 4, 0);
+        let mut s = ScheduledMap::new(map, RemapSchedule::never());
+        for it in 0..1000 {
+            assert!(!s.finish_iteration(it));
+        }
+        assert_eq!(s.map().lookup_row(5), 5);
+    }
+}

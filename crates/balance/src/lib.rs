@@ -1,0 +1,53 @@
+//! Load-balancing strategies for nonvolatile PIM arrays.
+//!
+//! Limited endurance makes imbalanced cell usage fatal: the most-written cell
+//! determines array lifetime (Eq. 4 of the paper). §3.2 adapts classic NVM
+//! wear-leveling to PIM, where naïve write redirection would corrupt
+//! computations because input operands must stay physically aligned. The
+//! strategies here preserve that alignment by re-mapping *whole address
+//! spaces* — rows within lanes, and lanes within the array — rather than
+//! individual words:
+//!
+//! * [`Strategy`] — `St` (static), `Ra` (random shuffling), `Bs`
+//!   (byte-shifting), applied independently to rows and lanes and combined
+//!   into the paper's 9 software configurations via [`BalanceConfig`];
+//! * [`StrategyMapper`] — the epoch-advancing permutation behind `Ra`/`Bs`;
+//! * [`HwRemapper`] — register-renaming-style hardware re-mapping with one
+//!   spare row per lane (+`Hw` configurations);
+//! * [`CombinedMap`] — the composition of all three, implementing
+//!   [`nvpim_array::AddressMap`] so traces execute under it directly;
+//! * [`RemapSchedule`] — how often software re-mapping (re-compilation) may
+//!   occur;
+//! * [`access_aware`] — the COPY-gate shuffling overhead analysis (Table 2).
+//!
+//! # Examples
+//!
+//! ```
+//! use nvpim_balance::{BalanceConfig, Strategy};
+//!
+//! let config: BalanceConfig = "RaxBs+Hw".parse()?;
+//! assert_eq!(config.row, Strategy::Random);
+//! assert_eq!(config.col, Strategy::ByteShift);
+//! assert!(config.hw);
+//! assert_eq!(BalanceConfig::all().len(), 18);
+//! # Ok::<(), nvpim_balance::ParseConfigError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod access_aware;
+pub mod access_cost;
+pub mod combined;
+pub mod hw;
+pub mod mapper;
+pub mod schedule;
+pub mod start_gap;
+pub mod strategy;
+
+pub use combined::{CombinedMap, ScheduledMap};
+pub use hw::HwRemapper;
+pub use mapper::StrategyMapper;
+pub use schedule::RemapSchedule;
+pub use start_gap::StartGap;
+pub use strategy::{BalanceConfig, ParseConfigError, Strategy};

@@ -1,0 +1,217 @@
+//! Epoch-advancing logical→physical permutations for software strategies.
+
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use crate::Strategy;
+
+/// How many addresses one byte-shift step moves (§3.2: shifts must be "an
+/// integer number of bytes" to keep memory accesses byte-aligned).
+pub const BYTE_SHIFT_STEP: usize = 8;
+
+/// A permutation of `n` addresses that evolves at re-mapping epochs
+/// according to a [`Strategy`].
+///
+/// * `St` — identity at every epoch.
+/// * `Ra` — a fresh uniform permutation per epoch (deterministic in the
+///   seed).
+/// * `Bs` — cumulative rotation by [`BYTE_SHIFT_STEP`] addresses per epoch.
+///
+/// # Examples
+///
+/// ```
+/// use nvpim_balance::{Strategy, StrategyMapper};
+///
+/// let mut m = StrategyMapper::new(Strategy::ByteShift, 32, 0);
+/// assert_eq!(m.lookup(0), 0);
+/// m.advance_epoch();
+/// assert_eq!(m.lookup(0), 8);
+/// m.advance_epoch();
+/// assert_eq!(m.lookup(0), 16);
+/// ```
+#[derive(Debug, Clone)]
+pub struct StrategyMapper {
+    strategy: Strategy,
+    forward: Vec<usize>,
+    rng: SmallRng,
+    epoch: u64,
+}
+
+impl StrategyMapper {
+    /// An epoch-0 (identity) mapper over `n` addresses.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    #[must_use]
+    pub fn new(strategy: Strategy, n: usize, seed: u64) -> Self {
+        assert!(n > 0, "mapper universe must be nonzero");
+        StrategyMapper {
+            strategy,
+            forward: (0..n).collect(),
+            rng: SmallRng::seed_from_u64(seed),
+            epoch: 0,
+        }
+    }
+
+    /// The strategy this mapper implements.
+    #[must_use]
+    pub fn strategy(&self) -> Strategy {
+        self.strategy
+    }
+
+    /// Universe size.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.forward.len()
+    }
+
+    /// Whether the universe is empty (never true; see [`StrategyMapper::new`]).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.forward.is_empty()
+    }
+
+    /// Current epoch number (number of re-mapping events so far).
+    #[must_use]
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Physical address of logical address `logical`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `logical` is out of bounds.
+    #[must_use]
+    pub fn lookup(&self, logical: usize) -> usize {
+        self.forward[logical]
+    }
+
+    /// The full forward permutation (logical index → physical address).
+    #[must_use]
+    pub fn as_slice(&self) -> &[usize] {
+        &self.forward
+    }
+
+    /// Applies one re-mapping event (a re-compilation for software
+    /// strategies). For `St` this is a no-op on the mapping.
+    pub fn advance_epoch(&mut self) {
+        self.epoch += 1;
+        let n = self.forward.len();
+        match self.strategy {
+            Strategy::Static => {}
+            Strategy::Random => {
+                // Re-derive from identity so the mapping is a function of the
+                // epoch's draw alone, not of composition history.
+                for (i, slot) in self.forward.iter_mut().enumerate() {
+                    *slot = i;
+                }
+                self.forward.shuffle(&mut self.rng);
+            }
+            Strategy::ByteShift => {
+                let shift = (self.epoch as usize % n.div_ceil(BYTE_SHIFT_STEP))
+                    .wrapping_mul(BYTE_SHIFT_STEP)
+                    % n;
+                for (i, slot) in self.forward.iter_mut().enumerate() {
+                    *slot = (i + shift) % n;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn is_permutation(map: &[usize]) -> bool {
+        let mut seen = vec![false; map.len()];
+        for &p in map {
+            if p >= map.len() || seen[p] {
+                return false;
+            }
+            seen[p] = true;
+        }
+        true
+    }
+
+    #[test]
+    fn static_never_moves() {
+        let mut m = StrategyMapper::new(Strategy::Static, 64, 1);
+        for _ in 0..5 {
+            m.advance_epoch();
+        }
+        assert_eq!(m.lookup(13), 13);
+        assert_eq!(m.epoch(), 5);
+        assert!(is_permutation(m.as_slice()));
+    }
+
+    #[test]
+    fn random_is_permutation_every_epoch() {
+        let mut m = StrategyMapper::new(Strategy::Random, 100, 7);
+        let mut distinct = 0;
+        let mut prev = m.as_slice().to_vec();
+        for _ in 0..10 {
+            m.advance_epoch();
+            assert!(is_permutation(m.as_slice()));
+            if m.as_slice() != prev.as_slice() {
+                distinct += 1;
+            }
+            prev = m.as_slice().to_vec();
+        }
+        assert!(distinct >= 9, "random epochs should differ");
+    }
+
+    #[test]
+    fn random_is_seed_deterministic() {
+        let mut a = StrategyMapper::new(Strategy::Random, 50, 42);
+        let mut b = StrategyMapper::new(Strategy::Random, 50, 42);
+        for _ in 0..3 {
+            a.advance_epoch();
+            b.advance_epoch();
+        }
+        assert_eq!(a.as_slice(), b.as_slice());
+        let mut c = StrategyMapper::new(Strategy::Random, 50, 43);
+        c.advance_epoch();
+        a.advance_epoch();
+        // Different seeds almost surely differ on a 50-element permutation.
+        assert_ne!(a.as_slice(), c.as_slice());
+    }
+
+    #[test]
+    fn byteshift_rotates_by_eight() {
+        let mut m = StrategyMapper::new(Strategy::ByteShift, 32, 0);
+        m.advance_epoch();
+        assert_eq!(m.lookup(0), 8);
+        assert_eq!(m.lookup(31), 7);
+        assert!(is_permutation(m.as_slice()));
+        m.advance_epoch();
+        assert_eq!(m.lookup(0), 16);
+    }
+
+    #[test]
+    fn byteshift_wraps_the_universe() {
+        let mut m = StrategyMapper::new(Strategy::ByteShift, 16, 0);
+        // Period = 16/8 = 2 epochs; epoch 2 must be the identity again.
+        m.advance_epoch();
+        m.advance_epoch();
+        assert_eq!(m.lookup(5), 5);
+    }
+
+    #[test]
+    fn byteshift_on_non_multiple_universe() {
+        let mut m = StrategyMapper::new(Strategy::ByteShift, 20, 0);
+        for _ in 0..7 {
+            m.advance_epoch();
+            assert!(is_permutation(m.as_slice()));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn zero_universe_rejected() {
+        let _ = StrategyMapper::new(Strategy::Static, 0, 0);
+    }
+}

@@ -1,0 +1,119 @@
+//! Re-mapping (re-compilation) schedules.
+//!
+//! Software re-mapping requires re-compiling the program (§3.2), which
+//! cannot happen arbitrarily often; §5 sweeps the period over
+//! {10 000, 1 000, 500, 100, 50, 10} iterations and finds lifetime saturates
+//! around every 50 iterations.
+
+use std::fmt;
+
+/// How often software re-mapping occurs, in completed iterations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RemapSchedule {
+    period: Option<u64>,
+}
+
+impl RemapSchedule {
+    /// The paper's §5 sweep of re-compilation periods.
+    pub const PAPER_SWEEP: [u64; 6] = [10_000, 1_000, 500, 100, 50, 10];
+
+    /// Re-map after every `period` iterations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period == 0`.
+    #[must_use]
+    pub fn every(period: u64) -> Self {
+        assert!(period > 0, "re-map period must be positive");
+        RemapSchedule { period: Some(period) }
+    }
+
+    /// Never re-map (the schedule of `St × St`, or of a program that is
+    /// never re-compiled).
+    #[must_use]
+    pub fn never() -> Self {
+        RemapSchedule { period: None }
+    }
+
+    /// The period, if any.
+    #[must_use]
+    pub fn period(&self) -> Option<u64> {
+        self.period
+    }
+
+    /// Whether a re-map event fires after 0-based iteration `iteration`
+    /// completes.
+    #[must_use]
+    pub fn remaps_after(&self, iteration: u64) -> bool {
+        match self.period {
+            Some(p) => (iteration + 1) % p == 0,
+            None => false,
+        }
+    }
+
+    /// Number of re-map events over `iterations` completed iterations.
+    #[must_use]
+    pub fn events_in(&self, iterations: u64) -> u64 {
+        match self.period {
+            Some(p) => iterations / p,
+            None => 0,
+        }
+    }
+}
+
+impl Default for RemapSchedule {
+    /// The paper's Figs. 14–16 setting: re-compilation every 100 iterations.
+    fn default() -> Self {
+        RemapSchedule::every(100)
+    }
+}
+
+impl fmt::Display for RemapSchedule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.period {
+            Some(p) => write!(f, "every {p} iterations"),
+            None => f.write_str("never"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn boundaries_fire_exactly_on_period() {
+        let s = RemapSchedule::every(3);
+        let fired: Vec<bool> = (0..9).map(|i| s.remaps_after(i)).collect();
+        assert_eq!(fired, vec![false, false, true, false, false, true, false, false, true]);
+        assert_eq!(s.events_in(9), 3);
+        assert_eq!(s.events_in(8), 2);
+    }
+
+    #[test]
+    fn never_never_fires() {
+        let s = RemapSchedule::never();
+        assert!((0..1000).all(|i| !s.remaps_after(i)));
+        assert_eq!(s.events_in(1000), 0);
+        assert_eq!(s.period(), None);
+    }
+
+    #[test]
+    fn default_is_every_100() {
+        assert_eq!(RemapSchedule::default(), RemapSchedule::every(100));
+        assert_eq!(RemapSchedule::default().to_string(), "every 100 iterations");
+    }
+
+    #[test]
+    fn paper_sweep_is_descending() {
+        let s = RemapSchedule::PAPER_SWEEP;
+        assert!(s.windows(2).all(|w| w[0] > w[1]));
+        assert_eq!(s[4], 50, "saturation point highlighted in §5");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_period_rejected() {
+        let _ = RemapSchedule::every(0);
+    }
+}

@@ -1,0 +1,234 @@
+//! Start-Gap wear leveling — the classic *standard-memory* NVM strategy
+//! (Qureshi et al., MICRO 2009) that §3.2 and Fig. 6 argue cannot be
+//! applied to PIM.
+//!
+//! Start-Gap keeps one spare ("gap") line and two registers. Every ψ writes
+//! the gap moves down by one line (the displaced line's contents shift into
+//! the old gap), and once the gap has traversed the whole memory the start
+//! register advances, so every logical line slowly rotates through every
+//! physical line. It is beautifully cheap for ordinary memory — and exactly
+//! the kind of *independent word movement* that corrupts PIM computations,
+//! because two operands that must stay physically aligned across lanes get
+//! relocated at different times. The integration tests use this
+//! implementation to demonstrate that failure mode concretely.
+
+/// The Start-Gap address translator over `n` logical lines backed by
+/// `n + 1` physical lines.
+///
+/// # Examples
+///
+/// ```
+/// use nvpim_balance::start_gap::StartGap;
+///
+/// let mut sg = StartGap::new(4, 2); // 4 logical lines, rotate every 2 writes
+/// assert_eq!(sg.translate(0), 0);
+/// for _ in 0..2 {
+///     sg.record_write(0);
+/// }
+/// // The gap moved: line 3 now lives where the gap was.
+/// assert_eq!(sg.translate(3), 4);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StartGap {
+    n: usize,
+    start: usize,
+    gap: usize,
+    psi: u64,
+    writes_since_move: u64,
+    total_moves: u64,
+}
+
+impl StartGap {
+    /// Creates a translator for `n` logical lines that moves the gap every
+    /// `psi` writes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `psi == 0`.
+    #[must_use]
+    pub fn new(n: usize, psi: u64) -> Self {
+        assert!(n > 0, "start-gap needs at least one line");
+        assert!(psi > 0, "gap movement period must be positive");
+        StartGap { n, start: 0, gap: n, psi, writes_since_move: 0, total_moves: 0 }
+    }
+
+    /// Number of logical lines.
+    #[must_use]
+    pub fn logical_lines(&self) -> usize {
+        self.n
+    }
+
+    /// Number of physical lines (`n + 1`, including the gap).
+    #[must_use]
+    pub fn physical_lines(&self) -> usize {
+        self.n + 1
+    }
+
+    /// Current gap position.
+    #[must_use]
+    pub fn gap(&self) -> usize {
+        self.gap
+    }
+
+    /// Current start register.
+    #[must_use]
+    pub fn start(&self) -> usize {
+        self.start
+    }
+
+    /// Total gap movements so far.
+    #[must_use]
+    pub fn total_moves(&self) -> u64 {
+        self.total_moves
+    }
+
+    /// Physical line currently holding logical line `logical`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `logical >= n`.
+    #[must_use]
+    pub fn translate(&self, logical: usize) -> usize {
+        assert!(logical < self.n, "logical line {logical} out of range");
+        let pa = (logical + self.start) % self.n;
+        if pa >= self.gap {
+            pa + 1
+        } else {
+            pa
+        }
+    }
+
+    /// Records one write to a logical line; after every ψ writes the gap
+    /// moves. Returns `true` if a gap movement (one line copy) occurred —
+    /// the caller is responsible for physically moving the displaced line's
+    /// data (which is precisely what PIM cannot afford to do per-word).
+    pub fn record_write(&mut self, _logical: usize) -> bool {
+        self.writes_since_move += 1;
+        if self.writes_since_move < self.psi {
+            return false;
+        }
+        self.writes_since_move = 0;
+        self.total_moves += 1;
+        if self.gap == 0 {
+            self.gap = self.n;
+            self.start = (self.start + 1) % self.n;
+        } else {
+            self.gap -= 1;
+        }
+        true
+    }
+
+    /// The extra physical write caused by each gap movement (the displaced
+    /// line copy), amortized per program write: `1 / ψ`.
+    #[must_use]
+    pub fn write_overhead(&self) -> f64 {
+        1.0 / self.psi as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_bijective(sg: &StartGap) {
+        let mut seen = vec![false; sg.physical_lines()];
+        for l in 0..sg.logical_lines() {
+            let p = sg.translate(l);
+            assert!(!seen[p], "collision at physical {p}");
+            seen[p] = true;
+        }
+        // Exactly one physical line (the gap) is unused.
+        assert_eq!(seen.iter().filter(|&&s| !s).count(), 1);
+        assert!(!seen[sg.gap()], "gap must be the unused line");
+    }
+
+    #[test]
+    fn initial_mapping_is_identity() {
+        let sg = StartGap::new(8, 4);
+        for l in 0..8 {
+            assert_eq!(sg.translate(l), l);
+        }
+        assert_bijective(&sg);
+    }
+
+    #[test]
+    fn gap_walks_and_start_advances() {
+        let mut sg = StartGap::new(4, 1);
+        // 4 movements bring the gap to 0; the 5th wraps it and bumps start.
+        for _ in 0..4 {
+            sg.record_write(0);
+            assert_bijective(&sg);
+        }
+        assert_eq!(sg.gap(), 0);
+        assert_eq!(sg.start(), 0);
+        sg.record_write(0);
+        assert_eq!(sg.gap(), 4);
+        assert_eq!(sg.start(), 1);
+        assert_bijective(&sg);
+    }
+
+    #[test]
+    fn rotation_visits_every_physical_line() {
+        // After n(n+1) movements every logical line has occupied every
+        // physical line at least once.
+        let n = 6;
+        let mut sg = StartGap::new(n, 1);
+        let mut visited = vec![vec![false; n + 1]; n];
+        for _ in 0..(n * (n + 1) * 2) {
+            for (l, row) in visited.iter_mut().enumerate() {
+                row[sg.translate(l)] = true;
+            }
+            sg.record_write(0);
+        }
+        for (l, row) in visited.iter().enumerate() {
+            assert!(row.iter().all(|&v| v), "logical {l} missed a physical line: {row:?}");
+        }
+    }
+
+    #[test]
+    fn levels_a_pathologically_skewed_write_stream() {
+        // 90% of writes hit line 0 — the workload Start-Gap was designed
+        // for. Physical wear must end up nearly uniform.
+        let n = 16;
+        let mut sg = StartGap::new(n, 8);
+        let mut wear = vec![0u64; n + 1];
+        for i in 0..200_000u64 {
+            let logical = if i % 10 == 0 { (i as usize / 10) % n } else { 0 };
+            wear[sg.translate(logical)] += 1;
+            sg.record_write(logical);
+        }
+        let max = *wear.iter().max().unwrap() as f64;
+        let mean = wear.iter().sum::<u64>() as f64 / wear.len() as f64;
+        assert!(
+            max / mean < 1.35,
+            "start-gap must level a 90%-skewed stream: max/mean {}",
+            max / mean
+        );
+    }
+
+    #[test]
+    fn without_leveling_the_same_stream_is_catastrophic() {
+        // Reference point for the test above.
+        let n = 16;
+        let mut wear = vec![0u64; n];
+        for i in 0..200_000u64 {
+            let logical = if i % 10 == 0 { (i as usize / 10) % n } else { 0 };
+            wear[logical] += 1;
+        }
+        let max = *wear.iter().max().unwrap() as f64;
+        let mean = wear.iter().sum::<u64>() as f64 / wear.len() as f64;
+        assert!(max / mean > 10.0);
+    }
+
+    #[test]
+    fn overhead_is_one_over_psi() {
+        assert!((StartGap::new(8, 100).write_overhead() - 0.01).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_translate_panics() {
+        let sg = StartGap::new(4, 1);
+        let _ = sg.translate(4);
+    }
+}

@@ -1,0 +1,114 @@
+//! Property-based tests for the re-mapping machinery.
+
+use nvpim_array::AddressMap;
+use nvpim_balance::{BalanceConfig, CombinedMap, HwRemapper, StartGap, Strategy as Balance, StrategyMapper};
+use proptest::prelude::*;
+
+fn arb_strategy() -> impl Strategy<Value = Balance> {
+    prop_oneof![Just(Balance::Static), Just(Balance::Random), Just(Balance::ByteShift)]
+}
+
+fn is_permutation(map: &[usize], universe: usize) -> bool {
+    let mut seen = vec![false; universe];
+    map.iter().all(|&p| {
+        if p >= universe || seen[p] {
+            false
+        } else {
+            seen[p] = true;
+            true
+        }
+    })
+}
+
+proptest! {
+    #[test]
+    fn mapper_is_always_a_permutation(strategy in arb_strategy(), n in 1usize..200, seed: u64, epochs in 0usize..12) {
+        let mut m = StrategyMapper::new(strategy, n, seed);
+        for _ in 0..epochs {
+            m.advance_epoch();
+        }
+        prop_assert!(is_permutation(m.as_slice(), n));
+        prop_assert_eq!(m.epoch(), epochs as u64);
+    }
+
+    #[test]
+    fn byteshift_is_a_rotation(n in 9usize..256, epochs in 1usize..20) {
+        let mut m = StrategyMapper::new(Balance::ByteShift, n, 0);
+        for _ in 0..epochs {
+            m.advance_epoch();
+        }
+        // Every logical address moves by the same offset modulo n.
+        let offset = m.lookup(0);
+        for l in 0..n {
+            prop_assert_eq!(m.lookup(l), (l + offset) % n);
+        }
+        prop_assert_eq!(offset % 8, 0, "shifts are whole bytes");
+    }
+
+    #[test]
+    fn hw_remapper_bijective_under_any_write_sequence(rows in 2usize..64, writes in prop::collection::vec(0usize..63, 0..300)) {
+        let mut hw = HwRemapper::new(rows);
+        for &w in &writes {
+            hw.redirect(w % (rows - 1));
+        }
+        prop_assert!(hw.is_consistent());
+        // The free row is never a mapped row.
+        for l in 0..rows - 1 {
+            prop_assert_ne!(hw.lookup(l), hw.free_row());
+        }
+    }
+
+    #[test]
+    fn config_display_parse_roundtrip(row in arb_strategy(), col in arb_strategy(), hw: bool) {
+        let config = BalanceConfig::new(row, col, hw);
+        let parsed: BalanceConfig = config.to_string().parse().unwrap();
+        prop_assert_eq!(parsed, config);
+    }
+
+    #[test]
+    fn combined_map_roundtrip_lookup(row in arb_strategy(), col in arb_strategy(), hw: bool, seed: u64, rows in 4usize..64, lanes in 1usize..32) {
+        let config = BalanceConfig::new(row, col, hw);
+        let mut map = CombinedMap::new(config, rows, lanes, seed);
+        map.advance_epoch();
+        // lookup_row is stable between mutations; gate_output_row on a
+        // non-all-lane gate must agree with it.
+        for l in 0..map.logical_rows() {
+            let a = map.lookup_row(l);
+            let b = map.gate_output_row(l, false);
+            prop_assert_eq!(a, b);
+            prop_assert_eq!(map.lookup_row(l), b, "partial gates must not mutate");
+        }
+        for l in 0..lanes {
+            prop_assert!(map.lookup_lane(l) < lanes);
+        }
+    }
+
+    #[test]
+    fn start_gap_bijective_forever(n in 1usize..64, psi in 1u64..8, writes in 0usize..600) {
+        let mut sg = StartGap::new(n, psi);
+        for i in 0..writes {
+            sg.record_write(i % n);
+        }
+        let mut seen = vec![false; n + 1];
+        for l in 0..n {
+            let p = sg.translate(l);
+            prop_assert!(p < n + 1);
+            prop_assert!(!seen[p]);
+            seen[p] = true;
+        }
+        prop_assert!(!seen[sg.gap()]);
+    }
+
+    #[test]
+    fn start_gap_gap_moves_every_psi_writes(psi in 1u64..20, writes in 1u64..500) {
+        let mut sg = StartGap::new(16, psi);
+        let mut moves = 0u64;
+        for _ in 0..writes {
+            if sg.record_write(0) {
+                moves += 1;
+            }
+        }
+        prop_assert_eq!(moves, writes / psi);
+        prop_assert_eq!(sg.total_moves(), moves);
+    }
+}

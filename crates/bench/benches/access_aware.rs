@@ -1,0 +1,37 @@
+//! Table 2 benchmarks: the access-aware shuffling overhead formulas and the
+//! cost of actually synthesizing a shuffled multiplier.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nvpim_balance::access_aware;
+use nvpim_logic::CircuitBuilder;
+use std::hint::black_box;
+
+fn bench_table2(c: &mut Criterion) {
+    c.bench_function("table2_overhead_formulas", |b| {
+        b.iter(|| {
+            let rows = access_aware::table2();
+            black_box(rows.iter().map(|r| r.mul_percent + r.add_percent).sum::<f64>())
+        });
+    });
+}
+
+fn bench_shuffled_synthesis(c: &mut Criterion) {
+    let mut group = c.benchmark_group("shuffled_multiply_synthesis");
+    group.sample_size(20);
+    for width in [8usize, 16, 32] {
+        group.bench_with_input(BenchmarkId::from_parameter(width), &width, |b, &w| {
+            b.iter(|| {
+                let mut builder = CircuitBuilder::new();
+                let xs = builder.inputs(w);
+                let ys = builder.inputs(w);
+                let out = access_aware::shuffled_multiply(&mut builder, &xs, &ys);
+                builder.mark_outputs(&out);
+                black_box(builder.build()).gates().len()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table2, bench_shuffled_synthesis);
+criterion_main!(benches);

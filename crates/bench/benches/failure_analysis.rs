@@ -1,0 +1,46 @@
+//! Fig. 11 / §3.3 benchmarks: the analytic usable-fraction curve, the
+//! Monte-Carlo estimator, and the lane-set trade-off.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nvpim_array::ArrayDims;
+use nvpim_core::failure;
+use std::hint::black_box;
+
+fn bench_analytic(c: &mut Criterion) {
+    c.bench_function("fig11_analytic_curve", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for permille in 0..50 {
+                let f = f64::from(permille) / 1000.0;
+                for lanes in [256usize, 512, 1024] {
+                    acc += failure::usable_fraction(f, lanes);
+                }
+            }
+            black_box(acc)
+        });
+    });
+}
+
+fn bench_monte_carlo(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig11_monte_carlo");
+    group.sample_size(10);
+    for size in [64usize, 128] {
+        group.bench_with_input(BenchmarkId::from_parameter(size), &size, |b, &n| {
+            let dims = ArrayDims::new(n, n);
+            let failed = dims.cells() / 500;
+            b.iter(|| black_box(failure::usable_fraction_monte_carlo(dims, failed, 20, 3)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_lane_sets(c: &mut Criterion) {
+    c.bench_function("laneset_tradeoffs", |b| {
+        b.iter(|| {
+            black_box(failure::lane_set_tradeoffs(1024, 0.002, &[1, 2, 4, 8, 16, 32]))
+        });
+    });
+}
+
+criterion_group!(benches, bench_analytic, bench_monte_carlo, bench_lane_sets);
+criterion_main!(benches);

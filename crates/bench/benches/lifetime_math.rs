@@ -1,0 +1,35 @@
+//! Benchmarks for the closed-form §3.1 bounds (Eqs. 1–2) and the Eq. 4
+//! lifetime pipeline (simulate → wear map → lifetime).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nvpim_bench::Scale;
+use nvpim_core::{limits, EnduranceSimulator, LifetimeModel};
+use std::hint::black_box;
+
+fn bench_closed_forms(c: &mut Criterion) {
+    c.bench_function("eq1_eq2_technology_bounds", |b| {
+        b.iter(|| {
+            let bounds = limits::technology_bounds();
+            black_box(bounds.iter().map(|t| t.seconds_to_failure).sum::<f64>())
+        });
+    });
+}
+
+fn bench_eq4_pipeline(c: &mut Criterion) {
+    let scale = Scale::tiny();
+    let workload = scale.mul_workload();
+    let sim = EnduranceSimulator::new(scale.sim_config());
+    let model = LifetimeModel::mtj();
+    let mut group = c.benchmark_group("eq4_lifetime");
+    group.sample_size(10);
+    group.bench_function("simulate_and_estimate", |b| {
+        b.iter(|| {
+            let result = sim.run(&workload, "RaxSt".parse().unwrap());
+            black_box(model.lifetime(&result).iterations)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_closed_forms, bench_eq4_pipeline);
+criterion_main!(benches);

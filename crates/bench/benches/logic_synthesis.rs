@@ -1,0 +1,91 @@
+//! Gate-synthesis benchmarks backing the §3.1 operation counts: how fast
+//! the library decomposes arithmetic into in-memory gate sequences, and the
+//! evaluation throughput used by the functional correctness checks.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nvpim_logic::{circuits, words, CircuitBuilder};
+use std::hint::black_box;
+
+fn build_multiplier(width: usize) -> nvpim_logic::Circuit {
+    let mut b = CircuitBuilder::new();
+    let xs = b.inputs(width);
+    let ys = b.inputs(width);
+    let p = circuits::multiply(&mut b, &xs, &ys);
+    b.mark_outputs(&p);
+    b.build()
+}
+
+fn bench_synthesis(c: &mut Criterion) {
+    let mut group = c.benchmark_group("synthesize_multiplier");
+    group.sample_size(20);
+    for width in [8usize, 16, 32, 64] {
+        group.bench_with_input(BenchmarkId::from_parameter(width), &width, |b, &w| {
+            b.iter(|| black_box(build_multiplier(w)).gates().len());
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("synthesize_adder");
+    group.sample_size(20);
+    for width in [32usize, 64] {
+        group.bench_with_input(BenchmarkId::from_parameter(width), &width, |b, &w| {
+            b.iter(|| {
+                let mut builder = CircuitBuilder::new();
+                let xs = builder.inputs(w);
+                let ys = builder.inputs(w);
+                let s = circuits::ripple_carry_add(&mut builder, &xs, &ys);
+                builder.mark_outputs(&s);
+                black_box(builder.build()).gates().len()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_eval(c: &mut Criterion) {
+    let circuit = build_multiplier(32);
+    let a = words::to_bits(0xdead_beef, 32);
+    let b32 = words::to_bits(0x1234_5678, 32);
+    c.bench_function("eval_multiplier_32", |b| {
+        b.iter(|| circuit.eval(black_box(&[a.clone(), b32.clone()])).unwrap());
+    });
+}
+
+fn bench_extended_library(c: &mut Criterion) {
+    let mut group = c.benchmark_group("synthesize_extended");
+    group.sample_size(20);
+    group.bench_function("divider_16", |b| {
+        b.iter(|| {
+            let mut builder = CircuitBuilder::new();
+            let xs = builder.inputs(16);
+            let ys = builder.inputs(16);
+            let (q, r) = circuits::divide(&mut builder, &xs, &ys);
+            builder.mark_outputs(&q);
+            builder.mark_outputs(&r);
+            black_box(builder.build()).gates().len()
+        });
+    });
+    group.bench_function("popcount_128", |b| {
+        b.iter(|| {
+            let mut builder = CircuitBuilder::new();
+            let bits = builder.inputs(128);
+            let count = circuits::popcount(&mut builder, &bits);
+            builder.mark_outputs(&count);
+            black_box(builder.build()).gates().len()
+        });
+    });
+    group.bench_function("barrel_shift_32", |b| {
+        b.iter(|| {
+            let mut builder = CircuitBuilder::new();
+            let xs = builder.inputs(32);
+            let amount = builder.inputs(5);
+            let out = circuits::barrel_shift_left(&mut builder, &xs, &amount);
+            builder.mark_outputs(&out);
+            black_box(builder.build()).gates().len()
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_synthesis, bench_eval, bench_extended_library);
+criterion_main!(benches);

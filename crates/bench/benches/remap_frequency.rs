@@ -1,0 +1,48 @@
+//! §5 re-compilation frequency benchmarks: simulation cost as a function of
+//! the re-mapping period (finer periods mean more epochs to scatter).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nvpim_balance::RemapSchedule;
+use nvpim_bench::Scale;
+use nvpim_core::{EnduranceSimulator, LifetimeModel, SimConfig};
+use std::hint::black_box;
+
+fn bench_periods(c: &mut Criterion) {
+    let scale = Scale::tiny();
+    let workload = scale.mul_workload();
+    let mut group = c.benchmark_group("remap_period");
+    group.sample_size(10);
+    for period in [1000u64, 100, 10] {
+        group.bench_with_input(BenchmarkId::from_parameter(period), &period, |b, &p| {
+            let cfg = SimConfig::paper()
+                .with_iterations(scale.iterations)
+                .with_schedule(RemapSchedule::every(p));
+            let sim = EnduranceSimulator::new(cfg);
+            b.iter(|| black_box(sim.run(&workload, "RaxRa".parse().unwrap()).wear.max_writes()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_whole_sweep(c: &mut Criterion) {
+    let scale = Scale::tiny();
+    let workload = scale.mul_workload();
+    let mut group = c.benchmark_group("section5_sweep");
+    group.sample_size(10);
+    group.bench_function("four_periods", |b| {
+        b.iter(|| {
+            let points = nvpim_core::sweep::remap_frequency_sweep(
+                &workload,
+                "RaxSt".parse().unwrap(),
+                SimConfig::paper().with_iterations(scale.iterations),
+                LifetimeModel::mtj(),
+                &[500, 100, 50, 10],
+            );
+            black_box(points.len())
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_periods, bench_whole_sweep);
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! Design-choice ablations called out in DESIGN.md:
+//! epoch-factorized vs naive accumulation, sense-amp vs preset-output
+//! semantics, and workspace allocation policies.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nvpim_array::{ArchStyle, ArrayDims};
+use nvpim_bench::Scale;
+use nvpim_core::{sim, EnduranceSimulator, SimConfig};
+use nvpim_workloads::parallel_mul::ParallelMul;
+use nvpim_workloads::AllocPolicy;
+use std::hint::black_box;
+
+fn bench_fast_vs_naive(c: &mut Criterion) {
+    let workload = ParallelMul::new(ArrayDims::new(128, 16), 8).build();
+    let cfg = SimConfig::paper().with_iterations(100);
+    let mut group = c.benchmark_group("accumulation");
+    group.sample_size(10);
+    group.bench_function("epoch_factorized", |b| {
+        let sim = EnduranceSimulator::new(cfg);
+        b.iter(|| black_box(sim.run(&workload, "RaxRa".parse().unwrap()).wear.max_writes()));
+    });
+    group.bench_function("naive_cell_by_cell", |b| {
+        b.iter(|| {
+            black_box(sim::simulate_naive(&workload, "RaxRa".parse().unwrap(), cfg).max_writes())
+        });
+    });
+    group.finish();
+}
+
+fn bench_arch_styles(c: &mut Criterion) {
+    let scale = Scale::tiny();
+    let workload = scale.mul_workload();
+    let mut group = c.benchmark_group("arch_style");
+    group.sample_size(10);
+    for (name, arch) in [("sense_amp", ArchStyle::SenseAmp), ("preset_output", ArchStyle::PresetOutput)]
+    {
+        group.bench_function(name, |b| {
+            let sim = EnduranceSimulator::new(scale.sim_config().with_arch(arch));
+            b.iter(|| black_box(sim.run(&workload, "StxSt+Hw".parse().unwrap()).wear.max_writes()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_alloc_policies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("alloc_policy_layout");
+    group.sample_size(20);
+    for (name, policy) in [
+        ("windowed", AllocPolicy::Windowed),
+        ("full_lane", AllocPolicy::FullLane),
+        ("lowest_first", AllocPolicy::LowestFirst),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let wl = ParallelMul::new(ArrayDims::new(1024, 8), 32)
+                    .with_alloc_policy(policy)
+                    .build();
+                black_box(wl.trace().rows_used())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fast_vs_naive, bench_arch_styles, bench_alloc_policies);
+criterion_main!(benches);

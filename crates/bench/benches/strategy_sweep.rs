@@ -1,0 +1,45 @@
+//! Figs. 14–17 / Table 3 engine benchmarks: one endurance simulation per
+//! balancing configuration for each of the three paper workloads.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nvpim_bench::Scale;
+use nvpim_core::EnduranceSimulator;
+use std::hint::black_box;
+
+fn bench_per_workload(c: &mut Criterion) {
+    let scale = Scale::tiny();
+    let sim = EnduranceSimulator::new(scale.sim_config());
+    let mut group = c.benchmark_group("simulate_one_config");
+    group.sample_size(10);
+    for (name, workload) in [
+        ("mul", scale.mul_workload()),
+        ("conv", scale.conv_workload()),
+        ("dot", scale.dot_workload()),
+    ] {
+        for config in ["StxSt", "RaxRa", "RaxRa+Hw"] {
+            let id = format!("{name}/{config}");
+            group.bench_with_input(BenchmarkId::from_parameter(id), &workload, |b, wl| {
+                b.iter(|| black_box(sim.run(wl, config.parse().unwrap()).wear.max_writes()));
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_full_matrix(c: &mut Criterion) {
+    let scale = Scale::tiny().with_iterations(50);
+    let sim = EnduranceSimulator::new(scale.sim_config());
+    let workload = scale.conv_workload();
+    let mut group = c.benchmark_group("fig17_all_18_configs");
+    group.sample_size(10);
+    group.bench_function("conv", |b| {
+        b.iter(|| {
+            let results = sim.run_all_configs(&workload);
+            black_box(results.iter().map(|r| r.wear.max_writes()).max())
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_per_workload, bench_full_matrix);
+criterion_main!(benches);

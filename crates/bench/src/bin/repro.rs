@@ -1,0 +1,154 @@
+//! `repro` — regenerate every table and figure of the paper.
+//!
+//! ```text
+//! Usage: repro <command> [--full] [--iters N]
+//!
+//! Commands:
+//!   amplification   §3.1 PIM vs CPU write amplification
+//!   limits          §3.1 Eq. 1 / Eq. 2 + per-technology bounds
+//!   fig5            per-cell access profile of one 32-bit multiply
+//!   table2          access-aware shuffling overheads
+//!   fig11           usable bits vs failed cells
+//!   fig14           multiplication write-distribution heatmaps
+//!   fig15           convolution write-distribution heatmaps
+//!   fig16           dot-product write-distribution heatmaps
+//!   fig17           lifetime improvement per balancing configuration
+//!   table3          lane utilization + best lifetime improvement
+//!   sweep           §5 re-compilation frequency sweep
+//!   lanesets        §3.3 lane-set partitioning trade-off
+//!   energy          extension: per-iteration energy per technology
+//!   fig8            extension: re-mapped variable access costs
+//!   degradation     extension: usable rows over time as cells die
+//!   variation       extension: lifetime under per-cell endurance spread
+//!   bnn             extension: binarized XNOR-popcount layer
+//!   system          extension: accelerator-of-arrays lifetime
+//!   all             everything above
+//!
+//! Options:
+//!   --full          run at the paper's full scale (100 000 iterations)
+//!   --iters N       override the iteration count
+//! ```
+
+use std::path::PathBuf;
+
+use nvpim_bench::{experiments, Scale};
+
+/// Prints a report and, when `--out DIR` was given, also writes it to
+/// `DIR/<name>.txt`.
+fn emit(out_dir: &Option<PathBuf>, name: &str, content: &str) {
+    print!("{content}");
+    if let Some(dir) = out_dir {
+        let path = dir.join(format!("{name}.txt"));
+        if let Err(e) = std::fs::write(&path, content) {
+            eprintln!("warning: could not write {}: {e}", path.display());
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let command = args.first().map(String::as_str).unwrap_or("help");
+
+    let mut scale = Scale::default_scale();
+    if args.iter().any(|a| a == "--full") {
+        scale = Scale::paper();
+    }
+    if let Some(pos) = args.iter().position(|a| a == "--iters") {
+        let n = args
+            .get(pos + 1)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or_else(|| die("--iters needs a positive integer"));
+        scale = scale.with_iterations(n);
+    }
+    let out_dir: Option<PathBuf> = args
+        .iter()
+        .position(|a| a == "--out")
+        .map(|pos| {
+            let dir = PathBuf::from(
+                args.get(pos + 1).map(String::as_str).unwrap_or_else(|| die("--out needs a directory")),
+            );
+            if let Err(e) = std::fs::create_dir_all(&dir) {
+                die(&format!("cannot create {}: {e}", dir.display()));
+            }
+            dir
+        });
+
+    match command {
+        "amplification" => emit(&out_dir, "amplification", &experiments::amplification_report()),
+        "limits" => emit(&out_dir, "limits", &experiments::limits_report()),
+        "fig5" => emit(&out_dir, "fig5", &experiments::fig5_report()),
+        "table2" => emit(&out_dir, "table2", &experiments::table2_report()),
+        "fig11" => emit(&out_dir, "fig11", &experiments::fig11_report()),
+        "fig14" => emit(&out_dir, "fig14", &experiments::heatmap_report("mul", scale)),
+        "fig15" => emit(&out_dir, "fig15", &experiments::heatmap_report("conv", scale)),
+        "fig16" => emit(&out_dir, "fig16", &experiments::heatmap_report("dot", scale)),
+        "fig17" => emit(&out_dir, "fig17", &experiments::fig17_report(scale)),
+        "table3" => emit(&out_dir, "table3", &experiments::table3_report(scale)),
+        "sweep" => emit(&out_dir, "sweep", &experiments::sweep_report(scale)),
+        "lanesets" => emit(&out_dir, "lanesets", &experiments::lanesets_report()),
+        "energy" => emit(&out_dir, "energy", &experiments::energy_report(scale)),
+        "fig8" => emit(&out_dir, "fig8", &experiments::fig8_report()),
+        "degradation" => emit(&out_dir, "degradation", &experiments::degradation_report(scale)),
+        "variation" => emit(&out_dir, "variation", &experiments::variation_report(scale)),
+        "bnn" => emit(&out_dir, "bnn", &experiments::bnn_report(scale)),
+        "system" => emit(&out_dir, "system", &experiments::system_report(scale)),
+        "all" => {
+            emit(&out_dir, "amplification", &experiments::amplification_report());
+            println!();
+            emit(&out_dir, "limits", &experiments::limits_report());
+            println!();
+            emit(&out_dir, "table2", &experiments::table2_report());
+            println!();
+            emit(&out_dir, "fig11", &experiments::fig11_report());
+            println!();
+            emit(&out_dir, "lanesets", &experiments::lanesets_report());
+            println!();
+            emit(&out_dir, "fig5", &experiments::fig5_report());
+            println!();
+            for (name, which) in [("fig14", "mul"), ("fig15", "conv"), ("fig16", "dot")] {
+                emit(&out_dir, name, &experiments::heatmap_report(which, scale));
+                println!();
+            }
+            emit(&out_dir, "fig17", &experiments::fig17_report(scale));
+            println!();
+            emit(&out_dir, "table3", &experiments::table3_report(scale));
+            println!();
+            emit(&out_dir, "sweep", &experiments::sweep_report(scale));
+            println!();
+            emit(&out_dir, "energy", &experiments::energy_report(scale));
+            println!();
+            emit(&out_dir, "fig8", &experiments::fig8_report());
+            println!();
+            emit(&out_dir, "degradation", &experiments::degradation_report(scale));
+            println!();
+            emit(&out_dir, "variation", &experiments::variation_report(scale));
+            println!();
+            emit(&out_dir, "bnn", &experiments::bnn_report(scale));
+            println!();
+            emit(&out_dir, "system", &experiments::system_report(scale));
+        }
+        "help" | "--help" | "-h" => println!("{USAGE}"),
+        other => {
+            eprintln!("unknown command `{other}`\n{USAGE}");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("{msg}");
+    std::process::exit(2);
+}
+
+const USAGE: &str = "\
+Usage: repro <command> [--full] [--iters N]
+
+Commands:
+  amplification  limits  fig5  table2  fig11  fig14  fig15  fig16
+  fig17  table3  sweep  lanesets  energy  fig8  degradation  variation
+  bnn  system  all
+
+Options:
+  --full     paper scale (100 000 iterations)
+  --iters N  override iteration count (default 2 000)
+  --out DIR  also write each report to DIR/<command>.txt";

@@ -1,0 +1,14 @@
+//! Experiment drivers for the paper reproduction.
+//!
+//! Every table and figure of the paper's evaluation has a driver here that
+//! computes its data and renders it next to the paper's reference values.
+//! The `repro` binary exposes one sub-command per experiment; the Criterion
+//! benches exercise the same drivers at reduced scale.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod scale;
+
+pub use scale::Scale;

@@ -1,0 +1,118 @@
+//! Experiment scale presets.
+
+use nvpim_array::ArrayDims;
+use nvpim_balance::RemapSchedule;
+use nvpim_core::SimConfig;
+use nvpim_workloads::convolution::Convolution;
+use nvpim_workloads::dot_product::DotProduct;
+use nvpim_workloads::parallel_mul::ParallelMul;
+use nvpim_workloads::Workload;
+
+/// How big to run the simulated experiments.
+///
+/// The paper's evaluation uses a 1024 × 1024 array and 100 000 iterations.
+/// Because write *distributions* converge long before 100 000 iterations,
+/// the default preset keeps the paper's array size but replays fewer
+/// iterations; `paper()` restores the full setting.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Scale {
+    /// Array dimensions.
+    pub dims: ArrayDims,
+    /// Iterations to replay.
+    pub iterations: u64,
+    /// Dot-product vector length (= lanes at paper scale).
+    pub elements: usize,
+}
+
+impl Scale {
+    /// The paper's full evaluation scale: 1024 × 1024, 100 000 iterations.
+    #[must_use]
+    pub fn paper() -> Self {
+        Scale { dims: ArrayDims::paper(), iterations: 100_000, elements: 1024 }
+    }
+
+    /// Paper-sized array, 2 000 iterations — the default for the `repro`
+    /// harness (minutes, not hours; identical distribution shape).
+    #[must_use]
+    pub fn default_scale() -> Self {
+        Scale { dims: ArrayDims::paper(), iterations: 2_000, elements: 1024 }
+    }
+
+    /// A tiny scale for Criterion benches and smoke tests.
+    #[must_use]
+    pub fn tiny() -> Self {
+        Scale { dims: ArrayDims::new(512, 64), iterations: 200, elements: 64 }
+    }
+
+    /// Overrides the iteration count.
+    #[must_use]
+    pub fn with_iterations(mut self, iterations: u64) -> Self {
+        self.iterations = iterations;
+        self
+    }
+
+    /// The simulator configuration for this scale (paper defaults
+    /// otherwise: preset-output gates, re-compilation every 100 iterations).
+    #[must_use]
+    pub fn sim_config(&self) -> SimConfig {
+        SimConfig::paper()
+            .with_iterations(self.iterations)
+            .with_schedule(RemapSchedule::every(100.min(self.iterations.max(1))))
+    }
+
+    /// The §4 parallel-multiplication benchmark at this scale.
+    #[must_use]
+    pub fn mul_workload(&self) -> Workload {
+        ParallelMul::new(self.dims, 32).build()
+    }
+
+    /// The §4 dot-product benchmark at this scale.
+    #[must_use]
+    pub fn dot_workload(&self) -> Workload {
+        DotProduct::new(self.dims, self.elements, 32).build()
+    }
+
+    /// The §4 convolution benchmark at this scale.
+    #[must_use]
+    pub fn conv_workload(&self) -> Workload {
+        Convolution::new(self.dims, 4, 3, 8).build()
+    }
+
+    /// All three benchmarks, in the paper's presentation order.
+    #[must_use]
+    pub fn all_workloads(&self) -> Vec<Workload> {
+        vec![self.mul_workload(), self.conv_workload(), self.dot_workload()]
+    }
+}
+
+impl Default for Scale {
+    fn default() -> Self {
+        Scale::default_scale()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets() {
+        assert_eq!(Scale::paper().iterations, 100_000);
+        assert_eq!(Scale::default_scale().dims, ArrayDims::paper());
+        assert!(Scale::tiny().iterations < 1_000);
+    }
+
+    #[test]
+    fn workloads_build_at_tiny_scale() {
+        let s = Scale::tiny();
+        for wl in s.all_workloads() {
+            assert!(wl.trace().rows_used() <= s.dims.rows());
+        }
+    }
+
+    #[test]
+    fn sim_config_clamps_schedule() {
+        let s = Scale::tiny().with_iterations(10);
+        assert_eq!(s.sim_config().schedule.period(), Some(10));
+    }
+}

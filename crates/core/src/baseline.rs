@@ -1,0 +1,124 @@
+//! Conventional-architecture baseline — the comparison behind §1's ">150×
+//! more writes" and §3.1's per-cell access arithmetic.
+//!
+//! On a traditional system with separate memory and ALU, a b-bit multiply
+//! reads two b-bit operands from memory, computes in the ALU, and writes the
+//! 2b-bit product back: `2b` cell reads and `2b` cell writes. The memory
+//! cells see *no* computation traffic at all.
+
+use nvpim_logic::counts;
+
+/// Memory traffic of one kernel execution on a conventional architecture.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemoryTraffic {
+    /// Cell reads.
+    pub reads: u64,
+    /// Cell writes.
+    pub writes: u64,
+}
+
+impl MemoryTraffic {
+    /// Total accesses.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.reads + self.writes
+    }
+}
+
+/// Conventional traffic of a b-bit multiply: read 2 operands, write the
+/// 2b-bit product.
+#[must_use]
+pub fn conventional_multiply(bits: u64) -> MemoryTraffic {
+    MemoryTraffic { reads: 2 * bits, writes: 2 * bits }
+}
+
+/// Conventional traffic of a b-bit addition: read 2 operands, write the
+/// (b+1)-bit sum (rounded to b+1 cells).
+#[must_use]
+pub fn conventional_add(bits: u64) -> MemoryTraffic {
+    MemoryTraffic { reads: 2 * bits, writes: bits + 1 }
+}
+
+/// Conventional traffic of an n-element, b-bit dot product: read both
+/// vectors, write one accumulator result (intermediates live in registers).
+#[must_use]
+pub fn conventional_dot_product(elements: u64, bits: u64) -> MemoryTraffic {
+    MemoryTraffic {
+        reads: 2 * elements * bits,
+        writes: 2 * bits + elements.next_power_of_two().trailing_zeros() as u64,
+    }
+}
+
+/// PIM traffic of one b-bit multiply (sense-amp semantics, §3.1 numbers).
+#[must_use]
+pub fn pim_multiply(bits: u64) -> MemoryTraffic {
+    MemoryTraffic { reads: counts::mul_cell_reads(bits), writes: counts::mul_gate_writes(bits) }
+}
+
+/// Write amplification of PIM over a conventional architecture for a b-bit
+/// multiply (§1: >150× at 32 bits).
+#[must_use]
+pub fn write_amplification(bits: u64) -> f64 {
+    pim_multiply(bits).writes as f64 / conventional_multiply(bits).writes as f64
+}
+
+/// §3.1's per-cell averages when `cells` cells host the computation:
+/// `(reads/cell, writes/cell)`.
+#[must_use]
+pub fn per_cell_averages(traffic: MemoryTraffic, cells: u64) -> (f64, f64) {
+    (traffic.reads as f64 / cells as f64, traffic.writes as f64 / cells as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_32bit_numbers() {
+        // §3.1: conventional = 64 reads + 64 writes; PIM = 19 616 reads +
+        // 9 824 writes.
+        let conv = conventional_multiply(32);
+        assert_eq!((conv.reads, conv.writes), (64, 64));
+        let pim = pim_multiply(32);
+        assert_eq!((pim.reads, pim.writes), (19_616, 9_824));
+    }
+
+    #[test]
+    fn amplification_exceeds_150() {
+        let amp = write_amplification(32);
+        assert!(amp > 150.0 && amp < 160.0, "amplification {amp}");
+    }
+
+    #[test]
+    fn per_cell_averages_match_section_3_1() {
+        // 1024 cells: conventional 0.0625 reads and writes per cell;
+        // PIM 19.16 reads and 9.59 writes per cell.
+        let (r, w) = per_cell_averages(conventional_multiply(32), 1024);
+        assert!((r - 0.0625).abs() < 1e-12);
+        assert!((w - 0.0625).abs() < 1e-12);
+        let (r, w) = per_cell_averages(pim_multiply(32), 1024);
+        assert!((r - 19.16).abs() < 0.01);
+        assert!((w - 9.59).abs() < 0.01);
+    }
+
+    #[test]
+    fn dot_product_reads_dominate() {
+        let t = conventional_dot_product(1024, 32);
+        assert_eq!(t.reads, 65_536);
+        assert!(t.writes < 100);
+        assert!(t.total() > 65_536);
+    }
+
+    #[test]
+    fn add_traffic() {
+        let t = conventional_add(32);
+        assert_eq!(t.reads, 64);
+        assert_eq!(t.writes, 33);
+    }
+
+    #[test]
+    fn amplification_grows_with_precision() {
+        assert!(write_amplification(64) > write_amplification(32));
+        assert!(write_amplification(32) > write_amplification(8));
+    }
+}

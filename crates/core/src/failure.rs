@@ -1,0 +1,297 @@
+//! Operating with failed cells — §3.3 and Fig. 11.
+//!
+//! Parallel PIM requires operands at the *same* address in every
+//! participating lane, so a single failed cell at `(row, lane)` makes `row`
+//! unusable in **all** lanes (Fig. 11a). With a fraction `f` of cells failed
+//! uniformly at random, a row survives only if none of its `lanes` cells
+//! failed — probability `(1 − f)^lanes` — which collapses rapidly
+//! (Fig. 11b). Partitioning lanes into `s` independent sets raises survival
+//! to `(1 − f)^(lanes/s)` per set at an `s×` latency cost.
+
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use nvpim_array::ArrayDims;
+
+/// Analytic Fig. 11b curve: expected fraction of usable bits per lane when a
+/// fraction `failed_fraction` of the array's cells have failed, for a lane
+/// width of `lanes` cells per row.
+///
+/// # Panics
+///
+/// Panics if `failed_fraction` is outside `[0, 1]`.
+#[must_use]
+pub fn usable_fraction(failed_fraction: f64, lanes: usize) -> f64 {
+    assert!((0.0..=1.0).contains(&failed_fraction), "fraction out of range");
+    (1.0 - failed_fraction).powi(lanes as i32)
+}
+
+/// Monte-Carlo Fig. 11b: places `failed_cells` failures uniformly at random
+/// in an array and reports the mean fraction of rows with no failure,
+/// averaged over `trials`.
+///
+/// # Panics
+///
+/// Panics if `failed_cells` exceeds the number of cells or `trials == 0`.
+#[must_use]
+pub fn usable_fraction_monte_carlo(
+    dims: ArrayDims,
+    failed_cells: usize,
+    trials: u32,
+    seed: u64,
+) -> f64 {
+    assert!(failed_cells <= dims.cells(), "more failures than cells");
+    assert!(trials > 0, "need at least one trial");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut cells: Vec<usize> = (0..dims.cells()).collect();
+    let mut total = 0.0;
+    for _ in 0..trials {
+        cells.shuffle(&mut rng);
+        let mut row_failed = vec![false; dims.rows()];
+        for &cell in &cells[..failed_cells] {
+            row_failed[cell / dims.lanes()] = true;
+        }
+        let usable = row_failed.iter().filter(|&&f| !f).count();
+        total += usable as f64 / dims.rows() as f64;
+    }
+    total / f64::from(trials)
+}
+
+/// The §3.3 workaround: lanes divided into `sets` groups that compute at
+/// different times, so a failed cell only disables its row within its own
+/// set.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LaneSetTradeoff {
+    /// Number of lane sets.
+    pub sets: usize,
+    /// Expected usable fraction of each lane's cells (per set).
+    pub usable_fraction: f64,
+    /// Relative throughput (sets run sequentially): `1 / sets`.
+    pub relative_throughput: f64,
+}
+
+/// Evaluates the lane-set trade-off for each set count.
+///
+/// # Panics
+///
+/// Panics if any set count is zero or does not divide `lanes`.
+#[must_use]
+pub fn lane_set_tradeoffs(
+    lanes: usize,
+    failed_fraction: f64,
+    set_counts: &[usize],
+) -> Vec<LaneSetTradeoff> {
+    set_counts
+        .iter()
+        .map(|&sets| {
+            assert!(sets > 0 && lanes % sets == 0, "sets must divide lanes");
+            LaneSetTradeoff {
+                sets,
+                usable_fraction: usable_fraction(failed_fraction, lanes / sets),
+                relative_throughput: 1.0 / sets as f64,
+            }
+        })
+        .collect()
+}
+
+/// Smallest failed-cell fraction at which fewer than `required_rows` of
+/// `rows` remain usable in expectation — i.e. when the workload (e.g. a
+/// multiplication needing its inputs, outputs, and workspace) stops
+/// fitting (§3.3: "even multiplication is not possible due to insufficient
+/// space").
+#[must_use]
+pub fn failure_budget(rows: usize, lanes: usize, required_rows: usize) -> f64 {
+    // Solve (1 - f)^lanes = required / rows for f.
+    let target = required_rows as f64 / rows as f64;
+    if target >= 1.0 {
+        return 0.0;
+    }
+    1.0 - target.powf(1.0 / lanes as f64)
+}
+
+/// One point of a degradation timeline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DegradationPoint {
+    /// Iterations completed when this row died.
+    pub iterations: f64,
+    /// Fraction of rows still usable in every lane afterwards.
+    pub usable_rows: f64,
+}
+
+/// Projects a measured write distribution forward in time: with every cell
+/// given `endurance` writes, cells fail at `endurance / rate`, and a row
+/// becomes unusable across *all* lanes the moment its first cell fails
+/// (§3.3). Returns the row-death events in time order.
+///
+/// `wear` holds writes accumulated over `iterations` replays (a
+/// [`crate::SimResult`]'s fields). Rows that are never written never die
+/// and do not appear.
+#[must_use]
+pub fn degradation_timeline(
+    wear: &nvpim_array::WearMap,
+    iterations: u64,
+    endurance: u64,
+) -> Vec<DegradationPoint> {
+    let dims = wear.dims();
+    let mut deaths: Vec<f64> = (0..dims.rows())
+        .filter_map(|row| {
+            wear.row_writes(row)
+                .iter()
+                .filter(|&&w| w > 0)
+                .map(|&w| endurance as f64 * iterations as f64 / w as f64)
+                .fold(None, |acc: Option<f64>, t| Some(acc.map_or(t, |a| a.min(t))))
+        })
+        .collect();
+    deaths.sort_by(f64::total_cmp);
+    let rows = dims.rows() as f64;
+    deaths
+        .iter()
+        .enumerate()
+        .map(|(i, &t)| DegradationPoint {
+            iterations: t,
+            usable_rows: (rows - (i + 1) as f64) / rows,
+        })
+        .collect()
+}
+
+/// Iterations until fewer than `required_rows` rows remain usable — the
+/// point at which the workload itself (inputs + outputs + workspace) no
+/// longer fits and the array is effectively dead even if most cells still
+/// work (§3.3).
+#[must_use]
+pub fn iterations_until_insufficient(
+    wear: &nvpim_array::WearMap,
+    iterations: u64,
+    endurance: u64,
+    required_rows: usize,
+) -> Option<f64> {
+    let timeline = degradation_timeline(wear, iterations, endurance);
+    let rows = wear.dims().rows();
+    timeline
+        .iter()
+        .find(|p| ((p.usable_rows * rows as f64).round() as usize) < required_rows)
+        .map(|p| p.iterations)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn analytic_extremes() {
+        assert!((usable_fraction(0.0, 1024) - 1.0).abs() < 1e-12);
+        assert!(usable_fraction(1.0, 1024).abs() < 1e-12);
+    }
+
+    #[test]
+    fn collapse_is_rapid_for_wide_arrays() {
+        // Fig. 11b: fractions of a percent of failed cells already destroy
+        // most of each lane.
+        let f = usable_fraction(0.005, 1024); // 0.5% failed
+        assert!(f < 0.01, "only {f} usable");
+        let f = usable_fraction(0.001, 1024); // 0.1% failed
+        assert!(f < 0.4, "only {f} usable");
+    }
+
+    #[test]
+    fn wider_arrays_collapse_faster() {
+        // The paper: "irrespective of the array size, the number of
+        // available cells can quickly reach a point where even
+        // multiplication is not possible" — wider is strictly worse.
+        let narrow = usable_fraction(0.002, 256);
+        let wide = usable_fraction(0.002, 1024);
+        assert!(narrow > wide);
+    }
+
+    #[test]
+    fn monte_carlo_matches_analytic() {
+        let dims = ArrayDims::new(64, 64);
+        for &failed in &[8usize, 41, 120] {
+            let mc = usable_fraction_monte_carlo(dims, failed, 300, 11);
+            let f = failed as f64 / dims.cells() as f64;
+            let analytic = usable_fraction(f, dims.lanes());
+            assert!((mc - analytic).abs() < 0.05, "failed={failed}: mc={mc} analytic={analytic}");
+        }
+    }
+
+    #[test]
+    fn lane_sets_trade_latency_for_space() {
+        let tradeoffs = lane_set_tradeoffs(1024, 0.002, &[1, 2, 4, 8]);
+        assert_eq!(tradeoffs.len(), 4);
+        for pair in tradeoffs.windows(2) {
+            assert!(pair[1].usable_fraction > pair[0].usable_fraction);
+            assert!(pair[1].relative_throughput < pair[0].relative_throughput);
+        }
+    }
+
+    #[test]
+    fn failure_budget_for_multiplication() {
+        // A 32-bit multiply needs ~220 of 1024 rows; the budget before it
+        // stops fitting is a tiny fraction of cells.
+        let budget = failure_budget(1024, 1024, 220);
+        assert!(budget > 0.0 && budget < 0.005, "budget {budget}");
+        // Sanity: at that fraction, usable rows ≈ required rows.
+        let usable = usable_fraction(budget, 1024) * 1024.0;
+        assert!((usable - 220.0).abs() < 2.0);
+    }
+
+    #[test]
+    fn failure_budget_zero_when_all_rows_needed() {
+        assert_eq!(failure_budget(128, 64, 128), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "sets must divide")]
+    fn invalid_set_count_rejected() {
+        let _ = lane_set_tradeoffs(10, 0.1, &[3]);
+    }
+
+    fn skewed_wear() -> nvpim_array::WearMap {
+        use nvpim_array::{ArrayDims, LaneSet};
+        let mut wear = nvpim_array::WearMap::new(ArrayDims::new(4, 4));
+        wear.add_writes(0, &LaneSet::full(4), 100); // dies first
+        wear.add_writes(1, &LaneSet::full(4), 50);
+        wear.add_writes(2, &LaneSet::from_indices(4, &[3]), 10); // one hot cell
+        wear
+    }
+
+    #[test]
+    fn degradation_events_in_time_order() {
+        // 10 iterations of accumulation, endurance 1000 writes.
+        let timeline = degradation_timeline(&skewed_wear(), 10, 1_000);
+        assert_eq!(timeline.len(), 3, "row 3 never written, never dies");
+        assert!((timeline[0].iterations - 100.0).abs() < 1e-9); // 1000/(100/10)
+        assert!((timeline[1].iterations - 200.0).abs() < 1e-9);
+        assert!((timeline[2].iterations - 1_000.0).abs() < 1e-9);
+        assert!((timeline[0].usable_rows - 0.75).abs() < 1e-12);
+        assert!((timeline[2].usable_rows - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn one_hot_cell_kills_its_whole_row() {
+        // Row 2 has a single written cell; its death still removes the row.
+        let timeline = degradation_timeline(&skewed_wear(), 10, 1_000);
+        assert!(timeline.iter().any(|p| (p.iterations - 1_000.0).abs() < 1e-9));
+    }
+
+    #[test]
+    fn insufficiency_threshold() {
+        let wear = skewed_wear();
+        // Need at least 3 usable rows: lost when the first row dies.
+        assert_eq!(iterations_until_insufficient(&wear, 10, 1_000, 4), Some(100.0));
+        // Need 2: lost at the second death.
+        assert_eq!(iterations_until_insufficient(&wear, 10, 1_000, 3), Some(200.0));
+        // One row is never written: needing just 1 row never fails.
+        assert_eq!(iterations_until_insufficient(&wear, 10, 1_000, 1), None);
+    }
+
+    #[test]
+    fn degradation_scales_with_endurance() {
+        let a = degradation_timeline(&skewed_wear(), 10, 1_000);
+        let b = degradation_timeline(&skewed_wear(), 10, 2_000);
+        for (pa, pb) in a.iter().zip(&b) {
+            assert!((pb.iterations / pa.iterations - 2.0).abs() < 1e-9);
+        }
+    }
+}

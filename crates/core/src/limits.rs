@@ -1,0 +1,132 @@
+//! Closed-form endurance bounds — §3.1, Eqs. 1 and 2.
+//!
+//! Before any simulation, the paper derives back-of-envelope bounds for a
+//! 1024 × 1024 array: with 10^12-write MTJ cells and perfect load balancing
+//! it can perform at most `1024² × 10^12 / 9824 ≈ 1.07 × 10^14` 32-bit
+//! multiplications (Eq. 1), and at full utilization with 3 ns gates every
+//! cell is dead after `1024² × 10^12 / (1024 / 3 ns) = 3 072 000 s ≈ 35.56`
+//! days (Eq. 2). With RRAM's ~10^8 endurance the same bound is ~5 minutes.
+
+use nvpim_nvm::Technology;
+
+/// Eq. 1: maximum operations an `rows × lanes` array can perform before
+/// *total* breakdown, assuming perfect balancing.
+///
+/// `writes_per_op` is the cell-write cost of one operation (9 824 for a
+/// 32-bit multiply under sense-amp semantics).
+#[must_use]
+pub fn max_operations(rows: usize, lanes: usize, endurance: u64, writes_per_op: u64) -> f64 {
+    (rows as f64) * (lanes as f64) * (endurance as f64) / (writes_per_op as f64)
+}
+
+/// Eq. 2: seconds until *every* cell is dead, at full utilization (all
+/// `lanes` lanes firing one gate every `gate_latency_ns`), assuming perfect
+/// balancing.
+///
+/// Each gate writes one cell, so the array absorbs `lanes / gate_latency`
+/// writes per second against a budget of `rows × lanes × endurance`.
+#[must_use]
+pub fn seconds_to_total_failure(
+    rows: usize,
+    lanes: usize,
+    endurance: u64,
+    gate_latency_ns: f64,
+) -> f64 {
+    let budget = (rows as f64) * (lanes as f64) * (endurance as f64);
+    let writes_per_second = lanes as f64 / (gate_latency_ns * 1e-9);
+    budget / writes_per_second
+}
+
+/// Eq. 2 expressed in days.
+#[must_use]
+pub fn days_to_total_failure(
+    rows: usize,
+    lanes: usize,
+    endurance: u64,
+    gate_latency_ns: f64,
+) -> f64 {
+    seconds_to_total_failure(rows, lanes, endurance, gate_latency_ns) / 86_400.0
+}
+
+/// One row of the §3.1 technology comparison.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TechnologyBound {
+    /// Device technology.
+    pub technology: Technology,
+    /// Endurance assumed (typical published value).
+    pub endurance: u64,
+    /// Eq. 1 for a 32-bit multiply (9 824 writes).
+    pub max_multiplications: f64,
+    /// Eq. 2 in seconds.
+    pub seconds_to_failure: f64,
+}
+
+/// The §3.1 bounds for every surveyed technology on the paper's
+/// 1024 × 1024 array with 3 ns gates.
+#[must_use]
+pub fn technology_bounds() -> Vec<TechnologyBound> {
+    Technology::ALL
+        .iter()
+        .map(|&technology| {
+            let endurance = technology.typical_endurance();
+            TechnologyBound {
+                technology,
+                endurance,
+                max_multiplications: max_operations(1024, 1024, endurance, 9_824),
+                seconds_to_failure: seconds_to_total_failure(1024, 1024, endurance, 3.0),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eq1_paper_value() {
+        // §3.1: 1.07 × 10^14 32-bit multiplications.
+        let ops = max_operations(1024, 1024, 1_000_000_000_000, 9_824);
+        assert!((ops - 1.07e14).abs() / 1.07e14 < 0.005, "got {ops:e}");
+    }
+
+    #[test]
+    fn eq2_paper_value() {
+        // §3.1: 3 072 000 seconds = 35.56 days.
+        let s = seconds_to_total_failure(1024, 1024, 1_000_000_000_000, 3.0);
+        assert!((s - 3_072_000.0).abs() < 1.0, "got {s}");
+        let d = days_to_total_failure(1024, 1024, 1_000_000_000_000, 3.0);
+        assert!((d - 35.56).abs() < 0.01, "got {d}");
+    }
+
+    #[test]
+    fn rram_five_minute_claim() {
+        // §3.1: "Using current RRAM endurance of approximately 10^8 writes,
+        // time to failure would take just over 5 minutes."
+        let s = seconds_to_total_failure(1024, 1024, 100_000_000, 3.0);
+        let minutes = s / 60.0;
+        assert!(minutes > 5.0 && minutes < 6.0, "got {minutes} minutes");
+    }
+
+    #[test]
+    fn bounds_scale_linearly_with_endurance() {
+        let low = seconds_to_total_failure(512, 512, 1_000, 3.0);
+        let high = seconds_to_total_failure(512, 512, 2_000, 3.0);
+        assert!((high / low - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn technology_table_is_ordered() {
+        let bounds = technology_bounds();
+        assert_eq!(bounds.len(), 4);
+        assert_eq!(bounds[0].technology, Technology::Mram);
+        assert!(bounds[0].seconds_to_failure > bounds[2].seconds_to_failure);
+    }
+
+    #[test]
+    fn faster_gates_burn_endurance_faster() {
+        let slow = seconds_to_total_failure(1024, 1024, 1_000_000, 10.0);
+        let fast = seconds_to_total_failure(1024, 1024, 1_000_000, 1.0);
+        assert!(slow > fast);
+    }
+}

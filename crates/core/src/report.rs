@@ -1,0 +1,176 @@
+//! Rendering of write distributions and result tables for the reproduction
+//! harness.
+
+use nvpim_array::WearMap;
+
+/// Density ramp used for ASCII heatmaps, from cold to hot.
+const RAMP: [char; 10] = [' ', '.', ':', '-', '=', '+', '*', '#', '%', '@'];
+
+/// Renders a wear map as an ASCII heatmap of at most `max_rows × max_cols`
+/// characters (cells are bucket-averaged, then normalized to the hottest
+/// bucket — the paper's "1: maximum utilization" convention).
+#[must_use]
+pub fn ascii_heatmap(wear: &WearMap, max_rows: usize, max_cols: usize) -> String {
+    let grid_rows = max_rows.min(wear.dims().rows());
+    let grid_cols = max_cols.min(wear.dims().lanes());
+    let grid = wear.heatmap(grid_rows, grid_cols);
+    let mut out = String::with_capacity(grid_rows * (grid_cols + 3));
+    out.push('+');
+    out.push_str(&"-".repeat(grid_cols));
+    out.push_str("+\n");
+    for row in &grid {
+        out.push('|');
+        for &v in row {
+            let idx = ((v * (RAMP.len() - 1) as f64).round() as usize).min(RAMP.len() - 1);
+            out.push(RAMP[idx]);
+        }
+        out.push_str("|\n");
+    }
+    out.push('+');
+    out.push_str(&"-".repeat(grid_cols));
+    out.push('+');
+    out
+}
+
+/// Serializes a wear map's write counts as CSV (`row,lane,writes`), skipping
+/// zero cells to keep files small.
+#[must_use]
+pub fn wear_to_csv(wear: &WearMap) -> String {
+    let mut out = String::from("row,lane,writes\n");
+    for row in 0..wear.dims().rows() {
+        for lane in 0..wear.dims().lanes() {
+            let w = wear.writes_at(row, lane);
+            if w > 0 {
+                out.push_str(&format!("{row},{lane},{w}\n"));
+            }
+        }
+    }
+    out
+}
+
+/// Formats a simple aligned text table: `headers` then `rows`.
+///
+/// # Panics
+///
+/// Panics if any row's length differs from the header's.
+#[must_use]
+pub fn text_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let cols = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        assert_eq!(row.len(), cols, "ragged table row");
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: Vec<&str>, widths: &[usize]| -> String {
+        let mut line = String::new();
+        for (i, (cell, w)) in cells.iter().zip(widths).enumerate() {
+            if i > 0 {
+                line.push_str("  ");
+            }
+            line.push_str(&format!("{cell:>w$}", w = w));
+        }
+        line.push('\n');
+        line
+    };
+    out.push_str(&fmt_row(headers.to_vec(), &widths));
+    out.push_str(&fmt_row(
+        widths.iter().map(|_| "").collect::<Vec<_>>(),
+        &widths,
+    ));
+    // Replace the spacer line with dashes.
+    let spacer: String = widths
+        .iter()
+        .enumerate()
+        .map(|(i, w)| if i > 0 { format!("  {}", "-".repeat(*w)) } else { "-".repeat(*w) })
+        .collect::<Vec<_>>()
+        .join("");
+    let first_line_len = out.find('\n').map(|i| i + 1).unwrap_or(0);
+    out.truncate(first_line_len);
+    out.push_str(&spacer);
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row.iter().map(String::as_str).collect(), &widths));
+    }
+    out
+}
+
+/// Formats a float with engineering-friendly precision (3 significant
+/// figures, scientific for very large/small magnitudes).
+#[must_use]
+pub fn fmt_value(v: f64) -> String {
+    if v == 0.0 {
+        return "0".to_owned();
+    }
+    let mag = v.abs();
+    if !(0.01..1e6).contains(&mag) {
+        format!("{v:.3e}")
+    } else if mag >= 100.0 {
+        format!("{v:.1}")
+    } else {
+        format!("{v:.3}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nvpim_array::{ArrayDims, LaneSet};
+
+    fn sample_wear() -> WearMap {
+        let mut w = WearMap::new(ArrayDims::new(16, 16));
+        w.add_writes(0, &LaneSet::full(16), 100);
+        w.add_writes(8, &LaneSet::range(16, 0, 8), 50);
+        w
+    }
+
+    #[test]
+    fn heatmap_shape_and_extremes() {
+        let map = ascii_heatmap(&sample_wear(), 8, 8);
+        let lines: Vec<&str> = map.lines().collect();
+        assert_eq!(lines.len(), 10); // 8 rows + 2 border lines
+        assert!(lines[1].contains('@'), "hottest row renders as @: {map}");
+        assert!(lines[4].chars().skip(1).take(8).all(|c| c == ' '), "cold rows blank");
+    }
+
+    #[test]
+    fn csv_skips_zeros() {
+        let csv = wear_to_csv(&sample_wear());
+        assert!(csv.starts_with("row,lane,writes\n"));
+        assert_eq!(csv.lines().count(), 1 + 16 + 8);
+        assert!(csv.contains("0,15,100"));
+        assert!(!csv.contains("\n1,0,"));
+    }
+
+    #[test]
+    fn tables_align() {
+        let t = text_table(
+            &["config", "value"],
+            &[
+                vec!["StxSt".into(), "1.0".into()],
+                vec!["RaxBs+Hw".into(), "2.22".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("config"));
+        assert!(lines[1].starts_with('-'));
+        assert!(lines[3].contains("RaxBs+Hw"));
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn ragged_rows_rejected() {
+        let _ = text_table(&["a", "b"], &[vec!["only-one".into()]]);
+    }
+
+    #[test]
+    fn value_formatting() {
+        assert_eq!(fmt_value(0.0), "0");
+        assert_eq!(fmt_value(1.07e14), "1.070e14");
+        assert_eq!(fmt_value(35.56), "35.560");
+        assert_eq!(fmt_value(3072000.0), "3.072e6");
+    }
+}

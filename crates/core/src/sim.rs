@@ -1,0 +1,496 @@
+//! The endurance simulator: workload × balancing configuration × iterations
+//! → per-cell write distribution.
+//!
+//! §4 of the paper: *"The simulation is instruction-level accurate, and each
+//! write to each memory cell is counted."* Because hardware re-mapping can
+//! give every iteration a different write pattern, iterations are replayed
+//! individually when `Hw` is on; without `Hw` the pattern within one
+//! re-compilation epoch is constant, so one iteration is simulated per epoch
+//! and scaled — bit-exact against naive execution (asserted by tests) and
+//! orders of magnitude faster.
+
+use nvpim_array::{AddressMap, ArchStyle, LaneSet, Step, Trace, WearMap};
+use nvpim_balance::{BalanceConfig, CombinedMap, RemapSchedule};
+use nvpim_workloads::Workload;
+
+/// Simulation parameters.
+///
+/// # Examples
+///
+/// ```
+/// use nvpim_core::SimConfig;
+/// use nvpim_array::ArchStyle;
+///
+/// let cfg = SimConfig::default()
+///     .with_iterations(1_000)
+///     .with_arch(ArchStyle::SenseAmp)
+///     .with_seed(7);
+/// assert_eq!(cfg.iterations, 1_000);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimConfig {
+    /// Iterations of the workload to replay (the paper uses 100 000).
+    pub iterations: u64,
+    /// Gate execution semantics (paper default: preset-output).
+    pub arch: ArchStyle,
+    /// Software re-mapping (re-compilation) schedule (paper figures: every
+    /// 100 iterations).
+    pub schedule: RemapSchedule,
+    /// Seed for the strategies' randomness.
+    pub seed: u64,
+    /// Whether to also accumulate per-cell *read* counts (needed only for
+    /// Fig. 5b; costs extra time).
+    pub track_reads: bool,
+}
+
+impl SimConfig {
+    /// The paper's full-scale configuration: 100 000 iterations,
+    /// preset-output gates, re-compilation every 100 iterations.
+    #[must_use]
+    pub fn paper() -> Self {
+        SimConfig {
+            iterations: 100_000,
+            arch: ArchStyle::PresetOutput,
+            schedule: RemapSchedule::every(100),
+            seed: 0xC0FFEE,
+            track_reads: false,
+        }
+    }
+
+    /// Sets the iteration count.
+    #[must_use]
+    pub fn with_iterations(mut self, iterations: u64) -> Self {
+        self.iterations = iterations;
+        self
+    }
+
+    /// Sets the architecture style.
+    #[must_use]
+    pub fn with_arch(mut self, arch: ArchStyle) -> Self {
+        self.arch = arch;
+        self
+    }
+
+    /// Sets the re-mapping schedule.
+    #[must_use]
+    pub fn with_schedule(mut self, schedule: RemapSchedule) -> Self {
+        self.schedule = schedule;
+        self
+    }
+
+    /// Sets the RNG seed.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Enables per-cell read tracking.
+    #[must_use]
+    pub fn with_read_tracking(mut self, track: bool) -> Self {
+        self.track_reads = track;
+        self
+    }
+}
+
+impl Default for SimConfig {
+    /// A scaled-down default (10 000 iterations) with the paper's remaining
+    /// settings; the write-distribution *shape* is unchanged vs. 100 000.
+    fn default() -> Self {
+        SimConfig::paper().with_iterations(10_000)
+    }
+}
+
+/// Outcome of one simulation: the wear map plus the bookkeeping lifetime
+/// estimation needs.
+#[derive(Debug, Clone)]
+pub struct SimResult {
+    /// Per-cell accumulated writes (and reads, if tracked).
+    pub wear: WearMap,
+    /// Balancing configuration simulated.
+    pub config: BalanceConfig,
+    /// Iterations replayed.
+    pub iterations: u64,
+    /// Sequential steps of one iteration (constant across iterations).
+    pub steps_per_iteration: u64,
+    /// Architecture style used.
+    pub arch: ArchStyle,
+}
+
+impl SimResult {
+    /// Writes per iteration suffered by the most-written cell — the
+    /// denominator of Eq. 4.
+    #[must_use]
+    pub fn max_writes_per_iteration(&self) -> f64 {
+        self.wear.max_writes() as f64 / self.iterations as f64
+    }
+
+    /// Latency of one iteration in seconds, given an operation latency.
+    #[must_use]
+    pub fn iteration_latency_s(&self, op_latency_ns: f64) -> f64 {
+        self.steps_per_iteration as f64 * op_latency_ns * 1e-9
+    }
+}
+
+/// Replays workload traces under balancing configurations.
+#[derive(Debug, Clone, Copy)]
+pub struct EnduranceSimulator {
+    cfg: SimConfig,
+}
+
+impl EnduranceSimulator {
+    /// Creates a simulator with the given parameters.
+    #[must_use]
+    pub fn new(cfg: SimConfig) -> Self {
+        EnduranceSimulator { cfg }
+    }
+
+    /// The simulator's parameters.
+    #[must_use]
+    pub fn config(&self) -> SimConfig {
+        self.cfg
+    }
+
+    /// Runs `workload` for the configured number of iterations under
+    /// `balance` and returns the accumulated write distribution.
+    #[must_use]
+    pub fn run(&self, workload: &Workload, balance: BalanceConfig) -> SimResult {
+        let trace = workload.trace();
+        let dims = trace.dims();
+        let mut map = CombinedMap::new(balance, dims.rows(), dims.lanes(), self.cfg.seed);
+        assert!(
+            trace.rows_used() <= map.logical_rows(),
+            "workload uses {} rows but only {} are available under {balance} \
+             (Hw reserves one spare row)",
+            trace.rows_used(),
+            map.logical_rows()
+        );
+
+        let mut acc = Accumulator::new(trace, self.cfg.track_reads);
+        let mut wear = WearMap::new(dims);
+
+        let mut iteration = 0u64;
+        while iteration < self.cfg.iterations {
+            // Iterations remaining in this software epoch.
+            let until_remap = match self.cfg.schedule.period() {
+                Some(p) => p - (iteration % p),
+                None => self.cfg.iterations - iteration,
+            };
+            let span = until_remap.min(self.cfg.iterations - iteration);
+
+            if map.is_dynamic() {
+                // Hardware re-mapping evolves per gate: replay each
+                // iteration of the epoch.
+                for _ in 0..span {
+                    acc.replay(trace, &mut map, self.cfg.arch);
+                }
+                acc.scatter(trace, &map, &mut wear, 1);
+            } else {
+                // Static within the epoch: one replay, scaled.
+                acc.replay(trace, &mut map, self.cfg.arch);
+                acc.scatter(trace, &map, &mut wear, span);
+            }
+
+            iteration += span;
+            if self.cfg.schedule.remaps_after(iteration - 1) {
+                map.advance_epoch();
+            }
+        }
+
+        SimResult {
+            wear,
+            config: balance,
+            iterations: self.cfg.iterations,
+            steps_per_iteration: trace.counts(self.cfg.arch).sequential_steps,
+            arch: self.cfg.arch,
+        }
+    }
+
+    /// Runs every one of the paper's 18 balancing configurations.
+    #[must_use]
+    pub fn run_all_configs(&self, workload: &Workload) -> Vec<SimResult> {
+        BalanceConfig::all().into_iter().map(|c| self.run(workload, c)).collect()
+    }
+}
+
+/// Per-epoch (class × physical row) write/read tallies, scattered into the
+/// 2-D wear map once per epoch through the epoch's lane permutation.
+#[derive(Debug)]
+struct Accumulator {
+    writes: Vec<Vec<u64>>,
+    reads: Option<Vec<Vec<u64>>>,
+    all_lanes: Vec<bool>,
+}
+
+impl Accumulator {
+    fn new(trace: &Trace, track_reads: bool) -> Self {
+        let rows = trace.dims().rows();
+        let n_classes = trace.classes().len();
+        let lanes = trace.dims().lanes();
+        Accumulator {
+            writes: vec![vec![0; rows]; n_classes],
+            reads: track_reads.then(|| vec![vec![0; rows]; n_classes]),
+            all_lanes: trace.classes().iter().map(|c| c.count() == lanes).collect(),
+        }
+    }
+
+    /// Tallies one iteration of the trace under the current mapping.
+    fn replay(&mut self, trace: &Trace, map: &mut CombinedMap, arch: ArchStyle) {
+        let writes_per_gate = arch.writes_per_gate();
+        for step in trace.steps() {
+            match *step {
+                Step::Write { row, class, .. } => {
+                    self.writes[class][map.lookup_row(row)] += 1;
+                }
+                Step::Read { row, class } => {
+                    if let Some(reads) = &mut self.reads {
+                        reads[class][map.lookup_row(row)] += 1;
+                    }
+                }
+                Step::Gate { kind, ins, out, class } => {
+                    let out_row = map.gate_output_row(out, self.all_lanes[class]);
+                    self.writes[class][out_row] += writes_per_gate;
+                    if let Some(reads) = &mut self.reads {
+                        reads[class][map.lookup_row(ins[0])] += 1;
+                        if kind.arity() == 2 {
+                            reads[class][map.lookup_row(ins[1])] += 1;
+                        }
+                    }
+                }
+                Step::Transfer { src_row, dst_row, src_class, dst_class } => {
+                    self.writes[dst_class][map.lookup_row(dst_row)] += 1;
+                    if let Some(reads) = &mut self.reads {
+                        reads[src_class][map.lookup_row(src_row)] += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Flushes the tallies into `wear`, multiplied by `scale`, through the
+    /// epoch's lane permutation, and clears them.
+    fn scatter(&mut self, trace: &Trace, map: &CombinedMap, wear: &mut WearMap, scale: u64) {
+        let perm = map.lane_permutation();
+        for (class, lanes) in trace.classes().iter().enumerate() {
+            let phys: LaneSet = lanes.permuted(perm);
+            for (row, &count) in self.writes[class].iter().enumerate() {
+                if count > 0 {
+                    wear.add_writes(row, &phys, count * scale);
+                }
+            }
+            for slot in &mut self.writes[class] {
+                *slot = 0;
+            }
+            if let Some(reads) = &mut self.reads {
+                for (row, &count) in reads[class].iter().enumerate() {
+                    if count > 0 {
+                        wear.add_reads(row, &phys, count * scale);
+                    }
+                }
+                for slot in &mut reads[class] {
+                    *slot = 0;
+                }
+            }
+        }
+    }
+}
+
+/// Replays the workload naively on a value-less wear map by executing the
+/// trace cell by cell — the reference implementation the fast simulator is
+/// validated against (and the ablation bench's slow arm).
+#[must_use]
+pub fn simulate_naive(workload: &Workload, balance: BalanceConfig, cfg: SimConfig) -> WearMap {
+    let trace = workload.trace();
+    let dims = trace.dims();
+    let mut map = CombinedMap::new(balance, dims.rows(), dims.lanes(), cfg.seed);
+    let mut array = nvpim_array::PimArray::new(dims).with_arch(cfg.arch);
+    for iteration in 0..cfg.iterations {
+        array.execute(trace, &mut map, &mut |_, _| false);
+        if cfg.schedule.remaps_after(iteration) {
+            map.advance_epoch();
+        }
+    }
+    array.wear().clone()
+}
+
+/// One-iteration single-lane profile used by Fig. 5: per-cell write and read
+/// counts within a lane for a single execution of the workload under a
+/// static layout.
+#[must_use]
+pub fn single_iteration_profile(workload: &Workload, arch: ArchStyle) -> (Vec<u64>, Vec<u64>) {
+    let cfg = SimConfig::paper()
+        .with_iterations(1)
+        .with_arch(arch)
+        .with_read_tracking(true)
+        .with_schedule(RemapSchedule::never());
+    let result = EnduranceSimulator::new(cfg).run(workload, BalanceConfig::baseline());
+    let rows = workload.trace().rows_used();
+    let writes = (0..rows).map(|r| result.wear.writes_at(r, 0)).collect();
+    let reads = (0..rows).map(|r| result.wear.reads_at(r, 0)).collect();
+    (writes, reads)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nvpim_array::ArrayDims;
+    use nvpim_workloads::dot_product::DotProduct;
+    use nvpim_workloads::parallel_mul::ParallelMul;
+
+    fn small_mul() -> Workload {
+        ParallelMul::new(ArrayDims::new(128, 8), 8).build()
+    }
+
+    #[test]
+    fn total_writes_scale_with_iterations() {
+        let wl = small_mul();
+        let cfg = SimConfig::default().with_iterations(10).with_arch(ArchStyle::SenseAmp);
+        let result = EnduranceSimulator::new(cfg).run(&wl, BalanceConfig::baseline());
+        let per_iter = wl.trace().counts(ArchStyle::SenseAmp).cell_writes;
+        assert_eq!(result.wear.total_writes(), 10 * per_iter);
+    }
+
+    #[test]
+    fn fast_path_matches_naive_static() {
+        let wl = small_mul();
+        let cfg = SimConfig::default()
+            .with_iterations(7)
+            .with_schedule(RemapSchedule::every(3))
+            .with_arch(ArchStyle::PresetOutput);
+        for config in ["StxSt", "RaxSt", "StxRa", "BsxBs", "RaxRa"] {
+            let balance: BalanceConfig = config.parse().unwrap();
+            let fast = EnduranceSimulator::new(cfg).run(&wl, balance);
+            let naive = simulate_naive(&wl, balance, cfg);
+            for row in 0..128 {
+                for lane in 0..8 {
+                    assert_eq!(
+                        fast.wear.writes_at(row, lane),
+                        naive.writes_at(row, lane),
+                        "{config} mismatch at ({row},{lane})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fast_path_matches_naive_with_hw() {
+        let wl = small_mul();
+        let cfg = SimConfig::default()
+            .with_iterations(5)
+            .with_schedule(RemapSchedule::every(2))
+            .with_arch(ArchStyle::SenseAmp);
+        for config in ["StxSt+Hw", "RaxRa+Hw", "BsxSt+Hw"] {
+            let balance: BalanceConfig = config.parse().unwrap();
+            let fast = EnduranceSimulator::new(cfg).run(&wl, balance);
+            let naive = simulate_naive(&wl, balance, cfg);
+            for row in 0..128 {
+                for lane in 0..8 {
+                    assert_eq!(
+                        fast.wear.writes_at(row, lane),
+                        naive.writes_at(row, lane),
+                        "{config} mismatch at ({row},{lane})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn random_row_mapping_reduces_imbalance() {
+        let wl = small_mul();
+        let cfg = SimConfig::default().with_iterations(500).with_schedule(RemapSchedule::every(10));
+        let sim = EnduranceSimulator::new(cfg);
+        let static_run = sim.run(&wl, "StxSt".parse().unwrap());
+        let random_run = sim.run(&wl, "RaxSt".parse().unwrap());
+        assert!(
+            random_run.wear.max_writes() < static_run.wear.max_writes(),
+            "Ra rows must flatten the hot workspace: {} vs {}",
+            random_run.wear.max_writes(),
+            static_run.wear.max_writes()
+        );
+    }
+
+    #[test]
+    fn column_mapping_helps_dot_product() {
+        let wl = DotProduct::new(ArrayDims::new(256, 16), 16, 8).build();
+        let cfg = SimConfig::default().with_iterations(400).with_schedule(RemapSchedule::every(10));
+        let sim = EnduranceSimulator::new(cfg);
+        let static_run = sim.run(&wl, "StxSt".parse().unwrap());
+        let col_run = sim.run(&wl, "StxRa".parse().unwrap());
+        assert!(col_run.wear.max_writes() < static_run.wear.max_writes());
+    }
+
+    #[test]
+    fn hw_remapping_flattens_within_lane() {
+        let wl = small_mul();
+        let cfg = SimConfig::default().with_iterations(200).with_schedule(RemapSchedule::never());
+        let sim = EnduranceSimulator::new(cfg);
+        let static_run = sim.run(&wl, "StxSt".parse().unwrap());
+        let hw_run = sim.run(&wl, "StxSt+Hw".parse().unwrap());
+        assert!(hw_run.wear.max_writes() < static_run.wear.max_writes());
+    }
+
+    #[test]
+    fn conservation_of_total_writes_across_configs() {
+        // Balancing moves writes around; it never changes their total.
+        let wl = small_mul();
+        let cfg = SimConfig::default().with_iterations(50).with_schedule(RemapSchedule::every(5));
+        let sim = EnduranceSimulator::new(cfg);
+        let reference = sim.run(&wl, BalanceConfig::baseline()).wear.total_writes();
+        for balance in BalanceConfig::all() {
+            let total = sim.run(&wl, balance).wear.total_writes();
+            assert_eq!(total, reference, "{balance}");
+        }
+    }
+
+    #[test]
+    fn read_tracking_matches_trace_counts() {
+        let wl = small_mul();
+        let cfg = SimConfig::default()
+            .with_iterations(3)
+            .with_read_tracking(true)
+            .with_arch(ArchStyle::SenseAmp);
+        let result = EnduranceSimulator::new(cfg).run(&wl, BalanceConfig::baseline());
+        let per_iter = wl.trace().counts(ArchStyle::SenseAmp).cell_reads;
+        assert_eq!(result.wear.total_reads(), 3 * per_iter);
+    }
+
+    #[test]
+    fn fig5_profile_shows_workspace_imbalance() {
+        let wl = ParallelMul::new(ArrayDims::new(1024, 4), 32).without_readout().build();
+        let (writes, reads) = single_iteration_profile(&wl, ArchStyle::SenseAmp);
+        // Input cells (rows 0..64) are written exactly once per result...
+        assert!(writes[..64].iter().all(|&w| w == 1));
+        // ...while workspace cells are used many more times (Fig. 5a).
+        let max = *writes.iter().max().unwrap();
+        assert!(max >= 8, "hot workspace cell: {max}");
+        let workspace_mean = writes[128..].iter().sum::<u64>() as f64 / (writes.len() - 128) as f64;
+        assert!(workspace_mean > 5.0, "workspace mean {workspace_mean}");
+        // Reads concentrate on workspace too (Fig. 5b).
+        assert!(reads.iter().sum::<u64>() > 0);
+        // Total gate writes must equal the 32-bit multiply count.
+        assert_eq!(writes.iter().sum::<u64>(), 64 + 9_824);
+        // The ablation policy concentrates the same writes in far fewer
+        // cells, producing a much hotter peak.
+        let compact = ParallelMul::new(ArrayDims::new(1024, 4), 32)
+            .without_readout()
+            .with_alloc_policy(nvpim_workloads::AllocPolicy::LowestFirst)
+            .build();
+        let (compact_writes, _) = single_iteration_profile(&compact, ArchStyle::SenseAmp);
+        assert!(*compact_writes.iter().max().unwrap() > 3 * max);
+    }
+
+    #[test]
+    fn spare_row_is_always_available_for_hw() {
+        // The layout reserves the lane's last row, so every workload runs
+        // under every configuration — including +Hw — on its target array.
+        for rows in [256usize, 300, 1024] {
+            let wl = ParallelMul::new(ArrayDims::new(rows, 4), 16).without_readout().build();
+            assert!(wl.trace().rows_used() < rows, "row {rows}");
+            let cfg = SimConfig::default().with_iterations(2);
+            let result = EnduranceSimulator::new(cfg).run(&wl, "RaxRa+Hw".parse().unwrap());
+            assert!(result.wear.total_writes() > 0);
+        }
+    }
+}

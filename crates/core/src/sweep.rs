@@ -1,0 +1,132 @@
+//! Re-mapping-frequency sweeps — the §5 study of how often re-compilation
+//! must happen.
+//!
+//! The paper sweeps re-mapping every {10 000, 1 000, 500, 100, 50, 10}
+//! iterations and finds expected lifetime saturates at about every 50
+//! iterations, with only ~1.6% further improvement from 50 → 10.
+
+use nvpim_balance::{BalanceConfig, RemapSchedule};
+use nvpim_workloads::Workload;
+
+use crate::{EnduranceSimulator, LifetimeModel, SimConfig};
+
+/// One sweep point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SweepPoint {
+    /// Re-mapping period in iterations.
+    pub period: u64,
+    /// Expected lifetime in iterations (Eq. 4).
+    pub lifetime_iterations: f64,
+    /// Lifetime improvement relative to never re-mapping.
+    pub improvement_vs_never: f64,
+}
+
+/// Sweeps the re-mapping period for one workload × configuration, measuring
+/// expected lifetime at each point.
+///
+/// # Panics
+///
+/// Panics if `periods` is empty.
+#[must_use]
+pub fn remap_frequency_sweep(
+    workload: &Workload,
+    balance: BalanceConfig,
+    base: SimConfig,
+    model: LifetimeModel,
+    periods: &[u64],
+) -> Vec<SweepPoint> {
+    assert!(!periods.is_empty(), "sweep needs at least one period");
+    let never = EnduranceSimulator::new(base.with_schedule(RemapSchedule::never()))
+        .run(workload, balance);
+    let never_lifetime = model.lifetime(&never).iterations;
+    periods
+        .iter()
+        .map(|&period| {
+            let cfg = base.with_schedule(RemapSchedule::every(period));
+            let result = EnduranceSimulator::new(cfg).run(workload, balance);
+            let lifetime_iterations = model.lifetime(&result).iterations;
+            SweepPoint {
+                period,
+                lifetime_iterations,
+                improvement_vs_never: lifetime_iterations / never_lifetime,
+            }
+        })
+        .collect()
+}
+
+/// The saturation analysis of §5: the smallest period (most frequent
+/// re-mapping) whose lifetime is within `tolerance` (e.g. 0.016 = 1.6%) of
+/// the best point in the sweep.
+#[must_use]
+pub fn saturation_period(points: &[SweepPoint], tolerance: f64) -> Option<u64> {
+    let best = points.iter().map(|p| p.lifetime_iterations).fold(0.0f64, f64::max);
+    points
+        .iter()
+        .filter(|p| p.lifetime_iterations >= best * (1.0 - tolerance))
+        .map(|p| p.period)
+        .max()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nvpim_array::ArrayDims;
+    use nvpim_workloads::parallel_mul::ParallelMul;
+
+    fn sweep() -> Vec<SweepPoint> {
+        let wl = ParallelMul::new(ArrayDims::new(128, 8), 8).build();
+        // Enough iterations that even the finest period has seen many
+        // epochs — the regime the paper's saturation claim is about.
+        let base = SimConfig::default().with_iterations(20_000);
+        remap_frequency_sweep(
+            &wl,
+            "RaxSt".parse().unwrap(),
+            base,
+            LifetimeModel::mtj(),
+            &[500, 100, 50, 10],
+        )
+    }
+
+    #[test]
+    fn more_frequent_remapping_never_hurts_much() {
+        let points = sweep();
+        assert_eq!(points.len(), 4);
+        // Finer periods give at least ~the lifetime of coarser ones.
+        assert!(points[3].lifetime_iterations >= points[0].lifetime_iterations * 0.95);
+        // And beat never re-mapping handily for random shuffling.
+        assert!(points[3].improvement_vs_never > 1.2);
+    }
+
+    #[test]
+    fn lifetime_saturates() {
+        // §5's qualitative claim: returns diminish as re-mapping gets more
+        // frequent (the paper reports saturation around every 50 iterations
+        // at its 1024×1024/100 000-iteration scale).
+        let points = sweep();
+        let sat = saturation_period(&points, 0.5).expect("non-empty sweep");
+        assert!(sat >= 10, "saturation at period {sat}");
+        let p500 = points.iter().find(|p| p.period == 500).unwrap();
+        let p50 = points.iter().find(|p| p.period == 50).unwrap();
+        let p10 = points.iter().find(|p| p.period == 10).unwrap();
+        let coarse_gain = p50.lifetime_iterations / p500.lifetime_iterations;
+        let fine_gain = p10.lifetime_iterations / p50.lifetime_iterations;
+        assert!(
+            fine_gain < coarse_gain,
+            "diminishing returns: 500→50 gave {coarse_gain}, 50→10 gave {fine_gain}"
+        );
+        assert!(fine_gain < 1.35, "50→10 gain {fine_gain} should be modest");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one period")]
+    fn empty_sweep_rejected() {
+        let wl = ParallelMul::new(ArrayDims::new(128, 4), 8).build();
+        let _ = remap_frequency_sweep(
+            &wl,
+            BalanceConfig::baseline(),
+            SimConfig::default(),
+            LifetimeModel::mtj(),
+            &[],
+        );
+    }
+}

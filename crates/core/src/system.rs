@@ -1,0 +1,203 @@
+//! Accelerator-level lifetime: many arrays, progressive failure, and the
+//! replacement decision.
+//!
+//! §4 frames the deployment question: *"If used in an embedded device, the
+//! device can only function as long as the PIM arrays persist. If used in a
+//! server, the accelerator must be replaced once a sufficient number of PIM
+//! arrays fail."* This module lifts the single-array Eq. 4 estimate to an
+//! accelerator of many arrays whose individual lifetimes vary (process
+//! variation, workload skew), using order statistics over Monte-Carlo
+//! samples.
+
+use rand::Rng;
+use rand::SeedableRng;
+
+use crate::Lifetime;
+
+/// An accelerator built from `arrays` PIM arrays that is replaced once more
+/// than `tolerable_failures` arrays have failed.
+///
+/// # Examples
+///
+/// ```
+/// use nvpim_core::system::AcceleratorModel;
+/// use nvpim_core::Lifetime;
+///
+/// let model = AcceleratorModel::new(64, 3);
+/// let array = Lifetime { iterations: 1e9, seconds: 1e6 };
+/// // With no spread every array dies at once.
+/// let fleet = model.lifetime_with_spread(array, 0.0, 100, 7);
+/// assert!((fleet.seconds - 1e6).abs() < 1.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AcceleratorModel {
+    arrays: usize,
+    tolerable_failures: usize,
+}
+
+impl AcceleratorModel {
+    /// Creates the model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `arrays == 0` or `tolerable_failures >= arrays`.
+    #[must_use]
+    pub fn new(arrays: usize, tolerable_failures: usize) -> Self {
+        assert!(arrays > 0, "an accelerator needs at least one array");
+        assert!(
+            tolerable_failures < arrays,
+            "tolerating every array's failure leaves nothing to replace"
+        );
+        AcceleratorModel { arrays, tolerable_failures }
+    }
+
+    /// Number of arrays.
+    #[must_use]
+    pub fn arrays(&self) -> usize {
+        self.arrays
+    }
+
+    /// Failures absorbed before replacement.
+    #[must_use]
+    pub fn tolerable_failures(&self) -> usize {
+        self.tolerable_failures
+    }
+
+    /// Draws one fleet of per-array lifetimes: log-normal multipliers with
+    /// `sigma` standard deviation of `ln(lifetime)` around the nominal
+    /// estimate.
+    fn sample_fleet<R: Rng + ?Sized>(&self, nominal_s: f64, sigma: f64, rng: &mut R) -> Vec<f64> {
+        (0..self.arrays)
+            .map(|_| {
+                let u1: f64 = 1.0 - rng.gen::<f64>();
+                let u2: f64 = rng.gen();
+                let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+                nominal_s * (sigma * z).exp()
+            })
+            .collect()
+    }
+
+    /// Expected accelerator lifetime: the time at which failure number
+    /// `tolerable_failures + 1` occurs, averaged over `trials` Monte-Carlo
+    /// fleets with log-normal per-array lifetime spread `sigma`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `trials == 0`.
+    #[must_use]
+    pub fn lifetime_with_spread(
+        &self,
+        array: Lifetime,
+        sigma: f64,
+        trials: u32,
+        seed: u64,
+    ) -> Lifetime {
+        assert!(trials > 0, "need at least one trial");
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+        let mut total_s = 0.0;
+        for _ in 0..trials {
+            let mut fleet = self.sample_fleet(array.seconds, sigma, &mut rng);
+            fleet.sort_by(f64::total_cmp);
+            total_s += fleet[self.tolerable_failures];
+        }
+        let seconds = total_s / f64::from(trials);
+        let scale = seconds / array.seconds;
+        Lifetime { iterations: array.iterations * scale, seconds }
+    }
+
+    /// Expected compute capacity over time: fraction of arrays still alive
+    /// at each multiple of `nominal/steps`, averaged over `trials` fleets.
+    /// Returns `(time_seconds, capacity)` pairs.
+    #[must_use]
+    pub fn capacity_timeline(
+        &self,
+        array: Lifetime,
+        sigma: f64,
+        steps: usize,
+        trials: u32,
+        seed: u64,
+    ) -> Vec<(f64, f64)> {
+        assert!(steps > 0 && trials > 0);
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+        let horizon = 2.0 * array.seconds;
+        let mut capacity = vec![0.0f64; steps + 1];
+        for _ in 0..trials {
+            let fleet = self.sample_fleet(array.seconds, sigma, &mut rng);
+            for (i, slot) in capacity.iter_mut().enumerate() {
+                let t = horizon * i as f64 / steps as f64;
+                let alive = fleet.iter().filter(|&&l| l > t).count();
+                *slot += alive as f64 / self.arrays as f64;
+            }
+        }
+        capacity
+            .into_iter()
+            .enumerate()
+            .map(|(i, c)| (horizon * i as f64 / steps as f64, c / f64::from(trials)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ARRAY: Lifetime = Lifetime { iterations: 1e9, seconds: 1e6 };
+
+    #[test]
+    fn zero_spread_collapses_to_array_lifetime() {
+        let m = AcceleratorModel::new(128, 5);
+        let fleet = m.lifetime_with_spread(ARRAY, 0.0, 10, 1);
+        assert!((fleet.seconds - ARRAY.seconds).abs() < 1e-6);
+        assert!((fleet.iterations - ARRAY.iterations).abs() < 1.0);
+    }
+
+    #[test]
+    fn tolerating_more_failures_extends_life() {
+        let strict = AcceleratorModel::new(64, 0);
+        let lax = AcceleratorModel::new(64, 16);
+        let s = strict.lifetime_with_spread(ARRAY, 0.4, 200, 3);
+        let l = lax.lifetime_with_spread(ARRAY, 0.4, 200, 3);
+        assert!(l.seconds > s.seconds, "{} vs {}", l.seconds, s.seconds);
+    }
+
+    #[test]
+    fn first_failure_of_many_arrays_is_early() {
+        // With spread, min of 64 log-normals sits well below the median.
+        let m = AcceleratorModel::new(64, 0);
+        let fleet = m.lifetime_with_spread(ARRAY, 0.4, 200, 9);
+        assert!(fleet.seconds < 0.6 * ARRAY.seconds, "{}", fleet.seconds);
+    }
+
+    #[test]
+    fn capacity_timeline_is_monotone() {
+        let m = AcceleratorModel::new(32, 4);
+        let timeline = m.capacity_timeline(ARRAY, 0.3, 20, 50, 5);
+        assert_eq!(timeline.len(), 21);
+        assert!((timeline[0].1 - 1.0).abs() < 1e-12, "everything alive at t=0");
+        for pair in timeline.windows(2) {
+            assert!(pair[1].1 <= pair[0].1 + 1e-12, "capacity never recovers");
+        }
+        // At twice the nominal lifetime most arrays are gone.
+        assert!(timeline.last().unwrap().1 < 0.2);
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let m = AcceleratorModel::new(16, 2);
+        let a = m.lifetime_with_spread(ARRAY, 0.5, 50, 11);
+        let b = m.lifetime_with_spread(ARRAY, 0.5, 50, 11);
+        assert_eq!(a.seconds.to_bits(), b.seconds.to_bits());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one array")]
+    fn empty_accelerator_rejected() {
+        let _ = AcceleratorModel::new(0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "leaves nothing")]
+    fn tolerating_everything_rejected() {
+        let _ = AcceleratorModel::new(4, 4);
+    }
+}

@@ -1,0 +1,74 @@
+//! Logical bit identifiers.
+
+use std::fmt;
+
+/// Identifier of one logical bit in a circuit.
+///
+/// Bits are SSA-like: each is defined exactly once — either as a circuit
+/// input, a constant, or the output of one gate — and may be read any number
+/// of times afterwards. Physical placement (which memory cell in a lane holds
+/// the bit, and when that cell is recycled) is decided later by the layout
+/// and load-balancing layers; `BitId` deliberately carries no position.
+///
+/// # Examples
+///
+/// ```
+/// use nvpim_logic::BitId;
+///
+/// let b = BitId::new(7);
+/// assert_eq!(b.index(), 7);
+/// assert_eq!(b.to_string(), "b7");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BitId(u32);
+
+impl BitId {
+    /// Creates a bit id from a raw index.
+    #[must_use]
+    pub fn new(index: u32) -> Self {
+        BitId(index)
+    }
+
+    /// The raw index of this bit.
+    #[must_use]
+    pub fn index(self) -> u32 {
+        self.0
+    }
+
+    /// The raw index as a `usize`, for table lookups.
+    #[must_use]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for BitId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "b{}", self.0)
+    }
+}
+
+impl From<BitId> for usize {
+    fn from(bit: BitId) -> usize {
+        bit.idx()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors() {
+        let b = BitId::new(42);
+        assert_eq!(b.index(), 42);
+        assert_eq!(b.idx(), 42usize);
+        assert_eq!(usize::from(b), 42usize);
+    }
+
+    #[test]
+    fn ordering_follows_index() {
+        assert!(BitId::new(1) < BitId::new(2));
+        assert_eq!(BitId::new(5), BitId::new(5));
+    }
+}

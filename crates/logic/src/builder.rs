@@ -1,0 +1,198 @@
+//! SSA-style circuit construction.
+
+use crate::{BitId, Circuit, Gate, GateKind};
+
+/// Incrementally builds a [`Circuit`].
+///
+/// Every call that produces a bit — [`CircuitBuilder::input`],
+/// [`CircuitBuilder::constant`], [`CircuitBuilder::gate1`],
+/// [`CircuitBuilder::gate2`] — returns a fresh [`BitId`]; bits are never
+/// redefined. This mirrors §4 of the paper: *"For each gate in the program,
+/// 1 new bit of logical memory is allocated for the output."* The later
+/// layout stage decides which physical cell each logical bit occupies and
+/// when cells are recycled.
+///
+/// # Examples
+///
+/// ```
+/// use nvpim_logic::{CircuitBuilder, GateKind};
+///
+/// let mut b = CircuitBuilder::new();
+/// let x = b.input();
+/// let y = b.input();
+/// let z = b.gate2(GateKind::And, x, y);
+/// b.mark_output(z);
+/// let circuit = b.build();
+/// assert_eq!(circuit.gates().len(), 1);
+/// assert_eq!(circuit.num_bits(), 3);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct CircuitBuilder {
+    gates: Vec<Gate>,
+    n_bits: u32,
+    inputs: Vec<BitId>,
+    constants: Vec<(BitId, bool)>,
+    outputs: Vec<BitId>,
+}
+
+impl CircuitBuilder {
+    /// Creates an empty builder.
+    #[must_use]
+    pub fn new() -> Self {
+        CircuitBuilder::default()
+    }
+
+    fn fresh(&mut self) -> BitId {
+        let id = BitId::new(self.n_bits);
+        self.n_bits += 1;
+        id
+    }
+
+    /// Declares one externally-written input bit.
+    pub fn input(&mut self) -> BitId {
+        let id = self.fresh();
+        self.inputs.push(id);
+        id
+    }
+
+    /// Declares `n` input bits (LSB first by convention).
+    pub fn inputs(&mut self, n: usize) -> Vec<BitId> {
+        (0..n).map(|_| self.input()).collect()
+    }
+
+    /// Declares a constant bit with a fixed value, written once at load time.
+    pub fn constant(&mut self, value: bool) -> BitId {
+        let id = self.fresh();
+        self.constants.push((id, value));
+        id
+    }
+
+    /// Declares `n` constant bits encoding `value` LSB-first.
+    pub fn constants_for(&mut self, value: u64, n: usize) -> Vec<BitId> {
+        (0..n).map(|i| self.constant((value >> i) & 1 == 1)).collect()
+    }
+
+    /// Emits a one-input gate, returning its output bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kind` is two-input or `a` is not yet defined.
+    pub fn gate1(&mut self, kind: GateKind, a: BitId) -> BitId {
+        assert!(a.index() < self.n_bits, "use of undefined bit {a}");
+        let out = self.fresh();
+        self.gates.push(Gate::one(kind, a, out));
+        out
+    }
+
+    /// Emits a two-input gate, returning its output bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kind` is one-input or an operand is not yet defined.
+    pub fn gate2(&mut self, kind: GateKind, a: BitId, b: BitId) -> BitId {
+        assert!(a.index() < self.n_bits, "use of undefined bit {a}");
+        assert!(b.index() < self.n_bits, "use of undefined bit {b}");
+        let out = self.fresh();
+        self.gates.push(Gate::two(kind, a, b, out));
+        out
+    }
+
+    /// Marks a bit as a circuit output (kept in a dedicated cell, never
+    /// recycled as workspace).
+    pub fn mark_output(&mut self, bit: BitId) {
+        assert!(bit.index() < self.n_bits, "use of undefined bit {bit}");
+        self.outputs.push(bit);
+    }
+
+    /// Marks several bits as outputs, in order.
+    pub fn mark_outputs(&mut self, bits: &[BitId]) {
+        for &b in bits {
+            self.mark_output(b);
+        }
+    }
+
+    /// Number of gates emitted so far. Useful for delimiting segments of a
+    /// larger program (e.g. to attach lane activity to gate ranges).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.gates.len()
+    }
+
+    /// Whether no gates have been emitted yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.gates.is_empty()
+    }
+
+    /// Number of bits defined so far.
+    #[must_use]
+    pub fn num_bits(&self) -> u32 {
+        self.n_bits
+    }
+
+    /// Constants declared so far, in declaration order.
+    #[must_use]
+    pub fn declared_constants(&self) -> &[(BitId, bool)] {
+        &self.constants
+    }
+
+    /// Finalizes the circuit.
+    #[must_use]
+    pub fn build(self) -> Circuit {
+        Circuit::from_parts(self.gates, self.n_bits, self.inputs, self.constants, self.outputs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_ids_are_sequential() {
+        let mut b = CircuitBuilder::new();
+        let x = b.input();
+        let c = b.constant(true);
+        let g = b.gate2(GateKind::Or, x, c);
+        assert_eq!(x.index(), 0);
+        assert_eq!(c.index(), 1);
+        assert_eq!(g.index(), 2);
+        assert_eq!(b.num_bits(), 3);
+        assert_eq!(b.len(), 1);
+    }
+
+    #[test]
+    fn constants_for_encodes_lsb_first() {
+        let mut b = CircuitBuilder::new();
+        let bits = b.constants_for(0b1010, 4);
+        let circuit = {
+            b.mark_outputs(&bits);
+            b.build()
+        };
+        let values = circuit.eval(&[]).unwrap();
+        assert_eq!(values, vec![false, true, false, true]);
+    }
+
+    #[test]
+    #[should_panic(expected = "use of undefined bit")]
+    fn rejects_forward_references() {
+        let mut b = CircuitBuilder::new();
+        let x = b.input();
+        let _ = b.gate2(GateKind::And, x, BitId::new(99));
+    }
+
+    #[test]
+    #[should_panic(expected = "use of undefined bit")]
+    fn rejects_undefined_output_mark() {
+        let mut b = CircuitBuilder::new();
+        b.mark_output(BitId::new(3));
+    }
+
+    #[test]
+    fn empty_builder_builds_empty_circuit() {
+        let b = CircuitBuilder::new();
+        assert!(b.is_empty());
+        let c = b.build();
+        assert_eq!(c.gates().len(), 0);
+        assert_eq!(c.num_bits(), 0);
+    }
+}

@@ -1,0 +1,289 @@
+//! Finalized gate sequences: evaluation, statistics, and structure queries.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::{BitId, Gate, GateKind};
+
+/// Error returned by [`Circuit::eval`] when the provided inputs do not match
+/// the circuit's declared input groups.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EvalError {
+    expected: usize,
+    provided: usize,
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "input bit count mismatch: circuit declares {} input bits, {} provided",
+            self.expected, self.provided
+        )
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+/// Operation-count statistics of a circuit.
+///
+/// `cell_writes` counts one write per gate (sense-amp semantics); preset
+/// overhead for CRAM-style architectures is added by the array layer, not
+/// here. `cell_reads` counts one read per gate input.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct GateStats {
+    counts: HashMap<GateKind, u64>,
+    total_gates: u64,
+    cell_reads: u64,
+}
+
+impl GateStats {
+    /// Number of gates of the given kind.
+    #[must_use]
+    pub fn count(&self, kind: GateKind) -> u64 {
+        self.counts.get(&kind).copied().unwrap_or(0)
+    }
+
+    /// Total number of gates (= sequential gate operations = cell writes
+    /// under sense-amp semantics).
+    #[must_use]
+    pub fn total_gates(&self) -> u64 {
+        self.total_gates
+    }
+
+    /// Total cell writes performed by gates (one per gate).
+    #[must_use]
+    pub fn cell_writes(&self) -> u64 {
+        self.total_gates
+    }
+
+    /// Total cell reads performed by gates (one per gate input).
+    #[must_use]
+    pub fn cell_reads(&self) -> u64 {
+        self.cell_reads
+    }
+}
+
+impl fmt::Display for GateStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} gates ({} cell writes, {} cell reads)",
+            self.total_gates,
+            self.cell_writes(),
+            self.cell_reads
+        )
+    }
+}
+
+/// An immutable, validated gate sequence over logical bits.
+///
+/// Produced by [`crate::CircuitBuilder::build`]. The gate order is the
+/// execution order: PIM lanes share one set of logic drivers, so gates run
+/// strictly sequentially within a lane (§2.2).
+///
+/// # Examples
+///
+/// ```
+/// use nvpim_logic::{CircuitBuilder, GateKind};
+///
+/// let mut b = CircuitBuilder::new();
+/// let x = b.input();
+/// let y = b.gate1(GateKind::Not, x);
+/// b.mark_output(y);
+/// let c = b.build();
+/// assert_eq!(c.eval(&[vec![true]]).unwrap(), vec![false]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Circuit {
+    gates: Vec<Gate>,
+    n_bits: u32,
+    inputs: Vec<BitId>,
+    constants: Vec<(BitId, bool)>,
+    outputs: Vec<BitId>,
+}
+
+impl Circuit {
+    /// Assembles a circuit from raw parts. Normally called through
+    /// [`crate::CircuitBuilder::build`].
+    #[must_use]
+    pub fn from_parts(
+        gates: Vec<Gate>,
+        n_bits: u32,
+        inputs: Vec<BitId>,
+        constants: Vec<(BitId, bool)>,
+        outputs: Vec<BitId>,
+    ) -> Self {
+        Circuit { gates, n_bits, inputs, constants, outputs }
+    }
+
+    /// The gates in execution order.
+    #[must_use]
+    pub fn gates(&self) -> &[Gate] {
+        &self.gates
+    }
+
+    /// Total number of logical bits (inputs + constants + gate outputs).
+    #[must_use]
+    pub fn num_bits(&self) -> u32 {
+        self.n_bits
+    }
+
+    /// Declared input bits, in declaration order.
+    #[must_use]
+    pub fn input_bits(&self) -> &[BitId] {
+        &self.inputs
+    }
+
+    /// Declared constant bits and their values.
+    #[must_use]
+    pub fn constant_bits(&self) -> &[(BitId, bool)] {
+        &self.constants
+    }
+
+    /// Declared output bits, in declaration order.
+    #[must_use]
+    pub fn output_bits(&self) -> &[BitId] {
+        &self.outputs
+    }
+
+    /// Gate-count and cell-access statistics.
+    #[must_use]
+    pub fn stats(&self) -> GateStats {
+        let mut stats = GateStats::default();
+        for g in &self.gates {
+            *stats.counts.entry(g.kind()).or_insert(0) += 1;
+            stats.total_gates += 1;
+            stats.cell_reads += g.cell_reads();
+        }
+        stats
+    }
+
+    /// Evaluates the circuit.
+    ///
+    /// `input_groups` supplies the values of the declared input bits, as a
+    /// sequence of bit-vector groups that concatenate to the declaration
+    /// order (e.g. `&[bits_of_a, bits_of_b]`). Returns the output bit values
+    /// in output-declaration order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EvalError`] if the total number of provided bits differs
+    /// from the number of declared inputs.
+    pub fn eval(&self, input_groups: &[Vec<bool>]) -> Result<Vec<bool>, EvalError> {
+        let provided: usize = input_groups.iter().map(Vec::len).sum();
+        if provided != self.inputs.len() {
+            return Err(EvalError { expected: self.inputs.len(), provided });
+        }
+        let mut values = vec![false; self.n_bits as usize];
+        let flat = input_groups.iter().flatten();
+        for (&bit, &value) in self.inputs.iter().zip(flat) {
+            values[bit.idx()] = value;
+        }
+        for &(bit, value) in &self.constants {
+            values[bit.idx()] = value;
+        }
+        for g in &self.gates {
+            let a = values[g.input_a().idx()];
+            let b = g.input_b().map(|b| values[b.idx()]).unwrap_or(a);
+            values[g.output().idx()] = g.eval(a, b);
+        }
+        Ok(self.outputs.iter().map(|&b| values[b.idx()]).collect())
+    }
+
+    /// Last position at which each bit is *used*, over the positions
+    /// `0..gates.len()`; the defining position does not count as a use.
+    ///
+    /// Bits never used (e.g. outputs) get `None`. Output bits must be treated
+    /// as live forever by layout code regardless of this table.
+    #[must_use]
+    pub fn last_uses(&self) -> Vec<Option<usize>> {
+        let mut last = vec![None; self.n_bits as usize];
+        for (pos, g) in self.gates.iter().enumerate() {
+            last[g.input_a().idx()] = Some(pos);
+            if let Some(b) = g.input_b() {
+                last[b.idx()] = Some(pos);
+            }
+        }
+        last
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CircuitBuilder;
+
+    fn xor_circuit() -> Circuit {
+        // XOR from 4 NAND gates.
+        let mut b = CircuitBuilder::new();
+        let x = b.input();
+        let y = b.input();
+        let n1 = b.gate2(GateKind::Nand, x, y);
+        let n2 = b.gate2(GateKind::Nand, x, n1);
+        let n3 = b.gate2(GateKind::Nand, y, n1);
+        let out = b.gate2(GateKind::Nand, n2, n3);
+        b.mark_output(out);
+        b.build()
+    }
+
+    #[test]
+    fn nand_xor_truth_table() {
+        let c = xor_circuit();
+        for (x, y) in [(false, false), (false, true), (true, false), (true, true)] {
+            let out = c.eval(&[vec![x], vec![y]]).unwrap();
+            assert_eq!(out, vec![x ^ y], "xor({x},{y})");
+        }
+    }
+
+    #[test]
+    fn stats_count_gates_and_reads() {
+        let c = xor_circuit();
+        let s = c.stats();
+        assert_eq!(s.total_gates(), 4);
+        assert_eq!(s.count(GateKind::Nand), 4);
+        assert_eq!(s.count(GateKind::Not), 0);
+        assert_eq!(s.cell_writes(), 4);
+        assert_eq!(s.cell_reads(), 8);
+        assert!(s.to_string().contains("4 gates"));
+    }
+
+    #[test]
+    fn eval_rejects_wrong_input_count() {
+        let c = xor_circuit();
+        let err = c.eval(&[vec![true]]).unwrap_err();
+        assert_eq!(err.to_string(), "input bit count mismatch: circuit declares 2 input bits, 1 provided");
+    }
+
+    #[test]
+    fn input_groups_may_be_split_arbitrarily() {
+        let c = xor_circuit();
+        let a = c.eval(&[vec![true, false]]).unwrap();
+        let b = c.eval(&[vec![true], vec![false]]).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn last_uses_tracks_final_read() {
+        let c = xor_circuit();
+        let last = c.last_uses();
+        // Inputs x (bit 0) and y (bit 1) are last used by gates 1 and 2.
+        assert_eq!(last[0], Some(1));
+        assert_eq!(last[1], Some(2));
+        // n1 (bit 2) is last used by gate 2; the output (bit 5) is never read.
+        assert_eq!(last[2], Some(2));
+        assert_eq!(last[5], None);
+    }
+
+    #[test]
+    fn constants_feed_gates() {
+        let mut b = CircuitBuilder::new();
+        let x = b.input();
+        let one = b.constant(true);
+        let out = b.gate2(GateKind::Xor, x, one);
+        b.mark_output(out);
+        let c = b.build();
+        assert_eq!(c.eval(&[vec![true]]).unwrap(), vec![false]);
+        assert_eq!(c.eval(&[vec![false]]).unwrap(), vec![true]);
+    }
+}

@@ -1,0 +1,171 @@
+//! NAND-based adders.
+//!
+//! The paper's Fig. 2 implements a full adder with 9 NAND gates; the half
+//! adder used here is 4 NAND + 1 NOT (5 gates). With those costs a b-bit
+//! ripple-carry addition — which is *optimal* for PIM because gates must run
+//! sequentially anyway — takes `9(b−1) + 5` gate operations.
+
+use crate::{BitId, CircuitBuilder, GateKind};
+
+/// Appends a half adder: `(sum, carry) = a + b`.
+///
+/// Cost: 5 gates (4 NAND + 1 NOT), 9 cell reads, 5 cell writes.
+pub fn half_adder(b: &mut CircuitBuilder, x: BitId, y: BitId) -> (BitId, BitId) {
+    let n1 = b.gate2(GateKind::Nand, x, y);
+    let n2 = b.gate2(GateKind::Nand, x, n1);
+    let n3 = b.gate2(GateKind::Nand, y, n1);
+    let sum = b.gate2(GateKind::Nand, n2, n3);
+    let carry = b.gate1(GateKind::Not, n1);
+    (sum, carry)
+}
+
+/// Appends a full adder: `(sum, carry) = x + y + c`.
+///
+/// Cost: 9 NAND gates (the paper's Fig. 2 construction), 18 cell reads,
+/// 9 cell writes.
+pub fn full_adder(b: &mut CircuitBuilder, x: BitId, y: BitId, c: BitId) -> (BitId, BitId) {
+    let n1 = b.gate2(GateKind::Nand, x, y);
+    let n2 = b.gate2(GateKind::Nand, x, n1);
+    let n3 = b.gate2(GateKind::Nand, y, n1);
+    let s1 = b.gate2(GateKind::Nand, n2, n3); // s1 = x ^ y
+    let n4 = b.gate2(GateKind::Nand, s1, c);
+    let n5 = b.gate2(GateKind::Nand, s1, n4);
+    let n6 = b.gate2(GateKind::Nand, c, n4);
+    let sum = b.gate2(GateKind::Nand, n5, n6); // sum = s1 ^ c
+    let carry = b.gate2(GateKind::Nand, n1, n4); // carry = xy | c(x^y)
+    (sum, carry)
+}
+
+/// Appends a ripple-carry adder over equally sized LSB-first operands,
+/// returning the `n+1`-bit sum (the extra bit is the carry out).
+///
+/// Cost: 1 half adder + `n−1` full adders = `9n − 4` gates, exactly the
+/// paper's "b−1 full-adds and 1 half-add" decomposition.
+///
+/// # Panics
+///
+/// Panics if the operands are empty or differ in width.
+pub fn ripple_carry_add(b: &mut CircuitBuilder, x: &[BitId], y: &[BitId]) -> Vec<BitId> {
+    assert!(!x.is_empty(), "cannot add zero-width operands");
+    assert_eq!(x.len(), y.len(), "ripple-carry operands must have equal width");
+    let mut out = Vec::with_capacity(x.len() + 1);
+    let (sum, mut carry) = half_adder(b, x[0], y[0]);
+    out.push(sum);
+    for i in 1..x.len() {
+        let (sum, c) = full_adder(b, x[i], y[i], carry);
+        out.push(sum);
+        carry = c;
+    }
+    out.push(carry);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{words, GateKind};
+
+    fn run_add(a: u64, b: u64, width: usize) -> u64 {
+        let mut builder = CircuitBuilder::new();
+        let xs = builder.inputs(width);
+        let ys = builder.inputs(width);
+        let sum = ripple_carry_add(&mut builder, &xs, &ys);
+        assert_eq!(sum.len(), width + 1);
+        builder.mark_outputs(&sum);
+        let circuit = builder.build();
+        let out = circuit
+            .eval(&[words::to_bits(a, width), words::to_bits(b, width)])
+            .unwrap();
+        words::from_bits(&out)
+    }
+
+    #[test]
+    fn half_adder_truth_table() {
+        for (x, y) in [(false, false), (false, true), (true, false), (true, true)] {
+            let mut b = CircuitBuilder::new();
+            let bx = b.input();
+            let by = b.input();
+            let (s, c) = half_adder(&mut b, bx, by);
+            b.mark_outputs(&[s, c]);
+            let out = b.build().eval(&[vec![x], vec![y]]).unwrap();
+            let expect = u8::from(x) + u8::from(y);
+            assert_eq!(out, vec![expect & 1 == 1, expect >> 1 == 1], "ha({x},{y})");
+        }
+    }
+
+    #[test]
+    fn full_adder_truth_table() {
+        for bits in 0u8..8 {
+            let (x, y, z) = (bits & 1 == 1, bits & 2 == 2, bits & 4 == 4);
+            let mut b = CircuitBuilder::new();
+            let inputs = b.inputs(3);
+            let (s, c) = full_adder(&mut b, inputs[0], inputs[1], inputs[2]);
+            b.mark_outputs(&[s, c]);
+            let out = b.build().eval(&[vec![x, y, z]]).unwrap();
+            let expect = u8::from(x) + u8::from(y) + u8::from(z);
+            assert_eq!(out, vec![expect & 1 == 1, expect >> 1 == 1], "fa({x},{y},{z})");
+        }
+    }
+
+    #[test]
+    fn adder_gate_costs_match_paper() {
+        let mut b = CircuitBuilder::new();
+        let bx = b.input();
+        let by = b.input();
+        let _ = half_adder(&mut b, bx, by);
+        let c = b.build();
+        let s = c.stats();
+        assert_eq!(s.total_gates(), 5);
+        assert_eq!(s.count(GateKind::Nand), 4);
+        assert_eq!(s.count(GateKind::Not), 1);
+        assert_eq!(s.cell_reads(), 9);
+
+        let mut b = CircuitBuilder::new();
+        let ins = b.inputs(3);
+        let _ = full_adder(&mut b, ins[0], ins[1], ins[2]);
+        let s = b.build().stats();
+        assert_eq!(s.total_gates(), 9);
+        assert_eq!(s.count(GateKind::Nand), 9);
+        assert_eq!(s.cell_reads(), 18);
+    }
+
+    #[test]
+    fn ripple_gate_count_formula() {
+        for width in [1usize, 2, 8, 32] {
+            let mut b = CircuitBuilder::new();
+            let xs = b.inputs(width);
+            let ys = b.inputs(width);
+            let _ = ripple_carry_add(&mut b, &xs, &ys);
+            let gates = b.build().stats().total_gates();
+            assert_eq!(gates, 9 * width as u64 - 4, "width {width}");
+        }
+    }
+
+    #[test]
+    fn exhaustive_small_widths() {
+        for width in 1..=4usize {
+            let max = 1u64 << width;
+            for a in 0..max {
+                for b in 0..max {
+                    assert_eq!(run_add(a, b, width), a + b, "{a}+{b} @{width}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn wide_addition_spot_checks() {
+        assert_eq!(run_add(u32::MAX as u64, u32::MAX as u64, 32), 2 * (u32::MAX as u64));
+        assert_eq!(run_add(0, 0, 32), 0);
+        assert_eq!(run_add(0x8000_0000, 0x8000_0000, 32), 1u64 << 32);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal width")]
+    fn mismatched_widths_panic() {
+        let mut b = CircuitBuilder::new();
+        let xs = b.inputs(3);
+        let ys = b.inputs(2);
+        let _ = ripple_carry_add(&mut b, &xs, &ys);
+    }
+}

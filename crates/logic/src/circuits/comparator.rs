@@ -1,0 +1,88 @@
+//! Unsigned comparison, used as the BNN non-linearity.
+//!
+//! §4 uses "a comparison" as the non-linear threshold operation of the
+//! convolution benchmark: the accumulated sum is compared against a constant
+//! threshold, producing the single-bit binary-neural-network output.
+
+use crate::circuits::full_adder;
+use crate::{BitId, CircuitBuilder, GateKind};
+
+/// Appends an unsigned comparator, returning one bit that is `1` iff
+/// `x ≥ y`.
+///
+/// Computed as the carry-out of `x + ¬y + 1` (two's-complement subtraction):
+/// `n` NOT gates, one constant bit, and `n` full adders — `10n` gate
+/// operations.
+///
+/// # Panics
+///
+/// Panics if the operands are empty or differ in width.
+pub fn greater_equal(b: &mut CircuitBuilder, x: &[BitId], y: &[BitId]) -> BitId {
+    assert!(!x.is_empty(), "cannot compare zero-width operands");
+    assert_eq!(x.len(), y.len(), "comparator operands must have equal width");
+    let not_y: Vec<BitId> = y.iter().map(|&bit| b.gate1(GateKind::Not, bit)).collect();
+    let mut carry = b.constant(true);
+    for i in 0..x.len() {
+        let (_sum, c) = full_adder(b, x[i], not_y[i], carry);
+        carry = c;
+    }
+    carry
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::words;
+
+    fn run_ge(a: u64, b: u64, width: usize) -> bool {
+        let mut builder = CircuitBuilder::new();
+        let xs = builder.inputs(width);
+        let ys = builder.inputs(width);
+        let ge = greater_equal(&mut builder, &xs, &ys);
+        builder.mark_output(ge);
+        let circuit = builder.build();
+        circuit
+            .eval(&[words::to_bits(a, width), words::to_bits(b, width)])
+            .unwrap()[0]
+    }
+
+    #[test]
+    fn exhaustive_small_widths() {
+        for width in 1..=4usize {
+            let max = 1u64 << width;
+            for a in 0..max {
+                for b in 0..max {
+                    assert_eq!(run_ge(a, b, width), a >= b, "{a}>={b} @{width}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn wide_spot_checks() {
+        assert!(run_ge(1u64 << 31, (1u64 << 31) - 1, 32));
+        assert!(!run_ge((1u64 << 31) - 1, 1u64 << 31, 32));
+        assert!(run_ge(0, 0, 32));
+        assert!(run_ge(u32::MAX as u64, u32::MAX as u64, 32));
+    }
+
+    #[test]
+    fn gate_cost_is_ten_n() {
+        for width in [1usize, 8, 20] {
+            let mut b = CircuitBuilder::new();
+            let xs = b.inputs(width);
+            let ys = b.inputs(width);
+            let _ = greater_equal(&mut b, &xs, &ys);
+            assert_eq!(b.build().stats().total_gates(), 10 * width as u64);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "equal width")]
+    fn mismatched_widths_rejected() {
+        let mut b = CircuitBuilder::new();
+        let xs = b.inputs(2);
+        let ys = b.inputs(3);
+        let _ = greater_equal(&mut b, &xs, &ys);
+    }
+}

@@ -1,0 +1,114 @@
+//! Restoring division — the most gate-hungry primitive in the library.
+//!
+//! Division illustrates the paper's point about complex operations better
+//! than anything else: where a CPU divides in tens of cycles, the in-memory
+//! version needs `O(n²)` sequential gates (n conditional-subtract steps of
+//! n-bit subtractors and muxes).
+
+use crate::circuits::{mux_word, ripple_subtract};
+use crate::{BitId, CircuitBuilder};
+
+/// Appends an unsigned restoring divider over equal-width LSB-first
+/// operands, returning `(quotient, remainder)`, each `n` bits.
+///
+/// Division by zero yields quotient = all ones and remainder = `x`
+/// (the conventional "restore everything" outcome of restoring division).
+///
+/// Cost: per bit step, one `(n+1)`-bit subtract (`10(n+1)` gates) and one
+/// `n+1`-bit restore mux (`3(n+1)+1` gates) — about `13n²` gates total.
+///
+/// # Panics
+///
+/// Panics if the operands are empty or differ in width.
+pub fn divide(
+    b: &mut CircuitBuilder,
+    x: &[BitId],
+    y: &[BitId],
+) -> (Vec<BitId>, Vec<BitId>) {
+    assert!(!x.is_empty(), "cannot divide zero-width operands");
+    assert_eq!(x.len(), y.len(), "divider operands must have equal width");
+    let n = x.len();
+    let zero = b.constant(false);
+
+    // Working remainder, one bit wider than the divisor so the trial
+    // subtraction cannot overflow.
+    let mut remainder: Vec<BitId> = vec![zero; n + 1];
+    let divisor: Vec<BitId> = y.iter().copied().chain(std::iter::once(zero)).collect();
+    let mut quotient: Vec<BitId> = vec![zero; n];
+
+    for step in (0..n).rev() {
+        // Shift the remainder left by one, bringing in dividend bit `step`.
+        let mut shifted = Vec::with_capacity(n + 1);
+        shifted.push(x[step]);
+        shifted.extend_from_slice(&remainder[..n]);
+        // Trial subtraction; keep it if it did not borrow.
+        let (diff, no_borrow) = ripple_subtract(b, &shifted, &divisor);
+        remainder = mux_word(b, no_borrow, &diff, &shifted);
+        quotient[step] = no_borrow;
+    }
+    remainder.truncate(n);
+    (quotient, remainder)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{words, Circuit};
+
+    fn build_divider(width: usize) -> Circuit {
+        let mut b = CircuitBuilder::new();
+        let xs = b.inputs(width);
+        let ys = b.inputs(width);
+        let (q, r) = divide(&mut b, &xs, &ys);
+        b.mark_outputs(&q);
+        b.mark_outputs(&r);
+        b.build()
+    }
+
+    fn run_div(c: &Circuit, a: u64, d: u64, width: usize) -> (u64, u64) {
+        let out = c.eval(&[words::to_bits(a, width), words::to_bits(d, width)]).unwrap();
+        (words::from_bits(&out[..width]), words::from_bits(&out[width..]))
+    }
+
+    #[test]
+    fn exhaustive_small_widths() {
+        for width in 1..=4usize {
+            let c = build_divider(width);
+            let max = 1u64 << width;
+            for a in 0..max {
+                for d in 1..max {
+                    let (q, r) = run_div(&c, a, d, width);
+                    assert_eq!((q, r), (a / d, a % d), "{a}/{d} @{width}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn wide_spot_checks() {
+        let c = build_divider(16);
+        for (a, d) in [(65_535u64, 1u64), (65_535, 255), (12_345, 67), (1, 65_535), (0, 7)] {
+            assert_eq!(run_div(&c, a, d, 16), (a / d, a % d), "{a}/{d}");
+        }
+    }
+
+    #[test]
+    fn division_by_zero_is_defined() {
+        let c = build_divider(4);
+        let (q, r) = run_div(&c, 11, 0, 4);
+        assert_eq!(q, 0b1111, "restoring division yields all-ones quotient");
+        assert_eq!(r, 11, "remainder restores the dividend");
+    }
+
+    #[test]
+    fn gate_count_is_quadratic() {
+        let g8 = build_divider(8).stats().total_gates();
+        let g16 = build_divider(16).stats().total_gates();
+        // Quadratic growth: doubling the width roughly quadruples gates.
+        let ratio = g16 as f64 / g8 as f64;
+        assert!((3.0..5.0).contains(&ratio), "ratio {ratio}");
+        // And it dwarfs multiplication at the same width (the §2.2 point
+        // about complex ops).
+        assert!(g16 > crate::counts::mul_gate_writes(16));
+    }
+}

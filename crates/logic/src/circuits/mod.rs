@@ -1,0 +1,34 @@
+//! The in-memory arithmetic library.
+//!
+//! Each function appends gates to a [`crate::CircuitBuilder`] and returns the
+//! logical bits holding the result. Gate counts follow the paper's cost
+//! model: a full adder is 9 NAND gates (Fig. 2 of the paper), a half adder
+//! is 4 NAND + 1 NOT, partial products are native AND gates, and every gate
+//! is one sequential in-memory operation.
+//!
+//! Primitives used by the paper's benchmarks: [`multiply`] (the DADDA-count
+//! multiplier), [`ripple_carry_add`], [`greater_equal`], and the COPY
+//! movers ([`copy_word`], [`not_not_word`]) behind Table 2's access-aware
+//! shuffling. The remainder — subtraction, absolute difference, muxes,
+//! shifts, population count, XNOR, and restoring division — round the
+//! library out to what large-scale applications decompose into (§2.2).
+
+mod adder;
+mod comparator;
+mod divider;
+mod multiplier;
+mod popcount;
+mod select;
+mod shifter;
+mod shuffle;
+mod subtractor;
+
+pub use adder::{full_adder, half_adder, ripple_carry_add};
+pub use comparator::greater_equal;
+pub use divider::divide;
+pub use multiplier::multiply;
+pub use popcount::{popcount, xnor_word};
+pub use select::{mux_bit, mux_word};
+pub use shifter::{barrel_shift_left, shift_left_const, shift_right_const};
+pub use shuffle::{copy_word, not_not_word};
+pub use subtractor::{absolute_difference, negate, ripple_subtract};

@@ -1,0 +1,132 @@
+//! Population count — the reduction at the heart of binarized neural
+//! networks (XNOR-popcount layers, the workloads of the authors' own
+//! Pimball accelerator \[31\]).
+//!
+//! Implemented as carry-save compression: full adders turn three
+//! same-weight bits into two (sum + carry), exactly like the multiplier's
+//! column reduction, followed by half adders to finish each weight class.
+
+use std::collections::VecDeque;
+
+use crate::circuits::{full_adder, half_adder};
+use crate::{BitId, CircuitBuilder, GateKind};
+
+/// Appends a population counter over `bits`, returning the LSB-first count
+/// (width `ceil(log2(n + 1))`).
+///
+/// # Panics
+///
+/// Panics if `bits` is empty.
+pub fn popcount(b: &mut CircuitBuilder, bits: &[BitId]) -> Vec<BitId> {
+    assert!(!bits.is_empty(), "cannot count zero bits");
+    let out_width = (usize::BITS - bits.len().leading_zeros()) as usize;
+    let mut columns: Vec<VecDeque<BitId>> = vec![VecDeque::new(); out_width + 1];
+    columns[0].extend(bits.iter().copied());
+
+    let mut result = Vec::with_capacity(out_width);
+    for c in 0..out_width {
+        while columns[c].len() >= 3 {
+            let p = columns[c].pop_front().expect("len checked");
+            let q = columns[c].pop_front().expect("len checked");
+            let r = columns[c].pop_front().expect("len checked");
+            let (sum, carry) = full_adder(b, p, q, r);
+            columns[c].push_back(sum);
+            columns[c + 1].push_back(carry);
+        }
+        if columns[c].len() == 2 {
+            let p = columns[c].pop_front().expect("len checked");
+            let q = columns[c].pop_front().expect("len checked");
+            let (sum, carry) = half_adder(b, p, q);
+            columns[c + 1].push_back(carry);
+            result.push(sum);
+        } else {
+            match columns[c].pop_front() {
+                Some(bit) => result.push(bit),
+                // A column can be empty (e.g. the top weight of an exact
+                // power-of-two count); emit a constant zero.
+                None => result.push(b.constant(false)),
+            }
+        }
+    }
+    debug_assert!(columns[out_width].is_empty(), "count overflowed its width");
+    result
+}
+
+/// Appends the XNOR of two equal-width words — the binarized "product" of
+/// BNN inference (matching signs count as +1).
+///
+/// # Panics
+///
+/// Panics if the words differ in width.
+pub fn xnor_word(b: &mut CircuitBuilder, x: &[BitId], y: &[BitId]) -> Vec<BitId> {
+    assert_eq!(x.len(), y.len(), "xnor words must have equal width");
+    x.iter().zip(y).map(|(&xi, &yi)| b.gate2(GateKind::Xnor, xi, yi)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::words;
+
+    fn run_popcount(value: u64, width: usize) -> u64 {
+        let mut builder = CircuitBuilder::new();
+        let bits = builder.inputs(width);
+        let count = popcount(&mut builder, &bits);
+        builder.mark_outputs(&count);
+        let c = builder.build();
+        words::from_bits(&c.eval(&[words::to_bits(value, width)]).unwrap())
+    }
+
+    #[test]
+    fn exhaustive_up_to_eight_bits() {
+        for width in 1..=8usize {
+            for v in 0..(1u64 << width) {
+                assert_eq!(run_popcount(v, width), u64::from(v.count_ones()), "{v:#b} @{width}");
+            }
+        }
+    }
+
+    #[test]
+    fn wide_spot_checks() {
+        assert_eq!(run_popcount(u64::MAX, 64), 64);
+        assert_eq!(run_popcount(0, 64), 0);
+        assert_eq!(run_popcount(0xAAAA_AAAA_AAAA_AAAA, 64), 32);
+        assert_eq!(run_popcount(0x8000_0000_0000_0001, 64), 2);
+    }
+
+    #[test]
+    fn output_width_is_logarithmic() {
+        for (n, w) in [(1usize, 1usize), (2, 2), (3, 2), (4, 3), (7, 3), (8, 4), (63, 6), (64, 7)] {
+            let mut builder = CircuitBuilder::new();
+            let bits = builder.inputs(n);
+            let count = popcount(&mut builder, &bits);
+            assert_eq!(count.len(), w, "n={n}");
+        }
+    }
+
+    #[test]
+    fn xnor_counts_matching_bits() {
+        let mut builder = CircuitBuilder::new();
+        let x = builder.inputs(16);
+        let y = builder.inputs(16);
+        let matches = xnor_word(&mut builder, &x, &y);
+        let count = popcount(&mut builder, &matches);
+        builder.mark_outputs(&count);
+        let c = builder.build();
+        for (a, b) in [(0u64, 0u64), (0xFFFF, 0), (0x00FF, 0x0FF0), (0x1234, 0x1234)] {
+            let out = c.eval(&[words::to_bits(a, 16), words::to_bits(b, 16)]).unwrap();
+            let expect = u64::from((!(a ^ b) & 0xFFFF).count_ones());
+            assert_eq!(words::from_bits(&out), expect, "{a:#x} vs {b:#x}");
+        }
+    }
+
+    #[test]
+    fn gate_count_is_linear() {
+        // Carry-save popcount uses < n full adders plus O(log n) half adders.
+        let mut builder = CircuitBuilder::new();
+        let bits = builder.inputs(64);
+        let _ = popcount(&mut builder, &bits);
+        let gates = builder.build().stats().total_gates();
+        assert!(gates < 64 * 9 + 7 * 5, "popcount(64) used {gates} gates");
+    }
+}

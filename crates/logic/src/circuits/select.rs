@@ -1,0 +1,96 @@
+//! Bit and word selection (multiplexers).
+//!
+//! PIM has no branches: data-dependent choices are computed as muxes, one
+//! more reason gate counts climb quickly on these architectures.
+
+use crate::{BitId, CircuitBuilder, GateKind};
+
+/// Appends a 2:1 mux on one bit: `sel ? a : b`.
+///
+/// Cost: 4 gates (NOT, 2×AND, OR).
+pub fn mux_bit(builder: &mut CircuitBuilder, sel: BitId, a: BitId, b: BitId) -> BitId {
+    let not_sel = builder.gate1(GateKind::Not, sel);
+    let take_a = builder.gate2(GateKind::And, sel, a);
+    let take_b = builder.gate2(GateKind::And, not_sel, b);
+    builder.gate2(GateKind::Or, take_a, take_b)
+}
+
+/// Appends a 2:1 mux on equal-width words: `sel ? a : b`, bitwise.
+///
+/// Cost: `3n + 1` gates (the select's inverse is shared).
+///
+/// # Panics
+///
+/// Panics if the words differ in width or are empty.
+pub fn mux_word(builder: &mut CircuitBuilder, sel: BitId, a: &[BitId], b: &[BitId]) -> Vec<BitId> {
+    assert!(!a.is_empty(), "cannot mux zero-width words");
+    assert_eq!(a.len(), b.len(), "mux words must have equal width");
+    let not_sel = builder.gate1(GateKind::Not, sel);
+    a.iter()
+        .zip(b)
+        .map(|(&ai, &bi)| {
+            let take_a = builder.gate2(GateKind::And, sel, ai);
+            let take_b = builder.gate2(GateKind::And, not_sel, bi);
+            builder.gate2(GateKind::Or, take_a, take_b)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::words;
+
+    #[test]
+    fn mux_bit_truth_table() {
+        for sel in [false, true] {
+            for a in [false, true] {
+                for b in [false, true] {
+                    let mut builder = CircuitBuilder::new();
+                    let ins = builder.inputs(3);
+                    let out = mux_bit(&mut builder, ins[0], ins[1], ins[2]);
+                    builder.mark_output(out);
+                    let got = builder.build().eval(&[vec![sel, a, b]]).unwrap()[0];
+                    assert_eq!(got, if sel { a } else { b }, "mux({sel},{a},{b})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mux_word_selects_whole_words() {
+        let mut builder = CircuitBuilder::new();
+        let sel = builder.input();
+        let a = builder.inputs(8);
+        let b = builder.inputs(8);
+        let out = mux_word(&mut builder, sel, &a, &b);
+        builder.mark_outputs(&out);
+        let c = builder.build();
+        for (s, expect) in [(true, 0xAB), (false, 0x34)] {
+            let got = c
+                .eval(&[vec![s], words::to_bits(0xAB, 8), words::to_bits(0x34, 8)])
+                .unwrap();
+            assert_eq!(words::from_bits(&got), expect);
+        }
+    }
+
+    #[test]
+    fn mux_word_gate_cost() {
+        let mut builder = CircuitBuilder::new();
+        let sel = builder.input();
+        let a = builder.inputs(16);
+        let b = builder.inputs(16);
+        let _ = mux_word(&mut builder, sel, &a, &b);
+        assert_eq!(builder.build().stats().total_gates(), 3 * 16 + 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal width")]
+    fn mismatched_mux_rejected() {
+        let mut builder = CircuitBuilder::new();
+        let sel = builder.input();
+        let a = builder.inputs(4);
+        let b = builder.inputs(5);
+        let _ = mux_word(&mut builder, sel, &a, &b);
+    }
+}

@@ -1,0 +1,110 @@
+//! Constant-distance shifts and a barrel shifter.
+//!
+//! A shift by a compile-time constant is free in a PIM lane (it is pure
+//! re-labeling plus constant fill); a *data-dependent* shift needs mux
+//! stages and real gates — another illustration of how control flow turns
+//! into gate count in memory.
+
+use crate::circuits::mux_word;
+use crate::{BitId, CircuitBuilder};
+
+/// Logical left shift by a constant: relabels bits and fills with a shared
+/// constant zero. Zero gates for the shift itself (one constant write).
+pub fn shift_left_const(b: &mut CircuitBuilder, x: &[BitId], k: usize) -> Vec<BitId> {
+    let zero = b.constant(false);
+    let n = x.len();
+    (0..n).map(|i| if i < k { zero } else { x[i - k] }).collect()
+}
+
+/// Logical right shift by a constant.
+pub fn shift_right_const(b: &mut CircuitBuilder, x: &[BitId], k: usize) -> Vec<BitId> {
+    let zero = b.constant(false);
+    let n = x.len();
+    (0..n).map(|i| if i + k < n { x[i + k] } else { zero }).collect()
+}
+
+/// Data-dependent logical left shift: `x << amount`, where `amount` is an
+/// LSB-first bit vector. One mux-word stage per amount bit
+/// (`log`-depth barrel shifter), about `3n·|amount|` gates.
+///
+/// # Panics
+///
+/// Panics if `x` is empty.
+pub fn barrel_shift_left(
+    b: &mut CircuitBuilder,
+    x: &[BitId],
+    amount: &[BitId],
+) -> Vec<BitId> {
+    assert!(!x.is_empty(), "cannot shift zero-width word");
+    let mut current = x.to_vec();
+    for (stage, &sel) in amount.iter().enumerate() {
+        let shifted = shift_left_const(b, &current, 1 << stage);
+        current = mux_word(b, sel, &shifted, &current);
+    }
+    current
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::words;
+
+    #[test]
+    fn const_shifts_exhaustive() {
+        for width in 1..=6usize {
+            for k in 0..=width {
+                for v in 0..(1u64 << width) {
+                    let mut builder = CircuitBuilder::new();
+                    let xs = builder.inputs(width);
+                    let l = shift_left_const(&mut builder, &xs, k);
+                    let r = shift_right_const(&mut builder, &xs, k);
+                    builder.mark_outputs(&l);
+                    builder.mark_outputs(&r);
+                    let out = builder.build().eval(&[words::to_bits(v, width)]).unwrap();
+                    let mask = (1u64 << width) - 1;
+                    assert_eq!(words::from_bits(&out[..width]), (v << k) & mask, "<<{k}");
+                    assert_eq!(words::from_bits(&out[width..]), v >> k, ">>{k}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn const_shift_is_gate_free() {
+        let mut builder = CircuitBuilder::new();
+        let xs = builder.inputs(32);
+        let _ = shift_left_const(&mut builder, &xs, 5);
+        assert_eq!(builder.len(), 0, "constant shifts must not emit gates");
+    }
+
+    #[test]
+    fn barrel_shifter_matches_native() {
+        let width = 8;
+        let mut builder = CircuitBuilder::new();
+        let xs = builder.inputs(width);
+        let amount = builder.inputs(3);
+        let out = barrel_shift_left(&mut builder, &xs, &amount);
+        builder.mark_outputs(&out);
+        let c = builder.build();
+        for v in [0u64, 1, 0xA5, 0xFF] {
+            for k in 0..8u64 {
+                let got = c.eval(&[words::to_bits(v, width), words::to_bits(k, 3)]).unwrap();
+                assert_eq!(
+                    words::from_bits(&got),
+                    (v << k) & 0xFF,
+                    "{v:#x} << {k}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn barrel_shifter_costs_gates() {
+        let mut builder = CircuitBuilder::new();
+        let xs = builder.inputs(32);
+        let amount = builder.inputs(5);
+        let _ = barrel_shift_left(&mut builder, &xs, &amount);
+        let gates = builder.build().stats().total_gates();
+        assert_eq!(gates, 5 * (3 * 32 + 1), "five mux stages");
+    }
+}

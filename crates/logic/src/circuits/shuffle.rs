@@ -1,0 +1,69 @@
+//! Operand movement gates for memory-access-aware re-mapping.
+//!
+//! §3.2's access-aware strategy shuffles input operands to fresh physical
+//! locations with COPY gates (or two sequential NOTs on architectures
+//! without a native COPY [29]) before computing, and un-shuffles the output
+//! afterwards. These helpers emit those movement gates; the overhead
+//! analysis lives in `nvpim-balance::access_aware`.
+
+use crate::{BitId, CircuitBuilder, GateKind};
+
+/// Moves a word with one COPY gate per bit, returning the new bits.
+///
+/// Cost: `n` gates, `n` reads, `n` writes.
+pub fn copy_word(b: &mut CircuitBuilder, xs: &[BitId]) -> Vec<BitId> {
+    xs.iter().map(|&x| b.gate1(GateKind::Copy, x)).collect()
+}
+
+/// Moves a word with two sequential NOT gates per bit, for architectures
+/// that do not support COPY natively (footnote 5 of the paper).
+///
+/// Cost: `2n` gates.
+pub fn not_not_word(b: &mut CircuitBuilder, xs: &[BitId]) -> Vec<BitId> {
+    xs.iter()
+        .map(|&x| {
+            let inverted = b.gate1(GateKind::Not, x);
+            b.gate1(GateKind::Not, inverted)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::words;
+
+    #[test]
+    fn copy_preserves_value() {
+        let mut b = CircuitBuilder::new();
+        let xs = b.inputs(8);
+        let moved = copy_word(&mut b, &xs);
+        b.mark_outputs(&moved);
+        let c = b.build();
+        assert_eq!(c.stats().total_gates(), 8);
+        let out = c.eval(&[words::to_bits(0xA5, 8)]).unwrap();
+        assert_eq!(words::from_bits(&out), 0xA5);
+    }
+
+    #[test]
+    fn not_not_preserves_value_at_double_cost() {
+        let mut b = CircuitBuilder::new();
+        let xs = b.inputs(8);
+        let moved = not_not_word(&mut b, &xs);
+        b.mark_outputs(&moved);
+        let c = b.build();
+        assert_eq!(c.stats().total_gates(), 16);
+        let out = c.eval(&[words::to_bits(0x3C, 8)]).unwrap();
+        assert_eq!(words::from_bits(&out), 0x3C);
+    }
+
+    #[test]
+    fn moved_bits_are_fresh() {
+        let mut b = CircuitBuilder::new();
+        let xs = b.inputs(4);
+        let moved = copy_word(&mut b, &xs);
+        for (&old, &new) in xs.iter().zip(&moved) {
+            assert_ne!(old, new);
+        }
+    }
+}

@@ -1,0 +1,145 @@
+//! Closed-form operation-count formulas from the paper.
+//!
+//! Two accounting schemes appear in the paper and both are provided here:
+//!
+//! * the **NAND scheme** used by the simulator and the §3.1 headline numbers
+//!   (full adder = 9 gates, half adder = 5 gates, AND native) — matched
+//!   exactly by [`crate::circuits::multiply`] and
+//!   [`crate::circuits::ripple_carry_add`];
+//! * the **idealized two-input scheme** used by the Table 2 overhead
+//!   analysis (full adder = 5 gates minimum, half adder = 2 gates), giving
+//!   `6b² − 8b` gates per multiplication and `5b − 3` per addition.
+
+/// Full adders in a b-bit DADDA multiplication: `b² − 2b`.
+#[must_use]
+pub fn dadda_full_adders(b: u64) -> u64 {
+    b * b - 2 * b
+}
+
+/// Half adders in a b-bit DADDA multiplication: `b`.
+#[must_use]
+pub fn dadda_half_adders(b: u64) -> u64 {
+    b
+}
+
+/// AND gates (partial products) in a b-bit DADDA multiplication: `b²`.
+#[must_use]
+pub fn dadda_and_gates(b: u64) -> u64 {
+    b * b
+}
+
+/// Gate operations (= cell writes, sense-amp semantics) of a b-bit
+/// multiplication in the NAND scheme: `9(b²−2b) + 5b + b² = 10b² − 13b`.
+#[must_use]
+pub fn mul_gate_writes(b: u64) -> u64 {
+    9 * dadda_full_adders(b) + 5 * dadda_half_adders(b) + dadda_and_gates(b)
+}
+
+/// Cell reads of a b-bit multiplication in the NAND scheme:
+/// `18(b²−2b) + 9b + 2b²`.
+#[must_use]
+pub fn mul_cell_reads(b: u64) -> u64 {
+    18 * dadda_full_adders(b) + 9 * dadda_half_adders(b) + 2 * dadda_and_gates(b)
+}
+
+/// Gate operations of a b-bit ripple-carry addition in the NAND scheme:
+/// `9(b−1) + 5`.
+#[must_use]
+pub fn add_gate_writes(b: u64) -> u64 {
+    assert!(b >= 1);
+    9 * (b - 1) + 5
+}
+
+/// Cell reads of a b-bit ripple-carry addition in the NAND scheme:
+/// `18(b−1) + 9`.
+#[must_use]
+pub fn add_cell_reads(b: u64) -> u64 {
+    assert!(b >= 1);
+    18 * (b - 1) + 9
+}
+
+/// Idealized two-input-gate count of a b-bit multiplication (§3.2):
+/// `6b² − 8b`.
+#[must_use]
+pub fn mul_gates_ideal(b: u64) -> u64 {
+    6 * b * b - 8 * b
+}
+
+/// Idealized two-input-gate count of a b-bit ripple-carry addition (§3.2):
+/// `5(b−1) + 2 = 5b − 3`.
+#[must_use]
+pub fn add_gates_ideal(b: u64) -> u64 {
+    5 * b - 3
+}
+
+/// Cell reads + writes of a b-bit multiplication on a *conventional*
+/// architecture (§3.1): read two b-bit operands, write the 2b-bit product.
+///
+/// Returns `(reads, writes)` — `(2b, 2b)`; for b = 32 this is the paper's
+/// "64 cell reads and 64 cell writes".
+#[must_use]
+pub fn conventional_mul_accesses(b: u64) -> (u64, u64) {
+    (2 * b, 2 * b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{circuits, CircuitBuilder};
+
+    #[test]
+    fn paper_headline_32_bit() {
+        assert_eq!(mul_gate_writes(32), 9_824);
+        assert_eq!(mul_cell_reads(32), 19_616);
+        assert_eq!(conventional_mul_accesses(32), (64, 64));
+    }
+
+    #[test]
+    fn write_amplification_exceeds_150x() {
+        // §1: "an in-memory multiplication requires over 150× more write
+        // operations than it would require in a conventional architecture".
+        let (_, conv_writes) = conventional_mul_accesses(32);
+        let amplification = mul_gate_writes(32) as f64 / conv_writes as f64;
+        assert!(amplification > 150.0, "amplification {amplification}");
+    }
+
+    #[test]
+    fn formulas_match_synthesized_circuits() {
+        for b in [2usize, 4, 8, 16, 32] {
+            let mut builder = CircuitBuilder::new();
+            let xs = builder.inputs(b);
+            let ys = builder.inputs(b);
+            let _ = circuits::multiply(&mut builder, &xs, &ys);
+            let stats = builder.build().stats();
+            assert_eq!(stats.cell_writes(), mul_gate_writes(b as u64));
+            assert_eq!(stats.cell_reads(), mul_cell_reads(b as u64));
+
+            let mut builder = CircuitBuilder::new();
+            let xs = builder.inputs(b);
+            let ys = builder.inputs(b);
+            let _ = circuits::ripple_carry_add(&mut builder, &xs, &ys);
+            let stats = builder.build().stats();
+            assert_eq!(stats.cell_writes(), add_gate_writes(b as u64));
+            assert_eq!(stats.cell_reads(), add_cell_reads(b as u64));
+        }
+    }
+
+    #[test]
+    fn ideal_counts_section_3_2() {
+        // §3.2: "a multiplication requires 6b²−8b gates in total"; ripple
+        // addition is 5b−3 (b−1 five-gate full-adds + one two-gate half-add).
+        assert_eq!(mul_gates_ideal(32), 5_888);
+        assert_eq!(add_gates_ideal(32), 157);
+        assert_eq!(add_gates_ideal(4), 17);
+    }
+
+    #[test]
+    fn average_accesses_per_cell_paper_example() {
+        // §3.1: with 1024 cells per lane, PIM averages 9.59 writes and 19.16
+        // reads per cell for one 32-bit multiplication.
+        let writes_per_cell = mul_gate_writes(32) as f64 / 1024.0;
+        let reads_per_cell = mul_cell_reads(32) as f64 / 1024.0;
+        assert!((writes_per_cell - 9.59).abs() < 0.01);
+        assert!((reads_per_cell - 19.16).abs() < 0.01);
+    }
+}

@@ -1,0 +1,258 @@
+//! Boolean gates as executed by a PIM lane.
+//!
+//! One gate is one sequential in-memory operation: current is passed through
+//! the input cell(s) and a single output cell is written (§2.2). A gate
+//! therefore costs exactly one cell write plus one cell read per input,
+//! regardless of its kind.
+
+use std::fmt;
+
+use crate::BitId;
+
+/// The Boolean function a gate computes.
+///
+/// The NAND-based constructions in [`crate::circuits`] only require
+/// [`GateKind::Nand`], [`GateKind::Not`] and [`GateKind::And`], matching the
+/// paper's cost model (Fig. 2); the remaining kinds are provided for
+/// architectures with richer native sets (e.g. Pinatubo's OR/AND, MAGIC's
+/// NOR) and for the access-aware COPY shuffling of §3.2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum GateKind {
+    /// Logical negation (one input).
+    Not,
+    /// Identity / buffer (one input). Used for operand shuffling.
+    Copy,
+    /// Logical AND.
+    And,
+    /// Logical NAND.
+    Nand,
+    /// Logical OR.
+    Or,
+    /// Logical NOR.
+    Nor,
+    /// Logical XOR.
+    Xor,
+    /// Logical XNOR.
+    Xnor,
+}
+
+impl GateKind {
+    /// Every gate kind.
+    pub const ALL: [GateKind; 8] = [
+        GateKind::Not,
+        GateKind::Copy,
+        GateKind::And,
+        GateKind::Nand,
+        GateKind::Or,
+        GateKind::Nor,
+        GateKind::Xor,
+        GateKind::Xnor,
+    ];
+
+    /// Number of inputs the gate takes (1 or 2).
+    #[must_use]
+    pub fn arity(self) -> u32 {
+        match self {
+            GateKind::Not | GateKind::Copy => 1,
+            _ => 2,
+        }
+    }
+
+    /// Applies the Boolean function. For one-input kinds, `b` is ignored.
+    #[must_use]
+    pub fn apply(self, a: bool, b: bool) -> bool {
+        match self {
+            GateKind::Not => !a,
+            GateKind::Copy => a,
+            GateKind::And => a & b,
+            GateKind::Nand => !(a & b),
+            GateKind::Or => a | b,
+            GateKind::Nor => !(a | b),
+            GateKind::Xor => a ^ b,
+            GateKind::Xnor => !(a ^ b),
+        }
+    }
+}
+
+impl fmt::Display for GateKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            GateKind::Not => "NOT",
+            GateKind::Copy => "COPY",
+            GateKind::And => "AND",
+            GateKind::Nand => "NAND",
+            GateKind::Or => "OR",
+            GateKind::Nor => "NOR",
+            GateKind::Xor => "XOR",
+            GateKind::Xnor => "XNOR",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One gate instance: a kind, its input bit(s), and its output bit.
+///
+/// # Examples
+///
+/// ```
+/// use nvpim_logic::{BitId, Gate, GateKind};
+///
+/// let g = Gate::two(GateKind::Nand, BitId::new(0), BitId::new(1), BitId::new(2));
+/// assert_eq!(g.inputs(), &[BitId::new(0), BitId::new(1)]);
+/// assert_eq!(g.cell_reads(), 2);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Gate {
+    kind: GateKind,
+    // For unary kinds the second slot mirrors the first; `inputs()` exposes
+    // only the first `arity` entries.
+    ins: [BitId; 2],
+    out: BitId,
+}
+
+impl Gate {
+    /// A one-input gate. Panics if `kind.arity() != 1`.
+    #[must_use]
+    pub fn one(kind: GateKind, a: BitId, out: BitId) -> Self {
+        assert_eq!(kind.arity(), 1, "{kind} takes two inputs");
+        Gate { kind, ins: [a, a], out }
+    }
+
+    /// A two-input gate. Panics if `kind.arity() != 2`.
+    #[must_use]
+    pub fn two(kind: GateKind, a: BitId, b: BitId, out: BitId) -> Self {
+        assert_eq!(kind.arity(), 2, "{kind} takes one input");
+        Gate { kind, ins: [a, b], out }
+    }
+
+    /// The Boolean function.
+    #[must_use]
+    pub fn kind(&self) -> GateKind {
+        self.kind
+    }
+
+    /// The output bit.
+    #[must_use]
+    pub fn output(&self) -> BitId {
+        self.out
+    }
+
+    /// The input bits (one or two).
+    #[must_use]
+    pub fn inputs(&self) -> &[BitId] {
+        &self.ins[..self.kind.arity() as usize]
+    }
+
+    /// First input bit.
+    #[must_use]
+    pub fn input_a(&self) -> BitId {
+        self.ins[0]
+    }
+
+    /// Second input bit, if the gate is two-input.
+    #[must_use]
+    pub fn input_b(&self) -> Option<BitId> {
+        (self.kind.arity() == 2).then(|| self.ins[1])
+    }
+
+    /// Cell reads this gate performs (= its arity).
+    #[must_use]
+    pub fn cell_reads(&self) -> u64 {
+        u64::from(self.kind.arity())
+    }
+
+    /// Evaluates the gate given the values of its inputs.
+    #[must_use]
+    pub fn eval(&self, a: bool, b: bool) -> bool {
+        self.kind.apply(a, b)
+    }
+}
+
+impl fmt::Display for Gate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.input_b() {
+            Some(b) => write!(f, "{} = {}({}, {})", self.out, self.kind, self.ins[0], b),
+            None => write!(f, "{} = {}({})", self.out, self.kind, self.ins[0]),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn truth_tables() {
+        for a in [false, true] {
+            for b in [false, true] {
+                assert_eq!(GateKind::And.apply(a, b), a && b);
+                assert_eq!(GateKind::Nand.apply(a, b), !(a && b));
+                assert_eq!(GateKind::Or.apply(a, b), a || b);
+                assert_eq!(GateKind::Nor.apply(a, b), !(a || b));
+                assert_eq!(GateKind::Xor.apply(a, b), a != b);
+                assert_eq!(GateKind::Xnor.apply(a, b), a == b);
+            }
+            assert_eq!(GateKind::Not.apply(a, false), !a);
+            assert_eq!(GateKind::Copy.apply(a, true), a);
+        }
+    }
+
+    #[test]
+    fn arity() {
+        assert_eq!(GateKind::Not.arity(), 1);
+        assert_eq!(GateKind::Copy.arity(), 1);
+        for kind in [GateKind::And, GateKind::Nand, GateKind::Or, GateKind::Nor, GateKind::Xor] {
+            assert_eq!(kind.arity(), 2);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "takes two inputs")]
+    fn one_input_ctor_rejects_binary_kind() {
+        let _ = Gate::one(GateKind::And, BitId::new(0), BitId::new(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "takes one input")]
+    fn two_input_ctor_rejects_unary_kind() {
+        let _ = Gate::two(GateKind::Not, BitId::new(0), BitId::new(1), BitId::new(2));
+    }
+
+    #[test]
+    fn reads_follow_arity() {
+        let g1 = Gate::one(GateKind::Not, BitId::new(0), BitId::new(1));
+        let g2 = Gate::two(GateKind::Xor, BitId::new(0), BitId::new(1), BitId::new(2));
+        assert_eq!(g1.cell_reads(), 1);
+        assert_eq!(g2.cell_reads(), 2);
+    }
+
+    #[test]
+    fn inputs_slice_length_matches_arity() {
+        let g1 = Gate::one(GateKind::Copy, BitId::new(9), BitId::new(10));
+        assert_eq!(g1.inputs(), &[BitId::new(9)]);
+        assert_eq!(g1.input_b(), None);
+        let g2 = Gate::two(GateKind::Or, BitId::new(1), BitId::new(2), BitId::new(3));
+        assert_eq!(g2.inputs(), &[BitId::new(1), BitId::new(2)]);
+        assert_eq!(g2.input_b(), Some(BitId::new(2)));
+    }
+
+    #[test]
+    fn display_forms() {
+        let g = Gate::two(GateKind::Nand, BitId::new(0), BitId::new(1), BitId::new(2));
+        assert_eq!(g.to_string(), "b2 = NAND(b0, b1)");
+        let n = Gate::one(GateKind::Not, BitId::new(3), BitId::new(4));
+        assert_eq!(n.to_string(), "b4 = NOT(b3)");
+    }
+
+    #[test]
+    fn nand_is_universal_check() {
+        // NOT(a) == NAND(a, a); AND == NOT(NAND); OR == NAND(NOT, NOT).
+        for a in [false, true] {
+            assert_eq!(GateKind::Nand.apply(a, a), !a);
+            for b in [false, true] {
+                assert_eq!(!GateKind::Nand.apply(a, b), a && b);
+                assert_eq!(GateKind::Nand.apply(!a, !b), a || b);
+            }
+        }
+    }
+}

@@ -1,0 +1,51 @@
+//! Gate-level synthesis of arithmetic for digital processing-in-memory.
+//!
+//! PIM architectures of the kind studied by Resch et al. (ISCA 2023) cannot
+//! execute an `ADD` or `MUL` instruction: every arithmetic operation must be
+//! decomposed into a *sequence* of one- and two-input Boolean gates whose
+//! operands and result are memory cells within one lane of the array
+//! (§2.2 of the paper). This crate is that decomposition substrate:
+//!
+//! * [`GateKind`] / [`Gate`] — the Boolean gate alphabet and its semantics;
+//! * [`CircuitBuilder`] / [`Circuit`] — SSA-style construction of gate
+//!   sequences over logical bits ([`BitId`]), with evaluation for functional
+//!   verification;
+//! * [`circuits`] — the arithmetic library: NAND full/half adders (Fig. 2 of
+//!   the paper), ripple-carry addition (optimal for PIM), a multiplier whose
+//!   gate counts match the paper's DADDA accounting exactly
+//!   (b² AND + (b²−2b) FA + b HA), and a borrow-chain comparator;
+//! * [`counts`] — closed-form operation-count formulas used throughout the
+//!   paper's analysis (e.g. 9 824 cell writes and 19 616 cell reads for one
+//!   32-bit multiplication).
+//!
+//! # Examples
+//!
+//! ```
+//! use nvpim_logic::{CircuitBuilder, circuits, words};
+//!
+//! let mut b = CircuitBuilder::new();
+//! let x = b.inputs(8);
+//! let y = b.inputs(8);
+//! let product = circuits::multiply(&mut b, &x, &y);
+//! b.mark_outputs(&product);
+//! let circuit = b.build();
+//!
+//! let out = circuit.eval(&[words::to_bits(200, 8), words::to_bits(123, 8)]).unwrap();
+//! assert_eq!(words::from_bits(&out), 200 * 123);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bit;
+pub mod builder;
+pub mod circuit;
+pub mod circuits;
+pub mod counts;
+pub mod gate;
+pub mod words;
+
+pub use bit::BitId;
+pub use builder::CircuitBuilder;
+pub use circuit::{Circuit, EvalError, GateStats};
+pub use gate::{Gate, GateKind};

@@ -1,0 +1,92 @@
+//! Conversions between machine integers and LSB-first bit vectors.
+//!
+//! All multi-bit operands in this workspace are LSB-first `Vec<bool>`s; these
+//! helpers keep tests and examples readable.
+
+/// Expands the low `width` bits of `value` into an LSB-first bit vector.
+///
+/// # Panics
+///
+/// Panics if `width > 64`, or if `value` does not fit in `width` bits (a
+/// truncated operand in a test almost always indicates a bug, so this is
+/// checked eagerly).
+///
+/// # Examples
+///
+/// ```
+/// use nvpim_logic::words;
+///
+/// assert_eq!(words::to_bits(0b101, 3), vec![true, false, true]);
+/// ```
+#[must_use]
+pub fn to_bits(value: u64, width: usize) -> Vec<bool> {
+    assert!(width <= 64, "width {width} exceeds u64");
+    if width < 64 {
+        assert!(value < (1u64 << width), "value {value} does not fit in {width} bits");
+    }
+    (0..width).map(|i| (value >> i) & 1 == 1).collect()
+}
+
+/// Folds an LSB-first bit vector back into an integer.
+///
+/// # Panics
+///
+/// Panics if `bits.len() > 64`.
+///
+/// # Examples
+///
+/// ```
+/// use nvpim_logic::words;
+///
+/// assert_eq!(words::from_bits(&[true, false, true]), 0b101);
+/// ```
+#[must_use]
+pub fn from_bits(bits: &[bool]) -> u64 {
+    assert!(bits.len() <= 64, "bit vector of length {} exceeds u64", bits.len());
+    bits.iter()
+        .enumerate()
+        .fold(0u64, |acc, (i, &b)| acc | (u64::from(b) << i))
+}
+
+/// Wraps `value` to `width` bits (helper for expected values in tests).
+#[must_use]
+pub fn truncate(value: u128, width: usize) -> u64 {
+    assert!(width <= 64);
+    if width == 64 {
+        value as u64
+    } else {
+        (value & ((1u128 << width) - 1)) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        for v in [0u64, 1, 5, 0xdead_beef, u64::MAX] {
+            assert_eq!(from_bits(&to_bits(v, 64)), v);
+        }
+    }
+
+    #[test]
+    fn widths() {
+        assert_eq!(to_bits(0, 0), Vec::<bool>::new());
+        assert_eq!(from_bits(&[]), 0);
+        assert_eq!(to_bits(255, 8).len(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn overflow_detected() {
+        let _ = to_bits(8, 3);
+    }
+
+    #[test]
+    fn truncate_wraps() {
+        assert_eq!(truncate(0x1_0000_0001, 32), 1);
+        assert_eq!(truncate(u128::from(u64::MAX) + 1, 64), 0);
+        assert_eq!(truncate(300, 8), 44);
+    }
+}

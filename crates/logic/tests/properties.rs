@@ -1,0 +1,184 @@
+//! Property-based tests for the arithmetic synthesis library.
+
+use nvpim_logic::{circuits, words, CircuitBuilder};
+use proptest::prelude::*;
+
+fn mul_circuit(width: usize) -> nvpim_logic::Circuit {
+    let mut b = CircuitBuilder::new();
+    let xs = b.inputs(width);
+    let ys = b.inputs(width);
+    let p = circuits::multiply(&mut b, &xs, &ys);
+    b.mark_outputs(&p);
+    b.build()
+}
+
+fn add_circuit(width: usize) -> nvpim_logic::Circuit {
+    let mut b = CircuitBuilder::new();
+    let xs = b.inputs(width);
+    let ys = b.inputs(width);
+    let s = circuits::ripple_carry_add(&mut b, &xs, &ys);
+    b.mark_outputs(&s);
+    b.build()
+}
+
+proptest! {
+    #[test]
+    fn multiplier_matches_native_u32(a: u32, b: u32) {
+        let c = mul_circuit(32);
+        let out = c.eval(&[words::to_bits(a as u64, 32), words::to_bits(b as u64, 32)]).unwrap();
+        prop_assert_eq!(words::from_bits(&out), a as u64 * b as u64);
+    }
+
+    #[test]
+    fn multiplier_matches_native_u8(a: u8, b: u8) {
+        let c = mul_circuit(8);
+        let out = c.eval(&[words::to_bits(a as u64, 8), words::to_bits(b as u64, 8)]).unwrap();
+        prop_assert_eq!(words::from_bits(&out), a as u64 * b as u64);
+    }
+
+    #[test]
+    fn adder_matches_native(a: u32, b: u32, width in 1usize..=32) {
+        let mask = if width == 32 { u32::MAX } else { (1u32 << width) - 1 };
+        let (a, b) = (a & mask, b & mask);
+        let c = add_circuit(width);
+        let out = c.eval(&[words::to_bits(a as u64, width), words::to_bits(b as u64, width)]).unwrap();
+        prop_assert_eq!(words::from_bits(&out), a as u64 + b as u64);
+    }
+
+    #[test]
+    fn comparator_matches_native(a: u16, b: u16) {
+        let mut builder = CircuitBuilder::new();
+        let xs = builder.inputs(16);
+        let ys = builder.inputs(16);
+        let ge = circuits::greater_equal(&mut builder, &xs, &ys);
+        builder.mark_output(ge);
+        let c = builder.build();
+        let out = c.eval(&[words::to_bits(a as u64, 16), words::to_bits(b as u64, 16)]).unwrap();
+        prop_assert_eq!(out[0], a >= b);
+    }
+
+    #[test]
+    fn multiplication_is_commutative(a: u16, b: u16) {
+        let c = mul_circuit(16);
+        let ab = c.eval(&[words::to_bits(a as u64, 16), words::to_bits(b as u64, 16)]).unwrap();
+        let ba = c.eval(&[words::to_bits(b as u64, 16), words::to_bits(a as u64, 16)]).unwrap();
+        prop_assert_eq!(ab, ba);
+    }
+
+    #[test]
+    fn circuits_are_ssa(width in 2usize..=16) {
+        // Every bit is defined exactly once and gates only read
+        // already-defined bits.
+        let c = mul_circuit(width);
+        let mut defined = vec![false; c.num_bits() as usize];
+        for &b in c.input_bits() {
+            prop_assert!(!defined[b.idx()]);
+            defined[b.idx()] = true;
+        }
+        for &(b, _) in c.constant_bits() {
+            prop_assert!(!defined[b.idx()]);
+            defined[b.idx()] = true;
+        }
+        for g in c.gates() {
+            for &input in g.inputs() {
+                prop_assert!(defined[input.idx()], "gate reads undefined bit");
+            }
+            prop_assert!(!defined[g.output().idx()], "bit redefined");
+            defined[g.output().idx()] = true;
+        }
+        prop_assert!(defined.iter().all(|&d| d), "unreachable bit ids");
+    }
+
+    #[test]
+    fn gate_write_counts_follow_formula(width in 2u64..=24) {
+        let c = mul_circuit(width as usize);
+        prop_assert_eq!(c.stats().cell_writes(), nvpim_logic::counts::mul_gate_writes(width));
+        prop_assert_eq!(c.stats().cell_reads(), nvpim_logic::counts::mul_cell_reads(width));
+    }
+
+    #[test]
+    fn subtractor_matches_native(a: u32, b: u32) {
+        let mut builder = CircuitBuilder::new();
+        let xs = builder.inputs(32);
+        let ys = builder.inputs(32);
+        let (diff, no_borrow) = circuits::ripple_subtract(&mut builder, &xs, &ys);
+        builder.mark_outputs(&diff);
+        builder.mark_output(no_borrow);
+        let c = builder.build();
+        let out = c.eval(&[words::to_bits(a as u64, 32), words::to_bits(b as u64, 32)]).unwrap();
+        prop_assert_eq!(words::from_bits(&out[..32]) as u32, a.wrapping_sub(b));
+        prop_assert_eq!(out[32], a >= b);
+    }
+
+    #[test]
+    fn divider_matches_native(a: u16, b in 1u16..) {
+        let mut builder = CircuitBuilder::new();
+        let xs = builder.inputs(16);
+        let ys = builder.inputs(16);
+        let (q, r) = circuits::divide(&mut builder, &xs, &ys);
+        builder.mark_outputs(&q);
+        builder.mark_outputs(&r);
+        let c = builder.build();
+        let out = c.eval(&[words::to_bits(a as u64, 16), words::to_bits(b as u64, 16)]).unwrap();
+        prop_assert_eq!(words::from_bits(&out[..16]), (a / b) as u64);
+        prop_assert_eq!(words::from_bits(&out[16..]), (a % b) as u64);
+    }
+
+    #[test]
+    fn division_inverts_multiplication(a in 1u64..0xFFFF, b in 1u64..0xFFFF) {
+        // (a * b) / b == a, through the gate-level divider on the gate-level
+        // product.
+        let mut builder = CircuitBuilder::new();
+        let xs = builder.inputs(16);
+        let ys = builder.inputs(16);
+        let product = circuits::multiply(&mut builder, &xs, &ys);
+        let wide_y: Vec<_> = {
+            let zero = builder.constant(false);
+            ys.iter().copied().chain(std::iter::repeat(zero)).take(32).collect()
+        };
+        let (q, r) = circuits::divide(&mut builder, &product, &wide_y);
+        builder.mark_outputs(&q);
+        builder.mark_outputs(&r);
+        let c = builder.build();
+        let out = c.eval(&[words::to_bits(a, 16), words::to_bits(b, 16)]).unwrap();
+        prop_assert_eq!(words::from_bits(&out[..32]), a);
+        prop_assert_eq!(words::from_bits(&out[32..]), 0);
+    }
+
+    #[test]
+    fn popcount_matches_native(v: u64) {
+        let mut builder = CircuitBuilder::new();
+        let bits = builder.inputs(64);
+        let count = circuits::popcount(&mut builder, &bits);
+        builder.mark_outputs(&count);
+        let c = builder.build();
+        let out = c.eval(&[words::to_bits(v, 64)]).unwrap();
+        prop_assert_eq!(words::from_bits(&out), u64::from(v.count_ones()));
+    }
+
+    #[test]
+    fn abs_diff_is_symmetric(a: u16, b: u16) {
+        let mut builder = CircuitBuilder::new();
+        let xs = builder.inputs(16);
+        let ys = builder.inputs(16);
+        let ad = circuits::absolute_difference(&mut builder, &xs, &ys);
+        builder.mark_outputs(&ad);
+        let c = builder.build();
+        let ab = c.eval(&[words::to_bits(a as u64, 16), words::to_bits(b as u64, 16)]).unwrap();
+        let ba = c.eval(&[words::to_bits(b as u64, 16), words::to_bits(a as u64, 16)]).unwrap();
+        prop_assert_eq!(&ab, &ba);
+        prop_assert_eq!(words::from_bits(&ab), a.abs_diff(b) as u64);
+    }
+
+    #[test]
+    fn barrel_shift_matches_native(v: u32, k in 0u64..32) {
+        let mut builder = CircuitBuilder::new();
+        let xs = builder.inputs(32);
+        let amount = builder.inputs(5);
+        let out = circuits::barrel_shift_left(&mut builder, &xs, &amount);
+        builder.mark_outputs(&out);
+        let c = builder.build();
+        let got = c.eval(&[words::to_bits(v as u64, 32), words::to_bits(k, 5)]).unwrap();
+        prop_assert_eq!(words::from_bits(&got) as u32, v.wrapping_shl(k as u32));
+    }
+}

@@ -1,0 +1,201 @@
+//! A single resistance-state memory cell with wear tracking.
+
+use std::fmt;
+
+/// Logical resistance state of a cell.
+///
+/// All technologies in §2.1 are two-state in practice: RRAM and PCM are used
+/// at their extreme resistance values to reduce noise, and MTJs are binary by
+/// construction (parallel / anti-parallel).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum CellState {
+    /// Low-resistance state (logic 1 by this crate's convention).
+    #[default]
+    LowResistance,
+    /// High-resistance state (logic 0).
+    HighResistance,
+}
+
+impl CellState {
+    /// Interprets the state as a boolean: low resistance ⇒ `true`.
+    #[must_use]
+    pub fn as_bool(self) -> bool {
+        matches!(self, CellState::LowResistance)
+    }
+
+    /// Converts a boolean into a state: `true` ⇒ low resistance.
+    #[must_use]
+    pub fn from_bool(value: bool) -> Self {
+        if value {
+            CellState::LowResistance
+        } else {
+            CellState::HighResistance
+        }
+    }
+}
+
+impl fmt::Display for CellState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CellState::LowResistance => f.write_str("LRS"),
+            CellState::HighResistance => f.write_str("HRS"),
+        }
+    }
+}
+
+/// One nonvolatile memory cell: state + accumulated wear.
+///
+/// A write that changes the state consumes endurance; reads never do.
+/// Writing the value a cell already holds still counts as a write in this
+/// model — PIM architectures drive the output cell unconditionally and the
+/// paper counts every write operation, not just state flips.
+///
+/// # Examples
+///
+/// ```
+/// use nvpim_nvm::{Cell, CellState};
+///
+/// let mut cell = Cell::new(3);
+/// cell.write(CellState::HighResistance);
+/// cell.write(CellState::LowResistance);
+/// cell.write(CellState::HighResistance);
+/// assert!(cell.is_failed());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Cell {
+    state: CellState,
+    writes: u64,
+    reads: u64,
+    endurance: u64,
+}
+
+impl Cell {
+    /// Creates a fresh cell in the low-resistance state with the given
+    /// write endurance.
+    #[must_use]
+    pub fn new(endurance: u64) -> Self {
+        Cell {
+            state: CellState::LowResistance,
+            writes: 0,
+            reads: 0,
+            endurance,
+        }
+    }
+
+    /// Current state. For a failed cell this is the state it was stuck at.
+    #[must_use]
+    pub fn state(&self) -> CellState {
+        self.state
+    }
+
+    /// Number of writes performed so far.
+    #[must_use]
+    pub fn writes(&self) -> u64 {
+        self.writes
+    }
+
+    /// Number of reads performed so far.
+    #[must_use]
+    pub fn reads(&self) -> u64 {
+        self.reads
+    }
+
+    /// Endurance budget the cell was created with.
+    #[must_use]
+    pub fn endurance(&self) -> u64 {
+        self.endurance
+    }
+
+    /// Whether the cell has exhausted its endurance.
+    #[must_use]
+    pub fn is_failed(&self) -> bool {
+        self.writes >= self.endurance
+    }
+
+    /// Remaining writes before failure.
+    #[must_use]
+    pub fn remaining_writes(&self) -> u64 {
+        self.endurance.saturating_sub(self.writes)
+    }
+
+    /// Writes `state` into the cell, consuming one unit of endurance.
+    ///
+    /// Once failed, the cell becomes stuck: further writes are still counted
+    /// (the hardware keeps driving it) but the stored state no longer
+    /// changes. Returns `true` if the write took effect.
+    pub fn write(&mut self, state: CellState) -> bool {
+        let effective = !self.is_failed();
+        if effective {
+            self.state = state;
+        }
+        self.writes = self.writes.saturating_add(1);
+        effective
+    }
+
+    /// Reads the cell, returning its state. Reads do not consume endurance.
+    pub fn read(&mut self) -> CellState {
+        self.reads = self.reads.saturating_add(1);
+        self.state
+    }
+}
+
+impl Default for Cell {
+    /// A cell with MTJ-class endurance (10^12 writes).
+    fn default() -> Self {
+        Cell::new(crate::Technology::Mram.typical_endurance())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn state_bool_round_trip() {
+        assert!(CellState::from_bool(true).as_bool());
+        assert!(!CellState::from_bool(false).as_bool());
+        assert_eq!(CellState::from_bool(true), CellState::LowResistance);
+    }
+
+    #[test]
+    fn write_counts_and_failure() {
+        let mut c = Cell::new(2);
+        assert!(!c.is_failed());
+        assert!(c.write(CellState::HighResistance));
+        assert!(c.write(CellState::LowResistance));
+        assert!(c.is_failed());
+        assert_eq!(c.remaining_writes(), 0);
+        // Stuck-at behaviour: the write is counted but has no effect.
+        assert!(!c.write(CellState::HighResistance));
+        assert_eq!(c.state(), CellState::LowResistance);
+        assert_eq!(c.writes(), 3);
+    }
+
+    #[test]
+    fn reads_do_not_wear() {
+        let mut c = Cell::new(1);
+        for _ in 0..100 {
+            c.read();
+        }
+        assert_eq!(c.reads(), 100);
+        assert!(!c.is_failed());
+        assert_eq!(c.remaining_writes(), 1);
+    }
+
+    #[test]
+    fn redundant_writes_still_wear() {
+        // The paper counts every write operation; writing the same value
+        // repeatedly must still exhaust endurance.
+        let mut c = Cell::new(5);
+        for _ in 0..5 {
+            c.write(CellState::LowResistance);
+        }
+        assert!(c.is_failed());
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        assert_eq!(CellState::LowResistance.to_string(), "LRS");
+        assert_eq!(CellState::HighResistance.to_string(), "HRS");
+    }
+}

@@ -1,0 +1,176 @@
+//! Statistical endurance models.
+//!
+//! The paper's headline analysis assumes a uniform endurance for every cell
+//! (§4: "We assume the same endurance for each cell, which makes our analysis
+//! more pessimistic"). The [`EnduranceModel::LogNormal`] variant implements
+//! the ablation the paper alludes to — real devices vary cell to cell — by
+//! sampling per-cell endurance from a log-normal distribution around the
+//! nominal value.
+
+use rand::Rng;
+
+/// How per-cell endurance values are assigned.
+///
+/// # Examples
+///
+/// ```
+/// use nvpim_nvm::EnduranceModel;
+/// use rand::SeedableRng;
+///
+/// let model = EnduranceModel::Fixed(1_000);
+/// let mut rng = rand::rngs::SmallRng::seed_from_u64(7);
+/// assert_eq!(model.sample(&mut rng), 1_000);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum EnduranceModel {
+    /// Every cell tolerates exactly this many writes (the paper's model).
+    Fixed(u64),
+    /// Per-cell endurance is log-normally distributed: `ln(E) ~ N(ln(median),
+    /// sigma²)`. `sigma` is the standard deviation of the natural log.
+    LogNormal {
+        /// Median endurance in writes.
+        median: u64,
+        /// Standard deviation of `ln(endurance)`.
+        sigma: f64,
+    },
+}
+
+impl EnduranceModel {
+    /// Median endurance of the model.
+    #[must_use]
+    pub fn median(&self) -> u64 {
+        match *self {
+            EnduranceModel::Fixed(e) => e,
+            EnduranceModel::LogNormal { median, .. } => median,
+        }
+    }
+
+    /// Draws one cell's endurance.
+    ///
+    /// For [`EnduranceModel::Fixed`] this is deterministic and ignores the
+    /// RNG. Samples are clamped to at least 1 write.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        match *self {
+            EnduranceModel::Fixed(e) => e.max(1),
+            EnduranceModel::LogNormal { median, sigma } => {
+                let z = standard_normal(rng);
+                let value = (median.max(1) as f64) * (sigma * z).exp();
+                if value >= u64::MAX as f64 {
+                    u64::MAX
+                } else {
+                    (value.round() as u64).max(1)
+                }
+            }
+        }
+    }
+}
+
+impl Default for EnduranceModel {
+    /// MTJ-class fixed endurance of 10^12 writes.
+    fn default() -> Self {
+        EnduranceModel::Fixed(1_000_000_000_000)
+    }
+}
+
+/// Draws a standard normal variate via Box–Muller.
+fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    // Avoid ln(0) by sampling the half-open interval (0, 1].
+    let u1: f64 = 1.0 - rng.gen::<f64>();
+    let u2: f64 = rng.gen::<f64>();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Reusable sampler that fills whole arrays of per-cell endurance values.
+///
+/// # Examples
+///
+/// ```
+/// use nvpim_nvm::{EnduranceModel, EnduranceSampler};
+///
+/// let sampler = EnduranceSampler::new(EnduranceModel::Fixed(10), 42);
+/// let values = sampler.sample_n(4);
+/// assert_eq!(values, vec![10, 10, 10, 10]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct EnduranceSampler {
+    model: EnduranceModel,
+    seed: u64,
+}
+
+impl EnduranceSampler {
+    /// Creates a sampler with a deterministic seed.
+    #[must_use]
+    pub fn new(model: EnduranceModel, seed: u64) -> Self {
+        EnduranceSampler { model, seed }
+    }
+
+    /// The underlying model.
+    #[must_use]
+    pub fn model(&self) -> EnduranceModel {
+        self.model
+    }
+
+    /// Samples `n` per-cell endurance values deterministically.
+    #[must_use]
+    pub fn sample_n(&self, n: usize) -> Vec<u64> {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(self.seed);
+        (0..n).map(|_| self.model.sample(&mut rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn fixed_is_deterministic() {
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(1);
+        let m = EnduranceModel::Fixed(77);
+        for _ in 0..10 {
+            assert_eq!(m.sample(&mut rng), 77);
+        }
+    }
+
+    #[test]
+    fn fixed_zero_clamps_to_one() {
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(1);
+        assert_eq!(EnduranceModel::Fixed(0).sample(&mut rng), 1);
+    }
+
+    #[test]
+    fn lognormal_centers_on_median() {
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(9);
+        let m = EnduranceModel::LogNormal { median: 1_000_000, sigma: 0.5 };
+        let samples: Vec<u64> = (0..20_000).map(|_| m.sample(&mut rng)).collect();
+        let below = samples.iter().filter(|&&s| s < 1_000_000).count();
+        let frac = below as f64 / samples.len() as f64;
+        // The median of a log-normal is its `median` parameter.
+        assert!((frac - 0.5).abs() < 0.02, "median fraction off: {frac}");
+    }
+
+    #[test]
+    fn lognormal_sigma_zero_is_fixed() {
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(3);
+        let m = EnduranceModel::LogNormal { median: 500, sigma: 0.0 };
+        for _ in 0..100 {
+            assert_eq!(m.sample(&mut rng), 500);
+        }
+    }
+
+    #[test]
+    fn sampler_is_reproducible() {
+        let m = EnduranceModel::LogNormal { median: 10_000, sigma: 0.3 };
+        let a = EnduranceSampler::new(m, 5).sample_n(32);
+        let b = EnduranceSampler::new(m, 5).sample_n(32);
+        assert_eq!(a, b);
+        let c = EnduranceSampler::new(m, 6).sample_n(32);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn default_is_mtj_class() {
+        assert_eq!(EnduranceModel::default().median(), 10u64.pow(12));
+    }
+}

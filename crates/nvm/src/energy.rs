@@ -1,0 +1,100 @@
+//! Energy accounting for array operation tallies.
+//!
+//! Energy is not a headline metric of the paper, but §3.2 argues that
+//! balancing hardware must be "exceedingly light-weight" because energy
+//! efficiency is the main draw of nonvolatile PIM. This model lets the
+//! benchmark harness report the energy cost of strategies (e.g. the COPY-gate
+//! shuffling overhead of Table 2 translates directly into extra energy).
+
+use crate::DeviceParams;
+
+/// Per-operation energy model, in picojoules.
+///
+/// A logic gate reads its input cells and writes its output cell, so its
+/// energy is modeled as `inputs × read + 1 × write`.
+///
+/// # Examples
+///
+/// ```
+/// use nvpim_nvm::{DeviceParams, EnergyModel, Technology};
+///
+/// let model = EnergyModel::from_device(&DeviceParams::for_technology(Technology::Mram));
+/// let two_input_gate = model.gate_energy_pj(2);
+/// assert!(two_input_gate > model.write_energy_pj());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnergyModel {
+    write_pj: f64,
+    read_pj: f64,
+}
+
+impl EnergyModel {
+    /// Creates a model from explicit per-cell energies.
+    #[must_use]
+    pub fn new(write_pj: f64, read_pj: f64) -> Self {
+        EnergyModel { write_pj, read_pj }
+    }
+
+    /// Derives the model from a technology's device parameters.
+    #[must_use]
+    pub fn from_device(params: &DeviceParams) -> Self {
+        EnergyModel::new(params.write_energy_pj, params.read_energy_pj)
+    }
+
+    /// Energy of one cell write, picojoules.
+    #[must_use]
+    pub fn write_energy_pj(&self) -> f64 {
+        self.write_pj
+    }
+
+    /// Energy of one cell read, picojoules.
+    #[must_use]
+    pub fn read_energy_pj(&self) -> f64 {
+        self.read_pj
+    }
+
+    /// Energy of a logic gate with `inputs` input cells, picojoules.
+    #[must_use]
+    pub fn gate_energy_pj(&self, inputs: u32) -> f64 {
+        self.read_pj * f64::from(inputs) + self.write_pj
+    }
+
+    /// Total energy for a tally of cell reads and writes, picojoules.
+    #[must_use]
+    pub fn total_pj(&self, cell_reads: u64, cell_writes: u64) -> f64 {
+        self.read_pj * cell_reads as f64 + self.write_pj * cell_writes as f64
+    }
+}
+
+impl Default for EnergyModel {
+    /// MRAM-class energies.
+    fn default() -> Self {
+        EnergyModel::from_device(&DeviceParams::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Technology;
+
+    #[test]
+    fn gate_energy_composition() {
+        let m = EnergyModel::new(2.0, 0.5);
+        assert!((m.gate_energy_pj(2) - 3.0).abs() < 1e-12);
+        assert!((m.gate_energy_pj(1) - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn totals_scale_linearly() {
+        let m = EnergyModel::new(1.0, 0.1);
+        assert!((m.total_pj(100, 10) - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pcm_writes_cost_more_than_mram() {
+        let mram = EnergyModel::from_device(&DeviceParams::for_technology(Technology::Mram));
+        let pcm = EnergyModel::from_device(&DeviceParams::for_technology(Technology::Pcm));
+        assert!(pcm.write_energy_pj() > mram.write_energy_pj());
+    }
+}

@@ -1,0 +1,34 @@
+//! Nonvolatile memory (NVM) device models for processing-in-memory endurance
+//! studies.
+//!
+//! This crate provides the device-technology substrate of the `nvpim`
+//! workspace: resistance-state cells, per-technology endurance and timing
+//! parameters, and statistical endurance models. The defaults encode the
+//! constants used by Resch et al., *On Endurance of Processing in
+//! (Nonvolatile) Memory*, ISCA 2023 — e.g. MTJ endurance of 10^12 writes and
+//! a 3 ns switching time per in-memory operation.
+//!
+//! # Examples
+//!
+//! ```
+//! use nvpim_nvm::{Technology, DeviceParams};
+//!
+//! let mtj = DeviceParams::for_technology(Technology::Mram);
+//! assert_eq!(mtj.endurance_writes, 1_000_000_000_000);
+//! assert_eq!(mtj.op_latency_ns, 3.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cell;
+pub mod endurance;
+pub mod energy;
+pub mod technology;
+pub mod timing;
+
+pub use cell::{Cell, CellState};
+pub use endurance::{EnduranceModel, EnduranceSampler};
+pub use energy::EnergyModel;
+pub use technology::{DeviceParams, Technology};
+pub use timing::LatencyModel;

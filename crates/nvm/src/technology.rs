@@ -1,0 +1,254 @@
+//! Memory technology identities and their published device parameters.
+//!
+//! The constants here are taken from the citations in §2.1 of the paper:
+//! MTJ endurance up to 10^12 writes, RRAM roughly 10^8–10^9, PCM 10^6–10^9,
+//! and a representative 3 ns switching time per in-memory operation.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// A nonvolatile, resistance-state memory technology.
+///
+/// Each variant corresponds to one of the device families surveyed in §2.1
+/// of the paper. All of them hold state in their resistance and can serve as
+/// the storage substrate of a digital PIM array; they differ in endurance,
+/// switching energy, and noise margins.
+///
+/// # Examples
+///
+/// ```
+/// use nvpim_nvm::Technology;
+///
+/// assert!(Technology::Mram.typical_endurance() > Technology::Rram.typical_endurance());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Technology {
+    /// Magnetic RAM based on spin-transfer-torque magnetic tunnel junctions.
+    Mram,
+    /// Spin-orbit-torque MTJ variant (used by SOT-CRAM designs).
+    SotMram,
+    /// Resistive RAM (metal-insulator-metal filamentary devices).
+    Rram,
+    /// Phase-change memory.
+    Pcm,
+}
+
+impl Technology {
+    /// All technologies, in decreasing order of typical endurance.
+    pub const ALL: [Technology; 4] = [
+        Technology::Mram,
+        Technology::SotMram,
+        Technology::Rram,
+        Technology::Pcm,
+    ];
+
+    /// Typical (optimistic) write endurance in writes-before-failure.
+    ///
+    /// MTJs: 10^12 (Miura et al., Shiokawa et al.); RRAM: 10^9 at the
+    /// optimistic end of the 10^8–10^9 range; PCM: 10^9 at the optimistic end
+    /// of 10^6–10^9.
+    #[must_use]
+    pub fn typical_endurance(self) -> u64 {
+        match self {
+            Technology::Mram | Technology::SotMram => 1_000_000_000_000,
+            Technology::Rram => 1_000_000_000,
+            Technology::Pcm => 1_000_000_000,
+        }
+    }
+
+    /// Pessimistic write endurance (lower end of the published range).
+    #[must_use]
+    pub fn pessimistic_endurance(self) -> u64 {
+        match self {
+            Technology::Mram | Technology::SotMram => 1_000_000_000_000,
+            Technology::Rram => 100_000_000,
+            Technology::Pcm => 1_000_000,
+        }
+    }
+
+    /// Short, stable label used in reports (e.g. `MRAM`).
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Technology::Mram => "MRAM",
+            Technology::SotMram => "SOT-MRAM",
+            Technology::Rram => "RRAM",
+            Technology::Pcm => "PCM",
+        }
+    }
+}
+
+impl fmt::Display for Technology {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Error returned when parsing a [`Technology`] from a string fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseTechnologyError {
+    input: String,
+}
+
+impl fmt::Display for ParseTechnologyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "unknown memory technology `{}` (expected one of mram, sot-mram, rram, pcm)",
+            self.input
+        )
+    }
+}
+
+impl std::error::Error for ParseTechnologyError {}
+
+impl FromStr for Technology {
+    type Err = ParseTechnologyError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "mram" | "mtj" | "stt-mram" => Ok(Technology::Mram),
+            "sot-mram" | "sot" | "sot-mtj" => Ok(Technology::SotMram),
+            "rram" | "reram" => Ok(Technology::Rram),
+            "pcm" | "pcram" => Ok(Technology::Pcm),
+            _ => Err(ParseTechnologyError { input: s.to_owned() }),
+        }
+    }
+}
+
+/// Full device-level parameter set for one memory technology.
+///
+/// The evaluation in the paper assumes a uniform 3 ns latency for every
+/// in-memory operation (read, write, or logic gate) and computes lifetime
+/// from `endurance_writes` via Eq. 4. Energies are representative per-device
+/// switching/sensing figures used by the energy ablation, not paper-critical.
+///
+/// # Examples
+///
+/// ```
+/// use nvpim_nvm::{DeviceParams, Technology};
+///
+/// let p = DeviceParams::for_technology(Technology::Rram)
+///     .with_endurance(100_000_000);
+/// assert_eq!(p.endurance_writes, 100_000_000);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DeviceParams {
+    /// The technology these parameters describe.
+    pub technology: Technology,
+    /// Writes a cell tolerates before permanent failure.
+    pub endurance_writes: u64,
+    /// Latency of a single in-memory operation (read, write, or gate), ns.
+    pub op_latency_ns: f64,
+    /// Energy of a single cell write, picojoules.
+    pub write_energy_pj: f64,
+    /// Energy of a single cell read, picojoules.
+    pub read_energy_pj: f64,
+    /// Ratio between high- and low-resistance states (noise margin proxy).
+    pub resistance_ratio: f64,
+}
+
+impl DeviceParams {
+    /// Parameters for `technology` using its typical published endurance and
+    /// the paper's 3 ns per-operation latency.
+    #[must_use]
+    pub fn for_technology(technology: Technology) -> Self {
+        let (write_energy_pj, read_energy_pj, resistance_ratio) = match technology {
+            Technology::Mram => (1.0, 0.1, 2.5),
+            Technology::SotMram => (0.3, 0.1, 2.5),
+            Technology::Rram => (2.0, 0.2, 100.0),
+            Technology::Pcm => (15.0, 0.2, 100.0),
+        };
+        DeviceParams {
+            technology,
+            endurance_writes: technology.typical_endurance(),
+            op_latency_ns: 3.0,
+            write_energy_pj,
+            read_energy_pj,
+            resistance_ratio,
+        }
+    }
+
+    /// Replaces the endurance with an explicit value.
+    #[must_use]
+    pub fn with_endurance(mut self, endurance_writes: u64) -> Self {
+        self.endurance_writes = endurance_writes;
+        self
+    }
+
+    /// Replaces the per-operation latency (nanoseconds).
+    #[must_use]
+    pub fn with_op_latency_ns(mut self, op_latency_ns: f64) -> Self {
+        self.op_latency_ns = op_latency_ns;
+        self
+    }
+
+    /// Operations per second a lane can sustain at this latency.
+    #[must_use]
+    pub fn ops_per_second(&self) -> f64 {
+        1.0e9 / self.op_latency_ns
+    }
+}
+
+impl Default for DeviceParams {
+    /// MRAM/MTJ parameters — the device family the paper's evaluation uses.
+    fn default() -> Self {
+        DeviceParams::for_technology(Technology::Mram)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn endurance_ordering_matches_survey() {
+        assert!(Technology::Mram.typical_endurance() > Technology::Rram.typical_endurance());
+        assert!(Technology::Rram.typical_endurance() >= Technology::Pcm.typical_endurance());
+        assert!(
+            Technology::Pcm.pessimistic_endurance() < Technology::Rram.pessimistic_endurance()
+        );
+    }
+
+    #[test]
+    fn paper_constants() {
+        // §3.1 assumes 10^12 writes per MTJ cell and 3 ns per gate.
+        let p = DeviceParams::default();
+        assert_eq!(p.technology, Technology::Mram);
+        assert_eq!(p.endurance_writes, 10u64.pow(12));
+        assert!((p.op_latency_ns - 3.0).abs() < f64::EPSILON);
+    }
+
+    #[test]
+    fn parse_round_trips() {
+        for tech in Technology::ALL {
+            let parsed: Technology = tech.label().parse().expect("label must parse");
+            assert_eq!(parsed, tech);
+        }
+        assert!("flash".parse::<Technology>().is_err());
+        let err = "flash".parse::<Technology>().unwrap_err();
+        assert!(err.to_string().contains("flash"));
+    }
+
+    #[test]
+    fn parse_aliases() {
+        assert_eq!("mtj".parse::<Technology>().unwrap(), Technology::Mram);
+        assert_eq!("ReRAM".parse::<Technology>().unwrap(), Technology::Rram);
+        assert_eq!("sot".parse::<Technology>().unwrap(), Technology::SotMram);
+    }
+
+    #[test]
+    fn builder_overrides() {
+        let p = DeviceParams::for_technology(Technology::Pcm)
+            .with_endurance(123)
+            .with_op_latency_ns(10.0);
+        assert_eq!(p.endurance_writes, 123);
+        assert!((p.ops_per_second() - 1.0e8).abs() < 1.0);
+    }
+
+    #[test]
+    fn display_labels() {
+        assert_eq!(Technology::SotMram.to_string(), "SOT-MRAM");
+        assert_eq!(Technology::Pcm.to_string(), "PCM");
+    }
+}

@@ -1,0 +1,120 @@
+//! Operation latency accounting.
+//!
+//! §4 of the paper sums the latency of all sequential operations — reads,
+//! writes, and logic gates — at 3 ns each. [`LatencyModel`] generalizes this
+//! to distinct per-class latencies while defaulting to the paper's uniform
+//! model.
+
+use crate::DeviceParams;
+
+/// Classes of sequential array operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OpClass {
+    /// Standard row read.
+    Read,
+    /// Standard row write (including output-cell presets).
+    Write,
+    /// In-memory logic gate.
+    Gate,
+}
+
+/// Latency, in nanoseconds, of each operation class.
+///
+/// # Examples
+///
+/// ```
+/// use nvpim_nvm::LatencyModel;
+/// use nvpim_nvm::timing::OpClass;
+///
+/// let model = LatencyModel::uniform(3.0);
+/// assert_eq!(model.latency_ns(OpClass::Gate), 3.0);
+/// assert_eq!(model.total_ns(&[(OpClass::Gate, 2), (OpClass::Read, 1)]), 9.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LatencyModel {
+    read_ns: f64,
+    write_ns: f64,
+    gate_ns: f64,
+}
+
+impl LatencyModel {
+    /// Same latency for every operation class (the paper's 3 ns model).
+    #[must_use]
+    pub fn uniform(ns: f64) -> Self {
+        LatencyModel { read_ns: ns, write_ns: ns, gate_ns: ns }
+    }
+
+    /// Distinct latencies per class.
+    #[must_use]
+    pub fn new(read_ns: f64, write_ns: f64, gate_ns: f64) -> Self {
+        LatencyModel { read_ns, write_ns, gate_ns }
+    }
+
+    /// Derives the uniform model from a technology's parameters.
+    #[must_use]
+    pub fn from_device(params: &DeviceParams) -> Self {
+        LatencyModel::uniform(params.op_latency_ns)
+    }
+
+    /// Latency of one operation of the given class, nanoseconds.
+    #[must_use]
+    pub fn latency_ns(&self, class: OpClass) -> f64 {
+        match class {
+            OpClass::Read => self.read_ns,
+            OpClass::Write => self.write_ns,
+            OpClass::Gate => self.gate_ns,
+        }
+    }
+
+    /// Total latency of a mixed operation tally, nanoseconds.
+    #[must_use]
+    pub fn total_ns(&self, counts: &[(OpClass, u64)]) -> f64 {
+        counts
+            .iter()
+            .map(|&(class, n)| self.latency_ns(class) * n as f64)
+            .sum()
+    }
+}
+
+impl Default for LatencyModel {
+    /// The paper's 3 ns-per-operation model.
+    fn default() -> Self {
+        LatencyModel::uniform(3.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Technology;
+
+    #[test]
+    fn uniform_totals() {
+        let m = LatencyModel::default();
+        let total = m.total_ns(&[(OpClass::Read, 10), (OpClass::Write, 10), (OpClass::Gate, 10)]);
+        assert!((total - 90.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn distinct_latencies() {
+        let m = LatencyModel::new(1.0, 2.0, 4.0);
+        assert_eq!(m.latency_ns(OpClass::Read), 1.0);
+        assert_eq!(m.latency_ns(OpClass::Write), 2.0);
+        assert_eq!(m.latency_ns(OpClass::Gate), 4.0);
+    }
+
+    #[test]
+    fn from_device_uses_op_latency() {
+        let params = DeviceParams::for_technology(Technology::Pcm).with_op_latency_ns(7.5);
+        let m = LatencyModel::from_device(&params);
+        assert_eq!(m.latency_ns(OpClass::Gate), 7.5);
+    }
+
+    #[test]
+    fn paper_example_eq2_rate() {
+        // Eq. 2: 1024 lanes at one gate per 3 ns sustain 1024/(3e-9) gates/s.
+        let m = LatencyModel::default();
+        let gates_per_second = 1.0e9 / m.latency_ns(OpClass::Gate);
+        assert!((gates_per_second - 3.333e8).abs() / 3.333e8 < 1e-3);
+    }
+}

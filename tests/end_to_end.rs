@@ -1,0 +1,167 @@
+//! Cross-crate integration: workloads stay functionally correct while the
+//! endurance machinery re-maps them, and the fast simulator agrees with
+//! cell-by-cell execution.
+
+use nvpim::array::IdentityMap;
+use nvpim::balance::CombinedMap;
+use nvpim::core::sim::simulate_naive;
+use nvpim::prelude::*;
+use nvpim::workloads::dot_product::DotProduct;
+
+/// Multiplication must produce correct products under *every* balancing
+/// configuration — re-mapping may never corrupt computation (the §3.2
+/// correctness requirement that makes PIM balancing hard in the first
+/// place).
+#[test]
+fn multiplication_correct_under_every_config() {
+    let dims = ArrayDims::new(192, 8);
+    let pm = nvpim::workloads::parallel_mul::ParallelMul::new(dims, 8);
+    let wl = pm.build();
+    let a: Vec<u64> = (0..8).map(|l| (37 * l + 11) % 256).collect();
+    let b: Vec<u64> = (0..8).map(|l| (53 * l + 5) % 256).collect();
+    for config in BalanceConfig::all() {
+        let mut map = CombinedMap::new(config, dims.rows(), dims.lanes(), 99);
+        let mut array = PimArray::new(dims);
+        // Run several iterations with software re-maps between them. Values
+        // do not survive a software re-map (the paper assumes oracular
+        // migration), so check correctness within each epoch's iteration.
+        for epoch in 0..3 {
+            array.execute(wl.trace(), &mut map, &mut pm.inputs(&a, &b));
+            for lane in 0..8 {
+                assert_eq!(
+                    array.word(wl.result_rows(), lane, &map),
+                    a[lane] * b[lane],
+                    "{config} epoch {epoch} lane {lane}"
+                );
+            }
+            map.advance_epoch();
+        }
+    }
+}
+
+/// Dot-product with transfers and reductions stays correct under hardware
+/// re-mapping (the most dynamic configuration).
+#[test]
+fn dot_product_correct_under_hw_remapping() {
+    let dims = ArrayDims::new(256, 8);
+    let dp = DotProduct::new(dims, 8, 6);
+    let wl = dp.build();
+    let a: Vec<u64> = vec![13, 7, 0, 63, 21, 42, 9, 30];
+    let b: Vec<u64> = vec![5, 11, 63, 1, 17, 2, 33, 8];
+    let expect: u64 = a.iter().zip(&b).map(|(x, y)| x * y).sum();
+    let mut map = CombinedMap::new("StxSt+Hw".parse().unwrap(), dims.rows(), dims.lanes(), 7);
+    let mut array = PimArray::new(dims);
+    for _ in 0..3 {
+        array.execute(wl.trace(), &mut map, &mut dp.inputs(&a, &b));
+        assert_eq!(array.word(wl.result_rows(), 0, &map), expect);
+    }
+}
+
+/// The epoch-factorized simulator is bit-exact against executing the trace
+/// cell by cell, across the whole configuration matrix.
+#[test]
+fn fast_simulator_is_bit_exact() {
+    let dims = ArrayDims::new(128, 8);
+    let wl = nvpim::workloads::parallel_mul::ParallelMul::new(dims, 4).build();
+    let cfg = SimConfig::paper()
+        .with_iterations(9)
+        .with_schedule(RemapSchedule::every(4));
+    let sim = EnduranceSimulator::new(cfg);
+    for config in BalanceConfig::all() {
+        let fast = sim.run(&wl, config);
+        let naive = simulate_naive(&wl, config, cfg);
+        assert_eq!(fast.wear.total_writes(), naive.total_writes(), "{config}");
+        for row in 0..dims.rows() {
+            for lane in 0..dims.lanes() {
+                assert_eq!(
+                    fast.wear.writes_at(row, lane),
+                    naive.writes_at(row, lane),
+                    "{config} at ({row},{lane})"
+                );
+            }
+        }
+    }
+}
+
+/// Balancing conserves total writes and never increases them; lifetime
+/// improvements come purely from redistribution.
+#[test]
+fn balancing_redistributes_but_conserves() {
+    let dims = ArrayDims::new(256, 16);
+    let wl = DotProduct::new(dims, 16, 8).build();
+    let sim = EnduranceSimulator::new(SimConfig::paper().with_iterations(300));
+    let baseline = sim.run(&wl, BalanceConfig::baseline());
+    let model = LifetimeModel::mtj();
+    for config in BalanceConfig::all() {
+        let run = sim.run(&wl, config);
+        assert_eq!(run.wear.total_writes(), baseline.wear.total_writes(), "{config}");
+        let improvement = model.improvement(&run, &baseline);
+        assert!(improvement > 0.60, "{config}: pathological regression {improvement}");
+    }
+}
+
+/// The full pipeline from device technology to lifetime: RRAM dies orders
+/// of magnitude sooner than MTJ on the identical workload.
+#[test]
+fn technology_dominates_lifetime() {
+    let dims = ArrayDims::new(256, 16);
+    let wl = nvpim::workloads::convolution::Convolution::new(dims, 4, 3, 4).build();
+    let sim = EnduranceSimulator::new(SimConfig::paper().with_iterations(100));
+    let run = sim.run(&wl, "RaxRa".parse().unwrap());
+    let mtj = LifetimeModel::for_technology(Technology::Mram).lifetime(&run);
+    let rram = LifetimeModel::for_technology(Technology::Rram).lifetime(&run);
+    assert!((mtj.seconds / rram.seconds - 1000.0).abs() < 1.0);
+}
+
+/// The binarized layer stays correct under the most dynamic configuration,
+/// closing the loop between the extended circuit library (XNOR, popcount)
+/// and the balancing machinery.
+#[test]
+fn bnn_layer_correct_under_remapping() {
+    use nvpim::workloads::bnn_layer::BnnLayer;
+    let dims = ArrayDims::new(512, 8);
+    let layer = BnnLayer::new(dims, 32).with_threshold(16);
+    let wl = layer.build();
+    let activations: Vec<u64> = (0..8).map(|l| 0x89AB_CDEF ^ (l as u64 * 0x1111_1111)).collect();
+    let weights: Vec<u64> = (0..8).map(|l| 0x1357_9BDF >> l).collect();
+    for config in ["RaxRa+Hw", "BsxBs", "StxRa+Hw"] {
+        let mut map =
+            CombinedMap::new(config.parse().unwrap(), dims.rows(), dims.lanes(), 2024);
+        map.advance_epoch();
+        let mut array = PimArray::new(dims);
+        array.execute(wl.trace(), &mut map, &mut layer.inputs(&activations, &weights));
+        for lane in 0..8 {
+            let mask = (1u64 << 32) - 1;
+            assert_eq!(
+                array.bit(wl.result_rows()[0], lane, &map),
+                layer.reference(activations[lane] & mask, weights[lane] & mask),
+                "{config} lane {lane}"
+            );
+        }
+    }
+}
+
+/// Readout through the identity map equals readout through a static
+/// combined map (sanity of the facade surface).
+#[test]
+fn identity_and_static_maps_agree() {
+    let dims = ArrayDims::new(64, 2);
+    let pm = nvpim::workloads::parallel_mul::ParallelMul::new(dims, 4);
+    let wl = pm.build();
+    let a = [9u64, 12];
+    let b = [3u64, 5];
+
+    let mut ident = PimArray::new(dims);
+    ident.execute(wl.trace(), &mut IdentityMap, &mut pm.inputs(&a, &b));
+
+    let mut static_map = CombinedMap::new(BalanceConfig::baseline(), 64, 2, 0);
+    let mut array = PimArray::new(dims);
+    array.execute(wl.trace(), &mut static_map, &mut pm.inputs(&a, &b));
+
+    for lane in 0..2 {
+        assert_eq!(
+            ident.word(wl.result_rows(), lane, &IdentityMap),
+            array.word(wl.result_rows(), lane, &static_map),
+        );
+    }
+}

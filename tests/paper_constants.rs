@@ -1,0 +1,104 @@
+//! End-to-end checks of every headline number the paper states in prose,
+//! computed through the public facade API.
+
+use nvpim::balance::access_aware;
+use nvpim::core::{baseline, limits};
+use nvpim::logic::counts;
+use nvpim::prelude::*;
+
+#[test]
+fn section_1_write_amplification() {
+    // "an in-memory multiplication requires over 150× more write operations
+    // than it would require in a conventional architecture"
+    assert!(baseline::write_amplification(32) > 150.0);
+}
+
+#[test]
+fn section_3_1_operation_counts() {
+    // "the same multiplication requires 9,824 in-memory gates, which incurs
+    // 9,824 cell writes and 19,616 cell reads"
+    assert_eq!(counts::mul_gate_writes(32), 9_824);
+    assert_eq!(counts::mul_cell_reads(32), 19_616);
+    // "this incurs 64 cell reads and 64 cell writes" (conventional)
+    assert_eq!(baseline::conventional_multiply(32).reads, 64);
+    assert_eq!(baseline::conventional_multiply(32).writes, 64);
+    // "an average of 0.0625 reads and writes per cell"
+    let (r, w) = baseline::per_cell_averages(baseline::conventional_multiply(32), 1024);
+    assert!((r - 0.0625).abs() < 1e-12 && (w - 0.0625).abs() < 1e-12);
+    // "19.16 reads/cell and 9.59 writes/cell"
+    let (r, w) = baseline::per_cell_averages(baseline::pim_multiply(32), 1024);
+    assert!((r - 19.16).abs() < 0.01 && (w - 9.59).abs() < 0.01);
+}
+
+#[test]
+fn equation_1_maximum_multiplications() {
+    // 1024² × 10^12 / 9824 = 1.07 × 10^14
+    let ops = limits::max_operations(1024, 1024, 10u64.pow(12), 9_824);
+    assert!((ops / 1.07e14 - 1.0).abs() < 0.005);
+}
+
+#[test]
+fn equation_2_time_to_failure() {
+    // 3,072,000 s = 35.56 days; RRAM at 1e8: just over 5 minutes.
+    let mtj = limits::seconds_to_total_failure(1024, 1024, 10u64.pow(12), 3.0);
+    assert!((mtj - 3_072_000.0).abs() < 1.0);
+    assert!((limits::days_to_total_failure(1024, 1024, 10u64.pow(12), 3.0) - 35.56).abs() < 0.01);
+    let rram = limits::seconds_to_total_failure(1024, 1024, 100_000_000, 3.0);
+    assert!(rram > 300.0 && rram < 330.0);
+}
+
+#[test]
+fn section_2_2_gate_decompositions() {
+    // "a full-adder can be implemented with 9 NAND gates" (Fig. 2)
+    let mut b = CircuitBuilder::new();
+    let ins = b.inputs(3);
+    let _ = circuits::full_adder(&mut b, ins[0], ins[1], ins[2]);
+    assert_eq!(b.build().stats().total_gates(), 9);
+    // "b-bit addition ... with b−1 full-adds and 1 half-add"
+    assert_eq!(counts::add_gate_writes(32), 31 * 9 + 5);
+    // "b² − 2b full-adds, b half-adds, and b² AND gates" (DADDA)
+    assert_eq!(counts::dadda_full_adders(32), 960);
+    assert_eq!(counts::dadda_half_adders(32), 32);
+    assert_eq!(counts::dadda_and_gates(32), 1_024);
+}
+
+#[test]
+fn section_3_2_shuffling_overheads() {
+    // "For 32-bit numbers, this equates to an extra 2.17%." (multiplication)
+    assert!((100.0 * access_aware::mul_overhead(32) - 2.17).abs() < 0.005);
+    // "The relative overhead in this case becomes (3b+1)/(5b−3) ... 61.78%."
+    assert!((100.0 * access_aware::add_overhead(32) - 61.78).abs() < 0.005);
+    // "a multiplication requires 6b²−8b gates in total"
+    assert_eq!(counts::mul_gates_ideal(32), 6 * 32 * 32 - 8 * 32);
+    // "shuffling requires 2×b COPY gates ... In total, we need 4×b COPY"
+    assert_eq!(access_aware::mul_shuffle_gates(32), 128);
+    assert_eq!(access_aware::add_shuffle_gates(32), 97);
+}
+
+#[test]
+fn section_4_dot_product_costing() {
+    // "A single data transfer takes 2 sequential operations (read/write)" —
+    // check directly on a trace.
+    use nvpim::array::{ArchStyle, Step, Trace};
+    let dims = ArrayDims::new(8, 4);
+    let mut t = Trace::new(dims);
+    let hi = t.add_class(LaneSet::range(4, 2, 4));
+    let lo = t.add_class(LaneSet::range(4, 0, 2));
+    t.push(Step::Transfer { src_row: 0, dst_row: 1, src_class: hi, dst_class: lo });
+    assert_eq!(t.counts(ArchStyle::PresetOutput).sequential_steps, 2);
+    // "A multiplication takes over 20,000 sequential operations" (preset).
+    let wl = ParallelMul::new(ArrayDims::new(1024, 4), 32).without_readout().build();
+    let steps = wl.steps_per_iteration(ArchStyle::PresetOutput);
+    assert!(steps > 19_600, "steps {steps}");
+}
+
+#[test]
+fn section_2_1_device_survey() {
+    // MTJs: up to 10^12; RRAM: 10^8–10^9; PCM: 10^6–10^9.
+    assert_eq!(Technology::Mram.typical_endurance(), 10u64.pow(12));
+    assert!(Technology::Rram.typical_endurance() <= 10u64.pow(9));
+    assert!(Technology::Rram.pessimistic_endurance() >= 10u64.pow(8));
+    assert!(Technology::Pcm.pessimistic_endurance() >= 10u64.pow(6));
+    // 3 ns per gate (Eq. 2's switching time).
+    assert!((DeviceParams::default().op_latency_ns - 3.0).abs() < f64::EPSILON);
+}

@@ -1,0 +1,115 @@
+//! Cross-crate property-based tests on the endurance pipeline's invariants.
+
+use nvpim::balance::{CombinedMap, Strategy as Balance};
+use nvpim::prelude::{
+    ArrayDims, BalanceConfig, EnduranceSimulator, LifetimeModel, PimArray, RemapSchedule,
+    SimConfig,
+};
+use nvpim::workloads::parallel_mul::ParallelMul;
+use proptest::prelude::*;
+
+fn arb_config() -> impl Strategy<Value = BalanceConfig> {
+    let strat = prop_oneof![
+        Just(Balance::Static),
+        Just(Balance::Random),
+        Just(Balance::ByteShift)
+    ];
+    (strat.clone(), strat, any::<bool>())
+        .prop_map(|(row, col, hw)| BalanceConfig::new(row, col, hw))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Whatever the configuration, seed, and schedule, total writes are an
+    /// invariant of (workload × iterations × architecture).
+    #[test]
+    fn total_writes_invariant(config in arb_config(), seed: u64, period in 1u64..40, iters in 1u64..60) {
+        let dims = ArrayDims::new(96, 8);
+        let wl = ParallelMul::new(dims, 4).build();
+        let cfg = SimConfig::paper()
+            .with_iterations(iters)
+            .with_seed(seed)
+            .with_schedule(RemapSchedule::every(period));
+        let run = EnduranceSimulator::new(cfg).run(&wl, config);
+        let per_iter = wl.trace().counts(run.arch).cell_writes;
+        prop_assert_eq!(run.wear.total_writes(), per_iter * iters);
+    }
+
+    /// Address maps remain injective over (row, lane) space at every point
+    /// of a simulated run — two logical cells never collide physically.
+    #[test]
+    fn combined_map_stays_injective(config in arb_config(), seed: u64, epochs in 1usize..6) {
+        use nvpim::array::AddressMap;
+        let rows = 48usize;
+        let lanes = 16usize;
+        let mut map = CombinedMap::new(config, rows, lanes, seed);
+        for e in 0..epochs {
+            // Exercise the dynamic path.
+            for i in 0..100 {
+                let _ = map.gate_output_row((i * 13 + e) % map.logical_rows(), i % 2 == 0);
+            }
+            let mut seen_rows = vec![false; rows];
+            for l in 0..map.logical_rows() {
+                let p = map.lookup_row(l);
+                prop_assert!(p < rows);
+                prop_assert!(!seen_rows[p], "row collision");
+                seen_rows[p] = true;
+            }
+            let mut seen_lanes = vec![false; lanes];
+            for l in 0..lanes {
+                let p = map.lookup_lane(l);
+                prop_assert!(p < lanes);
+                prop_assert!(!seen_lanes[p], "lane collision");
+                seen_lanes[p] = true;
+            }
+            map.advance_epoch();
+        }
+    }
+
+    /// Functional correctness of the multiply workload is preserved under
+    /// arbitrary configurations and inputs (within one epoch).
+    #[test]
+    fn multiply_correct_under_arbitrary_config(
+        config in arb_config(),
+        seed: u64,
+        a in prop::collection::vec(0u64..256, 4),
+        b in prop::collection::vec(0u64..256, 4),
+    ) {
+        let dims = ArrayDims::new(224, 4);
+        let pm = ParallelMul::new(dims, 8);
+        let wl = pm.build();
+        let mut map = CombinedMap::new(config, dims.rows(), dims.lanes(), seed);
+        map.advance_epoch(); // start from a shuffled epoch, not identity
+        let mut array = PimArray::new(dims);
+        array.execute(wl.trace(), &mut map, &mut pm.inputs(&a, &b));
+        for lane in 0..4 {
+            prop_assert_eq!(array.word(wl.result_rows(), lane, &map), a[lane] * b[lane]);
+        }
+    }
+
+    /// Eq. 4 monotonicity: more endurance or a flatter distribution never
+    /// shortens lifetime.
+    #[test]
+    fn lifetime_monotone_in_endurance(e1 in 1u64..1_000_000, e2 in 1u64..1_000_000) {
+        let dims = ArrayDims::new(96, 8);
+        let wl = ParallelMul::new(dims, 4).build();
+        let run = EnduranceSimulator::new(SimConfig::paper().with_iterations(10)).run(&wl, BalanceConfig::baseline());
+        let (lo, hi) = (e1.min(e2), e1.max(e2));
+        let l_lo = LifetimeModel::new(lo, 3.0).lifetime(&run);
+        let l_hi = LifetimeModel::new(hi, 3.0).lifetime(&run);
+        prop_assert!(l_hi.iterations >= l_lo.iterations);
+        prop_assert!(l_hi.seconds >= l_lo.seconds);
+    }
+
+    /// The usable-fraction curve (Fig. 11b) is monotone in both arguments.
+    #[test]
+    fn usable_fraction_monotone(f1 in 0.0f64..1.0, f2 in 0.0f64..1.0, lanes in 1usize..2048) {
+        use nvpim::core::failure::usable_fraction;
+        let (lo, hi) = if f1 <= f2 { (f1, f2) } else { (f2, f1) };
+        prop_assert!(usable_fraction(lo, lanes) >= usable_fraction(hi, lanes));
+        if lanes > 1 && hi > 0.0 {
+            prop_assert!(usable_fraction(hi, lanes) <= usable_fraction(hi, lanes - 1));
+        }
+    }
+}

@@ -1,0 +1,136 @@
+//! §3.2 / Fig. 6 made concrete: classic NVM wear-leveling works for
+//! standard memory but corrupts in-memory computation, while this crate's
+//! PIM-aware strategies re-map coherently.
+//!
+//! The paper's example (Algorithm 1): `x = 5`, `y = 6`, `z = x & y`. For
+//! standard memory, shifting `y` within its row is harmless — the CPU reads
+//! both operands and computes in its ALU. For PIM, the same "balanced"
+//! layout breaks the computation because the bitwise AND happens *in place*,
+//! lane by lane, and the operands are no longer aligned.
+
+use nvpim::array::{ArchStyle, ArrayDims, IdentityMap, LaneSet, PimArray, Step, Trace, WriteSource};
+use nvpim::balance::{CombinedMap, StartGap};
+use nvpim::logic::GateKind;
+
+const X: u64 = 5;
+const Y: u64 = 6;
+const WIDTH: usize = 8;
+
+/// Builds the Fig. 6 kernel with `y` placed at a lane offset: `x` occupies
+/// lanes `0..8` of row 0, `y` occupies lanes `shift..shift+8` of row 1, and
+/// the AND fires across lanes `0..8` writing row 2.
+fn fig6_trace(shift: usize) -> Trace {
+    let dims = ArrayDims::new(4, 16);
+    let mut t = Trace::new(dims);
+    let x_lanes = t.add_class(LaneSet::range(16, 0, WIDTH));
+    let y_lanes = t.add_class(LaneSet::range(16, shift, shift + WIDTH));
+    t.push(Step::Write { row: 0, class: x_lanes, source: WriteSource::Input(0) });
+    t.push(Step::Write { row: 1, class: y_lanes, source: WriteSource::Input(1) });
+    t.push(Step::Gate { kind: GateKind::And, ins: [0, 1], out: 2, class: x_lanes });
+    t
+}
+
+/// Runs the kernel and reads `z` out of row 2, lanes 0..8 (LSB = lane 0).
+fn run_fig6(shift: usize) -> u64 {
+    let trace = fig6_trace(shift);
+    let mut array = PimArray::new(trace.dims()).with_arch(ArchStyle::SenseAmp);
+    // Bit k of x lives in lane k; bit k of y lives in lane shift + k.
+    array.execute(&trace, &mut IdentityMap, &mut |lane, input| match input {
+        0 => (X >> lane) & 1 == 1,
+        _ => (Y >> (lane - shift)) & 1 == 1,
+    });
+    (0..WIDTH).fold(0, |acc, lane| acc | (u64::from(array.bit(2, lane, &IdentityMap)) << lane))
+}
+
+/// Aligned operands compute the paper's `z = 5 & 6 = 4`.
+#[test]
+fn aligned_operands_compute_correctly() {
+    assert_eq!(run_fig6(0), X & Y);
+}
+
+/// The standard-memory "load-balanced" placement (Fig. 6b): shifting `y`
+/// within its row makes the in-memory AND read unrelated cells — the
+/// computation silently produces the wrong answer.
+#[test]
+fn word_level_remapping_corrupts_pim() {
+    let z = run_fig6(2);
+    assert_ne!(z, X & Y, "misaligned operands must corrupt z, got {z}");
+    // Specifically: lane k now ANDs x's bit k with y's bit (k − 2), which
+    // reads as garbage (or an unwritten cell) for the low lanes.
+    assert_eq!(z, X & (Y << 2) & 0xFF & !0b11, "{z:#b}");
+}
+
+/// Start-Gap's gap movement relocates one line at a time. If the array
+/// cannot afford the per-move data migration (the paper's point: PIM data
+/// access granularity is the whole array), translation and contents drift
+/// apart and reads return stale data.
+#[test]
+fn start_gap_without_migration_serves_stale_rows() {
+    let dims = ArrayDims::new(5, 8); // 4 logical rows + 1 gap row
+    let mut sg = StartGap::new(4, 1);
+    let mut array = PimArray::new(dims).with_arch(ArchStyle::SenseAmp);
+
+    // Write marker values into logical rows 0..4 through the translation.
+    let write_row = |array: &mut PimArray, logical: usize, value: bool| {
+        let mut t = Trace::new(dims);
+        let all = t.add_class(LaneSet::full(8));
+        t.push(Step::Write { row: sg.translate(logical), class: all, source: WriteSource::Const(value) });
+        array.execute(&t, &mut IdentityMap, &mut |_, _| unreachable!());
+    };
+    for logical in 0..4 {
+        write_row(&mut array, logical, logical % 2 == 1);
+    }
+
+    // The gap moves (one write's worth of traffic) but nobody migrates the
+    // displaced row's contents.
+    sg.record_write(0);
+
+    // Logical row 3 stored `true`, but its new physical home (the old gap
+    // row) was never written and still reads `false`.
+    let stale = array.bit(sg.translate(3), 0, &IdentityMap);
+    assert_ne!(stale, 3 % 2 == 1, "row 3's data did not move with the translation");
+}
+
+/// The contrast: this crate's whole-array strategies (here `Ra × Ra`)
+/// re-map *every* operand through one consistent translation, so the same
+/// kernel keeps computing 5 & 6 = 4 in any epoch.
+#[test]
+fn coherent_remapping_preserves_the_kernel() {
+    let trace = fig6_trace(0);
+    for epoch in 0..4 {
+        let mut map = CombinedMap::new("RaxRa".parse().unwrap(), 4, 16, 1234);
+        for _ in 0..epoch {
+            map.advance_epoch();
+        }
+        let mut array = PimArray::new(trace.dims()).with_arch(ArchStyle::SenseAmp);
+        array.execute(&trace, &mut map, &mut |lane, input| match input {
+            0 => (X >> lane) & 1 == 1,
+            _ => (Y >> lane) & 1 == 1,
+        });
+        let z = (0..WIDTH)
+            .fold(0u64, |acc, lane| acc | (u64::from(array.bit(2, lane, &map)) << lane));
+        assert_eq!(z, X & Y, "epoch {epoch}");
+    }
+}
+
+/// Start-Gap remains an excellent *standard memory* leveler: the same
+/// translation machinery flattens a skewed write stream (its design goal),
+/// which is why the paper treats it as the state of the art to adapt from.
+#[test]
+fn start_gap_levels_standard_memory() {
+    let n = 32;
+    let mut sg = StartGap::new(n, 4);
+    let mut wear = vec![0u64; n + 1];
+    for i in 0..400_000u64 {
+        // 80% of traffic to two hot lines.
+        let logical = match i % 5 {
+            0 => (i as usize / 5) % n,
+            _ => (i as usize % 2) * 7,
+        };
+        wear[sg.translate(logical)] += 1;
+        sg.record_write(logical);
+    }
+    let max = *wear.iter().max().unwrap() as f64;
+    let mean = wear.iter().sum::<u64>() as f64 / wear.len() as f64;
+    assert!(max / mean < 1.4, "max/mean {}", max / mean);
+}
