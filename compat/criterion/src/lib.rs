@@ -1,0 +1,301 @@
+//! Offline stand-in for the parts of the `criterion` crate this workspace
+//! uses.
+//!
+//! The build environment has no route to crates.io, so this crate implements
+//! a compact wall-clock benchmarking harness with criterion's surface
+//! syntax: [`Criterion`], benchmark groups, [`BenchmarkId`],
+//! [`Bencher::iter`], and the [`criterion_group!`] / [`criterion_main!`]
+//! macros. Each benchmark is timed with adaptive batching (batches sized to
+//! ~`CRITERION_SAMPLE_MS`, default 20 ms) and reported as
+//! `min / median / mean` nanoseconds per iteration. Positional command-line
+//! arguments act as substring filters, as with upstream criterion.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::sync::OnceLock;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+static FILTERS: OnceLock<Vec<String>> = OnceLock::new();
+
+/// Parses the benchmark binary's command-line arguments (called by
+/// [`criterion_main!`]). Flags are ignored; positional arguments become
+/// substring filters on benchmark ids.
+pub fn init_from_args() {
+    let filters: Vec<String> = std::env::args()
+        .skip(1)
+        .filter(|a| !a.starts_with('-'))
+        .collect();
+    let _ = FILTERS.set(filters);
+}
+
+fn should_run(id: &str) -> bool {
+    match FILTERS.get() {
+        None => true,
+        Some(f) if f.is_empty() => true,
+        Some(f) => f.iter().any(|needle| id.contains(needle.as_str())),
+    }
+}
+
+fn env_ms(var: &str, default_ms: u64) -> Duration {
+    Duration::from_millis(
+        std::env::var(var).ok().and_then(|s| s.parse().ok()).unwrap_or(default_ms),
+    )
+}
+
+/// Identifies one benchmark within a group.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchmarkId {
+    repr: String,
+}
+
+impl BenchmarkId {
+    /// An id of the form `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId { repr: format!("{}/{}", name.into(), parameter) }
+    }
+
+    /// An id that is just the parameter's rendering.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId { repr: parameter.to_string() }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { repr: s.to_owned() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { repr: s }
+    }
+}
+
+/// Collects timing samples for one benchmark.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    sample_size: usize,
+    samples_ns_per_iter: Vec<f64>,
+}
+
+impl Bencher {
+    /// Times `f`, storing per-iteration wall-clock samples.
+    ///
+    /// The batch size is chosen so one sample costs roughly
+    /// `CRITERION_SAMPLE_MS` (default 20 ms), and sampling stops early once
+    /// `CRITERION_BUDGET_MS` (default 3000 ms) has been spent.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let sample_target = env_ms("CRITERION_SAMPLE_MS", 20);
+        let budget = env_ms("CRITERION_BUDGET_MS", 3_000);
+        let started = Instant::now();
+
+        // Warm-up probe: one call, also used to size batches.
+        let t0 = Instant::now();
+        black_box(f());
+        let probe = t0.elapsed().max(Duration::from_nanos(1));
+
+        let batch = (sample_target.as_nanos() / probe.as_nanos()).clamp(1, 1 << 24) as u64;
+        self.samples_ns_per_iter.clear();
+        for _ in 0..self.sample_size.max(2) {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            let per_iter = t.elapsed().as_nanos() as f64 / batch as f64;
+            self.samples_ns_per_iter.push(per_iter);
+            if started.elapsed() > budget {
+                break;
+            }
+        }
+    }
+
+    fn report(&self, id: &str) {
+        let mut s = self.samples_ns_per_iter.clone();
+        if s.is_empty() {
+            println!("{id:<48} (no samples)");
+            return;
+        }
+        s.sort_by(f64::total_cmp);
+        let min = s[0];
+        let median = s[s.len() / 2];
+        let mean = s.iter().sum::<f64>() / s.len() as f64;
+        println!(
+            "{id:<48} min {:>12}  median {:>12}  mean {:>12}  ({} samples)",
+            fmt_ns(min),
+            fmt_ns(median),
+            fmt_ns(mean),
+            s.len()
+        );
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+/// A named set of related benchmarks.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timing samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into().repr);
+        if should_run(&full) {
+            let mut b = Bencher { sample_size: self.sample_size, ..Bencher::default() };
+            f(&mut b);
+            b.report(&full);
+        }
+        self
+    }
+
+    /// Runs one parameterized benchmark.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.repr);
+        if should_run(&full) {
+            let mut b = Bencher { sample_size: self.sample_size, ..Bencher::default() };
+            f(&mut b, input);
+            b.report(&full);
+        }
+        self
+    }
+
+    /// Ends the group (upstream-compatibility no-op).
+    pub fn finish(self) {}
+}
+
+/// The benchmark harness entry point.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    default_sample_size: usize,
+}
+
+impl Criterion {
+    fn effective_sample_size(&self) -> usize {
+        if self.default_sample_size == 0 {
+            10
+        } else {
+            self.default_sample_size
+        }
+    }
+
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let sample_size = self.effective_sample_size();
+        BenchmarkGroup { name: name.into(), sample_size, _criterion: self }
+    }
+
+    /// Runs a stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = id.into().repr;
+        if should_run(&full) {
+            let mut b = Bencher { sample_size: self.effective_sample_size(), ..Bencher::default() };
+            f(&mut b);
+            b.report(&full);
+        }
+        self
+    }
+}
+
+/// Declares a function running a list of benchmark targets.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $crate::init_from_args();
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spin(n: u64) -> u64 {
+        let mut acc = 0u64;
+        for i in 0..n {
+            acc = acc.wrapping_add(black_box(i));
+        }
+        acc
+    }
+
+    #[test]
+    fn bencher_collects_samples() {
+        std::env::set_var("CRITERION_SAMPLE_MS", "1");
+        std::env::set_var("CRITERION_BUDGET_MS", "50");
+        let mut b = Bencher { sample_size: 5, ..Bencher::default() };
+        b.iter(|| spin(100));
+        assert!(!b.samples_ns_per_iter.is_empty());
+        assert!(b.samples_ns_per_iter.iter().all(|&ns| ns > 0.0));
+    }
+
+    #[test]
+    fn group_api_composes() {
+        std::env::set_var("CRITERION_SAMPLE_MS", "1");
+        std::env::set_var("CRITERION_BUDGET_MS", "20");
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("smoke");
+        group.sample_size(3);
+        group.bench_function("spin", |b| b.iter(|| spin(10)));
+        group.bench_with_input(BenchmarkId::new("spin_n", 32), &32u64, |b, &n| {
+            b.iter(|| spin(n))
+        });
+        group.finish();
+        c.bench_function("top_level", |b| b.iter(|| spin(5)));
+    }
+
+    #[test]
+    fn id_rendering() {
+        assert_eq!(BenchmarkId::new("width", 16).repr, "width/16");
+        assert_eq!(BenchmarkId::from_parameter(8).repr, "8");
+    }
+}

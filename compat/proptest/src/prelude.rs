@@ -1,0 +1,6 @@
+//! One-stop import mirroring `proptest::prelude::*`.
+
+pub use crate::{
+    any, prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Any, Arbitrary,
+    Just, ProptestConfig, Strategy, Union,
+};

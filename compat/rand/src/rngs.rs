@@ -1,0 +1,60 @@
+//! Concrete generators.
+
+use crate::{RngCore, SeedableRng};
+
+/// A small, fast, non-cryptographic generator (xoshiro256++).
+///
+/// Mirrors `rand::rngs::SmallRng`'s role: cheap per-draw cost and a
+/// deterministic stream per seed. Not suitable for cryptography.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SmallRng {
+    s: [u64; 4],
+}
+
+impl SmallRng {
+    fn next_raw(&mut self) -> u64 {
+        // xoshiro256++ (Blackman & Vigna, 2018; public domain reference).
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+}
+
+impl SeedableRng for SmallRng {
+    fn seed_from_u64(state: u64) -> Self {
+        // SplitMix64 expands the single word into four independent words;
+        // this is the seeding procedure xoshiro's authors recommend.
+        let mut x = state;
+        let mut next = move || {
+            x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        let mut s = [next(), next(), next(), next()];
+        if s == [0; 4] {
+            // The all-zero state is the one fixed point; nudge away from it.
+            s[0] = 0x9E37_79B9_7F4A_7C15;
+        }
+        SmallRng { s }
+    }
+}
+
+impl RngCore for SmallRng {
+    fn next_u64(&mut self) -> u64 {
+        self.next_raw()
+    }
+}
+
+/// The default general-purpose generator; here an alias of [`SmallRng`].
+pub type StdRng = SmallRng;

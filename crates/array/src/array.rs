@@ -162,6 +162,8 @@ impl PimArray {
     ) -> ExecStats {
         assert_eq!(trace.dims(), self.dims, "trace/array dimension mismatch");
         let mut stats = ExecStats::default();
+        #[cfg(debug_assertions)]
+        let wear_before = (self.wear.total_writes(), self.wear.total_reads());
         let lanes = self.dims.lanes();
         for step in trace.steps() {
             match *step {
@@ -218,6 +220,21 @@ impl PimArray {
                     stats.sequential_steps += 2;
                 }
             }
+        }
+        // Every counted write/read must have landed in the wear map — the
+        // stats and the map are independent tallies of the same traffic.
+        #[cfg(debug_assertions)]
+        {
+            debug_assert_eq!(
+                self.wear.total_writes() - wear_before.0,
+                stats.cell_writes,
+                "execute stats disagree with wear map on writes"
+            );
+            debug_assert_eq!(
+                self.wear.total_reads() - wear_before.1,
+                stats.cell_reads,
+                "execute stats disagree with wear map on reads"
+            );
         }
         stats
     }

@@ -111,6 +111,13 @@ impl WearMap {
         self.reads.iter().sum()
     }
 
+    /// Number of cells written at least once (the touched footprint; also
+    /// used to pre-size sparse exports like the CSV report).
+    #[must_use]
+    pub fn nonzero_cells(&self) -> usize {
+        self.writes.iter().filter(|&&w| w > 0).count()
+    }
+
     /// Mean writes per cell.
     #[must_use]
     pub fn mean_writes(&self) -> f64 {
@@ -247,6 +254,18 @@ mod tests {
         assert_eq!(w.max_writes(), 5);
         assert_eq!(w.total_writes(), 14);
         assert_eq!(w.argmax_writes(), (2, 1));
+    }
+
+    #[test]
+    fn nonzero_cells_counts_touched_footprint() {
+        let mut w = WearMap::new(ArrayDims::new(4, 4));
+        assert_eq!(w.nonzero_cells(), 0);
+        w.add_writes(0, &LaneSet::full(4), 2);
+        w.add_write_at(3, 1, 1);
+        w.add_write_at(3, 1, 5); // same cell again: still one cell
+        assert_eq!(w.nonzero_cells(), 5);
+        w.add_reads(2, &LaneSet::full(4), 9); // reads don't count
+        assert_eq!(w.nonzero_cells(), 5);
     }
 
     #[test]

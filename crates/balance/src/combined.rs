@@ -91,6 +91,18 @@ impl CombinedMap {
         self.hw.is_some()
     }
 
+    /// Software re-mapping epochs applied so far.
+    #[must_use]
+    pub fn epoch(&self) -> u64 {
+        self.rows.epoch()
+    }
+
+    /// Hardware redirects performed so far (0 when `Hw` is off).
+    #[must_use]
+    pub fn hw_redirects(&self) -> u64 {
+        self.hw.as_ref().map_or(0, HwRemapper::redirects)
+    }
+
     /// Direct access to the hardware remapper, if enabled.
     #[must_use]
     pub fn hw(&self) -> Option<&HwRemapper> {

@@ -23,11 +23,22 @@
 /// assert_eq!(hw.lookup(1), 3);
 /// assert_eq!(hw.free_row(), 1);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone)]
 pub struct HwRemapper {
     map: Vec<usize>,
     free: usize,
+    redirects: u64,
 }
+
+/// Equality compares the mapping state only, not the redirect tally — two
+/// remappers that rename identically are interchangeable.
+impl PartialEq for HwRemapper {
+    fn eq(&self, other: &Self) -> bool {
+        self.map == other.map && self.free == other.free
+    }
+}
+
+impl Eq for HwRemapper {}
 
 impl HwRemapper {
     /// Creates the remapper for an array with `physical_rows` rows per lane.
@@ -41,7 +52,7 @@ impl HwRemapper {
     #[must_use]
     pub fn new(physical_rows: usize) -> Self {
         assert!(physical_rows >= 2, "hardware re-mapping needs at least 2 rows");
-        HwRemapper { map: (0..physical_rows - 1).collect(), free: physical_rows - 1 }
+        HwRemapper { map: (0..physical_rows - 1).collect(), free: physical_rows - 1, redirects: 0 }
     }
 
     /// Number of logical addresses (`physical_rows − 1`).
@@ -69,9 +80,17 @@ impl HwRemapper {
     /// Redirects a qualifying write to logical address `logical` into the
     /// free row, swaps the free row, and returns the physical row written.
     pub fn redirect(&mut self, logical: usize) -> usize {
+        self.redirects += 1;
         let target = self.free;
         self.free = std::mem::replace(&mut self.map[logical], target);
         target
+    }
+
+    /// Lifetime count of redirects performed (observability: one per
+    /// all-lane gate under the paper's §4 policy).
+    #[must_use]
+    pub fn redirects(&self) -> u64 {
+        self.redirects
     }
 
     /// Whether the mapping is a valid bijection onto the physical rows

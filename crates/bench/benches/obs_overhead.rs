@@ -1,0 +1,44 @@
+//! Overhead of the observability layer on the simulation hot path.
+//!
+//! Three arms over an identical run:
+//! - `baseline`: `run()` with no observer installed (dispatches to
+//!   `NullSink` — the production default);
+//! - `null_sink`: `run_with(&NullSink)` explicitly, to confirm the generic
+//!   dispatch itself adds nothing;
+//! - `observer`: a full `Observer` aggregating counters and span timings.
+//!
+//! The first two must be statistically indistinguishable: `NullSink`'s
+//! `enabled()` is a constant `false`, so every guarded emission site in
+//! `run_with` is dead code after monomorphization.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nvpim_array::ArrayDims;
+use nvpim_core::{EnduranceSimulator, SimConfig};
+use nvpim_obs::{NullSink, Observer};
+use nvpim_workloads::parallel_mul::ParallelMul;
+use std::hint::black_box;
+
+fn bench_instrumentation_overhead(c: &mut Criterion) {
+    let workload = ParallelMul::new(ArrayDims::new(128, 16), 8).build();
+    let cfg = SimConfig::paper().with_iterations(100);
+    let balance = "RaxSt".parse().unwrap();
+    let mut group = c.benchmark_group("obs_overhead");
+    group.sample_size(20);
+    group.bench_function("baseline", |b| {
+        let sim = EnduranceSimulator::new(cfg);
+        b.iter(|| black_box(sim.run(&workload, balance).total_writes()));
+    });
+    group.bench_function("null_sink", |b| {
+        let sim = EnduranceSimulator::new(cfg);
+        b.iter(|| black_box(sim.run_with(&workload, balance, &NullSink).total_writes()));
+    });
+    group.bench_function("observer", |b| {
+        let sim = EnduranceSimulator::new(cfg);
+        let observer = Observer::collecting();
+        b.iter(|| black_box(sim.run_with(&workload, balance, &observer).total_writes()));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_instrumentation_overhead);
+criterion_main!(benches);

@@ -27,11 +27,20 @@
 //! Options:
 //!   --full          run at the paper's full scale (100 000 iterations)
 //!   --iters N       override the iteration count
+//!   --progress      live iteration/ETA progress lines on stderr
+//!   --metrics-out F stream simulator events to F as JSONL
+//!   --manifest F    write a run-manifest JSON artifact to F
 //! ```
 
+use std::io::BufWriter;
 use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Instant;
 
 use nvpim_bench::{experiments, Scale};
+use nvpim_obs::{
+    observer, EventSink, FanoutSink, Json, JsonlSink, Observer, RunManifest, StderrProgressSink,
+};
 
 /// Prints a report and, when `--out DIR` was given, also writes it to
 /// `DIR/<name>.txt`.
@@ -72,6 +81,13 @@ fn main() {
             }
             dir
         });
+
+    let progress = args.iter().any(|a| a == "--progress");
+    let metrics_out = flag_path(&args, "--metrics-out");
+    let manifest_out = flag_path(&args, "--manifest");
+    let observe = progress || metrics_out.is_some() || manifest_out.is_some();
+    let obs = observe.then(|| install_observer(progress, metrics_out.as_deref()));
+    let run_start = Instant::now();
 
     match command {
         "amplification" => emit(&out_dir, "amplification", &experiments::amplification_report()),
@@ -133,6 +149,77 @@ fn main() {
             std::process::exit(2);
         }
     }
+
+    if let Some(obs) = &obs {
+        obs.flush();
+        if let Some(path) = &manifest_out {
+            let doc = build_manifest(command, &args, scale, obs)
+                .with_wall_ns(run_start.elapsed().as_nanos() as u64)
+                .render();
+            if let Err(e) = std::fs::write(path, doc) {
+                die(&format!("cannot write manifest {}: {e}", path.display()));
+            }
+        }
+    }
+}
+
+/// The value following a `--flag PATH` pair, if the flag is present.
+fn flag_path(args: &[String], flag: &str) -> Option<PathBuf> {
+    args.iter().position(|a| a == flag).map(|pos| {
+        PathBuf::from(
+            args.get(pos + 1)
+                .map(String::as_str)
+                .unwrap_or_else(|| die(&format!("{flag} needs a file path"))),
+        )
+    })
+}
+
+/// Installs the process-wide observer the simulator reports into. Always
+/// installed when any observability flag is given (`--manifest` alone still
+/// needs metric aggregation, just no forwarding).
+fn install_observer(progress: bool, metrics_out: Option<&std::path::Path>) -> Arc<Observer> {
+    let mut fan = FanoutSink::new();
+    if progress {
+        fan = fan.with(StderrProgressSink::new());
+    }
+    if let Some(path) = metrics_out {
+        let file = std::fs::File::create(path)
+            .unwrap_or_else(|e| die(&format!("cannot create {}: {e}", path.display())));
+        fan = fan.with(JsonlSink::new(BufWriter::new(file)));
+    }
+    match observer::install(Observer::new(fan)) {
+        Ok(obs) => obs,
+        Err(_) => die("observer already installed"),
+    }
+}
+
+/// Assembles the run-manifest artifact: invocation, scale/config, aggregated
+/// metrics and per-phase timings, and the headline lifetime tallies.
+fn build_manifest(command: &str, args: &[String], scale: Scale, obs: &Observer) -> RunManifest {
+    let cfg = scale.sim_config();
+    let snap = obs.snapshot();
+    let count = |name: &str| snap.counter(name).unwrap_or(0);
+    RunManifest::new(command)
+        .with_command(args.iter().cloned())
+        .with_config(
+            Json::object()
+                .with("iterations", scale.iterations)
+                .with("rows", scale.dims.rows())
+                .with("lanes", scale.dims.lanes())
+                .with("elements", scale.elements)
+                .with("seed", cfg.seed)
+                .with("arch", cfg.arch.to_string())
+                .with("remap_period", cfg.schedule.period().unwrap_or(0)),
+        )
+        .with_lifetime(
+            Json::object()
+                .with("simulated_iterations", count("sim.iterations"))
+                .with("total_cell_writes", count("array.cell_writes"))
+                .with("total_cell_reads", count("array.cell_reads"))
+                .with("remap_events", count("balance.remap_events"))
+                .with("hw_redirects", count("balance.hw_redirects")),
+        )
+        .with_observer(obs)
 }
 
 fn die(msg: &str) -> ! {
@@ -149,6 +236,9 @@ Commands:
   bnn  system  all
 
 Options:
-  --full     paper scale (100 000 iterations)
-  --iters N  override iteration count (default 2 000)
-  --out DIR  also write each report to DIR/<command>.txt";
+  --full            paper scale (100 000 iterations)
+  --iters N         override iteration count (default 2 000)
+  --out DIR         also write each report to DIR/<command>.txt
+  --progress        live iteration/ETA progress lines on stderr
+  --metrics-out F   stream simulator events to F as JSONL
+  --manifest F      write a run-manifest JSON artifact to F";

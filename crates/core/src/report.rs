@@ -36,12 +36,17 @@ pub fn ascii_heatmap(wear: &WearMap, max_rows: usize, max_cols: usize) -> String
 /// zero cells to keep files small.
 #[must_use]
 pub fn wear_to_csv(wear: &WearMap) -> String {
-    let mut out = String::from("row,lane,writes\n");
+    use std::fmt::Write;
+    // ~26 bytes covers "row,lane,writes\n" at full paper scale (4+4 digit
+    // coordinates, write counts into the billions); sizing by the nonzero
+    // footprint avoids rehash-and-copy growth on large maps.
+    let mut out = String::with_capacity(16 + 26 * wear.nonzero_cells());
+    out.push_str("row,lane,writes\n");
     for row in 0..wear.dims().rows() {
         for lane in 0..wear.dims().lanes() {
             let w = wear.writes_at(row, lane);
             if w > 0 {
-                out.push_str(&format!("{row},{lane},{w}\n"));
+                let _ = writeln!(out, "{row},{lane},{w}");
             }
         }
     }
@@ -133,6 +138,52 @@ mod tests {
         assert_eq!(lines.len(), 10); // 8 rows + 2 border lines
         assert!(lines[1].contains('@'), "hottest row renders as @: {map}");
         assert!(lines[4].chars().skip(1).take(8).all(|c| c == ' '), "cold rows blank");
+    }
+
+    #[test]
+    fn heatmap_of_empty_map_is_all_blank() {
+        // A zero wear map must not divide by zero; it renders fully cold.
+        let map = ascii_heatmap(&WearMap::new(ArrayDims::new(8, 8)), 4, 4);
+        let lines: Vec<&str> = map.lines().collect();
+        assert_eq!(lines.len(), 6);
+        for line in &lines[1..5] {
+            assert!(line.chars().skip(1).take(4).all(|c| c == ' '), "cold map: {map}");
+        }
+    }
+
+    #[test]
+    fn heatmap_grid_clamps_to_array_dims() {
+        // Asking for a larger grid than the array must clamp, not panic.
+        let mut w = WearMap::new(ArrayDims::new(4, 2));
+        w.add_writes(0, &LaneSet::full(2), 1);
+        let map = ascii_heatmap(&w, 100, 100);
+        let lines: Vec<&str> = map.lines().collect();
+        assert_eq!(lines.len(), 4 + 2); // clamped to 4 rows + borders
+        assert_eq!(lines[0].len(), 2 + 2); // clamped to 2 lanes + borders
+        assert!(lines[1].contains('@'), "sole hot bucket is the maximum");
+    }
+
+    #[test]
+    fn csv_round_trips_every_nonzero_cell() {
+        let wear = sample_wear();
+        let csv = wear_to_csv(&wear);
+        let mut reconstructed = WearMap::new(wear.dims());
+        let mut lines = csv.lines();
+        assert_eq!(lines.next(), Some("row,lane,writes"));
+        for line in lines {
+            let mut fields = line.split(',');
+            let row: usize = fields.next().unwrap().parse().expect("row parses");
+            let lane: usize = fields.next().unwrap().parse().expect("lane parses");
+            let writes: u64 = fields.next().unwrap().parse().expect("writes parse");
+            assert_eq!(fields.next(), None, "exactly three fields: {line}");
+            assert!(writes > 0, "zero cells are skipped: {line}");
+            reconstructed.add_write_at(row, lane, writes);
+        }
+        for row in 0..16 {
+            for lane in 0..16 {
+                assert_eq!(reconstructed.writes_at(row, lane), wear.writes_at(row, lane));
+            }
+        }
     }
 
     #[test]

@@ -9,8 +9,11 @@
 //! and scaled — bit-exact against naive execution (asserted by tests) and
 //! orders of magnitude faster.
 
+use std::time::Instant;
+
 use nvpim_array::{AddressMap, ArchStyle, LaneSet, Step, Trace, WearMap};
 use nvpim_balance::{BalanceConfig, CombinedMap, RemapSchedule};
+use nvpim_obs::{Event, EventSink, NullSink};
 use nvpim_workloads::Workload;
 
 /// Simulation parameters.
@@ -130,6 +133,19 @@ impl SimResult {
     pub fn iteration_latency_s(&self, op_latency_ns: f64) -> f64 {
         self.steps_per_iteration as f64 * op_latency_ns * 1e-9
     }
+
+    /// Total cell writes accumulated over the whole run.
+    #[must_use]
+    pub fn total_writes(&self) -> u64 {
+        self.wear.total_writes()
+    }
+
+    /// Total cell reads accumulated over the whole run (0 unless the
+    /// configuration enabled read tracking).
+    #[must_use]
+    pub fn total_reads(&self) -> u64 {
+        self.wear.total_reads()
+    }
 }
 
 /// Replays workload traces under balancing configurations.
@@ -153,8 +169,32 @@ impl EnduranceSimulator {
 
     /// Runs `workload` for the configured number of iterations under
     /// `balance` and returns the accumulated write distribution.
+    ///
+    /// If a process-wide [`nvpim_obs::Observer`] is installed, the run is
+    /// instrumented through it; otherwise it executes against
+    /// [`NullSink`], whose disabled emission sites monomorphize away.
     #[must_use]
     pub fn run(&self, workload: &Workload, balance: BalanceConfig) -> SimResult {
+        match nvpim_obs::observer::current() {
+            Some(observer) => self.run_with(workload, balance, &*observer),
+            None => self.run_with(workload, balance, &NullSink),
+        }
+    }
+
+    /// Runs `workload` under `balance`, emitting progress, phase-timing,
+    /// and counter [`Event`]s into `sink`.
+    ///
+    /// The simulator is generic over the sink so that the disabled path
+    /// costs nothing: with [`NullSink`], `sink.enabled()` is a constant
+    /// `false` and every guarded emission compiles out. Hot-loop tallies
+    /// are plain locals flushed as a handful of events at run end.
+    #[must_use]
+    pub fn run_with<S: EventSink>(
+        &self,
+        workload: &Workload,
+        balance: BalanceConfig,
+        sink: &S,
+    ) -> SimResult {
         let trace = workload.trace();
         let dims = trace.dims();
         let mut map = CombinedMap::new(balance, dims.rows(), dims.lanes(), self.cfg.seed);
@@ -166,8 +206,31 @@ impl EnduranceSimulator {
             map.logical_rows()
         );
 
+        let enabled = sink.enabled();
+        let run_start = Instant::now();
+        let counts = trace.counts(self.cfg.arch);
+        if enabled {
+            let config_name = balance.to_string();
+            let arch_name = self.cfg.arch.to_string();
+            sink.record(&Event::RunStart {
+                workload: workload.name(),
+                config: &config_name,
+                arch: &arch_name,
+                iterations: self.cfg.iterations,
+                rows: dims.rows(),
+                lanes: dims.lanes(),
+                seed: self.cfg.seed,
+            });
+        }
+
         let mut acc = Accumulator::new(trace, self.cfg.track_reads);
         let mut wear = WearMap::new(dims);
+
+        // Per-epoch tallies; cheap plain locals even on the disabled path.
+        let mut replays = 0u64;
+        let mut epochs = 0u64;
+        let mut replay_ns = 0u64;
+        let mut scatter_ns = 0u64;
 
         let mut iteration = 0u64;
         while iteration < self.cfg.iterations {
@@ -178,30 +241,95 @@ impl EnduranceSimulator {
             };
             let span = until_remap.min(self.cfg.iterations - iteration);
 
+            let replay_timer = enabled.then(Instant::now);
             if map.is_dynamic() {
                 // Hardware re-mapping evolves per gate: replay each
                 // iteration of the epoch.
                 for _ in 0..span {
                     acc.replay(trace, &mut map, self.cfg.arch);
                 }
-                acc.scatter(trace, &map, &mut wear, 1);
+                replays += span;
             } else {
                 // Static within the epoch: one replay, scaled.
                 acc.replay(trace, &mut map, self.cfg.arch);
-                acc.scatter(trace, &map, &mut wear, span);
+                replays += 1;
+            }
+            if let Some(t) = replay_timer {
+                replay_ns += t.elapsed().as_nanos() as u64;
+            }
+
+            let scatter_timer = enabled.then(Instant::now);
+            let scale = if map.is_dynamic() { 1 } else { span };
+            acc.scatter(trace, &map, &mut wear, scale);
+            if let Some(t) = scatter_timer {
+                scatter_ns += t.elapsed().as_nanos() as u64;
             }
 
             iteration += span;
+            if enabled {
+                sink.record(&Event::Observe { name: "sim.epoch_span_iters", value: span });
+                sink.record(&Event::Progress { done: iteration, total: self.cfg.iterations });
+            }
             if self.cfg.schedule.remaps_after(iteration - 1) {
                 map.advance_epoch();
+                epochs += 1;
+                if enabled {
+                    sink.record(&Event::EpochAdvance { iteration, epoch: map.epoch() });
+                }
             }
+        }
+
+        // Runtime consistency cross-check: the wear map and the trace's
+        // static counts tally the same traffic independently. A mismatch
+        // means the epoch-factorized fast path dropped or double-counted
+        // writes.
+        let total_writes = wear.total_writes();
+        assert_eq!(
+            total_writes,
+            self.cfg.iterations * counts.cell_writes,
+            "wear map disagrees with trace write counts under {balance}"
+        );
+        if self.cfg.track_reads {
+            assert_eq!(
+                wear.total_reads(),
+                self.cfg.iterations * counts.cell_reads,
+                "wear map disagrees with trace read counts under {balance}"
+            );
+        }
+
+        if enabled {
+            sink.record(&Event::CounterAdd { name: "sim.iterations", delta: self.cfg.iterations });
+            sink.record(&Event::CounterAdd { name: "sim.replays", delta: replays });
+            sink.record(&Event::CounterAdd {
+                name: "sim.steps_replayed",
+                delta: replays * counts.sequential_steps,
+            });
+            sink.record(&Event::CounterAdd { name: "balance.remap_events", delta: epochs });
+            sink.record(&Event::CounterAdd {
+                name: "balance.hw_redirects",
+                delta: map.hw_redirects(),
+            });
+            sink.record(&Event::CounterAdd { name: "array.cell_writes", delta: total_writes });
+            sink.record(&Event::CounterAdd {
+                name: "array.cell_reads",
+                delta: wear.total_reads(),
+            });
+            sink.record(&Event::PhaseEnd { phase: "sim.replay", ns: replay_ns });
+            sink.record(&Event::PhaseEnd { phase: "sim.scatter", ns: scatter_ns });
+            sink.record(&Event::RunEnd {
+                iterations: self.cfg.iterations,
+                total_writes,
+                max_writes: wear.max_writes(),
+                wall_ns: run_start.elapsed().as_nanos() as u64,
+            });
+            sink.flush();
         }
 
         SimResult {
             wear,
             config: balance,
             iterations: self.cfg.iterations,
-            steps_per_iteration: trace.counts(self.cfg.arch).sequential_steps,
+            steps_per_iteration: counts.sequential_steps,
             arch: self.cfg.arch,
         }
     }
@@ -479,6 +607,82 @@ mod tests {
             .build();
         let (compact_writes, _) = single_iteration_profile(&compact, ArchStyle::SenseAmp);
         assert!(*compact_writes.iter().max().unwrap() > 3 * max);
+    }
+
+    #[test]
+    fn total_writes_accessor_matches_wear_sum() {
+        let wl = small_mul();
+        let cfg = SimConfig::default().with_iterations(12).with_read_tracking(true);
+        let result = EnduranceSimulator::new(cfg).run(&wl, "RaxRa".parse().unwrap());
+        let mut sum_writes = 0u64;
+        let mut sum_reads = 0u64;
+        for row in 0..128 {
+            for lane in 0..8 {
+                sum_writes += result.wear.writes_at(row, lane);
+                sum_reads += result.wear.reads_at(row, lane);
+            }
+        }
+        assert_eq!(result.total_writes(), sum_writes);
+        assert_eq!(result.total_reads(), sum_reads);
+        assert!(sum_reads > 0);
+    }
+
+    #[test]
+    fn run_with_null_sink_matches_run() {
+        let wl = small_mul();
+        let cfg = SimConfig::default().with_iterations(9).with_schedule(RemapSchedule::every(4));
+        let sim = EnduranceSimulator::new(cfg);
+        let balance: BalanceConfig = "RaxRa+Hw".parse().unwrap();
+        let plain = sim.run(&wl, balance);
+        let with_sink = sim.run_with(&wl, balance, &nvpim_obs::NullSink);
+        for row in 0..128 {
+            for lane in 0..8 {
+                assert_eq!(plain.wear.writes_at(row, lane), with_sink.wear.writes_at(row, lane));
+            }
+        }
+    }
+
+    #[test]
+    fn instrumented_run_emits_lifecycle_and_counters() {
+        let wl = small_mul();
+        let cfg = SimConfig::default().with_iterations(10).with_schedule(RemapSchedule::every(5));
+        let observer = nvpim_obs::Observer::new(nvpim_obs::MemorySink::new());
+        let result =
+            EnduranceSimulator::new(cfg).run_with(&wl, "StxSt+Hw".parse().unwrap(), &observer);
+        let snap = observer.snapshot();
+        assert_eq!(snap.counter("sim.iterations"), Some(10));
+        // Hw forces per-iteration replay: 10 replays over 2 epochs.
+        assert_eq!(snap.counter("sim.replays"), Some(10));
+        assert_eq!(snap.counter("balance.remap_events"), Some(2));
+        // The counters cross-check the wear map exactly.
+        assert_eq!(snap.counter("array.cell_writes"), Some(result.total_writes()));
+        let redirects = snap.counter("balance.hw_redirects").unwrap();
+        assert!(redirects > 0, "Hw run must redirect");
+        // Phase timings were booked under the expected names.
+        assert!(observer.spans().phase("sim.replay").is_some());
+        assert!(observer.spans().phase("sim.scatter").is_some());
+    }
+
+    #[test]
+    fn instrumented_wear_is_identical_to_uninstrumented() {
+        let wl = small_mul();
+        let cfg = SimConfig::default().with_iterations(7).with_schedule(RemapSchedule::every(3));
+        let sim = EnduranceSimulator::new(cfg);
+        for config in ["RaxRa", "StxSt+Hw"] {
+            let balance: BalanceConfig = config.parse().unwrap();
+            let plain = sim.run(&wl, balance);
+            let observer = nvpim_obs::Observer::collecting();
+            let observed = sim.run_with(&wl, balance, &observer);
+            for row in 0..128 {
+                for lane in 0..8 {
+                    assert_eq!(
+                        plain.wear.writes_at(row, lane),
+                        observed.wear.writes_at(row, lane),
+                        "{config} instrumentation must not perturb results"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

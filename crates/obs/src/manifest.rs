@@ -1,0 +1,209 @@
+//! The [`RunManifest`]: a single JSON artifact describing one simulation
+//! run — what was asked for (config, seed, workload, dims), what environment
+//! ran it, how long each phase took, what the metrics ended up at, and the
+//! headline lifetime results.
+//!
+//! Manifests are deterministic by construction: every object is key-ordered
+//! and all nondeterministic wall-time fields are isolated so that
+//! [`RunManifest::render_stable`] yields byte-identical output for two runs
+//! with the same configuration and seed. Metrics fed by instrumentation are
+//! pure counts (iterations, writes, remaps), never durations — durations
+//! live in the `phases` section, which the stable rendering zeroes.
+
+use crate::json::Json;
+use crate::metrics::MetricsSnapshot;
+use crate::observer::Observer;
+use crate::span::SpanCollector;
+
+/// Manifest schema identifier, bumped on breaking layout changes.
+pub const SCHEMA: &str = "nvpim.run-manifest/v1";
+
+/// Everything worth keeping about one simulation run, serializable to a
+/// diffable JSON document.
+#[derive(Debug, Clone, Default)]
+pub struct RunManifest {
+    workload: String,
+    command: Vec<String>,
+    config: Json,
+    environment: Json,
+    lifetime: Json,
+    phases: Option<SpanCollector>,
+    metrics: Option<MetricsSnapshot>,
+    wall_ns: u64,
+}
+
+impl RunManifest {
+    /// A manifest for `workload` with host environment pre-filled.
+    #[must_use]
+    pub fn new(workload: &str) -> Self {
+        RunManifest {
+            workload: workload.to_owned(),
+            environment: Json::object()
+                .with("os", std::env::consts::OS)
+                .with("arch", std::env::consts::ARCH),
+            config: Json::object(),
+            lifetime: Json::object(),
+            ..RunManifest::default()
+        }
+    }
+
+    /// Records the command line that produced this run.
+    #[must_use]
+    pub fn with_command<I, S>(mut self, args: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.command = args.into_iter().map(Into::into).collect();
+        self
+    }
+
+    /// Attaches the full run configuration (SimConfig, BalanceConfig, seed,
+    /// array dims, ...) as a JSON object.
+    #[must_use]
+    pub fn with_config(mut self, config: Json) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Merges one `key = value` pair into the configuration object.
+    #[must_use]
+    pub fn with_config_entry(mut self, key: &str, value: impl Into<Json>) -> Self {
+        self.config = self.config.with(key, value);
+        self
+    }
+
+    /// Attaches the headline lifetime summary (max writes/iteration,
+    /// iterations-to-failure, lifetime seconds, ...).
+    #[must_use]
+    pub fn with_lifetime(mut self, lifetime: Json) -> Self {
+        self.lifetime = lifetime;
+        self
+    }
+
+    /// Attaches per-phase wall-time breakdowns.
+    #[must_use]
+    pub fn with_phases(mut self, phases: &SpanCollector) -> Self {
+        self.phases = Some(phases.clone());
+        self
+    }
+
+    /// Attaches a metrics snapshot.
+    #[must_use]
+    pub fn with_metrics(mut self, metrics: MetricsSnapshot) -> Self {
+        self.metrics = Some(metrics);
+        self
+    }
+
+    /// Pulls phases and a fresh metrics snapshot from an observer.
+    #[must_use]
+    pub fn with_observer(self, observer: &Observer) -> Self {
+        self.with_phases(observer.spans()).with_metrics(observer.snapshot())
+    }
+
+    /// Records total wall time of the run.
+    #[must_use]
+    pub fn with_wall_ns(mut self, wall_ns: u64) -> Self {
+        self.wall_ns = wall_ns;
+        self
+    }
+
+    /// Serializes the manifest. With `stable`, wall-time fields (`wall_ns`
+    /// and per-phase `total_ns`/`max_ns`) are zeroed so equivalent runs
+    /// produce byte-identical documents.
+    #[must_use]
+    pub fn to_json(&self, stable: bool) -> Json {
+        Json::object()
+            .with("schema", SCHEMA)
+            .with("tool", "nvpim")
+            .with("version", env!("CARGO_PKG_VERSION"))
+            .with("workload", self.workload.as_str())
+            .with("command", Json::Arr(self.command.iter().map(|s| s.as_str().into()).collect()))
+            .with("config", self.config.clone())
+            .with("environment", self.environment.clone())
+            .with("lifetime", self.lifetime.clone())
+            .with(
+                "phases",
+                self.phases.as_ref().map_or_else(Json::object, |p| p.to_json(stable)),
+            )
+            .with(
+                "metrics",
+                self.metrics.as_ref().map_or_else(Json::object, MetricsSnapshot::to_json),
+            )
+            .with("wall_ns", if stable { 0 } else { self.wall_ns })
+    }
+
+    /// Pretty-printed manifest including real timings.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = self.to_json(false).render_pretty();
+        out.push('\n');
+        out
+    }
+
+    /// Pretty-printed manifest with timing fields zeroed: two runs of the
+    /// same configuration and seed render byte-identical documents.
+    #[must_use]
+    pub fn render_stable(&self) -> String {
+        let mut out = self.to_json(true).render_pretty();
+        out.push('\n');
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+
+    fn sample(wall_ns: u64, phase_ns: u64) -> RunManifest {
+        let spans = SpanCollector::new();
+        spans.add("sim.replay", phase_ns);
+        let registry = crate::metrics::MetricsRegistry::new();
+        registry.counter("sim.iterations").add(100);
+        RunManifest::new("mul32x1024")
+            .with_command(["repro", "endurance"])
+            .with_config(Json::object().with("seed", 42u64).with("iterations", 100u64))
+            .with_lifetime(Json::object().with("max_writes_per_iteration", 7u64))
+            .with_phases(&spans)
+            .with_metrics(registry.snapshot())
+            .with_wall_ns(wall_ns)
+    }
+
+    #[test]
+    fn manifest_renders_valid_json_with_all_sections() {
+        let doc = sample(123_456, 999).render();
+        let parsed = json::parse(&doc).expect("manifest is valid JSON");
+        assert_eq!(parsed.get("schema").and_then(|j| j.as_str()), Some(SCHEMA));
+        assert_eq!(parsed.get("workload").and_then(|j| j.as_str()), Some("mul32x1024"));
+        assert_eq!(
+            parsed.get("config").and_then(|c| c.get("seed")).and_then(|j| j.as_u64()),
+            Some(42)
+        );
+        assert_eq!(parsed.get("wall_ns").and_then(|j| j.as_u64()), Some(123_456));
+        let metrics = parsed.get("metrics").unwrap();
+        assert!(metrics.get("sim.iterations").is_some());
+        let replay = parsed.get("phases").and_then(|p| p.get("sim.replay")).unwrap();
+        assert_eq!(replay.get("total_ns").and_then(|j| j.as_u64()), Some(999));
+    }
+
+    #[test]
+    fn stable_rendering_is_byte_identical_across_timings() {
+        let a = sample(111, 10).render_stable();
+        let b = sample(999_999, 77_777).render_stable();
+        assert_eq!(a, b);
+        // ... while the full rendering differs (timings preserved).
+        assert_ne!(sample(111, 10).render(), sample(999_999, 77_777).render());
+    }
+
+    #[test]
+    fn observer_convenience_attaches_both_sections() {
+        let obs = Observer::collecting();
+        obs.metrics().counter("c").inc();
+        obs.spans().add("p", 5);
+        let doc = RunManifest::new("w").with_observer(&obs).render();
+        let parsed = json::parse(&doc).unwrap();
+        assert!(parsed.get("metrics").and_then(|m| m.get("c")).is_some());
+        assert!(parsed.get("phases").and_then(|p| p.get("p")).is_some());
+    }
+}

@@ -1,0 +1,405 @@
+//! A lock-cheap metrics registry: monotonic counters, gauges, and
+//! log2-bucketed histograms.
+//!
+//! Registration (name lookup) takes a mutex once; the returned handles are
+//! `Arc`-backed atomics, so the hot path is a single relaxed atomic op with
+//! no locking and no allocation. Snapshots are ordered [`BTreeMap`]s, so two
+//! identical runs serialize to identical bytes.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::json::Json;
+
+/// A monotonically increasing event count.
+#[derive(Debug, Clone, Default)]
+pub struct Counter {
+    value: Arc<AtomicU64>,
+}
+
+impl Counter {
+    /// A detached counter (not registered anywhere).
+    #[must_use]
+    pub fn new() -> Self {
+        Counter::default()
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `delta`.
+    pub fn add(&self, delta: u64) {
+        self.value.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// The current total.
+    #[must_use]
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-write-wins floating-point level.
+#[derive(Debug, Clone, Default)]
+pub struct Gauge {
+    bits: Arc<AtomicU64>,
+}
+
+impl Gauge {
+    /// A detached gauge (not registered anywhere).
+    #[must_use]
+    pub fn new() -> Self {
+        Gauge::default()
+    }
+
+    /// Replaces the level.
+    pub fn set(&self, value: f64) {
+        self.bits.store(value.to_bits(), Ordering::Relaxed);
+    }
+
+    /// The current level.
+    #[must_use]
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+}
+
+/// Number of histogram buckets: one for zero plus one per power of two.
+const BUCKETS: usize = 65;
+
+#[derive(Debug)]
+struct HistogramInner {
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+    buckets: [AtomicU64; BUCKETS],
+}
+
+/// A log2-bucketed distribution of `u64` observations.
+///
+/// Bucket `0` holds observations equal to zero; bucket `k >= 1` holds
+/// observations in `[2^(k-1), 2^k)`. Recording is four relaxed atomic ops.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    inner: Arc<HistogramInner>,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            inner: Arc::new(HistogramInner {
+                count: AtomicU64::new(0),
+                sum: AtomicU64::new(0),
+                min: AtomicU64::new(u64::MAX),
+                max: AtomicU64::new(0),
+                buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            }),
+        }
+    }
+}
+
+impl Histogram {
+    /// A detached histogram (not registered anywhere).
+    #[must_use]
+    pub fn new() -> Self {
+        Histogram::default()
+    }
+
+    /// Index of the bucket holding `value`.
+    #[must_use]
+    pub fn bucket_index(value: u64) -> usize {
+        (64 - value.leading_zeros()) as usize
+    }
+
+    /// Inclusive upper bound of bucket `index` (`0` for the zero bucket).
+    #[must_use]
+    pub fn bucket_upper_bound(index: usize) -> u64 {
+        if index == 0 {
+            0
+        } else if index >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << index) - 1
+        }
+    }
+
+    /// Records one observation.
+    pub fn record(&self, value: u64) {
+        let inner = &self.inner;
+        inner.count.fetch_add(1, Ordering::Relaxed);
+        inner.sum.fetch_add(value, Ordering::Relaxed);
+        inner.min.fetch_min(value, Ordering::Relaxed);
+        inner.max.fetch_max(value, Ordering::Relaxed);
+        inner.buckets[Self::bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// An immutable copy of the current state.
+    #[must_use]
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let inner = &self.inner;
+        let count = inner.count.load(Ordering::Relaxed);
+        HistogramSnapshot {
+            count,
+            sum: inner.sum.load(Ordering::Relaxed),
+            min: if count == 0 { 0 } else { inner.min.load(Ordering::Relaxed) },
+            max: inner.max.load(Ordering::Relaxed),
+            buckets: inner
+                .buckets
+                .iter()
+                .enumerate()
+                .filter_map(|(i, b)| {
+                    let n = b.load(Ordering::Relaxed);
+                    (n > 0).then_some((Self::bucket_upper_bound(i), n))
+                })
+                .collect(),
+        }
+    }
+}
+
+/// Frozen view of a [`Histogram`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Observations recorded.
+    pub count: u64,
+    /// Sum of all observations.
+    pub sum: u64,
+    /// Smallest observation (0 when empty).
+    pub min: u64,
+    /// Largest observation.
+    pub max: u64,
+    /// `(inclusive upper bound, count)` for each nonempty bucket.
+    pub buckets: Vec<(u64, u64)>,
+}
+
+impl HistogramSnapshot {
+    /// Mean observation (0.0 when empty).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+/// One metric's frozen value inside a [`MetricsSnapshot`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetricValue {
+    /// A counter total.
+    Counter(u64),
+    /// A gauge level.
+    Gauge(f64),
+    /// A histogram distribution.
+    Histogram(HistogramSnapshot),
+}
+
+/// A deterministic point-in-time copy of a whole registry.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Metric name → frozen value, ordered by name.
+    pub metrics: BTreeMap<String, MetricValue>,
+}
+
+impl MetricsSnapshot {
+    /// A counter's value, if present.
+    #[must_use]
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        match self.metrics.get(name) {
+            Some(MetricValue::Counter(v)) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Serializes the snapshot as a JSON object.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        let mut obj = Json::object();
+        for (name, value) in &self.metrics {
+            let rendered = match value {
+                MetricValue::Counter(v) => Json::object().with("type", "counter").with("value", *v),
+                MetricValue::Gauge(v) => Json::object().with("type", "gauge").with("value", *v),
+                MetricValue::Histogram(h) => Json::object()
+                    .with("type", "histogram")
+                    .with("count", h.count)
+                    .with("sum", h.sum)
+                    .with("min", h.min)
+                    .with("max", h.max)
+                    .with(
+                        "buckets",
+                        Json::Arr(
+                            h.buckets
+                                .iter()
+                                .map(|&(le, n)| Json::object().with("le", le).with("count", n))
+                                .collect(),
+                        ),
+                    ),
+            };
+            obj = obj.with(name, rendered);
+        }
+        obj
+    }
+}
+
+#[derive(Debug, Default)]
+struct RegistryInner {
+    counters: BTreeMap<String, Counter>,
+    gauges: BTreeMap<String, Gauge>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+/// Named metric handles aggregated per simulation run.
+///
+/// `counter`/`gauge`/`histogram` get-or-create a handle under a mutex; the
+/// handle itself updates lock-free, so callers should hoist handles out of
+/// loops.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsRegistry {
+    inner: Arc<Mutex<RegistryInner>>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        MetricsRegistry::default()
+    }
+
+    /// The counter named `name`, created on first use.
+    #[must_use]
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut inner = self.inner.lock().expect("metrics registry poisoned");
+        inner.counters.entry(name.to_owned()).or_default().clone()
+    }
+
+    /// The gauge named `name`, created on first use.
+    #[must_use]
+    pub fn gauge(&self, name: &str) -> Gauge {
+        let mut inner = self.inner.lock().expect("metrics registry poisoned");
+        inner.gauges.entry(name.to_owned()).or_default().clone()
+    }
+
+    /// The histogram named `name`, created on first use.
+    #[must_use]
+    pub fn histogram(&self, name: &str) -> Histogram {
+        let mut inner = self.inner.lock().expect("metrics registry poisoned");
+        inner.histograms.entry(name.to_owned()).or_default().clone()
+    }
+
+    /// Freezes every metric into a deterministic snapshot.
+    #[must_use]
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let inner = self.inner.lock().expect("metrics registry poisoned");
+        let mut metrics = BTreeMap::new();
+        for (name, c) in &inner.counters {
+            metrics.insert(name.clone(), MetricValue::Counter(c.get()));
+        }
+        for (name, g) in &inner.gauges {
+            metrics.insert(name.clone(), MetricValue::Gauge(g.get()));
+        }
+        for (name, h) in &inner.histograms {
+            metrics.insert(name.clone(), MetricValue::Histogram(h.snapshot()));
+        }
+        MetricsSnapshot { metrics }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_across_clones() {
+        let registry = MetricsRegistry::new();
+        let a = registry.counter("sim.iterations");
+        let b = registry.counter("sim.iterations");
+        a.inc();
+        b.add(9);
+        assert_eq!(registry.snapshot().counter("sim.iterations"), Some(10));
+    }
+
+    #[test]
+    fn gauges_take_last_write() {
+        let registry = MetricsRegistry::new();
+        let g = registry.gauge("sim.progress");
+        g.set(0.25);
+        g.set(0.75);
+        let snap = registry.snapshot();
+        assert_eq!(snap.metrics.get("sim.progress"), Some(&MetricValue::Gauge(0.75)));
+    }
+
+    #[test]
+    fn histogram_buckets_are_log2() {
+        assert_eq!(Histogram::bucket_index(0), 0);
+        assert_eq!(Histogram::bucket_index(1), 1);
+        assert_eq!(Histogram::bucket_index(2), 2);
+        assert_eq!(Histogram::bucket_index(3), 2);
+        assert_eq!(Histogram::bucket_index(4), 3);
+        assert_eq!(Histogram::bucket_index(u64::MAX), 64);
+        assert_eq!(Histogram::bucket_upper_bound(0), 0);
+        assert_eq!(Histogram::bucket_upper_bound(2), 3);
+        assert_eq!(Histogram::bucket_upper_bound(64), u64::MAX);
+    }
+
+    #[test]
+    fn histogram_snapshot_statistics() {
+        let h = Histogram::new();
+        for v in [0u64, 1, 2, 3, 1000] {
+            h.record(v);
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 5);
+        assert_eq!(snap.sum, 1006);
+        assert_eq!(snap.min, 0);
+        assert_eq!(snap.max, 1000);
+        assert!((snap.mean() - 201.2).abs() < 1e-9);
+        // zero bucket, bucket for 1, bucket for 2..3 (two entries), 1000.
+        assert_eq!(snap.buckets, vec![(0, 1), (1, 1), (3, 2), (1023, 1)]);
+    }
+
+    #[test]
+    fn empty_histogram_is_sane() {
+        let snap = Histogram::new().snapshot();
+        assert_eq!(snap.count, 0);
+        assert_eq!(snap.min, 0);
+        assert_eq!(snap.mean(), 0.0);
+        assert!(snap.buckets.is_empty());
+    }
+
+    #[test]
+    fn snapshot_serializes_deterministically() {
+        let registry = MetricsRegistry::new();
+        registry.counter("b.count").add(2);
+        registry.counter("a.count").add(1);
+        registry.histogram("c.hist").record(5);
+        let one = registry.snapshot().to_json().render();
+        let two = registry.snapshot().to_json().render();
+        assert_eq!(one, two);
+        assert!(one.find("a.count").unwrap() < one.find("b.count").unwrap());
+        crate::json::parse(&one).expect("snapshot renders valid JSON");
+    }
+
+    #[test]
+    fn handles_are_lock_free_across_threads() {
+        let registry = MetricsRegistry::new();
+        let counter = registry.counter("threaded");
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let c = counter.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        c.inc();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(registry.snapshot().counter("threaded"), Some(4000));
+    }
+}

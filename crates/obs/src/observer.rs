@@ -1,0 +1,163 @@
+//! The [`Observer`]: an [`EventSink`] that aggregates bookkeeping events
+//! into a [`MetricsRegistry`] and [`SpanCollector`] while forwarding the
+//! full stream to a user-chosen inner sink.
+//!
+//! A process-wide observer can be installed once via [`install`]; code deep
+//! in the stack picks it up with [`current`] without any plumbing through
+//! intermediate layers.
+
+use std::sync::{Arc, OnceLock};
+
+use crate::event::Event;
+use crate::metrics::{MetricsRegistry, MetricsSnapshot};
+use crate::sink::{EventSink, NullSink};
+use crate::span::SpanCollector;
+
+/// Aggregating sink: counters/gauges/histograms land in a registry, phase
+/// timings in a span collector, and every event is forwarded downstream.
+pub struct Observer {
+    metrics: MetricsRegistry,
+    spans: SpanCollector,
+    sink: Box<dyn EventSink + Send + Sync>,
+    forward: bool,
+}
+
+impl std::fmt::Debug for Observer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Observer").field("forward", &self.forward).finish_non_exhaustive()
+    }
+}
+
+impl Default for Observer {
+    fn default() -> Self {
+        Observer::new(NullSink)
+    }
+}
+
+impl Observer {
+    /// An observer forwarding events to `sink`.
+    pub fn new<S: EventSink + Send + Sync + 'static>(sink: S) -> Self {
+        let forward = sink.enabled();
+        Observer {
+            metrics: MetricsRegistry::new(),
+            spans: SpanCollector::new(),
+            sink: Box::new(sink),
+            forward,
+        }
+    }
+
+    /// An observer that only aggregates (no downstream sink).
+    #[must_use]
+    pub fn collecting() -> Self {
+        Observer::default()
+    }
+
+    /// The metrics registry fed by [`Event::CounterAdd`], [`Event::GaugeSet`]
+    /// and [`Event::Observe`] (and usable directly).
+    #[must_use]
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
+    }
+
+    /// The span collector fed by [`Event::PhaseEnd`] (and usable directly).
+    #[must_use]
+    pub fn spans(&self) -> &SpanCollector {
+        &self.spans
+    }
+
+    /// Point-in-time snapshot of all aggregated metrics.
+    #[must_use]
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        self.metrics.snapshot()
+    }
+}
+
+impl EventSink for Observer {
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    fn record(&self, event: &Event<'_>) {
+        match *event {
+            Event::CounterAdd { name, delta } => self.metrics.counter(name).add(delta),
+            Event::GaugeSet { name, value } => self.metrics.gauge(name).set(value),
+            Event::Observe { name, value } => self.metrics.histogram(name).record(value),
+            Event::PhaseEnd { phase, ns } => self.spans.add(phase, ns),
+            _ => {}
+        }
+        if self.forward {
+            self.sink.record(event);
+        }
+    }
+
+    fn flush(&self) {
+        self.sink.flush();
+    }
+}
+
+static GLOBAL: OnceLock<Arc<Observer>> = OnceLock::new();
+
+/// Installs the process-wide observer. Returns `Err` (handing the observer
+/// back) if one is already installed — installation is once per process.
+pub fn install(observer: Observer) -> Result<Arc<Observer>, Observer> {
+    let arc = Arc::new(observer);
+    if GLOBAL.set(Arc::clone(&arc)).is_ok() {
+        Ok(arc)
+    } else {
+        // `set` consumed (and dropped) the rejected clone, so `arc` is the
+        // only reference left and unwrapping it cannot fail.
+        Err(Arc::into_inner(arc).expect("unshared observer"))
+    }
+}
+
+/// The installed process-wide observer, if any. Instrumented code treats
+/// `None` as "observability off" and runs against [`NullSink`].
+#[must_use]
+pub fn current() -> Option<Arc<Observer>> {
+    GLOBAL.get().cloned()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sink::MemorySink;
+
+    #[test]
+    fn observer_routes_and_forwards() {
+        let obs = Observer::new(MemorySink::new());
+        obs.record(&Event::CounterAdd { name: "c", delta: 2 });
+        obs.record(&Event::CounterAdd { name: "c", delta: 3 });
+        obs.record(&Event::GaugeSet { name: "g", value: 1.5 });
+        obs.record(&Event::Observe { name: "h", value: 7 });
+        obs.record(&Event::PhaseEnd { phase: "p", ns: 10 });
+        assert_eq!(obs.metrics().counter("c").get(), 5);
+        assert_eq!(obs.metrics().gauge("g").get(), 1.5);
+        assert_eq!(obs.spans().phase("p").unwrap().count, 1);
+        assert_eq!(obs.snapshot().counter("c"), Some(5));
+    }
+
+    #[test]
+    fn observer_with_null_sink_still_aggregates() {
+        let obs = Observer::collecting();
+        obs.record(&Event::CounterAdd { name: "c", delta: 1 });
+        assert_eq!(obs.metrics().counter("c").get(), 1);
+        // The observer itself stays enabled so emission sites keep sending
+        // bookkeeping events even when nothing is forwarded.
+        assert!(obs.enabled());
+    }
+
+    #[test]
+    fn second_install_is_rejected() {
+        // GLOBAL is process-wide, so this test exercises whichever install
+        // happens second; both orders must behave.
+        let first = install(Observer::collecting());
+        let second = install(Observer::collecting());
+        assert!(second.is_err(), "second install must hand the observer back");
+        if let Ok(arc) = first {
+            arc.record(&Event::CounterAdd { name: "installed", delta: 1 });
+            assert_eq!(current().unwrap().metrics().counter("installed").get(), 1);
+        } else {
+            assert!(current().is_some());
+        }
+    }
+}

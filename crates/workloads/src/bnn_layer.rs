@@ -124,7 +124,7 @@ mod tests {
     fn functional_correctness() {
         let layer = BnnLayer::new(ArrayDims::new(256, 8), 16);
         let wl = layer.build();
-        let activations: Vec<u64> = (0..8).map(|l| 0x1234 * (l as u64 + 1) & 0xFFFF).collect();
+        let activations: Vec<u64> = (0..8).map(|l| (0x1234 * (l as u64 + 1)) & 0xFFFF).collect();
         let weights: Vec<u64> = (0..8).map(|l| 0x9E37 >> l & 0xFFFF).collect();
         let mut array = PimArray::new(wl.trace().dims());
         let mut map = IdentityMap;

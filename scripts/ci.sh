@@ -1,0 +1,14 @@
+#!/usr/bin/env bash
+# Local CI gate: build, test, and lint the whole workspace.
+#
+# All cargo invocations run --offline: the build environment has no route
+# to crates.io, and the three external deps (rand/proptest/criterion)
+# resolve to std-only stand-ins vendored under compat/.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release --offline --workspace
+cargo test -q --offline --workspace
+cargo clippy --offline --workspace --all-targets -- -D warnings
+
+echo "ci: all checks passed"

@@ -17,7 +17,9 @@
 //!   hardware re-mapping, access-aware shuffling);
 //! * [`workloads`] — parallel multiplication, dot-product, convolution;
 //! * [`core`] — the endurance simulator, lifetime model (Eq. 4),
-//!   closed-form limits (Eqs. 1–2), and failed-cell analysis.
+//!   closed-form limits (Eqs. 1–2), and failed-cell analysis;
+//! * [`obs`] — zero-dependency observability: metrics, span timers, event
+//!   sinks, and diffable run manifests (see the `observed_run` example).
 //!
 //! # Quickstart
 //!
@@ -48,6 +50,7 @@ pub use nvpim_balance as balance;
 pub use nvpim_core as core;
 pub use nvpim_logic as logic;
 pub use nvpim_nvm as nvm;
+pub use nvpim_obs as obs;
 pub use nvpim_workloads as workloads;
 
 /// The most commonly used types, re-exported flat.
@@ -55,6 +58,7 @@ pub mod prelude {
     pub use nvpim_array::{ArchStyle, ArrayDims, LaneSet, PimArray, WearMap};
     pub use nvpim_balance::{BalanceConfig, RemapSchedule, Strategy};
     pub use nvpim_core::{EnduranceSimulator, Lifetime, LifetimeModel, SimConfig, SimResult};
+    pub use nvpim_obs::{EventSink, Observer, RunManifest, StderrProgressSink};
     pub use nvpim_logic::{circuits, words, CircuitBuilder, GateKind};
     pub use nvpim_nvm::{DeviceParams, EnduranceModel, Technology};
     pub use nvpim_workloads::convolution::Convolution;
