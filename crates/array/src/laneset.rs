@@ -160,12 +160,25 @@ impl LaneSet {
     /// Panics if `perm.len() != self.lanes()` or a target is out of bounds.
     #[must_use]
     pub fn permuted(&self, perm: &[usize]) -> LaneSet {
-        assert_eq!(perm.len(), self.lanes, "permutation length mismatch");
         let mut out = LaneSet::empty(self.lanes);
+        self.permuted_into(perm, &mut out);
+        out
+    }
+
+    /// Writes the image of this set under `perm` into `out`, clearing it
+    /// first. The allocation-free form of [`LaneSet::permuted`] for hot
+    /// loops that reuse a scratch set across calls.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `perm`'s or `out`'s universe differs from this set's.
+    pub fn permuted_into(&self, perm: &[usize], out: &mut LaneSet) {
+        assert_eq!(perm.len(), self.lanes, "permutation length mismatch");
+        assert_eq!(out.lanes, self.lanes, "lane universe mismatch");
+        out.words.fill(0);
         for lane in self.iter() {
             out.insert(perm[lane]);
         }
-        out
     }
 
     /// Union with another set over the same universe.
@@ -249,6 +262,26 @@ mod tests {
         // Rotate right by one.
         let p = s.permuted(&[1, 2, 3, 0]);
         assert_eq!(p.iter().collect::<Vec<_>>(), vec![1, 2]);
+    }
+
+    #[test]
+    fn permuted_into_reuses_and_clears_scratch() {
+        let perm = [3usize, 2, 1, 0];
+        let mut scratch = LaneSet::from_indices(4, &[0, 1, 2, 3]); // stale contents
+        let s = LaneSet::from_indices(4, &[0, 3]);
+        s.permuted_into(&perm, &mut scratch);
+        assert_eq!(scratch, s.permuted(&perm));
+        assert_eq!(scratch.iter().collect::<Vec<_>>(), vec![0, 3]);
+        // A second, different use of the same scratch must fully replace it.
+        LaneSet::from_indices(4, &[1]).permuted_into(&perm, &mut scratch);
+        assert_eq!(scratch.iter().collect::<Vec<_>>(), vec![2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "lane universe mismatch")]
+    fn permuted_into_rejects_mismatched_scratch() {
+        let mut scratch = LaneSet::empty(8);
+        LaneSet::empty(4).permuted_into(&[0, 1, 2, 3], &mut scratch);
     }
 
     #[test]

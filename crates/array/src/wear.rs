@@ -93,6 +93,22 @@ impl WearMap {
         }
     }
 
+    /// Folds many wear maps into one by summation — the result-collection
+    /// primitive for parallel runs, where each worker accumulates a private
+    /// map that is merged back in deterministic submission order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any map's dimensions differ from `dims`.
+    #[must_use]
+    pub fn merged(dims: ArrayDims, maps: impl IntoIterator<Item = WearMap>) -> WearMap {
+        let mut total = WearMap::new(dims);
+        for map in maps {
+            total.merge(&map);
+        }
+        total
+    }
+
     /// Maximum writes over all cells (the lifetime-limiting cell, Eq. 4).
     #[must_use]
     pub fn max_writes(&self) -> u64 {
@@ -320,6 +336,25 @@ mod tests {
         a.merge(&b);
         assert_eq!(a.writes_at(0, 0), 3);
         assert_eq!(a.reads_at(1, 1), 3);
+    }
+
+    #[test]
+    fn merged_folds_many_maps() {
+        let dims = ArrayDims::new(3, 2);
+        let maps: Vec<WearMap> = (0..4u64)
+            .map(|i| {
+                let mut m = WearMap::new(dims);
+                m.add_write_at(i as usize % 3, 0, i + 1);
+                m.add_read_at(0, 1, i);
+                m
+            })
+            .collect();
+        let total = WearMap::merged(dims, maps);
+        assert_eq!(total.total_writes(), 1 + 2 + 3 + 4);
+        assert_eq!(total.reads_at(0, 1), 1 + 2 + 3);
+        assert_eq!(total.writes_at(0, 0), 1 + 4);
+        let empty = WearMap::merged(dims, std::iter::empty());
+        assert_eq!(empty.total_writes(), 0);
     }
 
     #[test]

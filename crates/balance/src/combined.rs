@@ -84,6 +84,32 @@ impl CombinedMap {
         self.lanes.as_slice()
     }
 
+    /// The flat logical→physical row translation table for the current
+    /// software epoch — the simulator's replay hot path scatters through
+    /// this precomputed slice instead of re-translating every step through
+    /// [`AddressMap::lookup_row`]'s trait call and `Hw` branch.
+    ///
+    /// The table is cached per epoch: it is the row mapper's forward
+    /// permutation, rewritten in place by [`CombinedMap::advance_epoch`].
+    /// **Invariant:** a borrow of this table must never be held across an
+    /// epoch advance — the rewrite is the invalidation (see DESIGN.md,
+    /// "Epoch translation cache"). The borrow checker enforces this:
+    /// `advance_epoch` takes `&mut self`, so a live `&[usize]` from here
+    /// makes the advance a compile error.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `Hw` is enabled: a dynamic map changes on every all-lane
+    /// gate, so no per-epoch table exists for it.
+    #[must_use]
+    pub fn row_table(&self) -> &[usize] {
+        assert!(
+            !self.is_dynamic(),
+            "row_table is only defined for static-within-epoch maps (Hw is enabled)"
+        );
+        self.rows.as_slice()
+    }
+
     /// Whether this map ever changes state during execution (i.e. `Hw` is
     /// on). Static-during-epoch maps allow the simulator's fast path.
     #[must_use]
@@ -247,6 +273,37 @@ mod tests {
             physical_rows_cover(&mut m, 32, 33);
             m.advance_epoch();
         }
+    }
+
+    #[test]
+    fn row_table_matches_lookup_at_every_epoch() {
+        for config in ["StxSt", "RaxSt", "BsxRa"] {
+            let mut m = CombinedMap::new(config.parse().unwrap(), 48, 8, 11);
+            for _ in 0..4 {
+                let table = m.row_table().to_vec();
+                for (logical, &physical) in table.iter().enumerate() {
+                    assert_eq!(m.lookup_row(logical), physical, "{config}");
+                }
+                m.advance_epoch();
+            }
+        }
+    }
+
+    #[test]
+    fn row_table_is_invalidated_by_advance_epoch() {
+        let mut m = CombinedMap::new("BsxSt".parse().unwrap(), 32, 4, 0);
+        let before = m.row_table().to_vec();
+        m.advance_epoch();
+        let after = m.row_table().to_vec();
+        assert_ne!(before, after, "epoch advance must rewrite the table");
+        assert_eq!(after[0], 8, "byte-shift moves logical 0 to physical 8");
+    }
+
+    #[test]
+    #[should_panic(expected = "static-within-epoch")]
+    fn row_table_rejects_dynamic_maps() {
+        let m = CombinedMap::new("StxSt+Hw".parse().unwrap(), 16, 4, 0);
+        let _ = m.row_table();
     }
 
     #[test]

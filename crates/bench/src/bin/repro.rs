@@ -27,6 +27,8 @@
 //! Options:
 //!   --full          run at the paper's full scale (100 000 iterations)
 //!   --iters N       override the iteration count
+//!   --jobs N        worker threads for independent simulations
+//!                   (default 0 = auto: NVPIM_THREADS, else all cores)
 //!   --progress      live iteration/ETA progress lines on stderr
 //!   --metrics-out F stream simulator events to F as JSONL
 //!   --manifest F    write a run-manifest JSON artifact to F
@@ -68,6 +70,13 @@ fn main() {
             .and_then(|v| v.parse().ok())
             .unwrap_or_else(|| die("--iters needs a positive integer"));
         scale = scale.with_iterations(n);
+    }
+    if let Some(pos) = args.iter().position(|a| a == "--jobs") {
+        let n = args
+            .get(pos + 1)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or_else(|| die("--jobs needs a non-negative integer (0 = auto)"));
+        scale = scale.with_jobs(n);
     }
     let out_dir: Option<PathBuf> = args
         .iter()
@@ -209,7 +218,8 @@ fn build_manifest(command: &str, args: &[String], scale: Scale, obs: &Observer) 
                 .with("elements", scale.elements)
                 .with("seed", cfg.seed)
                 .with("arch", cfg.arch.to_string())
-                .with("remap_period", cfg.schedule.period().unwrap_or(0)),
+                .with("remap_period", cfg.schedule.period().unwrap_or(0))
+                .with("jobs", resolved_jobs(scale) as u64),
         )
         .with_lifetime(
             Json::object()
@@ -222,13 +232,18 @@ fn build_manifest(command: &str, args: &[String], scale: Scale, obs: &Observer) 
         .with_observer(obs)
 }
 
+/// The worker count a scale actually runs with (`0` = environment-driven).
+fn resolved_jobs(scale: Scale) -> usize {
+    nvpim_exec::JobPool::new(scale.jobs).threads()
+}
+
 fn die(msg: &str) -> ! {
     eprintln!("{msg}");
     std::process::exit(2);
 }
 
 const USAGE: &str = "\
-Usage: repro <command> [--full] [--iters N]
+Usage: repro <command> [--full] [--iters N] [--jobs N]
 
 Commands:
   amplification  limits  fig5  table2  fig11  fig14  fig15  fig16
@@ -238,6 +253,8 @@ Commands:
 Options:
   --full            paper scale (100 000 iterations)
   --iters N         override iteration count (default 2 000)
+  --jobs N          worker threads for independent simulations
+                    (default 0 = auto: NVPIM_THREADS, else all cores)
   --out DIR         also write each report to DIR/<command>.txt
   --progress        live iteration/ETA progress lines on stderr
   --metrics-out F   stream simulator events to F as JSONL

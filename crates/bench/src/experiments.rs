@@ -197,8 +197,11 @@ pub fn heatmap_report(which: &str, scale: Scale) -> String {
         scale.iterations,
         scale.sim_config().schedule,
     );
-    for config in BalanceConfig::all() {
-        let result = sim.run(&workload, config);
+    // The 18 panels are independent simulations: fan them across workers
+    // (bit-identical to the serial loop, rendered in the paper's order).
+    let results = sim.run_all_configs_parallel(&workload, scale.jobs);
+    for result in &results {
+        let config = result.config;
         out.push_str(&format!(
             "\n-- {config}: max {} writes/cell, imbalance {:.2}x, gini {:.3} --\n",
             result.wear.max_writes(),
@@ -208,6 +211,16 @@ pub fn heatmap_report(which: &str, scale: Scale) -> String {
         out.push_str(&ascii_heatmap(&result.wear, 24, 72));
         out.push('\n');
     }
+    // Aggregate panel: total wear across every configuration, a quick
+    // visual check that balancing conserves writes while moving them.
+    let combined =
+        nvpim_array::WearMap::merged(scale.dims, results.iter().map(|r| r.wear.clone()));
+    out.push_str(&format!(
+        "\n-- all 18 configs combined: {} total writes --\n",
+        combined.total_writes()
+    ));
+    out.push_str(&ascii_heatmap(&combined, 24, 72));
+    out.push('\n');
     out
 }
 
@@ -217,13 +230,15 @@ pub fn heatmap_report(which: &str, scale: Scale) -> String {
 pub fn fig17_data(workload: &Workload, scale: Scale) -> Vec<(BalanceConfig, f64)> {
     let sim = EnduranceSimulator::new(scale.sim_config());
     let model = LifetimeModel::mtj();
-    let baseline_run = sim.run(workload, BalanceConfig::baseline());
-    BalanceConfig::all()
+    let results = sim.run_all_configs_parallel(workload, scale.jobs);
+    let baseline_run = results
+        .iter()
+        .find(|r| r.config.is_static())
+        .expect("StxSt is part of the matrix")
+        .clone();
+    results
         .into_iter()
-        .map(|config| {
-            let result = sim.run(workload, config);
-            (config, model.improvement(&result, &baseline_run))
-        })
+        .map(|result| (result.config, model.improvement(&result, &baseline_run)))
         .collect()
 }
 
@@ -295,12 +310,13 @@ pub fn sweep_report(scale: Scale) -> String {
     );
     let workload = scale.mul_workload();
     let base = SimConfig::paper().with_iterations(scale.iterations);
-    let points = sweep::remap_frequency_sweep(
+    let points = sweep::remap_frequency_sweep_parallel(
         &workload,
         "RaxRa".parse().expect("valid config"),
         base,
         LifetimeModel::mtj(),
         &RemapSchedule::PAPER_SWEEP,
+        scale.jobs,
     );
     let mut rows = Vec::new();
     for p in &points {
@@ -585,8 +601,17 @@ mod tests {
     #[test]
     fn heatmap_report_renders_all_panels() {
         let r = heatmap_report("conv", Scale::tiny());
-        assert_eq!(r.matches("-- ").count(), 18);
+        // 18 per-config panels plus the combined-wear panel.
+        assert_eq!(r.matches("-- ").count(), 19);
         assert!(r.contains("RaxBs+Hw"));
+        assert!(r.contains("all 18 configs combined"));
+    }
+
+    #[test]
+    fn heatmap_report_is_jobs_invariant() {
+        let serial = heatmap_report("mul", Scale::tiny().with_jobs(1));
+        let parallel = heatmap_report("mul", Scale::tiny().with_jobs(4));
+        assert_eq!(serial, parallel);
     }
 
     #[test]

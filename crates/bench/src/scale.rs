@@ -22,32 +22,42 @@ pub struct Scale {
     pub iterations: u64,
     /// Dot-product vector length (= lanes at paper scale).
     pub elements: usize,
+    /// Worker threads for independent simulations (`0` = auto: honor
+    /// `NVPIM_THREADS`, else all available cores).
+    pub jobs: usize,
 }
 
 impl Scale {
     /// The paper's full evaluation scale: 1024 × 1024, 100 000 iterations.
     #[must_use]
     pub fn paper() -> Self {
-        Scale { dims: ArrayDims::paper(), iterations: 100_000, elements: 1024 }
+        Scale { dims: ArrayDims::paper(), iterations: 100_000, elements: 1024, jobs: 0 }
     }
 
     /// Paper-sized array, 2 000 iterations — the default for the `repro`
     /// harness (minutes, not hours; identical distribution shape).
     #[must_use]
     pub fn default_scale() -> Self {
-        Scale { dims: ArrayDims::paper(), iterations: 2_000, elements: 1024 }
+        Scale { dims: ArrayDims::paper(), iterations: 2_000, elements: 1024, jobs: 0 }
     }
 
     /// A tiny scale for Criterion benches and smoke tests.
     #[must_use]
     pub fn tiny() -> Self {
-        Scale { dims: ArrayDims::new(512, 64), iterations: 200, elements: 64 }
+        Scale { dims: ArrayDims::new(512, 64), iterations: 200, elements: 64, jobs: 0 }
     }
 
     /// Overrides the iteration count.
     #[must_use]
     pub fn with_iterations(mut self, iterations: u64) -> Self {
         self.iterations = iterations;
+        self
+    }
+
+    /// Overrides the worker-thread count (`0` = auto).
+    #[must_use]
+    pub fn with_jobs(mut self, jobs: usize) -> Self {
+        self.jobs = jobs;
         self
     }
 

@@ -16,6 +16,8 @@
 //!   (Fig. 11b) and the lane-set partitioning workaround;
 //! * [`baseline`] — the conventional (CPU + memory) architecture baseline
 //!   used for the write-amplification comparison;
+//! * [`parallel`] — deterministic fan-out of independent simulations
+//!   (workload × config × arch × period matrices) across worker threads;
 //! * [`sweep`] — re-mapping-frequency sweeps (§5);
 //! * [`system`] — accelerator-level lifetime over many arrays (the §4
 //!   server-replacement framing);
@@ -44,10 +46,12 @@ pub mod baseline;
 pub mod failure;
 pub mod lifetime;
 pub mod limits;
+pub mod parallel;
 pub mod report;
 pub mod sim;
 pub mod sweep;
 pub mod system;
 
 pub use lifetime::{Lifetime, LifetimeModel};
+pub use parallel::{fan_out, run_matrix, MatrixPoint};
 pub use sim::{EnduranceSimulator, SimConfig, SimResult};

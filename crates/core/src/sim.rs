@@ -16,6 +16,8 @@ use nvpim_balance::{BalanceConfig, CombinedMap, RemapSchedule};
 use nvpim_obs::{Event, EventSink, NullSink};
 use nvpim_workloads::Workload;
 
+use crate::parallel::fan_out;
+
 /// Simulation parameters.
 ///
 /// # Examples
@@ -44,6 +46,11 @@ pub struct SimConfig {
     /// Whether to also accumulate per-cell *read* counts (needed only for
     /// Fig. 5b; costs extra time).
     pub track_reads: bool,
+    /// Whether the static-map replay path scatters through the per-epoch
+    /// flat translation table ([`CombinedMap::row_table`]) instead of
+    /// re-translating every step. Identical results either way; off exists
+    /// only for the ablation bench.
+    pub translation_cache: bool,
 }
 
 impl SimConfig {
@@ -57,6 +64,7 @@ impl SimConfig {
             schedule: RemapSchedule::every(100),
             seed: 0xC0FFEE,
             track_reads: false,
+            translation_cache: true,
         }
     }
 
@@ -92,6 +100,14 @@ impl SimConfig {
     #[must_use]
     pub fn with_read_tracking(mut self, track: bool) -> Self {
         self.track_reads = track;
+        self
+    }
+
+    /// Enables or disables the epoch translation-cache fast path (on by
+    /// default; disabling is for the ablation bench only).
+    #[must_use]
+    pub fn with_translation_cache(mut self, enabled: bool) -> Self {
+        self.translation_cache = enabled;
         self
     }
 }
@@ -244,14 +260,21 @@ impl EnduranceSimulator {
             let replay_timer = enabled.then(Instant::now);
             if map.is_dynamic() {
                 // Hardware re-mapping evolves per gate: replay each
-                // iteration of the epoch.
+                // iteration of the epoch. This path allocates nothing per
+                // iteration — all tallies live in the accumulator.
                 for _ in 0..span {
                     acc.replay(trace, &mut map, self.cfg.arch);
                 }
                 replays += span;
             } else {
-                // Static within the epoch: one replay, scaled.
-                acc.replay(trace, &mut map, self.cfg.arch);
+                // Static within the epoch: one replay, scaled. With the
+                // translation cache the epoch's flat row table replaces the
+                // per-step lookup chain.
+                if self.cfg.translation_cache {
+                    acc.replay_cached(trace, map.row_table(), self.cfg.arch);
+                } else {
+                    acc.replay(trace, &mut map, self.cfg.arch);
+                }
                 replays += 1;
             }
             if let Some(t) = replay_timer {
@@ -339,6 +362,36 @@ impl EnduranceSimulator {
     pub fn run_all_configs(&self, workload: &Workload) -> Vec<SimResult> {
         BalanceConfig::all().into_iter().map(|c| self.run(workload, c)).collect()
     }
+
+    /// Runs `workload` under each of `configs` across `jobs` worker threads
+    /// (`0` = auto: `NVPIM_THREADS`, else the machine's parallelism).
+    ///
+    /// Results come back in the order of `configs`, bit-identical to
+    /// running each serially: every job owns its `CombinedMap` (seeded from
+    /// the shared [`SimConfig`]), so no simulation state crosses threads.
+    /// If a process-wide [`nvpim_obs::Observer`] is installed, each worker records
+    /// into a private sink that is merged into it in submission order after
+    /// the join, keeping global counters and phase timings exact.
+    #[must_use]
+    pub fn run_configs_parallel(
+        &self,
+        workload: &Workload,
+        configs: &[BalanceConfig],
+        jobs: usize,
+    ) -> Vec<SimResult> {
+        fan_out(configs.to_vec(), jobs, |config, sink| match sink {
+            Some(observer) => self.run_with(workload, config, observer),
+            None => self.run_with(workload, config, &NullSink),
+        })
+    }
+
+    /// The parallel form of [`EnduranceSimulator::run_all_configs`]: the
+    /// paper's full 18-configuration matrix fanned across `jobs` worker
+    /// threads, bit-identical to the serial path.
+    #[must_use]
+    pub fn run_all_configs_parallel(&self, workload: &Workload, jobs: usize) -> Vec<SimResult> {
+        self.run_configs_parallel(workload, &BalanceConfig::all(), jobs)
+    }
 }
 
 /// Per-epoch (class × physical row) write/read tallies, scattered into the
@@ -348,6 +401,8 @@ struct Accumulator {
     writes: Vec<Vec<u64>>,
     reads: Option<Vec<Vec<u64>>>,
     all_lanes: Vec<bool>,
+    /// Reused physical-lane scratch set so `scatter` allocates nothing.
+    phys_scratch: LaneSet,
 }
 
 impl Accumulator {
@@ -359,6 +414,7 @@ impl Accumulator {
             writes: vec![vec![0; rows]; n_classes],
             reads: track_reads.then(|| vec![vec![0; rows]; n_classes]),
             all_lanes: trace.classes().iter().map(|c| c.count() == lanes).collect(),
+            phys_scratch: LaneSet::empty(lanes),
         }
     }
 
@@ -395,15 +451,66 @@ impl Accumulator {
         }
     }
 
+    /// Tallies one iteration of the trace through the epoch's flat
+    /// logical→physical row table ([`CombinedMap::row_table`]) — the
+    /// static-map hot path. Semantically identical to [`Accumulator::replay`]
+    /// with `Hw` off: every translation is a single slice index, and the
+    /// read-tracking branch is hoisted out of the step loop.
+    fn replay_cached(&mut self, trace: &Trace, rows: &[usize], arch: ArchStyle) {
+        let writes_per_gate = arch.writes_per_gate();
+        match &mut self.reads {
+            None => {
+                for step in trace.steps() {
+                    match *step {
+                        Step::Write { row, class, .. } => {
+                            self.writes[class][rows[row]] += 1;
+                        }
+                        Step::Read { .. } => {}
+                        Step::Gate { out, class, .. } => {
+                            self.writes[class][rows[out]] += writes_per_gate;
+                        }
+                        Step::Transfer { dst_row, dst_class, .. } => {
+                            self.writes[dst_class][rows[dst_row]] += 1;
+                        }
+                    }
+                }
+            }
+            Some(reads) => {
+                for step in trace.steps() {
+                    match *step {
+                        Step::Write { row, class, .. } => {
+                            self.writes[class][rows[row]] += 1;
+                        }
+                        Step::Read { row, class } => {
+                            reads[class][rows[row]] += 1;
+                        }
+                        Step::Gate { kind, ins, out, class } => {
+                            self.writes[class][rows[out]] += writes_per_gate;
+                            reads[class][rows[ins[0]]] += 1;
+                            if kind.arity() == 2 {
+                                reads[class][rows[ins[1]]] += 1;
+                            }
+                        }
+                        Step::Transfer { src_row, dst_row, src_class, dst_class } => {
+                            self.writes[dst_class][rows[dst_row]] += 1;
+                            reads[src_class][rows[src_row]] += 1;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
     /// Flushes the tallies into `wear`, multiplied by `scale`, through the
-    /// epoch's lane permutation, and clears them.
+    /// epoch's lane permutation, and clears them. Allocation-free: the
+    /// physical lane set is built in the reused scratch buffer.
     fn scatter(&mut self, trace: &Trace, map: &CombinedMap, wear: &mut WearMap, scale: u64) {
         let perm = map.lane_permutation();
         for (class, lanes) in trace.classes().iter().enumerate() {
-            let phys: LaneSet = lanes.permuted(perm);
+            lanes.permuted_into(perm, &mut self.phys_scratch);
             for (row, &count) in self.writes[class].iter().enumerate() {
                 if count > 0 {
-                    wear.add_writes(row, &phys, count * scale);
+                    wear.add_writes(row, &self.phys_scratch, count * scale);
                 }
             }
             for slot in &mut self.writes[class] {
@@ -412,7 +519,7 @@ impl Accumulator {
             if let Some(reads) = &mut self.reads {
                 for (row, &count) in reads[class].iter().enumerate() {
                     if count > 0 {
-                        wear.add_reads(row, &phys, count * scale);
+                        wear.add_reads(row, &self.phys_scratch, count * scale);
                     }
                 }
                 for slot in &mut reads[class] {
@@ -682,6 +789,55 @@ mod tests {
                     );
                 }
             }
+        }
+    }
+
+    #[test]
+    fn translation_cache_off_matches_on() {
+        // The cached flat-table replay is a pure strength reduction: turning
+        // it off (trait-dispatched per-step lookups) must not move a single
+        // write or read.
+        let wl = small_mul();
+        let base = SimConfig::default()
+            .with_iterations(9)
+            .with_schedule(RemapSchedule::every(4))
+            .with_read_tracking(true);
+        for config in ["StxSt", "RaxSt", "StxRa", "BsxBs", "RaxRa"] {
+            let balance: BalanceConfig = config.parse().unwrap();
+            let cached = EnduranceSimulator::new(base.with_translation_cache(true))
+                .run(&wl, balance);
+            let uncached = EnduranceSimulator::new(base.with_translation_cache(false))
+                .run(&wl, balance);
+            for row in 0..128 {
+                for lane in 0..8 {
+                    assert_eq!(
+                        cached.wear.writes_at(row, lane),
+                        uncached.wear.writes_at(row, lane),
+                        "{config} writes diverge at ({row},{lane})"
+                    );
+                    assert_eq!(
+                        cached.wear.reads_at(row, lane),
+                        uncached.wear.reads_at(row, lane),
+                        "{config} reads diverge at ({row},{lane})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_all_configs_matches_serial() {
+        let wl = small_mul();
+        let cfg = SimConfig::default().with_iterations(6).with_schedule(RemapSchedule::every(3));
+        let sim = EnduranceSimulator::new(cfg);
+        let serial: Vec<SimResult> =
+            BalanceConfig::all().into_iter().map(|b| sim.run(&wl, b)).collect();
+        let parallel = sim.run_all_configs_parallel(&wl, 4);
+        assert_eq!(serial.len(), parallel.len());
+        for (s, p) in serial.iter().zip(&parallel) {
+            assert_eq!(s.config, p.config);
+            assert_eq!(s.wear.max_writes(), p.wear.max_writes());
+            assert_eq!(s.wear.total_writes(), p.wear.total_writes());
         }
     }
 

@@ -6,8 +6,10 @@
 //! iterations, with only ~1.6% further improvement from 50 → 10.
 
 use nvpim_balance::{BalanceConfig, RemapSchedule};
+use nvpim_obs::NullSink;
 use nvpim_workloads::Workload;
 
+use crate::parallel::fan_out;
 use crate::{EnduranceSimulator, LifetimeModel, SimConfig};
 
 /// One sweep point.
@@ -54,9 +56,60 @@ pub fn remap_frequency_sweep(
         .collect()
 }
 
-/// The saturation analysis of §5: the smallest period (most frequent
-/// re-mapping) whose lifetime is within `tolerance` (e.g. 0.016 = 1.6%) of
-/// the best point in the sweep.
+/// [`remap_frequency_sweep`] fanned across `jobs` worker threads (`0` =
+/// auto), bit-identical to the serial sweep.
+///
+/// The never-remap baseline is submitted as job 0 alongside the sweep
+/// points, so the whole sweep is one parallel batch; improvements are
+/// computed against it after the deterministic submission-order join.
+///
+/// # Panics
+///
+/// Panics if `periods` is empty.
+#[must_use]
+pub fn remap_frequency_sweep_parallel(
+    workload: &Workload,
+    balance: BalanceConfig,
+    base: SimConfig,
+    model: LifetimeModel,
+    periods: &[u64],
+    jobs: usize,
+) -> Vec<SweepPoint> {
+    assert!(!periods.is_empty(), "sweep needs at least one period");
+    // Job 0 is the never-remap baseline; jobs 1.. are the sweep points.
+    let schedules: Vec<RemapSchedule> = std::iter::once(RemapSchedule::never())
+        .chain(periods.iter().map(|&p| RemapSchedule::every(p)))
+        .collect();
+    let lifetimes: Vec<f64> = fan_out(schedules, jobs, |schedule, sink| {
+        let sim = EnduranceSimulator::new(base.with_schedule(schedule));
+        let result = match sink {
+            Some(observer) => sim.run_with(workload, balance, observer),
+            None => sim.run_with(workload, balance, &NullSink),
+        };
+        model.lifetime(&result).iterations
+    });
+    let never_lifetime = lifetimes[0];
+    periods
+        .iter()
+        .zip(&lifetimes[1..])
+        .map(|(&period, &lifetime_iterations)| SweepPoint {
+            period,
+            lifetime_iterations,
+            improvement_vs_never: lifetime_iterations / never_lifetime,
+        })
+        .collect()
+}
+
+/// The saturation analysis of §5: the **largest** period (least frequent
+/// re-mapping, i.e. cheapest in re-compilation overhead) whose lifetime is
+/// within `tolerance` (e.g. 0.016 = 1.6%) of the best point in the sweep.
+///
+/// That is the quantity §5 actually asks for — "how infrequently can we
+/// re-map before lifetime degrades?" — so ties break toward *larger*
+/// periods. The comparison is against the best lifetime anywhere in
+/// `points`, so the input needs no particular ordering, and a single-point
+/// sweep returns that point's period (it is trivially within tolerance of
+/// itself). Returns `None` only for an empty slice.
 #[must_use]
 pub fn saturation_period(points: &[SweepPoint], tolerance: f64) -> Option<u64> {
     let best = points.iter().map(|p| p.lifetime_iterations).fold(0.0f64, f64::max);
@@ -115,6 +168,60 @@ mod tests {
             "diminishing returns: 500→50 gave {coarse_gain}, 50→10 gave {fine_gain}"
         );
         assert!(fine_gain < 1.35, "50→10 gain {fine_gain} should be modest");
+    }
+
+    #[test]
+    fn parallel_sweep_is_bit_identical_to_serial() {
+        let wl = ParallelMul::new(ArrayDims::new(128, 8), 8).build();
+        let base = SimConfig::default().with_iterations(500);
+        let balance: BalanceConfig = "RaxSt".parse().unwrap();
+        let periods = [100u64, 50, 10];
+        let serial =
+            remap_frequency_sweep(&wl, balance, base, LifetimeModel::mtj(), &periods);
+        for jobs in [1, 2, 8] {
+            let parallel = remap_frequency_sweep_parallel(
+                &wl,
+                balance,
+                base,
+                LifetimeModel::mtj(),
+                &periods,
+                jobs,
+            );
+            assert_eq!(serial, parallel, "sweep with {jobs} jobs diverged");
+        }
+    }
+
+    #[test]
+    fn saturation_of_single_point_is_that_point() {
+        let only = SweepPoint {
+            period: 250,
+            lifetime_iterations: 1e6,
+            improvement_vs_never: 1.5,
+        };
+        assert_eq!(saturation_period(&[only], 0.016), Some(250));
+        // Tolerance zero still admits the best point itself.
+        assert_eq!(saturation_period(&[only], 0.0), Some(250));
+        assert_eq!(saturation_period(&[], 0.016), None);
+    }
+
+    #[test]
+    fn saturation_is_order_independent_and_prefers_larger_periods() {
+        let mk = |period, lifetime_iterations| SweepPoint {
+            period,
+            lifetime_iterations,
+            improvement_vs_never: 1.0,
+        };
+        // Deliberately unsorted: best lifetime sits mid-slice.
+        let points =
+            [mk(10, 0.995e6), mk(500, 0.5e6), mk(50, 1.0e6), mk(100, 0.99e6)];
+        // 100, 50 and 10 are all within 1.6% of the best; 500 is not. The
+        // largest qualifying period wins regardless of slice order.
+        assert_eq!(saturation_period(&points, 0.016), Some(100));
+        let mut reversed = points;
+        reversed.reverse();
+        assert_eq!(saturation_period(&reversed, 0.016), Some(100));
+        // Loose tolerance admits everything, so the max period wins.
+        assert_eq!(saturation_period(&points, 0.6), Some(500));
     }
 
     #[test]

@@ -1,0 +1,38 @@
+//! # nvpim-exec — deterministic parallel execution for the nvpim stack
+//!
+//! The paper's headline figures each require simulating a workload under
+//! every balancing configuration, architecture style, and re-mapping period
+//! — an embarrassingly parallel matrix of completely independent jobs. This
+//! crate provides the scale-out machinery, built on nothing but `std`:
+//!
+//! - [`JobPool`]: a scoped-thread worker pool (`std::thread::scope` plus a
+//!   shared work queue) whose width honors
+//!   [`std::thread::available_parallelism`] with an `NVPIM_THREADS`
+//!   environment override;
+//! - [`ParallelRunner`]: fans a job list out across the pool and merges the
+//!   results back **in submission order**, so a parallel run is bit-identical
+//!   to the serial loop it replaces regardless of worker scheduling.
+//!
+//! Determinism is the design constraint: every job owns its inputs, no job
+//! observes another's timing, and results land in pre-assigned slots. A
+//! panicking job propagates to the caller when the scope joins, exactly like
+//! a panic in the serial loop.
+//!
+//! ## Example
+//!
+//! ```
+//! use nvpim_exec::ParallelRunner;
+//!
+//! let runner = ParallelRunner::new(4);
+//! let squares = runner.run((0u64..8).collect(), |x| x * x);
+//! assert_eq!(squares, vec![0, 1, 4, 9, 16, 25, 36, 49]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod pool;
+pub mod runner;
+
+pub use pool::{available_threads, JobPool};
+pub use runner::ParallelRunner;

@@ -1,0 +1,219 @@
+//! A scoped-thread job pool with a shared work queue.
+//!
+//! Workers are spawned inside [`std::thread::scope`], so borrowed job inputs
+//! (workload references, simulator configs) need no `'static` bound and no
+//! reference counting. The queue hands out jobs by submission index; each
+//! result is written into the slot of its index, making the output order
+//! independent of worker scheduling.
+
+use std::sync::Mutex;
+
+/// Environment variable overriding the pool's default width.
+pub const THREADS_ENV: &str = "NVPIM_THREADS";
+
+/// The pool width used when none is requested explicitly: the
+/// `NVPIM_THREADS` environment variable if set to a positive integer,
+/// otherwise [`std::thread::available_parallelism`] (1 if unknown).
+#[must_use]
+pub fn available_threads() -> usize {
+    match parse_threads(std::env::var(THREADS_ENV).ok().as_deref()) {
+        Some(n) => n,
+        None => std::thread::available_parallelism().map_or(1, usize::from),
+    }
+}
+
+/// Parses an `NVPIM_THREADS`-style override. `None`, empty, zero, or
+/// unparsable values mean "no override".
+#[must_use]
+pub fn parse_threads(value: Option<&str>) -> Option<usize> {
+    value.and_then(|s| s.trim().parse::<usize>().ok()).filter(|&n| n > 0)
+}
+
+/// A fixed-width pool of scoped worker threads draining a shared job queue.
+///
+/// The pool itself holds no threads — they live only for the duration of one
+/// [`JobPool::map`] call — so a `JobPool` is just a validated width and is
+/// trivially `Copy`.
+///
+/// # Examples
+///
+/// ```
+/// use nvpim_exec::JobPool;
+///
+/// let pool = JobPool::new(2);
+/// let doubled = pool.map(vec![1, 2, 3], |x| x * 2);
+/// assert_eq!(doubled, vec![2, 4, 6]);
+/// assert_eq!(pool.threads(), 2);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JobPool {
+    threads: usize,
+}
+
+/// The work queue: jobs are taken in submission order; each carries its
+/// submission index so the worker can store the result in the right slot.
+struct Queue<I> {
+    items: Vec<Option<I>>,
+    next: usize,
+}
+
+impl JobPool {
+    /// A pool of exactly `threads` workers. `threads == 0` means "auto":
+    /// [`available_threads`] (the `NVPIM_THREADS` override, else the
+    /// machine's parallelism).
+    #[must_use]
+    pub fn new(threads: usize) -> Self {
+        JobPool { threads: if threads == 0 { available_threads() } else { threads } }
+    }
+
+    /// A pool sized by the environment ([`available_threads`]).
+    #[must_use]
+    pub fn from_env() -> Self {
+        JobPool::new(0)
+    }
+
+    /// Worker count this pool runs with.
+    #[must_use]
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Applies `f` to every item, returning the outputs in submission order.
+    ///
+    /// With one worker (or zero/one items) the jobs run inline on the
+    /// calling thread — no threads are spawned and execution is exactly the
+    /// serial loop. Otherwise `min(threads, items)` scoped workers drain the
+    /// queue.
+    ///
+    /// # Panics
+    ///
+    /// If a job panics, the panic propagates to the caller once the worker
+    /// scope joins (mirroring a panic in the serial loop). Remaining queued
+    /// jobs may or may not have started by then.
+    pub fn map<I, O, F>(&self, items: Vec<I>, f: F) -> Vec<O>
+    where
+        I: Send,
+        O: Send,
+        F: Fn(I) -> O + Sync,
+    {
+        let n = items.len();
+        if self.threads <= 1 || n <= 1 {
+            return items.into_iter().map(f).collect();
+        }
+
+        let queue = Mutex::new(Queue { items: items.into_iter().map(Some).collect(), next: 0 });
+        let results: Mutex<Vec<Option<O>>> = Mutex::new((0..n).map(|_| None).collect());
+        std::thread::scope(|scope| {
+            for _ in 0..self.threads.min(n) {
+                scope.spawn(|| loop {
+                    let (index, item) = {
+                        let mut q = queue.lock().expect("job queue poisoned");
+                        if q.next >= q.items.len() {
+                            break;
+                        }
+                        let index = q.next;
+                        q.next += 1;
+                        (index, q.items[index].take().expect("job taken twice"))
+                    };
+                    let output = f(item);
+                    results.lock().expect("result slots poisoned")[index] = Some(output);
+                });
+            }
+        });
+
+        results
+            .into_inner()
+            .expect("result slots poisoned")
+            .into_iter()
+            .map(|slot| slot.expect("worker scope joined with job incomplete"))
+            .collect()
+    }
+}
+
+impl Default for JobPool {
+    fn default() -> Self {
+        JobPool::from_env()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::panic::AssertUnwindSafe;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn results_keep_submission_order() {
+        // Stagger job durations so completion order differs from submission
+        // order; the output must still follow submission order.
+        let pool = JobPool::new(4);
+        let out = pool.map((0..32u64).collect(), |i| {
+            if i % 4 == 0 {
+                std::thread::sleep(std::time::Duration::from_millis(2));
+            }
+            i * 10
+        });
+        assert_eq!(out, (0..32u64).map(|i| i * 10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn single_thread_runs_inline() {
+        // With one worker no threads are spawned: the closure observes the
+        // caller's thread id for every job.
+        let caller = std::thread::current().id();
+        let pool = JobPool::new(1);
+        let ids = pool.map(vec![(); 8], |()| std::thread::current().id());
+        assert!(ids.iter().all(|&id| id == caller));
+    }
+
+    #[test]
+    fn every_job_runs_exactly_once() {
+        let ran = AtomicUsize::new(0);
+        let out = JobPool::new(8).map((0..100usize).collect(), |i| {
+            ran.fetch_add(1, Ordering::Relaxed);
+            i
+        });
+        assert_eq!(ran.load(Ordering::Relaxed), 100);
+        assert_eq!(out, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn more_threads_than_jobs_is_fine() {
+        let out = JobPool::new(16).map(vec![1, 2], |x| x + 1);
+        assert_eq!(out, vec![2, 3]);
+    }
+
+    #[test]
+    fn empty_input_yields_empty_output() {
+        let out: Vec<u32> = JobPool::new(4).map(Vec::<u32>::new(), |x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn worker_panic_propagates_to_caller() {
+        let pool = JobPool::new(2);
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.map((0..8u32).collect(), |i| {
+                assert!(i != 5, "job 5 exploded");
+                i
+            })
+        }));
+        assert!(result.is_err(), "a panicking job must fail the whole map");
+    }
+
+    #[test]
+    fn zero_width_resolves_to_environment() {
+        assert!(JobPool::new(0).threads() >= 1);
+        assert!(JobPool::from_env().threads() >= 1);
+    }
+
+    #[test]
+    fn threads_override_parsing() {
+        assert_eq!(parse_threads(None), None);
+        assert_eq!(parse_threads(Some("")), None);
+        assert_eq!(parse_threads(Some("0")), None);
+        assert_eq!(parse_threads(Some("banana")), None);
+        assert_eq!(parse_threads(Some("3")), Some(3));
+        assert_eq!(parse_threads(Some(" 12 ")), Some(12));
+    }
+}

@@ -137,6 +137,26 @@ impl Histogram {
         inner.buckets[Self::bucket_index(value)].fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Folds a frozen snapshot into this histogram: counts, sums, extrema,
+    /// and per-bucket tallies all add exactly. This is how per-worker
+    /// histograms from a parallel run are drained into the global registry
+    /// without replaying every observation.
+    pub fn merge_snapshot(&self, snap: &HistogramSnapshot) {
+        if snap.count == 0 {
+            return;
+        }
+        let inner = &self.inner;
+        inner.count.fetch_add(snap.count, Ordering::Relaxed);
+        inner.sum.fetch_add(snap.sum, Ordering::Relaxed);
+        inner.min.fetch_min(snap.min, Ordering::Relaxed);
+        inner.max.fetch_max(snap.max, Ordering::Relaxed);
+        for &(upper_bound, n) in &snap.buckets {
+            // The inclusive upper bound lies inside its own bucket, so it
+            // indexes back to the bucket it came from.
+            inner.buckets[Self::bucket_index(upper_bound)].fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
     /// An immutable copy of the current state.
     #[must_use]
     pub fn snapshot(&self) -> HistogramSnapshot {
@@ -359,6 +379,32 @@ mod tests {
         assert!((snap.mean() - 201.2).abs() < 1e-9);
         // zero bucket, bucket for 1, bucket for 2..3 (two entries), 1000.
         assert_eq!(snap.buckets, vec![(0, 1), (1, 1), (3, 2), (1023, 1)]);
+    }
+
+    #[test]
+    fn merge_snapshot_equals_replaying_observations() {
+        let values = [0u64, 1, 2, 3, 7, 8, 1000, u64::MAX];
+        let replayed = Histogram::new();
+        let split_a = Histogram::new();
+        let split_b = Histogram::new();
+        for (i, &v) in values.iter().enumerate() {
+            replayed.record(v);
+            if i % 2 == 0 { &split_a } else { &split_b }.record(v);
+        }
+        let merged = Histogram::new();
+        merged.merge_snapshot(&split_a.snapshot());
+        merged.merge_snapshot(&split_b.snapshot());
+        assert_eq!(merged.snapshot(), replayed.snapshot());
+    }
+
+    #[test]
+    fn merge_of_empty_snapshot_preserves_min() {
+        let h = Histogram::new();
+        h.record(5);
+        h.merge_snapshot(&Histogram::new().snapshot());
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 1);
+        assert_eq!(snap.min, 5);
     }
 
     #[test]

@@ -9,7 +9,7 @@
 use std::sync::{Arc, OnceLock};
 
 use crate::event::Event;
-use crate::metrics::{MetricsRegistry, MetricsSnapshot};
+use crate::metrics::{MetricValue, MetricsRegistry, MetricsSnapshot};
 use crate::sink::{EventSink, NullSink};
 use crate::span::SpanCollector;
 
@@ -69,6 +69,41 @@ impl Observer {
     #[must_use]
     pub fn snapshot(&self) -> MetricsSnapshot {
         self.metrics.snapshot()
+    }
+
+    /// Drains another observer's aggregated state into this one.
+    ///
+    /// Parallel simulation workers each record into a private
+    /// [`Observer::collecting`] sink (so event streams never interleave
+    /// across threads); on join, the driver absorbs each worker in
+    /// deterministic submission order. Counters, histogram tallies, and
+    /// per-phase span timings merge **exactly** — the global totals equal
+    /// what a serial run would have booked.
+    ///
+    /// Counter and gauge deltas are forwarded to the downstream sink as
+    /// aggregate [`Event::CounterAdd`] / [`Event::GaugeSet`] events;
+    /// fine-grained per-event streams (progress lines, per-epoch
+    /// observations) are by design not replayed.
+    pub fn absorb(&self, other: &Observer) {
+        let snap = other.metrics.snapshot();
+        for (name, value) in &snap.metrics {
+            match value {
+                MetricValue::Counter(total) => {
+                    if *total > 0 {
+                        self.record(&Event::CounterAdd { name, delta: *total });
+                    }
+                }
+                MetricValue::Gauge(level) => {
+                    self.record(&Event::GaugeSet { name, value: *level });
+                }
+                MetricValue::Histogram(hist) => {
+                    self.metrics.histogram(name).merge_snapshot(hist);
+                }
+            }
+        }
+        for (phase, stat) in other.spans.report() {
+            self.spans.merge_stat(&phase, stat);
+        }
     }
 }
 
@@ -144,6 +179,48 @@ mod tests {
         // The observer itself stays enabled so emission sites keep sending
         // bookkeeping events even when nothing is forwarded.
         assert!(obs.enabled());
+    }
+
+    #[test]
+    fn absorb_merges_workers_exactly() {
+        let global = Observer::new(MemorySink::new());
+        global.record(&Event::CounterAdd { name: "sim.iterations", delta: 10 });
+        global.record(&Event::PhaseEnd { phase: "sim.replay", ns: 5 });
+
+        let worker_a = Observer::collecting();
+        worker_a.record(&Event::CounterAdd { name: "sim.iterations", delta: 7 });
+        worker_a.record(&Event::Observe { name: "sim.epoch_span_iters", value: 100 });
+        worker_a.record(&Event::PhaseEnd { phase: "sim.replay", ns: 20 });
+        worker_a.record(&Event::PhaseEnd { phase: "sim.replay", ns: 3 });
+
+        let worker_b = Observer::collecting();
+        worker_b.record(&Event::CounterAdd { name: "sim.iterations", delta: 5 });
+        worker_b.record(&Event::Observe { name: "sim.epoch_span_iters", value: 50 });
+        worker_b.record(&Event::GaugeSet { name: "sim.load", value: 0.5 });
+
+        global.absorb(&worker_a);
+        global.absorb(&worker_b);
+
+        assert_eq!(global.snapshot().counter("sim.iterations"), Some(22));
+        assert_eq!(global.metrics().gauge("sim.load").get(), 0.5);
+        let hist = global.metrics().histogram("sim.epoch_span_iters").snapshot();
+        assert_eq!(hist.count, 2);
+        assert_eq!(hist.sum, 150);
+        assert_eq!(hist.min, 50);
+        assert_eq!(hist.max, 100);
+        let replay = global.spans().phase("sim.replay").unwrap();
+        assert_eq!(replay.count, 3);
+        assert_eq!(replay.total_ns, 28);
+        assert_eq!(replay.max_ns, 20);
+    }
+
+    #[test]
+    fn absorb_of_empty_worker_is_a_noop() {
+        let global = Observer::collecting();
+        global.record(&Event::CounterAdd { name: "c", delta: 1 });
+        global.absorb(&Observer::collecting());
+        assert_eq!(global.snapshot().counter("c"), Some(1));
+        assert!(global.spans().report().is_empty());
     }
 
     #[test]

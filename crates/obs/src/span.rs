@@ -51,6 +51,21 @@ impl SpanCollector {
         stat.max_ns = stat.max_ns.max(ns);
     }
 
+    /// Folds an already-aggregated stat into `name`: counts and totals add,
+    /// maxima take the max. Used to drain per-worker span collectors into
+    /// the global one after a parallel run — unlike [`SpanCollector::add`],
+    /// which books a single span, this preserves the span *count* exactly.
+    pub fn merge_stat(&self, name: &str, stat: PhaseStat) {
+        if stat.count == 0 {
+            return;
+        }
+        let mut inner = self.inner.lock().expect("span collector poisoned");
+        let entry = inner.entry(name.to_owned()).or_default();
+        entry.count += stat.count;
+        entry.total_ns += stat.total_ns;
+        entry.max_ns = entry.max_ns.max(stat.max_ns);
+    }
+
     /// All phases and their aggregated stats, ordered by name.
     #[must_use]
     pub fn report(&self) -> Vec<(String, PhaseStat)> {

@@ -1,0 +1,55 @@
+#!/usr/bin/env bash
+# Runs the simulation benchmarks and records them as a JSON artifact.
+#
+# Usage: scripts/bench.sh [OUT.json] [extra cargo-bench args...]
+#
+# Executes the release-mode `sim_engine` and `parallel_matrix` benches
+# (the vendored std-only criterion shim under compat/) and converts their
+# report lines —
+#
+#   group/name    min 1.23 µs  median 1.30 µs  mean 1.31 µs  (10 samples)
+#
+# — into OUT.json (default BENCH_sim.json) mapping each benchmark id to
+# its median ns/iter:
+#
+#   { "group/name": 1300.0, ... }
+#
+# All cargo invocations run --offline: this environment has no route to
+# crates.io.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH_sim.json}"
+shift || true
+
+raw="$(mktemp)"
+trap 'rm -f "$raw"' EXIT
+
+for bench in sim_engine parallel_matrix; do
+    cargo bench --offline -p nvpim-bench --bench "$bench" "$@" | tee -a "$raw"
+done
+
+# Convert the shim's human-readable medians to ns and emit sorted JSON.
+awk '
+/ min .* median .* mean .* samples\)$/ {
+    id = $1
+    for (i = 2; i <= NF; i++) {
+        if ($i == "median") { value = $(i + 1); unit = $(i + 2) }
+    }
+    ns = value + 0
+    if (unit ~ /^µs/ || unit == "us") ns *= 1e3
+    else if (unit == "ms")            ns *= 1e6
+    else if (unit == "s")             ns *= 1e9
+    printf "%s\t%.1f\n", id, ns
+}
+' "$raw" | sort | awk '
+BEGIN { print "{" }
+{
+    if (NR > 1) printf ",\n"
+    printf "  \"%s\": %s", $1, $2
+}
+END { print "\n}" }
+' > "$out"
+
+count="$(grep -c '":' "$out" || true)"
+echo "bench: wrote $count entries to $out"

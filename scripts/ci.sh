@@ -11,4 +11,14 @@ cargo build --release --offline --workspace
 cargo test -q --offline --workspace
 cargo clippy --offline --workspace --all-targets -- -D warnings
 
+# Parallel-engine determinism must hold under release-mode optimization
+# too (the bit-identical-results contract the --jobs flag relies on).
+cargo test -q --release --offline -p nvpim-core --test parallel
+cargo test -q --release --offline -p nvpim-exec
+
+# Two-worker smoke of the repro harness at a scaled-down iteration count:
+# exercises the full binary → parallel matrix path end to end.
+cargo run --release --offline -q -p nvpim-bench --bin repro -- \
+    fig14 --iters 20 --jobs 2 > /dev/null
+
 echo "ci: all checks passed"
