@@ -162,7 +162,6 @@ impl PimArray {
     ) -> ExecStats {
         assert_eq!(trace.dims(), self.dims, "trace/array dimension mismatch");
         let mut stats = ExecStats::default();
-        #[cfg(debug_assertions)]
         let wear_before = (self.wear.total_writes(), self.wear.total_reads());
         let lanes = self.dims.lanes();
         for step in trace.steps() {
@@ -223,18 +222,22 @@ impl PimArray {
         }
         // Every counted write/read must have landed in the wear map — the
         // stats and the map are independent tallies of the same traffic.
-        #[cfg(debug_assertions)]
-        {
-            debug_assert_eq!(
-                self.wear.total_writes() - wear_before.0,
-                stats.cell_writes,
-                "execute stats disagree with wear map on writes"
-            );
-            debug_assert_eq!(
-                self.wear.total_reads() - wear_before.1,
-                stats.cell_reads,
-                "execute stats disagree with wear map on reads"
-            );
+        // Checked in release builds too: wear totals are O(1) cached sums,
+        // so the invariant costs one comparison per execute call, not a
+        // per-cell scan.
+        assert_eq!(
+            self.wear.total_writes() - wear_before.0,
+            stats.cell_writes,
+            "execute stats disagree with wear map on writes"
+        );
+        assert_eq!(
+            self.wear.total_reads() - wear_before.1,
+            stats.cell_reads,
+            "execute stats disagree with wear map on reads"
+        );
+        if let Some(obs) = nvpim_obs::observer::current() {
+            use nvpim_obs::EventSink;
+            obs.record(&nvpim_obs::Event::CounterAdd { name: "array.invariant_checks", delta: 1 });
         }
         stats
     }

@@ -25,13 +25,24 @@ pub struct WearMap {
     dims: ArrayDims,
     writes: Vec<u64>,
     reads: Vec<u64>,
+    // Running grand totals, maintained by every mutator so that
+    // `total_writes`/`total_reads` are O(1). The conservation checker in
+    // nvpim-check cross-validates these against the per-cell sums.
+    sum_writes: u64,
+    sum_reads: u64,
 }
 
 impl WearMap {
     /// A zeroed wear map.
     #[must_use]
     pub fn new(dims: ArrayDims) -> Self {
-        WearMap { dims, writes: vec![0; dims.cells()], reads: vec![0; dims.cells()] }
+        WearMap {
+            dims,
+            writes: vec![0; dims.cells()],
+            reads: vec![0; dims.cells()],
+            sum_writes: 0,
+            sum_reads: 0,
+        }
     }
 
     /// The dimensions this map covers.
@@ -45,6 +56,7 @@ impl WearMap {
         let base = row * self.dims.lanes();
         for lane in lanes.iter() {
             self.writes[base + lane] += count;
+            self.sum_writes += count;
         }
     }
 
@@ -53,17 +65,20 @@ impl WearMap {
         let base = row * self.dims.lanes();
         for lane in lanes.iter() {
             self.reads[base + lane] += count;
+            self.sum_reads += count;
         }
     }
 
     /// Adds one write at a single cell.
     pub fn add_write_at(&mut self, row: usize, lane: usize, count: u64) {
         self.writes[self.dims.index_of(row, lane)] += count;
+        self.sum_writes += count;
     }
 
     /// Adds one read at a single cell.
     pub fn add_read_at(&mut self, row: usize, lane: usize, count: u64) {
         self.reads[self.dims.index_of(row, lane)] += count;
+        self.sum_reads += count;
     }
 
     /// Accumulated writes at `(row, lane)`.
@@ -91,6 +106,8 @@ impl WearMap {
         for (a, b) in self.reads.iter_mut().zip(&other.reads) {
             *a += b;
         }
+        self.sum_writes += other.sum_writes;
+        self.sum_reads += other.sum_reads;
     }
 
     /// Folds many wear maps into one by summation — the result-collection
@@ -115,15 +132,31 @@ impl WearMap {
         self.writes.iter().copied().max().unwrap_or(0)
     }
 
-    /// Total writes over all cells.
+    /// Total writes over all cells. O(1): returns the running sum kept in
+    /// lockstep with the per-cell counters.
     #[must_use]
     pub fn total_writes(&self) -> u64 {
+        self.sum_writes
+    }
+
+    /// Total reads over all cells. O(1), like [`WearMap::total_writes`].
+    #[must_use]
+    pub fn total_reads(&self) -> u64 {
+        self.sum_reads
+    }
+
+    /// Total writes recomputed by summing every cell — the O(cells)
+    /// reference the cached [`WearMap::total_writes`] must always agree
+    /// with. Exposed for the conservation checker.
+    #[must_use]
+    pub fn recount_writes(&self) -> u64 {
         self.writes.iter().sum()
     }
 
-    /// Total reads over all cells.
+    /// Total reads recomputed by summing every cell (see
+    /// [`WearMap::recount_writes`]).
     #[must_use]
-    pub fn total_reads(&self) -> u64 {
+    pub fn recount_reads(&self) -> u64 {
         self.reads.iter().sum()
     }
 
@@ -366,6 +399,23 @@ mod tests {
         assert_eq!(h.len(), 2);
         assert!((h[0][0] - 1.0).abs() < 1e-12);
         assert!((h[1][0] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cached_totals_track_every_mutator() {
+        let mut w = WearMap::new(ArrayDims::new(4, 4));
+        w.add_writes(0, &LaneSet::full(4), 3);
+        w.add_reads(1, &LaneSet::range(4, 0, 2), 2);
+        w.add_write_at(3, 3, 7);
+        w.add_read_at(2, 0, 5);
+        let mut other = WearMap::new(ArrayDims::new(4, 4));
+        other.add_writes(2, &LaneSet::full(4), 1);
+        other.add_read_at(0, 0, 4);
+        w.merge(&other);
+        assert_eq!(w.total_writes(), w.recount_writes());
+        assert_eq!(w.total_reads(), w.recount_reads());
+        assert_eq!(w.total_writes(), 12 + 7 + 4);
+        assert_eq!(w.total_reads(), 4 + 5 + 4);
     }
 
     #[test]

@@ -46,11 +46,21 @@ pub struct ParseConfigError {
     input: String,
 }
 
+impl ParseConfigError {
+    /// The rejected input string, verbatim.
+    #[must_use]
+    pub fn input(&self) -> &str {
+        &self.input
+    }
+}
+
 impl fmt::Display for ParseConfigError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "invalid balance configuration `{}` (expected e.g. `StxSt`, `RaxBs+Hw`)",
+            "invalid balance configuration `{}`: expected `<row>x<col>` with an optional \
+             `+Hw` suffix (e.g. `StxSt`, `RaxBs+Hw`), where each strategy is one of \
+             `St`/`static`, `Ra`/`random`, `Bs`/`byte-shift`",
             self.input
         )
     }
@@ -197,6 +207,11 @@ mod tests {
         assert!("".parse::<BalanceConfig>().is_err());
         let err = "bogus".parse::<BalanceConfig>().unwrap_err();
         assert!(err.to_string().contains("bogus"));
+        assert_eq!(err.input(), "bogus");
+        // The message teaches the valid vocabulary, not just the rejection.
+        for name in ["St", "Ra", "Bs", "+Hw", "random", "byte-shift"] {
+            assert!(err.to_string().contains(name), "message should mention {name}");
+        }
     }
 
     #[test]

@@ -22,7 +22,9 @@
 //!   variation       extension: lifetime under per-cell endurance spread
 //!   bnn             extension: binarized XNOR-popcount layer
 //!   system          extension: accelerator-of-arrays lifetime
-//!   all             everything above
+//!   check           static verification passes (also `--check`); exits 1
+//!                   on any finding
+//!   all             everything above (except check)
 //!
 //! Options:
 //!   --full          run at the paper's full scale (100 000 iterations)
@@ -58,7 +60,14 @@ fn emit(out_dir: &Option<PathBuf>, name: &str, content: &str) {
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let command = args.first().map(String::as_str).unwrap_or("help");
+    // `repro --check` is an alias for the `check` sub-command, so the
+    // verification mode composes with any invocation style.
+    let command = if args.iter().any(|a| a == "--check") {
+        "check"
+    } else {
+        args.first().map(String::as_str).unwrap_or("help")
+    };
+    let mut exit_code = 0;
 
     let mut scale = Scale::default_scale();
     if args.iter().any(|a| a == "--full") {
@@ -117,6 +126,19 @@ fn main() {
         "variation" => emit(&out_dir, "variation", &experiments::variation_report(scale)),
         "bnn" => emit(&out_dir, "bnn", &experiments::bnn_report(scale)),
         "system" => emit(&out_dir, "system", &experiments::system_report(scale)),
+        "check" => {
+            let report = nvpim_check::run_all(&nvpim_check::CheckOptions::default());
+            emit(&out_dir, "check", &report.render_summary());
+            if let Some(dir) = &out_dir {
+                let path = dir.join("check.json");
+                if let Err(e) = std::fs::write(&path, report.to_json().render_pretty()) {
+                    eprintln!("warning: could not write {}: {e}", path.display());
+                }
+            }
+            if !report.is_clean() {
+                exit_code = 1;
+            }
+        }
         "all" => {
             emit(&out_dir, "amplification", &experiments::amplification_report());
             println!();
@@ -169,6 +191,9 @@ fn main() {
                 die(&format!("cannot write manifest {}: {e}", path.display()));
             }
         }
+    }
+    if exit_code != 0 {
+        std::process::exit(exit_code);
     }
 }
 
@@ -248,10 +273,12 @@ Usage: repro <command> [--full] [--iters N] [--jobs N]
 Commands:
   amplification  limits  fig5  table2  fig11  fig14  fig15  fig16
   fig17  table3  sweep  lanesets  energy  fig8  degradation  variation
-  bnn  system  all
+  bnn  system  check  all
 
 Options:
   --full            paper scale (100 000 iterations)
+  --check           alias for the check sub-command (static verification
+                    passes; exits 1 on any finding)
   --iters N         override iteration count (default 2 000)
   --jobs N          worker threads for independent simulations
                     (default 0 = auto: NVPIM_THREADS, else all cores)

@@ -5,13 +5,23 @@
 //! visible at a glance.
 
 use nvpim_array::{ArchStyle, ArrayDims};
-use nvpim_balance::{access_aware, BalanceConfig, RemapSchedule};
+use nvpim_balance::{access_aware, BalanceConfig, ParseConfigError, RemapSchedule};
 use nvpim_core::report::{ascii_heatmap, fmt_value, text_table};
 use nvpim_core::sim::single_iteration_profile;
 use nvpim_core::{baseline, failure, limits, sweep, EnduranceSimulator, LifetimeModel, SimConfig};
 use nvpim_workloads::Workload;
 
 use crate::Scale;
+
+/// Parses a configuration literal used by a report driver.
+///
+/// The literals here are compile-time constants, so failure means the
+/// source itself is wrong — but when that happens, the panic carries the
+/// typed [`ParseConfigError`]'s full guidance (the valid strategy names
+/// and label shape) instead of a bare `expect("valid")`.
+fn config(label: &str) -> BalanceConfig {
+    label.parse().unwrap_or_else(|e: ParseConfigError| panic!("{e}"))
+}
 
 /// §3.1 / §1: PIM vs. conventional write amplification.
 #[must_use]
@@ -312,7 +322,7 @@ pub fn sweep_report(scale: Scale) -> String {
     let base = SimConfig::paper().with_iterations(scale.iterations);
     let points = sweep::remap_frequency_sweep_parallel(
         &workload,
-        "RaxRa".parse().expect("valid config"),
+        config("RaxRa"),
         base,
         LifetimeModel::mtj(),
         &RemapSchedule::PAPER_SWEEP,
@@ -412,9 +422,8 @@ pub fn degradation_report(scale: Scale) -> String {
         "== Extension: degradation timeline, {} (MTJ endurance 1e12) ==\n",
         workload.name()
     );
-    for config in ["StxSt", "RaxRa+Hw"] {
-        let balance: BalanceConfig = config.parse().expect("valid");
-        let result = sim.run(&workload, balance);
+    for label in ["StxSt", "RaxRa+Hw"] {
+        let result = sim.run(&workload, config(label));
         let timeline =
             failure::degradation_timeline(&result.wear, result.iterations, 1_000_000_000_000);
         let required = workload.trace().rows_used();
@@ -425,7 +434,7 @@ pub fn degradation_report(scale: Scale) -> String {
             required,
         );
         out.push_str(&format!(
-            "\n{config}: first row dies at {} iterations; workload (needs {} rows) \
+            "\n{label}: first row dies at {} iterations; workload (needs {} rows) \
              unfits at {} iterations; 10% of rows dead by {}\n",
             fmt_value(timeline.first().map_or(f64::INFINITY, |p| p.iterations)),
             required,
@@ -448,7 +457,7 @@ pub fn variation_report(scale: Scale) -> String {
     let workload = scale.mul_workload();
     let sim = EnduranceSimulator::new(scale.sim_config());
     let model = LifetimeModel::mtj();
-    let result = sim.run(&workload, "RaxRa".parse().expect("valid"));
+    let result = sim.run(&workload, config("RaxRa"));
     let uniform = model.lifetime(&result);
     let mut out = String::from(
         "== Extension: first-cell-failure lifetime under endurance variation ==\n",
@@ -497,11 +506,10 @@ pub fn bnn_report(scale: Scale) -> String {
         100.0 * workload.lane_utilization(ArchStyle::PresetOutput),
     ));
     let mut rows = Vec::new();
-    for config in ["StxSt", "RaxSt", "StxRa", "RaxRa", "RaxRa+Hw"] {
-        let balance: BalanceConfig = config.parse().expect("valid");
-        let run = sim.run(&workload, balance);
+    for label in ["StxSt", "RaxSt", "StxRa", "RaxRa", "RaxRa+Hw"] {
+        let run = sim.run(&workload, config(label));
         rows.push(vec![
-            config.to_owned(),
+            label.to_owned(),
             fmt_value(model.lifetime(&run).iterations),
             format!("{:.2}x", model.improvement(&run, &baseline_run)),
         ]);
@@ -521,7 +529,7 @@ pub fn system_report(scale: Scale) -> String {
     let workload = scale.mul_workload();
     let sim = EnduranceSimulator::new(scale.sim_config());
     let model = LifetimeModel::mtj();
-    let run = sim.run(&workload, "RaxRa".parse().expect("valid"));
+    let run = sim.run(&workload, config("RaxRa"));
     let array = model.lifetime(&run);
     let mut out = format!(
         "== Extension: accelerator of 64 arrays running {} (RaxRa) ==\n",

@@ -1,0 +1,136 @@
+//! Conservation checking: every issued write must land in the wear map.
+//!
+//! The paper's lifetime numbers (Eq. 4) come from `WearMap::max_writes`;
+//! if the map under- or over-counts, the headline results are wrong while
+//! every test still passes. These checks tie the wear map to three
+//! independent tallies of the same traffic: the trace's static operation
+//! counts, the functional executor's [`ExecStats`], and the fast replay
+//! engine's [`SimResult`].
+//!
+//! [`ExecStats`]: nvpim_array::ExecStats
+
+use nvpim_array::WearMap;
+use nvpim_balance::BalanceConfig;
+use nvpim_core::sim::simulate_naive;
+use nvpim_core::{EnduranceSimulator, SimConfig};
+use nvpim_workloads::Workload;
+
+use crate::finding::Finding;
+
+const PASS: &str = "conservation";
+
+/// Verifies that a wear map's O(1) cached totals agree with a full
+/// per-cell recount, and that they match externally expected totals.
+///
+/// `subject` names the run; `expected` is `(writes, reads)` from an
+/// independent tally (`None` skips the external comparison).
+#[must_use]
+pub fn check_totals(
+    subject: &str,
+    wear: &WearMap,
+    expected: Option<(u64, u64)>,
+) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let (cached_w, cached_r) = (wear.total_writes(), wear.total_reads());
+    let (sum_w, sum_r) = (wear.recount_writes(), wear.recount_reads());
+    if cached_w != sum_w || cached_r != sum_r {
+        findings.push(Finding::new(
+            PASS,
+            "cached-total-drift",
+            subject,
+            format!(
+                "cached totals (w={cached_w}, r={cached_r}) disagree with per-cell \
+                 recount (w={sum_w}, r={sum_r})"
+            ),
+        ));
+    }
+    if let Some((exp_w, exp_r)) = expected {
+        if cached_w != exp_w {
+            findings.push(Finding::new(
+                PASS,
+                "write-loss",
+                subject,
+                format!("wear map holds {cached_w} writes but {exp_w} were issued"),
+            ));
+        }
+        if cached_r != exp_r {
+            findings.push(Finding::new(
+                PASS,
+                "read-loss",
+                subject,
+                format!("wear map holds {cached_r} reads but {exp_r} were issued"),
+            ));
+        }
+    }
+    findings
+}
+
+/// Runs `workload` under `config` through both simulator arms and proves
+/// write/read conservation end to end:
+///
+/// 1. the trace's static counts × iterations predict the issued traffic;
+/// 2. the fast replay engine's wear map must hold exactly that traffic;
+/// 3. the naive cell-by-cell executor must land on the same totals
+///    (its per-call stats-vs-wear invariant is additionally enforced
+///    inside `PimArray::execute` itself).
+#[must_use]
+pub fn verify_conservation(
+    workload: &Workload,
+    config: BalanceConfig,
+    cfg: SimConfig,
+) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let subject = format!("{}/{config}", workload.name());
+    let counts = workload.trace().counts(cfg.arch);
+    let expected_writes = cfg.iterations * counts.cell_writes;
+
+    // Fast (replay) arm.
+    let sim = EnduranceSimulator::new(cfg);
+    let result = sim.run(workload, config);
+    // Reads are only tracked when the config asks for them; writes always.
+    let expected_reads = result.wear.total_reads();
+    findings.extend(check_totals(
+        &format!("{subject}/replay"),
+        &result.wear,
+        Some((expected_writes, expected_reads)),
+    ));
+
+    // Naive (reference) arm must conserve the identical totals. Unlike the
+    // replay arm it always books reads, so both directions are pinned to
+    // the trace's static counts here.
+    let naive = simulate_naive(workload, config, cfg);
+    findings.extend(check_totals(
+        &format!("{subject}/naive"),
+        &naive,
+        Some((expected_writes, cfg.iterations * counts.cell_reads)),
+    ));
+
+    // The two arms must agree on the headline statistic too — not just the
+    // totals but the lifetime-limiting maximum.
+    if naive.total_writes() != result.wear.total_writes() {
+        findings.push(Finding::new(
+            PASS,
+            "arm-divergence",
+            subject.clone(),
+            format!(
+                "naive arm booked {} writes, replay arm {}",
+                naive.total_writes(),
+                result.wear.total_writes()
+            ),
+        ));
+    }
+    if naive.max_writes() != result.wear.max_writes() {
+        findings.push(Finding::new(
+            PASS,
+            "arm-divergence",
+            subject,
+            format!(
+                "naive arm max-writes {} differs from replay arm {}",
+                naive.max_writes(),
+                result.wear.max_writes()
+            ),
+        ));
+    }
+
+    findings
+}

@@ -1,0 +1,174 @@
+//! The finding model: what a pass reports and how a run aggregates it.
+
+use std::fmt;
+
+use nvpim_obs::Json;
+
+/// One defect (or suspicious construct) located by a pass.
+///
+/// A finding is a *failure*: any finding in a [`Report`] makes the run
+/// unclean and drives the lint binary's nonzero exit. Expected artifacts of
+/// the paper's cost model (see [`Report::note`]) are recorded as notes
+/// instead.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// The pass family that produced this finding (`netlist`, `mapping`,
+    /// `conservation`).
+    pub pass: &'static str,
+    /// Stable machine-readable finding code, e.g. `double-def`.
+    pub code: &'static str,
+    /// What was being checked: a circuit name, a balance-config label, a
+    /// workload name.
+    pub subject: String,
+    /// Human-readable explanation with the offending identifiers inline.
+    pub message: String,
+}
+
+impl Finding {
+    /// Creates a finding.
+    #[must_use]
+    pub fn new(
+        pass: &'static str,
+        code: &'static str,
+        subject: impl Into<String>,
+        message: impl Into<String>,
+    ) -> Self {
+        Finding { pass, code, subject: subject.into(), message: message.into() }
+    }
+
+    /// The finding as a JSON object (one element of the report's
+    /// `findings` array).
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        Json::object()
+            .with("pass", self.pass)
+            .with("code", self.code)
+            .with("subject", self.subject.clone())
+            .with("message", self.message.clone())
+    }
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}/{}] {}: {}", self.pass, self.code, self.subject, self.message)
+    }
+}
+
+/// Aggregated outcome of a check run: findings (failures), notes
+/// (documented allowances), and the number of individual checks executed.
+#[derive(Debug, Default, Clone)]
+pub struct Report {
+    /// Failures. Non-empty ⇒ the tree is not clean.
+    pub findings: Vec<Finding>,
+    /// Expected artifacts that were verified to match their documented
+    /// allowance (e.g. the comparator's intentionally dead sum gates).
+    pub notes: Vec<String>,
+    /// Number of individual checks executed across all passes.
+    pub checks: u64,
+}
+
+impl Report {
+    /// An empty report.
+    #[must_use]
+    pub fn new() -> Self {
+        Report::default()
+    }
+
+    /// Whether the run found nothing wrong.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+
+    /// Appends a finding.
+    pub fn push(&mut self, finding: Finding) {
+        self.findings.push(finding);
+    }
+
+    /// Appends many findings.
+    pub fn extend(&mut self, findings: impl IntoIterator<Item = Finding>) {
+        self.findings.extend(findings);
+    }
+
+    /// Records a documented allowance that was checked and matched.
+    pub fn note(&mut self, note: impl Into<String>) {
+        self.notes.push(note.into());
+    }
+
+    /// Books `n` executed checks.
+    pub fn bump_checks(&mut self, n: u64) {
+        self.checks += n;
+    }
+
+    /// The machine-readable report document.
+    ///
+    /// Schema `nvpim.check-report/v1`:
+    /// `{schema, clean, checks, findings: [{pass, code, subject, message}],
+    /// notes: [string]}`.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        let findings: Vec<Json> = self.findings.iter().map(Finding::to_json).collect();
+        let notes: Vec<Json> = self.notes.iter().map(|n| Json::from(n.clone())).collect();
+        Json::object()
+            .with("schema", "nvpim.check-report/v1")
+            .with("clean", self.is_clean())
+            .with("checks", self.checks)
+            .with("findings", findings)
+            .with("notes", notes)
+    }
+
+    /// A human-oriented multi-line summary (findings first, then notes).
+    #[must_use]
+    pub fn render_summary(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        for f in &self.findings {
+            let _ = writeln!(out, "FINDING {f}");
+        }
+        for n in &self.notes {
+            let _ = writeln!(out, "note: {n}");
+        }
+        let _ = writeln!(
+            out,
+            "nvpim-check: {} checks, {} findings, {} notes — {}",
+            self.checks,
+            self.findings.len(),
+            self.notes.len(),
+            if self.is_clean() { "clean" } else { "NOT CLEAN" }
+        );
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_json_shape() {
+        let mut r = Report::new();
+        r.bump_checks(3);
+        r.note("expected artifact");
+        assert!(r.is_clean());
+        r.push(Finding::new("netlist", "double-def", "adder", "bit 7 defined twice"));
+        assert!(!r.is_clean());
+        let doc = r.to_json();
+        assert_eq!(doc.get("schema").and_then(Json::as_str), Some("nvpim.check-report/v1"));
+        assert_eq!(doc.get("clean"), Some(&Json::Bool(false)));
+        let rendered = doc.render();
+        assert!(rendered.contains("double-def"));
+        assert!(rendered.contains("expected artifact"));
+    }
+
+    #[test]
+    fn summary_lists_findings_and_verdict() {
+        let mut r = Report::new();
+        r.bump_checks(1);
+        let s = r.render_summary();
+        assert!(s.contains("clean"));
+        r.push(Finding::new("mapping", "not-a-permutation", "RaxRa", "row 3 unmapped"));
+        let s = r.render_summary();
+        assert!(s.contains("NOT CLEAN"));
+        assert!(s.contains("[mapping/not-a-permutation]"));
+    }
+}

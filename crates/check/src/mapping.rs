@@ -1,0 +1,258 @@
+//! Mapping verification: every remap layer must stay a bijection.
+//!
+//! A wear-leveling bug that drops or aliases an address does not crash the
+//! simulator — it silently merges write counts and overestimates every
+//! lifetime figure downstream. These checks prove, at every epoch
+//! boundary, that each translation layer is a permutation of its address
+//! space and that the scratch-reusing scatter path cannot alias.
+
+use nvpim_array::LaneSet;
+use nvpim_balance::{BalanceConfig, CombinedMap, HwRemapper, StartGap, StrategyMapper};
+
+use crate::finding::Finding;
+
+const PASS: &str = "mapping";
+
+/// Verifies that `perm` is a permutation of `0..universe`.
+///
+/// Returns one `not-a-permutation` finding per defect class: out-of-range
+/// targets, aliased targets (two sources mapping to one physical address),
+/// and — implied by the pigeonhole once the first two hold — unmapped
+/// targets. `subject` names the translation layer being checked.
+#[must_use]
+pub fn check_permutation(subject: &str, perm: &[usize], universe: usize) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    if perm.len() != universe {
+        findings.push(Finding::new(
+            PASS,
+            "not-a-permutation",
+            subject,
+            format!("table has {} entries for a universe of {universe}", perm.len()),
+        ));
+        return findings;
+    }
+    let mut hit: Vec<Option<usize>> = vec![None; universe];
+    for (src, &dst) in perm.iter().enumerate() {
+        if dst >= universe {
+            findings.push(Finding::new(
+                PASS,
+                "not-a-permutation",
+                subject,
+                format!("{src} maps to {dst}, outside the universe of {universe}"),
+            ));
+            continue;
+        }
+        if let Some(prev) = hit[dst] {
+            findings.push(Finding::new(
+                PASS,
+                "not-a-permutation",
+                subject,
+                format!("{prev} and {src} both map to {dst} (aliased writes merge wear counts)"),
+            ));
+        } else {
+            hit[dst] = Some(src);
+        }
+    }
+    findings
+}
+
+/// Verifies one [`StrategyMapper`] across `epochs` epoch advances.
+#[must_use]
+pub fn verify_strategy_mapper(subject: &str, mapper: &mut StrategyMapper, epochs: u64) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for _ in 0..=epochs {
+        let label = format!("{subject}@epoch{}", mapper.epoch());
+        findings.extend(check_permutation(&label, mapper.as_slice(), mapper.len()));
+        mapper.advance_epoch();
+    }
+    findings
+}
+
+/// Verifies a full [`BalanceConfig`] under [`CombinedMap`]: at every epoch
+/// boundary the row translation and the lane permutation must each be
+/// bijections, the `Hw` remapper (when present) must stay internally
+/// consistent, and the cached `row_table` fast path must agree with the
+/// slow per-lookup path.
+#[must_use]
+pub fn verify_balance_config(
+    config: BalanceConfig,
+    physical_rows: usize,
+    lanes: usize,
+    seed: u64,
+    epochs: u64,
+) -> Vec<Finding> {
+    use nvpim_array::AddressMap;
+
+    let mut findings = Vec::new();
+    let mut map = CombinedMap::new(config, physical_rows, lanes, seed);
+    let logical_rows = map.logical_rows();
+
+    for epoch in 0..=epochs {
+        let subject = format!("{config}@epoch{epoch}");
+
+        // Row translation: logical rows map injectively into physical rows.
+        let rows: Vec<usize> = (0..logical_rows).map(|r| map.lookup_row(r)).collect();
+        findings.extend(check_injection(&subject, "row", &rows, physical_rows));
+
+        // Lane translation is a full permutation.
+        findings.extend(check_permutation(
+            &format!("{subject}/lanes"),
+            map.lane_permutation(),
+            lanes,
+        ));
+
+        // The cached row table (static-within-epoch configs only) must be
+        // the same function as the per-lookup path.
+        if !map.is_dynamic() {
+            let table = map.row_table();
+            for (logical, &cached) in table.iter().enumerate() {
+                if cached != map.lookup_row(logical) {
+                    findings.push(Finding::new(
+                        PASS,
+                        "row-table-divergence",
+                        subject.clone(),
+                        format!(
+                            "row_table[{logical}] = {cached} but lookup_row gives {}",
+                            map.lookup_row(logical)
+                        ),
+                    ));
+                }
+            }
+        }
+
+        // Hw bookkeeping stays bijective after redirects.
+        if let Some(hw) = map.hw() {
+            if !hw.is_consistent() {
+                findings.push(Finding::new(
+                    PASS,
+                    "hw-inconsistent",
+                    subject.clone(),
+                    "HwRemapper forward/free-row bookkeeping lost bijectivity".to_owned(),
+                ));
+            }
+        }
+
+        // Exercise the write-redirect path the way the replay engine does,
+        // then re-check consistency.
+        for logical in 0..logical_rows {
+            let _ = map.gate_output_row(logical, true);
+        }
+        if let Some(hw) = map.hw() {
+            if !hw.is_consistent() {
+                findings.push(Finding::new(
+                    PASS,
+                    "hw-inconsistent",
+                    subject.clone(),
+                    "HwRemapper lost bijectivity after gate-output redirects".to_owned(),
+                ));
+            }
+        }
+
+        map.advance_epoch();
+    }
+
+    // The scatter fast path: permuting a full lane set through the lane
+    // permutation must preserve the member count (aliasing would merge
+    // members silently — `permuted_into` does not check injectivity).
+    let map = CombinedMap::new(config, physical_rows, lanes, seed);
+    let full = LaneSet::full(lanes);
+    let mut scratch = LaneSet::empty(lanes);
+    full.permuted_into(map.lane_permutation(), &mut scratch);
+    if scratch.count() != full.count() {
+        findings.push(Finding::new(
+            PASS,
+            "laneset-alias",
+            config.to_string(),
+            format!(
+                "permuting a full {lanes}-lane set kept only {} members — the lane \
+                 permutation aliases",
+                scratch.count()
+            ),
+        ));
+    }
+
+    findings
+}
+
+/// Verifies that `targets` (one physical address per logical source) is an
+/// injection into `0..universe` — the row layer maps `logical_rows`
+/// logical rows into possibly more physical rows (`Hw` reserves a spare).
+fn check_injection(
+    subject: &str,
+    layer: &str,
+    targets: &[usize],
+    universe: usize,
+) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let mut hit: Vec<Option<usize>> = vec![None; universe];
+    for (src, &dst) in targets.iter().enumerate() {
+        if dst >= universe {
+            findings.push(Finding::new(
+                PASS,
+                "not-a-permutation",
+                format!("{subject}/{layer}"),
+                format!("{src} maps to {dst}, outside the universe of {universe}"),
+            ));
+            continue;
+        }
+        if let Some(prev) = hit[dst] {
+            findings.push(Finding::new(
+                PASS,
+                "not-a-permutation",
+                format!("{subject}/{layer}"),
+                format!("{prev} and {src} both map to {dst} (aliased writes merge wear counts)"),
+            ));
+        } else {
+            hit[dst] = Some(src);
+        }
+    }
+    findings
+}
+
+/// Verifies a [`StartGap`] mapper through `writes` recorded writes: after
+/// every gap movement the logical→physical translation must remain an
+/// injection into the `n + 1` physical lines, and the gap line itself must
+/// never be the target of a translation.
+#[must_use]
+pub fn verify_start_gap(n: usize, psi: u64, writes: usize) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let mut sg = StartGap::new(n, psi);
+    for w in 0..=writes {
+        let targets: Vec<usize> = (0..sg.logical_lines()).map(|l| sg.translate(l)).collect();
+        let subject = format!("start-gap(n={n},psi={psi})@write{w}");
+        findings.extend(check_injection(&subject, "line", &targets, sg.physical_lines()));
+        if targets.contains(&sg.gap()) {
+            findings.push(Finding::new(
+                PASS,
+                "gap-addressed",
+                subject,
+                format!("gap line {} is reachable by a logical translation", sg.gap()),
+            ));
+        }
+        let _ = sg.record_write(w % n);
+    }
+    findings
+}
+
+/// Verifies a standalone [`HwRemapper`] after a scripted redirect storm.
+#[must_use]
+pub fn verify_hw_remapper(physical_rows: usize, redirects: usize) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let mut hw = HwRemapper::new(physical_rows);
+    let logical = hw.logical_rows();
+    for i in 0..redirects {
+        hw.redirect(i % logical);
+        let subject = format!("hw({physical_rows})@redirect{i}");
+        if !hw.is_consistent() {
+            findings.push(Finding::new(
+                PASS,
+                "hw-inconsistent",
+                subject.clone(),
+                "forward/free-row bookkeeping lost bijectivity".to_owned(),
+            ));
+        }
+        let targets: Vec<usize> = (0..logical).map(|l| hw.lookup(l)).collect();
+        findings.extend(check_injection(&subject, "row", &targets, physical_rows));
+    }
+    findings
+}

@@ -1,0 +1,199 @@
+//! Netlist verification: SSA and liveness discipline over [`Circuit`]s.
+//!
+//! These checks run on the circuit *structure* only — the functional
+//! evaluator is never invoked. They prove the invariants the trace
+//! compiler and the replay engine silently rely on: every bit has exactly
+//! one definition, every gate reads only already-defined bits, and nothing
+//! is allocated that the computation never consumes.
+
+use std::collections::BTreeSet;
+
+use nvpim_logic::Circuit;
+
+use crate::finding::Finding;
+
+const PASS: &str = "netlist";
+
+/// Where a bit got its (first) definition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum DefSite {
+    /// Input slot `i` of the circuit.
+    Input(usize),
+    /// Constant slot `i`.
+    Const(usize),
+    /// Output of the gate at position `p` in the gate list.
+    Gate(usize),
+}
+
+impl DefSite {
+    fn describe(self) -> String {
+        match self {
+            DefSite::Input(i) => format!("input #{i}"),
+            DefSite::Const(i) => format!("constant #{i}"),
+            DefSite::Gate(p) => format!("gate #{p}"),
+        }
+    }
+}
+
+/// Statically verifies one circuit, returning every defect found.
+///
+/// Checks performed (finding codes in parentheses):
+///
+/// - every referenced bit is inside `0..num_bits` (`bit-out-of-range`);
+/// - every bit is defined at most once across inputs, constants, and gate
+///   outputs (`double-def`);
+/// - every gate operand is defined *before* the gate executes, in list
+///   order (`use-before-def` when defined later, `use-of-undefined` when
+///   never defined at all);
+/// - every marked output is defined (`undefined-output`) and at least one
+///   output is marked (`no-outputs`);
+/// - every bit id below `num_bits` has a definition (`phantom-bits`: the
+///   allocator reserved cells nothing ever writes);
+/// - every gate output is consumed by a later gate or marked as a circuit
+///   output (`dead-gate`) — dead gates still execute and burn endurance;
+/// - every input and constant is read by some gate or marked as an output
+///   (`unused-input` / `leaked-bit`).
+///
+/// A clean library circuit produces an empty vector; deliberately-broken
+/// netlists built through [`Circuit::from_parts`] produce exactly the
+/// findings for their defects.
+#[must_use]
+// One linear walk shared by all finding families; splitting it would
+// duplicate the def-table plumbing.
+#[allow(clippy::too_many_lines)]
+pub fn verify_circuit(name: &str, circuit: &Circuit) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let n = circuit.num_bits() as usize;
+    let finding = |code: &'static str, message: String| Finding::new(PASS, code, name, message);
+
+    // --- definition table -------------------------------------------------
+    let mut defs: Vec<Option<DefSite>> = vec![None; n];
+    let mut define = |bit: usize, site: DefSite, findings: &mut Vec<Finding>| {
+        if bit >= n {
+            findings.push(finding(
+                "bit-out-of-range",
+                format!("{} defines bit {bit}, but the circuit has {n} bits", site.describe()),
+            ));
+            return;
+        }
+        match defs[bit] {
+            None => defs[bit] = Some(site),
+            Some(prev) => findings.push(finding(
+                "double-def",
+                format!(
+                    "bit {bit} defined twice: first by {}, again by {}",
+                    prev.describe(),
+                    site.describe()
+                ),
+            )),
+        }
+    };
+
+    for (i, bit) in circuit.input_bits().iter().enumerate() {
+        define(bit.index() as usize, DefSite::Input(i), &mut findings);
+    }
+    for (i, (bit, _)) in circuit.constant_bits().iter().enumerate() {
+        define(bit.index() as usize, DefSite::Const(i), &mut findings);
+    }
+    for (pos, gate) in circuit.gates().iter().enumerate() {
+        define(gate.output().index() as usize, DefSite::Gate(pos), &mut findings);
+    }
+
+    // --- use-before-def / use-of-undefined --------------------------------
+    let mut read: Vec<bool> = vec![false; n];
+    for (pos, gate) in circuit.gates().iter().enumerate() {
+        for operand in gate.inputs() {
+            let bit = operand.index() as usize;
+            if bit >= n {
+                findings.push(finding(
+                    "bit-out-of-range",
+                    format!("gate #{pos} reads bit {bit}, but the circuit has {n} bits"),
+                ));
+                continue;
+            }
+            read[bit] = true;
+            match defs[bit] {
+                None => findings.push(finding(
+                    "use-of-undefined",
+                    format!("gate #{pos} reads bit {bit}, which is never defined"),
+                )),
+                Some(DefSite::Gate(def_pos)) if def_pos >= pos => {
+                    // Reading your own output (def_pos == pos) is equally
+                    // a violation of the SSA execution order.
+                    findings.push(finding(
+                        "use-before-def",
+                        format!(
+                            "gate #{pos} reads bit {bit}, which is only defined later \
+                             by gate #{def_pos}"
+                        ),
+                    ));
+                }
+                Some(_) => {}
+            }
+        }
+    }
+
+    // --- outputs ----------------------------------------------------------
+    if circuit.output_bits().is_empty() {
+        findings.push(finding("no-outputs", "circuit marks no output bits".to_owned()));
+    }
+    let mut outputs: BTreeSet<usize> = BTreeSet::new();
+    for bit in circuit.output_bits() {
+        let bit = bit.index() as usize;
+        if bit >= n {
+            findings.push(finding(
+                "bit-out-of-range",
+                format!("output list references bit {bit}, but the circuit has {n} bits"),
+            ));
+            continue;
+        }
+        outputs.insert(bit);
+        if defs[bit].is_none() {
+            findings.push(finding(
+                "undefined-output",
+                format!("bit {bit} is marked as an output but never defined"),
+            ));
+        }
+    }
+
+    // --- liveness ---------------------------------------------------------
+    for (bit, def) in defs.iter().enumerate() {
+        let consumed = read[bit] || outputs.contains(&bit);
+        match def {
+            None => findings.push(finding(
+                "phantom-bits",
+                format!("bit {bit} is allocated but has no definition of any kind"),
+            )),
+            Some(DefSite::Gate(pos)) if !consumed => findings.push(finding(
+                "dead-gate",
+                format!(
+                    "gate #{pos} ({:?}) writes bit {bit}, which no gate reads and no \
+                     output exposes",
+                    circuit.gates()[*pos].kind()
+                ),
+            )),
+            Some(DefSite::Input(i)) if !consumed => findings.push(finding(
+                "unused-input",
+                format!("input #{i} (bit {bit}) is never read"),
+            )),
+            Some(DefSite::Const(i)) if !consumed => findings.push(finding(
+                "leaked-bit",
+                format!("constant #{i} (bit {bit}) is allocated but never read"),
+            )),
+            Some(_) => {}
+        }
+    }
+
+    findings
+}
+
+/// The number of individual invariants [`verify_circuit`] evaluates for a
+/// circuit of this shape — used for the report's `checks` tally.
+#[must_use]
+pub fn checks_for(circuit: &Circuit) -> u64 {
+    // One def-site check per definition, one per operand read, one per
+    // output mark, one liveness decision per bit.
+    let defs = circuit.input_bits().len() + circuit.constant_bits().len() + circuit.gates().len();
+    let reads: usize = circuit.gates().iter().map(|g| g.inputs().len()).sum();
+    (defs + reads + circuit.output_bits().len() + circuit.num_bits() as usize) as u64
+}

@@ -1,0 +1,162 @@
+//! Deliberately-broken netlists must produce exactly the expected finding.
+//!
+//! `Circuit::from_parts` performs no validation by design — that is the
+//! route for constructing the invalid structures the verifier exists to
+//! catch.
+
+use nvpim_check::netlist::verify_circuit;
+use nvpim_logic::{BitId, Circuit, Gate, GateKind};
+
+fn bit(i: u32) -> BitId {
+    BitId::new(i)
+}
+
+/// Helper: codes of all findings for a circuit.
+fn codes(circuit: &Circuit) -> Vec<&'static str> {
+    verify_circuit("broken", circuit).into_iter().map(|f| f.code).collect()
+}
+
+#[test]
+fn double_definition_is_flagged() {
+    // Gate writes bit 0, which is already an input.
+    let c = Circuit::from_parts(
+        vec![Gate::two(GateKind::Nand, bit(0), bit(1), bit(0))],
+        2,
+        vec![bit(0), bit(1)],
+        vec![],
+        vec![bit(0)],
+    );
+    assert_eq!(codes(&c), vec!["double-def"]);
+}
+
+#[test]
+fn use_before_def_is_flagged() {
+    // Gate #0 reads bit 3, defined later by gate #1.
+    let c = Circuit::from_parts(
+        vec![
+            Gate::two(GateKind::Nand, bit(0), bit(3), bit(2)),
+            Gate::two(GateKind::Nand, bit(0), bit(1), bit(3)),
+        ],
+        4,
+        vec![bit(0), bit(1)],
+        vec![],
+        vec![bit(2), bit(3)],
+    );
+    assert_eq!(codes(&c), vec!["use-before-def"]);
+}
+
+#[test]
+fn self_loop_counts_as_use_before_def() {
+    let c = Circuit::from_parts(
+        vec![Gate::two(GateKind::Nand, bit(0), bit(1), bit(1))],
+        2,
+        vec![bit(0)],
+        vec![],
+        vec![bit(1)],
+    );
+    assert_eq!(codes(&c), vec!["use-before-def"]);
+}
+
+#[test]
+fn leaked_constant_is_flagged() {
+    // A constant nothing reads and no output exposes.
+    let c = Circuit::from_parts(
+        vec![Gate::two(GateKind::And, bit(0), bit(1), bit(3))],
+        4,
+        vec![bit(0), bit(1)],
+        vec![(bit(2), false)],
+        vec![bit(3)],
+    );
+    assert_eq!(codes(&c), vec!["leaked-bit"]);
+}
+
+#[test]
+fn use_of_undefined_bit_is_flagged() {
+    // Gate reads bit 2, which no input, constant, or gate defines.
+    let c = Circuit::from_parts(
+        vec![Gate::two(GateKind::Or, bit(0), bit(2), bit(3))],
+        4,
+        vec![bit(0), bit(1)],
+        vec![],
+        vec![bit(3)],
+    );
+    // Bit 1 is an unused input and bit 2 is also a phantom allocation —
+    // the verifier reports each defect once.
+    let codes = codes(&c);
+    assert!(codes.contains(&"use-of-undefined"), "{codes:?}");
+    assert!(codes.contains(&"phantom-bits"), "{codes:?}");
+    assert!(codes.contains(&"unused-input"), "{codes:?}");
+    assert_eq!(codes.len(), 3, "{codes:?}");
+}
+
+#[test]
+fn dead_gate_is_flagged() {
+    // Second gate's output is never read and not an output.
+    let c = Circuit::from_parts(
+        vec![
+            Gate::two(GateKind::Nand, bit(0), bit(1), bit(2)),
+            Gate::two(GateKind::Nand, bit(0), bit(2), bit(3)),
+        ],
+        4,
+        vec![bit(0), bit(1)],
+        vec![],
+        vec![bit(2)],
+    );
+    assert_eq!(codes(&c), vec!["dead-gate"]);
+}
+
+#[test]
+fn out_of_range_references_are_flagged() {
+    // Gate output and operand both point past num_bits.
+    let c = Circuit::from_parts(
+        vec![Gate::two(GateKind::Nand, bit(0), bit(9), bit(7))],
+        2,
+        vec![bit(0), bit(1)],
+        vec![],
+        vec![bit(1)],
+    );
+    let codes = codes(&c);
+    assert_eq!(codes.iter().filter(|&&c| c == "bit-out-of-range").count(), 2, "{codes:?}");
+}
+
+#[test]
+fn undefined_output_is_flagged() {
+    let c = Circuit::from_parts(
+        vec![Gate::two(GateKind::Nand, bit(0), bit(1), bit(2))],
+        4,
+        vec![bit(0), bit(1)],
+        vec![],
+        vec![bit(2), bit(3)],
+    );
+    let codes = codes(&c);
+    assert!(codes.contains(&"undefined-output"), "{codes:?}");
+    assert!(codes.contains(&"phantom-bits"), "{codes:?}");
+    assert_eq!(codes.len(), 2, "{codes:?}");
+}
+
+#[test]
+fn missing_outputs_are_flagged() {
+    let c = Circuit::from_parts(
+        vec![Gate::two(GateKind::Nand, bit(0), bit(1), bit(2))],
+        3,
+        vec![bit(0), bit(1)],
+        vec![],
+        vec![],
+    );
+    let codes = codes(&c);
+    assert!(codes.contains(&"no-outputs"), "{codes:?}");
+    // The gate's result now leaks too.
+    assert!(codes.contains(&"dead-gate"), "{codes:?}");
+}
+
+#[test]
+fn clean_minimal_circuit_produces_nothing() {
+    let c = Circuit::from_parts(
+        vec![Gate::two(GateKind::Nand, bit(0), bit(1), bit(2))],
+        3,
+        vec![bit(0), bit(1)],
+        vec![],
+        vec![bit(2)],
+    );
+    assert!(codes(&c).is_empty());
+}

@@ -1,0 +1,76 @@
+//! The mapping verifier over the full strategy matrix, plus deliberately
+//! non-bijective tables.
+
+use nvpim_balance::BalanceConfig;
+use nvpim_check::driver::{run_mapping_pass, CheckOptions};
+use nvpim_check::mapping::{
+    check_permutation, verify_balance_config, verify_hw_remapper, verify_start_gap,
+};
+use nvpim_check::Report;
+
+/// All 18 paper configurations stay bijective at every checked epoch.
+#[test]
+fn all_eighteen_configs_are_bijective() {
+    for config in BalanceConfig::all() {
+        let findings = verify_balance_config(config, 64, 16, 7, 6);
+        assert!(findings.is_empty(), "{config}: {findings:?}");
+    }
+}
+
+/// The whole mapping pass (configs + bare mappers + Start-Gap + Hw) is
+/// clean under default options.
+#[test]
+fn mapping_pass_is_clean() {
+    let opts = CheckOptions::default();
+    let mut report = Report::new();
+    run_mapping_pass(&opts, &mut report);
+    assert!(report.is_clean(), "{}", report.render_summary());
+}
+
+/// A table that aliases two sources onto one target is rejected.
+#[test]
+fn aliased_table_is_flagged() {
+    let findings = check_permutation("alias", &[0, 0, 2], 3);
+    assert_eq!(findings.len(), 1);
+    assert_eq!(findings[0].code, "not-a-permutation");
+    assert!(findings[0].message.contains("both map to 0"), "{}", findings[0].message);
+}
+
+/// A table with an out-of-range target is rejected.
+#[test]
+fn out_of_range_table_is_flagged() {
+    let findings = check_permutation("range", &[0, 5, 2], 3);
+    assert_eq!(findings.len(), 1);
+    assert!(findings[0].message.contains("outside the universe"), "{}", findings[0].message);
+}
+
+/// A table of the wrong size is rejected outright.
+#[test]
+fn short_table_is_flagged() {
+    let findings = check_permutation("short", &[0, 1], 3);
+    assert_eq!(findings.len(), 1);
+    assert!(findings[0].message.contains("2 entries"), "{}", findings[0].message);
+}
+
+/// A valid permutation passes.
+#[test]
+fn valid_permutation_passes() {
+    assert!(check_permutation("ok", &[2, 0, 1], 3).is_empty());
+}
+
+/// Start-Gap stays an injection through several full gap rotations, and
+/// the gap line is never addressable.
+#[test]
+fn start_gap_rotations_are_injective() {
+    // ψ = 1 moves the gap on every write: 64 writes ≫ one full rotation
+    // of the 17 physical lines.
+    assert!(verify_start_gap(16, 1, 64).is_empty());
+    assert!(verify_start_gap(8, 4, 100).is_empty());
+}
+
+/// The Hw remapper survives a redirect storm twice its row count.
+#[test]
+fn hw_redirect_storm_stays_consistent() {
+    assert!(verify_hw_remapper(64, 128).is_empty());
+    assert!(verify_hw_remapper(2, 8).is_empty());
+}

@@ -1,0 +1,53 @@
+//! The netlist verifier over every builder in `crates/logic/src/circuits/`.
+
+use nvpim_check::driver::{library_at_width, CheckOptions, run_netlist_pass};
+use nvpim_check::netlist::verify_circuit;
+use nvpim_check::Report;
+
+/// Every library circuit, at several widths, produces no findings beyond
+/// its documented dead-gate allowance.
+#[test]
+fn library_is_clean_at_all_widths() {
+    for w in [1usize, 2, 3, 4, 8, 16, 32] {
+        for entry in library_at_width(w) {
+            let findings = verify_circuit(&entry.name, &entry.circuit);
+            let dead = findings.iter().filter(|f| f.code == "dead-gate").count();
+            assert_eq!(
+                dead, entry.allowed_dead,
+                "{}: dead gates beyond the documented allowance",
+                entry.name
+            );
+            let other: Vec<_> = findings.iter().filter(|f| f.code != "dead-gate").collect();
+            assert!(other.is_empty(), "{}: unexpected findings {other:?}", entry.name);
+        }
+    }
+}
+
+/// The full netlist pass (allowance demotion + cost formulas) is clean.
+#[test]
+fn netlist_pass_is_clean() {
+    let opts = CheckOptions::default();
+    let mut report = Report::new();
+    run_netlist_pass(&opts, &mut report);
+    assert!(report.is_clean(), "{}", report.render_summary());
+    // The demoted allowances surface as notes, not silence.
+    assert!(report.notes.iter().any(|n| n.contains("greater_equal")));
+    assert!(report.checks > 0);
+}
+
+/// Width-1 edge case: multiply is skipped (DADDA needs ≥ 2 bits) but the
+/// rest of the library still builds and verifies.
+#[test]
+fn width_one_library_is_covered() {
+    let lib = library_at_width(1);
+    assert!(lib.iter().all(|e| e.name != "multiply(w=1)"));
+    assert!(lib.iter().any(|e| e.name == "adder(w=1)"));
+    for entry in &lib {
+        let findings = verify_circuit(&entry.name, &entry.circuit);
+        let unexpected: Vec<_> = findings
+            .iter()
+            .filter(|f| f.code != "dead-gate")
+            .collect();
+        assert!(unexpected.is_empty(), "{}: {unexpected:?}", entry.name);
+    }
+}

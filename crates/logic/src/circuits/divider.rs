@@ -15,7 +15,7 @@ use crate::{BitId, CircuitBuilder};
 /// (the conventional "restore everything" outcome of restoring division).
 ///
 /// Cost: per bit step, one `(n+1)`-bit subtract (`10(n+1)` gates) and one
-/// `n+1`-bit restore mux (`3(n+1)+1` gates) — about `13n²` gates total.
+/// `n`-bit restore mux (`3n+1` gates) — `n(13n + 11)` gates total.
 ///
 /// # Panics
 ///
@@ -30,9 +30,10 @@ pub fn divide(
     let n = x.len();
     let zero = b.constant(false);
 
-    // Working remainder, one bit wider than the divisor so the trial
-    // subtraction cannot overflow.
-    let mut remainder: Vec<BitId> = vec![zero; n + 1];
+    // Working remainder; the restoring invariant `remainder < max(y, 2^n)`
+    // keeps it within `n` bits, so only the trial subtraction needs the
+    // extra bit of headroom.
+    let mut remainder: Vec<BitId> = vec![zero; n];
     let divisor: Vec<BitId> = y.iter().copied().chain(std::iter::once(zero)).collect();
     let mut quotient: Vec<BitId> = vec![zero; n];
 
@@ -40,13 +41,15 @@ pub fn divide(
         // Shift the remainder left by one, bringing in dividend bit `step`.
         let mut shifted = Vec::with_capacity(n + 1);
         shifted.push(x[step]);
-        shifted.extend_from_slice(&remainder[..n]);
-        // Trial subtraction; keep it if it did not borrow.
+        shifted.extend_from_slice(&remainder);
+        // Trial subtraction; keep it if it did not borrow. Both candidates
+        // fit `n` bits whenever they are selected (the kept difference is
+        // < y; a restored `shifted` is < y because the subtract borrowed),
+        // so the restore mux only needs the low `n` bits.
         let (diff, no_borrow) = ripple_subtract(b, &shifted, &divisor);
-        remainder = mux_word(b, no_borrow, &diff, &shifted);
+        remainder = mux_word(b, no_borrow, &diff[..n], &shifted[..n]);
         quotient[step] = no_borrow;
     }
-    remainder.truncate(n);
     (quotient, remainder)
 }
 
@@ -110,5 +113,16 @@ mod tests {
         // And it dwarfs multiplication at the same width (the §2.2 point
         // about complex ops).
         assert!(g16 > crate::counts::mul_gate_writes(16));
+    }
+
+    #[test]
+    fn gate_count_formula_holds() {
+        // Regression for the narrowed restore mux: per step one (n+1)-bit
+        // subtract (10(n+1) gates) and one n-bit mux (3n+1 gates).
+        for width in [2u64, 4, 8, 16] {
+            let w = width as usize;
+            let gates = build_divider(w).stats().total_gates();
+            assert_eq!(gates, width * (13 * width + 11), "width {width}");
+        }
     }
 }

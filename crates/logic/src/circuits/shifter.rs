@@ -9,18 +9,37 @@ use crate::circuits::mux_word;
 use crate::{BitId, CircuitBuilder};
 
 /// Logical left shift by a constant: relabels bits and fills with a shared
-/// constant zero. Zero gates for the shift itself (one constant write).
+/// constant zero. Zero gates for the shift itself; the constant-zero fill
+/// is only allocated when some position actually needs it (`k > 0`), so a
+/// shift by zero leaks no bit.
 pub fn shift_left_const(b: &mut CircuitBuilder, x: &[BitId], k: usize) -> Vec<BitId> {
-    let zero = b.constant(false);
     let n = x.len();
-    (0..n).map(|i| if i < k { zero } else { x[i - k] }).collect()
+    let mut zero = None;
+    (0..n)
+        .map(|i| {
+            if i < k {
+                *zero.get_or_insert_with(|| b.constant(false))
+            } else {
+                x[i - k]
+            }
+        })
+        .collect()
 }
 
-/// Logical right shift by a constant.
+/// Logical right shift by a constant (lazy zero fill, like
+/// [`shift_left_const`]).
 pub fn shift_right_const(b: &mut CircuitBuilder, x: &[BitId], k: usize) -> Vec<BitId> {
-    let zero = b.constant(false);
     let n = x.len();
-    (0..n).map(|i| if i + k < n { x[i + k] } else { zero }).collect()
+    let mut zero = None;
+    (0..n)
+        .map(|i| {
+            if i + k < n {
+                x[i + k]
+            } else {
+                *zero.get_or_insert_with(|| b.constant(false))
+            }
+        })
+        .collect()
 }
 
 /// Data-dependent logical left shift: `x << amount`, where `amount` is an
@@ -75,6 +94,23 @@ mod tests {
         let xs = builder.inputs(32);
         let _ = shift_left_const(&mut builder, &xs, 5);
         assert_eq!(builder.len(), 0, "constant shifts must not emit gates");
+    }
+
+    #[test]
+    fn shift_by_zero_allocates_nothing() {
+        // Regression: a shift by zero used to allocate a constant-zero bit
+        // that nothing ever read (a leaked allocation under nvpim-check).
+        let mut builder = CircuitBuilder::new();
+        let xs = builder.inputs(8);
+        let l = shift_left_const(&mut builder, &xs, 0);
+        let r = shift_right_const(&mut builder, &xs, 0);
+        assert_eq!(l, xs);
+        assert_eq!(r, xs);
+        let bits_before_shifts = 8;
+        builder.mark_outputs(&l);
+        let c = builder.build();
+        assert_eq!(c.num_bits(), bits_before_shifts, "no constant leaked");
+        assert!(c.constant_bits().is_empty());
     }
 
     #[test]
