@@ -25,10 +25,7 @@ static FILTERS: OnceLock<Vec<String>> = OnceLock::new();
 /// [`criterion_main!`]). Flags are ignored; positional arguments become
 /// substring filters on benchmark ids.
 pub fn init_from_args() {
-    let filters: Vec<String> = std::env::args()
-        .skip(1)
-        .filter(|a| !a.starts_with('-'))
-        .collect();
+    let filters: Vec<String> = std::env::args().skip(1).filter(|a| !a.starts_with('-')).collect();
     let _ = FILTERS.set(filters);
 }
 
@@ -286,9 +283,7 @@ mod tests {
         let mut group = c.benchmark_group("smoke");
         group.sample_size(3);
         group.bench_function("spin", |b| b.iter(|| spin(10)));
-        group.bench_with_input(BenchmarkId::new("spin_n", 32), &32u64, |b, &n| {
-            b.iter(|| spin(n))
-        });
+        group.bench_with_input(BenchmarkId::new("spin_n", 32), &32u64, |b, &n| b.iter(|| spin(n)));
         group.finish();
         c.bench_function("top_level", |b| b.iter(|| spin(5)));
     }

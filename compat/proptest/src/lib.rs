@@ -103,10 +103,7 @@ impl ProptestConfig {
 
 impl Default for ProptestConfig {
     fn default() -> Self {
-        let cases = std::env::var("PROPTEST_CASES")
-            .ok()
-            .and_then(|s| s.parse().ok())
-            .unwrap_or(48);
+        let cases = std::env::var("PROPTEST_CASES").ok().and_then(|s| s.parse().ok()).unwrap_or(48);
         ProptestConfig { cases }
     }
 }
@@ -269,12 +266,12 @@ macro_rules! impl_tuple_strategy {
     };
 }
 
-impl_tuple_strategy!(A/a);
-impl_tuple_strategy!(A/a, B/b);
-impl_tuple_strategy!(A/a, B/b, C/c);
-impl_tuple_strategy!(A/a, B/b, C/c, D/d);
-impl_tuple_strategy!(A/a, B/b, C/c, D/d, E/e);
-impl_tuple_strategy!(A/a, B/b, C/c, D/d, E/e, F/f);
+impl_tuple_strategy!(A / a);
+impl_tuple_strategy!(A / a, B / b);
+impl_tuple_strategy!(A / a, B / b, C / c);
+impl_tuple_strategy!(A / a, B / b, C / c, D / d);
+impl_tuple_strategy!(A / a, B / b, C / c, D / d, E / e);
+impl_tuple_strategy!(A / a, B / b, C / c, D / d, E / e, F / f);
 
 // ---------------------------------------------------------------------------
 // Arbitrary / any
@@ -446,9 +443,8 @@ mod tests {
     #[test]
     fn oneof_map_and_tuples_compose() {
         let strat = prop_oneof![Just(1u8), Just(2), Just(3)];
-        let combined = (strat.clone(), strat, any::<bool>()).prop_map(|(a, b, f)| {
-            u32::from(a) + u32::from(b) + u32::from(f)
-        });
+        let combined = (strat.clone(), strat, any::<bool>())
+            .prop_map(|(a, b, f)| u32::from(a) + u32::from(b) + u32::from(f));
         let mut rng = crate::TestRng::deterministic("oneof");
         for _ in 0..200 {
             let v = combined.sample(&mut rng);

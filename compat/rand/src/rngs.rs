@@ -14,10 +14,7 @@ pub struct SmallRng {
 impl SmallRng {
     fn next_raw(&mut self) -> u64 {
         // xoshiro256++ (Blackman & Vigna, 2018; public domain reference).
-        let result = self.s[0]
-            .wrapping_add(self.s[3])
-            .rotate_left(23)
-            .wrapping_add(self.s[0]);
+        let result = self.s[0].wrapping_add(self.s[3]).rotate_left(23).wrapping_add(self.s[0]);
         let t = self.s[1] << 17;
         self.s[2] ^= self.s[0];
         self.s[3] ^= self.s[1];

@@ -241,11 +241,8 @@ impl WearMap {
         if total == 0 {
             return 0.0;
         }
-        let weighted: f64 = sorted
-            .iter()
-            .enumerate()
-            .map(|(i, &w)| (i as f64 + 1.0) * w as f64)
-            .sum();
+        let weighted: f64 =
+            sorted.iter().enumerate().map(|(i, &w)| (i as f64 + 1.0) * w as f64).sum();
         (2.0 * weighted) / (n * total as f64) - (n + 1.0) / n
     }
 

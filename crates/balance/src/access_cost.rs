@@ -47,9 +47,7 @@ impl AccessCost {
 pub fn variable_access_cost(physical_bits: &[usize], orientation: Orientation) -> AccessCost {
     assert!(!physical_bits.is_empty(), "variable must have bits");
     match orientation {
-        Orientation::ColumnParallel => {
-            AccessCost { accesses: physical_bits.len(), in_order: true }
-        }
+        Orientation::ColumnParallel => AccessCost { accesses: physical_bits.len(), in_order: true },
         Orientation::RowParallel => {
             let mut bytes: Vec<usize> = physical_bits.iter().map(|&b| b / BYTE_BITS).collect();
             bytes.sort_unstable();

@@ -1,7 +1,9 @@
 //! Property-based tests for the re-mapping machinery.
 
 use nvpim_array::AddressMap;
-use nvpim_balance::{BalanceConfig, CombinedMap, HwRemapper, StartGap, Strategy as Balance, StrategyMapper};
+use nvpim_balance::{
+    BalanceConfig, CombinedMap, HwRemapper, StartGap, Strategy as Balance, StrategyMapper,
+};
 use proptest::prelude::*;
 
 fn arb_strategy() -> impl Strategy<Value = Balance> {

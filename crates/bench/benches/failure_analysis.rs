@@ -36,9 +36,7 @@ fn bench_monte_carlo(c: &mut Criterion) {
 
 fn bench_lane_sets(c: &mut Criterion) {
     c.bench_function("laneset_tradeoffs", |b| {
-        b.iter(|| {
-            black_box(failure::lane_set_tradeoffs(1024, 0.002, &[1, 2, 4, 8, 16, 32]))
-        });
+        b.iter(|| black_box(failure::lane_set_tradeoffs(1024, 0.002, &[1, 2, 4, 8, 16, 32])));
     });
 }
 

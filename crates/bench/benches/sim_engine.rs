@@ -32,7 +32,8 @@ fn bench_arch_styles(c: &mut Criterion) {
     let workload = scale.mul_workload();
     let mut group = c.benchmark_group("arch_style");
     group.sample_size(10);
-    for (name, arch) in [("sense_amp", ArchStyle::SenseAmp), ("preset_output", ArchStyle::PresetOutput)]
+    for (name, arch) in
+        [("sense_amp", ArchStyle::SenseAmp), ("preset_output", ArchStyle::PresetOutput)]
     {
         group.bench_function(name, |b| {
             let sim = EnduranceSimulator::new(scale.sim_config().with_arch(arch));
@@ -72,9 +73,8 @@ fn bench_alloc_policies(c: &mut Criterion) {
     ] {
         group.bench_function(name, |b| {
             b.iter(|| {
-                let wl = ParallelMul::new(ArrayDims::new(1024, 8), 32)
-                    .with_alloc_policy(policy)
-                    .build();
+                let wl =
+                    ParallelMul::new(ArrayDims::new(1024, 8), 32).with_alloc_policy(policy).build();
                 black_box(wl.trace().rows_used())
             });
         });

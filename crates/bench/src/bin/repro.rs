@@ -87,18 +87,15 @@ fn main() {
             .unwrap_or_else(|| die("--jobs needs a non-negative integer (0 = auto)"));
         scale = scale.with_jobs(n);
     }
-    let out_dir: Option<PathBuf> = args
-        .iter()
-        .position(|a| a == "--out")
-        .map(|pos| {
-            let dir = PathBuf::from(
-                args.get(pos + 1).map(String::as_str).unwrap_or_else(|| die("--out needs a directory")),
-            );
-            if let Err(e) = std::fs::create_dir_all(&dir) {
-                die(&format!("cannot create {}: {e}", dir.display()));
-            }
-            dir
-        });
+    let out_dir: Option<PathBuf> = args.iter().position(|a| a == "--out").map(|pos| {
+        let dir = PathBuf::from(
+            args.get(pos + 1).map(String::as_str).unwrap_or_else(|| die("--out needs a directory")),
+        );
+        if let Err(e) = std::fs::create_dir_all(&dir) {
+            die(&format!("cannot create {}: {e}", dir.display()));
+        }
+        dir
+    });
 
     let progress = args.iter().any(|a| a == "--progress");
     let metrics_out = flag_path(&args, "--metrics-out");

@@ -26,7 +26,8 @@ fn config(label: &str) -> BalanceConfig {
 /// §3.1 / §1: PIM vs. conventional write amplification.
 #[must_use]
 pub fn amplification_report() -> String {
-    let mut out = String::from("== Write amplification: PIM vs conventional architecture (§3.1) ==\n");
+    let mut out =
+        String::from("== Write amplification: PIM vs conventional architecture (§3.1) ==\n");
     let mut rows = Vec::new();
     for bits in [8u64, 16, 32, 64] {
         let conv = baseline::conventional_multiply(bits);
@@ -79,7 +80,10 @@ pub fn limits_report() -> String {
             format!("{:.1}", b.seconds_to_failure / 60.0),
         ]);
     }
-    out.push_str(&text_table(&["technology", "endurance", "max 32b muls", "days", "minutes"], &rows));
+    out.push_str(&text_table(
+        &["technology", "endurance", "max 32b muls", "days", "minutes"],
+        &rows,
+    ));
     let rram = limits::seconds_to_total_failure(1024, 1024, 100_000_000, 3.0);
     out.push_str(&format!(
         "\nRRAM at 1e8 endurance: {:.2} minutes (paper: \"just over 5 minutes\")\n",
@@ -223,8 +227,7 @@ pub fn heatmap_report(which: &str, scale: Scale) -> String {
     }
     // Aggregate panel: total wear across every configuration, a quick
     // visual check that balancing conserves writes while moving them.
-    let combined =
-        nvpim_array::WearMap::merged(scale.dims, results.iter().map(|r| r.wear.clone()));
+    let combined = nvpim_array::WearMap::merged(scale.dims, results.iter().map(|r| r.wear.clone()));
     out.push_str(&format!(
         "\n-- all 18 configs combined: {} total writes --\n",
         combined.total_writes()
@@ -241,11 +244,8 @@ pub fn fig17_data(workload: &Workload, scale: Scale) -> Vec<(BalanceConfig, f64)
     let sim = EnduranceSimulator::new(scale.sim_config());
     let model = LifetimeModel::mtj();
     let results = sim.run_all_configs_parallel(workload, scale.jobs);
-    let baseline_run = results
-        .iter()
-        .find(|r| r.config.is_static())
-        .expect("StxSt is part of the matrix")
-        .clone();
+    let baseline_run =
+        results.iter().find(|r| r.config.is_static()).expect("StxSt is part of the matrix").clone();
     results
         .into_iter()
         .map(|result| (result.config, model.improvement(&result, &baseline_run)))
@@ -255,10 +255,8 @@ pub fn fig17_data(workload: &Workload, scale: Scale) -> Vec<(BalanceConfig, f64)
 /// Fig. 17: lifetime improvement bars for all three benchmarks.
 #[must_use]
 pub fn fig17_report(scale: Scale) -> String {
-    let mut out = format!(
-        "== Fig. 17: lifetime improvement vs StxSt ({} iterations) ==\n",
-        scale.iterations
-    );
+    let mut out =
+        format!("== Fig. 17: lifetime improvement vs StxSt ({} iterations) ==\n", scale.iterations);
     let workloads = scale.all_workloads();
     let data: Vec<Vec<(BalanceConfig, f64)>> =
         workloads.iter().map(|wl| fig17_data(wl, scale)).collect();
@@ -270,13 +268,10 @@ pub fn fig17_report(scale: Scale) -> String {
         }
         rows.push(row);
     }
-    let headers: Vec<&str> = std::iter::once("config")
-        .chain(workloads.iter().map(|w| w.name()))
-        .collect();
+    let headers: Vec<&str> =
+        std::iter::once("config").chain(workloads.iter().map(|w| w.name())).collect();
     out.push_str(&text_table(&headers, &rows));
-    out.push_str(
-        "\npaper reference (best config, Table 3): mul 1.59x, conv 2.22x, dot 2.11x\n",
-    );
+    out.push_str("\npaper reference (best config, Table 3): mul 1.59x, conv 2.22x, dot 2.11x\n");
     out
 }
 
@@ -292,10 +287,8 @@ pub fn table3_report(scale: Scale) -> String {
     for (i, wl) in scale.all_workloads().iter().enumerate() {
         let util = 100.0 * wl.lane_utilization(ArchStyle::PresetOutput);
         let data = fig17_data(wl, scale);
-        let (best_cfg, best) = data
-            .iter()
-            .max_by(|a, b| a.1.total_cmp(&b.1))
-            .expect("configs nonempty");
+        let (best_cfg, best) =
+            data.iter().max_by(|a, b| a.1.total_cmp(&b.1)).expect("configs nonempty");
         rows.push(vec![
             wl.name().to_owned(),
             format!("{util:.2}"),
@@ -314,10 +307,8 @@ pub fn table3_report(scale: Scale) -> String {
 /// §5: the re-compilation frequency study.
 #[must_use]
 pub fn sweep_report(scale: Scale) -> String {
-    let mut out = format!(
-        "== §5: re-mapping frequency sweep ({} iterations, RaxRa) ==\n",
-        scale.iterations
-    );
+    let mut out =
+        format!("== §5: re-mapping frequency sweep ({} iterations, RaxRa) ==\n", scale.iterations);
     let workload = scale.mul_workload();
     let base = SimConfig::paper().with_iterations(scale.iterations);
     let points = sweep::remap_frequency_sweep_parallel(
@@ -365,9 +356,7 @@ pub fn energy_report(scale: Scale) -> String {
     out.push_str(&text_table(&["benchmark", "MRAM", "SOT-MRAM", "RRAM", "PCM"], &rows));
     // Access-aware shuffling's energy tax (the Table 2 overhead in joules).
     let model = EnergyModel::from_device(&DeviceParams::for_technology(Technology::Mram));
-    let mul_pj = scale
-        .mul_workload()
-        .energy_per_iteration_pj(ArchStyle::PresetOutput, &model);
+    let mul_pj = scale.mul_workload().energy_per_iteration_pj(ArchStyle::PresetOutput, &model);
     out.push_str(&format!(
         "\naccess-aware shuffling adds ~{:.2}% gate energy to a 32-bit multiply \
          (= {:.2} nJ per iteration at MRAM energies)\n",
@@ -459,9 +448,8 @@ pub fn variation_report(scale: Scale) -> String {
     let model = LifetimeModel::mtj();
     let result = sim.run(&workload, config("RaxRa"));
     let uniform = model.lifetime(&result);
-    let mut out = String::from(
-        "== Extension: first-cell-failure lifetime under endurance variation ==\n",
-    );
+    let mut out =
+        String::from("== Extension: first-cell-failure lifetime under endurance variation ==\n");
     out.push_str(&format!(
         "uniform endurance (paper's assumption): {} iterations\n",
         fmt_value(uniform.iterations)
@@ -531,10 +519,8 @@ pub fn system_report(scale: Scale) -> String {
     let model = LifetimeModel::mtj();
     let run = sim.run(&workload, config("RaxRa"));
     let array = model.lifetime(&run);
-    let mut out = format!(
-        "== Extension: accelerator of 64 arrays running {} (RaxRa) ==\n",
-        workload.name()
-    );
+    let mut out =
+        format!("== Extension: accelerator of 64 arrays running {} (RaxRa) ==\n", workload.name());
     out.push_str(&format!(
         "single array (Eq. 4): {} iterations = {:.1} days\n",
         fmt_value(array.iterations),
@@ -544,8 +530,8 @@ pub fn system_report(scale: Scale) -> String {
     for sigma in [0.0f64, 0.2, 0.4] {
         let mut row = vec![format!("{sigma:.1}")];
         for tolerate in [0usize, 3, 15] {
-            let fleet = AcceleratorModel::new(64, tolerate)
-                .lifetime_with_spread(array, sigma, 400, 21);
+            let fleet =
+                AcceleratorModel::new(64, tolerate).lifetime_with_spread(array, sigma, 400, 21);
             row.push(format!("{:.1}", fleet.days()));
         }
         rows.push(row);

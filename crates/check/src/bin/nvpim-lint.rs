@@ -82,8 +82,7 @@ fn main() {
         }
     }
     if let Some(path) = &manifest_out {
-        let configs: Vec<Json> =
-            opts.configs.iter().map(|c| Json::from(c.to_string())).collect();
+        let configs: Vec<Json> = opts.configs.iter().map(|c| Json::from(c.to_string())).collect();
         let widths: Vec<Json> = opts.widths.iter().map(|&w| Json::from(w as u64)).collect();
         let doc = RunManifest::new("nvpim-lint")
             .with_command(std::env::args())
@@ -109,9 +108,7 @@ fn main() {
 /// The value following `--flag VALUE`, if present.
 fn flag_value(args: &[String], flag: &str) -> Option<String> {
     args.iter().position(|a| a == flag).map(|pos| {
-        args.get(pos + 1)
-            .cloned()
-            .unwrap_or_else(|| die(&format!("{flag} needs a value")))
+        args.get(pos + 1).cloned().unwrap_or_else(|| die(&format!("{flag} needs a value")))
     })
 }
 

@@ -25,11 +25,7 @@ const PASS: &str = "conservation";
 /// `subject` names the run; `expected` is `(writes, reads)` from an
 /// independent tally (`None` skips the external comparison).
 #[must_use]
-pub fn check_totals(
-    subject: &str,
-    wear: &WearMap,
-    expected: Option<(u64, u64)>,
-) -> Vec<Finding> {
+pub fn check_totals(subject: &str, wear: &WearMap, expected: Option<(u64, u64)>) -> Vec<Finding> {
     let mut findings = Vec::new();
     let (cached_w, cached_r) = (wear.total_writes(), wear.total_reads());
     let (sum_w, sum_r) = (wear.recount_writes(), wear.recount_reads());

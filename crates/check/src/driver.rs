@@ -1,11 +1,11 @@
 //! The check driver: enumerates the circuit library and the strategy
 //! matrix, runs every pass family, and aggregates a [`Report`].
 
+use nvpim_array::ArrayDims;
 use nvpim_balance::{BalanceConfig, Strategy, StrategyMapper};
 use nvpim_core::SimConfig;
 use nvpim_logic::{circuits, Circuit, CircuitBuilder};
 use nvpim_workloads::parallel_mul::ParallelMul;
-use nvpim_array::ArrayDims;
 
 use crate::finding::{Finding, Report};
 use crate::{conservation, mapping, netlist};
@@ -57,7 +57,12 @@ pub struct LibraryCircuit {
     pub reason: &'static str,
 }
 
-fn lib(name: String, circuit: Circuit, allowed_dead: usize, reason: &'static str) -> LibraryCircuit {
+fn lib(
+    name: String,
+    circuit: Circuit,
+    allowed_dead: usize,
+    reason: &'static str,
+) -> LibraryCircuit {
     LibraryCircuit { name, circuit, allowed_dead, reason }
 }
 
@@ -339,13 +344,7 @@ pub fn run_netlist_pass(opts: &CheckOptions, report: &mut Report) {
 pub fn run_mapping_pass(opts: &CheckOptions, report: &mut Report) {
     let (rows, lanes) = (64, 16);
     for &config in &opts.configs {
-        report.extend(mapping::verify_balance_config(
-            config,
-            rows,
-            lanes,
-            opts.seed,
-            opts.epochs,
-        ));
+        report.extend(mapping::verify_balance_config(config, rows, lanes, opts.seed, opts.epochs));
         report.bump_checks(opts.epochs + 1);
     }
     for strategy in Strategy::ALL {
@@ -367,9 +366,7 @@ pub fn run_mapping_pass(opts: &CheckOptions, report: &mut Report) {
 /// arms under every configured [`BalanceConfig`].
 pub fn run_conservation_pass(opts: &CheckOptions, report: &mut Report) {
     let workload = ParallelMul::new(ArrayDims::new(128, 8), 8).build();
-    let cfg = SimConfig::paper()
-        .with_iterations(opts.conservation_iters)
-        .with_seed(opts.seed);
+    let cfg = SimConfig::paper().with_iterations(opts.conservation_iters).with_seed(opts.seed);
     for &config in &opts.configs {
         report.extend(conservation::verify_conservation(&workload, config, cfg));
         report.bump_checks(4);

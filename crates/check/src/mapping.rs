@@ -58,7 +58,11 @@ pub fn check_permutation(subject: &str, perm: &[usize], universe: usize) -> Vec<
 
 /// Verifies one [`StrategyMapper`] across `epochs` epoch advances.
 #[must_use]
-pub fn verify_strategy_mapper(subject: &str, mapper: &mut StrategyMapper, epochs: u64) -> Vec<Finding> {
+pub fn verify_strategy_mapper(
+    subject: &str,
+    mapper: &mut StrategyMapper,
+    epochs: u64,
+) -> Vec<Finding> {
     let mut findings = Vec::new();
     for _ in 0..=epochs {
         let label = format!("{subject}@epoch{}", mapper.epoch());
@@ -177,12 +181,7 @@ pub fn verify_balance_config(
 /// Verifies that `targets` (one physical address per logical source) is an
 /// injection into `0..universe` — the row layer maps `logical_rows`
 /// logical rows into possibly more physical rows (`Hw` reserves a spare).
-fn check_injection(
-    subject: &str,
-    layer: &str,
-    targets: &[usize],
-    universe: usize,
-) -> Vec<Finding> {
+fn check_injection(subject: &str, layer: &str, targets: &[usize], universe: usize) -> Vec<Finding> {
     let mut findings = Vec::new();
     let mut hit: Vec<Option<usize>> = vec![None; universe];
     for (src, &dst) in targets.iter().enumerate() {

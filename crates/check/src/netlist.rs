@@ -172,10 +172,8 @@ pub fn verify_circuit(name: &str, circuit: &Circuit) -> Vec<Finding> {
                     circuit.gates()[*pos].kind()
                 ),
             )),
-            Some(DefSite::Input(i)) if !consumed => findings.push(finding(
-                "unused-input",
-                format!("input #{i} (bit {bit}) is never read"),
-            )),
+            Some(DefSite::Input(i)) if !consumed => findings
+                .push(finding("unused-input", format!("input #{i} (bit {bit}) is never read"))),
             Some(DefSite::Const(i)) if !consumed => findings.push(finding(
                 "leaked-bit",
                 format!("constant #{i} (bit {bit}) is allocated but never read"),

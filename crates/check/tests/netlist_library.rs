@@ -1,6 +1,6 @@
 //! The netlist verifier over every builder in `crates/logic/src/circuits/`.
 
-use nvpim_check::driver::{library_at_width, CheckOptions, run_netlist_pass};
+use nvpim_check::driver::{library_at_width, run_netlist_pass, CheckOptions};
 use nvpim_check::netlist::verify_circuit;
 use nvpim_check::Report;
 
@@ -44,10 +44,7 @@ fn width_one_library_is_covered() {
     assert!(lib.iter().any(|e| e.name == "adder(w=1)"));
     for entry in &lib {
         let findings = verify_circuit(&entry.name, &entry.circuit);
-        let unexpected: Vec<_> = findings
-            .iter()
-            .filter(|f| f.code != "dead-gate")
-            .collect();
+        let unexpected: Vec<_> = findings.iter().filter(|f| f.code != "dead-gate").collect();
         assert!(unexpected.is_empty(), "{}: {unexpected:?}", entry.name);
     }
 }

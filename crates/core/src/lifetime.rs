@@ -219,11 +219,8 @@ mod tests {
         let model = LifetimeModel::new(1_000_000, 3.0);
         let result = synthetic_result(1_000, 100, 100);
         let uniform = model.lifetime(&result);
-        let varied = model.lifetime_with_variation(
-            &result,
-            nvpim_nvm::EnduranceModel::Fixed(1_000_000),
-            42,
-        );
+        let varied =
+            model.lifetime_with_variation(&result, nvpim_nvm::EnduranceModel::Fixed(1_000_000), 42);
         assert!((uniform.iterations - varied.iterations).abs() < 1e-6);
         assert!((uniform.seconds - varied.seconds).abs() < 1e-12);
     }

@@ -102,9 +102,12 @@ pub fn run_matrix(
         .flat_map(|(workload, _)| {
             configs.iter().flat_map(move |&config| {
                 archs.iter().flat_map(move |&arch| {
-                    periods
-                        .iter()
-                        .map(move |&period| MatrixPoint { workload, config, arch, period })
+                    periods.iter().map(move |&period| MatrixPoint {
+                        workload,
+                        config,
+                        arch,
+                        period,
+                    })
                 })
             })
         })
@@ -115,8 +118,7 @@ pub fn run_matrix(
             Some(p) => RemapSchedule::every(p),
             None => RemapSchedule::never(),
         };
-        let sim =
-            EnduranceSimulator::new(base.with_arch(point.arch).with_schedule(schedule));
+        let sim = EnduranceSimulator::new(base.with_arch(point.arch).with_schedule(schedule));
         let workload = &workloads[point.workload];
         let result = match sink {
             Some(observer) => sim.run_with(workload, point.config, observer),
@@ -152,13 +154,16 @@ mod tests {
         let base = SimConfig::default().with_iterations(10);
         let cells = run_matrix(&workloads, &configs, &archs, &periods, base, 2);
         assert_eq!(cells.len(), 8); // 1 workload × 2 configs × 2 archs × 2 periods
-        // Row-major: config-major over (arch, period) for workload 0.
-        assert_eq!(cells[0].0, MatrixPoint {
-            workload: 0,
-            config: configs[0],
-            arch: ArchStyle::SenseAmp,
-            period: Some(5),
-        });
+                                    // Row-major: config-major over (arch, period) for workload 0.
+        assert_eq!(
+            cells[0].0,
+            MatrixPoint {
+                workload: 0,
+                config: configs[0],
+                arch: ArchStyle::SenseAmp,
+                period: Some(5),
+            }
+        );
         assert_eq!(cells[1].0.period, None);
         assert_eq!(cells[2].0.arch, ArchStyle::PresetOutput);
         assert_eq!(cells[4].0.config, configs[1]);
@@ -192,7 +197,13 @@ mod tests {
     #[test]
     #[should_panic(expected = "nonempty")]
     fn empty_axis_rejected() {
-        let _ = run_matrix(&[], &[BalanceConfig::baseline()], &[ArchStyle::SenseAmp], &[None],
-            SimConfig::default(), 1);
+        let _ = run_matrix(
+            &[],
+            &[BalanceConfig::baseline()],
+            &[ArchStyle::SenseAmp],
+            &[None],
+            SimConfig::default(),
+            1,
+        );
     }
 }

@@ -81,10 +81,7 @@ pub fn text_table(headers: &[&str], rows: &[Vec<String>]) -> String {
         line
     };
     out.push_str(&fmt_row(headers.to_vec(), &widths));
-    out.push_str(&fmt_row(
-        widths.iter().map(|_| "").collect::<Vec<_>>(),
-        &widths,
-    ));
+    out.push_str(&fmt_row(widths.iter().map(|_| "").collect::<Vec<_>>(), &widths));
     // Replace the spacer line with dashes.
     let spacer: String = widths
         .iter()
@@ -199,10 +196,7 @@ mod tests {
     fn tables_align() {
         let t = text_table(
             &["config", "value"],
-            &[
-                vec!["StxSt".into(), "1.0".into()],
-                vec!["RaxBs+Hw".into(), "2.22".into()],
-            ],
+            &[vec!["StxSt".into(), "1.0".into()], vec!["RaxBs+Hw".into(), "2.22".into()]],
         );
         let lines: Vec<&str> = t.lines().collect();
         assert_eq!(lines.len(), 4);

@@ -333,10 +333,7 @@ impl EnduranceSimulator {
                 delta: map.hw_redirects(),
             });
             sink.record(&Event::CounterAdd { name: "array.cell_writes", delta: total_writes });
-            sink.record(&Event::CounterAdd {
-                name: "array.cell_reads",
-                delta: wear.total_reads(),
-            });
+            sink.record(&Event::CounterAdd { name: "array.cell_reads", delta: wear.total_reads() });
             sink.record(&Event::PhaseEnd { phase: "sim.replay", ns: replay_ns });
             sink.record(&Event::PhaseEnd { phase: "sim.scatter", ns: scatter_ns });
             sink.record(&Event::RunEnd {
@@ -804,10 +801,10 @@ mod tests {
             .with_read_tracking(true);
         for config in ["StxSt", "RaxSt", "StxRa", "BsxBs", "RaxRa"] {
             let balance: BalanceConfig = config.parse().unwrap();
-            let cached = EnduranceSimulator::new(base.with_translation_cache(true))
-                .run(&wl, balance);
-            let uncached = EnduranceSimulator::new(base.with_translation_cache(false))
-                .run(&wl, balance);
+            let cached =
+                EnduranceSimulator::new(base.with_translation_cache(true)).run(&wl, balance);
+            let uncached =
+                EnduranceSimulator::new(base.with_translation_cache(false)).run(&wl, balance);
             for row in 0..128 {
                 for lane in 0..8 {
                     assert_eq!(

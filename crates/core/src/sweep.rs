@@ -38,8 +38,8 @@ pub fn remap_frequency_sweep(
     periods: &[u64],
 ) -> Vec<SweepPoint> {
     assert!(!periods.is_empty(), "sweep needs at least one period");
-    let never = EnduranceSimulator::new(base.with_schedule(RemapSchedule::never()))
-        .run(workload, balance);
+    let never =
+        EnduranceSimulator::new(base.with_schedule(RemapSchedule::never())).run(workload, balance);
     let never_lifetime = model.lifetime(&never).iterations;
     periods
         .iter()
@@ -176,8 +176,7 @@ mod tests {
         let base = SimConfig::default().with_iterations(500);
         let balance: BalanceConfig = "RaxSt".parse().unwrap();
         let periods = [100u64, 50, 10];
-        let serial =
-            remap_frequency_sweep(&wl, balance, base, LifetimeModel::mtj(), &periods);
+        let serial = remap_frequency_sweep(&wl, balance, base, LifetimeModel::mtj(), &periods);
         for jobs in [1, 2, 8] {
             let parallel = remap_frequency_sweep_parallel(
                 &wl,
@@ -193,11 +192,7 @@ mod tests {
 
     #[test]
     fn saturation_of_single_point_is_that_point() {
-        let only = SweepPoint {
-            period: 250,
-            lifetime_iterations: 1e6,
-            improvement_vs_never: 1.5,
-        };
+        let only = SweepPoint { period: 250, lifetime_iterations: 1e6, improvement_vs_never: 1.5 };
         assert_eq!(saturation_period(&[only], 0.016), Some(250));
         // Tolerance zero still admits the best point itself.
         assert_eq!(saturation_period(&[only], 0.0), Some(250));
@@ -212,8 +207,7 @@ mod tests {
             improvement_vs_never: 1.0,
         };
         // Deliberately unsorted: best lifetime sits mid-slice.
-        let points =
-            [mk(10, 0.995e6), mk(500, 0.5e6), mk(50, 1.0e6), mk(100, 0.99e6)];
+        let points = [mk(10, 0.995e6), mk(500, 0.5e6), mk(50, 1.0e6), mk(100, 0.99e6)];
         // 100, 50 and 10 are all within 1.6% of the best; 500 is not. The
         // largest qualifying period wins regardless of slice order.
         assert_eq!(saturation_period(&points, 0.016), Some(100));

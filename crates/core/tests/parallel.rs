@@ -43,11 +43,7 @@ fn assert_bit_identical(serial: &[SimResult], parallel: &[SimResult], jobs: usiz
         // user-visible statement of determinism (Eq. 4 end to end).
         let ls = model.lifetime(s).iterations;
         let lp = model.lifetime(p).iterations;
-        assert!(
-            ls == lp,
-            "{jobs} jobs: {} lifetime diverged ({ls} vs {lp})",
-            s.config
-        );
+        assert!(ls == lp, "{jobs} jobs: {} lifetime diverged ({ls} vs {lp})", s.config);
     }
 }
 
@@ -69,8 +65,7 @@ fn parallel_sweep_matches_serial_exactly() {
     let wl = workload();
     let balance: BalanceConfig = "RaxSt+Hw".parse().unwrap();
     let periods = [50u64, 10, 5];
-    let serial =
-        remap_frequency_sweep(&wl, balance, config(), LifetimeModel::mtj(), &periods);
+    let serial = remap_frequency_sweep(&wl, balance, config(), LifetimeModel::mtj(), &periods);
     for jobs in [2usize, 8] {
         let parallel = remap_frequency_sweep_parallel(
             &wl,

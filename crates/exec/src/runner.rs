@@ -78,9 +78,8 @@ impl ParallelRunner {
         O: Send,
         F: Fn(&A, &B) -> O + Sync,
     {
-        let jobs: Vec<(usize, usize)> = (0..outer.len())
-            .flat_map(|a| (0..inner.len()).map(move |b| (a, b)))
-            .collect();
+        let jobs: Vec<(usize, usize)> =
+            (0..outer.len()).flat_map(|a| (0..inner.len()).map(move |b| (a, b))).collect();
         self.pool.map(jobs, |(a, b)| f(&outer[a], &inner[b]))
     }
 }

@@ -252,7 +252,10 @@ mod tests {
     fn eval_rejects_wrong_input_count() {
         let c = xor_circuit();
         let err = c.eval(&[vec![true]]).unwrap_err();
-        assert_eq!(err.to_string(), "input bit count mismatch: circuit declares 2 input bits, 1 provided");
+        assert_eq!(
+            err.to_string(),
+            "input bit count mismatch: circuit declares 2 input bits, 1 provided"
+        );
     }
 
     #[test]

@@ -73,9 +73,7 @@ mod tests {
         assert_eq!(sum.len(), width + 1);
         builder.mark_outputs(&sum);
         let circuit = builder.build();
-        let out = circuit
-            .eval(&[words::to_bits(a, width), words::to_bits(b, width)])
-            .unwrap();
+        let out = circuit.eval(&[words::to_bits(a, width), words::to_bits(b, width)]).unwrap();
         words::from_bits(&out)
     }
 

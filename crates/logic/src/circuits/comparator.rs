@@ -41,9 +41,7 @@ mod tests {
         let ge = greater_equal(&mut builder, &xs, &ys);
         builder.mark_output(ge);
         let circuit = builder.build();
-        circuit
-            .eval(&[words::to_bits(a, width), words::to_bits(b, width)])
-            .unwrap()[0]
+        circuit.eval(&[words::to_bits(a, width), words::to_bits(b, width)]).unwrap()[0]
     }
 
     #[test]

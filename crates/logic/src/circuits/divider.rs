@@ -20,11 +20,7 @@ use crate::{BitId, CircuitBuilder};
 /// # Panics
 ///
 /// Panics if the operands are empty or differ in width.
-pub fn divide(
-    b: &mut CircuitBuilder,
-    x: &[BitId],
-    y: &[BitId],
-) -> (Vec<BitId>, Vec<BitId>) {
+pub fn divide(b: &mut CircuitBuilder, x: &[BitId], y: &[BitId]) -> (Vec<BitId>, Vec<BitId>) {
     assert!(!x.is_empty(), "cannot divide zero-width operands");
     assert_eq!(x.len(), y.len(), "divider operands must have equal width");
     let n = x.len();

@@ -92,9 +92,7 @@ mod tests {
     }
 
     fn run_mul(circuit: &Circuit, a: u64, b: u64, width: usize) -> u128 {
-        let out = circuit
-            .eval(&[words::to_bits(a, width), words::to_bits(b, width)])
-            .unwrap();
+        let out = circuit.eval(&[words::to_bits(a, width), words::to_bits(b, width)]).unwrap();
         u128::from(words::from_bits(&out))
     }
 
@@ -136,11 +134,7 @@ mod tests {
             let w = width as u64;
             assert_eq!(stats.count(GateKind::And), w * w, "AND @{width}");
             assert_eq!(stats.count(GateKind::Not), w, "HA count via NOT @{width}");
-            assert_eq!(
-                stats.count(GateKind::Nand),
-                9 * (w * w - 2 * w) + 4 * w,
-                "NAND @{width}"
-            );
+            assert_eq!(stats.count(GateKind::Nand), 9 * (w * w - 2 * w) + 4 * w, "NAND @{width}");
             assert_eq!(stats.total_gates(), 10 * w * w - 13 * w, "total @{width}");
         }
     }
@@ -161,8 +155,7 @@ mod tests {
         let circuit = build_multiplier(64);
         let last = circuit.last_uses();
         let n_gates = circuit.gates().len();
-        let outputs: std::collections::HashSet<_> =
-            circuit.output_bits().iter().copied().collect();
+        let outputs: std::collections::HashSet<_> = circuit.output_bits().iter().copied().collect();
         // Sweep definition/death events.
         let mut alive = 0i64;
         let mut peak = 0i64;

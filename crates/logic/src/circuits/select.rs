@@ -67,9 +67,7 @@ mod tests {
         builder.mark_outputs(&out);
         let c = builder.build();
         for (s, expect) in [(true, 0xAB), (false, 0x34)] {
-            let got = c
-                .eval(&[vec![s], words::to_bits(0xAB, 8), words::to_bits(0x34, 8)])
-                .unwrap();
+            let got = c.eval(&[vec![s], words::to_bits(0xAB, 8), words::to_bits(0x34, 8)]).unwrap();
             assert_eq!(words::from_bits(&got), expect);
         }
     }

@@ -16,13 +16,7 @@ pub fn shift_left_const(b: &mut CircuitBuilder, x: &[BitId], k: usize) -> Vec<Bi
     let n = x.len();
     let mut zero = None;
     (0..n)
-        .map(|i| {
-            if i < k {
-                *zero.get_or_insert_with(|| b.constant(false))
-            } else {
-                x[i - k]
-            }
-        })
+        .map(|i| if i < k { *zero.get_or_insert_with(|| b.constant(false)) } else { x[i - k] })
         .collect()
 }
 
@@ -32,13 +26,7 @@ pub fn shift_right_const(b: &mut CircuitBuilder, x: &[BitId], k: usize) -> Vec<B
     let n = x.len();
     let mut zero = None;
     (0..n)
-        .map(|i| {
-            if i + k < n {
-                x[i + k]
-            } else {
-                *zero.get_or_insert_with(|| b.constant(false))
-            }
-        })
+        .map(|i| if i + k < n { x[i + k] } else { *zero.get_or_insert_with(|| b.constant(false)) })
         .collect()
 }
 
@@ -49,11 +37,7 @@ pub fn shift_right_const(b: &mut CircuitBuilder, x: &[BitId], k: usize) -> Vec<B
 /// # Panics
 ///
 /// Panics if `x` is empty.
-pub fn barrel_shift_left(
-    b: &mut CircuitBuilder,
-    x: &[BitId],
-    amount: &[BitId],
-) -> Vec<BitId> {
+pub fn barrel_shift_left(b: &mut CircuitBuilder, x: &[BitId], amount: &[BitId]) -> Vec<BitId> {
     assert!(!x.is_empty(), "cannot shift zero-width word");
     let mut current = x.to_vec();
     for (stage, &sel) in amount.iter().enumerate() {
@@ -125,11 +109,7 @@ mod tests {
         for v in [0u64, 1, 0xA5, 0xFF] {
             for k in 0..8u64 {
                 let got = c.eval(&[words::to_bits(v, width), words::to_bits(k, 3)]).unwrap();
-                assert_eq!(
-                    words::from_bits(&got),
-                    (v << k) & 0xFF,
-                    "{v:#x} << {k}"
-                );
+                assert_eq!(words::from_bits(&got), (v << k) & 0xFF, "{v:#x} << {k}");
             }
         }
     }

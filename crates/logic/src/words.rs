@@ -43,9 +43,7 @@ pub fn to_bits(value: u64, width: usize) -> Vec<bool> {
 #[must_use]
 pub fn from_bits(bits: &[bool]) -> u64 {
     assert!(bits.len() <= 64, "bit vector of length {} exceeds u64", bits.len());
-    bits.iter()
-        .enumerate()
-        .fold(0u64, |acc, (i, &b)| acc | (u64::from(b) << i))
+    bits.iter().enumerate().fold(0u64, |acc, (i, &b)| acc | (u64::from(b) << i))
 }
 
 /// Wraps `value` to `width` bits (helper for expected values in tests).

@@ -74,12 +74,7 @@ impl Cell {
     /// write endurance.
     #[must_use]
     pub fn new(endurance: u64) -> Self {
-        Cell {
-            state: CellState::LowResistance,
-            writes: 0,
-            reads: 0,
-            endurance,
-        }
+        Cell { state: CellState::LowResistance, writes: 0, reads: 0, endurance }
     }
 
     /// Current state. For a failed cell this is the state it was stuck at.

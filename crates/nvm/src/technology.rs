@@ -35,12 +35,8 @@ pub enum Technology {
 
 impl Technology {
     /// All technologies, in decreasing order of typical endurance.
-    pub const ALL: [Technology; 4] = [
-        Technology::Mram,
-        Technology::SotMram,
-        Technology::Rram,
-        Technology::Pcm,
-    ];
+    pub const ALL: [Technology; 4] =
+        [Technology::Mram, Technology::SotMram, Technology::Rram, Technology::Pcm];
 
     /// Typical (optimistic) write endurance in writes-before-failure.
     ///
@@ -205,9 +201,7 @@ mod tests {
     fn endurance_ordering_matches_survey() {
         assert!(Technology::Mram.typical_endurance() > Technology::Rram.typical_endurance());
         assert!(Technology::Rram.typical_endurance() >= Technology::Pcm.typical_endurance());
-        assert!(
-            Technology::Pcm.pessimistic_endurance() < Technology::Rram.pessimistic_endurance()
-        );
+        assert!(Technology::Pcm.pessimistic_endurance() < Technology::Rram.pessimistic_endurance());
     }
 
     #[test]

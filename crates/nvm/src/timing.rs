@@ -69,10 +69,7 @@ impl LatencyModel {
     /// Total latency of a mixed operation tally, nanoseconds.
     #[must_use]
     pub fn total_ns(&self, counts: &[(OpClass, u64)]) -> f64 {
-        counts
-            .iter()
-            .map(|&(class, n)| self.latency_ns(class) * n as f64)
-            .sum()
+        counts.iter().map(|&(class, n)| self.latency_ns(class) * n as f64).sum()
     }
 }
 

@@ -405,9 +405,7 @@ fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, ParseError> {
                             std::str::from_utf8(hex).map_err(|_| err(*pos, "bad \\u escape"))?;
                         let code = u32::from_str_radix(hex, 16)
                             .map_err(|_| err(*pos, "bad \\u escape"))?;
-                        out.push(
-                            char::from_u32(code).ok_or_else(|| err(*pos, "bad code point"))?,
-                        );
+                        out.push(char::from_u32(code).ok_or_else(|| err(*pos, "bad code point"))?);
                         *pos += 4;
                     }
                     _ => return Err(err(*pos, "bad escape")),

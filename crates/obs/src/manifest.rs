@@ -122,10 +122,7 @@ impl RunManifest {
             .with("config", self.config.clone())
             .with("environment", self.environment.clone())
             .with("lifetime", self.lifetime.clone())
-            .with(
-                "phases",
-                self.phases.as_ref().map_or_else(Json::object, |p| p.to_json(stable)),
-            )
+            .with("phases", self.phases.as_ref().map_or_else(Json::object, |p| p.to_json(stable)))
             .with(
                 "metrics",
                 self.metrics.as_ref().map_or_else(Json::object, MetricsSnapshot::to_json),

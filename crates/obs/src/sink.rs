@@ -153,11 +153,7 @@ impl StderrProgressSink {
     /// A sink printing at most one progress line per `min_interval`.
     #[must_use]
     pub fn with_interval(min_interval: Duration) -> Self {
-        StderrProgressSink {
-            start: Instant::now(),
-            min_interval,
-            last_emit_ns: AtomicU64::new(0),
-        }
+        StderrProgressSink { start: Instant::now(), min_interval, last_emit_ns: AtomicU64::new(0) }
     }
 
     /// Rate limiter: returns true (and books the emission) if enough time

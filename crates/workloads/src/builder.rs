@@ -431,11 +431,8 @@ impl WorkloadBuilder {
             self.dims.rows()
         );
 
-        let result_rows = self
-            .result_bits
-            .iter()
-            .map(|&b| slot[b.idx()].expect("result bit unplaced"))
-            .collect();
+        let result_rows =
+            self.result_bits.iter().map(|&b| slot[b.idx()].expect("result bit unplaced")).collect();
         Workload::new(name.to_owned(), trace, result_rows, result_class)
     }
 }

@@ -56,7 +56,14 @@ impl Convolution {
         assert!(width >= 2, "width must be at least 2");
         assert_eq!(dims.lanes() % filter_rows, 0, "lanes must divide into groups");
         let threshold = Convolution::default_threshold(filter_rows, filter_cols, width);
-        Convolution { dims, filter_rows, filter_cols, width, threshold, policy: AllocPolicy::default() }
+        Convolution {
+            dims,
+            filter_rows,
+            filter_cols,
+            width,
+            threshold,
+            policy: AllocPolicy::default(),
+        }
     }
 
     /// The paper's configuration: 4×3 filter, 8-bit precision, 1024 × 1024
@@ -161,7 +168,10 @@ impl Convolution {
 
     /// Input closure for functional execution: lane `l` receives the
     /// neuron/weight pairs `pairs[l] = [(n0, w0), (n1, w1), ...]`.
-    pub fn inputs<'a>(&self, pairs: &'a [Vec<(u64, u64)>]) -> impl FnMut(usize, usize) -> bool + 'a {
+    pub fn inputs<'a>(
+        &self,
+        pairs: &'a [Vec<(u64, u64)>],
+    ) -> impl FnMut(usize, usize) -> bool + 'a {
         let width = self.width;
         move |lane, slot| {
             // Slot layout per filter column c: neuron bits, then weight bits.

@@ -40,7 +40,10 @@ impl DotProduct {
     /// or is < 2; or if `width < 2`.
     #[must_use]
     pub fn new(dims: ArrayDims, elements: usize, width: usize) -> Self {
-        assert!(elements.is_power_of_two() && elements >= 2, "element count must be a power of two ≥ 2");
+        assert!(
+            elements.is_power_of_two() && elements >= 2,
+            "element count must be a power of two ≥ 2"
+        );
         assert!(elements <= dims.lanes(), "more elements than lanes");
         assert!(width >= 2, "width must be at least 2");
         DotProduct { dims, elements, width, policy: AllocPolicy::default() }
@@ -111,11 +114,7 @@ impl DotProduct {
 
     /// Input closure for functional execution: lane `l` holds `a[l]`,
     /// `b[l]`.
-    pub fn inputs<'a>(
-        &self,
-        a: &'a [u64],
-        b: &'a [u64],
-    ) -> impl FnMut(usize, usize) -> bool + 'a {
+    pub fn inputs<'a>(&self, a: &'a [u64], b: &'a [u64]) -> impl FnMut(usize, usize) -> bool + 'a {
         let width = self.width;
         move |lane, slot| {
             if slot < width {

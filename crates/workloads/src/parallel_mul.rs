@@ -90,11 +90,7 @@ impl ParallelMul {
     /// # Panics
     ///
     /// The closure panics if executed on a lane outside `a`/`b`.
-    pub fn inputs<'a>(
-        &self,
-        a: &'a [u64],
-        b: &'a [u64],
-    ) -> impl FnMut(usize, usize) -> bool + 'a {
+    pub fn inputs<'a>(&self, a: &'a [u64], b: &'a [u64]) -> impl FnMut(usize, usize) -> bool + 'a {
         let width = self.width;
         move |lane, slot| {
             if slot < width {

@@ -63,10 +63,18 @@ fn main() {
     array.execute(workload.trace(), &mut map, &mut |lane, slot| {
         let value = if lane % 2 == 0 {
             let k = (lane / 2) as u64;
-            if slot < WIDTH { 100 + k } else { 150 }
+            if slot < WIDTH {
+                100 + k
+            } else {
+                150
+            }
         } else {
             let k = (lane / 2) as u64;
-            if slot < WIDTH { 3 * k } else { 0 }
+            if slot < WIDTH {
+                3 * k
+            } else {
+                0
+            }
         };
         (value >> (slot % WIDTH)) & 1 == 1
     });
@@ -86,13 +94,17 @@ fn main() {
     let sim = EnduranceSimulator::new(SimConfig::default().with_iterations(1_000));
     let model = LifetimeModel::mtj();
     let baseline = sim.run(&workload, BalanceConfig::baseline());
-    println!("\nStxSt lifetime: {:.2e} iterations ({:.1} days)",
+    println!(
+        "\nStxSt lifetime: {:.2e} iterations ({:.1} days)",
         model.lifetime(&baseline).iterations,
-        model.lifetime(&baseline).days());
+        model.lifetime(&baseline).days()
+    );
     for config in ["RaxSt", "StxRa", "RaxRa", "RaxRa+Hw"] {
         let run = sim.run(&workload, config.parse().unwrap());
         println!("{config:>9}: {:.2}x", model.improvement(&run, &baseline));
     }
-    println!("\n(odd lanes do the reduction work here, so — unlike the paper's\n\
-              multiplication — this kernel benefits from column balancing too)");
+    println!(
+        "\n(odd lanes do the reduction work here, so — unlike the paper's\n\
+              multiplication — this kernel benefits from column balancing too)"
+    );
 }

@@ -25,7 +25,11 @@ fn main() {
             50,
             42,
         );
-        println!("  {failed_pct:>5.2}% failed -> {:>5.1}% usable (MC {:>5.1}%)", analytic * 100.0, mc * 100.0);
+        println!(
+            "  {failed_pct:>5.2}% failed -> {:>5.1}% usable (MC {:>5.1}%)",
+            analytic * 100.0,
+            mc * 100.0
+        );
     }
 
     // The §3.3 workaround: partition lanes into sets.
@@ -51,9 +55,8 @@ fn main() {
     let mut map = IdentityMap;
     for iteration in 1u64.. {
         array.execute(workload.trace(), &mut map, &mut pm.inputs(&a, &b));
-        let wrong = (0..4).find(|&lane| {
-            array.word(workload.result_rows(), lane, &map) != a[lane] * b[lane]
-        });
+        let wrong = (0..4)
+            .find(|&lane| array.word(workload.result_rows(), lane, &map) != a[lane] * b[lane]);
         if let Some(lane) = wrong {
             let failed = array.failed_cells();
             println!("  first wrong product at iteration {iteration} (lane {lane})");

@@ -38,10 +38,7 @@ fn main() {
         row.push(format!("{:.2}x", model.improvement(&result, &baseline)));
         rows.push(row);
     }
-    println!(
-        "{}",
-        report::text_table(&["config", "MRAM", "RRAM", "PCM", "vs StxSt"], &rows)
-    );
+    println!("{}", report::text_table(&["config", "MRAM", "RRAM", "PCM", "vs StxSt"], &rows));
 }
 
 fn human_time(seconds: f64) -> String {

@@ -11,7 +11,11 @@ fn main() {
     // couple of seconds; pass the paper's dims for the full-scale run.)
     let dims = ArrayDims::new(1024, 256);
     let workload = ParallelMul::new(dims, 32).build();
-    println!("workload: {} ({} rows of each lane in use)", workload.name(), workload.trace().rows_used());
+    println!(
+        "workload: {} ({} rows of each lane in use)",
+        workload.name(),
+        workload.trace().rows_used()
+    );
 
     // Simulate 2 000 iterations under the paper's default settings
     // (preset-output gates, re-compilation every 100 iterations).

@@ -63,9 +63,7 @@ fn dot_product_correct_under_hw_remapping() {
 fn fast_simulator_is_bit_exact() {
     let dims = ArrayDims::new(128, 8);
     let wl = nvpim::workloads::parallel_mul::ParallelMul::new(dims, 4).build();
-    let cfg = SimConfig::paper()
-        .with_iterations(9)
-        .with_schedule(RemapSchedule::every(4));
+    let cfg = SimConfig::paper().with_iterations(9).with_schedule(RemapSchedule::every(4));
     let sim = EnduranceSimulator::new(cfg);
     for config in BalanceConfig::all() {
         let fast = sim.run(&wl, config);
@@ -125,8 +123,7 @@ fn bnn_layer_correct_under_remapping() {
     let activations: Vec<u64> = (0..8).map(|l| 0x89AB_CDEF ^ (l as u64 * 0x1111_1111)).collect();
     let weights: Vec<u64> = (0..8).map(|l| 0x1357_9BDF >> l).collect();
     for config in ["RaxRa+Hw", "BsxBs", "StxRa+Hw"] {
-        let mut map =
-            CombinedMap::new(config.parse().unwrap(), dims.rows(), dims.lanes(), 2024);
+        let mut map = CombinedMap::new(config.parse().unwrap(), dims.rows(), dims.lanes(), 2024);
         map.advance_epoch();
         let mut array = PimArray::new(dims);
         array.execute(wl.trace(), &mut map, &mut layer.inputs(&activations, &weights));

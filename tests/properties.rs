@@ -2,18 +2,13 @@
 
 use nvpim::balance::{CombinedMap, Strategy as Balance};
 use nvpim::prelude::{
-    ArrayDims, BalanceConfig, EnduranceSimulator, LifetimeModel, PimArray, RemapSchedule,
-    SimConfig,
+    ArrayDims, BalanceConfig, EnduranceSimulator, LifetimeModel, PimArray, RemapSchedule, SimConfig,
 };
 use nvpim::workloads::parallel_mul::ParallelMul;
 use proptest::prelude::*;
 
 fn arb_config() -> impl Strategy<Value = BalanceConfig> {
-    let strat = prop_oneof![
-        Just(Balance::Static),
-        Just(Balance::Random),
-        Just(Balance::ByteShift)
-    ];
+    let strat = prop_oneof![Just(Balance::Static), Just(Balance::Random), Just(Balance::ByteShift)];
     (strat.clone(), strat, any::<bool>())
         .prop_map(|(row, col, hw)| BalanceConfig::new(row, col, hw))
 }

@@ -8,7 +8,9 @@
 //! layout breaks the computation because the bitwise AND happens *in place*,
 //! lane by lane, and the operands are no longer aligned.
 
-use nvpim::array::{ArchStyle, ArrayDims, IdentityMap, LaneSet, PimArray, Step, Trace, WriteSource};
+use nvpim::array::{
+    ArchStyle, ArrayDims, IdentityMap, LaneSet, PimArray, Step, Trace, WriteSource,
+};
 use nvpim::balance::{CombinedMap, StartGap};
 use nvpim::logic::GateKind;
 
@@ -74,7 +76,11 @@ fn start_gap_without_migration_serves_stale_rows() {
     let write_row = |array: &mut PimArray, logical: usize, value: bool| {
         let mut t = Trace::new(dims);
         let all = t.add_class(LaneSet::full(8));
-        t.push(Step::Write { row: sg.translate(logical), class: all, source: WriteSource::Const(value) });
+        t.push(Step::Write {
+            row: sg.translate(logical),
+            class: all,
+            source: WriteSource::Const(value),
+        });
         array.execute(&t, &mut IdentityMap, &mut |_, _| unreachable!());
     };
     for logical in 0..4 {
@@ -107,8 +113,8 @@ fn coherent_remapping_preserves_the_kernel() {
             0 => (X >> lane) & 1 == 1,
             _ => (Y >> lane) & 1 == 1,
         });
-        let z = (0..WIDTH)
-            .fold(0u64, |acc, lane| acc | (u64::from(array.bit(2, lane, &map)) << lane));
+        let z =
+            (0..WIDTH).fold(0u64, |acc, lane| acc | (u64::from(array.bit(2, lane, &map)) << lane));
         assert_eq!(z, X & Y, "epoch {epoch}");
     }
 }

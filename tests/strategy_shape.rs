@@ -45,10 +45,7 @@ fn convolution_byte_shift_columns_useless_random_helps() {
     let data = improvements(&wl, 1500);
     let st_bs = lookup(&data, "StxBs");
     let st_ra = lookup(&data, "StxRa");
-    assert!(
-        (st_bs - 1.0).abs() < 0.02,
-        "byte-shifted columns land on other hot columns: {st_bs}"
-    );
+    assert!((st_bs - 1.0).abs() < 0.02, "byte-shifted columns land on other hot columns: {st_bs}");
     assert!(st_ra > st_bs + 0.02, "random columns must beat byte-shift: {st_ra} vs {st_bs}");
 }
 
