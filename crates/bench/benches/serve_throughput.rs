@@ -1,0 +1,65 @@
+//! End-to-end throughput of the nvpim-serve HTTP path.
+//!
+//! Three views: a cold `/simulate` (parse + simulate + render + cache
+//! insert), a warm `/simulate` (parse + canonical hash + cache hit — the
+//! steady state of a sweep-driving client), and the raw request
+//! canonicalization that gates every lookup. `scripts/bench.sh` records the
+//! numbers into `BENCH_serve.json`; a healthy cache-hit path should sit
+//! orders of magnitude under the cold path.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nvpim_serve::{Client, Server, ServerConfig, SimRequest};
+use std::hint::black_box;
+use std::str::FromStr as _;
+
+const REQUEST: &str = r#"{"workload": {"kind": "mul", "rows": 128, "lanes": 8}, "iterations": 20}"#;
+
+fn bench_serve(c: &mut Criterion) {
+    let handle = Server::start(ServerConfig::default()).expect("server starts");
+    let client = Client::new(handle.addr());
+    let mut group = c.benchmark_group("serve");
+    group.sample_size(10);
+
+    let mut seed = 0u64;
+    group.bench_function("simulate_cold", |b| {
+        b.iter(|| {
+            // A fresh seed per call keeps every request a guaranteed miss.
+            seed += 1;
+            let body = format!(
+                r#"{{"workload": {{"kind": "mul", "rows": 128, "lanes": 8}}, "iterations": 20, "seed": {seed}}}"#
+            );
+            let reply = client.post_json("/simulate", &body).expect("cold request");
+            assert_eq!(reply.status, 200);
+            black_box(reply.body.len())
+        });
+    });
+
+    // Warm the entry once, then measure the pure hit path.
+    client.post_json("/simulate", REQUEST).expect("warm-up");
+    group.bench_function("simulate_cache_hit", |b| {
+        b.iter(|| {
+            let reply = client.post_json("/simulate", REQUEST).expect("warm request");
+            assert_eq!(reply.header("x-cache"), Some("hit"));
+            black_box(reply.body.len())
+        });
+    });
+    group.finish();
+
+    handle.request_shutdown();
+    handle.join();
+}
+
+fn bench_canonicalize(c: &mut Criterion) {
+    let mut group = c.benchmark_group("serve_canonical");
+    group.sample_size(10);
+    group.bench_function("parse_and_key", |b| {
+        b.iter(|| {
+            let request = SimRequest::from_str(black_box(REQUEST)).expect("valid request");
+            black_box(request.cache_key())
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_serve, bench_canonicalize);
+criterion_main!(benches);

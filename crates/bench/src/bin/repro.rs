@@ -22,15 +22,19 @@
 //!   variation       extension: lifetime under per-cell endurance spread
 //!   bnn             extension: binarized XNOR-popcount layer
 //!   system          extension: accelerator-of-arrays lifetime
+//!   serve-smoke     boot an in-process nvpim-serve, round-trip requests,
+//!                   verify byte-identity + cache hits + graceful drain
 //!   check           static verification passes (also `--check`); exits 1
 //!                   on any finding
-//!   all             everything above (except check)
+//!   all             everything above (except check and serve-smoke)
 //!
 //! Options:
 //!   --full          run at the paper's full scale (100 000 iterations)
 //!   --iters N       override the iteration count
 //!   --jobs N        worker threads for independent simulations
 //!                   (default 0 = auto: NVPIM_THREADS, else all cores)
+//!   --json          wrap each report in the machine-readable JSON envelope
+//!                   (`nvpim.report/v1`, same encoder nvpim-serve uses)
 //!   --progress      live iteration/ETA progress lines on stderr
 //!   --metrics-out F stream simulator events to F as JSONL
 //!   --manifest F    write a run-manifest JSON artifact to F
@@ -46,14 +50,33 @@ use nvpim_obs::{
     observer, EventSink, FanoutSink, Json, JsonlSink, Observer, RunManifest, StderrProgressSink,
 };
 
-/// Prints a report and, when `--out DIR` was given, also writes it to
-/// `DIR/<name>.txt`.
-fn emit(out_dir: &Option<PathBuf>, name: &str, content: &str) {
-    print!("{content}");
-    if let Some(dir) = out_dir {
-        let path = dir.join(format!("{name}.txt"));
-        if let Err(e) = std::fs::write(&path, content) {
-            eprintln!("warning: could not write {}: {e}", path.display());
+/// Report destination: stdout (text or `--json` envelopes) plus an optional
+/// `--out DIR` copy (`<name>.txt`, or `<name>.json` in JSON mode).
+struct Emitter {
+    out_dir: Option<PathBuf>,
+    json: bool,
+    config: Json,
+}
+
+impl Emitter {
+    fn emit(&self, name: &str, content: &str) {
+        if self.json {
+            let doc = nvpim_serve::wire::report_envelope(name, self.config.clone(), content)
+                .render_pretty();
+            println!("{doc}");
+            self.write(name, "json", &doc);
+        } else {
+            print!("{content}");
+            self.write(name, "txt", content);
+        }
+    }
+
+    fn write(&self, name: &str, ext: &str, content: &str) {
+        if let Some(dir) = &self.out_dir {
+            let path = dir.join(format!("{name}.{ext}"));
+            if let Err(e) = std::fs::write(&path, content) {
+                eprintln!("warning: could not write {}: {e}", path.display());
+            }
         }
     }
 }
@@ -102,30 +125,42 @@ fn main() {
     let manifest_out = flag_path(&args, "--manifest");
     let observe = progress || metrics_out.is_some() || manifest_out.is_some();
     let obs = observe.then(|| install_observer(progress, metrics_out.as_deref()));
+    let emitter = Emitter {
+        out_dir: out_dir.clone(),
+        json: args.iter().any(|a| a == "--json"),
+        config: scale_config_json(scale),
+    };
     let run_start = Instant::now();
 
     match command {
-        "amplification" => emit(&out_dir, "amplification", &experiments::amplification_report()),
-        "limits" => emit(&out_dir, "limits", &experiments::limits_report()),
-        "fig5" => emit(&out_dir, "fig5", &experiments::fig5_report()),
-        "table2" => emit(&out_dir, "table2", &experiments::table2_report()),
-        "fig11" => emit(&out_dir, "fig11", &experiments::fig11_report()),
-        "fig14" => emit(&out_dir, "fig14", &experiments::heatmap_report("mul", scale)),
-        "fig15" => emit(&out_dir, "fig15", &experiments::heatmap_report("conv", scale)),
-        "fig16" => emit(&out_dir, "fig16", &experiments::heatmap_report("dot", scale)),
-        "fig17" => emit(&out_dir, "fig17", &experiments::fig17_report(scale)),
-        "table3" => emit(&out_dir, "table3", &experiments::table3_report(scale)),
-        "sweep" => emit(&out_dir, "sweep", &experiments::sweep_report(scale)),
-        "lanesets" => emit(&out_dir, "lanesets", &experiments::lanesets_report()),
-        "energy" => emit(&out_dir, "energy", &experiments::energy_report(scale)),
-        "fig8" => emit(&out_dir, "fig8", &experiments::fig8_report()),
-        "degradation" => emit(&out_dir, "degradation", &experiments::degradation_report(scale)),
-        "variation" => emit(&out_dir, "variation", &experiments::variation_report(scale)),
-        "bnn" => emit(&out_dir, "bnn", &experiments::bnn_report(scale)),
-        "system" => emit(&out_dir, "system", &experiments::system_report(scale)),
+        "amplification" => emitter.emit("amplification", &experiments::amplification_report()),
+        "limits" => emitter.emit("limits", &experiments::limits_report()),
+        "fig5" => emitter.emit("fig5", &experiments::fig5_report()),
+        "table2" => emitter.emit("table2", &experiments::table2_report()),
+        "fig11" => emitter.emit("fig11", &experiments::fig11_report()),
+        "fig14" => emitter.emit("fig14", &experiments::heatmap_report("mul", scale)),
+        "fig15" => emitter.emit("fig15", &experiments::heatmap_report("conv", scale)),
+        "fig16" => emitter.emit("fig16", &experiments::heatmap_report("dot", scale)),
+        "fig17" => emitter.emit("fig17", &experiments::fig17_report(scale)),
+        "table3" => emitter.emit("table3", &experiments::table3_report(scale)),
+        "sweep" => emitter.emit("sweep", &experiments::sweep_report(scale)),
+        "lanesets" => emitter.emit("lanesets", &experiments::lanesets_report()),
+        "energy" => emitter.emit("energy", &experiments::energy_report(scale)),
+        "fig8" => emitter.emit("fig8", &experiments::fig8_report()),
+        "degradation" => emitter.emit("degradation", &experiments::degradation_report(scale)),
+        "variation" => emitter.emit("variation", &experiments::variation_report(scale)),
+        "bnn" => emitter.emit("bnn", &experiments::bnn_report(scale)),
+        "system" => emitter.emit("system", &experiments::system_report(scale)),
+        "serve-smoke" => match serve_smoke_report() {
+            Ok(report) => emitter.emit("serve-smoke", &report),
+            Err(e) => {
+                eprintln!("serve-smoke failed: {e}");
+                exit_code = 1;
+            }
+        },
         "check" => {
             let report = nvpim_check::run_all(&nvpim_check::CheckOptions::default());
-            emit(&out_dir, "check", &report.render_summary());
+            emitter.emit("check", &report.render_summary());
             if let Some(dir) = &out_dir {
                 let path = dir.join("check.json");
                 if let Err(e) = std::fs::write(&path, report.to_json().render_pretty()) {
@@ -137,39 +172,39 @@ fn main() {
             }
         }
         "all" => {
-            emit(&out_dir, "amplification", &experiments::amplification_report());
+            emitter.emit("amplification", &experiments::amplification_report());
             println!();
-            emit(&out_dir, "limits", &experiments::limits_report());
+            emitter.emit("limits", &experiments::limits_report());
             println!();
-            emit(&out_dir, "table2", &experiments::table2_report());
+            emitter.emit("table2", &experiments::table2_report());
             println!();
-            emit(&out_dir, "fig11", &experiments::fig11_report());
+            emitter.emit("fig11", &experiments::fig11_report());
             println!();
-            emit(&out_dir, "lanesets", &experiments::lanesets_report());
+            emitter.emit("lanesets", &experiments::lanesets_report());
             println!();
-            emit(&out_dir, "fig5", &experiments::fig5_report());
+            emitter.emit("fig5", &experiments::fig5_report());
             println!();
             for (name, which) in [("fig14", "mul"), ("fig15", "conv"), ("fig16", "dot")] {
-                emit(&out_dir, name, &experiments::heatmap_report(which, scale));
+                emitter.emit(name, &experiments::heatmap_report(which, scale));
                 println!();
             }
-            emit(&out_dir, "fig17", &experiments::fig17_report(scale));
+            emitter.emit("fig17", &experiments::fig17_report(scale));
             println!();
-            emit(&out_dir, "table3", &experiments::table3_report(scale));
+            emitter.emit("table3", &experiments::table3_report(scale));
             println!();
-            emit(&out_dir, "sweep", &experiments::sweep_report(scale));
+            emitter.emit("sweep", &experiments::sweep_report(scale));
             println!();
-            emit(&out_dir, "energy", &experiments::energy_report(scale));
+            emitter.emit("energy", &experiments::energy_report(scale));
             println!();
-            emit(&out_dir, "fig8", &experiments::fig8_report());
+            emitter.emit("fig8", &experiments::fig8_report());
             println!();
-            emit(&out_dir, "degradation", &experiments::degradation_report(scale));
+            emitter.emit("degradation", &experiments::degradation_report(scale));
             println!();
-            emit(&out_dir, "variation", &experiments::variation_report(scale));
+            emitter.emit("variation", &experiments::variation_report(scale));
             println!();
-            emit(&out_dir, "bnn", &experiments::bnn_report(scale));
+            emitter.emit("bnn", &experiments::bnn_report(scale));
             println!();
-            emit(&out_dir, "system", &experiments::system_report(scale));
+            emitter.emit("system", &experiments::system_report(scale));
         }
         "help" | "--help" | "-h" => println!("{USAGE}"),
         other => {
@@ -227,22 +262,11 @@ fn install_observer(progress: bool, metrics_out: Option<&std::path::Path>) -> Ar
 /// Assembles the run-manifest artifact: invocation, scale/config, aggregated
 /// metrics and per-phase timings, and the headline lifetime tallies.
 fn build_manifest(command: &str, args: &[String], scale: Scale, obs: &Observer) -> RunManifest {
-    let cfg = scale.sim_config();
     let snap = obs.snapshot();
     let count = |name: &str| snap.counter(name).unwrap_or(0);
     RunManifest::new(command)
         .with_command(args.iter().cloned())
-        .with_config(
-            Json::object()
-                .with("iterations", scale.iterations)
-                .with("rows", scale.dims.rows())
-                .with("lanes", scale.dims.lanes())
-                .with("elements", scale.elements)
-                .with("seed", cfg.seed)
-                .with("arch", cfg.arch.to_string())
-                .with("remap_period", cfg.schedule.period().unwrap_or(0))
-                .with("jobs", resolved_jobs(scale) as u64),
-        )
+        .with_config(scale_config_json(scale))
         .with_lifetime(
             Json::object()
                 .with("simulated_iterations", count("sim.iterations"))
@@ -259,6 +283,75 @@ fn resolved_jobs(scale: Scale) -> usize {
     nvpim_exec::JobPool::new(scale.jobs).threads()
 }
 
+/// The run configuration as JSON — shared by the `--manifest` artifact and
+/// the `--json` report envelope so both describe a run identically.
+fn scale_config_json(scale: Scale) -> Json {
+    let cfg = scale.sim_config();
+    Json::object()
+        .with("iterations", scale.iterations)
+        .with("rows", scale.dims.rows())
+        .with("lanes", scale.dims.lanes())
+        .with("elements", scale.elements)
+        .with("seed", cfg.seed)
+        .with("arch", cfg.arch.to_string())
+        .with("remap_period", cfg.schedule.period().unwrap_or(0))
+        .with("jobs", resolved_jobs(scale) as u64)
+}
+
+/// Boots an in-process nvpim-serve instance, round-trips a request twice
+/// (miss, then cache hit), checks byte-identity and the service metrics,
+/// and renders a short report. Exercises the full HTTP path end-to-end
+/// without any external tooling.
+fn serve_smoke_report() -> Result<String, String> {
+    use nvpim_serve::{Client, Server, ServerConfig};
+
+    let handle = Server::start(ServerConfig::default()).map_err(|e| e.to_string())?;
+    let client = Client::new(handle.addr());
+    let body = r#"{"workload": {"kind": "mul", "rows": 128, "lanes": 8}, "iterations": 50}"#;
+
+    let first = client.post_json("/simulate", body)?;
+    let second = client.post_json("/simulate", body)?;
+    let metrics = client.get("/metrics")?.json()?;
+    handle.request_shutdown();
+    handle.join();
+
+    if first.status != 200 || second.status != 200 {
+        return Err(format!("expected 200s, got {} and {}", first.status, second.status));
+    }
+    if first.text() != second.text() {
+        return Err("identical requests returned different bytes".into());
+    }
+    if second.header("x-cache") != Some("hit") {
+        return Err("second identical request did not hit the cache".into());
+    }
+    let hits = metrics
+        .get("serve")
+        .and_then(|s| s.get("cache"))
+        .and_then(|c| c.get("hits"))
+        .and_then(Json::as_u64)
+        .unwrap_or(0);
+    if hits == 0 {
+        return Err("cache-hit metric did not advance".into());
+    }
+    let key = first
+        .json()?
+        .get("key")
+        .and_then(Json::as_str)
+        .ok_or("result document carries no key")?
+        .to_owned();
+
+    let mut report = String::new();
+    report.push_str("serve smoke test (in-process nvpim-serve)\n");
+    report.push_str("=========================================\n");
+    report.push_str(&format!("request          {body}\n"));
+    report.push_str(&format!("cache key        {key}\n"));
+    report.push_str("first request    200 (x-cache: miss)\n");
+    report.push_str("second request   200 (x-cache: hit), byte-identical\n");
+    report.push_str(&format!("cache hits       {hits}\n"));
+    report.push_str("graceful drain   ok\n");
+    Ok(report)
+}
+
 fn die(msg: &str) -> ! {
     eprintln!("{msg}");
     std::process::exit(2);
@@ -270,7 +363,7 @@ Usage: repro <command> [--full] [--iters N] [--jobs N]
 Commands:
   amplification  limits  fig5  table2  fig11  fig14  fig15  fig16
   fig17  table3  sweep  lanesets  energy  fig8  degradation  variation
-  bnn  system  check  all
+  bnn  system  serve-smoke  check  all
 
 Options:
   --full            paper scale (100 000 iterations)
@@ -279,7 +372,9 @@ Options:
   --iters N         override iteration count (default 2 000)
   --jobs N          worker threads for independent simulations
                     (default 0 = auto: NVPIM_THREADS, else all cores)
-  --out DIR         also write each report to DIR/<command>.txt
+  --json            wrap each report in the nvpim.report/v1 JSON envelope
+  --out DIR         also write each report to DIR/<command>.txt (.json
+                    under --json)
   --progress        live iteration/ETA progress lines on stderr
   --metrics-out F   stream simulator events to F as JSONL
   --manifest F      write a run-manifest JSON artifact to F";

@@ -11,7 +11,10 @@
 //!   environment override;
 //! - [`ParallelRunner`]: fans a job list out across the pool and merges the
 //!   results back **in submission order**, so a parallel run is bit-identical
-//!   to the serial loop it replaces regardless of worker scheduling.
+//!   to the serial loop it replaces regardless of worker scheduling;
+//! - [`TaskQueue`]: the service-shaped complement — persistent workers over
+//!   a *bounded* submission queue with fail-fast overflow (backpressure)
+//!   and a graceful drain, used by the `nvpim-serve` HTTP front end.
 //!
 //! Determinism is the design constraint: every job owns its inputs, no job
 //! observes another's timing, and results land in pre-assigned slots. A
@@ -32,7 +35,9 @@
 #![warn(missing_docs)]
 
 pub mod pool;
+pub mod queue;
 pub mod runner;
 
-pub use pool::{available_threads, JobPool};
+pub use pool::{available_threads, invalid_env_rejections, validate_threads, JobPool};
+pub use queue::{SubmitError, TaskQueue};
 pub use runner::ParallelRunner;

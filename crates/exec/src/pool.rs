@@ -6,7 +6,8 @@
 //! result is written into the slot of its index, making the output order
 //! independent of worker scheduling.
 
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, Once};
 
 /// Environment variable overriding the pool's default width.
 pub const THREADS_ENV: &str = "NVPIM_THREADS";
@@ -22,11 +23,65 @@ pub fn available_threads() -> usize {
     }
 }
 
-/// Parses an `NVPIM_THREADS`-style override. `None`, empty, zero, or
-/// unparsable values mean "no override".
+/// Validates an `NVPIM_THREADS`-style override without side effects.
+///
+/// `Ok(None)` means "no override" (unset, empty, or an explicit `0` — the
+/// documented spelling of "auto"); `Ok(Some(n))` is an accepted width;
+/// `Err(rejected)` carries a value that is present but not a non-negative
+/// integer (`abc`, `-3`, `1.5`, …) and must not be silently ignored.
+pub fn validate_threads(value: Option<&str>) -> Result<Option<usize>, String> {
+    let Some(raw) = value else { return Ok(None) };
+    let trimmed = raw.trim();
+    if trimmed.is_empty() {
+        return Ok(None);
+    }
+    match trimmed.parse::<usize>() {
+        Ok(0) => Ok(None),
+        Ok(n) => Ok(Some(n)),
+        Err(_) => Err(raw.to_owned()),
+    }
+}
+
+/// Parses an `NVPIM_THREADS`-style override. `None`, empty, or zero mean
+/// "no override"; an *invalid* value (unparsable or negative) also resolves
+/// to "no override" but emits a one-time stderr warning naming the rejected
+/// value, bumps [`invalid_env_rejections`], and — when a process-wide
+/// [`nvpim_obs::Observer`] is installed — records an
+/// `exec.invalid_threads_env` counter and message event.
 #[must_use]
 pub fn parse_threads(value: Option<&str>) -> Option<usize> {
-    value.and_then(|s| s.trim().parse::<usize>().ok()).filter(|&n| n > 0)
+    match validate_threads(value) {
+        Ok(width) => width,
+        Err(rejected) => {
+            note_invalid_override(&rejected);
+            None
+        }
+    }
+}
+
+static INVALID_ENV_REJECTIONS: AtomicU64 = AtomicU64::new(0);
+static WARN_ONCE: Once = Once::new();
+
+/// How many invalid `NVPIM_THREADS` values have been rejected so far in
+/// this process (the stderr warning is printed only for the first).
+#[must_use]
+pub fn invalid_env_rejections() -> u64 {
+    INVALID_ENV_REJECTIONS.load(Ordering::Relaxed)
+}
+
+fn note_invalid_override(rejected: &str) {
+    INVALID_ENV_REJECTIONS.fetch_add(1, Ordering::Relaxed);
+    let message = format!(
+        "ignoring invalid {THREADS_ENV}={rejected:?} (expected a non-negative \
+         integer; 0 = auto); falling back to auto-detected parallelism"
+    );
+    if let Some(observer) = nvpim_obs::observer::current() {
+        use nvpim_obs::EventSink as _;
+        observer
+            .record(&nvpim_obs::Event::CounterAdd { name: "exec.invalid_threads_env", delta: 1 });
+        observer.record(&nvpim_obs::Event::Message { text: &message });
+    }
+    WARN_ONCE.call_once(|| eprintln!("nvpim-exec: {message}"));
 }
 
 /// A fixed-width pool of scoped worker threads draining a shared job queue.
@@ -215,5 +270,35 @@ mod tests {
         assert_eq!(parse_threads(Some("banana")), None);
         assert_eq!(parse_threads(Some("3")), Some(3));
         assert_eq!(parse_threads(Some(" 12 ")), Some(12));
+    }
+
+    #[test]
+    fn accepted_values_do_not_count_as_rejections() {
+        let before = invalid_env_rejections();
+        assert_eq!(validate_threads(Some("4")), Ok(Some(4)));
+        assert_eq!(validate_threads(Some(" 0 ")), Ok(None));
+        assert_eq!(validate_threads(Some("")), Ok(None));
+        assert_eq!(validate_threads(None), Ok(None));
+        assert_eq!(parse_threads(Some("4")), Some(4));
+        assert_eq!(parse_threads(Some("0")), None);
+        assert_eq!(invalid_env_rejections(), before, "accepted values must not warn");
+    }
+
+    #[test]
+    fn invalid_values_warn_and_fall_back() {
+        assert_eq!(validate_threads(Some("abc")), Err("abc".to_owned()));
+        assert_eq!(validate_threads(Some("-3")), Err("-3".to_owned()));
+        assert_eq!(validate_threads(Some("1.5")), Err("1.5".to_owned()));
+
+        let before = invalid_env_rejections();
+        assert_eq!(parse_threads(Some("abc")), None);
+        assert_eq!(parse_threads(Some("-3")), None);
+        assert_eq!(
+            invalid_env_rejections(),
+            before + 2,
+            "each invalid override must be counted, not silently dropped"
+        );
+        // The fallback still resolves to a usable width.
+        assert!(JobPool::new(0).threads() >= 1);
     }
 }

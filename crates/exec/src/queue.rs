@@ -1,0 +1,356 @@
+//! A persistent, bounded task queue over long-lived worker threads.
+//!
+//! [`JobPool`](crate::JobPool) is batch-shaped: it spawns scoped workers for
+//! one `map` call and joins them before returning. Long-running services
+//! (the `nvpim-serve` HTTP front end) need the complementary shape — workers
+//! that outlive any single submission, a *bounded* submission queue whose
+//! overflow is reported to the caller instead of buffered without limit
+//! (backpressure), and a graceful drain that finishes accepted work while
+//! rejecting new work.
+//!
+//! Determinism note: unlike `JobPool::map`, a `TaskQueue` imposes no result
+//! ordering — tasks are fire-and-forget closures. Callers that need ordered
+//! results keep using `JobPool`; the queue exists for connection/request
+//! dispatch where each task owns its own reply channel.
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+use crate::pool::available_threads;
+
+/// A task: an owned closure executed once on a worker thread.
+pub type Task = Box<dyn FnOnce() + Send + 'static>;
+
+/// Error returned by [`TaskQueue::try_submit`] when the pending queue is at
+/// capacity (backpressure) or the queue is draining (shutdown).
+#[derive(Debug, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The pending queue is full; retry later.
+    Full {
+        /// The configured queue capacity that was exceeded.
+        capacity: usize,
+    },
+    /// The queue no longer accepts work (draining or dropped).
+    Draining,
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::Full { capacity } => {
+                write!(f, "task queue full ({capacity} pending tasks)")
+            }
+            SubmitError::Draining => f.write_str("task queue is draining"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+#[derive(Default)]
+struct QueueState {
+    pending: VecDeque<Task>,
+    in_flight: usize,
+    accepting: bool,
+}
+
+struct Shared {
+    state: Mutex<QueueState>,
+    /// Signals workers that a task (or shutdown) is available.
+    available: Condvar,
+    /// Signals waiters that pending + in_flight may have reached zero.
+    idle: Condvar,
+    capacity: usize,
+    panics: AtomicU64,
+}
+
+/// A fixed set of persistent worker threads draining a bounded task queue.
+///
+/// # Examples
+///
+/// ```
+/// use std::sync::atomic::{AtomicUsize, Ordering};
+/// use std::sync::Arc;
+/// use nvpim_exec::TaskQueue;
+///
+/// let queue = TaskQueue::new(2, 16);
+/// let done = Arc::new(AtomicUsize::new(0));
+/// for _ in 0..8 {
+///     let done = Arc::clone(&done);
+///     queue.try_submit(Box::new(move || {
+///         done.fetch_add(1, Ordering::SeqCst);
+///     })).unwrap();
+/// }
+/// queue.drain();
+/// assert_eq!(done.load(Ordering::SeqCst), 8);
+/// ```
+pub struct TaskQueue {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for TaskQueue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TaskQueue")
+            .field("workers", &self.workers.len())
+            .field("capacity", &self.shared.capacity)
+            .field("pending", &self.pending())
+            .field("in_flight", &self.in_flight())
+            .finish()
+    }
+}
+
+impl TaskQueue {
+    /// A queue drained by `workers` threads (`0` = auto: `NVPIM_THREADS`,
+    /// else the machine's parallelism) holding at most `capacity` pending
+    /// tasks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero (a queue that can never accept work).
+    #[must_use]
+    pub fn new(workers: usize, capacity: usize) -> Self {
+        assert!(capacity > 0, "task queue capacity must be positive");
+        let workers = if workers == 0 { available_threads() } else { workers };
+        let shared = Arc::new(Shared {
+            state: Mutex::new(QueueState {
+                pending: VecDeque::new(),
+                in_flight: 0,
+                accepting: true,
+            }),
+            available: Condvar::new(),
+            idle: Condvar::new(),
+            capacity,
+            panics: AtomicU64::new(0),
+        });
+        let handles = (0..workers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("nvpim-task-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn task-queue worker")
+            })
+            .collect();
+        TaskQueue { shared, workers: handles }
+    }
+
+    /// Submits a task, failing fast when the pending queue is at capacity
+    /// or the queue is draining. Never blocks.
+    pub fn try_submit(&self, task: Task) -> Result<(), SubmitError> {
+        let mut state = self.shared.state.lock().expect("task queue poisoned");
+        if !state.accepting {
+            return Err(SubmitError::Draining);
+        }
+        if state.pending.len() >= self.shared.capacity {
+            return Err(SubmitError::Full { capacity: self.shared.capacity });
+        }
+        state.pending.push_back(task);
+        drop(state);
+        self.shared.available.notify_one();
+        Ok(())
+    }
+
+    /// Tasks accepted but not yet started.
+    #[must_use]
+    pub fn pending(&self) -> usize {
+        self.shared.state.lock().expect("task queue poisoned").pending.len()
+    }
+
+    /// Tasks currently executing on a worker.
+    #[must_use]
+    pub fn in_flight(&self) -> usize {
+        self.shared.state.lock().expect("task queue poisoned").in_flight
+    }
+
+    /// Maximum number of pending tasks.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.shared.capacity
+    }
+
+    /// Worker thread count.
+    #[must_use]
+    pub fn workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Tasks that panicked (workers survive a panicking task; the panic is
+    /// counted here instead of propagated, because there is no caller left
+    /// on the submission side to receive it).
+    #[must_use]
+    pub fn panics(&self) -> u64 {
+        self.shared.panics.load(Ordering::Relaxed)
+    }
+
+    /// Stops accepting new tasks and blocks until every accepted task has
+    /// finished, then joins the workers. Already-pending tasks run to
+    /// completion; [`TaskQueue::try_submit`] fails with
+    /// [`SubmitError::Draining`] from the moment drain begins.
+    pub fn drain(mut self) {
+        self.begin_drain();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+
+    /// Marks the queue as draining without consuming it (used by `Drop` and
+    /// by callers that want to reject new work before blocking on `drain`).
+    pub fn begin_drain(&self) {
+        let mut state = self.shared.state.lock().expect("task queue poisoned");
+        state.accepting = false;
+        drop(state);
+        self.shared.available.notify_all();
+    }
+
+    /// Blocks until no task is pending or in flight (without draining).
+    pub fn wait_idle(&self) {
+        let mut state = self.shared.state.lock().expect("task queue poisoned");
+        while !state.pending.is_empty() || state.in_flight > 0 {
+            state = self.shared.idle.wait(state).expect("task queue poisoned");
+        }
+    }
+}
+
+impl Drop for TaskQueue {
+    fn drop(&mut self) {
+        self.begin_drain();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let task = {
+            let mut state = shared.state.lock().expect("task queue poisoned");
+            loop {
+                if let Some(task) = state.pending.pop_front() {
+                    state.in_flight += 1;
+                    break task;
+                }
+                if !state.accepting {
+                    return;
+                }
+                state = shared.available.wait(state).expect("task queue poisoned");
+            }
+        };
+        if catch_unwind(AssertUnwindSafe(task)).is_err() {
+            shared.panics.fetch_add(1, Ordering::Relaxed);
+        }
+        let mut state = shared.state.lock().expect("task queue poisoned");
+        state.in_flight -= 1;
+        let now_idle = state.pending.is_empty() && state.in_flight == 0;
+        drop(state);
+        if now_idle {
+            shared.idle.notify_all();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+    use std::time::Duration;
+
+    #[test]
+    fn executes_every_submitted_task() {
+        let queue = TaskQueue::new(4, 64);
+        let done = Arc::new(AtomicUsize::new(0));
+        for _ in 0..50 {
+            let done = Arc::clone(&done);
+            queue
+                .try_submit(Box::new(move || {
+                    done.fetch_add(1, Ordering::SeqCst);
+                }))
+                .unwrap();
+        }
+        queue.drain();
+        assert_eq!(done.load(Ordering::SeqCst), 50);
+    }
+
+    #[test]
+    fn overflow_is_reported_not_buffered() {
+        // One worker stuck on a slow task, capacity 2: the third pending
+        // submission must fail fast with `Full`.
+        let queue = TaskQueue::new(1, 2);
+        let release = Arc::new(AtomicUsize::new(0));
+        let gate = Arc::clone(&release);
+        queue
+            .try_submit(Box::new(move || {
+                while gate.load(Ordering::SeqCst) == 0 {
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+            }))
+            .unwrap();
+        // Wait until the slow task is in flight so capacity counts only
+        // truly pending tasks.
+        while queue.in_flight() == 0 {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        queue.try_submit(Box::new(|| {})).unwrap();
+        queue.try_submit(Box::new(|| {})).unwrap();
+        assert_eq!(queue.try_submit(Box::new(|| {})), Err(SubmitError::Full { capacity: 2 }));
+        release.store(1, Ordering::SeqCst);
+        queue.drain();
+    }
+
+    #[test]
+    fn drain_finishes_accepted_work_and_rejects_new() {
+        let queue = TaskQueue::new(2, 16);
+        let done = Arc::new(AtomicUsize::new(0));
+        for _ in 0..8 {
+            let done = Arc::clone(&done);
+            queue
+                .try_submit(Box::new(move || {
+                    std::thread::sleep(Duration::from_millis(2));
+                    done.fetch_add(1, Ordering::SeqCst);
+                }))
+                .unwrap();
+        }
+        queue.begin_drain();
+        assert_eq!(queue.try_submit(Box::new(|| {})), Err(SubmitError::Draining));
+        queue.drain();
+        assert_eq!(done.load(Ordering::SeqCst), 8, "drain must finish accepted tasks");
+    }
+
+    #[test]
+    fn panicking_task_does_not_kill_the_worker() {
+        let queue = TaskQueue::new(1, 16);
+        queue.try_submit(Box::new(|| panic!("task exploded"))).unwrap();
+        let done = Arc::new(AtomicUsize::new(0));
+        let d = Arc::clone(&done);
+        queue
+            .try_submit(Box::new(move || {
+                d.fetch_add(1, Ordering::SeqCst);
+            }))
+            .unwrap();
+        queue.wait_idle();
+        assert_eq!(done.load(Ordering::SeqCst), 1, "worker must survive the panic");
+        assert_eq!(queue.panics(), 1);
+        queue.drain();
+    }
+
+    #[test]
+    fn wait_idle_returns_once_queue_is_empty() {
+        let queue = TaskQueue::new(2, 8);
+        for _ in 0..4 {
+            queue.try_submit(Box::new(|| std::thread::sleep(Duration::from_millis(1)))).unwrap();
+        }
+        queue.wait_idle();
+        assert_eq!(queue.pending(), 0);
+        assert_eq!(queue.in_flight(), 0);
+    }
+
+    #[test]
+    fn zero_workers_resolves_to_environment() {
+        let queue = TaskQueue::new(0, 4);
+        assert!(queue.workers() >= 1);
+        queue.drain();
+    }
+}

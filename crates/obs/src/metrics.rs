@@ -235,6 +235,15 @@ impl MetricsSnapshot {
         }
     }
 
+    /// A histogram's frozen distribution, if present.
+    #[must_use]
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        match self.metrics.get(name) {
+            Some(MetricValue::Histogram(h)) => Some(h),
+            _ => None,
+        }
+    }
+
     /// Serializes the snapshot as a JSON object.
     #[must_use]
     pub fn to_json(&self) -> Json {

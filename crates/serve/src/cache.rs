@@ -1,0 +1,256 @@
+//! The content-addressed result cache.
+//!
+//! Soundness rests on the determinism contract from the parallel-engine
+//! work: a canonical request fully determines its result bytes, so a cache
+//! entry can be served forever without revalidation. Keys are FNV-1a over
+//! the canonical request ([`SimRequest::cache_key`]); each entry stores the
+//! canonical request text alongside the body and lookups compare it, so a
+//! 64-bit collision degrades to a miss, never a wrong answer.
+//!
+//! Two tiers:
+//!
+//! * an in-memory LRU bounded by entry count (eviction order is tracked in
+//!   a `VecDeque`; a hit moves its key to the back);
+//! * an optional on-disk JSON spill directory. Inserts write through
+//!   (best-effort), misses fall back to disk before recomputing, and
+//!   evicted entries stay on disk — so a warm cache survives restarts and
+//!   overflow degrades to a file read, not a re-simulation.
+//!
+//! [`SimRequest::cache_key`]: crate::request::SimRequest::cache_key
+
+use std::collections::{HashMap, VecDeque};
+use std::path::PathBuf;
+
+use nvpim_obs::Json;
+
+use crate::hash::key_hex;
+
+struct Entry {
+    request: String,
+    body: String,
+}
+
+/// Point-in-time cache statistics (served by `/metrics`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Lookups answered from memory or disk.
+    pub hits: u64,
+    /// Lookups that found nothing.
+    pub misses: u64,
+    /// Entries evicted from memory (still on disk when spill is enabled).
+    pub evictions: u64,
+    /// Hits satisfied by reading a spilled entry back from disk.
+    pub disk_loads: u64,
+    /// Entries currently resident in memory.
+    pub resident: usize,
+}
+
+impl CacheStats {
+    /// Serializes the statistics for the `/metrics` document.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        Json::object()
+            .with("hits", self.hits)
+            .with("misses", self.misses)
+            .with("evictions", self.evictions)
+            .with("disk_loads", self.disk_loads)
+            .with("resident", self.resident)
+    }
+}
+
+/// A bounded LRU of rendered result bodies keyed by request content hash,
+/// with optional on-disk spill.
+pub struct ResultCache {
+    entries: HashMap<u64, Entry>,
+    /// LRU order; front = least recently used.
+    order: VecDeque<u64>,
+    capacity: usize,
+    dir: Option<PathBuf>,
+    stats: CacheStats,
+}
+
+impl std::fmt::Debug for ResultCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ResultCache")
+            .field("resident", &self.entries.len())
+            .field("capacity", &self.capacity)
+            .field("dir", &self.dir)
+            .finish()
+    }
+}
+
+impl ResultCache {
+    /// A cache holding at most `capacity` bodies in memory, spilling to
+    /// `dir` when given (the directory is created eagerly so a bad path
+    /// fails at startup, not mid-request).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero or the spill directory cannot be
+    /// created.
+    #[must_use]
+    pub fn new(capacity: usize, dir: Option<PathBuf>) -> Self {
+        assert!(capacity > 0, "cache capacity must be positive");
+        if let Some(dir) = &dir {
+            std::fs::create_dir_all(dir)
+                .unwrap_or_else(|e| panic!("cannot create cache dir {}: {e}", dir.display()));
+        }
+        ResultCache {
+            entries: HashMap::new(),
+            order: VecDeque::new(),
+            capacity,
+            dir,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Looks up the body cached for `(key, canonical_request)`, consulting
+    /// memory first and then the spill directory. A hit refreshes the
+    /// entry's LRU position (and re-admits a disk entry to memory).
+    pub fn get(&mut self, key: u64, canonical_request: &str) -> Option<String> {
+        if let Some(entry) = self.entries.get(&key) {
+            if entry.request == canonical_request {
+                let body = entry.body.clone();
+                self.touch(key);
+                self.stats.hits += 1;
+                return Some(body);
+            }
+            // Hash collision: different request under this key. Treat as a
+            // miss; the colliding insert will overwrite and that is fine —
+            // correctness only requires never serving the wrong body.
+            self.stats.misses += 1;
+            return None;
+        }
+        if let Some(body) = self.load_from_disk(key, canonical_request) {
+            self.admit(key, canonical_request.to_owned(), body.clone());
+            self.stats.disk_loads += 1;
+            self.stats.hits += 1;
+            return Some(body);
+        }
+        self.stats.misses += 1;
+        None
+    }
+
+    /// Inserts a freshly computed body, writing through to the spill
+    /// directory (best-effort) and evicting the least-recently-used
+    /// resident entry on overflow.
+    pub fn insert(&mut self, key: u64, canonical_request: String, body: String) {
+        self.spill_to_disk(key, &canonical_request, &body);
+        self.admit(key, canonical_request, body);
+    }
+
+    /// Current statistics.
+    #[must_use]
+    pub fn stats(&self) -> CacheStats {
+        CacheStats { resident: self.entries.len(), ..self.stats }
+    }
+
+    fn admit(&mut self, key: u64, request: String, body: String) {
+        if self.entries.insert(key, Entry { request, body }).is_some() {
+            self.touch(key);
+        } else {
+            self.order.push_back(key);
+        }
+        while self.entries.len() > self.capacity {
+            let Some(oldest) = self.order.pop_front() else { break };
+            self.entries.remove(&oldest);
+            self.stats.evictions += 1;
+        }
+    }
+
+    fn touch(&mut self, key: u64) {
+        if let Some(pos) = self.order.iter().position(|&k| k == key) {
+            self.order.remove(pos);
+            self.order.push_back(key);
+        }
+    }
+
+    fn spill_path(&self, key: u64) -> Option<PathBuf> {
+        self.dir.as_ref().map(|d| d.join(format!("{}.json", key_hex(key))))
+    }
+
+    fn spill_to_disk(&self, key: u64, request: &str, body: &str) {
+        let Some(path) = self.spill_path(key) else { return };
+        let doc = Json::object().with("request", request).with("response", body).render();
+        if let Err(e) = std::fs::write(&path, doc) {
+            eprintln!("nvpim-serve: cache spill to {} failed: {e}", path.display());
+        }
+    }
+
+    fn load_from_disk(&self, key: u64, canonical_request: &str) -> Option<String> {
+        let path = self.spill_path(key)?;
+        let text = std::fs::read_to_string(path).ok()?;
+        let doc = nvpim_obs::json::parse(&text).ok()?;
+        if doc.get("request").and_then(Json::as_str) != Some(canonical_request) {
+            return None;
+        }
+        doc.get("response").and_then(Json::as_str).map(str::to_owned)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_after_insert_and_miss_before() {
+        let mut cache = ResultCache::new(4, None);
+        assert_eq!(cache.get(1, "req-1"), None);
+        cache.insert(1, "req-1".into(), "body-1".into());
+        assert_eq!(cache.get(1, "req-1"), Some("body-1".into()));
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.resident), (1, 1, 1));
+    }
+
+    #[test]
+    fn colliding_key_with_different_request_never_serves_wrong_body() {
+        let mut cache = ResultCache::new(4, None);
+        cache.insert(7, "req-a".into(), "body-a".into());
+        assert_eq!(cache.get(7, "req-b"), None, "collision must miss, not serve body-a");
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let mut cache = ResultCache::new(2, None);
+        cache.insert(1, "r1".into(), "b1".into());
+        cache.insert(2, "r2".into(), "b2".into());
+        assert!(cache.get(1, "r1").is_some()); // refresh 1; 2 is now oldest
+        cache.insert(3, "r3".into(), "b3".into());
+        assert_eq!(cache.stats().evictions, 1);
+        assert_eq!(cache.get(2, "r2"), None, "2 was LRU and must be evicted");
+        assert!(cache.get(1, "r1").is_some());
+        assert!(cache.get(3, "r3").is_some());
+    }
+
+    #[test]
+    fn reinserting_same_key_does_not_grow_the_cache() {
+        let mut cache = ResultCache::new(2, None);
+        cache.insert(1, "r1".into(), "b1".into());
+        cache.insert(1, "r1".into(), "b1-v2".into());
+        cache.insert(2, "r2".into(), "b2".into());
+        assert_eq!(cache.stats().evictions, 0);
+        assert_eq!(cache.get(1, "r1"), Some("b1-v2".into()));
+    }
+
+    #[test]
+    fn disk_spill_survives_eviction_and_restart() {
+        let dir = std::env::temp_dir().join(format!("nvpim-cache-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        {
+            let mut cache = ResultCache::new(1, Some(dir.clone()));
+            cache.insert(1, "r1".into(), "b1".into());
+            cache.insert(2, "r2".into(), "b2".into()); // evicts 1 from memory
+            assert_eq!(cache.stats().evictions, 1);
+            assert_eq!(cache.get(1, "r1"), Some("b1".into()), "evicted entry reloads from disk");
+            assert_eq!(cache.stats().disk_loads, 1);
+        }
+        // A fresh cache over the same directory (a restarted server) is
+        // warm immediately.
+        let mut fresh = ResultCache::new(4, Some(dir.clone()));
+        assert_eq!(fresh.get(2, "r2"), Some("b2".into()));
+        assert_eq!(fresh.stats().disk_loads, 1);
+        // ...but only for matching canonical requests.
+        assert_eq!(fresh.get(2, "other-request"), None);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

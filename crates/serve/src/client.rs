@@ -1,0 +1,160 @@
+//! A tiny std-only HTTP client for nvpim-serve.
+//!
+//! Used by the integration suite and the `repro serve-smoke` path, so
+//! exercising the service never requires external tooling. It speaks the
+//! same one-request-per-connection subset the server does and understands
+//! both `Content-Length` bodies and close-delimited streams (`/batch`).
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+use nvpim_obs::Json;
+
+/// A parsed HTTP response.
+#[derive(Debug, Clone)]
+pub struct HttpReply {
+    /// Status code.
+    pub status: u16,
+    /// Header name/value pairs, names lower-cased.
+    pub headers: Vec<(String, String)>,
+    /// Response body bytes.
+    pub body: Vec<u8>,
+}
+
+impl HttpReply {
+    /// The first header with the given (lower-case) name.
+    #[must_use]
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers.iter().find(|(n, _)| n == name).map(|(_, v)| v.as_str())
+    }
+
+    /// The body as UTF-8 text.
+    #[must_use]
+    pub fn text(&self) -> String {
+        String::from_utf8_lossy(&self.body).into_owned()
+    }
+
+    /// The body parsed as JSON.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the body is not valid JSON.
+    pub fn json(&self) -> Result<Json, String> {
+        nvpim_obs::json::parse(&self.text()).map_err(|e| e.to_string())
+    }
+
+    /// The body split into parsed NDJSON lines (for `/batch` streams).
+    ///
+    /// # Errors
+    ///
+    /// Fails when any non-empty line is not valid JSON.
+    pub fn json_lines(&self) -> Result<Vec<Json>, String> {
+        self.text()
+            .lines()
+            .filter(|line| !line.trim().is_empty())
+            .map(|line| nvpim_obs::json::parse(line).map_err(|e| e.to_string()))
+            .collect()
+    }
+}
+
+/// A client bound to one server address.
+#[derive(Debug, Clone)]
+pub struct Client {
+    addr: SocketAddr,
+    timeout: Duration,
+}
+
+impl Client {
+    /// A client for the server at `addr` with a 60 s I/O timeout.
+    #[must_use]
+    pub fn new(addr: SocketAddr) -> Self {
+        Client { addr, timeout: Duration::from_secs(60) }
+    }
+
+    /// Overrides the per-connection read/write timeout.
+    #[must_use]
+    pub fn with_timeout(mut self, timeout: Duration) -> Self {
+        self.timeout = timeout;
+        self
+    }
+
+    /// Issues `GET path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection and protocol failures as strings.
+    pub fn get(&self, path: &str) -> Result<HttpReply, String> {
+        self.send("GET", path, None)
+    }
+
+    /// Issues `POST path` with a JSON body.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection and protocol failures as strings.
+    pub fn post_json(&self, path: &str, body: &str) -> Result<HttpReply, String> {
+        self.send("POST", path, Some(body))
+    }
+
+    fn send(&self, method: &str, path: &str, body: Option<&str>) -> Result<HttpReply, String> {
+        let mut stream =
+            TcpStream::connect_timeout(&self.addr, Duration::from_secs(5)).map_err(err)?;
+        stream.set_read_timeout(Some(self.timeout)).map_err(err)?;
+        stream.set_write_timeout(Some(self.timeout)).map_err(err)?;
+        let body = body.unwrap_or("");
+        let request = format!(
+            "{method} {path} HTTP/1.1\r\nHost: {}\r\nContent-Type: application/json\r\n\
+             Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
+            self.addr,
+            body.len(),
+        );
+        stream.write_all(request.as_bytes()).map_err(err)?;
+        stream.flush().map_err(err)?;
+        read_reply(&mut stream)
+    }
+}
+
+fn err(e: std::io::Error) -> String {
+    e.to_string()
+}
+
+fn read_reply(stream: &mut TcpStream) -> Result<HttpReply, String> {
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw).map_err(err)?;
+    let head_end = find_head_end(&raw).ok_or("response head never terminated")?;
+    let head =
+        std::str::from_utf8(&raw[..head_end]).map_err(|_| "non-UTF-8 response head".to_owned())?;
+    let mut lines = head.split("\r\n");
+    let status_line = lines.next().unwrap_or_default();
+    let status = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse::<u16>().ok())
+        .ok_or_else(|| format!("malformed status line: {status_line}"))?;
+    let mut headers = Vec::new();
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        if let Some((name, value)) = line.split_once(':') {
+            headers.push((name.trim().to_ascii_lowercase(), value.trim().to_owned()));
+        }
+    }
+    let mut body = raw[head_end + 4..].to_vec();
+    // Trust Content-Length when present (the server always sends it for
+    // non-streaming responses); close-delimited bodies arrive whole via
+    // read_to_end.
+    if let Some(len) = headers
+        .iter()
+        .find(|(n, _)| n == "content-length")
+        .and_then(|(_, v)| v.parse::<usize>().ok())
+    {
+        body.truncate(len);
+    }
+    Ok(HttpReply { status, headers, body })
+}
+
+fn find_head_end(raw: &[u8]) -> Option<usize> {
+    raw.windows(4).position(|w| w == b"\r\n\r\n")
+}

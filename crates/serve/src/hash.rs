@@ -1,0 +1,49 @@
+//! FNV-1a content hashing for the result cache.
+//!
+//! The cache key must be (a) stable across processes and platforms — a
+//! spilled on-disk entry written by one server run is looked up by the next
+//! — and (b) cheap over short canonical-JSON strings. FNV-1a over the
+//! canonical request bytes satisfies both with ten lines of code; the cache
+//! additionally stores the canonical request next to each entry and compares
+//! it on lookup, so a (vanishingly unlikely) 64-bit collision degrades to a
+//! cache miss, never to a wrong answer.
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// The 64-bit FNV-1a digest of `bytes`.
+#[must_use]
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = FNV_OFFSET;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(FNV_PRIME);
+    }
+    hash
+}
+
+/// The digest rendered as the fixed-width hex token used in cache file
+/// names and response `key` fields.
+#[must_use]
+pub fn key_hex(key: u64) -> String {
+    format!("{key:016x}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn published_fnv1a_vectors() {
+        // Reference vectors from the FNV specification.
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn hex_key_is_fixed_width() {
+        assert_eq!(key_hex(0x1), "0000000000000001");
+        assert_eq!(key_hex(u64::MAX), "ffffffffffffffff");
+    }
+}

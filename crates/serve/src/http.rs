@@ -1,0 +1,181 @@
+//! A deliberately minimal HTTP/1.1 reader/writer over `std::net`.
+//!
+//! The service speaks exactly the subset its clients need: one request per
+//! connection (`Connection: close` on every response), `Content-Length`
+//! bodies, and a close-delimited streaming mode for `/batch`. Limits are
+//! enforced while reading (header block ≤ 16 KiB, body ≤ 4 MiB) so a
+//! misbehaving peer costs a bounded amount of memory.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+
+/// Maximum accepted header block, in bytes.
+pub const MAX_HEAD: usize = 16 * 1024;
+
+/// Maximum accepted request body, in bytes.
+pub const MAX_BODY: usize = 4 * 1024 * 1024;
+
+/// A parsed request head plus its body.
+#[derive(Debug, Clone)]
+pub struct HttpRequest {
+    /// Request method (`GET`, `POST`, …), upper-cased by the client.
+    pub method: String,
+    /// Request target path (query strings are not used by this service).
+    pub path: String,
+    /// Header name/value pairs; names lower-cased during parsing.
+    pub headers: Vec<(String, String)>,
+    /// Raw request body.
+    pub body: Vec<u8>,
+}
+
+impl HttpRequest {
+    /// The first header with the given (lower-case) name.
+    #[must_use]
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers.iter().find(|(n, _)| n == name).map(|(_, v)| v.as_str())
+    }
+
+    /// The body decoded as UTF-8.
+    pub fn body_text(&self) -> Result<&str, HttpError> {
+        std::str::from_utf8(&self.body).map_err(|_| HttpError::bad("body is not valid UTF-8"))
+    }
+}
+
+/// A malformed or over-limit request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HttpError {
+    /// Suggested response status (400 or 413).
+    pub status: u16,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl HttpError {
+    fn bad(message: impl Into<String>) -> Self {
+        HttpError { status: 400, message: message.into() }
+    }
+}
+
+impl std::fmt::Display for HttpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} {}", self.status, self.message)
+    }
+}
+
+impl std::error::Error for HttpError {}
+
+/// Reads one request from the stream.
+///
+/// I/O failures surface as `Err(Err(io))`; protocol violations as
+/// `Err(Ok(HttpError))` so the caller can still answer with a status code.
+pub fn read_request(
+    stream: &mut TcpStream,
+) -> Result<HttpRequest, Result<HttpError, std::io::Error>> {
+    let mut head = Vec::with_capacity(512);
+    let mut byte = [0u8; 1];
+    // Single-byte reads keep this simple and cannot over-read into the
+    // body; the stream is buffered by the kernel and requests are tiny.
+    while !head.ends_with(b"\r\n\r\n") {
+        match stream.read(&mut byte) {
+            Ok(0) => return Err(Ok(HttpError::bad("connection closed mid-request"))),
+            Ok(_) => head.push(byte[0]),
+            Err(e) => return Err(Err(e)),
+        }
+        if head.len() > MAX_HEAD {
+            return Err(Ok(HttpError { status: 431, message: "header block too large".into() }));
+        }
+    }
+    let head_text = std::str::from_utf8(&head).map_err(|_| Ok(HttpError::bad("non-UTF-8 head")))?;
+    let mut lines = head_text.split("\r\n");
+    let request_line = lines.next().unwrap_or_default();
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next().unwrap_or_default().to_ascii_uppercase();
+    let path = parts.next().unwrap_or_default().to_owned();
+    let version = parts.next().unwrap_or_default();
+    if method.is_empty() || path.is_empty() || !version.starts_with("HTTP/1.") {
+        return Err(Ok(HttpError::bad("malformed request line")));
+    }
+
+    let mut headers = Vec::new();
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(Ok(HttpError::bad("malformed header line")));
+        };
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_owned()));
+    }
+
+    let content_length = headers
+        .iter()
+        .find(|(n, _)| n == "content-length")
+        .map(|(_, v)| v.parse::<usize>())
+        .transpose()
+        .map_err(|_| Ok(HttpError::bad("bad content-length")))?
+        .unwrap_or(0);
+    if content_length > MAX_BODY {
+        return Err(Ok(HttpError { status: 413, message: "request body too large".into() }));
+    }
+    let mut body = vec![0u8; content_length];
+    if content_length > 0 {
+        if let Err(e) = stream.read_exact(&mut body) {
+            return Err(Err(e));
+        }
+    }
+    Ok(HttpRequest { method, path, headers, body })
+}
+
+/// Standard reason phrase for the statuses this service emits.
+#[must_use]
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        429 => "Too Many Requests",
+        431 => "Request Header Fields Too Large",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        504 => "Gateway Timeout",
+        _ => "Response",
+    }
+}
+
+/// Writes a complete response with a `Content-Length` body and closes the
+/// exchange (`Connection: close`).
+pub fn write_response(
+    stream: &mut TcpStream,
+    status: u16,
+    extra_headers: &[(&str, &str)],
+    content_type: &str,
+    body: &str,
+) -> std::io::Result<()> {
+    let mut head = format!(
+        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n",
+        reason(status),
+        body.len(),
+    );
+    for (name, value) in extra_headers {
+        head.push_str(name);
+        head.push_str(": ");
+        head.push_str(value);
+        head.push_str("\r\n");
+    }
+    head.push_str("\r\n");
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+/// Writes a streaming response head with no `Content-Length`: the body is
+/// delimited by connection close (used by `/batch` to stream one JSON line
+/// per completed cell).
+pub fn write_stream_head(stream: &mut TcpStream, content_type: &str) -> std::io::Result<()> {
+    let head =
+        format!("HTTP/1.1 200 OK\r\nContent-Type: {content_type}\r\nConnection: close\r\n\r\n");
+    stream.write_all(head.as_bytes())?;
+    stream.flush()
+}

@@ -1,0 +1,524 @@
+//! The simulation service: accept loop, bounded dispatch, endpoints.
+//!
+//! Production behaviors, in one place:
+//!
+//! * **Backpressure** — connections are dispatched onto a bounded
+//!   [`TaskQueue`]; when it is full the accept loop answers `429` with a
+//!   `Retry-After` header inline instead of queueing unboundedly.
+//! * **Timeouts** — `/simulate` runs each job on its own thread and waits
+//!   with `recv_timeout`; a deadline miss answers `504` while the detached
+//!   job finishes and still populates the cache (the work is not lost).
+//! * **Graceful drain** — `POST /shutdown` flips a draining flag: new
+//!   connections get `503`, in-flight requests complete, and the accept
+//!   loop exits once the queue is idle.
+//! * **Observability** — per-endpoint request counters and latency
+//!   histograms feed the server [`Observer`]; each executed simulation runs
+//!   against a private collecting observer that is absorbed afterwards, and
+//!   (when a cache directory is configured) leaves a [`RunManifest`] on
+//!   disk next to the spilled cache entries.
+
+use std::io::Write as _;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::str::FromStr as _;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use nvpim_core::EnduranceSimulator;
+use nvpim_exec::{JobPool, SubmitError, TaskQueue};
+use nvpim_obs::{Event, EventSink as _, Json, JsonlSink, Observer, RunManifest};
+
+use crate::cache::ResultCache;
+use crate::hash::key_hex;
+use crate::http::{self, HttpRequest};
+use crate::request::SimRequest;
+use crate::wire;
+
+/// Maximum number of cells accepted by one `/batch` request.
+pub const MAX_BATCH_CELLS: usize = 1024;
+
+/// Tunables for [`Server::start`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; port `0` asks the OS for a free port.
+    pub addr: String,
+    /// Worker threads serving requests (`0` = auto-size from the
+    /// environment, like [`JobPool::from_env`]).
+    pub workers: usize,
+    /// Bounded depth of the pending-connection queue; overflow answers
+    /// `429`.
+    pub queue_depth: usize,
+    /// Default per-request wall-clock budget for `/simulate`, in
+    /// milliseconds (`0` = unlimited). Requests may lower it with their own
+    /// `timeout_ms`.
+    pub timeout_ms: u64,
+    /// In-memory result-cache capacity (entries).
+    pub cache_entries: usize,
+    /// Directory for the on-disk cache spill, run manifests, and the JSONL
+    /// event log. `None` keeps everything in memory.
+    pub cache_dir: Option<PathBuf>,
+    /// Value of the `Retry-After` header on `429` responses, in seconds.
+    pub retry_after_s: u64,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 0,
+            queue_depth: 64,
+            timeout_ms: 30_000,
+            cache_entries: 256,
+            cache_dir: None,
+            retry_after_s: 1,
+        }
+    }
+}
+
+/// Shared server state.
+struct ServeState {
+    cache: Mutex<ResultCache>,
+    observer: Observer,
+    draining: AtomicBool,
+    timeout_ms: u64,
+    retry_after_s: u64,
+    workers: usize,
+    queue_depth: usize,
+    manifest_dir: Option<PathBuf>,
+}
+
+impl ServeState {
+    fn count(&self, name: &str) {
+        self.observer.record(&Event::CounterAdd { name, delta: 1 });
+    }
+
+    fn observe(&self, name: &str, value: u64) {
+        self.observer.record(&Event::Observe { name, value });
+    }
+}
+
+/// The running service.
+pub struct Server;
+
+/// Handle to a started server: its bound address, a shutdown switch, and a
+/// join point.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    state: Arc<ServeState>,
+    accept_thread: std::thread::JoinHandle<()>,
+}
+
+impl std::fmt::Debug for ServerHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServerHandle").field("addr", &self.addr).finish_non_exhaustive()
+    }
+}
+
+impl ServerHandle {
+    /// The address the server actually bound (resolves port `0`).
+    #[must_use]
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Initiates a graceful drain, exactly like `POST /shutdown`: in-flight
+    /// requests finish, new connections are refused with `503`.
+    pub fn request_shutdown(&self) {
+        self.state.draining.store(true, Ordering::SeqCst);
+    }
+
+    /// Waits for the accept loop to exit (after a drain was requested).
+    pub fn join(self) {
+        self.accept_thread.join().expect("accept loop panicked");
+    }
+}
+
+impl Server {
+    /// Binds, spawns the accept loop, and returns a handle.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the listen address cannot be bound.
+    pub fn start(config: ServerConfig) -> std::io::Result<ServerHandle> {
+        let listener = TcpListener::bind(&config.addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+
+        let observer = match &config.cache_dir {
+            Some(dir) => {
+                std::fs::create_dir_all(dir)?;
+                let file = std::fs::File::create(dir.join("events.jsonl"))?;
+                Observer::new(JsonlSink::new(std::io::BufWriter::new(file)))
+            }
+            None => Observer::collecting(),
+        };
+        let workers = JobPool::new(config.workers).threads();
+        let manifest_dir = config.cache_dir.as_ref().map(|d| d.join("manifests"));
+        if let Some(dir) = &manifest_dir {
+            std::fs::create_dir_all(dir)?;
+        }
+        let state = Arc::new(ServeState {
+            cache: Mutex::new(ResultCache::new(config.cache_entries, config.cache_dir.clone())),
+            observer,
+            draining: AtomicBool::new(false),
+            timeout_ms: config.timeout_ms,
+            retry_after_s: config.retry_after_s,
+            workers,
+            queue_depth: config.queue_depth,
+            manifest_dir,
+        });
+
+        let loop_state = Arc::clone(&state);
+        let queue_depth = config.queue_depth;
+        let accept_thread = std::thread::Builder::new()
+            .name("nvpim-serve-accept".into())
+            .spawn(move || accept_loop(&listener, &loop_state, workers, queue_depth))
+            .expect("spawn accept loop");
+
+        Ok(ServerHandle { addr, state, accept_thread })
+    }
+}
+
+fn accept_loop(
+    listener: &TcpListener,
+    state: &Arc<ServeState>,
+    workers: usize,
+    queue_depth: usize,
+) {
+    let queue = TaskQueue::new(workers, queue_depth);
+    loop {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                if state.draining.load(Ordering::SeqCst) {
+                    refuse(stream, 503, &[], "server is draining");
+                    continue;
+                }
+                // Only this thread submits, so pending() cannot grow between
+                // the check and the submit — the check is race-free and lets
+                // the 429 be written while we still own the stream.
+                if queue.pending() >= queue.capacity() {
+                    state.count("serve.rejected.backpressure");
+                    let retry = state.retry_after_s.to_string();
+                    refuse(
+                        stream,
+                        429,
+                        &[("Retry-After", retry.as_str())],
+                        "request queue is full, retry shortly",
+                    );
+                    continue;
+                }
+                let task_state = Arc::clone(state);
+                if let Err(SubmitError::Full { .. } | SubmitError::Draining) =
+                    queue.try_submit(Box::new(move || handle_connection(stream, task_state)))
+                {
+                    // A drain raced in; the connection drops with the task.
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                if state.draining.load(Ordering::SeqCst)
+                    && queue.pending() == 0
+                    && queue.in_flight() == 0
+                {
+                    break;
+                }
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(e) => {
+                eprintln!("nvpim-serve: accept error: {e}");
+                std::thread::sleep(Duration::from_millis(10));
+            }
+        }
+    }
+    queue.drain();
+    state.observer.flush();
+}
+
+/// Writes a terse error response on a connection the server will not
+/// service, ignoring I/O failures (the peer may already be gone).
+///
+/// The request was never read, so the socket must be drained before the
+/// drop: closing with unread bytes in the receive buffer makes the kernel
+/// send RST, which discards the response on the peer's side. The drain is
+/// bounded by a short read timeout so a slow peer cannot stall the accept
+/// loop for long.
+fn refuse(mut stream: TcpStream, status: u16, extra: &[(&str, &str)], message: &str) {
+    let body = Json::object().with("error", message).render();
+    let _ = http::write_response(&mut stream, status, extra, "application/json", &body);
+    let _ = stream.shutdown(std::net::Shutdown::Write);
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(250)));
+    let mut scratch = [0u8; 1024];
+    while matches!(std::io::Read::read(&mut stream, &mut scratch), Ok(n) if n > 0) {}
+}
+
+fn handle_connection(mut stream: TcpStream, state: Arc<ServeState>) {
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
+    let request = match http::read_request(&mut stream) {
+        Ok(request) => request,
+        Err(Ok(http_error)) => {
+            refuse(stream, http_error.status, &[], &http_error.message);
+            return;
+        }
+        Err(Err(_io)) => return,
+    };
+    let started = Instant::now();
+    state.count("serve.requests");
+    let endpoint = route(&mut stream, &request, &state);
+    state.count(&format!("serve.requests.{endpoint}"));
+    let micros = u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX);
+    state.observe(&format!("serve.latency_us.{endpoint}"), micros);
+}
+
+/// Dispatches one parsed request and returns the endpoint label used in
+/// metric names.
+fn route(stream: &mut TcpStream, request: &HttpRequest, state: &Arc<ServeState>) -> &'static str {
+    match (request.method.as_str(), request.path.as_str()) {
+        ("GET", "/") => {
+            respond_json(stream, 200, &[], &index_doc());
+            "index"
+        }
+        ("GET", "/health") => {
+            let doc = Json::object()
+                .with("status", "ok")
+                .with("draining", state.draining.load(Ordering::SeqCst));
+            respond_json(stream, 200, &[], &doc);
+            "health"
+        }
+        ("GET", "/metrics") => {
+            respond_json(stream, 200, &[], &metrics_doc(state));
+            "metrics"
+        }
+        ("POST", "/simulate") => {
+            simulate(stream, request, state);
+            "simulate"
+        }
+        ("POST", "/batch") => {
+            batch(stream, request, state);
+            "batch"
+        }
+        ("POST", "/shutdown") => {
+            state.draining.store(true, Ordering::SeqCst);
+            respond_json(stream, 200, &[], &Json::object().with("status", "draining"));
+            "shutdown"
+        }
+        (_, "/" | "/health" | "/metrics" | "/simulate" | "/batch" | "/shutdown") => {
+            respond_error(stream, 405, "method not allowed for this path");
+            "method_not_allowed"
+        }
+        _ => {
+            respond_error(stream, 404, "no such endpoint");
+            "not_found"
+        }
+    }
+}
+
+fn index_doc() -> Json {
+    Json::object().with("service", "nvpim-serve").with("schema", wire::RESULT_SCHEMA).with(
+        "endpoints",
+        vec![
+            Json::from("GET /"),
+            Json::from("GET /health"),
+            Json::from("GET /metrics"),
+            Json::from("POST /simulate"),
+            Json::from("POST /batch"),
+            Json::from("POST /shutdown"),
+        ],
+    )
+}
+
+fn metrics_doc(state: &ServeState) -> Json {
+    let cache_stats = state.cache.lock().expect("cache poisoned").stats();
+    Json::object()
+        .with(
+            "serve",
+            Json::object()
+                .with("cache", cache_stats.to_json())
+                .with("draining", state.draining.load(Ordering::SeqCst))
+                .with("workers", state.workers)
+                .with("queue_depth", state.queue_depth),
+        )
+        .with("metrics", state.observer.snapshot().to_json())
+}
+
+fn respond_json(stream: &mut TcpStream, status: u16, extra: &[(&str, &str)], doc: &Json) {
+    let _ = http::write_response(stream, status, extra, "application/json", &doc.render());
+}
+
+fn respond_error(stream: &mut TcpStream, status: u16, message: &str) {
+    respond_json(stream, status, &[], &Json::object().with("error", message));
+}
+
+/// `POST /simulate`: cache lookup, then bounded-time execution.
+fn simulate(stream: &mut TcpStream, request: &HttpRequest, state: &Arc<ServeState>) {
+    let text = match request.body_text() {
+        Ok(text) => text,
+        Err(e) => return respond_error(stream, e.status, &e.message),
+    };
+    let sim_request = match SimRequest::from_str(text) {
+        Ok(r) => r,
+        Err(e) => return respond_error(stream, 400, &e.message),
+    };
+    let key = sim_request.cache_key();
+    let canonical = sim_request.canonical_text();
+    let cached = state.cache.lock().expect("cache poisoned").get(key, &canonical);
+    if let Some(body) = cached {
+        state.count("serve.cache.hits");
+        let _ = http::write_response(stream, 200, &[("X-Cache", "hit")], "application/json", &body);
+        return;
+    }
+    state.count("serve.cache.misses");
+
+    let timeout_ms = sim_request.timeout_ms.unwrap_or(state.timeout_ms);
+    let (tx, rx) = mpsc::channel::<Result<String, String>>();
+    let job_state = Arc::clone(state);
+    std::thread::Builder::new()
+        .name("nvpim-serve-sim".into())
+        .spawn(move || {
+            let outcome = execute(&sim_request, &job_state);
+            // The receiver may have timed out and gone away; the cache
+            // insert above already preserved the work.
+            let _ = tx.send(outcome);
+        })
+        .expect("spawn simulation thread");
+
+    let outcome = if timeout_ms == 0 {
+        rx.recv().map_err(|_| mpsc::RecvTimeoutError::Disconnected)
+    } else {
+        rx.recv_timeout(Duration::from_millis(timeout_ms))
+    };
+    match outcome {
+        Ok(Ok(body)) => {
+            let _ = http::write_response(
+                stream,
+                200,
+                &[("X-Cache", "miss")],
+                "application/json",
+                &body,
+            );
+        }
+        Ok(Err(message)) => respond_error(stream, 400, &message),
+        Err(mpsc::RecvTimeoutError::Timeout) => {
+            state.count("serve.timeouts");
+            respond_error(stream, 504, "simulation exceeded its time budget");
+        }
+        Err(mpsc::RecvTimeoutError::Disconnected) => {
+            respond_error(stream, 500, "simulation worker vanished");
+        }
+    }
+}
+
+/// Runs one simulation to completion, populates the cache, absorbs the
+/// run's private observer, and (when configured) writes a manifest.
+fn execute(request: &SimRequest, state: &ServeState) -> Result<String, String> {
+    let local = Observer::collecting();
+    let started = Instant::now();
+    let run = catch_unwind(AssertUnwindSafe(|| {
+        let simulator = EnduranceSimulator::new(request.sim_config());
+        let workload = request.build_workload();
+        let result = simulator.run_with(&workload, request.config, &local);
+        wire::result_body(request, &result)
+    }));
+    let body = match run {
+        Ok(body) => body,
+        Err(_) => return Err("simulation rejected the parameter combination".to_owned()),
+    };
+    let wall_ns = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+    state.observer.absorb(&local);
+    let key = request.cache_key();
+    state.cache.lock().expect("cache poisoned").insert(key, request.canonical_text(), body.clone());
+    if let Some(dir) = &state.manifest_dir {
+        let manifest = RunManifest::new(&format!("serve:{}", request.workload.kind()))
+            .with_config(request.canonical_json())
+            .with_observer(&local)
+            .with_wall_ns(wall_ns);
+        let path = dir.join(format!("{}.manifest.json", key_hex(key)));
+        if let Err(e) = std::fs::write(&path, manifest.render()) {
+            eprintln!("nvpim-serve: manifest write to {} failed: {e}", path.display());
+        }
+    }
+    Ok(body)
+}
+
+/// `POST /batch`: fan a sweep through a [`JobPool`] and stream one NDJSON
+/// line per completed cell, in completion order.
+fn batch(stream: &mut TcpStream, request: &HttpRequest, state: &Arc<ServeState>) {
+    let text = match request.body_text() {
+        Ok(text) => text,
+        Err(e) => return respond_error(stream, e.status, &e.message),
+    };
+    let doc = match nvpim_obs::json::parse(text) {
+        Ok(doc) => doc,
+        Err(e) => return respond_error(stream, 400, &format!("invalid JSON body: {e}")),
+    };
+    let cells = match &doc {
+        Json::Arr(items) => items.as_slice(),
+        Json::Obj(_) => match doc.get("requests") {
+            Some(Json::Arr(items)) => items.as_slice(),
+            _ => {
+                return respond_error(stream, 400, "expected {\"requests\": [...]} or a JSON array")
+            }
+        },
+        _ => return respond_error(stream, 400, "expected {\"requests\": [...]} or a JSON array"),
+    };
+    if cells.is_empty() {
+        return respond_error(stream, 400, "batch contains no requests");
+    }
+    if cells.len() > MAX_BATCH_CELLS {
+        return respond_error(
+            stream,
+            400,
+            &format!("batch of {} exceeds the {MAX_BATCH_CELLS}-cell limit", cells.len()),
+        );
+    }
+    let mut parsed = Vec::with_capacity(cells.len());
+    for (index, cell) in cells.iter().enumerate() {
+        match SimRequest::from_json(cell) {
+            Ok(r) => parsed.push((index, r)),
+            Err(e) => return respond_error(stream, 400, &format!("cell {index}: {}", e.message)),
+        }
+    }
+    state
+        .observer
+        .record(&Event::CounterAdd { name: "serve.batch.cells", delta: parsed.len() as u64 });
+
+    if http::write_stream_head(stream, "application/x-ndjson").is_err() {
+        return;
+    }
+    let out = Mutex::new(&mut *stream);
+    let pool = JobPool::new(state.workers);
+    pool.map(parsed, |(index, cell)| {
+        let key = cell.cache_key();
+        let canonical = cell.canonical_text();
+        let cached = state.cache.lock().expect("cache poisoned").get(key, &canonical);
+        let (was_cached, line) = match cached {
+            Some(body) => {
+                state.count("serve.cache.hits");
+                (true, body)
+            }
+            None => {
+                state.count("serve.cache.misses");
+                match execute(&cell, state) {
+                    Ok(body) => (false, body),
+                    Err(message) => {
+                        let doc =
+                            Json::object().with("index", index).with("error", message).render();
+                        let mut w = out.lock().expect("batch stream poisoned");
+                        let _ = writeln!(w, "{doc}");
+                        return;
+                    }
+                }
+            }
+        };
+        let response = nvpim_obs::json::parse(&line).unwrap_or(Json::Str(line));
+        let doc = Json::object()
+            .with("index", index)
+            .with("cached", was_cached)
+            .with("response", response)
+            .render();
+        let mut w = out.lock().expect("batch stream poisoned");
+        let _ = writeln!(w, "{doc}");
+    });
+    let _ = stream.flush();
+}

@@ -1,0 +1,128 @@
+//! The canonical JSON wire format shared by the service and the CLI.
+//!
+//! Everything here renders through [`nvpim_obs::Json`], whose objects are
+//! `BTreeMap`s — field order is deterministic, so a result document for a
+//! given request is byte-identical across runs, servers, and the `repro
+//! --json` path. That byte-stability is what makes the content-addressed
+//! cache sound *and* testable (the integration suite asserts identical
+//! bodies for identical requests).
+
+use nvpim_core::{LifetimeModel, SimResult};
+use nvpim_obs::Json;
+
+use crate::hash::key_hex;
+use crate::request::SimRequest;
+
+/// Schema tag of a single-simulation result document.
+pub const RESULT_SCHEMA: &str = "nvpim.serve-result/v1";
+
+/// Schema tag of a `repro --json` report envelope.
+pub const REPORT_SCHEMA: &str = "nvpim.report/v1";
+
+/// Renders the full result document for one served simulation.
+#[must_use]
+pub fn result_json(request: &SimRequest, result: &SimResult) -> Json {
+    let model = LifetimeModel::for_technology(request.technology);
+    let lifetime = model.lifetime(result);
+    Json::object()
+        .with("schema", RESULT_SCHEMA)
+        .with("key", key_hex(request.cache_key()))
+        .with("request", request.canonical_json())
+        .with(
+            "result",
+            Json::object()
+                .with("iterations", result.iterations)
+                .with("steps_per_iteration", result.steps_per_iteration)
+                .with("total_writes", result.total_writes())
+                .with("total_reads", result.total_reads())
+                .with("max_writes", result.wear.max_writes())
+                .with("max_writes_per_iteration", result.max_writes_per_iteration()),
+        )
+        .with(
+            "lifetime",
+            Json::object()
+                .with("technology", request.technology.label())
+                .with("endurance_writes", model.endurance())
+                .with("op_latency_ns", model.op_latency_ns())
+                .with("iterations", lifetime.iterations)
+                .with("seconds", lifetime.seconds)
+                .with("days", lifetime.days())
+                .with("years", lifetime.years()),
+        )
+}
+
+/// The rendered single-line body served (and cached) for a request.
+#[must_use]
+pub fn result_body(request: &SimRequest, result: &SimResult) -> String {
+    result_json(request, result).render()
+}
+
+/// Wraps a text report in the machine-readable envelope `repro --json`
+/// emits: the command, its configuration, and the report body, under the
+/// same deterministic encoder the service uses.
+#[must_use]
+pub fn report_envelope(command: &str, config: Json, report: &str) -> Json {
+    Json::object()
+        .with("schema", REPORT_SCHEMA)
+        .with("command", command)
+        .with("config", config)
+        .with("report", report)
+}
+
+#[cfg(test)]
+mod tests {
+    use std::str::FromStr as _;
+
+    use super::*;
+    use nvpim_core::{EnduranceSimulator, SimConfig};
+
+    fn tiny_request() -> SimRequest {
+        SimRequest::from_str(
+            r#"{"workload": {"kind": "mul", "rows": 128, "lanes": 8}, "iterations": 20}"#,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn result_bodies_are_deterministic() {
+        let req = tiny_request();
+        let run = || {
+            let sim = EnduranceSimulator::new(req.sim_config());
+            result_body(&req, &sim.run(&req.build_workload(), req.config))
+        };
+        assert_eq!(run(), run(), "same request must serialize to identical bytes");
+    }
+
+    #[test]
+    fn result_body_parses_and_carries_the_key() {
+        let req = tiny_request();
+        let sim = EnduranceSimulator::new(req.sim_config());
+        let body = result_body(&req, &sim.run(&req.build_workload(), req.config));
+        let doc = nvpim_obs::json::parse(&body).unwrap();
+        assert_eq!(doc.get("schema").and_then(Json::as_str), Some(RESULT_SCHEMA));
+        assert_eq!(doc.get("key").and_then(Json::as_str), Some(key_hex(req.cache_key()).as_str()));
+        assert!(doc.get("result").and_then(|r| r.get("total_writes")).is_some());
+        assert!(doc.get("lifetime").and_then(|l| l.get("days")).is_some());
+    }
+
+    #[test]
+    fn sim_config_honors_request_knobs() {
+        let req = SimRequest::from_str(
+            r#"{"workload": "mul", "iterations": 7, "period": 0, "seed": 9, "track_reads": true}"#,
+        )
+        .unwrap();
+        let cfg: SimConfig = req.sim_config();
+        assert_eq!(cfg.iterations, 7);
+        assert_eq!(cfg.schedule.period(), None);
+        assert_eq!(cfg.seed, 9);
+        assert!(cfg.track_reads);
+    }
+
+    #[test]
+    fn report_envelope_round_trips() {
+        let env = report_envelope("fig17", Json::object().with("iterations", 100u64), "body\n");
+        let doc = nvpim_obs::json::parse(&env.render_pretty()).unwrap();
+        assert_eq!(doc.get("command").and_then(Json::as_str), Some("fig17"));
+        assert_eq!(doc.get("report").and_then(Json::as_str), Some("body\n"));
+    }
+}

@@ -1,0 +1,290 @@
+//! End-to-end tests of the nvpim-serve service over real sockets.
+//!
+//! Everything runs in-process with the std-only [`Client`] — no external
+//! tooling. Each test binds its own ephemeral-port server so they can run
+//! concurrently under the default test harness.
+
+use std::time::Duration;
+
+use nvpim_obs::Json;
+use nvpim_serve::{Client, Server, ServerConfig};
+
+fn start(config: ServerConfig) -> (nvpim_serve::ServerHandle, Client) {
+    let handle = Server::start(config).expect("server starts");
+    let client = Client::new(handle.addr());
+    (handle, client)
+}
+
+fn small_request(seed: u64) -> String {
+    format!(
+        r#"{{"workload": {{"kind": "mul", "rows": 128, "lanes": 8}}, "iterations": 20, "seed": {seed}}}"#
+    )
+}
+
+/// A request the simulator cannot finish within its 1 ms budget: a dynamic
+/// (`+Hw`) configuration replays every iteration, so this costs real time.
+fn slow_request() -> &'static str {
+    r#"{"workload": {"kind": "mul", "rows": 128, "lanes": 16},
+        "config": "StxSt+Hw", "iterations": 200000, "timeout_ms": 1}"#
+}
+
+fn counter(metrics: &Json, name: &str) -> u64 {
+    metrics
+        .get("metrics")
+        .and_then(|m| m.get(name))
+        .and_then(|c| c.get("value"))
+        .and_then(Json::as_u64)
+        .unwrap_or(0)
+}
+
+#[test]
+fn index_health_and_unknown_routes() {
+    let (handle, client) = start(ServerConfig::default());
+    let index = client.get("/").unwrap();
+    assert_eq!(index.status, 200);
+    assert!(index.text().contains("nvpim-serve"));
+
+    let health = client.get("/health").unwrap().json().unwrap();
+    assert_eq!(health.get("status").and_then(Json::as_str), Some("ok"));
+
+    assert_eq!(client.get("/nope").unwrap().status, 404);
+    assert_eq!(client.post_json("/health", "{}").unwrap().status, 405);
+    assert_eq!(client.post_json("/simulate", "not json").unwrap().status, 400);
+    let bad = client.post_json("/simulate", r#"{"workload": "warp-drive"}"#).unwrap();
+    assert_eq!(bad.status, 400);
+    assert!(bad.text().contains("error"));
+
+    handle.request_shutdown();
+    handle.join();
+}
+
+#[test]
+fn concurrent_identical_requests_get_byte_identical_bodies_and_hit_the_cache() {
+    let (handle, client) = start(ServerConfig::default());
+    let body = small_request(42);
+
+    // Pre-warm so every concurrent request below is deterministically a hit.
+    let first = client.post_json("/simulate", &body).unwrap();
+    assert_eq!(first.status, 200);
+    assert_eq!(first.header("x-cache"), Some("miss"));
+    let reference = first.text();
+
+    let clients: Vec<_> = (0..10).map(|_| (client.clone(), body.clone())).collect();
+    let replies: Vec<_> = clients
+        .into_iter()
+        .map(|(c, b)| std::thread::spawn(move || c.post_json("/simulate", &b).unwrap()))
+        .collect::<Vec<_>>()
+        .into_iter()
+        .map(|t| t.join().unwrap())
+        .collect();
+
+    assert_eq!(replies.len(), 10);
+    for reply in &replies {
+        assert_eq!(reply.status, 200);
+        assert_eq!(reply.text(), reference, "identical requests must serve identical bytes");
+    }
+    assert!(replies.iter().all(|r| r.header("x-cache") == Some("hit")));
+
+    let metrics = client.get("/metrics").unwrap().json().unwrap();
+    let hits = metrics
+        .get("serve")
+        .and_then(|s| s.get("cache"))
+        .and_then(|c| c.get("hits"))
+        .and_then(Json::as_u64)
+        .unwrap_or(0);
+    assert!(hits >= 10, "expected >= 10 cache hits, saw {hits}");
+    assert!(counter(&metrics, "serve.cache.hits") >= 10);
+    assert!(counter(&metrics, "serve.requests.simulate") >= 11);
+
+    handle.request_shutdown();
+    handle.join();
+}
+
+#[test]
+fn spelling_variants_of_one_request_share_a_cache_entry() {
+    let (handle, client) = start(ServerConfig::default());
+    let verbose = r#"{"workload": {"kind": "mul", "rows": 128, "lanes": 8, "width": 8},
+                      "config": "StxSt", "arch": "preset-output", "iterations": 20}"#;
+    let terse = r#"{"iterations": 20, "workload": "mul", "rows": 128, "lanes": 8}"#;
+
+    let first = client.post_json("/simulate", verbose).unwrap();
+    assert_eq!(first.header("x-cache"), Some("miss"));
+    let second = client.post_json("/simulate", terse).unwrap();
+    assert_eq!(second.header("x-cache"), Some("hit"), "canonicalization must unify spellings");
+    assert_eq!(first.text(), second.text());
+
+    handle.request_shutdown();
+    handle.join();
+}
+
+#[test]
+fn over_budget_simulation_times_out_with_504() {
+    let (handle, client) = start(ServerConfig::default());
+    let reply = client.post_json("/simulate", slow_request()).unwrap();
+    assert_eq!(reply.status, 504);
+    let metrics = client.get("/metrics").unwrap().json().unwrap();
+    assert!(counter(&metrics, "serve.timeouts") >= 1);
+    handle.request_shutdown();
+    handle.join();
+}
+
+#[test]
+fn saturated_queue_answers_429_with_retry_after() {
+    let config =
+        ServerConfig { workers: 1, queue_depth: 1, retry_after_s: 3, ..ServerConfig::default() };
+    let (handle, client) = start(config);
+
+    // Occupy the single worker with a request that holds its handler for a
+    // while (the 1 ms budget expires quickly, but the handler only returns
+    // after writing the 504 — so pile enough on to keep the queue full).
+    let slow = r#"{"workload": {"kind": "mul", "rows": 256, "lanes": 32},
+                   "config": "StxSt+Hw", "iterations": 400000, "timeout_ms": 2000}"#;
+    let occupier = {
+        let c = client.clone();
+        std::thread::spawn(move || c.post_json("/simulate", slow))
+    };
+    std::thread::sleep(Duration::from_millis(100));
+
+    // Flood concurrently: with the lone worker held and one queue slot, at
+    // most one of these can be queued — the rest must bounce with 429.
+    let flood: Vec<_> = (0..10)
+        .map(|_| {
+            let c = client.clone();
+            std::thread::spawn(move || c.get("/health").unwrap())
+        })
+        .collect();
+    let replies: Vec<_> = flood.into_iter().map(|t| t.join().unwrap()).collect();
+    let reply = replies
+        .into_iter()
+        .find(|r| r.status == 429)
+        .expect("flooding a 1-worker/1-slot server must surface a 429");
+    assert_eq!(reply.header("retry-after"), Some("3"));
+    assert!(reply.text().contains("queue is full"));
+
+    let metrics_after = occupier.join().unwrap().unwrap();
+    assert!(metrics_after.status == 200 || metrics_after.status == 504);
+    let metrics = client.get("/metrics").unwrap().json().unwrap();
+    assert!(counter(&metrics, "serve.rejected.backpressure") >= 1);
+
+    handle.request_shutdown();
+    handle.join();
+}
+
+#[test]
+fn graceful_shutdown_finishes_in_flight_work_and_refuses_new_connections() {
+    let (handle, client) = start(ServerConfig::default());
+
+    // A real (uncached) request that takes a moment but finishes well within
+    // its budget — it must complete with 200 even though a drain starts
+    // while it runs.
+    let in_flight = {
+        let c = client.clone();
+        std::thread::spawn(move || {
+            let body = r#"{"workload": {"kind": "mul", "rows": 256, "lanes": 32},
+                           "config": "StxSt+Hw", "iterations": 50000}"#;
+            c.post_json("/simulate", body).unwrap()
+        })
+    };
+    std::thread::sleep(Duration::from_millis(50));
+
+    let drain = client.post_json("/shutdown", "").unwrap();
+    assert_eq!(drain.status, 200);
+    assert_eq!(drain.json().unwrap().get("status").and_then(Json::as_str), Some("draining"));
+
+    let reply = in_flight.join().unwrap();
+    assert_eq!(reply.status, 200, "in-flight work must finish during a drain");
+
+    // New connections are refused while (and after) draining; the listener
+    // may already be gone, which is equally acceptable.
+    if let Ok(refused) = client.get("/health") {
+        assert_eq!(refused.status, 503);
+    }
+
+    handle.join(); // must return: the drain empties the queue and exits
+}
+
+#[test]
+fn batch_streams_one_line_per_cell_and_reuses_the_cache() {
+    let (handle, client) = start(ServerConfig::default());
+
+    // Pre-warm cell 2 so its batch line is deterministically cached.
+    let warm = small_request(7);
+    assert_eq!(client.post_json("/simulate", &warm).unwrap().status, 200);
+
+    let batch = format!(
+        r#"{{"requests": [{}, {}, {}, {}]}}"#,
+        small_request(1),
+        small_request(2),
+        warm,
+        r#"{"workload": "dot", "rows": 128, "lanes": 8, "elements": 4, "iterations": 20}"#,
+    );
+    let reply = client.post_json("/batch", &batch).unwrap();
+    assert_eq!(reply.status, 200);
+    assert_eq!(reply.header("content-type"), Some("application/x-ndjson"));
+
+    let lines = reply.json_lines().unwrap();
+    assert_eq!(lines.len(), 4, "one NDJSON line per cell");
+    let mut indices: Vec<u64> =
+        lines.iter().filter_map(|l| l.get("index").and_then(Json::as_u64)).collect();
+    indices.sort_unstable();
+    assert_eq!(indices, vec![0, 1, 2, 3]);
+    for line in &lines {
+        let response = line.get("response").expect("each line carries a response document");
+        assert_eq!(response.get("schema").and_then(Json::as_str), Some("nvpim.serve-result/v1"));
+    }
+    let warmed = lines
+        .iter()
+        .find(|l| l.get("index").and_then(Json::as_u64) == Some(2))
+        .and_then(|l| l.get("cached"))
+        .cloned();
+    assert_eq!(warmed, Some(Json::Bool(true)), "pre-warmed cell must come from the cache");
+
+    // Batch errors: empty and malformed bodies are rejected up front.
+    assert_eq!(client.post_json("/batch", r#"{"requests": []}"#).unwrap().status, 400);
+    assert_eq!(client.post_json("/batch", r#"{"cells": 3}"#).unwrap().status, 400);
+
+    handle.request_shutdown();
+    handle.join();
+}
+
+#[test]
+fn disk_cache_and_manifests_survive_a_server_restart() {
+    let dir = std::env::temp_dir().join(format!("nvpim-serve-test-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let body = small_request(99);
+    let key;
+    {
+        let config = ServerConfig { cache_dir: Some(dir.clone()), ..ServerConfig::default() };
+        let (handle, client) = start(config);
+        let reply = client.post_json("/simulate", &body).unwrap();
+        assert_eq!(reply.status, 200);
+        assert_eq!(reply.header("x-cache"), Some("miss"));
+        key = reply
+            .json()
+            .unwrap()
+            .get("key")
+            .and_then(Json::as_str)
+            .expect("result carries its cache key")
+            .to_owned();
+        handle.request_shutdown();
+        handle.join();
+    }
+
+    assert!(dir.join(format!("{key}.json")).is_file(), "cache entry spilled to disk");
+    let manifest_path = dir.join("manifests").join(format!("{key}.manifest.json"));
+    let manifest = std::fs::read_to_string(&manifest_path).expect("run manifest written");
+    assert!(manifest.contains("serve:mul"));
+    assert!(dir.join("events.jsonl").is_file(), "event log written");
+
+    // A restarted server over the same directory is warm immediately.
+    let config = ServerConfig { cache_dir: Some(dir.clone()), ..ServerConfig::default() };
+    let (handle, client) = start(config);
+    let reply = client.post_json("/simulate", &body).unwrap();
+    assert_eq!(reply.status, 200);
+    assert_eq!(reply.header("x-cache"), Some("hit"), "disk spill makes restarts warm");
+    handle.request_shutdown();
+    handle.join();
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

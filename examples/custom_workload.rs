@@ -91,7 +91,9 @@ fn main() {
     println!("functional check passed (threshold crossover observed {flips} time(s))");
 
     // 2. Characterize its endurance like the paper would.
-    let sim = EnduranceSimulator::new(SimConfig::default().with_iterations(1_000));
+    let sim = EnduranceSimulator::new(
+        SimConfig::default().with_iterations(nvpim::example_iterations(1_000)),
+    );
     let model = LifetimeModel::mtj();
     let baseline = sim.run(&workload, BalanceConfig::baseline());
     println!(

@@ -22,7 +22,9 @@ fn main() {
     // Simulated first-cell-failure lifetimes (Eq. 4) per strategy.
     let dims = ArrayDims::new(512, 128);
     let workload = DotProduct::new(dims, 128, 16).build();
-    let sim = EnduranceSimulator::new(SimConfig::default().with_iterations(2_000));
+    let sim = EnduranceSimulator::new(
+        SimConfig::default().with_iterations(nvpim::example_iterations(2_000)),
+    );
     let baseline = sim.run(&workload, BalanceConfig::baseline());
 
     println!("\nsimulated lifetime of `{}` (first cell failure):", workload.name());

@@ -16,7 +16,7 @@ fn main() {
 
     let dims = ArrayDims::new(1024, 256);
     let workload = ParallelMul::new(dims, 32).build();
-    let cfg = SimConfig::default().with_iterations(2_000);
+    let cfg = SimConfig::default().with_iterations(nvpim::example_iterations(2_000));
     let sim = EnduranceSimulator::new(cfg);
 
     let balance: BalanceConfig = "RaxSt+Hw".parse().expect("valid config");

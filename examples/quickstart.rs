@@ -19,7 +19,9 @@ fn main() {
 
     // Simulate 2 000 iterations under the paper's default settings
     // (preset-output gates, re-compilation every 100 iterations).
-    let sim = EnduranceSimulator::new(SimConfig::default().with_iterations(2_000));
+    let sim = EnduranceSimulator::new(
+        SimConfig::default().with_iterations(nvpim::example_iterations(2_000)),
+    );
     let model = LifetimeModel::mtj(); // 10^12-write MTJs, 3 ns/op
 
     let baseline = sim.run(&workload, BalanceConfig::baseline());

@@ -25,7 +25,9 @@ fn main() {
         other => panic!("unknown workload `{other}` (expected mul, dot, conv)"),
     };
 
-    let sim = EnduranceSimulator::new(SimConfig::default().with_iterations(1_000));
+    let sim = EnduranceSimulator::new(
+        SimConfig::default().with_iterations(nvpim::example_iterations(1_000)),
+    );
     let result = sim.run(&workload, config);
 
     println!(

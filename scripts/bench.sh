@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# Runs the simulation benchmarks and records them as a JSON artifact.
+# Runs the simulation benchmarks and records them as JSON artifacts.
 #
 # Usage: scripts/bench.sh [OUT.json] [extra cargo-bench args...]
 #
@@ -14,6 +14,10 @@
 #
 #   { "group/name": 1300.0, ... }
 #
+# The `serve_throughput` bench (HTTP round-trip cost cold vs cache-hit,
+# plus request canonicalization) is additionally recorded the same way
+# into BENCH_serve.json next to OUT.json.
+#
 # All cargo invocations run --offline: this environment has no route to
 # crates.io.
 set -euo pipefail
@@ -22,34 +26,46 @@ cd "$(dirname "$0")/.."
 out="${1:-BENCH_sim.json}"
 shift || true
 
+# Convert the shim's human-readable medians to ns and emit sorted JSON.
+to_json() {
+    awk '
+    / min .* median .* mean .* samples\)$/ {
+        id = $1
+        for (i = 2; i <= NF; i++) {
+            if ($i == "median") { value = $(i + 1); unit = $(i + 2) }
+        }
+        ns = value + 0
+        if (unit ~ /^µs/ || unit == "us") ns *= 1e3
+        else if (unit == "ms")            ns *= 1e6
+        else if (unit == "s")             ns *= 1e9
+        printf "%s\t%.1f\n", id, ns
+    }
+    ' "$1" | sort | awk '
+    BEGIN { print "{" }
+    {
+        if (NR > 1) printf ",\n"
+        printf "  \"%s\": %s", $1, $2
+    }
+    END { print "\n}" }
+    '
+}
+
+report() {
+    local file="$1" dest="$2"
+    to_json "$file" > "$dest"
+    local count
+    count="$(grep -c '":' "$dest" || true)"
+    echo "bench: wrote $count entries to $dest"
+}
+
 raw="$(mktemp)"
-trap 'rm -f "$raw"' EXIT
+raw_serve="$(mktemp)"
+trap 'rm -f "$raw" "$raw_serve"' EXIT
 
 for bench in sim_engine parallel_matrix; do
     cargo bench --offline -p nvpim-bench --bench "$bench" "$@" | tee -a "$raw"
 done
+report "$raw" "$out"
 
-# Convert the shim's human-readable medians to ns and emit sorted JSON.
-awk '
-/ min .* median .* mean .* samples\)$/ {
-    id = $1
-    for (i = 2; i <= NF; i++) {
-        if ($i == "median") { value = $(i + 1); unit = $(i + 2) }
-    }
-    ns = value + 0
-    if (unit ~ /^µs/ || unit == "us") ns *= 1e3
-    else if (unit == "ms")            ns *= 1e6
-    else if (unit == "s")             ns *= 1e9
-    printf "%s\t%.1f\n", id, ns
-}
-' "$raw" | sort | awk '
-BEGIN { print "{" }
-{
-    if (NR > 1) printf ",\n"
-    printf "  \"%s\": %s", $1, $2
-}
-END { print "\n}" }
-' > "$out"
-
-count="$(grep -c '":' "$out" || true)"
-echo "bench: wrote $count entries to $out"
+cargo bench --offline -p nvpim-bench --bench serve_throughput "$@" | tee -a "$raw_serve"
+report "$raw_serve" "$(dirname "$out")/BENCH_serve.json"

@@ -7,6 +7,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+cargo fmt --check
 cargo build --release --offline --workspace
 cargo test -q --offline --workspace
 cargo clippy --offline --workspace --all-targets -- -D warnings
@@ -16,10 +17,28 @@ cargo clippy --offline --workspace --all-targets -- -D warnings
 cargo test -q --release --offline -p nvpim-core --test parallel
 cargo test -q --release --offline -p nvpim-exec
 
+# The HTTP service end to end in release mode: concurrent byte-identical
+# responses, cache hits, 429 backpressure, 504 timeouts, graceful drain.
+cargo test -q --release --offline -p nvpim-serve --test integration
+
 # Two-worker smoke of the repro harness at a scaled-down iteration count:
-# exercises the full binary → parallel matrix path end to end.
+# exercises the full binary → parallel matrix path end to end. serve-smoke
+# boots an in-process server and round-trips real HTTP requests.
 cargo run --release --offline -q -p nvpim-bench --bin repro -- \
     fig14 --iters 20 --jobs 2 > /dev/null
+cargo run --release --offline -q -p nvpim-bench --bin repro -- \
+    serve-smoke > /dev/null
+
+# Every example must build and run at a tiny iteration scale (the
+# NVPIM_EXAMPLE_ITERS override exists precisely for this smoke stage).
+cargo build --release --offline -q --examples
+for example in quickstart custom_workload lifetime_explorer observed_run \
+               wear_heatmap failed_cells; do
+    NVPIM_EXAMPLE_ITERS=20 \
+        cargo run --release --offline -q --example "$example" > /dev/null ||
+        { echo "ci: example $example failed" >&2; exit 1; }
+done
+echo "ci: examples smoke-tested"
 
 # Static verification: nvpim-lint runs the netlist, mapping, and
 # conservation passes over every circuit builder and balancing strategy;

@@ -47,11 +47,26 @@
 
 pub use nvpim_array as array;
 pub use nvpim_balance as balance;
+pub use nvpim_check as check;
 pub use nvpim_core as core;
+pub use nvpim_exec as exec;
 pub use nvpim_logic as logic;
 pub use nvpim_nvm as nvm;
 pub use nvpim_obs as obs;
+pub use nvpim_serve as serve;
 pub use nvpim_workloads as workloads;
+
+/// Iteration count for examples: the `NVPIM_EXAMPLE_ITERS` environment
+/// variable overrides `default` when set to a positive integer, so CI can
+/// smoke-run every example at a tiny scale without touching the sources.
+#[must_use]
+pub fn example_iterations(default: u64) -> u64 {
+    std::env::var("NVPIM_EXAMPLE_ITERS")
+        .ok()
+        .and_then(|v| v.trim().parse::<u64>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(default)
+}
 
 /// The most commonly used types, re-exported flat.
 pub mod prelude {
