@@ -85,8 +85,17 @@ impl Bencher {
     ///
     /// The batch size is chosen so one sample costs roughly
     /// `CRITERION_SAMPLE_MS` (default 20 ms), and sampling stops early once
-    /// `CRITERION_BUDGET_MS` (default 3000 ms) has been spent.
+    /// `CRITERION_BUDGET_MS` (default 3000 ms) has been spent. When
+    /// `CRITERION_COOLDOWN_MS` is set, the bencher idles that long first:
+    /// on throttled shared machines (CPU bandwidth quotas, turbo decay) a
+    /// benchmark's position in the run otherwise skews its numbers —
+    /// whichever entry runs first inherits a fresh quota and measures
+    /// faster. The cooldown lets every entry start equally recovered.
     pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let cooldown = env_ms("CRITERION_COOLDOWN_MS", 0);
+        if !cooldown.is_zero() {
+            std::thread::sleep(cooldown);
+        }
         let sample_target = env_ms("CRITERION_SAMPLE_MS", 20);
         let budget = env_ms("CRITERION_BUDGET_MS", 3_000);
         let started = Instant::now();

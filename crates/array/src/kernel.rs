@@ -1,0 +1,508 @@
+//! Epoch-compiled wear kernels: the data half of the dynamic-`Hw` fast path.
+//!
+//! Hardware free-row renaming redirects every all-lane gate into the free
+//! row, so each iteration writes a different set of physical rows and the
+//! simulator historically re-walked the whole step trace once per iteration.
+//! But the renaming state machine is *position-based*: which slots of its
+//! internal arrangement a trace touches — and in what order — depends only
+//! on the trace and the software row table, never on the arrangement's
+//! current values. One symbolic replay against a fresh remapper therefore
+//! yields a reusable **wear kernel**:
+//!
+//! * per-(lane class, arrangement slot) write/read deltas of one iteration
+//!   ([`WearKernel::slot_writes`]);
+//! * the net slot permutation `E` one iteration applies to the arrangement
+//!   ([`WearKernel::end_permutation`]);
+//! * the number of redirects one iteration performs.
+//!
+//! Iteration `i` of an epoch then deposits the slot-`t` delta at physical
+//! row `A₀[Eⁱ[t]]` (`A₀` = the arrangement at epoch start), so the whole
+//! epoch folds into per-slot totals `U[s] = Σᵢ panel[E⁻ⁱ[s]]` — computed in
+//! O(slots) over `E`'s cycle decomposition ([`WearKernel::fold_epoch_into`])
+//! instead of O(steps × iterations) of replay. The totals scatter into the
+//! [`WearMap`](crate::WearMap) as one flat accumulate of a [`WearPanel`].
+//!
+//! This module holds the representation and the permutation arithmetic; the
+//! symbolic compiler lives with the simulator (it needs the remapper type),
+//! keeping this crate free of balancing dependencies.
+
+use crate::ArrayDims;
+
+/// A flat per-cell write/read delta panel in physical scan order — the
+/// staging buffer a compiled epoch is rendered into before being folded
+/// into a [`WearMap`](crate::WearMap) with a single contiguous accumulate
+/// ([`WearMap::accumulate_panel`](crate::WearMap::accumulate_panel)).
+///
+/// # Examples
+///
+/// ```
+/// use nvpim_array::{ArrayDims, WearMap, WearPanel};
+///
+/// let dims = ArrayDims::new(4, 2);
+/// let mut panel = WearPanel::new(dims, false);
+/// panel.add_row_writes(1, &[0, 1], 3);
+/// let mut wear = WearMap::new(dims);
+/// wear.accumulate_panel(&panel, 10);
+/// assert_eq!(wear.writes_at(1, 0), 30);
+/// assert_eq!(wear.total_writes(), 60);
+/// ```
+#[derive(Debug, Clone)]
+pub struct WearPanel {
+    dims: ArrayDims,
+    writes: Vec<u64>,
+    /// Empty unless read tracking was requested at construction.
+    reads: Vec<u64>,
+    sum_writes: u64,
+    sum_reads: u64,
+}
+
+impl WearPanel {
+    /// A zeroed panel; `track_reads` sizes the read half (untracked panels
+    /// carry no read storage at all).
+    #[must_use]
+    pub fn new(dims: ArrayDims, track_reads: bool) -> Self {
+        WearPanel {
+            dims,
+            writes: vec![0; dims.cells()],
+            reads: if track_reads { vec![0; dims.cells()] } else { Vec::new() },
+            sum_writes: 0,
+            sum_reads: 0,
+        }
+    }
+
+    /// The dimensions this panel covers.
+    #[must_use]
+    pub fn dims(&self) -> ArrayDims {
+        self.dims
+    }
+
+    /// Whether the panel carries a read half.
+    #[must_use]
+    pub fn tracks_reads(&self) -> bool {
+        !self.reads.is_empty()
+    }
+
+    /// Zeroes the panel for reuse without reallocating.
+    pub fn clear(&mut self) {
+        self.writes.fill(0);
+        self.reads.fill(0);
+        self.sum_writes = 0;
+        self.sum_reads = 0;
+    }
+
+    /// Adds `count` writes at every listed physical lane of `row`.
+    pub fn add_row_writes(&mut self, row: usize, lanes: &[usize], count: u64) {
+        let base = row * self.dims.lanes();
+        for &lane in lanes {
+            self.writes[base + lane] += count;
+            self.sum_writes += count;
+        }
+    }
+
+    /// Adds `count` reads at every listed physical lane of `row`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the panel was built without read tracking.
+    pub fn add_row_reads(&mut self, row: usize, lanes: &[usize], count: u64) {
+        assert!(self.tracks_reads(), "panel was built without read tracking");
+        let base = row * self.dims.lanes();
+        for &lane in lanes {
+            self.reads[base + lane] += count;
+            self.sum_reads += count;
+        }
+    }
+
+    /// The flat write deltas (row-major, `row * lanes + lane`).
+    #[must_use]
+    pub fn writes(&self) -> &[u64] {
+        &self.writes
+    }
+
+    /// The flat read deltas (empty when reads are untracked).
+    #[must_use]
+    pub fn reads(&self) -> &[u64] {
+        &self.reads
+    }
+
+    /// Sum of all write deltas (kept in lockstep by the mutators).
+    #[must_use]
+    pub fn sum_writes(&self) -> u64 {
+        self.sum_writes
+    }
+
+    /// Sum of all read deltas.
+    #[must_use]
+    pub fn sum_reads(&self) -> u64 {
+        self.sum_reads
+    }
+}
+
+/// One iteration of a trace, compiled against a software row table and a
+/// symbolic (identity-arrangement) hardware remapper.
+///
+/// `slots` is the physical row count: slot `s < slots − 1` is the remapper's
+/// logical address `s`, slot `slots − 1` is its free register. The kernel
+/// stores, per lane class, the write (and optionally read) deltas one
+/// iteration deposits at each slot, plus the net arrangement permutation
+/// `E` the iteration's redirects apply. Everything downstream — epoch
+/// folding, state advancement — is pure permutation arithmetic on those
+/// arrays; see the module docs for the algebra.
+#[derive(Debug, Clone)]
+pub struct WearKernel {
+    sw_table: Vec<usize>,
+    slots: usize,
+    slot_writes: Vec<Vec<u64>>,
+    slot_reads: Option<Vec<Vec<u64>>>,
+    end: Vec<usize>,
+    /// Cycle decomposition of `end` (every slot appears in exactly one
+    /// cycle; fixed points are 1-cycles), precomputed so per-epoch folds
+    /// are allocation-free.
+    cycles: Vec<Vec<usize>>,
+    redirects_per_iter: u64,
+    identity_end: bool,
+}
+
+impl WearKernel {
+    /// Assembles a kernel from a symbolic replay's outputs.
+    ///
+    /// `sw_table` is the software row table the replay translated through
+    /// (kept so callers can detect staleness), `end` the symbolic
+    /// arrangement after one iteration, `redirects_per_iter` the redirect
+    /// count of one iteration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `end` is not a permutation of `0..slots` or any per-class
+    /// panel's length differs from `end`'s.
+    #[must_use]
+    pub fn new(
+        sw_table: Vec<usize>,
+        slot_writes: Vec<Vec<u64>>,
+        slot_reads: Option<Vec<Vec<u64>>>,
+        end: Vec<usize>,
+        redirects_per_iter: u64,
+    ) -> Self {
+        let slots = end.len();
+        let mut seen = vec![false; slots];
+        for &s in &end {
+            assert!(s < slots && !seen[s], "end arrangement is not a permutation");
+            seen[s] = true;
+        }
+        for panel in slot_writes.iter().chain(slot_reads.iter().flatten()) {
+            assert_eq!(panel.len(), slots, "panel length must equal the slot count");
+        }
+        let cycles = cycle_decomposition(&end);
+        let identity_end = end.iter().enumerate().all(|(i, &s)| i == s);
+        WearKernel {
+            sw_table,
+            slots,
+            slot_writes,
+            slot_reads,
+            end,
+            cycles,
+            redirects_per_iter,
+            identity_end,
+        }
+    }
+
+    /// Whether this kernel was compiled against exactly `table` (the reuse
+    /// test: a software re-compile that leaves the row table unchanged —
+    /// e.g. static rows — keeps the kernel valid).
+    #[must_use]
+    pub fn matches(&self, table: &[usize]) -> bool {
+        self.sw_table == table
+    }
+
+    /// Physical row count (arrangement length).
+    #[must_use]
+    pub fn slots(&self) -> usize {
+        self.slots
+    }
+
+    /// Number of lane classes.
+    #[must_use]
+    pub fn classes(&self) -> usize {
+        self.slot_writes.len()
+    }
+
+    /// Per-slot write deltas of one iteration for `class`.
+    #[must_use]
+    pub fn slot_writes(&self, class: usize) -> &[u64] {
+        &self.slot_writes[class]
+    }
+
+    /// Per-slot read deltas of one iteration for `class`, if compiled with
+    /// read tracking.
+    #[must_use]
+    pub fn slot_reads(&self, class: usize) -> Option<&[u64]> {
+        self.slot_reads.as_ref().map(|r| r[class].as_slice())
+    }
+
+    /// The net slot permutation one iteration applies to the arrangement.
+    #[must_use]
+    pub fn end_permutation(&self) -> &[usize] {
+        &self.end
+    }
+
+    /// Redirects one iteration performs (constant across iterations: the
+    /// redirect sites are fixed by the trace, not by the mapping state).
+    #[must_use]
+    pub fn redirects_per_iteration(&self) -> u64 {
+        self.redirects_per_iter
+    }
+
+    /// Whether one iteration leaves the arrangement unchanged (`E` is the
+    /// identity). Then every iteration of an epoch deposits the identical
+    /// physical pattern and the epoch collapses to a single scaled
+    /// accumulate — the run-length-batched case.
+    #[must_use]
+    pub fn is_static(&self) -> bool {
+        self.identity_end
+    }
+
+    /// Folds one epoch of `span` iterations of a per-slot delta `panel`
+    /// into `out`: `out[s] = Σ_{i=0}^{span−1} panel[E⁻ⁱ[s]]`, the total
+    /// delta slot `s` receives across the epoch. `out` is fully
+    /// overwritten. O(slots), independent of `span`: per cycle of length
+    /// `L`, `span = qL + r` contributes `q · (cycle sum)` everywhere plus a
+    /// length-`r` window slid around the cycle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `panel` or `out` differ in length from the slot count.
+    pub fn fold_epoch_into(&self, span: u64, panel: &[u64], out: &mut [u64]) {
+        assert_eq!(panel.len(), self.slots, "panel length mismatch");
+        assert_eq!(out.len(), self.slots, "output length mismatch");
+        for cycle in &self.cycles {
+            let len = cycle.len() as u64;
+            let q = span / len;
+            let r = (span % len) as usize;
+            let cycle_sum: u64 = cycle.iter().map(|&s| panel[s]).sum();
+            // Window for position j: Σ_{i=0}^{r−1} panel[cycle[(j−i) mod L]].
+            let l = cycle.len();
+            let mut window = 0u64;
+            for i in 0..r {
+                // j = 0: slots cycle[0], cycle[L−1], …, cycle[L−r+1].
+                window += panel[cycle[(l - i) % l]];
+            }
+            for (j, &slot) in cycle.iter().enumerate() {
+                out[slot] = q * cycle_sum + window;
+                // Slide to j+1: gains cycle[j+1], loses cycle[j+1−r].
+                let next = cycle[(j + 1) % l];
+                let drop = cycle[(j + 1 + l - r) % l];
+                window = window + panel[next] - panel[drop];
+            }
+        }
+    }
+
+    /// Advances an arrangement by `span` iterations in place:
+    /// `arr ← arr ∘ E^span` (`arr[s] ← arr[E^span[s]]`), using the cycle
+    /// decomposition so the cost is O(slots) for any `span`. `scratch` is
+    /// reused storage for one cycle's values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `arr`'s length differs from the slot count.
+    pub fn advance_arrangement(&self, span: u64, arr: &mut [usize], scratch: &mut Vec<usize>) {
+        assert_eq!(arr.len(), self.slots, "arrangement length mismatch");
+        if self.identity_end {
+            return;
+        }
+        for cycle in &self.cycles {
+            let l = cycle.len();
+            let shift = (span % l as u64) as usize;
+            if shift == 0 {
+                continue;
+            }
+            scratch.clear();
+            scratch.extend(cycle.iter().map(|&s| arr[s]));
+            // E^span maps cycle[j] → cycle[(j + span) mod L], so the new
+            // value at cycle[j] is the old value at cycle[(j + span) mod L].
+            for (j, &slot) in cycle.iter().enumerate() {
+                arr[slot] = scratch[(j + shift) % l];
+            }
+        }
+    }
+}
+
+/// Splits a permutation into its cycles (each slot in exactly one).
+fn cycle_decomposition(perm: &[usize]) -> Vec<Vec<usize>> {
+    let mut seen = vec![false; perm.len()];
+    let mut cycles = Vec::new();
+    for start in 0..perm.len() {
+        if seen[start] {
+            continue;
+        }
+        let mut cycle = Vec::new();
+        let mut s = start;
+        while !seen[s] {
+            seen[s] = true;
+            cycle.push(s);
+            s = perm[s];
+        }
+        cycles.push(cycle);
+    }
+    cycles
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{LaneSet, WearMap};
+
+    /// Reference fold: literally apply E iteration by iteration.
+    fn brute_fold(end: &[usize], span: u64, panel: &[u64]) -> Vec<u64> {
+        let n = end.len();
+        let mut out = vec![0u64; n];
+        // Iteration i deposits panel[t] at slot E^i[t].
+        let mut power: Vec<usize> = (0..n).collect(); // E^i
+        for _ in 0..span {
+            for (t, &slot) in power.iter().enumerate() {
+                out[slot] += panel[t];
+            }
+            let next: Vec<usize> = (0..n).map(|s| end[power[s]]).collect();
+            power = next;
+        }
+        out
+    }
+
+    fn brute_advance(end: &[usize], span: u64, arr: &[usize]) -> Vec<usize> {
+        let mut a = arr.to_vec();
+        for _ in 0..span {
+            let next: Vec<usize> = (0..a.len()).map(|s| a[end[s]]).collect();
+            a = next;
+        }
+        a
+    }
+
+    fn kernel_with_end(end: Vec<usize>) -> WearKernel {
+        let slots = end.len();
+        WearKernel::new(Vec::new(), vec![vec![0; slots]], None, end, 0)
+    }
+
+    fn xorshift(x: &mut u64) -> u64 {
+        *x ^= *x << 13;
+        *x ^= *x >> 7;
+        *x ^= *x << 17;
+        *x
+    }
+
+    fn random_perm(n: usize, seed: &mut u64) -> Vec<usize> {
+        let mut p: Vec<usize> = (0..n).collect();
+        for i in (1..n).rev() {
+            let j = (xorshift(seed) % (i as u64 + 1)) as usize;
+            p.swap(i, j);
+        }
+        p
+    }
+
+    #[test]
+    fn fold_matches_brute_force_on_random_permutations() {
+        let mut seed = 0xBADC0DEu64;
+        for n in [1usize, 2, 5, 9, 16] {
+            for span in [0u64, 1, 2, 3, 7, 16, 100, 101] {
+                let end = random_perm(n, &mut seed);
+                let panel: Vec<u64> = (0..n).map(|_| xorshift(&mut seed) % 50).collect();
+                let kernel = kernel_with_end(end.clone());
+                let mut out = vec![u64::MAX; n]; // must be fully overwritten
+                kernel.fold_epoch_into(span, &panel, &mut out);
+                assert_eq!(out, brute_fold(&end, span, &panel), "n={n} span={span}");
+            }
+        }
+    }
+
+    #[test]
+    fn advance_matches_brute_force() {
+        let mut seed = 7u64;
+        for n in [2usize, 6, 11] {
+            for span in [0u64, 1, 4, 29, 1000] {
+                let end = random_perm(n, &mut seed);
+                let start = random_perm(n, &mut seed);
+                let kernel = kernel_with_end(end.clone());
+                let mut arr = start.clone();
+                let mut scratch = Vec::new();
+                kernel.advance_arrangement(span, &mut arr, &mut scratch);
+                assert_eq!(arr, brute_advance(&end, span, &start), "n={n} span={span}");
+            }
+        }
+    }
+
+    #[test]
+    fn identity_end_is_static_and_folds_to_scaling() {
+        let kernel = kernel_with_end((0..8).collect());
+        assert!(kernel.is_static());
+        let panel: Vec<u64> = (0..8).collect();
+        let mut out = vec![0u64; 8];
+        kernel.fold_epoch_into(13, &panel, &mut out);
+        let expect: Vec<u64> = panel.iter().map(|&d| 13 * d).collect();
+        assert_eq!(out, expect);
+        let mut arr: Vec<usize> = (0..8).rev().collect();
+        let before = arr.clone();
+        kernel.advance_arrangement(1000, &mut arr, &mut Vec::new());
+        assert_eq!(arr, before);
+    }
+
+    #[test]
+    fn single_cycle_shift() {
+        // E = rotation by one: slot s → s+1 (mod 4).
+        let end = vec![1, 2, 3, 0];
+        let kernel = kernel_with_end(end.clone());
+        assert!(!kernel.is_static());
+        let panel = vec![10, 0, 0, 0];
+        let mut out = vec![0u64; 4];
+        // Three iterations: deposits at E^0[0]=0, E^1[0]=1, E^2[0]=2.
+        kernel.fold_epoch_into(3, &panel, &mut out);
+        assert_eq!(out, vec![10, 10, 10, 0]);
+    }
+
+    #[test]
+    fn matches_compares_the_compiled_table() {
+        let kernel = WearKernel::new(vec![2, 0, 1], vec![vec![0; 4]], None, (0..4).collect(), 5);
+        assert!(kernel.matches(&[2, 0, 1]));
+        assert!(!kernel.matches(&[0, 1, 2]));
+        assert_eq!(kernel.redirects_per_iteration(), 5);
+        assert_eq!(kernel.slots(), 4);
+        assert_eq!(kernel.classes(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a permutation")]
+    fn bad_end_rejected() {
+        let _ = kernel_with_end(vec![0, 0, 1]);
+    }
+
+    #[test]
+    fn panel_accumulates_into_wear_map_with_scale() {
+        let dims = ArrayDims::new(3, 4);
+        let mut panel = WearPanel::new(dims, true);
+        panel.add_row_writes(0, &[1, 3], 2);
+        panel.add_row_writes(2, &[0], 7);
+        panel.add_row_reads(1, &[2], 5);
+        assert_eq!(panel.sum_writes(), 11);
+        assert_eq!(panel.sum_reads(), 5);
+
+        let mut wear = WearMap::new(dims);
+        wear.add_writes(0, &LaneSet::full(4), 1); // pre-existing wear survives
+        wear.accumulate_panel(&panel, 3);
+        assert_eq!(wear.writes_at(0, 1), 1 + 6);
+        assert_eq!(wear.writes_at(0, 0), 1);
+        assert_eq!(wear.writes_at(2, 0), 21);
+        assert_eq!(wear.reads_at(1, 2), 15);
+        assert_eq!(wear.total_writes(), wear.recount_writes());
+        assert_eq!(wear.total_reads(), wear.recount_reads());
+
+        panel.clear();
+        assert_eq!(panel.sum_writes(), 0);
+        assert!(panel.writes().iter().all(|&w| w == 0));
+        wear.accumulate_panel(&panel, 100);
+        assert_eq!(wear.total_writes(), wear.recount_writes());
+    }
+
+    #[test]
+    #[should_panic(expected = "without read tracking")]
+    fn untracked_panel_rejects_reads() {
+        let mut panel = WearPanel::new(ArrayDims::new(2, 2), false);
+        panel.add_row_reads(0, &[0], 1);
+    }
+}

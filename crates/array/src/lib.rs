@@ -36,6 +36,7 @@
 pub mod arch;
 pub mod array;
 pub mod geometry;
+pub mod kernel;
 pub mod laneset;
 pub mod mapping;
 pub mod trace;
@@ -44,6 +45,7 @@ pub mod wear;
 pub use arch::ArchStyle;
 pub use array::{ExecStats, PimArray};
 pub use geometry::{ArrayDims, Orientation};
+pub use kernel::{WearKernel, WearPanel};
 pub use laneset::LaneSet;
 pub use mapping::{AddressMap, IdentityMap};
 pub use trace::{ClassId, Step, Trace, WriteSource};

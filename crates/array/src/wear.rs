@@ -1,6 +1,6 @@
 //! Per-cell read/write accounting and distribution statistics.
 
-use crate::{ArrayDims, LaneSet};
+use crate::{ArrayDims, LaneSet, WearPanel};
 
 /// A 2-D map of accumulated cell writes (and reads) over an array.
 ///
@@ -124,6 +124,29 @@ impl WearMap {
             total.merge(&map);
         }
         total
+    }
+
+    /// Folds a flat delta panel into this map, scaled: every cell gains
+    /// `panel_delta × scale`. This is the compiled-kernel scatter path —
+    /// one contiguous pass over both row-major buffers (no lane-set
+    /// iteration, no per-cell indexing arithmetic), with the cached grand
+    /// totals updated from the panel's own running sums.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dimensions differ.
+    pub fn accumulate_panel(&mut self, panel: &WearPanel, scale: u64) {
+        assert_eq!(self.dims, panel.dims(), "wear panel dimension mismatch");
+        for (cell, &delta) in self.writes.iter_mut().zip(panel.writes()) {
+            *cell += delta * scale;
+        }
+        self.sum_writes += panel.sum_writes() * scale;
+        if panel.tracks_reads() {
+            for (cell, &delta) in self.reads.iter_mut().zip(panel.reads()) {
+                *cell += delta * scale;
+            }
+            self.sum_reads += panel.sum_reads() * scale;
+        }
     }
 
     /// Maximum writes over all cells (the lifetime-limiting cell, Eq. 4).

@@ -110,6 +110,21 @@ impl CombinedMap {
         self.rows.as_slice()
     }
 
+    /// The software half of the row translation for the current epoch, as a
+    /// flat logical→physical-row-space table — defined for *every*
+    /// configuration, unlike [`CombinedMap::row_table`]. For static maps the
+    /// two agree; for dynamic (`+Hw`) maps this is the table the hardware
+    /// stage composes on top of, which is exactly what the compiled-kernel
+    /// path needs: it translates the trace through this table once per
+    /// software epoch and handles the hardware stage algebraically.
+    ///
+    /// Same borrow-based invalidation as [`CombinedMap::row_table`]: the
+    /// slice is rewritten in place by [`CombinedMap::advance_epoch`].
+    #[must_use]
+    pub fn sw_row_table(&self) -> &[usize] {
+        self.rows.as_slice()
+    }
+
     /// Whether this map ever changes state during execution (i.e. `Hw` is
     /// on). Static-during-epoch maps allow the simulator's fast path.
     #[must_use]
@@ -133,6 +148,13 @@ impl CombinedMap {
     #[must_use]
     pub fn hw(&self) -> Option<&HwRemapper> {
         self.hw.as_ref()
+    }
+
+    /// Mutable access to the hardware remapper, if enabled — the
+    /// compiled-kernel path advances the renaming state through
+    /// [`HwRemapper::set_arrangement`] after folding an epoch.
+    pub fn hw_mut(&mut self) -> Option<&mut HwRemapper> {
+        self.hw.as_mut()
     }
 }
 
@@ -304,6 +326,38 @@ mod tests {
     fn row_table_rejects_dynamic_maps() {
         let m = CombinedMap::new("StxSt+Hw".parse().unwrap(), 16, 4, 0);
         let _ = m.row_table();
+    }
+
+    #[test]
+    fn sw_row_table_is_defined_for_dynamic_maps() {
+        // The software half exists regardless of Hw; with Hw fresh (identity
+        // arrangement) the composed lookup equals the software table.
+        let mut m = CombinedMap::new("RaxSt+Hw".parse().unwrap(), 17, 4, 3);
+        for epoch in 0..3 {
+            let table = m.sw_row_table().to_vec();
+            assert_eq!(table.len(), 16, "Hw reserves the spare row");
+            for (logical, &sw) in table.iter().enumerate() {
+                let hw = m.hw().unwrap();
+                assert_eq!(m.lookup_row(logical), hw.lookup(sw), "epoch {epoch}");
+            }
+            m.advance_epoch();
+        }
+        // For static maps the two tables are the same slice of data.
+        let s = CombinedMap::new("BsxSt".parse().unwrap(), 16, 4, 0);
+        assert_eq!(s.sw_row_table(), s.row_table());
+    }
+
+    #[test]
+    fn hw_mut_exposes_the_live_remapper() {
+        let mut m = CombinedMap::new("StxSt+Hw".parse().unwrap(), 8, 4, 0);
+        let arr = m.hw().unwrap().arrangement();
+        m.hw_mut()
+            .unwrap()
+            .set_arrangement(&[arr[7], arr[1], arr[2], arr[3], arr[4], arr[5], arr[6], arr[0]]);
+        m.hw_mut().unwrap().add_redirects(9);
+        assert_eq!(m.lookup_row(0), 7, "mutations flow through the composed lookup");
+        assert_eq!(m.hw_redirects(), 9);
+        assert!(CombinedMap::new("StxSt".parse().unwrap(), 8, 4, 0).hw().is_none());
     }
 
     #[test]

@@ -93,6 +93,62 @@ impl HwRemapper {
         self.redirects
     }
 
+    /// Books `count` redirects into the lifetime tally without touching the
+    /// mapping — the compiled-kernel path performs a whole epoch's redirects
+    /// algebraically ([`HwRemapper::set_arrangement`]) and accounts for them
+    /// here, keeping the observability counter exact.
+    pub fn add_redirects(&mut self, count: u64) {
+        self.redirects += count;
+    }
+
+    /// The full renaming state as one arrangement: positions `0..n−1` hold
+    /// the logical→physical map, position `n` holds the free row. Together
+    /// with [`HwRemapper::set_arrangement`] this lets the compiled-kernel
+    /// path treat a whole epoch of redirects as a permutation composition.
+    #[must_use]
+    pub fn arrangement(&self) -> Vec<usize> {
+        let mut arr = self.map.clone();
+        arr.push(self.free);
+        arr
+    }
+
+    /// Restores the renaming state from an arrangement (the inverse of
+    /// [`HwRemapper::arrangement`]). The redirect tally is left alone; pair
+    /// with [`HwRemapper::add_redirects`] for exact accounting.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `arr` has the wrong length or is not a permutation of the
+    /// physical rows.
+    pub fn set_arrangement(&mut self, arr: &[usize]) {
+        let n = self.map.len() + 1;
+        assert_eq!(arr.len(), n, "arrangement must cover all {n} physical rows");
+        let mut seen = vec![false; n];
+        for &p in arr {
+            assert!(p < n && !seen[p], "arrangement is not a permutation of the physical rows");
+            seen[p] = true;
+        }
+        self.map.copy_from_slice(&arr[..n - 1]);
+        self.free = arr[n - 1];
+    }
+
+    /// A 64-bit FNV-1a fingerprint of the renaming state (map + free row,
+    /// excluding the redirect tally). Two remappers with equal fingerprints
+    /// rename identically with overwhelming probability; equal states always
+    /// fingerprint equally, so this is a cheap state-continuity witness for
+    /// the compiled replay path (used by `nvpim-check`).
+    #[must_use]
+    pub fn state_fingerprint(&self) -> u64 {
+        let mut hash = 0xcbf2_9ce4_8422_2325u64;
+        for &p in self.map.iter().chain(std::iter::once(&self.free)) {
+            for byte in (p as u64).to_le_bytes() {
+                hash ^= u64::from(byte);
+                hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        }
+        hash
+    }
+
     /// Whether the mapping is a valid bijection onto the physical rows
     /// (used by tests and debug assertions).
     #[must_use]
@@ -179,5 +235,48 @@ mod tests {
     #[should_panic(expected = "at least 2 rows")]
     fn tiny_array_rejected() {
         let _ = HwRemapper::new(1);
+    }
+
+    #[test]
+    fn arrangement_round_trips_the_state() {
+        let mut hw = HwRemapper::new(6);
+        for i in 0..40 {
+            hw.redirect(i % 5);
+        }
+        let arr = hw.arrangement();
+        assert_eq!(arr.len(), 6);
+        assert_eq!(arr[5], hw.free_row());
+        let mut restored = HwRemapper::new(6);
+        restored.set_arrangement(&arr);
+        assert_eq!(restored, hw, "arrangement must capture the full mapping state");
+        assert_eq!(restored.state_fingerprint(), hw.state_fingerprint());
+        assert_eq!(restored.redirects(), 0, "the tally is bookkept separately");
+        restored.add_redirects(40);
+        assert_eq!(restored.redirects(), hw.redirects());
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_states() {
+        let fresh = HwRemapper::new(8);
+        let mut moved = HwRemapper::new(8);
+        moved.redirect(3);
+        assert_ne!(fresh.state_fingerprint(), moved.state_fingerprint());
+        // Swapping back restores the state and the fingerprint.
+        moved.redirect(3);
+        assert_eq!(fresh.state_fingerprint(), moved.state_fingerprint());
+    }
+
+    #[test]
+    #[should_panic(expected = "not a permutation")]
+    fn set_arrangement_rejects_duplicates() {
+        let mut hw = HwRemapper::new(4);
+        hw.set_arrangement(&[0, 1, 1, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "physical rows")]
+    fn set_arrangement_rejects_wrong_length() {
+        let mut hw = HwRemapper::new(4);
+        hw.set_arrangement(&[0, 1, 2]);
     }
 }

@@ -5,14 +5,18 @@
 //! steady state of a sweep-driving client), and the raw request
 //! canonicalization that gates every lookup. `scripts/bench.sh` records the
 //! numbers into `BENCH_serve.json`; a healthy cache-hit path should sit
-//! orders of magnitude under the cold path.
+//! far under the cold path, bounded below only by the TCP round-trip.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use nvpim_serve::{Client, Server, ServerConfig, SimRequest};
 use std::hint::black_box;
 use std::str::FromStr as _;
 
-const REQUEST: &str = r#"{"workload": {"kind": "mul", "rows": 128, "lanes": 8}, "iterations": 20}"#;
+/// A request whose simulation is genuinely expensive — per-iteration
+/// software re-mapping under `+Hw` recompiles the wear kernel every
+/// iteration — so the cold/hit gap measures the simulation work a cache
+/// hit avoids, not just response formatting.
+const REQUEST: &str = r#"{"workload": {"kind": "mul", "rows": 128, "lanes": 8}, "config": "RaxRa+Hw", "period": 1, "iterations": 300}"#;
 
 fn bench_serve(c: &mut Criterion) {
     let handle = Server::start(ServerConfig::default()).expect("server starts");
@@ -26,7 +30,7 @@ fn bench_serve(c: &mut Criterion) {
             // A fresh seed per call keeps every request a guaranteed miss.
             seed += 1;
             let body = format!(
-                r#"{{"workload": {{"kind": "mul", "rows": 128, "lanes": 8}}, "iterations": 20, "seed": {seed}}}"#
+                r#"{{"workload": {{"kind": "mul", "rows": 128, "lanes": 8}}, "config": "RaxRa+Hw", "period": 1, "iterations": 300, "seed": {seed}}}"#
             );
             let reply = client.post_json("/simulate", &body).expect("cold request");
             assert_eq!(reply.status, 200);

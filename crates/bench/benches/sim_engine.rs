@@ -1,6 +1,7 @@
 //! Design-choice ablations called out in DESIGN.md:
-//! epoch-factorized vs naive accumulation, sense-amp vs preset-output
-//! semantics, and workspace allocation policies.
+//! epoch-factorized vs naive accumulation, compiled wear kernels vs
+//! per-iteration step replay on the dynamic `+Hw` path, sense-amp vs
+//! preset-output semantics, and workspace allocation policies.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use nvpim_array::{ArchStyle, ArrayDims};
@@ -38,6 +39,27 @@ fn bench_arch_styles(c: &mut Criterion) {
         group.bench_function(name, |b| {
             let sim = EnduranceSimulator::new(scale.sim_config().with_arch(arch));
             b.iter(|| black_box(sim.run(&workload, "StxSt+Hw".parse().unwrap()).wear.max_writes()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_hw_replay(c: &mut Criterion) {
+    // The epoch-compiled wear-kernel ablation: for a dynamic (+Hw)
+    // configuration the compiled path walks the trace symbolically once per
+    // software epoch and folds whole epochs over the end permutation's
+    // cycle structure in O(rows); step replay walks the trace once per
+    // iteration. At paper scale the gap is the iterations-per-epoch factor.
+    let workload = ParallelMul::new(ArrayDims::new(512, 32), 16).build();
+    let cfg = SimConfig::paper()
+        .with_iterations(2000)
+        .with_schedule(nvpim_balance::RemapSchedule::every(100));
+    let mut group = c.benchmark_group("hw_replay");
+    group.sample_size(10);
+    for (name, kernels) in [("compiled", true), ("step_replay", false)] {
+        group.bench_function(name, |b| {
+            let sim = EnduranceSimulator::new(cfg.with_hw_kernels(kernels));
+            b.iter(|| black_box(sim.run(&workload, "RaxRa+Hw".parse().unwrap()).wear.max_writes()));
         });
     }
     group.finish();
@@ -86,6 +108,7 @@ criterion_group!(
     benches,
     bench_fast_vs_naive,
     bench_arch_styles,
+    bench_hw_replay,
     bench_translation_cache,
     bench_alloc_policies
 );

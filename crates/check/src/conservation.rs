@@ -130,3 +130,60 @@ pub fn verify_conservation(
 
     findings
 }
+
+/// Proves the epoch-compiled `+Hw` kernel path is bit-identical to
+/// per-iteration step replay: the same workload and configuration run once
+/// with kernels enabled and once with them disabled, and every cell's
+/// write and read tallies — plus the lifetime-limiting maximum — must
+/// match exactly. Only meaningful for dynamic (`hw: true`) configurations;
+/// static maps never enter the kernel engine.
+#[must_use]
+pub fn verify_kernel_equivalence(
+    workload: &Workload,
+    config: BalanceConfig,
+    cfg: SimConfig,
+) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let subject = format!("{}/{config}", workload.name());
+    let compiled = EnduranceSimulator::new(cfg.with_hw_kernels(true)).run(workload, config);
+    let replayed = EnduranceSimulator::new(cfg.with_hw_kernels(false)).run(workload, config);
+
+    let dims = workload.trace().dims();
+    let mut divergent = 0usize;
+    let mut first = None;
+    for row in 0..dims.rows() {
+        for lane in 0..dims.lanes() {
+            let (cw, rw) = (compiled.wear.writes_at(row, lane), replayed.wear.writes_at(row, lane));
+            let (cr, rr) = (compiled.wear.reads_at(row, lane), replayed.wear.reads_at(row, lane));
+            if cw != rw || cr != rr {
+                divergent += 1;
+                first.get_or_insert((row, lane, cw, rw, cr, rr));
+            }
+        }
+    }
+    if let Some((row, lane, cw, rw, cr, rr)) = first {
+        findings.push(Finding::new(
+            PASS,
+            "kernel-divergence",
+            subject.clone(),
+            format!(
+                "{divergent} cell(s) differ between compiled-kernel and step-replay arms; \
+                 first at ({row},{lane}): writes {cw} vs {rw}, reads {cr} vs {rr}"
+            ),
+        ));
+    }
+    if compiled.wear.max_writes() != replayed.wear.max_writes() {
+        findings.push(Finding::new(
+            PASS,
+            "kernel-divergence",
+            subject,
+            format!(
+                "compiled-kernel max-writes {} differs from step-replay {}",
+                compiled.wear.max_writes(),
+                replayed.wear.max_writes()
+            ),
+        ));
+    }
+
+    findings
+}

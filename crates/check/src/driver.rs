@@ -2,7 +2,7 @@
 //! matrix, runs every pass family, and aggregates a [`Report`].
 
 use nvpim_array::ArrayDims;
-use nvpim_balance::{BalanceConfig, Strategy, StrategyMapper};
+use nvpim_balance::{BalanceConfig, RemapSchedule, Strategy, StrategyMapper};
 use nvpim_core::SimConfig;
 use nvpim_logic::{circuits, Circuit, CircuitBuilder};
 use nvpim_workloads::parallel_mul::ParallelMul;
@@ -370,6 +370,17 @@ pub fn run_conservation_pass(opts: &CheckOptions, report: &mut Report) {
     for &config in &opts.configs {
         report.extend(conservation::verify_conservation(&workload, config, cfg));
         report.bump_checks(4);
+    }
+
+    // The compiled-kernel fast path must be bit-identical to per-iteration
+    // step replay for every dynamic (+Hw) configuration. A period of 5
+    // against `conservation_iters = 24` crosses four full software epochs
+    // plus a partial final one, so both the cycle-power fold and the
+    // short-span tail are exercised.
+    let kernel_cfg = cfg.with_schedule(RemapSchedule::every(5)).with_read_tracking(true);
+    for &config in opts.configs.iter().filter(|c| c.hw) {
+        report.extend(conservation::verify_kernel_equivalence(&workload, config, kernel_cfg));
+        report.bump_checks(2);
     }
 }
 

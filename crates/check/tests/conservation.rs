@@ -2,8 +2,8 @@
 //! caught.
 
 use nvpim_array::{ArrayDims, WearMap};
-use nvpim_balance::BalanceConfig;
-use nvpim_check::conservation::{check_totals, verify_conservation};
+use nvpim_balance::{BalanceConfig, RemapSchedule};
+use nvpim_check::conservation::{check_totals, verify_conservation, verify_kernel_equivalence};
 use nvpim_core::SimConfig;
 use nvpim_workloads::parallel_mul::ParallelMul;
 
@@ -16,6 +16,23 @@ fn representative_configs_conserve() {
     for config in ["StxSt", "RaxBs", "StxSt+Hw", "RaxRa+Hw"] {
         let config: BalanceConfig = config.parse().expect("valid literal");
         let findings = verify_conservation(&workload, config, cfg);
+        assert!(findings.is_empty(), "{config}: {findings:?}");
+    }
+}
+
+/// The compiled-kernel arm is bit-identical to step replay for dynamic
+/// configurations across epoch boundaries (including a partial epoch).
+#[test]
+fn kernel_arms_are_equivalent_for_dynamic_configs() {
+    let workload = ParallelMul::new(ArrayDims::new(128, 8), 8).build();
+    let cfg = SimConfig::paper()
+        .with_iterations(17)
+        .with_schedule(RemapSchedule::every(5))
+        .with_read_tracking(true)
+        .with_seed(3);
+    for config in ["StxSt+Hw", "RaxBs+Hw", "BsxRa+Hw"] {
+        let config: BalanceConfig = config.parse().expect("valid literal");
+        let findings = verify_kernel_equivalence(&workload, config, cfg);
         assert!(findings.is_empty(), "{config}: {findings:?}");
     }
 }

@@ -1,0 +1,233 @@
+//! The compiled replay engine for dynamic (`+Hw`) configurations.
+//!
+//! Hardware free-row renaming is a *position-based* state machine: which
+//! entries of its arrangement a trace reads, redirects, and swaps is fixed
+//! by the trace and the software row table — the arrangement's current
+//! contents never feed back into the control flow. That makes one symbolic
+//! replay per software epoch sufficient:
+//!
+//! 1. **Compile** ([`HwKernelEngine::ensure_kernel`]): walk the trace once
+//!    against a *fresh* [`HwRemapper`] (identity arrangement), translating
+//!    rows through the epoch's software table. Record each operation's
+//!    returned slot into per-(class, slot) delta panels, plus the net slot
+//!    permutation `E` and the redirect count `k` of one iteration. If the
+//!    start-of-epoch arrangement is `A₀`, the real replay's iteration `i`
+//!    deposits the slot-`t` delta at physical row `A₀[Eⁱ[t]]` — exactly
+//!    (proved inductively: real state = `A₀ ∘ symbolic state` before every
+//!    operation, and both sides apply the same position swaps).
+//! 2. **Fold** ([`HwKernelEngine::apply_epoch`]): collapse the epoch's
+//!    `span` iterations into per-slot totals over `E`'s cycle structure
+//!    (O(rows), any span — [`WearKernel::fold_epoch_into`]), render them
+//!    through the lane permutation into a flat [`WearPanel`], and
+//!    accumulate the panel into the wear map in one contiguous pass. When
+//!    `E` is the identity the fold degenerates to `span ×` the one-shot
+//!    panel (run-length batching).
+//! 3. **Advance**: set the remapper to `A₀ ∘ E^span` and book `span × k`
+//!    redirects, so the renaming state and the observability tally are
+//!    bit-identical to having replayed every iteration.
+//!
+//! The kernel is cached across epochs and re-validated against the software
+//! row table: static row strategies (`St`) keep one kernel for the whole
+//! run; `Ra`/`Bs` rows recompile once per epoch — still one trace walk per
+//! epoch instead of one per iteration.
+
+use nvpim_array::{ArchStyle, Step, Trace, WearKernel, WearMap, WearPanel};
+use nvpim_balance::{CombinedMap, HwRemapper};
+
+/// Reusable compiled-replay state for one simulation run (kernel cache +
+/// scratch buffers, so steady-state epochs allocate nothing).
+#[derive(Debug)]
+pub(crate) struct HwKernelEngine {
+    kernel: Option<WearKernel>,
+    panel: WearPanel,
+    /// Per-class physical-lane lists under the current lane permutation.
+    phys_lanes: Vec<Vec<usize>>,
+    /// Per-class folded per-slot write totals for the epoch.
+    totals: Vec<Vec<u64>>,
+    /// Per-class folded per-slot read totals (when tracking reads).
+    read_totals: Option<Vec<Vec<u64>>>,
+    /// Arrangement scratch (A₀, advanced in place to A_span).
+    arrangement: Vec<usize>,
+    cycle_scratch: Vec<usize>,
+}
+
+impl HwKernelEngine {
+    pub(crate) fn new(trace: &Trace, track_reads: bool) -> Self {
+        let slots = trace.dims().rows();
+        let n_classes = trace.classes().len();
+        HwKernelEngine {
+            kernel: None,
+            panel: WearPanel::new(trace.dims(), track_reads),
+            phys_lanes: vec![Vec::new(); n_classes],
+            totals: vec![vec![0; slots]; n_classes],
+            read_totals: track_reads.then(|| vec![vec![0; slots]; n_classes]),
+            arrangement: Vec::new(),
+            cycle_scratch: Vec::new(),
+        }
+    }
+
+    /// Makes sure the cached kernel matches the map's current software row
+    /// table, compiling one if not. Returns whether a compile happened
+    /// (one full trace walk — the compiled path's analogue of a replay).
+    pub(crate) fn ensure_kernel(
+        &mut self,
+        trace: &Trace,
+        map: &CombinedMap,
+        arch: ArchStyle,
+    ) -> bool {
+        let table = map.sw_row_table();
+        if self.kernel.as_ref().is_some_and(|k| k.matches(table)) {
+            return false;
+        }
+        self.kernel = Some(compile(trace, table, arch, self.read_totals.is_some()));
+        true
+    }
+
+    /// Folds one epoch of `span` iterations into `wear` and advances the
+    /// map's renaming state, bit-identically to `span` step replays.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no kernel is compiled ([`HwKernelEngine::ensure_kernel`]
+    /// must run first) or the map is not dynamic.
+    pub(crate) fn apply_epoch(
+        &mut self,
+        trace: &Trace,
+        map: &mut CombinedMap,
+        span: u64,
+        wear: &mut WearMap,
+    ) {
+        let kernel = self.kernel.as_ref().expect("ensure_kernel must precede apply_epoch");
+        let perm = map.lane_permutation();
+        for (class, lanes) in trace.classes().iter().enumerate() {
+            let out = &mut self.phys_lanes[class];
+            out.clear();
+            out.extend(lanes.iter().map(|l| perm[l]));
+        }
+        let hw = map.hw_mut().expect("compiled path requires a dynamic map");
+        self.arrangement.clear();
+        self.arrangement.extend_from_slice(&hw.arrangement());
+
+        self.panel.clear();
+        if kernel.is_static() {
+            // One iteration's pattern, span times — scaled flat accumulate.
+            for class in 0..kernel.classes() {
+                deposit(
+                    &mut self.panel,
+                    &self.arrangement,
+                    kernel.slot_writes(class),
+                    &self.phys_lanes[class],
+                    false,
+                );
+                if let Some(reads) = kernel.slot_reads(class) {
+                    deposit(
+                        &mut self.panel,
+                        &self.arrangement,
+                        reads,
+                        &self.phys_lanes[class],
+                        true,
+                    );
+                }
+            }
+            wear.accumulate_panel(&self.panel, span);
+        } else {
+            for class in 0..kernel.classes() {
+                kernel.fold_epoch_into(span, kernel.slot_writes(class), &mut self.totals[class]);
+                deposit(
+                    &mut self.panel,
+                    &self.arrangement,
+                    &self.totals[class],
+                    &self.phys_lanes[class],
+                    false,
+                );
+                if let Some(reads) = kernel.slot_reads(class) {
+                    let read_totals = &mut self.read_totals.as_mut().expect("read scratch")[class];
+                    kernel.fold_epoch_into(span, reads, read_totals);
+                    deposit(
+                        &mut self.panel,
+                        &self.arrangement,
+                        read_totals,
+                        &self.phys_lanes[class],
+                        true,
+                    );
+                }
+            }
+            wear.accumulate_panel(&self.panel, 1);
+        }
+
+        kernel.advance_arrangement(span, &mut self.arrangement, &mut self.cycle_scratch);
+        hw.set_arrangement(&self.arrangement);
+        hw.add_redirects(span * kernel.redirects_per_iteration());
+    }
+}
+
+/// Renders per-slot totals into the flat panel: slot `t`'s delta lands at
+/// physical row `arrangement[t]` across the class's physical lanes.
+fn deposit(
+    panel: &mut WearPanel,
+    arrangement: &[usize],
+    slot_totals: &[u64],
+    lanes: &[usize],
+    reads: bool,
+) {
+    for (slot, &delta) in slot_totals.iter().enumerate() {
+        if delta == 0 {
+            continue;
+        }
+        let row = arrangement[slot];
+        if reads {
+            panel.add_row_reads(row, lanes, delta);
+        } else {
+            panel.add_row_writes(row, lanes, delta);
+        }
+    }
+}
+
+/// Symbolically replays one iteration: a fresh remapper plays the hardware
+/// stage, rows translate through the epoch's software `table`. Mirrors
+/// `Accumulator::replay` operation for operation — in particular a gate
+/// redirects *before* its input reads are tallied.
+fn compile(trace: &Trace, table: &[usize], arch: ArchStyle, track_reads: bool) -> WearKernel {
+    let slots = trace.dims().rows();
+    let lanes = trace.dims().lanes();
+    let mut sym = HwRemapper::new(slots);
+    let all_lanes: Vec<bool> = trace.classes().iter().map(|c| c.count() == lanes).collect();
+    let writes_per_gate = arch.writes_per_gate();
+    let n_classes = trace.classes().len();
+    let mut slot_writes = vec![vec![0u64; slots]; n_classes];
+    let mut slot_reads = track_reads.then(|| vec![vec![0u64; slots]; n_classes]);
+    for step in trace.steps() {
+        match *step {
+            Step::Write { row, class, .. } => {
+                slot_writes[class][sym.lookup(table[row])] += 1;
+            }
+            Step::Read { row, class } => {
+                if let Some(reads) = &mut slot_reads {
+                    reads[class][sym.lookup(table[row])] += 1;
+                }
+            }
+            Step::Gate { kind, ins, out, class } => {
+                let slot = if all_lanes[class] {
+                    sym.redirect(table[out])
+                } else {
+                    sym.lookup(table[out])
+                };
+                slot_writes[class][slot] += writes_per_gate;
+                if let Some(reads) = &mut slot_reads {
+                    reads[class][sym.lookup(table[ins[0]])] += 1;
+                    if kind.arity() == 2 {
+                        reads[class][sym.lookup(table[ins[1]])] += 1;
+                    }
+                }
+            }
+            Step::Transfer { src_row, dst_row, src_class, dst_class } => {
+                slot_writes[dst_class][sym.lookup(table[dst_row])] += 1;
+                if let Some(reads) = &mut slot_reads {
+                    reads[src_class][sym.lookup(table[src_row])] += 1;
+                }
+            }
+        }
+    }
+    let redirects = sym.redirects();
+    WearKernel::new(table.to_vec(), slot_writes, slot_reads, sym.arrangement(), redirects)
+}

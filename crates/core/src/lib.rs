@@ -44,6 +44,7 @@
 
 pub mod baseline;
 pub mod failure;
+mod kernel;
 pub mod lifetime;
 pub mod limits;
 pub mod parallel;

@@ -30,6 +30,13 @@ use crate::{EnduranceSimulator, SimConfig, SimResult};
 /// when a process-wide observer is installed, and `None` otherwise (run
 /// against [`NullSink`] for the zero-cost disabled path). Worker observers
 /// are merged into the global one in submission order after all jobs join.
+///
+/// When the run would execute inline anyway (one worker, one job, or a
+/// single-core machine — see [`ParallelRunner::effective_threads`]), the
+/// jobs record straight into the global observer: with a single executor
+/// the submission order *is* the completion order, so the
+/// collect-then-absorb indirection would buy nothing and cost a private
+/// observer per job.
 pub fn fan_out<I, O, F>(jobs: Vec<I>, workers: usize, f: F) -> Vec<O>
 where
     I: Send,
@@ -39,6 +46,9 @@ where
     let runner = ParallelRunner::new(workers);
     match observer::current() {
         Some(global) => {
+            if runner.effective_threads(jobs.len()) <= 1 {
+                return jobs.into_iter().map(|job| f(job, Some(&global))).collect();
+            }
             let outputs = runner.run(jobs, |job| {
                 let local = Observer::collecting();
                 let out = f(job, Some(&local));

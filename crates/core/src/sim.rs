@@ -2,11 +2,14 @@
 //! → per-cell write distribution.
 //!
 //! §4 of the paper: *"The simulation is instruction-level accurate, and each
-//! write to each memory cell is counted."* Because hardware re-mapping can
-//! give every iteration a different write pattern, iterations are replayed
-//! individually when `Hw` is on; without `Hw` the pattern within one
-//! re-compilation epoch is constant, so one iteration is simulated per epoch
-//! and scaled — bit-exact against naive execution (asserted by tests) and
+//! write to each memory cell is counted."* Without `Hw` the pattern within
+//! one re-compilation epoch is constant, so one iteration is simulated per
+//! epoch and scaled. With `Hw` every iteration has a different pattern, but
+//! the free-row renaming is position-based: one symbolic trace walk per
+//! epoch compiles a wear kernel (per-slot delta panels plus the iteration's
+//! slot permutation), and the whole epoch is folded over the permutation's
+//! cycle structure in O(rows) (see [`crate::kernel`]'s module docs). Both
+//! paths are bit-exact against naive execution (asserted by tests) and
 //! orders of magnitude faster.
 
 use std::time::Instant;
@@ -51,6 +54,11 @@ pub struct SimConfig {
     /// re-translating every step. Identical results either way; off exists
     /// only for the ablation bench.
     pub translation_cache: bool,
+    /// Whether dynamic (`+Hw`) maps run through the epoch-compiled wear
+    /// kernel (one symbolic trace walk per epoch, folded in O(rows))
+    /// instead of replaying every iteration step by step. Identical results
+    /// either way; off exists only for the ablation bench.
+    pub hw_kernels: bool,
 }
 
 impl SimConfig {
@@ -65,6 +73,7 @@ impl SimConfig {
             seed: 0xC0FFEE,
             track_reads: false,
             translation_cache: true,
+            hw_kernels: true,
         }
     }
 
@@ -108,6 +117,15 @@ impl SimConfig {
     #[must_use]
     pub fn with_translation_cache(mut self, enabled: bool) -> Self {
         self.translation_cache = enabled;
+        self
+    }
+
+    /// Enables or disables the epoch-compiled wear-kernel fast path for
+    /// dynamic (`+Hw`) maps (on by default; disabling falls back to
+    /// per-iteration step replay and is for the ablation bench only).
+    #[must_use]
+    pub fn with_hw_kernels(mut self, enabled: bool) -> Self {
+        self.hw_kernels = enabled;
         self
     }
 }
@@ -211,6 +229,22 @@ impl EnduranceSimulator {
         balance: BalanceConfig,
         sink: &S,
     ) -> SimResult {
+        let counts = workload.trace().counts(self.cfg.arch);
+        self.run_with_counts(workload, balance, sink, counts)
+    }
+
+    /// [`EnduranceSimulator::run_with`] with the trace's static counts
+    /// precomputed by the caller. The counts depend only on the trace and
+    /// the architecture style, so batch entry points (the 18-configuration
+    /// matrix, the re-mapping sweep) tally them once instead of walking the
+    /// trace again for every job.
+    pub(crate) fn run_with_counts<S: EventSink>(
+        &self,
+        workload: &Workload,
+        balance: BalanceConfig,
+        sink: &S,
+        counts: nvpim_array::trace::TraceCounts,
+    ) -> SimResult {
         let trace = workload.trace();
         let dims = trace.dims();
         let mut map = CombinedMap::new(balance, dims.rows(), dims.lanes(), self.cfg.seed);
@@ -224,7 +258,6 @@ impl EnduranceSimulator {
 
         let enabled = sink.enabled();
         let run_start = Instant::now();
-        let counts = trace.counts(self.cfg.arch);
         if enabled {
             let config_name = balance.to_string();
             let arch_name = self.cfg.arch.to_string();
@@ -241,9 +274,12 @@ impl EnduranceSimulator {
 
         let mut acc = Accumulator::new(trace, self.cfg.track_reads);
         let mut wear = WearMap::new(dims);
+        let mut hw_engine = (map.is_dynamic() && self.cfg.hw_kernels)
+            .then(|| crate::kernel::HwKernelEngine::new(trace, self.cfg.track_reads));
 
         // Per-epoch tallies; cheap plain locals even on the disabled path.
         let mut replays = 0u64;
+        let mut kernel_compiles = 0u64;
         let mut epochs = 0u64;
         let mut replay_ns = 0u64;
         let mut scatter_ns = 0u64;
@@ -258,7 +294,15 @@ impl EnduranceSimulator {
             let span = until_remap.min(self.cfg.iterations - iteration);
 
             let replay_timer = enabled.then(Instant::now);
-            if map.is_dynamic() {
+            if let Some(engine) = &mut hw_engine {
+                // Compiled path: at most one symbolic trace walk per epoch
+                // (and none at all while the software row table is
+                // unchanged, e.g. St rows).
+                if engine.ensure_kernel(trace, &map, self.cfg.arch) {
+                    replays += 1;
+                    kernel_compiles += 1;
+                }
+            } else if map.is_dynamic() {
                 // Hardware re-mapping evolves per gate: replay each
                 // iteration of the epoch. This path allocates nothing per
                 // iteration — all tallies live in the accumulator.
@@ -282,8 +326,12 @@ impl EnduranceSimulator {
             }
 
             let scatter_timer = enabled.then(Instant::now);
-            let scale = if map.is_dynamic() { 1 } else { span };
-            acc.scatter(trace, &map, &mut wear, scale);
+            if let Some(engine) = &mut hw_engine {
+                engine.apply_epoch(trace, &mut map, span, &mut wear);
+            } else {
+                let scale = if map.is_dynamic() { 1 } else { span };
+                acc.scatter(trace, &map, &mut wear, scale);
+            }
             if let Some(t) = scatter_timer {
                 scatter_ns += t.elapsed().as_nanos() as u64;
             }
@@ -327,6 +375,7 @@ impl EnduranceSimulator {
                 name: "sim.steps_replayed",
                 delta: replays * counts.sequential_steps,
             });
+            sink.record(&Event::CounterAdd { name: "sim.kernel_compiles", delta: kernel_compiles });
             sink.record(&Event::CounterAdd { name: "balance.remap_events", delta: epochs });
             sink.record(&Event::CounterAdd {
                 name: "balance.hw_redirects",
@@ -376,9 +425,12 @@ impl EnduranceSimulator {
         configs: &[BalanceConfig],
         jobs: usize,
     ) -> Vec<SimResult> {
+        // The trace's static counts are config-independent: tally them once
+        // for the whole batch instead of once per job.
+        let counts = workload.trace().counts(self.cfg.arch);
         fan_out(configs.to_vec(), jobs, |config, sink| match sink {
-            Some(observer) => self.run_with(workload, config, observer),
-            None => self.run_with(workload, config, &NullSink),
+            Some(observer) => self.run_with_counts(workload, config, observer, counts),
+            None => self.run_with_counts(workload, config, &NullSink, counts),
         })
     }
 
@@ -755,8 +807,11 @@ mod tests {
             EnduranceSimulator::new(cfg).run_with(&wl, "StxSt+Hw".parse().unwrap(), &observer);
         let snap = observer.snapshot();
         assert_eq!(snap.counter("sim.iterations"), Some(10));
-        // Hw forces per-iteration replay: 10 replays over 2 epochs.
-        assert_eq!(snap.counter("sim.replays"), Some(10));
+        // The compiled Hw path walks the trace once: with static (St) rows
+        // the software table never changes, so the single kernel compiled in
+        // epoch 1 covers both epochs.
+        assert_eq!(snap.counter("sim.replays"), Some(1));
+        assert_eq!(snap.counter("sim.kernel_compiles"), Some(1));
         assert_eq!(snap.counter("balance.remap_events"), Some(2));
         // The counters cross-check the wear map exactly.
         assert_eq!(snap.counter("array.cell_writes"), Some(result.total_writes()));

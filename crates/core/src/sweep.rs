@@ -80,11 +80,14 @@ pub fn remap_frequency_sweep_parallel(
     let schedules: Vec<RemapSchedule> = std::iter::once(RemapSchedule::never())
         .chain(periods.iter().map(|&p| RemapSchedule::every(p)))
         .collect();
+    // The trace's static counts don't depend on the schedule: one tally
+    // serves every job in the batch.
+    let counts = workload.trace().counts(base.arch);
     let lifetimes: Vec<f64> = fan_out(schedules, jobs, |schedule, sink| {
         let sim = EnduranceSimulator::new(base.with_schedule(schedule));
         let result = match sink {
-            Some(observer) => sim.run_with(workload, balance, observer),
-            None => sim.run_with(workload, balance, &NullSink),
+            Some(observer) => sim.run_with_counts(workload, balance, observer, counts),
+            None => sim.run_with_counts(workload, balance, &NullSink, counts),
         };
         model.lifetime(&result).iterations
     });

@@ -38,6 +38,8 @@ pub mod pool;
 pub mod queue;
 pub mod runner;
 
-pub use pool::{available_threads, invalid_env_rejections, validate_threads, JobPool};
+pub use pool::{
+    available_threads, invalid_env_rejections, machine_parallelism, validate_threads, JobPool,
+};
 pub use queue::{SubmitError, TaskQueue};
 pub use runner::ParallelRunner;

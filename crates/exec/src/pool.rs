@@ -7,19 +7,31 @@
 //! independent of worker scheduling.
 
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Mutex, Once};
+use std::sync::{Mutex, Once, OnceLock};
 
 /// Environment variable overriding the pool's default width.
 pub const THREADS_ENV: &str = "NVPIM_THREADS";
 
+/// The machine's detected parallelism
+/// ([`std::thread::available_parallelism`], 1 if unknown), queried once per
+/// process. The detection is a syscall on most platforms; caching it keeps
+/// repeated pool construction and spawn-width clamping off the kernel.
+#[must_use]
+pub fn machine_parallelism() -> usize {
+    static CACHE: OnceLock<usize> = OnceLock::new();
+    *CACHE.get_or_init(|| std::thread::available_parallelism().map_or(1, usize::from))
+}
+
 /// The pool width used when none is requested explicitly: the
 /// `NVPIM_THREADS` environment variable if set to a positive integer,
-/// otherwise [`std::thread::available_parallelism`] (1 if unknown).
+/// otherwise [`machine_parallelism`]. The environment is re-read on every
+/// call (tests and long-lived services may change it); only the hardware
+/// detection is cached.
 #[must_use]
 pub fn available_threads() -> usize {
     match parse_threads(std::env::var(THREADS_ENV).ok().as_deref()) {
         Some(n) => n,
-        None => std::thread::available_parallelism().map_or(1, usize::from),
+        None => machine_parallelism(),
     }
 }
 
@@ -133,12 +145,24 @@ impl JobPool {
         self.threads
     }
 
+    /// Worker threads [`JobPool::map`] would actually spawn for `jobs`
+    /// queued items: the configured width clamped to the machine's
+    /// parallelism and the job count (never below 1). Callers can use
+    /// `effective_threads(n) <= 1` to predict the inline path and skip
+    /// per-worker setup of their own.
+    #[must_use]
+    pub fn effective_threads(&self, jobs: usize) -> usize {
+        self.threads.min(machine_parallelism()).min(jobs).max(1)
+    }
+
     /// Applies `f` to every item, returning the outputs in submission order.
     ///
-    /// With one worker (or zero/one items) the jobs run inline on the
-    /// calling thread — no threads are spawned and execution is exactly the
-    /// serial loop. Otherwise `min(threads, items)` scoped workers drain the
-    /// queue.
+    /// When [`JobPool::effective_threads`] resolves to one worker — a width
+    /// of 1, a single item, or a single-core machine (oversubscribing cores
+    /// only adds scheduling overhead to CPU-bound simulation jobs) — the
+    /// jobs run inline on the calling thread: no threads are spawned and
+    /// execution is exactly the serial loop. Otherwise that many scoped
+    /// workers drain the queue.
     ///
     /// # Panics
     ///
@@ -152,14 +176,15 @@ impl JobPool {
         F: Fn(I) -> O + Sync,
     {
         let n = items.len();
-        if self.threads <= 1 || n <= 1 {
+        let workers = self.effective_threads(n);
+        if workers <= 1 || n <= 1 {
             return items.into_iter().map(f).collect();
         }
 
         let queue = Mutex::new(Queue { items: items.into_iter().map(Some).collect(), next: 0 });
         let results: Mutex<Vec<Option<O>>> = Mutex::new((0..n).map(|_| None).collect());
         std::thread::scope(|scope| {
-            for _ in 0..self.threads.min(n) {
+            for _ in 0..workers {
                 scope.spawn(|| loop {
                     let (index, item) = {
                         let mut q = queue.lock().expect("job queue poisoned");
@@ -260,6 +285,39 @@ mod tests {
     fn zero_width_resolves_to_environment() {
         assert!(JobPool::new(0).threads() >= 1);
         assert!(JobPool::from_env().threads() >= 1);
+    }
+
+    #[test]
+    fn machine_parallelism_is_stable_and_positive() {
+        let first = machine_parallelism();
+        assert!(first >= 1);
+        assert_eq!(machine_parallelism(), first, "cached value must not drift");
+    }
+
+    #[test]
+    fn effective_threads_clamps_to_machine_and_jobs() {
+        let pool = JobPool::new(64);
+        // Never wider than the machine or the job list, never zero.
+        assert!(pool.effective_threads(100) <= machine_parallelism());
+        assert_eq!(pool.effective_threads(0), 1);
+        assert_eq!(pool.effective_threads(1), 1);
+        assert_eq!(JobPool::new(1).effective_threads(100), 1);
+        // The configured width is still reported unclamped.
+        assert_eq!(pool.threads(), 64);
+    }
+
+    #[test]
+    fn oversubscribed_pool_still_runs_every_job() {
+        // A pool far wider than the machine must behave exactly like the
+        // serial loop (results, order, exactly-once) — only the spawn width
+        // is clamped.
+        let ran = AtomicUsize::new(0);
+        let out = JobPool::new(1024).map((0..40usize).collect(), |i| {
+            ran.fetch_add(1, Ordering::Relaxed);
+            i * 7
+        });
+        assert_eq!(ran.load(Ordering::Relaxed), 40);
+        assert_eq!(out, (0..40).map(|i| i * 7).collect::<Vec<_>>());
     }
 
     #[test]

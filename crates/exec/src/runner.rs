@@ -55,6 +55,14 @@ impl ParallelRunner {
         self.pool.threads()
     }
 
+    /// Workers that would actually be spawned for `jobs` items (the
+    /// configured width clamped to the machine and the job count); `<= 1`
+    /// means the run executes inline on the calling thread.
+    #[must_use]
+    pub fn effective_threads(&self, jobs: usize) -> usize {
+        self.pool.effective_threads(jobs)
+    }
+
     /// Executes every job, returning outputs in submission order.
     pub fn run<I, O, F>(&self, jobs: Vec<I>, f: F) -> Vec<O>
     where

@@ -24,10 +24,15 @@ use std::path::PathBuf;
 use nvpim_obs::Json;
 
 use crate::hash::key_hex;
+use crate::http;
 
 struct Entry {
     request: String,
     body: String,
+    /// The complete HTTP hit response (head + body, `X-Cache: hit`),
+    /// rendered once when the entry is admitted so serving a hit is a
+    /// single buffer write with no per-request formatting.
+    rendered: Vec<u8>,
 }
 
 /// Point-in-time cache statistics (served by `/metrics`).
@@ -108,24 +113,34 @@ impl ResultCache {
     /// memory first and then the spill directory. A hit refreshes the
     /// entry's LRU position (and re-admits a disk entry to memory).
     pub fn get(&mut self, key: u64, canonical_request: &str) -> Option<String> {
+        self.lookup(key, canonical_request).map(|entry| entry.body.clone())
+    }
+
+    /// Like [`ResultCache::get`], but returns the pre-rendered HTTP hit
+    /// response (head + body) so the caller can answer with one write.
+    pub fn get_response(&mut self, key: u64, canonical_request: &str) -> Option<Vec<u8>> {
+        self.lookup(key, canonical_request).map(|entry| entry.rendered.clone())
+    }
+
+    fn lookup(&mut self, key: u64, canonical_request: &str) -> Option<&Entry> {
         if let Some(entry) = self.entries.get(&key) {
-            if entry.request == canonical_request {
-                let body = entry.body.clone();
-                self.touch(key);
-                self.stats.hits += 1;
-                return Some(body);
+            if entry.request != canonical_request {
+                // Hash collision: different request under this key. Treat as
+                // a miss; the colliding insert will overwrite and that is
+                // fine — correctness only requires never serving the wrong
+                // body.
+                self.stats.misses += 1;
+                return None;
             }
-            // Hash collision: different request under this key. Treat as a
-            // miss; the colliding insert will overwrite and that is fine —
-            // correctness only requires never serving the wrong body.
-            self.stats.misses += 1;
-            return None;
+            self.touch(key);
+            self.stats.hits += 1;
+            return self.entries.get(&key);
         }
         if let Some(body) = self.load_from_disk(key, canonical_request) {
-            self.admit(key, canonical_request.to_owned(), body.clone());
+            self.admit(key, canonical_request.to_owned(), body);
             self.stats.disk_loads += 1;
             self.stats.hits += 1;
-            return Some(body);
+            return self.entries.get(&key);
         }
         self.stats.misses += 1;
         None
@@ -146,7 +161,8 @@ impl ResultCache {
     }
 
     fn admit(&mut self, key: u64, request: String, body: String) {
-        if self.entries.insert(key, Entry { request, body }).is_some() {
+        let rendered = http::render_response(200, &[("X-Cache", "hit")], "application/json", &body);
+        if self.entries.insert(key, Entry { request, body, rendered }).is_some() {
             self.touch(key);
         } else {
             self.order.push_back(key);
@@ -200,6 +216,22 @@ mod tests {
         assert_eq!(cache.get(1, "req-1"), Some("body-1".into()));
         let stats = cache.stats();
         assert_eq!((stats.hits, stats.misses, stats.resident), (1, 1, 1));
+    }
+
+    #[test]
+    fn hit_response_is_prerendered_http() {
+        let mut cache = ResultCache::new(4, None);
+        assert_eq!(cache.get_response(9, "req"), None);
+        cache.insert(9, "req".into(), "{\"x\":1}".into());
+        let bytes = cache.get_response(9, "req").expect("hit");
+        let text = String::from_utf8(bytes).expect("response is UTF-8");
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"), "{text}");
+        assert!(text.contains("X-Cache: hit\r\n"), "{text}");
+        assert!(text.contains("Content-Length: 7\r\n"), "{text}");
+        assert!(text.ends_with("\r\n\r\n{\"x\":1}"), "{text}");
+        // Both accessors count as hits on the same entry.
+        assert_eq!(cache.get(9, "req"), Some("{\"x\":1}".into()));
+        assert_eq!(cache.stats().hits, 2);
     }
 
     #[test]

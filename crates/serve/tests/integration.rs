@@ -21,11 +21,13 @@ fn small_request(seed: u64) -> String {
     )
 }
 
-/// A request the simulator cannot finish within its 1 ms budget: a dynamic
-/// (`+Hw`) configuration replays every iteration, so this costs real time.
+/// A request the simulator cannot finish within its 1 ms budget: random
+/// (`Ra`) rows reshuffle the software table every epoch, so with `period: 1`
+/// the `+Hw` kernel is recompiled — a full trace walk — for every single
+/// iteration, and the cost genuinely scales with the iteration count.
 fn slow_request() -> &'static str {
     r#"{"workload": {"kind": "mul", "rows": 128, "lanes": 16},
-        "config": "StxSt+Hw", "iterations": 200000, "timeout_ms": 1}"#
+        "config": "RaxRa+Hw", "period": 1, "iterations": 200000, "timeout_ms": 1}"#
 }
 
 fn counter(metrics: &Json, name: &str) -> u64 {
@@ -118,6 +120,40 @@ fn spelling_variants_of_one_request_share_a_cache_entry() {
 }
 
 #[test]
+fn cache_hits_skip_simulation_cost_entirely() {
+    let (handle, client) = start(ServerConfig::default());
+    // Expensive by construction: with Ra rows and period 1 the Hw kernel is
+    // recompiled every iteration, so the cold run pays real simulation time
+    // that a hit — one pre-rendered buffer write — must not.
+    let body = r#"{"workload": {"kind": "mul", "rows": 128, "lanes": 16},
+                   "config": "RaxRa+Hw", "period": 1, "iterations": 1500}"#;
+    let cold_start = std::time::Instant::now();
+    let cold = client.post_json("/simulate", body).unwrap();
+    let cold_time = cold_start.elapsed();
+    assert_eq!(cold.status, 200);
+    assert_eq!(cold.header("x-cache"), Some("miss"));
+
+    // Best of several hits, so scheduler noise cannot fail the bound.
+    let mut best_hit = Duration::MAX;
+    for _ in 0..5 {
+        let hit_start = std::time::Instant::now();
+        let hit = client.post_json("/simulate", body).unwrap();
+        let hit_time = hit_start.elapsed();
+        assert_eq!(hit.status, 200);
+        assert_eq!(hit.header("x-cache"), Some("hit"));
+        assert_eq!(hit.text(), cold.text(), "hits must serve the cold run's exact bytes");
+        best_hit = best_hit.min(hit_time);
+    }
+    assert!(
+        best_hit < cold_time / 10,
+        "a cache hit ({best_hit:?}) must cost <10% of the cold request ({cold_time:?})"
+    );
+
+    handle.request_shutdown();
+    handle.join();
+}
+
+#[test]
 fn over_budget_simulation_times_out_with_504() {
     let (handle, client) = start(ServerConfig::default());
     let reply = client.post_json("/simulate", slow_request()).unwrap();
@@ -138,7 +174,7 @@ fn saturated_queue_answers_429_with_retry_after() {
     // while (the 1 ms budget expires quickly, but the handler only returns
     // after writing the 504 — so pile enough on to keep the queue full).
     let slow = r#"{"workload": {"kind": "mul", "rows": 256, "lanes": 32},
-                   "config": "StxSt+Hw", "iterations": 400000, "timeout_ms": 2000}"#;
+                   "config": "RaxRa+Hw", "period": 1, "iterations": 400000, "timeout_ms": 2000}"#;
     let occupier = {
         let c = client.clone();
         std::thread::spawn(move || c.post_json("/simulate", slow))
@@ -181,7 +217,7 @@ fn graceful_shutdown_finishes_in_flight_work_and_refuses_new_connections() {
         let c = client.clone();
         std::thread::spawn(move || {
             let body = r#"{"workload": {"kind": "mul", "rows": 256, "lanes": 32},
-                           "config": "StxSt+Hw", "iterations": 50000}"#;
+                           "config": "RaxRa+Hw", "period": 1, "iterations": 2000}"#;
             c.post_json("/simulate", body).unwrap()
         })
     };

@@ -17,6 +17,11 @@ cargo clippy --offline --workspace --all-targets -- -D warnings
 cargo test -q --release --offline -p nvpim-core --test parallel
 cargo test -q --release --offline -p nvpim-exec
 
+# The compiled-kernel bit-identity suite in release mode: the +Hw fast
+# path must match per-iteration step replay cell for cell under the same
+# optimization level the benchmarks and the repro binary run at.
+cargo test -q --release --offline -p nvpim-core --test kernels
+
 # The HTTP service end to end in release mode: concurrent byte-identical
 # responses, cache hits, 429 backpressure, 504 timeouts, graceful drain.
 cargo test -q --release --offline -p nvpim-serve --test integration
@@ -58,6 +63,16 @@ if cargo +nightly miri --version > /dev/null 2>&1; then
         echo "ci: warning — miri run failed (non-blocking)"
 else
     echo "ci: skipping miri (nightly toolchain with miri not installed)"
+fi
+
+# Opt-in bench smoke: NVPIM_BENCH_SMOKE=1 runs the full benchmark suite
+# and diffs medians against the checked-in baselines (scripts/bench.sh
+# exits nonzero on >25% regressions). Off by default — wall-clock numbers
+# are only meaningful on a quiet machine.
+if [ "${NVPIM_BENCH_SMOKE:-0}" = "1" ]; then
+    scripts/bench.sh
+else
+    echo "ci: skipping bench smoke (set NVPIM_BENCH_SMOKE=1 to enable)"
 fi
 
 echo "ci: all checks passed"
