@@ -269,6 +269,25 @@ impl WearMap {
         (2.0 * weighted) / (n * total as f64) - (n + 1.0) / n
     }
 
+    /// Nearest-rank quantile of the per-cell write distribution:
+    /// `write_quantile(0.99)` is the smallest count `w` such that at least
+    /// 99% of cells have `writes ≤ w`. `q` is clamped to `[0, 1]`; `q = 0`
+    /// gives the minimum, `q = 1` the maximum. A pure function of the
+    /// write counts, so replayed and compiled runs agree bit for bit.
+    #[must_use]
+    pub fn write_quantile(&self, q: f64) -> u64 {
+        if self.writes.is_empty() {
+            return 0;
+        }
+        let mut sorted: Vec<u64> = self.writes.clone();
+        sorted.sort_unstable();
+        let n = sorted.len();
+        let q = q.clamp(0.0, 1.0);
+        // Nearest-rank: ceil(q * n), 1-based; q = 0 maps to rank 1.
+        let rank = ((q * n as f64).ceil() as usize).clamp(1, n);
+        sorted[rank - 1]
+    }
+
     /// Downsamples the write map onto a `grid_rows × grid_lanes` grid of
     /// cell-averaged densities normalized to the maximum bucket (1.0 =
     /// hottest bucket), for heatmap rendering.
@@ -345,6 +364,25 @@ mod tests {
         assert_eq!(w.total_reads(), 15);
         assert_eq!(w.reads_at(1, 1), 1);
         assert_eq!(w.total_writes(), 0);
+    }
+
+    #[test]
+    fn write_quantile_is_nearest_rank() {
+        let mut w = WearMap::new(ArrayDims::new(2, 2));
+        // Cell counts: [0, 1, 2, 3].
+        w.add_write_at(0, 1, 1);
+        w.add_write_at(1, 0, 2);
+        w.add_write_at(1, 1, 3);
+        assert_eq!(w.write_quantile(0.0), 0);
+        assert_eq!(w.write_quantile(0.25), 0);
+        assert_eq!(w.write_quantile(0.5), 1);
+        assert_eq!(w.write_quantile(0.75), 2);
+        assert_eq!(w.write_quantile(0.99), 3);
+        assert_eq!(w.write_quantile(1.0), 3);
+        assert_eq!(w.write_quantile(1.0), w.max_writes());
+        // Out-of-range quantiles clamp rather than panic.
+        assert_eq!(w.write_quantile(-1.0), 0);
+        assert_eq!(w.write_quantile(2.0), 3);
     }
 
     #[test]

@@ -1,22 +1,27 @@
 //! Overhead of the observability layer on the simulation hot path.
 //!
-//! Three arms over an identical run:
+//! Four arms over an identical run:
 //! - `baseline`: `run()` with no observer installed (dispatches to
 //!   `NullSink` — the production default);
 //! - `null_sink`: `run_with(&NullSink)` explicitly, to confirm the generic
 //!   dispatch itself adds nothing;
-//! - `observer`: a full `Observer` aggregating counters and span timings.
+//! - `observer`: a full `Observer` aggregating counters and span timings;
+//! - `tracer_idle`: an `Observer` with a `TraceRecorder` attached but no
+//!   ambient span open — tracing wired up yet disabled, the steady state
+//!   of a service between traced requests.
 //!
 //! The first two must be statistically indistinguishable: `NullSink`'s
 //! `enabled()` is a constant `false`, so every guarded emission site in
-//! `run_with` is dead code after monomorphization.
+//! `run_with` is dead code after monomorphization. `tracer_idle` should
+//! track `observer` — the recorder only costs when spans actually open.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use nvpim_array::ArrayDims;
 use nvpim_core::{EnduranceSimulator, SimConfig};
-use nvpim_obs::{NullSink, Observer};
+use nvpim_obs::{NullSink, Observer, TraceRecorder};
 use nvpim_workloads::parallel_mul::ParallelMul;
 use std::hint::black_box;
+use std::sync::Arc;
 
 fn bench_instrumentation_overhead(c: &mut Criterion) {
     let workload = ParallelMul::new(ArrayDims::new(128, 16), 8).build();
@@ -35,6 +40,11 @@ fn bench_instrumentation_overhead(c: &mut Criterion) {
     group.bench_function("observer", |b| {
         let sim = EnduranceSimulator::new(cfg);
         let observer = Observer::collecting();
+        b.iter(|| black_box(sim.run_with(&workload, balance, &observer).total_writes()));
+    });
+    group.bench_function("tracer_idle", |b| {
+        let sim = EnduranceSimulator::new(cfg);
+        let observer = Observer::collecting().with_tracer(Arc::new(TraceRecorder::new()));
         b.iter(|| black_box(sim.run_with(&workload, balance, &observer).total_writes()));
     });
     group.finish();

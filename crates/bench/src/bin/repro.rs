@@ -38,6 +38,10 @@
 //!   --progress      live iteration/ETA progress lines on stderr
 //!   --metrics-out F stream simulator events to F as JSONL
 //!   --manifest F    write a run-manifest JSON artifact to F
+//!   --trace-out F   record hierarchical spans for the whole run and write
+//!                   them to F as Chrome trace-event JSON (Perfetto-loadable)
+//!   --series-out F  sample the per-epoch wear trajectory and write the
+//!                   collected time-series to F as JSON
 //! ```
 
 use std::io::BufWriter;
@@ -48,6 +52,7 @@ use std::time::Instant;
 use nvpim_bench::{experiments, Scale};
 use nvpim_obs::{
     observer, EventSink, FanoutSink, Json, JsonlSink, Observer, RunManifest, StderrProgressSink,
+    TraceRecorder,
 };
 
 /// Report destination: stdout (text or `--json` envelopes) plus an optional
@@ -123,8 +128,25 @@ fn main() {
     let progress = args.iter().any(|a| a == "--progress");
     let metrics_out = flag_path(&args, "--metrics-out");
     let manifest_out = flag_path(&args, "--manifest");
-    let observe = progress || metrics_out.is_some() || manifest_out.is_some();
-    let obs = observe.then(|| install_observer(progress, metrics_out.as_deref()));
+    let trace_out = flag_path(&args, "--trace-out");
+    let series_out = flag_path(&args, "--series-out");
+    if series_out.is_some() {
+        scale = scale.with_series(true);
+    }
+    let observe = progress
+        || metrics_out.is_some()
+        || manifest_out.is_some()
+        || trace_out.is_some()
+        || series_out.is_some();
+    let tracer = trace_out.is_some().then(|| Arc::new(TraceRecorder::new()));
+    let obs = observe.then(|| install_observer(progress, metrics_out.as_deref(), tracer.clone()));
+    // Open the run's root span before the command executes and park it as
+    // the ambient context, so parallel workers join one coherent trace.
+    let root = tracer.as_ref().map(|t| {
+        let span = t.begin_trace(&format!("repro.{command}"));
+        t.set_ambient(span.context());
+        span
+    });
     let emitter = Emitter {
         out_dir: out_dir.clone(),
         json: args.iter().any(|a| a == "--json"),
@@ -151,7 +173,7 @@ fn main() {
         "variation" => emitter.emit("variation", &experiments::variation_report(scale)),
         "bnn" => emitter.emit("bnn", &experiments::bnn_report(scale)),
         "system" => emitter.emit("system", &experiments::system_report(scale)),
-        "serve-smoke" => match serve_smoke_report() {
+        "serve-smoke" => match serve_smoke_report(out_dir.as_deref()) {
             Ok(report) => emitter.emit("serve-smoke", &report),
             Err(e) => {
                 eprintln!("serve-smoke failed: {e}");
@@ -213,6 +235,9 @@ fn main() {
         }
     }
 
+    // Close the root span before exporting so its duration covers the
+    // whole command.
+    drop(root);
     if let Some(obs) = &obs {
         obs.flush();
         if let Some(path) = &manifest_out {
@@ -222,6 +247,18 @@ fn main() {
             if let Err(e) = std::fs::write(path, doc) {
                 die(&format!("cannot write manifest {}: {e}", path.display()));
             }
+        }
+        if let Some(path) = &series_out {
+            let doc = obs.series().snapshot().to_json().render_pretty();
+            if let Err(e) = std::fs::write(path, doc) {
+                die(&format!("cannot write series {}: {e}", path.display()));
+            }
+        }
+    }
+    if let (Some(tracer), Some(path)) = (&tracer, &trace_out) {
+        tracer.clear_ambient();
+        if let Err(e) = std::fs::write(path, tracer.chrome_trace()) {
+            die(&format!("cannot write trace {}: {e}", path.display()));
         }
     }
     if exit_code != 0 {
@@ -243,7 +280,11 @@ fn flag_path(args: &[String], flag: &str) -> Option<PathBuf> {
 /// Installs the process-wide observer the simulator reports into. Always
 /// installed when any observability flag is given (`--manifest` alone still
 /// needs metric aggregation, just no forwarding).
-fn install_observer(progress: bool, metrics_out: Option<&std::path::Path>) -> Arc<Observer> {
+fn install_observer(
+    progress: bool,
+    metrics_out: Option<&std::path::Path>,
+    tracer: Option<Arc<TraceRecorder>>,
+) -> Arc<Observer> {
     let mut fan = FanoutSink::new();
     if progress {
         fan = fan.with(StderrProgressSink::new());
@@ -253,7 +294,11 @@ fn install_observer(progress: bool, metrics_out: Option<&std::path::Path>) -> Ar
             .unwrap_or_else(|e| die(&format!("cannot create {}: {e}", path.display())));
         fan = fan.with(JsonlSink::new(BufWriter::new(file)));
     }
-    match observer::install(Observer::new(fan)) {
+    let mut observer = Observer::new(fan);
+    if let Some(tracer) = tracer {
+        observer = observer.with_tracer(tracer);
+    }
+    match observer::install(observer) {
         Ok(obs) => obs,
         Err(_) => die("observer already installed"),
     }
@@ -299,10 +344,12 @@ fn scale_config_json(scale: Scale) -> Json {
 }
 
 /// Boots an in-process nvpim-serve instance, round-trips a request twice
-/// (miss, then cache hit), checks byte-identity and the service metrics,
-/// and renders a short report. Exercises the full HTTP path end-to-end
-/// without any external tooling.
-fn serve_smoke_report() -> Result<String, String> {
+/// (miss, then cache hit), checks byte-identity, the service metrics, and
+/// the Prometheus exposition, and renders a short report. Exercises the
+/// full HTTP path end-to-end without any external tooling. Under `--out`
+/// the Prometheus text is kept as `serve-metrics.prom` so CI can re-lint
+/// the artifact with `obs-lint --prom`.
+fn serve_smoke_report(out_dir: Option<&std::path::Path>) -> Result<String, String> {
     use nvpim_serve::{Client, Server, ServerConfig};
 
     let handle = Server::start(ServerConfig::default()).map_err(|e| e.to_string())?;
@@ -312,6 +359,7 @@ fn serve_smoke_report() -> Result<String, String> {
     let first = client.post_json("/simulate", body)?;
     let second = client.post_json("/simulate", body)?;
     let metrics = client.get("/metrics")?.json()?;
+    let prom = client.get("/metrics?format=prometheus")?;
     handle.request_shutdown();
     handle.join();
 
@@ -339,6 +387,18 @@ fn serve_smoke_report() -> Result<String, String> {
         .and_then(Json::as_str)
         .ok_or("result document carries no key")?
         .to_owned();
+    if prom.status != 200 {
+        return Err(format!("prometheus exposition answered {}", prom.status));
+    }
+    let prom_text = prom.text();
+    let prom_stats = nvpim_obs::validate::prometheus(&prom_text)
+        .map_err(|e| format!("prometheus exposition invalid: {e}"))?;
+    if let Some(dir) = out_dir {
+        let path = dir.join("serve-metrics.prom");
+        if let Err(e) = std::fs::write(&path, &prom_text) {
+            eprintln!("warning: could not write {}: {e}", path.display());
+        }
+    }
 
     let mut report = String::new();
     report.push_str("serve smoke test (in-process nvpim-serve)\n");
@@ -348,6 +408,10 @@ fn serve_smoke_report() -> Result<String, String> {
     report.push_str("first request    200 (x-cache: miss)\n");
     report.push_str("second request   200 (x-cache: hit), byte-identical\n");
     report.push_str(&format!("cache hits       {hits}\n"));
+    report.push_str(&format!(
+        "prometheus       {} families ({} histograms), {} samples\n",
+        prom_stats.families, prom_stats.histograms, prom_stats.samples
+    ));
     report.push_str("graceful drain   ok\n");
     Ok(report)
 }
@@ -377,4 +441,7 @@ Options:
                     under --json)
   --progress        live iteration/ETA progress lines on stderr
   --metrics-out F   stream simulator events to F as JSONL
-  --manifest F      write a run-manifest JSON artifact to F";
+  --manifest F      write a run-manifest JSON artifact to F
+  --trace-out F     write the run's spans to F as Chrome trace-event JSON
+                    (load in Perfetto / chrome://tracing)
+  --series-out F    sample the per-epoch wear trajectory and write it to F";

@@ -25,26 +25,47 @@ pub struct Scale {
     /// Worker threads for independent simulations (`0` = auto: honor
     /// `NVPIM_THREADS`, else all available cores).
     pub jobs: usize,
+    /// Whether simulations sample the per-epoch wear trajectory
+    /// (`repro --series-out`).
+    pub series: bool,
 }
 
 impl Scale {
     /// The paper's full evaluation scale: 1024 × 1024, 100 000 iterations.
     #[must_use]
     pub fn paper() -> Self {
-        Scale { dims: ArrayDims::paper(), iterations: 100_000, elements: 1024, jobs: 0 }
+        Scale {
+            dims: ArrayDims::paper(),
+            iterations: 100_000,
+            elements: 1024,
+            jobs: 0,
+            series: false,
+        }
     }
 
     /// Paper-sized array, 2 000 iterations — the default for the `repro`
     /// harness (minutes, not hours; identical distribution shape).
     #[must_use]
     pub fn default_scale() -> Self {
-        Scale { dims: ArrayDims::paper(), iterations: 2_000, elements: 1024, jobs: 0 }
+        Scale {
+            dims: ArrayDims::paper(),
+            iterations: 2_000,
+            elements: 1024,
+            jobs: 0,
+            series: false,
+        }
     }
 
     /// A tiny scale for Criterion benches and smoke tests.
     #[must_use]
     pub fn tiny() -> Self {
-        Scale { dims: ArrayDims::new(512, 64), iterations: 200, elements: 64, jobs: 0 }
+        Scale {
+            dims: ArrayDims::new(512, 64),
+            iterations: 200,
+            elements: 64,
+            jobs: 0,
+            series: false,
+        }
     }
 
     /// Overrides the iteration count.
@@ -61,6 +82,13 @@ impl Scale {
         self
     }
 
+    /// Enables per-epoch wear-trajectory sampling.
+    #[must_use]
+    pub fn with_series(mut self, series: bool) -> Self {
+        self.series = series;
+        self
+    }
+
     /// The simulator configuration for this scale (paper defaults
     /// otherwise: preset-output gates, re-compilation every 100 iterations).
     #[must_use]
@@ -68,6 +96,7 @@ impl Scale {
         SimConfig::paper()
             .with_iterations(self.iterations)
             .with_schedule(RemapSchedule::every(100.min(self.iterations.max(1))))
+            .with_epoch_series(self.series)
     }
 
     /// The §4 parallel-multiplication benchmark at this scale.

@@ -55,4 +55,4 @@ pub mod system;
 
 pub use lifetime::{Lifetime, LifetimeModel};
 pub use parallel::{fan_out, run_matrix, MatrixPoint};
-pub use sim::{EnduranceSimulator, SimConfig, SimResult};
+pub use sim::{EnduranceSimulator, EpochSample, SimConfig, SimResult};

@@ -169,6 +169,7 @@ mod tests {
             iterations,
             steps_per_iteration: steps,
             arch: ArchStyle::SenseAmp,
+            series: Vec::new(),
         }
     }
 

@@ -14,6 +14,13 @@
 //!    that is absorbed into the global one in submission order after the
 //!    join ([`Observer::absorb`]); counters and phase timings aggregate to
 //!    exactly the serial totals.
+//! 3. **One coherent trace.** When the global observer carries a
+//!    [`TraceRecorder`](nvpim_obs::TraceRecorder) with an ambient context
+//!    (CLI drivers set one around the whole run), every job runs inside an
+//!    `exec.job` child span recorded straight into the shared recorder —
+//!    span timing is wall-clock truth, so it bypasses the collect-then-
+//!    absorb path and a parallel matrix run exports as a single trace with
+//!    per-worker thread lanes.
 
 use nvpim_array::ArchStyle;
 use nvpim_balance::{BalanceConfig, RemapSchedule};
@@ -46,12 +53,30 @@ where
     let runner = ParallelRunner::new(workers);
     match observer::current() {
         Some(global) => {
+            // Capture the trace context once, before any job starts: jobs
+            // must not race on a driver mutating the ambient mid-run.
+            let tracer = global.tracer().cloned();
+            let ambient = tracer.as_ref().and_then(|t| t.ambient());
+            let traced = |i: usize, observer: &Observer, job: I| {
+                let mut span = match (&tracer, ambient) {
+                    (Some(t), Some(ctx)) => Some(t.span(ctx, "exec.job")),
+                    _ => None,
+                };
+                if let Some(span) = span.as_mut() {
+                    span.attr_u64("job", i as u64);
+                }
+                f(job, Some(observer))
+            };
             if runner.effective_threads(jobs.len()) <= 1 {
-                return jobs.into_iter().map(|job| f(job, Some(&global))).collect();
+                return jobs
+                    .into_iter()
+                    .enumerate()
+                    .map(|(i, job)| traced(i, &global, job))
+                    .collect();
             }
-            let outputs = runner.run(jobs, |job| {
+            let outputs = runner.run(jobs.into_iter().enumerate().collect(), |(i, job)| {
                 let local = Observer::collecting();
-                let out = f(job, Some(&local));
+                let out = traced(i, &local, job);
                 (out, local)
             });
             outputs

@@ -59,6 +59,12 @@ pub struct SimConfig {
     /// instead of replaying every iteration step by step. Identical results
     /// either way; off exists only for the ablation bench.
     pub hw_kernels: bool,
+    /// Whether to sample the wear distribution at every epoch boundary
+    /// into [`SimResult::series`] (max/mean/p99 writes, Gini, remap
+    /// count) and emit matching [`Event::SeriesPoint`]s. The samples are
+    /// pure functions of the wear map, so they are bit-identical across
+    /// the replayed and compiled paths; off (the default) costs nothing.
+    pub epoch_series: bool,
 }
 
 impl SimConfig {
@@ -74,6 +80,7 @@ impl SimConfig {
             track_reads: false,
             translation_cache: true,
             hw_kernels: true,
+            epoch_series: false,
         }
     }
 
@@ -128,6 +135,13 @@ impl SimConfig {
         self.hw_kernels = enabled;
         self
     }
+
+    /// Enables per-epoch wear-trajectory sampling (off by default).
+    #[must_use]
+    pub fn with_epoch_series(mut self, enabled: bool) -> Self {
+        self.epoch_series = enabled;
+        self
+    }
 }
 
 impl Default for SimConfig {
@@ -136,6 +150,28 @@ impl Default for SimConfig {
     fn default() -> Self {
         SimConfig::paper().with_iterations(10_000)
     }
+}
+
+/// One point of the wear trajectory: the cumulative wear distribution's
+/// summary statistics at an epoch boundary. Every field is a pure
+/// function of the (bit-exact) wear map, so replayed and compiled runs
+/// produce identical samples.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EpochSample {
+    /// Iterations completed when the sample was taken.
+    pub iteration: u64,
+    /// Zero-based index of the epoch span just folded.
+    pub epoch: u64,
+    /// Writes on the hottest cell so far.
+    pub max_writes: u64,
+    /// 99th-percentile per-cell write count (nearest rank).
+    pub p99_writes: u64,
+    /// Mean per-cell write count.
+    pub mean_writes: f64,
+    /// Gini coefficient of the write distribution.
+    pub gini: f64,
+    /// Software remap events so far.
+    pub remaps: u64,
 }
 
 /// Outcome of one simulation: the wear map plus the bookkeeping lifetime
@@ -152,6 +188,9 @@ pub struct SimResult {
     pub steps_per_iteration: u64,
     /// Architecture style used.
     pub arch: ArchStyle,
+    /// Per-epoch wear trajectory (empty unless
+    /// [`SimConfig::epoch_series`] was enabled).
+    pub series: Vec<EpochSample>,
 }
 
 impl SimResult {
@@ -283,6 +322,7 @@ impl EnduranceSimulator {
         let mut epochs = 0u64;
         let mut replay_ns = 0u64;
         let mut scatter_ns = 0u64;
+        let mut series: Vec<EpochSample> = Vec::new();
 
         let mut iteration = 0u64;
         while iteration < self.cfg.iterations {
@@ -348,6 +388,34 @@ impl EnduranceSimulator {
                     sink.record(&Event::EpochAdvance { iteration, epoch: map.epoch() });
                 }
             }
+            if self.cfg.epoch_series {
+                // Sampled *after* the epoch's wear landed (and after any
+                // remap), so a sample at iteration N reflects exactly N
+                // folded iterations on both the replayed and the compiled
+                // path — the bit-for-bit contract the trajectory tests
+                // assert.
+                let sample = EpochSample {
+                    iteration,
+                    epoch: series.len() as u64,
+                    max_writes: wear.max_writes(),
+                    p99_writes: wear.write_quantile(0.99),
+                    mean_writes: wear.mean_writes(),
+                    gini: wear.gini(),
+                    remaps: epochs,
+                };
+                if enabled {
+                    for (name, value) in [
+                        ("wear.max_writes", sample.max_writes as f64),
+                        ("wear.p99_writes", sample.p99_writes as f64),
+                        ("wear.mean_writes", sample.mean_writes),
+                        ("wear.gini", sample.gini),
+                        ("wear.remaps", sample.remaps as f64),
+                    ] {
+                        sink.record(&Event::SeriesPoint { series: name, index: iteration, value });
+                    }
+                }
+                series.push(sample);
+            }
         }
 
         // Runtime consistency cross-check: the wear map and the trace's
@@ -400,6 +468,7 @@ impl EnduranceSimulator {
             iterations: self.cfg.iterations,
             steps_per_iteration: counts.sequential_steps,
             arch: self.cfg.arch,
+            series,
         }
     }
 
@@ -891,6 +960,76 @@ mod tests {
             assert_eq!(s.wear.max_writes(), p.wear.max_writes());
             assert_eq!(s.wear.total_writes(), p.wear.total_writes());
         }
+    }
+
+    #[test]
+    fn epoch_series_is_bit_identical_across_replay_paths() {
+        // The trajectory samples are pure functions of the wear map at each
+        // epoch boundary, so the compiled-kernel path and per-iteration step
+        // replay must produce the exact same Vec<EpochSample> — including
+        // the float fields, which derive from integer write counts.
+        let wl = small_mul();
+        let base = SimConfig::default()
+            .with_iterations(20)
+            .with_schedule(RemapSchedule::every(4))
+            .with_epoch_series(true);
+        for config in ["StxSt+Hw", "RaxRa+Hw", "BsxSt+Hw"] {
+            let balance: BalanceConfig = config.parse().unwrap();
+            let compiled = EnduranceSimulator::new(base.with_hw_kernels(true)).run(&wl, balance);
+            let replayed = EnduranceSimulator::new(base.with_hw_kernels(false)).run(&wl, balance);
+            assert_eq!(compiled.series.len(), 5, "{config}: 20 iters / period 4");
+            assert_eq!(compiled.series, replayed.series, "{config} trajectories diverge");
+        }
+        // Static maps: translation cache on/off must agree the same way.
+        let cached = EnduranceSimulator::new(base.with_translation_cache(true))
+            .run(&wl, "RaxRa".parse().unwrap());
+        let uncached = EnduranceSimulator::new(base.with_translation_cache(false))
+            .run(&wl, "RaxRa".parse().unwrap());
+        assert_eq!(cached.series, uncached.series);
+    }
+
+    #[test]
+    fn epoch_series_tracks_the_trajectory() {
+        let wl = small_mul();
+        let cfg = SimConfig::default()
+            .with_iterations(12)
+            .with_schedule(RemapSchedule::every(3))
+            .with_epoch_series(true);
+        let result = EnduranceSimulator::new(cfg).run(&wl, BalanceConfig::baseline());
+        assert_eq!(result.series.len(), 4);
+        let last = result.series.last().unwrap();
+        assert_eq!(last.iteration, 12);
+        assert_eq!(last.max_writes, result.wear.max_writes());
+        assert_eq!(last.p99_writes, result.wear.write_quantile(0.99));
+        assert_eq!(last.remaps, 4);
+        // Wear accumulates: max writes are non-decreasing over epochs.
+        for pair in result.series.windows(2) {
+            assert!(pair[1].max_writes >= pair[0].max_writes);
+            assert!(pair[1].iteration > pair[0].iteration);
+        }
+        // Off by default: no samples, no cost.
+        let plain = EnduranceSimulator::new(cfg.with_epoch_series(false))
+            .run(&wl, BalanceConfig::baseline());
+        assert!(plain.series.is_empty());
+    }
+
+    #[test]
+    fn epoch_series_events_reach_the_observer() {
+        let wl = small_mul();
+        let cfg = SimConfig::default()
+            .with_iterations(10)
+            .with_schedule(RemapSchedule::every(5))
+            .with_epoch_series(true);
+        let observer = nvpim_obs::Observer::collecting();
+        let result =
+            EnduranceSimulator::new(cfg).run_with(&wl, BalanceConfig::baseline(), &observer);
+        let snap = observer.series().snapshot();
+        let max = snap.series.get("wear.max_writes").expect("series routed");
+        assert_eq!(max.points.len(), 2);
+        assert_eq!(max.points[1].index, 10);
+        assert_eq!(max.points[1].value, result.wear.max_writes() as f64);
+        assert!(snap.series.contains_key("wear.gini"));
+        assert!(snap.series.contains_key("wear.remaps"));
     }
 
     #[test]

@@ -184,20 +184,25 @@ impl JobPool {
         let queue = Mutex::new(Queue { items: items.into_iter().map(Some).collect(), next: 0 });
         let results: Mutex<Vec<Option<O>>> = Mutex::new((0..n).map(|_| None).collect());
         std::thread::scope(|scope| {
-            for _ in 0..workers {
-                scope.spawn(|| loop {
-                    let (index, item) = {
-                        let mut q = queue.lock().expect("job queue poisoned");
-                        if q.next >= q.items.len() {
-                            break;
-                        }
-                        let index = q.next;
-                        q.next += 1;
-                        (index, q.items[index].take().expect("job taken twice"))
-                    };
-                    let output = f(item);
-                    results.lock().expect("result slots poisoned")[index] = Some(output);
-                });
+            for worker in 0..workers {
+                // Named workers so trace exports (Chrome `thread_name`
+                // metadata) and panic messages identify the lane.
+                std::thread::Builder::new()
+                    .name(format!("nvpim-worker-{worker}"))
+                    .spawn_scoped(scope, || loop {
+                        let (index, item) = {
+                            let mut q = queue.lock().expect("job queue poisoned");
+                            if q.next >= q.items.len() {
+                                break;
+                            }
+                            let index = q.next;
+                            q.next += 1;
+                            (index, q.items[index].take().expect("job taken twice"))
+                        };
+                        let output = f(item);
+                        results.lock().expect("result slots poisoned")[index] = Some(output);
+                    })
+                    .expect("spawn pool worker");
             }
         });
 

@@ -1,0 +1,66 @@
+//! `obs-lint` — std-only validator for the observability export formats.
+//!
+//! ```text
+//! obs-lint --chrome trace.json      # Chrome trace-event JSON
+//! obs-lint --prom metrics.txt      # Prometheus text exposition
+//! ```
+//!
+//! Exits nonzero (with a diagnostic on stderr) on the first structural
+//! violation; on success prints a one-line summary. CI runs it against
+//! the traced `repro` smoke artifacts.
+
+use std::process::ExitCode;
+
+use nvpim_obs::validate;
+
+const USAGE: &str = "usage: obs-lint (--chrome FILE | --prom FILE)...";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || args.len() % 2 != 0 {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    }
+    let mut failures = 0u32;
+    for pair in args.chunks(2) {
+        let (flag, path) = (&pair[0], &pair[1]);
+        let text = match std::fs::read_to_string(path) {
+            Ok(text) => text,
+            Err(err) => {
+                eprintln!("obs-lint: {path}: {err}");
+                failures += 1;
+                continue;
+            }
+        };
+        let outcome = match flag.as_str() {
+            "--chrome" => validate::chrome_trace(&text).map(|stats| {
+                format!(
+                    "{} events, {} spans, {} trace(s), {} thread(s)",
+                    stats.events, stats.complete_spans, stats.traces, stats.threads
+                )
+            }),
+            "--prom" => validate::prometheus(&text).map(|stats| {
+                format!(
+                    "{} families ({} histograms), {} samples",
+                    stats.families, stats.histograms, stats.samples
+                )
+            }),
+            other => {
+                eprintln!("obs-lint: unknown flag {other}\n{USAGE}");
+                return ExitCode::FAILURE;
+            }
+        };
+        match outcome {
+            Ok(summary) => println!("obs-lint: {path}: ok — {summary}"),
+            Err(err) => {
+                eprintln!("obs-lint: {path}: INVALID — {err}");
+                failures += 1;
+            }
+        }
+    }
+    if failures == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -67,6 +67,16 @@ pub enum Event<'a> {
         /// Observation.
         value: u64,
     },
+    /// One sample of a named time-series (routed into the observer's
+    /// series registry; e.g. per-epoch wear statistics).
+    SeriesPoint {
+        /// Series name.
+        series: &'a str,
+        /// Sample x-coordinate (iteration, epoch, request number, ...).
+        index: u64,
+        /// Sample value.
+        value: f64,
+    },
     /// A simulation run finished.
     RunEnd {
         /// Iterations replayed.
@@ -97,6 +107,7 @@ impl Event<'_> {
             Event::CounterAdd { .. } => "counter_add",
             Event::GaugeSet { .. } => "gauge_set",
             Event::Observe { .. } => "observe",
+            Event::SeriesPoint { .. } => "series_point",
             Event::RunEnd { .. } => "run_end",
             Event::Message { .. } => "message",
         }
@@ -123,6 +134,9 @@ impl Event<'_> {
             Event::CounterAdd { name, delta } => obj.with("name", name).with("delta", delta),
             Event::GaugeSet { name, value } => obj.with("name", name).with("value", value),
             Event::Observe { name, value } => obj.with("name", name).with("value", value),
+            Event::SeriesPoint { series, index, value } => {
+                obj.with("series", series).with("index", index).with("value", value)
+            }
             Event::RunEnd { iterations, total_writes, max_writes, wall_ns } => obj
                 .with("iterations", iterations)
                 .with("total_writes", total_writes)
@@ -155,6 +169,7 @@ mod tests {
             Event::CounterAdd { name: "sim.steps", delta: 7 },
             Event::GaugeSet { name: "sim.frac", value: 0.5 },
             Event::Observe { name: "sim.span_iters", value: 100 },
+            Event::SeriesPoint { series: "wear.max", index: 100, value: 12.0 },
             Event::RunEnd { iterations: 10, total_writes: 100, max_writes: 9, wall_ns: 5 },
             Event::Message { text: "hello" },
         ];

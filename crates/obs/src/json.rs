@@ -93,6 +93,15 @@ impl Json {
         }
     }
 
+    /// The value as a slice if it is an array.
+    #[must_use]
+    pub fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
     /// Compact single-line rendering.
     #[must_use]
     pub fn render(&self) -> String {

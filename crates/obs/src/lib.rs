@@ -47,13 +47,19 @@ pub mod json;
 pub mod manifest;
 pub mod metrics;
 pub mod observer;
+pub mod prom;
+pub mod series;
 pub mod sink;
 pub mod span;
+pub mod trace;
+pub mod validate;
 
 pub use event::Event;
 pub use json::Json;
 pub use manifest::RunManifest;
 pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry, MetricsSnapshot};
 pub use observer::Observer;
+pub use series::{Series, SeriesPoint, SeriesRegistry, SeriesSnapshot};
 pub use sink::{EventSink, FanoutSink, JsonlSink, MemorySink, NullSink, StderrProgressSink};
 pub use span::{PhaseStat, Span, SpanCollector};
+pub use trace::{FlameRow, SpanGuard, SpanRecord, TraceContext, TraceId, TraceRecorder};

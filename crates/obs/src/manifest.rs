@@ -13,6 +13,7 @@
 use crate::json::Json;
 use crate::metrics::MetricsSnapshot;
 use crate::observer::Observer;
+use crate::series::SeriesSnapshot;
 use crate::span::SpanCollector;
 
 /// Manifest schema identifier, bumped on breaking layout changes.
@@ -29,6 +30,7 @@ pub struct RunManifest {
     lifetime: Json,
     phases: Option<SpanCollector>,
     metrics: Option<MetricsSnapshot>,
+    series: Option<SeriesSnapshot>,
     wall_ns: u64,
 }
 
@@ -95,10 +97,26 @@ impl RunManifest {
         self
     }
 
-    /// Pulls phases and a fresh metrics snapshot from an observer.
+    /// Attaches wear-trajectory (or other) time-series. Series values are
+    /// deterministic simulation statistics, never durations, so they
+    /// survive [`RunManifest::render_stable`] unzeroed.
+    #[must_use]
+    pub fn with_series(mut self, series: SeriesSnapshot) -> Self {
+        self.series = Some(series);
+        self
+    }
+
+    /// Pulls phases, a fresh metrics snapshot, and any collected series
+    /// from an observer.
     #[must_use]
     pub fn with_observer(self, observer: &Observer) -> Self {
-        self.with_phases(observer.spans()).with_metrics(observer.snapshot())
+        let with = self.with_phases(observer.spans()).with_metrics(observer.snapshot());
+        let series = observer.series().snapshot();
+        if series.series.is_empty() {
+            with
+        } else {
+            with.with_series(series)
+        }
     }
 
     /// Records total wall time of the run.
@@ -127,6 +145,7 @@ impl RunManifest {
                 "metrics",
                 self.metrics.as_ref().map_or_else(Json::object, MetricsSnapshot::to_json),
             )
+            .with("series", self.series.as_ref().map_or_else(Json::object, SeriesSnapshot::to_json))
             .with("wall_ns", if stable { 0 } else { self.wall_ns })
     }
 
@@ -202,5 +221,21 @@ mod tests {
         let parsed = json::parse(&doc).unwrap();
         assert!(parsed.get("metrics").and_then(|m| m.get("c")).is_some());
         assert!(parsed.get("phases").and_then(|p| p.get("p")).is_some());
+    }
+
+    #[test]
+    fn series_section_survives_stable_rendering() {
+        let obs = Observer::collecting();
+        obs.series().push("wear.max", 100, 42.0);
+        let manifest = RunManifest::new("w").with_observer(&obs);
+        for doc in [manifest.render(), manifest.render_stable()] {
+            let parsed = json::parse(&doc).unwrap();
+            let max = parsed.get("series").and_then(|s| s.get("wear.max")).expect("series kept");
+            let points = max.get("points").and_then(Json::as_array).unwrap();
+            assert_eq!(points[0].get("value").and_then(|j| j.as_f64()), Some(42.0));
+        }
+        // No series collected → empty object, not a missing key.
+        let empty = json::parse(&RunManifest::new("w").render()).unwrap();
+        assert_eq!(empty.get("series"), Some(&Json::object()));
     }
 }

@@ -375,6 +375,97 @@ mod tests {
     }
 
     #[test]
+    fn bucket_index_boundaries_at_every_power_of_two() {
+        assert_eq!(Histogram::bucket_index(0), 0);
+        for k in 0..64u32 {
+            let power = 1u64 << k;
+            assert_eq!(Histogram::bucket_index(power), k as usize + 1, "2^{k}");
+            // The value one below a power shares the previous bucket.
+            if power > 1 {
+                assert_eq!(Histogram::bucket_index(power - 1), k as usize, "2^{k} - 1");
+            }
+        }
+        assert_eq!(Histogram::bucket_index(u64::MAX), 64);
+        assert_eq!(Histogram::bucket_index(u64::MAX - 1), 64);
+    }
+
+    #[test]
+    fn bucket_upper_bound_boundaries() {
+        assert_eq!(Histogram::bucket_upper_bound(0), 0);
+        assert_eq!(Histogram::bucket_upper_bound(1), 1);
+        assert_eq!(Histogram::bucket_upper_bound(63), (1u64 << 63) - 1);
+        assert_eq!(Histogram::bucket_upper_bound(64), u64::MAX);
+        // Out-of-range indices saturate instead of shifting UB-wide.
+        assert_eq!(Histogram::bucket_upper_bound(65), u64::MAX);
+        assert_eq!(Histogram::bucket_upper_bound(usize::MAX), u64::MAX);
+    }
+
+    #[test]
+    fn upper_bound_round_trips_through_bucket_index() {
+        for index in 0..BUCKETS {
+            let ub = Histogram::bucket_upper_bound(index);
+            assert_eq!(
+                Histogram::bucket_index(ub),
+                index,
+                "bucket {index}'s inclusive upper bound {ub} must index back to itself"
+            );
+        }
+    }
+
+    #[test]
+    fn extreme_observations_land_in_terminal_buckets() {
+        let h = Histogram::new();
+        h.record(0);
+        h.record(u64::MAX);
+        let snap = h.snapshot();
+        assert_eq!(snap.min, 0);
+        assert_eq!(snap.max, u64::MAX);
+        assert_eq!(snap.sum, u64::MAX, "0 + u64::MAX");
+        assert_eq!(snap.buckets, vec![(0, 1), (u64::MAX, 1)]);
+    }
+
+    #[test]
+    fn merge_snapshot_accepts_mismatched_hand_built_snapshots() {
+        // A snapshot whose buckets were built by some other histogram
+        // shape: upper bounds that are not our bucket boundaries must land
+        // in the bucket containing them.
+        let h = Histogram::new();
+        h.record(100); // bucket index 7, ub 127
+        let foreign = HistogramSnapshot {
+            count: 4,
+            sum: 20,
+            min: 2,
+            max: 9,
+            buckets: vec![(5, 3), (9, 1)], // ub 5 → bucket 3 (4..=7), ub 9 → bucket 4 (8..=15)
+        };
+        h.merge_snapshot(&foreign);
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 5);
+        assert_eq!(snap.sum, 120);
+        assert_eq!(snap.min, 2);
+        assert_eq!(snap.max, 100);
+        assert_eq!(snap.buckets, vec![(7, 3), (15, 1), (127, 1)]);
+    }
+
+    #[test]
+    fn merge_snapshot_with_terminal_buckets() {
+        let h = Histogram::new();
+        let foreign = HistogramSnapshot {
+            count: 3,
+            sum: u64::MAX,
+            min: 0,
+            max: u64::MAX,
+            buckets: vec![(0, 2), (u64::MAX, 1)],
+        };
+        h.merge_snapshot(&foreign);
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 3);
+        assert_eq!(snap.min, 0);
+        assert_eq!(snap.max, u64::MAX);
+        assert_eq!(snap.buckets, vec![(0, 2), (u64::MAX, 1)]);
+    }
+
+    #[test]
     fn histogram_snapshot_statistics() {
         let h = Histogram::new();
         for v in [0u64, 1, 2, 3, 1000] {

@@ -10,14 +10,21 @@ use std::sync::{Arc, OnceLock};
 
 use crate::event::Event;
 use crate::metrics::{MetricValue, MetricsRegistry, MetricsSnapshot};
+use crate::series::SeriesRegistry;
 use crate::sink::{EventSink, NullSink};
 use crate::span::SpanCollector;
+use crate::trace::TraceRecorder;
 
 /// Aggregating sink: counters/gauges/histograms land in a registry, phase
-/// timings in a span collector, and every event is forwarded downstream.
+/// timings in a span collector, time-series samples in a series registry,
+/// and every event is forwarded downstream. An optional [`TraceRecorder`]
+/// rides along so instrumentation sites can open hierarchical spans when
+/// tracing is on without any extra plumbing.
 pub struct Observer {
     metrics: MetricsRegistry,
     spans: SpanCollector,
+    series: SeriesRegistry,
+    tracer: Option<Arc<TraceRecorder>>,
     sink: Box<dyn EventSink + Send + Sync>,
     forward: bool,
 }
@@ -41,9 +48,25 @@ impl Observer {
         Observer {
             metrics: MetricsRegistry::new(),
             spans: SpanCollector::new(),
+            series: SeriesRegistry::new(),
+            tracer: None,
             sink: Box::new(sink),
             forward,
         }
+    }
+
+    /// Attaches a trace recorder: instrumentation that checks
+    /// [`Observer::tracer`] starts recording hierarchical spans.
+    #[must_use]
+    pub fn with_tracer(mut self, tracer: Arc<TraceRecorder>) -> Self {
+        self.tracer = Some(tracer);
+        self
+    }
+
+    /// The attached trace recorder, if tracing is enabled.
+    #[must_use]
+    pub fn tracer(&self) -> Option<&Arc<TraceRecorder>> {
+        self.tracer.as_ref()
     }
 
     /// An observer that only aggregates (no downstream sink).
@@ -63,6 +86,13 @@ impl Observer {
     #[must_use]
     pub fn spans(&self) -> &SpanCollector {
         &self.spans
+    }
+
+    /// The series registry fed by [`Event::SeriesPoint`] (and usable
+    /// directly).
+    #[must_use]
+    pub fn series(&self) -> &SeriesRegistry {
+        &self.series
     }
 
     /// Point-in-time snapshot of all aggregated metrics.
@@ -104,6 +134,7 @@ impl Observer {
         for (phase, stat) in other.spans.report() {
             self.spans.merge_stat(&phase, stat);
         }
+        self.series.merge(&other.series.snapshot());
     }
 }
 
@@ -117,6 +148,7 @@ impl EventSink for Observer {
             Event::CounterAdd { name, delta } => self.metrics.counter(name).add(delta),
             Event::GaugeSet { name, value } => self.metrics.gauge(name).set(value),
             Event::Observe { name, value } => self.metrics.histogram(name).record(value),
+            Event::SeriesPoint { series, index, value } => self.series.push(series, index, value),
             Event::PhaseEnd { phase, ns } => self.spans.add(phase, ns),
             _ => {}
         }
@@ -212,6 +244,31 @@ mod tests {
         assert_eq!(replay.count, 3);
         assert_eq!(replay.total_ns, 28);
         assert_eq!(replay.max_ns, 20);
+    }
+
+    #[test]
+    fn series_points_route_and_absorb() {
+        let global = Observer::collecting();
+        global.record(&Event::SeriesPoint { series: "wear.max", index: 0, value: 1.0 });
+
+        let worker = Observer::collecting();
+        worker.record(&Event::SeriesPoint { series: "wear.max", index: 100, value: 3.0 });
+        worker.record(&Event::SeriesPoint { series: "wear.gini", index: 100, value: 0.5 });
+
+        global.absorb(&worker);
+        let snap = global.series().snapshot();
+        assert_eq!(snap.series["wear.max"].points.len(), 2);
+        assert_eq!(snap.series["wear.gini"].points[0].value, 0.5);
+    }
+
+    #[test]
+    fn tracer_attaches_via_builder() {
+        let obs = Observer::collecting();
+        assert!(obs.tracer().is_none());
+        let rec = Arc::new(crate::trace::TraceRecorder::new());
+        let obs = obs.with_tracer(Arc::clone(&rec));
+        drop(obs.tracer().expect("tracer attached").begin_trace("t"));
+        assert_eq!(rec.spans().len(), 1);
     }
 
     #[test]

@@ -1,0 +1,243 @@
+//! Prometheus text exposition (format version 0.0.4) for a
+//! [`MetricsSnapshot`].
+//!
+//! The registry's dotted metric names map onto Prometheus conventions:
+//!
+//! - every name is sanitized (non-alphanumerics become `_`) and prefixed
+//!   `nvpim_`;
+//! - a `|key=value,key2=value2` suffix on the registry name becomes a
+//!   Prometheus label set, so `serve.latency_us.simulate|cache=hit` and
+//!   `...|cache=miss` expose as two samples of one family;
+//! - counters gain the `_total` suffix;
+//! - histograms expose cumulative `_bucket{le="..."}` samples (the log2
+//!   buckets' inclusive upper bounds), a `+Inf` bucket, `_sum`, and
+//!   `_count`.
+//!
+//! Output is deterministic: families render in sorted order and label
+//! sets within a family in registry (sorted-name) order.
+
+use crate::metrics::{HistogramSnapshot, MetricValue, MetricsSnapshot};
+
+/// Splits a registry name into its base and `|`-suffix label set.
+fn split_labels(name: &str) -> (&str, Vec<(String, String)>) {
+    match name.split_once('|') {
+        None => (name, Vec::new()),
+        Some((base, raw)) => {
+            let labels = raw
+                .split(',')
+                .filter_map(|pair| {
+                    let (k, v) = pair.split_once('=')?;
+                    Some((k.trim().to_string(), v.trim().to_string()))
+                })
+                .collect();
+            (base, labels)
+        }
+    }
+}
+
+/// Sanitizes a dotted name into a Prometheus metric name.
+fn family_name(base: &str) -> String {
+    let mut out = String::with_capacity(base.len() + 6);
+    out.push_str("nvpim_");
+    for ch in base.chars() {
+        if ch.is_ascii_alphanumeric() {
+            out.push(ch);
+        } else {
+            out.push('_');
+        }
+    }
+    out
+}
+
+fn render_labels(labels: &[(String, String)]) -> String {
+    if labels.is_empty() {
+        return String::new();
+    }
+    let mut out = String::from("{");
+    for (i, (k, v)) in labels.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(k);
+        out.push_str("=\"");
+        for ch in v.chars() {
+            match ch {
+                '\\' => out.push_str("\\\\"),
+                '"' => out.push_str("\\\""),
+                '\n' => out.push_str("\\n"),
+                other => out.push(other),
+            }
+        }
+        out.push('"');
+    }
+    out.push('}');
+    out
+}
+
+fn fmt_f64(value: f64) -> String {
+    if value.is_nan() {
+        "NaN".to_string()
+    } else if value.is_infinite() {
+        if value > 0.0 { "+Inf" } else { "-Inf" }.to_string()
+    } else if value == value.trunc() && value.abs() < 1e15 {
+        format!("{value:.0}")
+    } else {
+        format!("{value}")
+    }
+}
+
+struct Family<V> {
+    original: String,
+    samples: Vec<(Vec<(String, String)>, V)>,
+}
+
+fn group<V>(into: &mut std::collections::BTreeMap<String, Family<V>>, name: &str, value: V) {
+    let (base, labels) = split_labels(name);
+    let family = into
+        .entry(family_name(base))
+        .or_insert_with(|| Family { original: base.to_string(), samples: Vec::new() });
+    family.samples.push((labels, value));
+}
+
+fn push_header(out: &mut String, family: &str, original: &str, kind: &str) {
+    out.push_str(&format!("# HELP {family} nvpim metric {original}\n"));
+    out.push_str(&format!("# TYPE {family} {kind}\n"));
+}
+
+fn push_histogram(
+    out: &mut String,
+    family: &str,
+    labels: &[(String, String)],
+    hist: &HistogramSnapshot,
+) {
+    let mut cumulative = 0u64;
+    for &(upper_bound, n) in &hist.buckets {
+        cumulative += n;
+        if upper_bound == u64::MAX {
+            // The top log2 bucket is unbounded in spirit; it folds into
+            // the mandatory +Inf bucket below.
+            continue;
+        }
+        let mut with_le = labels.to_vec();
+        with_le.push(("le".to_string(), upper_bound.to_string()));
+        out.push_str(&format!("{family}_bucket{} {cumulative}\n", render_labels(&with_le)));
+    }
+    let mut with_inf = labels.to_vec();
+    with_inf.push(("le".to_string(), "+Inf".to_string()));
+    out.push_str(&format!("{family}_bucket{} {}\n", render_labels(&with_inf), hist.count));
+    out.push_str(&format!("{family}_sum{} {}\n", render_labels(labels), hist.sum));
+    out.push_str(&format!("{family}_count{} {}\n", render_labels(labels), hist.count));
+}
+
+/// Renders the snapshot in the Prometheus text exposition format.
+#[must_use]
+pub fn render(snapshot: &MetricsSnapshot) -> String {
+    let mut counters = std::collections::BTreeMap::new();
+    let mut gauges = std::collections::BTreeMap::new();
+    let mut histograms = std::collections::BTreeMap::new();
+    for (name, value) in &snapshot.metrics {
+        match value {
+            MetricValue::Counter(v) => group(&mut counters, name, *v),
+            MetricValue::Gauge(v) => group(&mut gauges, name, *v),
+            MetricValue::Histogram(h) => group(&mut histograms, name, h.clone()),
+        }
+    }
+
+    let mut out = String::new();
+    for (family, data) in &counters {
+        let family = format!("{family}_total");
+        push_header(&mut out, &family, &data.original, "counter");
+        for (labels, value) in &data.samples {
+            out.push_str(&format!("{family}{} {value}\n", render_labels(labels)));
+        }
+    }
+    for (family, data) in &gauges {
+        push_header(&mut out, family, &data.original, "gauge");
+        for (labels, value) in &data.samples {
+            out.push_str(&format!("{family}{} {}\n", render_labels(labels), fmt_f64(*value)));
+        }
+    }
+    for (family, data) in &histograms {
+        push_header(&mut out, family, &data.original, "histogram");
+        for (labels, hist) in &data.samples {
+            push_histogram(&mut out, family, labels, hist);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::MetricsRegistry;
+
+    #[test]
+    fn names_sanitize_and_counters_get_total() {
+        let reg = MetricsRegistry::new();
+        reg.counter("serve.requests").add(3);
+        let text = render(&reg.snapshot());
+        assert!(text.contains("# TYPE nvpim_serve_requests_total counter\n"));
+        assert!(text.contains("nvpim_serve_requests_total 3\n"));
+    }
+
+    #[test]
+    fn label_suffixes_split_into_one_family() {
+        let reg = MetricsRegistry::new();
+        reg.histogram("serve.latency_us.simulate|cache=hit").record(5);
+        reg.histogram("serve.latency_us.simulate|cache=miss").record(900);
+        let text = render(&reg.snapshot());
+        assert_eq!(
+            text.matches("# TYPE nvpim_serve_latency_us_simulate histogram").count(),
+            1,
+            "one TYPE line for the family"
+        );
+        assert!(text.contains("nvpim_serve_latency_us_simulate_bucket{cache=\"hit\",le=\"7\"} 1"));
+        assert!(text.contains("nvpim_serve_latency_us_simulate_count{cache=\"miss\"} 1"));
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative_with_inf() {
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram("h");
+        for v in [1u64, 2, 3, 1000] {
+            h.record(v);
+        }
+        let text = render(&reg.snapshot());
+        assert!(text.contains("nvpim_h_bucket{le=\"1\"} 1\n"));
+        assert!(text.contains("nvpim_h_bucket{le=\"3\"} 3\n"), "cumulative over 2,3");
+        assert!(text.contains("nvpim_h_bucket{le=\"1023\"} 4\n"));
+        assert!(text.contains("nvpim_h_bucket{le=\"+Inf\"} 4\n"));
+        assert!(text.contains("nvpim_h_sum 1006\n"));
+        assert!(text.contains("nvpim_h_count 4\n"));
+    }
+
+    #[test]
+    fn umax_bucket_folds_into_inf() {
+        let reg = MetricsRegistry::new();
+        reg.histogram("big").record(u64::MAX);
+        let text = render(&reg.snapshot());
+        assert!(!text.contains(&format!("le=\"{}\"", u64::MAX)));
+        assert!(text.contains("nvpim_big_bucket{le=\"+Inf\"} 1\n"));
+    }
+
+    #[test]
+    fn gauges_render_plainly() {
+        let reg = MetricsRegistry::new();
+        reg.gauge("serve.in_flight").set(2.0);
+        reg.gauge("serve.load").set(0.125);
+        let text = render(&reg.snapshot());
+        assert!(text.contains("# TYPE nvpim_serve_in_flight gauge\n"));
+        assert!(text.contains("nvpim_serve_in_flight 2\n"));
+        assert!(text.contains("nvpim_serve_load 0.125\n"));
+    }
+
+    #[test]
+    fn output_is_deterministic() {
+        let reg = MetricsRegistry::new();
+        reg.counter("b").inc();
+        reg.counter("a").inc();
+        reg.gauge("g").set(1.5);
+        reg.histogram("h|x=1").record(7);
+        assert_eq!(render(&reg.snapshot()), render(&reg.snapshot()));
+    }
+}

@@ -1,0 +1,326 @@
+//! Fixed-capacity time-series with deterministic downsampling.
+//!
+//! Wear trajectories are per-epoch samples: a paper-scale run has tens of
+//! thousands of epochs, far too many to persist raw in every manifest or
+//! `/batch` response. A [`Series`] keeps a bounded number of points by
+//! *decimation*: it accepts every `stride`-th offered sample, and when the
+//! buffer fills it drops every second retained point and doubles the
+//! stride. The kept points are always the samples at offer positions
+//! divisible by the current stride — a pure function of capacity and the
+//! offer sequence, so two bit-identical runs produce bit-identical series
+//! regardless of wall-clock behaviour.
+//!
+//! ## Example
+//!
+//! ```
+//! use nvpim_obs::series::Series;
+//!
+//! let mut s = Series::new(4);
+//! for i in 0..10u64 {
+//!     s.push(i, i as f64);
+//! }
+//! // Capacity 4, ten offers: the series decimated to stride 4.
+//! let kept: Vec<u64> = s.points().iter().map(|p| p.index).collect();
+//! assert_eq!(kept, vec![0, 4, 8]);
+//! ```
+
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+use crate::json::Json;
+
+/// Default per-series capacity: 512 points ≈ 8 KiB, plenty for a curve.
+pub const DEFAULT_SERIES_CAPACITY: usize = 512;
+
+/// One retained sample: the caller-supplied index (iteration, epoch,
+/// request number) and the observed value.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SeriesPoint {
+    /// Caller-supplied x-coordinate.
+    pub index: u64,
+    /// Observed value.
+    pub value: f64,
+}
+
+/// A bounded, deterministically downsampled time-series.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Series {
+    capacity: usize,
+    stride: u64,
+    seen: u64,
+    points: Vec<SeriesPoint>,
+}
+
+impl Series {
+    /// A series retaining at most `capacity` points (minimum 2, rounded
+    /// up to even so halving on overflow is exact).
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(2).next_multiple_of(2);
+        Series { capacity, stride: 1, seen: 0, points: Vec::new() }
+    }
+
+    /// Offers one sample. Whether it is retained depends only on how many
+    /// samples were offered before it (never on time or thread timing).
+    pub fn push(&mut self, index: u64, value: f64) {
+        if self.seen % self.stride == 0 {
+            if self.points.len() == self.capacity {
+                self.compact();
+            }
+            self.points.push(SeriesPoint { index, value });
+        }
+        self.seen += 1;
+    }
+
+    /// Drops every second retained point and doubles the stride.
+    fn compact(&mut self) {
+        let mut keep = 0usize;
+        self.points.retain(|_| {
+            let kept = keep % 2 == 0;
+            keep += 1;
+            kept
+        });
+        self.stride *= 2;
+    }
+
+    /// Retained points, oldest first.
+    #[must_use]
+    pub fn points(&self) -> &[SeriesPoint] {
+        &self.points
+    }
+
+    /// Current decimation stride (1 until the first overflow).
+    #[must_use]
+    pub fn stride(&self) -> u64 {
+        self.stride
+    }
+
+    /// Total samples offered (retained or not).
+    #[must_use]
+    pub fn seen(&self) -> u64 {
+        self.seen
+    }
+
+    /// Maximum retained points.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+/// Frozen copy of one series for snapshots and merging.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SeriesData {
+    /// Retained points, oldest first.
+    pub points: Vec<SeriesPoint>,
+    /// Total samples offered to the source series.
+    pub seen: u64,
+    /// Source decimation stride at snapshot time.
+    pub stride: u64,
+}
+
+/// Point-in-time copy of every series in a [`SeriesRegistry`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SeriesSnapshot {
+    /// Series by name, deterministically ordered.
+    pub series: BTreeMap<String, SeriesData>,
+}
+
+impl SeriesSnapshot {
+    /// Whether no series holds any point.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.series.values().all(|s| s.points.is_empty())
+    }
+
+    /// Deterministic JSON: `{name: {stride, seen, points: [{index, value}]}}`.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        let mut obj = Json::object();
+        for (name, data) in &self.series {
+            let points: Vec<Json> = data
+                .points
+                .iter()
+                .map(|p| Json::object().with("index", p.index).with("value", Json::Num(p.value)))
+                .collect();
+            obj = obj.with(
+                name,
+                Json::object()
+                    .with("stride", data.stride)
+                    .with("seen", data.seen)
+                    .with("points", Json::Arr(points)),
+            );
+        }
+        obj
+    }
+}
+
+/// Named series behind one mutex, mirroring `MetricsRegistry`'s shape.
+/// Pushes are per-epoch (thousands per run, not millions per iteration),
+/// so a plain mutex is cheap relative to the work between samples.
+#[derive(Debug)]
+pub struct SeriesRegistry {
+    capacity: usize,
+    inner: Mutex<BTreeMap<String, Series>>,
+}
+
+impl Default for SeriesRegistry {
+    fn default() -> Self {
+        SeriesRegistry::new()
+    }
+}
+
+impl SeriesRegistry {
+    /// A registry whose series retain [`DEFAULT_SERIES_CAPACITY`] points.
+    #[must_use]
+    pub fn new() -> Self {
+        SeriesRegistry::with_capacity(DEFAULT_SERIES_CAPACITY)
+    }
+
+    /// A registry with a custom per-series capacity.
+    #[must_use]
+    pub fn with_capacity(capacity: usize) -> Self {
+        SeriesRegistry { capacity, inner: Mutex::new(BTreeMap::new()) }
+    }
+
+    /// Offers one sample to the named series (created on first use).
+    pub fn push(&self, name: &str, index: u64, value: f64) {
+        let mut inner = self.inner.lock().expect("series registry poisoned");
+        inner
+            .entry(name.to_string())
+            .or_insert_with(|| Series::new(self.capacity))
+            .push(index, value);
+    }
+
+    /// Whether no series has been created.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.inner.lock().expect("series registry poisoned").is_empty()
+    }
+
+    /// Point-in-time copy of every series.
+    #[must_use]
+    pub fn snapshot(&self) -> SeriesSnapshot {
+        let inner = self.inner.lock().expect("series registry poisoned");
+        let series = inner
+            .iter()
+            .map(|(name, s)| {
+                (
+                    name.clone(),
+                    SeriesData { points: s.points.to_vec(), seen: s.seen, stride: s.stride },
+                )
+            })
+            .collect();
+        SeriesSnapshot { series }
+    }
+
+    /// Merges a snapshot (e.g. a parallel worker's) into this registry.
+    ///
+    /// Absent series are adopted wholesale; for an existing series the
+    /// snapshot's points are appended and the result re-decimated until it
+    /// fits the local capacity. Deterministic given merge order — the
+    /// parallel driver absorbs workers in submission order.
+    pub fn merge(&self, snapshot: &SeriesSnapshot) {
+        let mut inner = self.inner.lock().expect("series registry poisoned");
+        for (name, data) in &snapshot.series {
+            let series = inner.entry(name.clone()).or_insert_with(|| Series::new(self.capacity));
+            series.points.extend_from_slice(&data.points);
+            series.seen += data.seen;
+            series.stride = series.stride.max(data.stride);
+            while series.points.len() > series.capacity {
+                series.compact();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn under_capacity_keeps_every_point() {
+        let mut s = Series::new(8);
+        for i in 0..8u64 {
+            s.push(i * 10, i as f64);
+        }
+        assert_eq!(s.points().len(), 8);
+        assert_eq!(s.stride(), 1);
+        assert_eq!(s.points()[3], SeriesPoint { index: 30, value: 3.0 });
+    }
+
+    #[test]
+    fn overflow_decimates_deterministically() {
+        let mut s = Series::new(4);
+        for i in 0..100u64 {
+            s.push(i, i as f64);
+        }
+        // Strides double 1→2→...; surviving points sit at offers divisible
+        // by the final stride.
+        let stride = s.stride();
+        assert!(stride >= 2);
+        for p in s.points() {
+            assert_eq!(p.index % stride, 0, "point {p:?} not stride-aligned");
+        }
+        assert!(s.points().len() <= 4);
+        assert_eq!(s.points()[0].index, 0, "first sample always survives");
+        assert_eq!(s.seen(), 100);
+    }
+
+    #[test]
+    fn identical_pushes_give_identical_series() {
+        let run = || {
+            let mut s = Series::new(16);
+            for i in 0..1000u64 {
+                s.push(i, (i * 3) as f64);
+            }
+            s
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn registry_snapshot_and_merge() {
+        let global = SeriesRegistry::with_capacity(8);
+        global.push("wear.max", 0, 1.0);
+
+        let worker = SeriesRegistry::with_capacity(8);
+        worker.push("wear.max", 100, 2.0);
+        worker.push("wear.gini", 100, 0.25);
+
+        global.merge(&worker.snapshot());
+        let snap = global.snapshot();
+        assert_eq!(snap.series.len(), 2);
+        let max = &snap.series["wear.max"];
+        assert_eq!(max.points.len(), 2);
+        assert_eq!(max.seen, 2);
+        assert_eq!(snap.series["wear.gini"].points[0].value, 0.25);
+        assert!(!snap.is_empty());
+    }
+
+    #[test]
+    fn merge_recompacts_past_capacity() {
+        let global = SeriesRegistry::with_capacity(4);
+        for i in 0..4u64 {
+            global.push("s", i, i as f64);
+        }
+        let other = SeriesRegistry::with_capacity(4);
+        for i in 4..8u64 {
+            other.push("s", i, i as f64);
+        }
+        global.merge(&other.snapshot());
+        let snap = global.snapshot();
+        assert!(snap.series["s"].points.len() <= 4);
+        assert_eq!(snap.series["s"].seen, 8);
+    }
+
+    #[test]
+    fn snapshot_json_is_parseable() {
+        let reg = SeriesRegistry::new();
+        reg.push("wear.mean", 50, 12.5);
+        let doc = reg.snapshot().to_json().render();
+        let parsed = crate::json::parse(&doc).expect("valid JSON");
+        let points = parsed.get("wear.mean").and_then(|s| s.get("points")).unwrap();
+        assert_eq!(points.as_array().unwrap().len(), 1);
+    }
+}

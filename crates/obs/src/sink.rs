@@ -219,7 +219,8 @@ impl EventSink for StderrProgressSink {
             Event::PhaseEnd { .. }
             | Event::CounterAdd { .. }
             | Event::GaugeSet { .. }
-            | Event::Observe { .. } => {}
+            | Event::Observe { .. }
+            | Event::SeriesPoint { .. } => {}
         }
     }
 

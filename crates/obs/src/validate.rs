@@ -1,0 +1,395 @@
+//! Std-only validators for the two export formats this crate produces:
+//! Chrome trace-event JSON and Prometheus text exposition.
+//!
+//! These back the `obs-lint` binary (the CI gate for traced smoke runs)
+//! and the serve integration tests. They check structural invariants a
+//! consumer relies on — well-formed JSON, complete or balanced duration
+//! events, monotonic timestamps, cumulative histogram buckets — not
+//! semantic content.
+
+use std::collections::BTreeMap;
+use std::collections::BTreeSet;
+
+use crate::json::{self, Json};
+
+/// Summary of a validated Chrome trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceStats {
+    /// Total events in `traceEvents`.
+    pub events: usize,
+    /// Complete (`X`) duration events.
+    pub complete_spans: usize,
+    /// Distinct `args.trace` ids across duration events.
+    pub traces: usize,
+    /// Distinct `tid`s across duration events.
+    pub threads: usize,
+}
+
+/// Validates Chrome trace-event JSON as produced by
+/// [`crate::trace::TraceRecorder::chrome_trace`] (and hand-rolled
+/// `B`/`E` traces): top-level `traceEvents` array; every `X` event has
+/// `name`, numeric non-negative `ts`/`dur`; `B`/`E` events balance per
+/// `(pid, tid)`; `ts` is monotonically non-decreasing in array order.
+///
+/// # Errors
+///
+/// Returns a human-readable description of the first violation found.
+pub fn chrome_trace(text: &str) -> Result<TraceStats, String> {
+    let doc = json::parse(text).map_err(|e| format!("not valid JSON: {e}"))?;
+    let events = doc
+        .get("traceEvents")
+        .and_then(Json::as_array)
+        .ok_or("missing top-level traceEvents array")?;
+
+    let mut stats = TraceStats { events: events.len(), complete_spans: 0, traces: 0, threads: 0 };
+    let mut traces = BTreeSet::new();
+    let mut threads = BTreeSet::new();
+    let mut open: BTreeMap<(u64, u64), u64> = BTreeMap::new();
+    let mut last_ts = f64::MIN;
+
+    for (i, event) in events.iter().enumerate() {
+        let ph = event
+            .get("ph")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("event {i}: missing ph"))?;
+        if ph == "M" {
+            continue; // metadata events carry no timestamp
+        }
+        let ts = event
+            .get("ts")
+            .and_then(Json::as_f64)
+            .ok_or_else(|| format!("event {i}: missing numeric ts"))?;
+        if ts < 0.0 {
+            return Err(format!("event {i}: negative ts {ts}"));
+        }
+        if ts < last_ts {
+            return Err(format!("event {i}: ts {ts} decreases (prev {last_ts})"));
+        }
+        last_ts = ts;
+        let pid = event.get("pid").and_then(Json::as_u64).unwrap_or(0);
+        let tid = event.get("tid").and_then(Json::as_u64).unwrap_or(0);
+        match ph {
+            "X" => {
+                if event.get("name").and_then(Json::as_str).is_none() {
+                    return Err(format!("event {i}: X event without name"));
+                }
+                let dur = event
+                    .get("dur")
+                    .and_then(Json::as_f64)
+                    .ok_or_else(|| format!("event {i}: X event without numeric dur"))?;
+                if dur < 0.0 {
+                    return Err(format!("event {i}: negative dur {dur}"));
+                }
+                stats.complete_spans += 1;
+                threads.insert(tid);
+                if let Some(trace) = event.get("args").and_then(|a| a.get("trace")) {
+                    if let Some(id) = trace.as_str() {
+                        traces.insert(id.to_string());
+                    }
+                }
+            }
+            "B" => {
+                *open.entry((pid, tid)).or_insert(0) += 1;
+            }
+            "E" => {
+                let depth = open.entry((pid, tid)).or_insert(0);
+                if *depth == 0 {
+                    return Err(format!("event {i}: E without matching B on tid {tid}"));
+                }
+                *depth -= 1;
+            }
+            other => {
+                return Err(format!("event {i}: unsupported phase {other:?}"));
+            }
+        }
+    }
+    if let Some(((pid, tid), depth)) = open.iter().find(|(_, &depth)| depth > 0) {
+        return Err(format!("unbalanced B/E: {depth} open span(s) on pid {pid} tid {tid}"));
+    }
+    stats.traces = traces.len();
+    stats.threads = threads.len();
+    Ok(stats)
+}
+
+/// Summary of a validated Prometheus exposition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PromStats {
+    /// Families announced by `# TYPE` lines.
+    pub families: usize,
+    /// Sample lines.
+    pub samples: usize,
+    /// Families typed `histogram`.
+    pub histograms: usize,
+}
+
+type Sample = (String, Vec<(String, String)>, f64);
+
+fn parse_sample(line: &str) -> Result<Sample, String> {
+    let (name_part, value_part) = match line.find('{') {
+        Some(brace) => {
+            let close = line.rfind('}').ok_or("sample with unclosed label set")?;
+            if close < brace {
+                return Err("sample with unclosed label set".to_string());
+            }
+            (&line[..brace + 1], line[close + 1..].trim())
+        }
+        None => {
+            let mut parts = line.splitn(2, ' ');
+            let name = parts.next().unwrap_or("");
+            let value = parts.next().ok_or("sample without value")?;
+            return Ok((name.to_string(), Vec::new(), parse_value(value.trim())?));
+        }
+    };
+    let name = name_part.trim_end_matches('{').to_string();
+    if name.is_empty() || !name.chars().next().is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
+    {
+        return Err(format!("bad metric name {name:?}"));
+    }
+    let brace = line.find('{').expect("checked above");
+    let close = line.rfind('}').expect("checked above");
+    let mut labels = Vec::new();
+    let raw = &line[brace + 1..close];
+    if !raw.is_empty() {
+        for pair in raw.split(',') {
+            let (k, v) = pair.split_once('=').ok_or_else(|| format!("bad label pair {pair:?}"))?;
+            let v = v.trim();
+            if !v.starts_with('"') || !v.ends_with('"') || v.len() < 2 {
+                return Err(format!("unquoted label value {v:?}"));
+            }
+            labels.push((k.trim().to_string(), v[1..v.len() - 1].to_string()));
+        }
+    }
+    Ok((name, labels, parse_value(value_part)?))
+}
+
+fn parse_value(text: &str) -> Result<f64, String> {
+    match text {
+        "+Inf" => Ok(f64::INFINITY),
+        "-Inf" => Ok(f64::NEG_INFINITY),
+        "NaN" => Ok(f64::NAN),
+        other => other.parse::<f64>().map_err(|_| format!("bad sample value {other:?}")),
+    }
+}
+
+/// Validates Prometheus text exposition as served by
+/// `/metrics?format=prometheus`: every sample belongs to a family
+/// announced by a `# TYPE` line; histogram families have cumulative,
+/// non-decreasing buckets per label set, a `+Inf` bucket, and
+/// `_count` == the `+Inf` bucket value.
+///
+/// # Errors
+///
+/// Returns a human-readable description of the first violation found.
+pub fn prometheus(text: &str) -> Result<PromStats, String> {
+    let mut types: BTreeMap<String, String> = BTreeMap::new();
+    let mut samples = 0usize;
+    // histogram family → label-set-sans-le → (buckets in order, inf, count)
+    type HistState = BTreeMap<String, (Vec<(f64, f64)>, Option<f64>, Option<f64>)>;
+    let mut hists: BTreeMap<String, HistState> = BTreeMap::new();
+
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim_end();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut parts = rest.split_whitespace();
+            let name = parts.next().ok_or(format!("line {lineno}: TYPE without name"))?;
+            let kind = parts.next().ok_or(format!("line {lineno}: TYPE without kind"))?;
+            if !matches!(kind, "counter" | "gauge" | "histogram" | "summary" | "untyped") {
+                return Err(format!("line {lineno}: unknown TYPE kind {kind:?}"));
+            }
+            if types.insert(name.to_string(), kind.to_string()).is_some() {
+                return Err(format!("line {lineno}: duplicate TYPE for {name}"));
+            }
+            continue;
+        }
+        if line.starts_with('#') {
+            continue; // HELP or comment
+        }
+        let (name, labels, value) =
+            parse_sample(line).map_err(|e| format!("line {lineno}: {e}"))?;
+        samples += 1;
+
+        // Resolve the family: exact name, or the histogram/counter base
+        // behind a recognised suffix.
+        let family = ["_bucket", "_sum", "_count"]
+            .iter()
+            .find_map(|suffix| {
+                let base = name.strip_suffix(suffix)?;
+                types.contains_key(base).then(|| base.to_string())
+            })
+            .unwrap_or_else(|| name.clone());
+        let kind = types
+            .get(&family)
+            .ok_or_else(|| format!("line {lineno}: sample {name} without TYPE"))?;
+
+        if kind == "histogram" {
+            let state = hists.entry(family.clone()).or_default();
+            let le = labels.iter().find(|(k, _)| k == "le").map(|(_, v)| v.clone());
+            let rest: Vec<String> =
+                labels.iter().filter(|(k, _)| k != "le").map(|(k, v)| format!("{k}={v}")).collect();
+            let key = rest.join(",");
+            let entry = state.entry(key).or_default();
+            if name.ends_with("_bucket") {
+                let le = le.ok_or_else(|| format!("line {lineno}: histogram bucket without le"))?;
+                if le == "+Inf" {
+                    entry.1 = Some(value);
+                } else {
+                    let bound =
+                        le.parse::<f64>().map_err(|_| format!("line {lineno}: bad le {le:?}"))?;
+                    entry.0.push((bound, value));
+                }
+            } else if name.ends_with("_count") {
+                entry.2 = Some(value);
+            }
+        }
+    }
+
+    for (family, by_labels) in &hists {
+        for (labels, (buckets, inf, count)) in by_labels {
+            let ctx =
+                if labels.is_empty() { family.clone() } else { format!("{family}{{{labels}}}") };
+            let mut last = (f64::MIN, 0.0f64);
+            for &(bound, cumulative) in buckets {
+                if bound <= last.0 {
+                    return Err(format!("{ctx}: bucket bounds not increasing at le={bound}"));
+                }
+                if cumulative < last.1 {
+                    return Err(format!("{ctx}: bucket counts not cumulative at le={bound}"));
+                }
+                last = (bound, cumulative);
+            }
+            let inf = inf.ok_or_else(|| format!("{ctx}: missing +Inf bucket"))?;
+            if inf < last.1 {
+                return Err(format!("{ctx}: +Inf bucket below last finite bucket"));
+            }
+            let count = count.ok_or_else(|| format!("{ctx}: missing _count sample"))?;
+            if (inf - count).abs() > f64::EPSILON {
+                return Err(format!("{ctx}: +Inf bucket {inf} != _count {count}"));
+            }
+        }
+    }
+
+    Ok(PromStats {
+        families: types.len(),
+        samples,
+        histograms: types.values().filter(|k| *k == "histogram").count(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::MetricsRegistry;
+    use crate::trace::TraceRecorder;
+
+    #[test]
+    fn recorder_output_round_trips() {
+        let rec = TraceRecorder::new();
+        let root = rec.begin_trace("root");
+        drop(rec.span(root.context(), "child"));
+        drop(root);
+        let stats = chrome_trace(&rec.chrome_trace()).expect("valid trace");
+        assert_eq!(stats.complete_spans, 2);
+        assert_eq!(stats.traces, 1);
+        assert!(stats.threads >= 1);
+    }
+
+    #[test]
+    fn rejects_decreasing_timestamps() {
+        let text = r#"{"traceEvents":[
+            {"ph":"X","name":"a","ts":10,"dur":1,"pid":1,"tid":1},
+            {"ph":"X","name":"b","ts":5,"dur":1,"pid":1,"tid":1}
+        ]}"#;
+        let err = chrome_trace(text).unwrap_err();
+        assert!(err.contains("decreases"), "{err}");
+    }
+
+    #[test]
+    fn rejects_unbalanced_begin_end() {
+        let text = r#"{"traceEvents":[
+            {"ph":"B","name":"a","ts":1,"pid":1,"tid":1},
+            {"ph":"B","name":"b","ts":2,"pid":1,"tid":1},
+            {"ph":"E","ts":3,"pid":1,"tid":1}
+        ]}"#;
+        let err = chrome_trace(text).unwrap_err();
+        assert!(err.contains("unbalanced"), "{err}");
+    }
+
+    #[test]
+    fn accepts_balanced_begin_end() {
+        let text = r#"{"traceEvents":[
+            {"ph":"B","name":"a","ts":1,"pid":1,"tid":1},
+            {"ph":"E","ts":3,"pid":1,"tid":1}
+        ]}"#;
+        let stats = chrome_trace(text).expect("balanced B/E is valid");
+        assert_eq!(stats.events, 2);
+    }
+
+    #[test]
+    fn rejects_x_without_dur() {
+        let text = r#"{"traceEvents":[{"ph":"X","name":"a","ts":1,"pid":1,"tid":1}]}"#;
+        assert!(chrome_trace(text).unwrap_err().contains("dur"));
+    }
+
+    #[test]
+    fn rejects_missing_trace_events() {
+        assert!(chrome_trace("{}").is_err());
+        assert!(chrome_trace("not json").is_err());
+    }
+
+    #[test]
+    fn prom_renderer_output_round_trips() {
+        let reg = MetricsRegistry::new();
+        reg.counter("serve.requests").add(2);
+        reg.gauge("serve.in_flight").set(1.0);
+        let h = reg.histogram("serve.latency_us.simulate|cache=hit");
+        for v in [3u64, 70, 3000] {
+            h.record(v);
+        }
+        let text = crate::prom::render(&reg.snapshot());
+        let stats = prometheus(&text).expect("valid exposition");
+        assert_eq!(stats.families, 3);
+        assert_eq!(stats.histograms, 1);
+        assert!(stats.samples >= 7);
+    }
+
+    #[test]
+    fn prom_rejects_untyped_samples() {
+        let err = prometheus("mystery_metric 1\n").unwrap_err();
+        assert!(err.contains("without TYPE"), "{err}");
+    }
+
+    #[test]
+    fn prom_rejects_non_cumulative_buckets() {
+        let text = "# TYPE h histogram\n\
+                    h_bucket{le=\"1\"} 5\n\
+                    h_bucket{le=\"2\"} 3\n\
+                    h_bucket{le=\"+Inf\"} 5\n\
+                    h_sum 9\n\
+                    h_count 5\n";
+        let err = prometheus(text).unwrap_err();
+        assert!(err.contains("cumulative"), "{err}");
+    }
+
+    #[test]
+    fn prom_rejects_missing_inf_bucket() {
+        let text = "# TYPE h histogram\n\
+                    h_bucket{le=\"1\"} 5\n\
+                    h_sum 9\n\
+                    h_count 5\n";
+        let err = prometheus(text).unwrap_err();
+        assert!(err.contains("+Inf"), "{err}");
+    }
+
+    #[test]
+    fn prom_rejects_count_mismatch() {
+        let text = "# TYPE h histogram\n\
+                    h_bucket{le=\"+Inf\"} 4\n\
+                    h_sum 9\n\
+                    h_count 5\n";
+        let err = prometheus(text).unwrap_err();
+        assert!(err.contains("!= _count"), "{err}");
+    }
+}

@@ -85,7 +85,7 @@ impl Client {
     ///
     /// Propagates connection and protocol failures as strings.
     pub fn get(&self, path: &str) -> Result<HttpReply, String> {
-        self.send("GET", path, None)
+        self.send("GET", path, None, &[])
     }
 
     /// Issues `POST path` with a JSON body.
@@ -94,21 +94,50 @@ impl Client {
     ///
     /// Propagates connection and protocol failures as strings.
     pub fn post_json(&self, path: &str, body: &str) -> Result<HttpReply, String> {
-        self.send("POST", path, Some(body))
+        self.send("POST", path, Some(body), &[])
     }
 
-    fn send(&self, method: &str, path: &str, body: Option<&str>) -> Result<HttpReply, String> {
+    /// Issues `POST path` with a JSON body and extra request headers (e.g.
+    /// `X-Trace-Id` to join the request to a caller-owned trace).
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection and protocol failures as strings.
+    pub fn post_json_with_headers(
+        &self,
+        path: &str,
+        body: &str,
+        headers: &[(&str, &str)],
+    ) -> Result<HttpReply, String> {
+        self.send("POST", path, Some(body), headers)
+    }
+
+    fn send(
+        &self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+        extra_headers: &[(&str, &str)],
+    ) -> Result<HttpReply, String> {
         let mut stream =
             TcpStream::connect_timeout(&self.addr, Duration::from_secs(5)).map_err(err)?;
         stream.set_read_timeout(Some(self.timeout)).map_err(err)?;
         stream.set_write_timeout(Some(self.timeout)).map_err(err)?;
         let body = body.unwrap_or("");
-        let request = format!(
+        let mut request = format!(
             "{method} {path} HTTP/1.1\r\nHost: {}\r\nContent-Type: application/json\r\n\
-             Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
+             Content-Length: {}\r\nConnection: close\r\n",
             self.addr,
             body.len(),
         );
+        for (name, value) in extra_headers {
+            request.push_str(name);
+            request.push_str(": ");
+            request.push_str(value);
+            request.push_str("\r\n");
+        }
+        request.push_str("\r\n");
+        request.push_str(body);
         stream.write_all(request.as_bytes()).map_err(err)?;
         stream.flush().map_err(err)?;
         read_reply(&mut stream)

@@ -20,8 +20,10 @@ pub const MAX_BODY: usize = 4 * 1024 * 1024;
 pub struct HttpRequest {
     /// Request method (`GET`, `POST`, …), upper-cased by the client.
     pub method: String,
-    /// Request target path (query strings are not used by this service).
+    /// Request target path with any `?query` stripped.
     pub path: String,
+    /// Raw query string (text after `?`, without the `?`), if any.
+    pub query: Option<String>,
     /// Header name/value pairs; names lower-cased during parsing.
     pub headers: Vec<(String, String)>,
     /// Raw request body.
@@ -33,6 +35,16 @@ impl HttpRequest {
     #[must_use]
     pub fn header(&self, name: &str) -> Option<&str> {
         self.headers.iter().find(|(n, _)| n == name).map(|(_, v)| v.as_str())
+    }
+
+    /// The first value of a `key=value` query parameter, if present.
+    /// (No percent-decoding: this service's parameters are plain tokens.)
+    #[must_use]
+    pub fn query_param(&self, key: &str) -> Option<&str> {
+        self.query.as_deref()?.split('&').find_map(|pair| {
+            let (k, v) = pair.split_once('=')?;
+            (k == key).then_some(v)
+        })
     }
 
     /// The body decoded as UTF-8.
@@ -90,11 +102,15 @@ pub fn read_request(
     let request_line = lines.next().unwrap_or_default();
     let mut parts = request_line.split_whitespace();
     let method = parts.next().unwrap_or_default().to_ascii_uppercase();
-    let path = parts.next().unwrap_or_default().to_owned();
+    let target = parts.next().unwrap_or_default();
     let version = parts.next().unwrap_or_default();
-    if method.is_empty() || path.is_empty() || !version.starts_with("HTTP/1.") {
+    if method.is_empty() || target.is_empty() || !version.starts_with("HTTP/1.") {
         return Err(Ok(HttpError::bad("malformed request line")));
     }
+    let (path, query) = match target.split_once('?') {
+        Some((path, query)) => (path.to_owned(), Some(query.to_owned())),
+        None => (target.to_owned(), None),
+    };
 
     let mut headers = Vec::new();
     for line in lines {
@@ -123,7 +139,7 @@ pub fn read_request(
             return Err(Err(e));
         }
     }
-    Ok(HttpRequest { method, path, headers, body })
+    Ok(HttpRequest { method, path, query, headers, body })
 }
 
 /// Standard reason phrase for the statuses this service emits.
@@ -188,9 +204,20 @@ pub fn write_response(
 /// Writes a streaming response head with no `Content-Length`: the body is
 /// delimited by connection close (used by `/batch` to stream one JSON line
 /// per completed cell).
-pub fn write_stream_head(stream: &mut TcpStream, content_type: &str) -> std::io::Result<()> {
-    let head =
-        format!("HTTP/1.1 200 OK\r\nContent-Type: {content_type}\r\nConnection: close\r\n\r\n");
+pub fn write_stream_head(
+    stream: &mut TcpStream,
+    content_type: &str,
+    extra_headers: &[(&str, &str)],
+) -> std::io::Result<()> {
+    let mut head =
+        format!("HTTP/1.1 200 OK\r\nContent-Type: {content_type}\r\nConnection: close\r\n");
+    for (name, value) in extra_headers {
+        head.push_str(name);
+        head.push_str(": ");
+        head.push_str(value);
+        head.push_str("\r\n");
+    }
+    head.push_str("\r\n");
     stream.write_all(head.as_bytes())?;
     stream.flush()
 }

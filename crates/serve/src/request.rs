@@ -129,6 +129,8 @@ pub struct SimRequest {
     pub seed: u64,
     /// Whether to also accumulate per-cell read counts.
     pub track_reads: bool,
+    /// Whether to sample the per-epoch wear trajectory into the result.
+    pub series: bool,
     /// Device technology for the lifetime model.
     pub technology: Technology,
     /// Per-request wall-clock budget override in milliseconds (`None` =
@@ -274,6 +276,7 @@ impl SimRequest {
         let period = get_u64(doc, "period", 100)?;
         let seed = get_u64(doc, "seed", SimConfig::paper().seed)?;
         let track_reads = get_bool(doc, "track_reads", false)?;
+        let series = get_bool(doc, "series", false)?;
 
         let technology = match doc.get("technology") {
             None => Technology::Mram,
@@ -304,6 +307,7 @@ impl SimRequest {
             period,
             seed,
             track_reads,
+            series,
             technology,
             timeout_ms,
         })
@@ -340,6 +344,7 @@ impl SimRequest {
             .with("iterations", self.iterations)
             .with("period", self.period)
             .with("seed", self.seed)
+            .with("series", self.series)
             .with("technology", self.technology.label().to_ascii_lowercase())
             .with("track_reads", self.track_reads)
             .with("workload", wl)
@@ -371,6 +376,7 @@ impl SimRequest {
             .with_schedule(schedule)
             .with_seed(self.seed)
             .with_read_tracking(self.track_reads)
+            .with_epoch_series(self.series)
     }
 
     /// Builds the request's workload.
@@ -470,6 +476,19 @@ mod tests {
         let with_timeout = parse(r#"{"workload": "mul", "timeout_ms": 5}"#);
         assert_eq!(plain.cache_key(), with_timeout.cache_key());
         assert_eq!(with_timeout.timeout_ms, Some(5));
+    }
+
+    #[test]
+    fn series_is_canonical_and_splits_the_key() {
+        // Unlike `timeout_ms`, `series` changes the result document (the
+        // trajectory rides in it), so it must participate in the key.
+        let plain = parse(r#"{"workload": "mul"}"#);
+        let with_series = parse(r#"{"workload": "mul", "series": true}"#);
+        assert!(!plain.series);
+        assert!(with_series.series);
+        assert_ne!(plain.cache_key(), with_series.cache_key());
+        assert!(with_series.sim_config().epoch_series);
+        assert!(!plain.sim_config().epoch_series);
     }
 
     #[test]

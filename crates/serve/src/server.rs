@@ -12,24 +12,33 @@
 //!   connections get `503`, in-flight requests complete, and the accept
 //!   loop exits once the queue is idle.
 //! * **Observability** — per-endpoint request counters and latency
-//!   histograms feed the server [`Observer`]; each executed simulation runs
-//!   against a private collecting observer that is absorbed afterwards, and
-//!   (when a cache directory is configured) leaves a [`RunManifest`] on
-//!   disk next to the spilled cache entries.
+//!   histograms (cache hit/miss labeled for `/simulate`) feed the server
+//!   [`Observer`]; each executed simulation runs against a private
+//!   collecting observer that is absorbed afterwards, and (when a cache
+//!   directory is configured) leaves a [`RunManifest`] on disk next to the
+//!   spilled cache entries. Metrics expose as JSON (`GET /metrics`) or
+//!   Prometheus text (`GET /metrics?format=prometheus`).
+//! * **Tracing** — every request runs under a `serve.request` span in a
+//!   process-wide [`TraceRecorder`]. Clients propagate context with an
+//!   `X-Trace-Id` header (minted when absent, echoed on every response)
+//!   and fetch the Chrome trace-event JSON back via `GET /trace/<id>`.
 
 use std::io::Write as _;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::str::FromStr as _;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use nvpim_core::EnduranceSimulator;
 use nvpim_exec::{JobPool, SubmitError, TaskQueue};
-use nvpim_obs::{Event, EventSink as _, Json, JsonlSink, Observer, RunManifest};
+use nvpim_obs::{
+    Event, EventSink as _, Json, JsonlSink, Observer, RunManifest, TraceContext, TraceId,
+    TraceRecorder,
+};
 
 use crate::cache::ResultCache;
 use crate::hash::key_hex;
@@ -82,6 +91,9 @@ impl Default for ServerConfig {
 struct ServeState {
     cache: Mutex<ResultCache>,
     observer: Observer,
+    tracer: Arc<TraceRecorder>,
+    started: Instant,
+    in_flight: AtomicU64,
     draining: AtomicBool,
     timeout_ms: u64,
     retry_after_s: u64,
@@ -98,6 +110,25 @@ impl ServeState {
     fn observe(&self, name: &str, value: u64) {
         self.observer.record(&Event::Observe { name, value });
     }
+
+    /// Refreshes the point-in-time server gauges so a metrics snapshot
+    /// (JSON or Prometheus) always carries current values.
+    fn refresh_gauges(&self) {
+        let metrics = self.observer.metrics();
+        metrics.gauge("serve.uptime_s").set(self.started.elapsed().as_secs_f64());
+        metrics.gauge("serve.in_flight").set(self.in_flight.load(Ordering::SeqCst) as f64);
+        metrics.gauge("serve.workers").set(self.workers as f64);
+        metrics.gauge("serve.queue_depth").set(self.queue_depth as f64);
+    }
+}
+
+/// Per-request context threaded through the route handlers: the adopted
+/// (or minted) trace id pre-rendered for the `X-Trace-Id` echo, the span
+/// to parent child spans under, and the request arrival time.
+struct ReqCtx {
+    hex: String,
+    span: TraceContext,
+    started: Instant,
 }
 
 /// The running service.
@@ -155,6 +186,8 @@ impl Server {
             }
             None => Observer::collecting(),
         };
+        let tracer = Arc::new(TraceRecorder::new());
+        let observer = observer.with_tracer(Arc::clone(&tracer));
         let workers = JobPool::new(config.workers).threads();
         let manifest_dir = config.cache_dir.as_ref().map(|d| d.join("manifests"));
         if let Some(dir) = &manifest_dir {
@@ -163,6 +196,9 @@ impl Server {
         let state = Arc::new(ServeState {
             cache: Mutex::new(ResultCache::new(config.cache_entries, config.cache_dir.clone())),
             observer,
+            tracer,
+            started: Instant::now(),
+            in_flight: AtomicU64::new(0),
             draining: AtomicBool::new(false),
             timeout_ms: config.timeout_ms,
             retry_after_s: config.retry_after_s,
@@ -279,51 +315,111 @@ fn handle_connection(mut stream: TcpStream, state: Arc<ServeState>) {
         Err(Err(_io)) => return,
     };
     let started = Instant::now();
+    state.in_flight.fetch_add(1, Ordering::SeqCst);
     state.count("serve.requests");
-    let endpoint = route(&mut stream, &request, &state);
+    // Adopt the client's trace id (bad values are treated as absent rather
+    // than rejected — tracing must never fail a request) or mint one.
+    let trace = request
+        .header("x-trace-id")
+        .and_then(TraceId::from_hex)
+        .unwrap_or_else(|| state.tracer.new_trace_id());
+    let mut span = state.tracer.adopt_trace(trace, "serve.request");
+    span.attr_str("method", &request.method);
+    span.attr_str("path", &request.path);
+    let ctx = ReqCtx { hex: trace.to_hex(), span: span.context(), started };
+    let endpoint = route(&mut stream, &request, &state, &ctx);
+    span.attr_str("endpoint", endpoint);
+    drop(span);
     state.count(&format!("serve.requests.{endpoint}"));
     let micros = u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX);
     state.observe(&format!("serve.latency_us.{endpoint}"), micros);
+    state.in_flight.fetch_sub(1, Ordering::SeqCst);
 }
 
 /// Dispatches one parsed request and returns the endpoint label used in
 /// metric names.
-fn route(stream: &mut TcpStream, request: &HttpRequest, state: &Arc<ServeState>) -> &'static str {
+fn route(
+    stream: &mut TcpStream,
+    request: &HttpRequest,
+    state: &Arc<ServeState>,
+    ctx: &ReqCtx,
+) -> &'static str {
+    let th = [("X-Trace-Id", ctx.hex.as_str())];
     match (request.method.as_str(), request.path.as_str()) {
         ("GET", "/") => {
-            respond_json(stream, 200, &[], &index_doc());
+            respond_json(stream, 200, &th, &index_doc());
             "index"
         }
         ("GET", "/health") => {
             let doc = Json::object()
                 .with("status", "ok")
                 .with("draining", state.draining.load(Ordering::SeqCst));
-            respond_json(stream, 200, &[], &doc);
+            respond_json(stream, 200, &th, &doc);
             "health"
         }
         ("GET", "/metrics") => {
-            respond_json(stream, 200, &[], &metrics_doc(state));
+            state.refresh_gauges();
+            match request.query_param("format") {
+                None | Some("json") => respond_json(stream, 200, &th, &metrics_doc(state)),
+                Some("prometheus") => {
+                    let body = nvpim_obs::prom::render(&state.observer.snapshot());
+                    let _ =
+                        http::write_response(stream, 200, &th, "text/plain; version=0.0.4", &body);
+                }
+                Some(other) => respond_error(
+                    stream,
+                    400,
+                    &th,
+                    &format!("unknown metrics format `{other}` (expected json or prometheus)"),
+                ),
+            }
             "metrics"
         }
+        ("GET", path) if path.strip_prefix("/trace/").is_some() => {
+            let hex = path.strip_prefix("/trace/").unwrap_or_default();
+            match TraceId::from_hex(hex) {
+                None => respond_error(
+                    stream,
+                    400,
+                    &th,
+                    "bad trace id (expected 1-16 hex digits, nonzero)",
+                ),
+                Some(id) if state.tracer.spans_for(id).is_empty() => respond_error(
+                    stream,
+                    404,
+                    &th,
+                    "no spans recorded for this trace (finished long ago, or evicted)",
+                ),
+                Some(id) => {
+                    let body = state.tracer.chrome_trace_for(id);
+                    let _ = http::write_response(stream, 200, &th, "application/json", &body);
+                }
+            }
+            "trace"
+        }
         ("POST", "/simulate") => {
-            simulate(stream, request, state);
+            simulate(stream, request, state, ctx);
             "simulate"
         }
         ("POST", "/batch") => {
-            batch(stream, request, state);
+            batch(stream, request, state, ctx);
             "batch"
         }
         ("POST", "/shutdown") => {
             state.draining.store(true, Ordering::SeqCst);
-            respond_json(stream, 200, &[], &Json::object().with("status", "draining"));
+            respond_json(stream, 200, &th, &Json::object().with("status", "draining"));
             "shutdown"
         }
         (_, "/" | "/health" | "/metrics" | "/simulate" | "/batch" | "/shutdown") => {
-            respond_error(stream, 405, "method not allowed for this path");
+            respond_error(stream, 405, &th, "method not allowed for this path");
+            "method_not_allowed"
+        }
+        (_, path) if path.starts_with("/trace/") => {
+            respond_error(stream, 405, &th, "method not allowed for this path");
             "method_not_allowed"
         }
         _ => {
-            respond_error(stream, 404, "no such endpoint");
+            respond_error(stream, 404, &th, "no such endpoint");
             "not_found"
         }
     }
@@ -336,6 +432,8 @@ fn index_doc() -> Json {
             Json::from("GET /"),
             Json::from("GET /health"),
             Json::from("GET /metrics"),
+            Json::from("GET /metrics?format=prometheus"),
+            Json::from("GET /trace/<id>"),
             Json::from("POST /simulate"),
             Json::from("POST /batch"),
             Json::from("POST /shutdown"),
@@ -351,8 +449,11 @@ fn metrics_doc(state: &ServeState) -> Json {
             Json::object()
                 .with("cache", cache_stats.to_json())
                 .with("draining", state.draining.load(Ordering::SeqCst))
-                .with("workers", state.workers)
-                .with("queue_depth", state.queue_depth),
+                .with("in_flight", state.in_flight.load(Ordering::SeqCst))
+                .with("queue_depth", state.queue_depth)
+                .with("uptime_s", Json::Num(state.started.elapsed().as_secs_f64()))
+                .with("version", env!("CARGO_PKG_VERSION"))
+                .with("workers", state.workers),
         )
         .with("metrics", state.observer.snapshot().to_json())
 }
@@ -361,28 +462,43 @@ fn respond_json(stream: &mut TcpStream, status: u16, extra: &[(&str, &str)], doc
     let _ = http::write_response(stream, status, extra, "application/json", &doc.render());
 }
 
-fn respond_error(stream: &mut TcpStream, status: u16, message: &str) {
-    respond_json(stream, status, &[], &Json::object().with("error", message));
+fn respond_error(stream: &mut TcpStream, status: u16, extra: &[(&str, &str)], message: &str) {
+    respond_json(stream, status, extra, &Json::object().with("error", message));
+}
+
+/// Splices one extra header into a pre-rendered response, right before the
+/// blank line that ends the head. Cache hits serve bytes rendered at insert
+/// time; the per-request `X-Trace-Id` echo is the only part that differs.
+fn splice_header(mut response: Vec<u8>, name: &str, value: &str) -> Vec<u8> {
+    if let Some(pos) = response.windows(4).position(|w| w == b"\r\n\r\n") {
+        let line = format!("{name}: {value}\r\n");
+        response.splice(pos + 2..pos + 2, line.into_bytes());
+    }
+    response
 }
 
 /// `POST /simulate`: cache lookup, then bounded-time execution.
-fn simulate(stream: &mut TcpStream, request: &HttpRequest, state: &Arc<ServeState>) {
+fn simulate(stream: &mut TcpStream, request: &HttpRequest, state: &Arc<ServeState>, ctx: &ReqCtx) {
+    let th = [("X-Trace-Id", ctx.hex.as_str())];
     let text = match request.body_text() {
         Ok(text) => text,
-        Err(e) => return respond_error(stream, e.status, &e.message),
+        Err(e) => return respond_error(stream, e.status, &th, &e.message),
     };
     let sim_request = match SimRequest::from_str(text) {
         Ok(r) => r,
-        Err(e) => return respond_error(stream, 400, &e.message),
+        Err(e) => return respond_error(stream, 400, &th, &e.message),
     };
     let key = sim_request.cache_key();
     let canonical = sim_request.canonical_text();
     // Hits serve the response bytes pre-rendered at insert time: one buffer
-    // clone under the lock, one write, no formatting.
+    // clone under the lock, one write, no formatting beyond the trace echo.
     let cached = state.cache.lock().expect("cache poisoned").get_response(key, &canonical);
     if let Some(response) = cached {
         state.count("serve.cache.hits");
+        let response = splice_header(response, "X-Trace-Id", &ctx.hex);
         let _ = stream.write_all(&response).and_then(|()| stream.flush());
+        let micros = u64::try_from(ctx.started.elapsed().as_micros()).unwrap_or(u64::MAX);
+        state.observe("serve.latency_us.simulate|cache=hit", micros);
         return;
     }
     state.count("serve.cache.misses");
@@ -390,10 +506,11 @@ fn simulate(stream: &mut TcpStream, request: &HttpRequest, state: &Arc<ServeStat
     let timeout_ms = sim_request.timeout_ms.unwrap_or(state.timeout_ms);
     let (tx, rx) = mpsc::channel::<Result<String, String>>();
     let job_state = Arc::clone(state);
+    let parent = ctx.span;
     std::thread::Builder::new()
         .name("nvpim-serve-sim".into())
         .spawn(move || {
-            let outcome = execute(&sim_request, &job_state);
+            let outcome = execute(&sim_request, &job_state, Some(parent));
             // The receiver may have timed out and gone away; the cache
             // insert above already preserved the work.
             let _ = tx.send(outcome);
@@ -410,33 +527,49 @@ fn simulate(stream: &mut TcpStream, request: &HttpRequest, state: &Arc<ServeStat
             let _ = http::write_response(
                 stream,
                 200,
-                &[("X-Cache", "miss")],
+                &[("X-Cache", "miss"), ("X-Trace-Id", ctx.hex.as_str())],
                 "application/json",
                 &body,
             );
+            let micros = u64::try_from(ctx.started.elapsed().as_micros()).unwrap_or(u64::MAX);
+            state.observe("serve.latency_us.simulate|cache=miss", micros);
         }
-        Ok(Err(message)) => respond_error(stream, 400, &message),
+        Ok(Err(message)) => respond_error(stream, 400, &th, &message),
         Err(mpsc::RecvTimeoutError::Timeout) => {
             state.count("serve.timeouts");
-            respond_error(stream, 504, "simulation exceeded its time budget");
+            respond_error(stream, 504, &th, "simulation exceeded its time budget");
         }
         Err(mpsc::RecvTimeoutError::Disconnected) => {
-            respond_error(stream, 500, "simulation worker vanished");
+            respond_error(stream, 500, &th, "simulation worker vanished");
         }
     }
 }
 
 /// Runs one simulation to completion, populates the cache, absorbs the
-/// run's private observer, and (when configured) writes a manifest.
-fn execute(request: &SimRequest, state: &ServeState) -> Result<String, String> {
+/// run's private observer, and (when configured) writes a manifest. With a
+/// parent context the run is wrapped in a `serve.execute` child span —
+/// opened on whatever thread executes (the detached `/simulate` worker or
+/// a `/batch` pool worker), so the trace shows real lanes.
+fn execute(
+    request: &SimRequest,
+    state: &ServeState,
+    parent: Option<TraceContext>,
+) -> Result<String, String> {
     let local = Observer::collecting();
     let started = Instant::now();
+    let mut span = parent.map(|ctx| state.tracer.span(ctx, "serve.execute"));
+    if let Some(span) = span.as_mut() {
+        span.attr_str("workload", request.workload.kind());
+        span.attr_str("config", &request.config.to_string());
+        span.attr_u64("iterations", request.iterations);
+    }
     let run = catch_unwind(AssertUnwindSafe(|| {
         let simulator = EnduranceSimulator::new(request.sim_config());
         let workload = request.build_workload();
         let result = simulator.run_with(&workload, request.config, &local);
         wire::result_body(request, &result)
     }));
+    drop(span);
     let body = match run {
         Ok(body) => body,
         Err(_) => return Err("simulation rejected the parameter combination".to_owned()),
@@ -460,32 +593,46 @@ fn execute(request: &SimRequest, state: &ServeState) -> Result<String, String> {
 
 /// `POST /batch`: fan a sweep through a [`JobPool`] and stream one NDJSON
 /// line per completed cell, in completion order.
-fn batch(stream: &mut TcpStream, request: &HttpRequest, state: &Arc<ServeState>) {
+fn batch(stream: &mut TcpStream, request: &HttpRequest, state: &Arc<ServeState>, ctx: &ReqCtx) {
+    let th = [("X-Trace-Id", ctx.hex.as_str())];
     let text = match request.body_text() {
         Ok(text) => text,
-        Err(e) => return respond_error(stream, e.status, &e.message),
+        Err(e) => return respond_error(stream, e.status, &th, &e.message),
     };
     let doc = match nvpim_obs::json::parse(text) {
         Ok(doc) => doc,
-        Err(e) => return respond_error(stream, 400, &format!("invalid JSON body: {e}")),
+        Err(e) => return respond_error(stream, 400, &th, &format!("invalid JSON body: {e}")),
     };
     let cells = match &doc {
         Json::Arr(items) => items.as_slice(),
         Json::Obj(_) => match doc.get("requests") {
             Some(Json::Arr(items)) => items.as_slice(),
             _ => {
-                return respond_error(stream, 400, "expected {\"requests\": [...]} or a JSON array")
+                return respond_error(
+                    stream,
+                    400,
+                    &th,
+                    "expected {\"requests\": [...]} or a JSON array",
+                )
             }
         },
-        _ => return respond_error(stream, 400, "expected {\"requests\": [...]} or a JSON array"),
+        _ => {
+            return respond_error(
+                stream,
+                400,
+                &th,
+                "expected {\"requests\": [...]} or a JSON array",
+            )
+        }
     };
     if cells.is_empty() {
-        return respond_error(stream, 400, "batch contains no requests");
+        return respond_error(stream, 400, &th, "batch contains no requests");
     }
     if cells.len() > MAX_BATCH_CELLS {
         return respond_error(
             stream,
             400,
+            &th,
             &format!("batch of {} exceeds the {MAX_BATCH_CELLS}-cell limit", cells.len()),
         );
     }
@@ -493,14 +640,16 @@ fn batch(stream: &mut TcpStream, request: &HttpRequest, state: &Arc<ServeState>)
     for (index, cell) in cells.iter().enumerate() {
         match SimRequest::from_json(cell) {
             Ok(r) => parsed.push((index, r)),
-            Err(e) => return respond_error(stream, 400, &format!("cell {index}: {}", e.message)),
+            Err(e) => {
+                return respond_error(stream, 400, &th, &format!("cell {index}: {}", e.message))
+            }
         }
     }
     state
         .observer
         .record(&Event::CounterAdd { name: "serve.batch.cells", delta: parsed.len() as u64 });
 
-    if http::write_stream_head(stream, "application/x-ndjson").is_err() {
+    if http::write_stream_head(stream, "application/x-ndjson", &th).is_err() {
         return;
     }
     let out = Mutex::new(&mut *stream);
@@ -516,7 +665,7 @@ fn batch(stream: &mut TcpStream, request: &HttpRequest, state: &Arc<ServeState>)
             }
             None => {
                 state.count("serve.cache.misses");
-                match execute(&cell, state) {
+                match execute(&cell, state, Some(ctx.span)) {
                     Ok(body) => (false, body),
                     Err(message) => {
                         let doc =

@@ -7,7 +7,7 @@
 //! cache sound *and* testable (the integration suite asserts identical
 //! bodies for identical requests).
 
-use nvpim_core::{LifetimeModel, SimResult};
+use nvpim_core::{EpochSample, LifetimeModel, SimResult};
 use nvpim_obs::Json;
 
 use crate::hash::key_hex;
@@ -19,25 +19,41 @@ pub const RESULT_SCHEMA: &str = "nvpim.serve-result/v1";
 /// Schema tag of a `repro --json` report envelope.
 pub const REPORT_SCHEMA: &str = "nvpim.report/v1";
 
+/// One epoch of the wear trajectory as wire JSON (shared by result
+/// documents and `RunManifest`s).
+#[must_use]
+pub fn epoch_sample_json(sample: &EpochSample) -> Json {
+    Json::object()
+        .with("iteration", sample.iteration)
+        .with("epoch", sample.epoch)
+        .with("max_writes", sample.max_writes)
+        .with("p99_writes", sample.p99_writes)
+        .with("mean_writes", Json::Num(sample.mean_writes))
+        .with("gini", Json::Num(sample.gini))
+        .with("remaps", sample.remaps)
+}
+
 /// Renders the full result document for one served simulation.
 #[must_use]
 pub fn result_json(request: &SimRequest, result: &SimResult) -> Json {
     let model = LifetimeModel::for_technology(request.technology);
     let lifetime = model.lifetime(result);
+    let mut body = Json::object()
+        .with("iterations", result.iterations)
+        .with("steps_per_iteration", result.steps_per_iteration)
+        .with("total_writes", result.total_writes())
+        .with("total_reads", result.total_reads())
+        .with("max_writes", result.wear.max_writes())
+        .with("max_writes_per_iteration", result.max_writes_per_iteration());
+    if !result.series.is_empty() {
+        let samples: Vec<Json> = result.series.iter().map(epoch_sample_json).collect();
+        body = body.with("series", Json::Arr(samples));
+    }
     Json::object()
         .with("schema", RESULT_SCHEMA)
         .with("key", key_hex(request.cache_key()))
         .with("request", request.canonical_json())
-        .with(
-            "result",
-            Json::object()
-                .with("iterations", result.iterations)
-                .with("steps_per_iteration", result.steps_per_iteration)
-                .with("total_writes", result.total_writes())
-                .with("total_reads", result.total_reads())
-                .with("max_writes", result.wear.max_writes())
-                .with("max_writes_per_iteration", result.max_writes_per_iteration()),
-        )
+        .with("result", body)
         .with(
             "lifetime",
             Json::object()
@@ -116,6 +132,35 @@ mod tests {
         assert_eq!(cfg.schedule.period(), None);
         assert_eq!(cfg.seed, 9);
         assert!(cfg.track_reads);
+    }
+
+    #[test]
+    fn series_rides_in_the_result_when_requested() {
+        let req = SimRequest::from_str(
+            r#"{"workload": {"kind": "mul", "rows": 128, "lanes": 8},
+                "iterations": 20, "period": 4, "series": true}"#,
+        )
+        .unwrap();
+        let sim = EnduranceSimulator::new(req.sim_config());
+        let result = sim.run(&req.build_workload(), req.config);
+        let doc = result_json(&req, &result);
+        let series = doc
+            .get("result")
+            .and_then(|r| r.get("series"))
+            .and_then(Json::as_array)
+            .expect("series array present");
+        assert_eq!(series.len(), 5, "20 iterations / period 4");
+        let last = series.last().unwrap();
+        assert_eq!(last.get("iteration").and_then(Json::as_u64), Some(20));
+        assert_eq!(last.get("max_writes").and_then(Json::as_u64), Some(result.wear.max_writes()));
+        assert!(last.get("gini").is_some());
+
+        // And stays out when not requested — cached plain results keep
+        // their historical byte-exact shape.
+        let plain = tiny_request();
+        let sim = EnduranceSimulator::new(plain.sim_config());
+        let doc = result_json(&plain, &sim.run(&plain.build_workload(), plain.config));
+        assert!(doc.get("result").and_then(|r| r.get("series")).is_none());
     }
 
     #[test]

@@ -284,6 +284,143 @@ fn batch_streams_one_line_per_cell_and_reuses_the_cache() {
 }
 
 #[test]
+fn trace_ids_echo_propagate_and_fetch_as_chrome_json() {
+    let (handle, client) = start(ServerConfig::default());
+
+    // Every response carries an X-Trace-Id, minted when the client sends
+    // none — including error responses.
+    let minted = client.get("/health").unwrap();
+    let minted_id = minted.header("x-trace-id").expect("minted trace id").to_owned();
+    assert!(!minted_id.is_empty() && minted_id.len() <= 16);
+    assert!(client.get("/nope").unwrap().header("x-trace-id").is_some());
+
+    // A client-supplied id is adopted and echoed (in its normalized
+    // 16-digit form) on both the cache-miss and the pre-rendered
+    // cache-hit path.
+    let body = small_request(1234);
+    let miss = client
+        .post_json_with_headers("/simulate", &body, &[("X-Trace-Id", "00c0ffee00c0ffee")])
+        .unwrap();
+    assert_eq!(miss.status, 200);
+    assert_eq!(miss.header("x-cache"), Some("miss"));
+    assert_eq!(miss.header("x-trace-id"), Some("00c0ffee00c0ffee"));
+    let hit = client
+        .post_json_with_headers("/simulate", &body, &[("X-Trace-Id", "00c0ffee00c0ffee")])
+        .unwrap();
+    assert_eq!(hit.header("x-cache"), Some("hit"));
+    assert_eq!(hit.header("x-trace-id"), Some("00c0ffee00c0ffee"), "hit bytes gain the echo too");
+    assert_eq!(hit.text(), miss.text(), "trace echo must not disturb the cached body");
+
+    // The collected trace comes back as Chrome trace-event JSON with the
+    // request spans and the execute child span.
+    let trace = client.get("/trace/00c0ffee00c0ffee").unwrap();
+    assert_eq!(trace.status, 200);
+    // The fetch is a request of its own and gets its own echo.
+    assert!(trace.header("x-trace-id").is_some());
+    let doc = trace.json().unwrap();
+    let events = doc.get("traceEvents").and_then(Json::as_array).expect("traceEvents array");
+    let names: Vec<&str> = events
+        .iter()
+        .filter(|e| e.get("ph").and_then(Json::as_str) == Some("X"))
+        .filter_map(|e| e.get("name").and_then(Json::as_str))
+        .collect();
+    assert!(
+        names.iter().filter(|n| **n == "serve.request").count() >= 2,
+        "both requests recorded: {names:?}"
+    );
+    assert!(names.contains(&"serve.execute"), "simulation child span recorded: {names:?}");
+    let stats = nvpim_obs::validate::chrome_trace(&trace.text()).expect("validator-clean trace");
+    assert!(stats.complete_spans >= 3);
+
+    // Garbage and unknown ids fail cleanly.
+    assert_eq!(client.get("/trace/zzz").unwrap().status, 400);
+    assert_eq!(client.get("/trace/deadbeefdeadbeef").unwrap().status, 404);
+
+    handle.request_shutdown();
+    handle.join();
+}
+
+#[test]
+fn metrics_expose_fleet_fields_and_prometheus_text() {
+    let (handle, client) = start(ServerConfig::default());
+    assert_eq!(client.post_json("/simulate", &small_request(5)).unwrap().status, 200);
+    assert_eq!(client.post_json("/simulate", &small_request(5)).unwrap().status, 200);
+
+    // JSON document: server identity and load fields ride alongside the
+    // metric registry.
+    let doc = client.get("/metrics").unwrap().json().unwrap();
+    let serve = doc.get("serve").expect("serve section");
+    assert!(serve.get("uptime_s").is_some(), "uptime exposed");
+    assert_eq!(
+        serve.get("version").and_then(Json::as_str),
+        Some(env!("CARGO_PKG_VERSION")),
+        "build version exposed"
+    );
+    assert!(serve.get("in_flight").and_then(Json::as_u64).is_some(), "in-flight gauge exposed");
+    // This very request is in flight while the snapshot is taken.
+    assert!(serve.get("in_flight").and_then(Json::as_u64).unwrap() >= 1);
+
+    // Prometheus text: parses through the repo's own checker and carries
+    // the hit/miss-labeled latency family plus the server gauges.
+    let prom = client.get("/metrics?format=prometheus").unwrap();
+    assert_eq!(prom.status, 200);
+    assert!(prom.header("content-type").unwrap_or("").starts_with("text/plain"));
+    let text = prom.text();
+    let stats = nvpim_obs::validate::prometheus(&text).expect("validator-clean exposition");
+    assert!(stats.families >= 5);
+    assert!(text.contains("# TYPE nvpim_serve_requests_total counter"));
+    assert!(text.contains("nvpim_serve_uptime_s"));
+    assert!(text.contains("nvpim_serve_in_flight"));
+    assert!(
+        text.contains("nvpim_serve_latency_us_simulate_bucket{cache=\"hit\""),
+        "hit-labeled latency family present"
+    );
+    assert!(text.contains("nvpim_serve_latency_us_simulate_bucket{cache=\"miss\""));
+
+    // Unknown formats are named in the rejection.
+    let bad = client.get("/metrics?format=xml").unwrap();
+    assert_eq!(bad.status, 400);
+    assert!(bad.text().contains("xml"));
+
+    handle.request_shutdown();
+    handle.join();
+}
+
+#[test]
+fn series_request_streams_the_wear_trajectory() {
+    let (handle, client) = start(ServerConfig::default());
+    let body = r#"{"workload": {"kind": "mul", "rows": 128, "lanes": 8},
+                   "iterations": 20, "period": 4, "series": true}"#;
+    let reply = client.post_json("/simulate", body).unwrap();
+    assert_eq!(reply.status, 200);
+    let doc = reply.json().unwrap();
+    let series = doc.get("result").and_then(|r| r.get("series")).and_then(Json::as_array).unwrap();
+    assert_eq!(series.len(), 5, "one sample per remap epoch");
+    assert_eq!(series.last().unwrap().get("iteration").and_then(Json::as_u64), Some(20));
+
+    // The same shape arrives over /batch NDJSON, and the plain spelling
+    // stays a distinct cache entry without the series.
+    let batch = format!(
+        r#"{{"requests": [{body}, {{"workload": {{"kind": "mul", "rows": 128, "lanes": 8}},
+            "iterations": 20, "period": 4}}]}}"#
+    );
+    let lines = client.post_json("/batch", &batch).unwrap().json_lines().unwrap();
+    assert_eq!(lines.len(), 2);
+    for line in &lines {
+        let index = line.get("index").and_then(Json::as_u64).unwrap();
+        let has_series = line
+            .get("response")
+            .and_then(|r| r.get("result"))
+            .and_then(|r| r.get("series"))
+            .is_some();
+        assert_eq!(has_series, index == 0, "series rides exactly where requested");
+    }
+
+    handle.request_shutdown();
+    handle.join();
+}
+
+#[test]
 fn disk_cache_and_manifests_survive_a_server_restart() {
     let dir = std::env::temp_dir().join(format!("nvpim-serve-test-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);

@@ -1,0 +1,73 @@
+//! Tracing walkthrough: record hierarchical spans across a parallel
+//! matrix run — one coherent trace spanning every worker — then export
+//! Chrome trace-event JSON (loadable in Perfetto or `chrome://tracing`)
+//! and print a flamegraph-style self/total breakdown.
+//!
+//! Run with: `cargo run --release --example traced_run`
+
+use std::sync::Arc;
+
+use nvpim::core::parallel::run_matrix;
+use nvpim::obs::{observer, Observer, TraceRecorder};
+use nvpim::prelude::*;
+
+fn main() {
+    // The recorder is shared: the Observer hands it to parallel workers so
+    // their spans land in the same ring buffer as the root's.
+    let recorder = Arc::new(TraceRecorder::new());
+    let observer =
+        match observer::install(Observer::collecting().with_tracer(Arc::clone(&recorder))) {
+            Ok(obs) => obs,
+            Err(_) => {
+                eprintln!("observer already installed; run this example on its own");
+                return;
+            }
+        };
+
+    // Open a root span and park its context as the recorder's ambient:
+    // every `exec.job` span the matrix opens will attach beneath it.
+    let root = recorder.begin_trace("traced_run.matrix");
+    recorder.set_ambient(root.context());
+
+    let dims = ArrayDims::new(512, 64);
+    let workloads = vec![ParallelMul::new(dims, 32).build()];
+    let configs = vec!["StxSt".parse().unwrap(), "RaxSt+Hw".parse().unwrap()];
+    let base = SimConfig::default().with_iterations(nvpim::example_iterations(400));
+    let results = run_matrix(
+        &workloads,
+        &configs,
+        &[ArchStyle::PresetOutput],
+        &[Some(50), Some(100)],
+        base,
+        2,
+    );
+    println!("matrix ran {} cells", results.len());
+
+    recorder.clear_ambient();
+    drop(root);
+
+    // Chrome trace-event JSON: load the written file in Perfetto
+    // (https://ui.perfetto.dev) or chrome://tracing to see the span tree
+    // on a timeline, one track per worker thread.
+    let path = std::env::temp_dir().join("nvpim-traced-run.json");
+    std::fs::write(&path, recorder.chrome_trace()).expect("write trace");
+    println!("chrome trace written to {}", path.display());
+
+    // The flamegraph aggregation answers "where did the time go" without
+    // leaving the terminal: self time excludes child spans.
+    println!("\nflame (self vs total):");
+    for row in recorder.flame() {
+        println!(
+            "  {:<24} {:>4} calls {:>10.2} ms total {:>10.2} ms self",
+            row.name,
+            row.count,
+            row.total_ns as f64 / 1e6,
+            row.self_ns as f64 / 1e6,
+        );
+    }
+
+    // The spans also fed the installed observer's metrics, so the usual
+    // aggregates coexist with the trace.
+    let snapshot = observer.snapshot();
+    println!("\nsim.iterations counted: {}", snapshot.counter("sim.iterations").unwrap_or(0));
+}

@@ -31,14 +31,39 @@ cargo test -q --release --offline -p nvpim-serve --test integration
 # boots an in-process server and round-trips real HTTP requests.
 cargo run --release --offline -q -p nvpim-bench --bin repro -- \
     fig14 --iters 20 --jobs 2 > /dev/null
+
+# Traced smoke: a two-worker matrix run with every observability artifact
+# enabled, then structural validation of the exports — obs-lint re-parses
+# the Chrome trace-event JSON the same way Perfetto's loader does, so the
+# encoder cannot drift from what the viewers accept. serve-smoke validates
+# the Prometheus exposition in-process and (under --out) leaves the text
+# behind as serve-metrics.prom for an independent re-lint here.
+OBS_TMP="$(mktemp -d)"
+trap 'rm -rf "$OBS_TMP"' EXIT
 cargo run --release --offline -q -p nvpim-bench --bin repro -- \
-    serve-smoke > /dev/null
+    fig17 --iters 40 --jobs 2 \
+    --trace-out "$OBS_TMP/trace.json" \
+    --series-out "$OBS_TMP/series.json" \
+    --manifest "$OBS_TMP/manifest.json" > /dev/null
+cargo run --release --offline -q -p nvpim-bench --bin repro -- \
+    serve-smoke --out "$OBS_TMP" > /dev/null
+cargo run --release --offline -q -p nvpim-obs --bin obs-lint -- \
+    --chrome "$OBS_TMP/trace.json" --prom "$OBS_TMP/serve-metrics.prom"
+# The smoke run samples the wear trajectory: the manifest must carry the
+# same five series the --series-out artifact does.
+for key in wear.max_writes wear.p99_writes wear.mean_writes wear.gini wear.remaps; do
+    grep -q "\"$key\"" "$OBS_TMP/series.json" ||
+        { echo "ci: series artifact is missing $key" >&2; exit 1; }
+    grep -q "\"$key\"" "$OBS_TMP/manifest.json" ||
+        { echo "ci: manifest series section is missing $key" >&2; exit 1; }
+done
+echo "ci: traced smoke artifacts validated"
 
 # Every example must build and run at a tiny iteration scale (the
 # NVPIM_EXAMPLE_ITERS override exists precisely for this smoke stage).
 cargo build --release --offline -q --examples
 for example in quickstart custom_workload lifetime_explorer observed_run \
-               wear_heatmap failed_cells; do
+               traced_run wear_heatmap failed_cells; do
     NVPIM_EXAMPLE_ITERS=20 \
         cargo run --release --offline -q --example "$example" > /dev/null ||
         { echo "ci: example $example failed" >&2; exit 1; }
