@@ -138,6 +138,159 @@ impl WearPanel {
     }
 }
 
+/// A permutation with its cycle decomposition precomputed — the reusable
+/// algebra every epoch-folding fast path is built on.
+///
+/// Three operations, all O(len) for *any* span:
+///
+/// * [`PermFolder::fold_into`] — collapse `span` successive applications of
+///   the permutation onto a delta panel (`out[s] = Σᵢ panel[P⁻ⁱ[s]]`);
+/// * [`PermFolder::advance`] — compose a permutation-valued state by
+///   `P^span` in place (`arr ← arr ∘ P^span`);
+/// * [`PermFolder::power`] — materialize `P^span` itself.
+///
+/// [`WearKernel`] delegates its per-epoch folds to one of these over the
+/// iteration's end permutation; the analytic engine builds a second folder
+/// over a whole super-cycle's net permutation to collapse arbitrarily many
+/// epochs per query.
+///
+/// # Examples
+///
+/// ```
+/// use nvpim_array::PermFolder;
+///
+/// let rot = PermFolder::new(vec![1, 2, 3, 0]); // s → s+1 (mod 4)
+/// let mut out = vec![0u64; 4];
+/// rot.fold_into(3, &[10, 0, 0, 0], &mut out);
+/// assert_eq!(out, vec![10, 10, 10, 0]);
+/// assert_eq!(rot.power(6), vec![2, 3, 0, 1]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct PermFolder {
+    perm: Vec<usize>,
+    /// Cycle decomposition of `perm` (every element appears in exactly one
+    /// cycle; fixed points are 1-cycles), precomputed so folds and
+    /// advances are allocation-free.
+    cycles: Vec<Vec<usize>>,
+    identity: bool,
+}
+
+impl PermFolder {
+    /// Builds a folder over `perm`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `perm` is not a permutation of `0..perm.len()`.
+    #[must_use]
+    pub fn new(perm: Vec<usize>) -> Self {
+        let n = perm.len();
+        let mut seen = vec![false; n];
+        for &s in &perm {
+            assert!(s < n && !seen[s], "not a permutation of 0..{n}");
+            seen[s] = true;
+        }
+        let cycles = cycle_decomposition(&perm);
+        let identity = perm.iter().enumerate().all(|(i, &s)| i == s);
+        PermFolder { perm, cycles, identity }
+    }
+
+    /// The universe size.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.perm.len()
+    }
+
+    /// Whether the universe is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.perm.is_empty()
+    }
+
+    /// Whether the permutation is the identity (folds degenerate to
+    /// `span ×` scaling and advances to no-ops).
+    #[must_use]
+    pub fn is_identity(&self) -> bool {
+        self.identity
+    }
+
+    /// The underlying permutation.
+    #[must_use]
+    pub fn perm(&self) -> &[usize] {
+        &self.perm
+    }
+
+    /// Folds `span` successive applications of the permutation onto `panel`:
+    /// `out[s] = Σ_{i=0}^{span−1} panel[P⁻ⁱ[s]]` — application `i` deposits
+    /// `panel[t]` at `P^i[t]`. `out` is fully overwritten. O(len),
+    /// independent of `span`: per cycle of length `L`, `span = qL + r`
+    /// contributes `q · (cycle sum)` everywhere plus a length-`r` window
+    /// slid around the cycle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `panel` or `out` differ in length from the universe.
+    pub fn fold_into(&self, span: u64, panel: &[u64], out: &mut [u64]) {
+        assert_eq!(panel.len(), self.perm.len(), "panel length mismatch");
+        assert_eq!(out.len(), self.perm.len(), "output length mismatch");
+        for cycle in &self.cycles {
+            let len = cycle.len() as u64;
+            let q = span / len;
+            let r = (span % len) as usize;
+            let cycle_sum: u64 = cycle.iter().map(|&s| panel[s]).sum();
+            // Window for position j: Σ_{i=0}^{r−1} panel[cycle[(j−i) mod L]].
+            let l = cycle.len();
+            let mut window = 0u64;
+            for i in 0..r {
+                // j = 0: slots cycle[0], cycle[L−1], …, cycle[L−r+1].
+                window += panel[cycle[(l - i) % l]];
+            }
+            for (j, &slot) in cycle.iter().enumerate() {
+                out[slot] = q * cycle_sum + window;
+                // Slide to j+1: gains cycle[j+1], loses cycle[j+1−r].
+                let next = cycle[(j + 1) % l];
+                let drop = cycle[(j + 1 + l - r) % l];
+                window = window + panel[next] - panel[drop];
+            }
+        }
+    }
+
+    /// Advances a permutation-valued state by `span` applications in place:
+    /// `arr ← arr ∘ P^span` (`arr[s] ← arr[P^span[s]]`), O(len) for any
+    /// `span`. `scratch` is reused storage for one cycle's values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `arr`'s length differs from the universe.
+    pub fn advance(&self, span: u64, arr: &mut [usize], scratch: &mut Vec<usize>) {
+        assert_eq!(arr.len(), self.perm.len(), "arrangement length mismatch");
+        if self.identity {
+            return;
+        }
+        for cycle in &self.cycles {
+            let l = cycle.len();
+            let shift = (span % l as u64) as usize;
+            if shift == 0 {
+                continue;
+            }
+            scratch.clear();
+            scratch.extend(cycle.iter().map(|&s| arr[s]));
+            // P^span maps cycle[j] → cycle[(j + span) mod L], so the new
+            // value at cycle[j] is the old value at cycle[(j + span) mod L].
+            for (j, &slot) in cycle.iter().enumerate() {
+                arr[slot] = scratch[(j + shift) % l];
+            }
+        }
+    }
+
+    /// Materializes `P^span` as a fresh permutation.
+    #[must_use]
+    pub fn power(&self, span: u64) -> Vec<usize> {
+        let mut arr: Vec<usize> = (0..self.perm.len()).collect();
+        self.advance(span, &mut arr, &mut Vec::new());
+        arr
+    }
+}
+
 /// One iteration of a trace, compiled against a software row table and a
 /// symbolic (identity-arrangement) hardware remapper.
 ///
@@ -154,13 +307,10 @@ pub struct WearKernel {
     slots: usize,
     slot_writes: Vec<Vec<u64>>,
     slot_reads: Option<Vec<Vec<u64>>>,
-    end: Vec<usize>,
-    /// Cycle decomposition of `end` (every slot appears in exactly one
-    /// cycle; fixed points are 1-cycles), precomputed so per-epoch folds
-    /// are allocation-free.
-    cycles: Vec<Vec<usize>>,
+    /// The end permutation `E` with its cycle decomposition, so per-epoch
+    /// folds and advances are allocation-free.
+    folder: PermFolder,
     redirects_per_iter: u64,
-    identity_end: bool,
 }
 
 impl WearKernel {
@@ -192,18 +342,8 @@ impl WearKernel {
         for panel in slot_writes.iter().chain(slot_reads.iter().flatten()) {
             assert_eq!(panel.len(), slots, "panel length must equal the slot count");
         }
-        let cycles = cycle_decomposition(&end);
-        let identity_end = end.iter().enumerate().all(|(i, &s)| i == s);
-        WearKernel {
-            sw_table,
-            slots,
-            slot_writes,
-            slot_reads,
-            end,
-            cycles,
-            redirects_per_iter,
-            identity_end,
-        }
+        let folder = PermFolder::new(end);
+        WearKernel { sw_table, slots, slot_writes, slot_reads, folder, redirects_per_iter }
     }
 
     /// Whether this kernel was compiled against exactly `table` (the reuse
@@ -242,7 +382,15 @@ impl WearKernel {
     /// The net slot permutation one iteration applies to the arrangement.
     #[must_use]
     pub fn end_permutation(&self) -> &[usize] {
-        &self.end
+        self.folder.perm()
+    }
+
+    /// The end permutation's folder, for callers that compose further
+    /// permutation algebra on top of the kernel (e.g. the analytic engine's
+    /// super-cycle accumulation).
+    #[must_use]
+    pub fn folder(&self) -> &PermFolder {
+        &self.folder
     }
 
     /// Redirects one iteration performs (constant across iterations: the
@@ -258,7 +406,7 @@ impl WearKernel {
     /// accumulate — the run-length-batched case.
     #[must_use]
     pub fn is_static(&self) -> bool {
-        self.identity_end
+        self.folder.is_identity()
     }
 
     /// Folds one epoch of `span` iterations of a per-slot delta `panel`
@@ -272,28 +420,7 @@ impl WearKernel {
     ///
     /// Panics if `panel` or `out` differ in length from the slot count.
     pub fn fold_epoch_into(&self, span: u64, panel: &[u64], out: &mut [u64]) {
-        assert_eq!(panel.len(), self.slots, "panel length mismatch");
-        assert_eq!(out.len(), self.slots, "output length mismatch");
-        for cycle in &self.cycles {
-            let len = cycle.len() as u64;
-            let q = span / len;
-            let r = (span % len) as usize;
-            let cycle_sum: u64 = cycle.iter().map(|&s| panel[s]).sum();
-            // Window for position j: Σ_{i=0}^{r−1} panel[cycle[(j−i) mod L]].
-            let l = cycle.len();
-            let mut window = 0u64;
-            for i in 0..r {
-                // j = 0: slots cycle[0], cycle[L−1], …, cycle[L−r+1].
-                window += panel[cycle[(l - i) % l]];
-            }
-            for (j, &slot) in cycle.iter().enumerate() {
-                out[slot] = q * cycle_sum + window;
-                // Slide to j+1: gains cycle[j+1], loses cycle[j+1−r].
-                let next = cycle[(j + 1) % l];
-                let drop = cycle[(j + 1 + l - r) % l];
-                window = window + panel[next] - panel[drop];
-            }
-        }
+        self.folder.fold_into(span, panel, out);
     }
 
     /// Advances an arrangement by `span` iterations in place:
@@ -305,24 +432,7 @@ impl WearKernel {
     ///
     /// Panics if `arr`'s length differs from the slot count.
     pub fn advance_arrangement(&self, span: u64, arr: &mut [usize], scratch: &mut Vec<usize>) {
-        assert_eq!(arr.len(), self.slots, "arrangement length mismatch");
-        if self.identity_end {
-            return;
-        }
-        for cycle in &self.cycles {
-            let l = cycle.len();
-            let shift = (span % l as u64) as usize;
-            if shift == 0 {
-                continue;
-            }
-            scratch.clear();
-            scratch.extend(cycle.iter().map(|&s| arr[s]));
-            // E^span maps cycle[j] → cycle[(j + span) mod L], so the new
-            // value at cycle[j] is the old value at cycle[(j + span) mod L].
-            for (j, &slot) in cycle.iter().enumerate() {
-                arr[slot] = scratch[(j + shift) % l];
-            }
-        }
+        self.folder.advance(span, arr, scratch);
     }
 }
 
@@ -504,5 +614,36 @@ mod tests {
     fn untracked_panel_rejects_reads() {
         let mut panel = WearPanel::new(ArrayDims::new(2, 2), false);
         panel.add_row_reads(0, &[0], 1);
+    }
+
+    #[test]
+    fn folder_power_matches_repeated_application() {
+        let mut seed = 0xF01DE5_u64;
+        for n in [1usize, 4, 9] {
+            let perm = random_perm(n, &mut seed);
+            let folder = PermFolder::new(perm.clone());
+            for span in [0u64, 1, 3, 17, 1000] {
+                // P^span by brute force: advance the identity span times.
+                let mut brute: Vec<usize> = (0..n).collect();
+                for _ in 0..span {
+                    brute = (0..n).map(|s| brute[perm[s]]).collect();
+                }
+                assert_eq!(folder.power(span), brute, "n={n} span={span}");
+            }
+        }
+    }
+
+    #[test]
+    fn folder_identity_detection() {
+        assert!(PermFolder::new((0..5).collect()).is_identity());
+        assert!(!PermFolder::new(vec![1, 0]).is_identity());
+        assert_eq!(PermFolder::new(vec![2, 0, 1]).len(), 3);
+        assert!(PermFolder::new(Vec::new()).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "not a permutation")]
+    fn folder_rejects_non_permutation() {
+        let _ = PermFolder::new(vec![1, 1, 0]);
     }
 }

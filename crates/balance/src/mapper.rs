@@ -10,6 +10,48 @@ use crate::Strategy;
 /// integer number of bytes" to keep memory accesses byte-aligned).
 pub const BYTE_SHIFT_STEP: usize = 8;
 
+impl Strategy {
+    /// The period of the strategy's table sequence over a universe of `n`
+    /// addresses, if the table at epoch `e` is a pure function of
+    /// `e mod period`: 1 for `St` (identity forever), `⌈n/8⌉` for `Bs`
+    /// (cumulative byte-shift wraps), `None` for `Ra` (each epoch consumes
+    /// RNG state, so no epoch's table is recoverable from its index alone).
+    ///
+    /// This is the reducibility test of the analytic wear engine: a finite
+    /// period means all distinct epoch states can be enumerated up front.
+    #[must_use]
+    pub fn epoch_period(self, n: usize) -> Option<u64> {
+        match self {
+            Strategy::Static => Some(1),
+            Strategy::Random => None,
+            Strategy::ByteShift => Some(n.div_ceil(BYTE_SHIFT_STEP) as u64),
+        }
+    }
+
+    /// The forward table this strategy produces at epoch `epoch` over `n`
+    /// addresses, for strategies with a finite [`Strategy::epoch_period`].
+    /// Bit-identical to advancing a fresh [`StrategyMapper`] `epoch` times;
+    /// `None` for `Ra`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    #[must_use]
+    pub fn table_at_epoch(self, n: usize, epoch: u64) -> Option<Vec<usize>> {
+        assert!(n > 0, "mapper universe must be nonzero");
+        match self {
+            Strategy::Static => Some((0..n).collect()),
+            Strategy::Random => None,
+            Strategy::ByteShift => {
+                let shift = (epoch as usize % n.div_ceil(BYTE_SHIFT_STEP))
+                    .wrapping_mul(BYTE_SHIFT_STEP)
+                    % n;
+                Some((0..n).map(|i| (i + shift) % n).collect())
+            }
+        }
+    }
+}
+
 /// A permutation of `n` addresses that evolves at re-mapping epochs
 /// according to a [`Strategy`].
 ///
@@ -93,6 +135,20 @@ impl StrategyMapper {
     #[must_use]
     pub fn as_slice(&self) -> &[usize] {
         &self.forward
+    }
+
+    /// The period of this mapper's table sequence, if finite — see
+    /// [`Strategy::epoch_period`].
+    #[must_use]
+    pub fn epoch_period(&self) -> Option<u64> {
+        self.strategy.epoch_period(self.forward.len())
+    }
+
+    /// The table this mapper will hold at epoch `epoch`, if the strategy is
+    /// periodic — see [`Strategy::table_at_epoch`].
+    #[must_use]
+    pub fn table_at_epoch(&self, epoch: u64) -> Option<Vec<usize>> {
+        self.strategy.table_at_epoch(self.forward.len(), epoch)
     }
 
     /// Applies one re-mapping event (a re-compilation for software
@@ -213,5 +269,38 @@ mod tests {
     #[should_panic(expected = "nonzero")]
     fn zero_universe_rejected() {
         let _ = StrategyMapper::new(Strategy::Static, 0, 0);
+    }
+
+    #[test]
+    fn epoch_periods_by_strategy() {
+        assert_eq!(Strategy::Static.epoch_period(100), Some(1));
+        assert_eq!(Strategy::Random.epoch_period(100), None);
+        assert_eq!(Strategy::ByteShift.epoch_period(32), Some(4));
+        assert_eq!(Strategy::ByteShift.epoch_period(20), Some(3)); // ⌈20/8⌉
+        assert_eq!(Strategy::ByteShift.epoch_period(4), Some(1)); // shift ≡ 0 (mod 4)
+        let m = StrategyMapper::new(Strategy::ByteShift, 64, 0);
+        assert_eq!(m.epoch_period(), Some(8));
+    }
+
+    #[test]
+    fn table_at_epoch_matches_advancing_a_live_mapper() {
+        for (strategy, n) in
+            [(Strategy::Static, 40), (Strategy::ByteShift, 32), (Strategy::ByteShift, 20)]
+        {
+            let mut live = StrategyMapper::new(strategy, n, 9);
+            for epoch in 0..12u64 {
+                let predicted = live.table_at_epoch(epoch).expect("periodic strategy");
+                let mut replay = StrategyMapper::new(strategy, n, 9);
+                for _ in 0..epoch {
+                    replay.advance_epoch();
+                }
+                assert_eq!(predicted, replay.as_slice(), "{strategy:?} n={n} epoch={epoch}");
+                // Period property: epoch and epoch + period agree.
+                let period = live.epoch_period().unwrap();
+                assert_eq!(predicted, live.table_at_epoch(epoch + period).unwrap());
+                live.advance_epoch();
+            }
+        }
+        assert_eq!(StrategyMapper::new(Strategy::Random, 16, 0).table_at_epoch(3), None);
     }
 }

@@ -5,8 +5,9 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use nvpim_array::{ArchStyle, ArrayDims};
+use nvpim_balance::BalanceConfig;
 use nvpim_bench::Scale;
-use nvpim_core::{sim, EnduranceSimulator, SimConfig};
+use nvpim_core::{sim, AnalyticWearEngine, EnduranceSimulator, SimConfig};
 use nvpim_workloads::parallel_mul::ParallelMul;
 use nvpim_workloads::AllocPolicy;
 use std::hint::black_box;
@@ -65,6 +66,76 @@ fn bench_hw_replay(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_analytic_query(c: &mut Criterion) {
+    // The replay-free engine ablation: a closed-form query is O(cells)
+    // arithmetic over prefix panels regardless of the iteration count,
+    // while compiled replay folds every epoch (O(N/period)) and step
+    // replay walks the trace every iteration (O(N)). Construction — the
+    // symbolic trace walk and prefix-panel build — is timed separately
+    // (`build/*`): a lifetime solve pays it once and then issues dozens
+    // of point queries, so `analytic/*` times the query on a built
+    // engine, the shape the solve's bisection loop sees.
+    let workload = ParallelMul::new(ArrayDims::new(512, 32), 16).build();
+    let base = SimConfig::paper().with_schedule(nvpim_balance::RemapSchedule::every(100));
+    let mut group = c.benchmark_group("analytic_query");
+    group.sample_size(10);
+    let closed_form = ["StxSt", "BsxBs", "StxSt+Hw", "BsxBs+Hw"];
+    for name in closed_form {
+        let config: BalanceConfig = name.parse().unwrap();
+        group.bench_function(format!("build/{name}"), |b| {
+            let cfg = base.with_iterations(100_000);
+            b.iter(|| black_box(AnalyticWearEngine::new(&workload, config, cfg).path()));
+        });
+        for iters in [1_000u64, 10_000, 100_000] {
+            group.bench_function(format!("analytic/{name}/{iters}"), |b| {
+                let cfg = base.with_iterations(iters);
+                let mut engine = AnalyticWearEngine::new(&workload, config, cfg);
+                b.iter(|| black_box(engine.wear_at(iters).max_writes()));
+            });
+        }
+        for iters in [1_000u64, 100_000] {
+            group.bench_function(format!("compiled/{name}/{iters}"), |b| {
+                let sim =
+                    EnduranceSimulator::new(base.with_iterations(iters).with_hw_kernels(true));
+                b.iter(|| black_box(sim.run(&workload, config).wear.max_writes()));
+            });
+        }
+    }
+    // Step replay only at the smallest count — it is the O(N) baseline.
+    for name in ["StxSt+Hw", "BsxBs+Hw"] {
+        let config: BalanceConfig = name.parse().unwrap();
+        group.bench_function(format!("step_replay/{name}/1000"), |b| {
+            let sim = EnduranceSimulator::new(base.with_iterations(1_000).with_hw_kernels(false));
+            b.iter(|| black_box(sim.run(&workload, config).wear.max_writes()));
+        });
+    }
+    // The lazy rung (Ra draws force epoch enumeration, but with zero trace
+    // walks) against the compiled simulator on the same config.
+    let raxra: BalanceConfig = "RaxRa".parse().unwrap();
+    group.bench_function("analytic/RaxRa/10000", |b| {
+        let cfg = base.with_iterations(10_000);
+        b.iter(|| {
+            let mut engine = AnalyticWearEngine::new(&workload, raxra, cfg);
+            black_box(engine.wear_at(10_000).max_writes())
+        });
+    });
+    group.bench_function("compiled/RaxRa/10000", |b| {
+        let sim = EnduranceSimulator::new(base.with_iterations(10_000).with_hw_kernels(true));
+        b.iter(|| black_box(sim.run(&workload, raxra).wear.max_writes()));
+    });
+    // The irreducible rung: Ra rows under +Hw delegate to the simulator,
+    // so this is a labeled control, not a speedup claim.
+    let fallback: BalanceConfig = "RaxRa+Hw".parse().unwrap();
+    group.bench_function("fallback/RaxRa+Hw/1000", |b| {
+        let cfg = base.with_iterations(1_000);
+        b.iter(|| {
+            let mut engine = AnalyticWearEngine::new(&workload, fallback, cfg);
+            black_box(engine.wear_at(1_000).max_writes())
+        });
+    });
+    group.finish();
+}
+
 fn bench_translation_cache(c: &mut Criterion) {
     // The replay hot-path ablation: cached flat-table translation vs
     // per-step trait-dispatched lookups, for a software-remapped config
@@ -109,6 +180,7 @@ criterion_group!(
     bench_fast_vs_naive,
     bench_arch_styles,
     bench_hw_replay,
+    bench_analytic_query,
     bench_translation_cache,
     bench_alloc_policies
 );

@@ -309,18 +309,49 @@ fn install_observer(
 fn build_manifest(command: &str, args: &[String], scale: Scale, obs: &Observer) -> RunManifest {
     let snap = obs.snapshot();
     let count = |name: &str| snap.counter(name).unwrap_or(0);
+    let mut config = scale_config_json(scale);
+    if let Some(paths) = analytic_paths_json(command, scale) {
+        config = config.with("analytic_paths", paths);
+    }
     RunManifest::new(command)
         .with_command(args.iter().cloned())
-        .with_config(scale_config_json(scale))
+        .with_config(config)
         .with_lifetime(
             Json::object()
                 .with("simulated_iterations", count("sim.iterations"))
+                .with("analytic_queries", count("sim.analytic_queries"))
                 .with("total_cell_writes", count("array.cell_writes"))
                 .with("total_cell_reads", count("array.cell_reads"))
                 .with("remap_events", count("balance.remap_events"))
                 .with("hw_redirects", count("balance.hw_redirects")),
         )
         .with_observer(obs)
+}
+
+/// Which analytic-engine path answers each configuration for commands that
+/// route through the replay-free engine (`fig17`/`table3` matrices, the
+/// `sweep` point, and `all`, which runs both) — `closed_form`, `lazy`, or
+/// `fallback` per the reducibility ladder, recorded so a manifest states
+/// how its numbers were produced.
+fn analytic_paths_json(command: &str, scale: Scale) -> Option<Json> {
+    use nvpim_balance::BalanceConfig;
+    let cfg = scale.sim_config();
+    let label = |config: BalanceConfig| {
+        nvpim_core::analytic::classify(config, cfg.schedule, scale.dims, cfg.track_reads).label()
+    };
+    match command {
+        "fig17" | "table3" | "all" => {
+            let mut obj = Json::object();
+            for config in BalanceConfig::all() {
+                obj = obj.with(&config.to_string(), label(config));
+            }
+            Some(obj)
+        }
+        "sweep" => {
+            Some(Json::object().with("RaxRa", label("RaxRa".parse().expect("valid config"))))
+        }
+        _ => None,
+    }
 }
 
 /// The worker count a scale actually runs with (`0` = environment-driven).

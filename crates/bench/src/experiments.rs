@@ -241,9 +241,16 @@ pub fn heatmap_report(which: &str, scale: Scale) -> String {
 /// relative to `St × St`.
 #[must_use]
 pub fn fig17_data(workload: &Workload, scale: Scale) -> Vec<(BalanceConfig, f64)> {
-    let sim = EnduranceSimulator::new(scale.sim_config());
     let model = LifetimeModel::mtj();
-    let results = sim.run_all_configs_parallel(workload, scale.jobs);
+    // Lifetime queries don't need the wear trajectory, so the whole matrix
+    // answers through the replay-free analytic engine — bit-identical to
+    // the simulator (irreducible configs fall back inside the engine).
+    let results = nvpim_core::run_configs_analytic(
+        workload,
+        &BalanceConfig::all(),
+        scale.sim_config(),
+        scale.jobs,
+    );
     let baseline_run =
         results.iter().find(|r| r.config.is_static()).expect("StxSt is part of the matrix").clone();
     results
@@ -311,7 +318,9 @@ pub fn sweep_report(scale: Scale) -> String {
         format!("== §5: re-mapping frequency sweep ({} iterations, RaxRa) ==\n", scale.iterations);
     let workload = scale.mul_workload();
     let base = SimConfig::paper().with_iterations(scale.iterations);
-    let points = sweep::remap_frequency_sweep_parallel(
+    // Analytic sweep: every point is a replay-free lifetime query,
+    // bit-identical to the simulated sweep.
+    let points = sweep::remap_frequency_sweep_analytic(
         &workload,
         config("RaxRa"),
         base,

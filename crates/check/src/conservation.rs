@@ -12,7 +12,7 @@
 use nvpim_array::WearMap;
 use nvpim_balance::BalanceConfig;
 use nvpim_core::sim::simulate_naive;
-use nvpim_core::{EnduranceSimulator, SimConfig};
+use nvpim_core::{AnalyticWearEngine, EnduranceSimulator, SimConfig};
 use nvpim_workloads::Workload;
 
 use crate::finding::Finding;
@@ -132,11 +132,13 @@ pub fn verify_conservation(
 }
 
 /// Proves the epoch-compiled `+Hw` kernel path is bit-identical to
-/// per-iteration step replay: the same workload and configuration run once
-/// with kernels enabled and once with them disabled, and every cell's
-/// write and read tallies — plus the lifetime-limiting maximum — must
-/// match exactly. Only meaningful for dynamic (`hw: true`) configurations;
-/// static maps never enter the kernel engine.
+/// per-iteration step replay, and that the replay-free analytic engine
+/// agrees with both: the same workload and configuration run once with
+/// kernels enabled, once with them disabled, and once through
+/// [`AnalyticWearEngine::wear_at`], and every cell's write and read
+/// tallies — plus the lifetime-limiting maximum — must match exactly.
+/// Analytic findings name the engine path (`closed_form`, `lazy`,
+/// `fallback`) so a divergence points at the right algebra.
 #[must_use]
 pub fn verify_kernel_equivalence(
     workload: &Workload,
@@ -147,10 +149,15 @@ pub fn verify_kernel_equivalence(
     let subject = format!("{}/{config}", workload.name());
     let compiled = EnduranceSimulator::new(cfg.with_hw_kernels(true)).run(workload, config);
     let replayed = EnduranceSimulator::new(cfg.with_hw_kernels(false)).run(workload, config);
+    let mut engine = AnalyticWearEngine::new(workload, config, cfg);
+    let path = engine.path();
+    let analytic = engine.wear_at(cfg.iterations);
 
     let dims = workload.trace().dims();
     let mut divergent = 0usize;
     let mut first = None;
+    let mut analytic_divergent = 0usize;
+    let mut analytic_first = None;
     for row in 0..dims.rows() {
         for lane in 0..dims.lanes() {
             let (cw, rw) = (compiled.wear.writes_at(row, lane), replayed.wear.writes_at(row, lane));
@@ -158,6 +165,11 @@ pub fn verify_kernel_equivalence(
             if cw != rw || cr != rr {
                 divergent += 1;
                 first.get_or_insert((row, lane, cw, rw, cr, rr));
+            }
+            let (aw, ar) = (analytic.writes_at(row, lane), analytic.reads_at(row, lane));
+            if aw != cw || ar != cr {
+                analytic_divergent += 1;
+                analytic_first.get_or_insert((row, lane, aw, cw, ar, cr));
             }
         }
     }
@@ -176,11 +188,34 @@ pub fn verify_kernel_equivalence(
         findings.push(Finding::new(
             PASS,
             "kernel-divergence",
-            subject,
+            subject.clone(),
             format!(
                 "compiled-kernel max-writes {} differs from step-replay {}",
                 compiled.wear.max_writes(),
                 replayed.wear.max_writes()
+            ),
+        ));
+    }
+    if let Some((row, lane, aw, cw, ar, cr)) = analytic_first {
+        findings.push(Finding::new(
+            PASS,
+            "analytic-divergence",
+            subject.clone(),
+            format!(
+                "{analytic_divergent} cell(s) differ between the analytic engine ({path}) and \
+                 the compiled arm; first at ({row},{lane}): writes {aw} vs {cw}, reads {ar} vs {cr}"
+            ),
+        ));
+    }
+    if analytic.max_writes() != compiled.wear.max_writes() {
+        findings.push(Finding::new(
+            PASS,
+            "analytic-divergence",
+            subject,
+            format!(
+                "analytic ({path}) max-writes {} differs from compiled-kernel {}",
+                analytic.max_writes(),
+                compiled.wear.max_writes()
             ),
         ));
     }

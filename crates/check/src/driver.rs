@@ -373,14 +373,16 @@ pub fn run_conservation_pass(opts: &CheckOptions, report: &mut Report) {
     }
 
     // The compiled-kernel fast path must be bit-identical to per-iteration
-    // step replay for every dynamic (+Hw) configuration. A period of 5
-    // against `conservation_iters = 24` crosses four full software epochs
-    // plus a partial final one, so both the cycle-power fold and the
-    // short-span tail are exercised.
+    // step replay, and the replay-free analytic engine to both. A period
+    // of 5 against `conservation_iters = 24` crosses four full software
+    // epochs plus a partial final one, so the cycle-power fold, the
+    // short-span tail, and the analytic prefix-panel algebra are all
+    // exercised. Every configuration runs — non-Hw maps skip the kernel
+    // engine but still pin the analytic closed-form/lazy paths.
     let kernel_cfg = cfg.with_schedule(RemapSchedule::every(5)).with_read_tracking(true);
-    for &config in opts.configs.iter().filter(|c| c.hw) {
+    for &config in &opts.configs {
         report.extend(conservation::verify_kernel_equivalence(&workload, config, kernel_cfg));
-        report.bump_checks(2);
+        report.bump_checks(4);
     }
 }
 

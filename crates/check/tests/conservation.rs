@@ -21,7 +21,9 @@ fn representative_configs_conserve() {
 }
 
 /// The compiled-kernel arm is bit-identical to step replay for dynamic
-/// configurations across epoch boundaries (including a partial epoch).
+/// configurations across epoch boundaries (including a partial epoch),
+/// and the analytic engine agrees with both on every reducibility rung
+/// (closed-form, lazy software, lazy hardware, and simulator fallback).
 #[test]
 fn kernel_arms_are_equivalent_for_dynamic_configs() {
     let workload = ParallelMul::new(ArrayDims::new(128, 8), 8).build();
@@ -30,7 +32,7 @@ fn kernel_arms_are_equivalent_for_dynamic_configs() {
         .with_schedule(RemapSchedule::every(5))
         .with_read_tracking(true)
         .with_seed(3);
-    for config in ["StxSt+Hw", "RaxBs+Hw", "BsxRa+Hw"] {
+    for config in ["StxSt+Hw", "RaxBs+Hw", "BsxRa+Hw", "BsxBs", "RaxSt", "RaxRa+Hw"] {
         let config: BalanceConfig = config.parse().expect("valid literal");
         let findings = verify_kernel_equivalence(&workload, config, cfg);
         assert!(findings.is_empty(), "{config}: {findings:?}");

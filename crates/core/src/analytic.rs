@@ -1,0 +1,950 @@
+//! Replay-free analytic wear evaluation: per-cell wear as a closed-form (or
+//! incrementally materialized) function of the iteration count.
+//!
+//! The simulator answers "what does the wear map look like after N
+//! iterations?" in O(N/period) epoch folds. Lifetime estimation and
+//! Fig. 17-style sweeps ask that question at many values of N, so this
+//! module factors the *schedule* out the same way [`crate::kernel`]
+//! factored the *epoch*: express the whole epoch sequence as permutation
+//! cycle algebra and answer any N directly.
+//!
+//! # Reducibility ladder
+//!
+//! A configuration's epoch sequence is reducible exactly when every future
+//! software row/lane table is a pure function of the epoch index
+//! ([`nvpim_balance::Strategy::epoch_period`]):
+//!
+//! 1. **Closed form** ([`AnalyticPath::ClosedForm`], O(cells) per query) —
+//!    `{St,Bs}` on both axes, or any config under a `never()` schedule.
+//!    The table sequence has finite period `L = lcm(L_row, L_col)`, so we
+//!    precompute *prefix panels*: cumulative per-cell deposits of the first
+//!    `j` epochs, `j = 0..=L`. Without `Hw` each epoch's one-iteration
+//!    deposit pattern is constant within the epoch and the query is pure
+//!    arithmetic on the prefix panels. With `Hw` the hardware arrangement
+//!    also evolves, but it advances by a *fixed* permutation per epoch
+//!    (the kernel's end permutation raised to the schedule period), so a
+//!    super-cycle of `L` epochs advances the arrangement by a fixed
+//!    permutation `F`; `k` super-cycles fold over `F`'s cycle structure in
+//!    O(cells) exactly like one epoch folds over `E` ([`PermFolder`]).
+//! 2. **Lazy** ([`AnalyticPath::Lazy`], O(epochs elapsed) per first query,
+//!    O(new epochs) for monotone follow-ups) — any axis running `Ra`
+//!    without `Hw`, or `Ra` lanes with periodic rows under `Hw`, or a
+//!    closed form whose prefix panels would exceed
+//!    [`MAX_PREFIX_ENTRIES`]. Epoch states are enumerated in schedule
+//!    order with the exact seeded RNG streams, but each epoch costs one
+//!    O(rows) scatter (software) or one O(rows) kernel fold (hardware,
+//!    with kernels memoized per row-table phase) — never a trace walk.
+//! 3. **Fallback** ([`AnalyticPath::Fallback`]) — `Ra` rows with `Hw`: the
+//!    software table feeding the kernel compiler changes unpredictably
+//!    every epoch, so each epoch needs a fresh symbolic trace walk anyway.
+//!    Queries delegate to [`EnduranceSimulator`] (itself epoch-compiled),
+//!    and the path is labeled so callers can report it.
+//!
+//! Every path is bit-identical to the simulator — the bit-identity suite
+//! (`tests/analytic.rs`) pins `analytic == compiled == step replay` across
+//! all 18 configurations, and each query re-asserts conservation against
+//! the trace's static counts.
+//!
+//! # Examples
+//!
+//! ```
+//! use nvpim_array::ArrayDims;
+//! use nvpim_balance::BalanceConfig;
+//! use nvpim_core::analytic::{AnalyticPath, AnalyticWearEngine};
+//! use nvpim_core::SimConfig;
+//! use nvpim_workloads::parallel_mul::ParallelMul;
+//!
+//! let wl = ParallelMul::new(ArrayDims::new(128, 8), 8).build();
+//! let cfg = SimConfig::default();
+//! let mut engine = AnalyticWearEngine::new(&wl, "BsxBs".parse().unwrap(), cfg);
+//! assert_eq!(engine.path(), AnalyticPath::ClosedForm);
+//! let wear = engine.wear_at(100_000);
+//! assert!(wear.max_writes() > 0);
+//! ```
+
+use nvpim_array::trace::TraceCounts;
+use nvpim_array::{ArchStyle, ArrayDims, LaneSet, PermFolder, Step, Trace, WearKernel, WearMap};
+use nvpim_balance::{BalanceConfig, CombinedMap, RemapSchedule};
+use nvpim_obs::{Event, EventSink, NullSink};
+use nvpim_workloads::Workload;
+
+use crate::kernel;
+use crate::parallel::fan_out;
+use crate::sim::{EnduranceSimulator, SimConfig, SimResult};
+
+/// Ceiling on closed-form prefix-panel storage, in `u64` entries
+/// (`(L + 1) × cells`, doubled when reads are tracked). A super-cycle
+/// whose panels would exceed this demotes to the lazy path, which stores
+/// O(cells) regardless of `L`.
+pub const MAX_PREFIX_ENTRIES: usize = 8 << 20;
+
+/// Which rung of the reducibility ladder a configuration landed on — see
+/// the [module docs](self) for the criteria.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AnalyticPath {
+    /// O(cells) pure-arithmetic queries from precomputed prefix panels.
+    ClosedForm,
+    /// Epoch states enumerated lazily (exact RNG streams) and folded
+    /// without trace walks; monotone queries advance incrementally.
+    Lazy,
+    /// Irreducible (`Ra` rows with `Hw`): queries delegate to the
+    /// epoch-compiled simulator.
+    Fallback,
+}
+
+impl AnalyticPath {
+    /// Stable label for manifests and bench IDs.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            AnalyticPath::ClosedForm => "closed_form",
+            AnalyticPath::Lazy => "lazy",
+            AnalyticPath::Fallback => "fallback",
+        }
+    }
+}
+
+impl std::fmt::Display for AnalyticPath {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// The concrete backend behind each [`AnalyticPath`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum PathChoice {
+    Static,
+    HwClosed,
+    LazySw,
+    LazyHw,
+    Fallback,
+}
+
+impl PathChoice {
+    fn path(self) -> AnalyticPath {
+        match self {
+            PathChoice::Static | PathChoice::HwClosed => AnalyticPath::ClosedForm,
+            PathChoice::LazySw | PathChoice::LazyHw => AnalyticPath::Lazy,
+            PathChoice::Fallback => AnalyticPath::Fallback,
+        }
+    }
+}
+
+fn gcd(a: u64, b: u64) -> u64 {
+    if b == 0 {
+        a
+    } else {
+        gcd(b, a % b)
+    }
+}
+
+fn lcm(a: u64, b: u64) -> u64 {
+    a / gcd(a, b) * b
+}
+
+fn prefix_entries(l: u64, dims: ArrayDims, track_reads: bool) -> usize {
+    (l as usize).saturating_add(1).saturating_mul(dims.cells()).saturating_mul(if track_reads {
+        2
+    } else {
+        1
+    })
+}
+
+fn classify_inner(
+    balance: BalanceConfig,
+    schedule: RemapSchedule,
+    dims: ArrayDims,
+    track_reads: bool,
+) -> PathChoice {
+    let never = schedule.period().is_none();
+    if !balance.hw {
+        if never {
+            return PathChoice::Static;
+        }
+        match (balance.row.epoch_period(dims.rows()), balance.col.epoch_period(dims.lanes())) {
+            (Some(rp), Some(cp))
+                if prefix_entries(lcm(rp, cp), dims, track_reads) <= MAX_PREFIX_ENTRIES =>
+            {
+                PathChoice::Static
+            }
+            _ => PathChoice::LazySw,
+        }
+    } else {
+        if never {
+            // A single epoch: one kernel folded over its own permutation,
+            // no prefix panels at all.
+            return PathChoice::HwClosed;
+        }
+        let sw_rows = dims.rows() - 1;
+        match (balance.row.epoch_period(sw_rows), balance.col.epoch_period(dims.lanes())) {
+            (Some(rp), Some(cp)) => {
+                if prefix_entries(lcm(rp, cp), dims, track_reads) <= MAX_PREFIX_ENTRIES {
+                    PathChoice::HwClosed
+                } else {
+                    PathChoice::LazyHw
+                }
+            }
+            (Some(_), None) => PathChoice::LazyHw,
+            (None, _) => PathChoice::Fallback,
+        }
+    }
+}
+
+/// Predicts which [`AnalyticPath`] [`AnalyticWearEngine::new`] will choose
+/// for a configuration, without building the engine — used by `repro` and
+/// `serve` to label manifests.
+#[must_use]
+pub fn classify(
+    balance: BalanceConfig,
+    schedule: RemapSchedule,
+    dims: ArrayDims,
+    track_reads: bool,
+) -> AnalyticPath {
+    classify_inner(balance, schedule, dims, track_reads).path()
+}
+
+/// Per-class, per-logical-row write (and read) counts of one trace
+/// iteration — the table-independent core of the non-`Hw` replay: an epoch
+/// with row table `T` and lane permutation `P` deposits `V[class][r]` at
+/// `(T[r], P[lane])` for each lane of the class. Mirrors
+/// `Accumulator::replay_cached` with the identity table.
+fn logical_panels(
+    trace: &Trace,
+    arch: ArchStyle,
+    track_reads: bool,
+) -> (Vec<Vec<u64>>, Option<Vec<Vec<u64>>>) {
+    let rows = trace.dims().rows();
+    let n_classes = trace.classes().len();
+    let writes_per_gate = arch.writes_per_gate();
+    let mut writes = vec![vec![0u64; rows]; n_classes];
+    let mut reads = track_reads.then(|| vec![vec![0u64; rows]; n_classes]);
+    for step in trace.steps() {
+        match *step {
+            Step::Write { row, class, .. } => writes[class][row] += 1,
+            Step::Read { row, class } => {
+                if let Some(reads) = &mut reads {
+                    reads[class][row] += 1;
+                }
+            }
+            Step::Gate { kind, ins, out, class } => {
+                writes[class][out] += writes_per_gate;
+                if let Some(reads) = &mut reads {
+                    reads[class][ins[0]] += 1;
+                    if kind.arity() == 2 {
+                        reads[class][ins[1]] += 1;
+                    }
+                }
+            }
+            Step::Transfer { src_row, dst_row, src_class, dst_class } => {
+                writes[dst_class][dst_row] += 1;
+                if let Some(reads) = &mut reads {
+                    reads[src_class][src_row] += 1;
+                }
+            }
+        }
+    }
+    (writes, reads)
+}
+
+/// Closed form for software-only configs with periodic tables.
+///
+/// `prefix[j][cell]` holds the per-iteration deposit pattern of epochs
+/// `0..j` summed — so `N = (qL + r)·p + rem` iterations evaluate as
+/// `p·(q·prefix[L] + prefix[r]) + rem·(prefix[r+1] − prefix[r])`,
+/// element-wise over cells.
+#[derive(Debug)]
+struct StaticClosedForm {
+    dims: ArrayDims,
+    period: Option<u64>,
+    l: u64,
+    prefix_w: Vec<Vec<u64>>,
+    prefix_r: Option<Vec<Vec<u64>>>,
+}
+
+impl StaticClosedForm {
+    fn build(trace: &Trace, balance: BalanceConfig, cfg: SimConfig) -> Self {
+        let dims = trace.dims();
+        let (rows, lanes, cells) = (dims.rows(), dims.lanes(), dims.cells());
+        let (vw, vr) = logical_panels(trace, cfg.arch, cfg.track_reads);
+        let period = cfg.schedule.period();
+        let l = match period {
+            None => 1,
+            Some(_) => lcm(
+                balance.row.epoch_period(rows).expect("closed form requires periodic rows"),
+                balance.col.epoch_period(lanes).expect("closed form requires periodic lanes"),
+            ),
+        };
+        let mut acc_w = vec![0u64; cells];
+        let mut acc_r = vr.as_ref().map(|_| vec![0u64; cells]);
+        let mut prefix_w = vec![acc_w.clone()];
+        let mut prefix_r = acc_r.clone().map(|z| vec![z]);
+        for e in 0..l {
+            // Epoch 0 is the identity for every strategy, which covers the
+            // never() schedule (where `Ra` is closed-form too).
+            let rt = match period {
+                None => (0..rows).collect(),
+                Some(_) => balance.row.table_at_epoch(rows, e).expect("periodic rows"),
+            };
+            let lp = match period {
+                None => (0..lanes).collect(),
+                Some(_) => balance.col.table_at_epoch(lanes, e).expect("periodic lanes"),
+            };
+            for (class, laneset) in trace.classes().iter().enumerate() {
+                let phys: Vec<usize> = laneset.iter().map(|l| lp[l]).collect();
+                for (row, &v) in vw[class].iter().enumerate() {
+                    if v == 0 {
+                        continue;
+                    }
+                    let base = rt[row] * lanes;
+                    for &lane in &phys {
+                        acc_w[base + lane] += v;
+                    }
+                }
+                if let (Some(vr), Some(acc_r)) = (&vr, &mut acc_r) {
+                    for (row, &v) in vr[class].iter().enumerate() {
+                        if v == 0 {
+                            continue;
+                        }
+                        let base = rt[row] * lanes;
+                        for &lane in &phys {
+                            acc_r[base + lane] += v;
+                        }
+                    }
+                }
+            }
+            prefix_w.push(acc_w.clone());
+            if let (Some(prefix_r), Some(acc_r)) = (&mut prefix_r, &acc_r) {
+                prefix_r.push(acc_r.clone());
+            }
+        }
+        StaticClosedForm { dims, period, l, prefix_w, prefix_r }
+    }
+
+    /// Evaluates one plane (writes or reads) at iteration count `n` into a
+    /// per-cell value via the prefix-panel identity.
+    fn eval_plane(&self, prefix: &[Vec<u64>], n: u64, mut emit: impl FnMut(usize, u64)) {
+        match self.period {
+            None => {
+                for (i, &q) in prefix[1].iter().enumerate() {
+                    let v = n * q;
+                    if v > 0 {
+                        emit(i, v);
+                    }
+                }
+            }
+            Some(p) => {
+                let (full, rem) = (n / p, n % p);
+                let (q, r) = (full / self.l, (full % self.l) as usize);
+                let whole = &prefix[self.l as usize];
+                let head = &prefix[r];
+                let next = &prefix[r + 1];
+                for i in 0..whole.len() {
+                    let v = p * (q * whole[i] + head[i]) + rem * (next[i] - head[i]);
+                    if v > 0 {
+                        emit(i, v);
+                    }
+                }
+            }
+        }
+    }
+
+    fn query(&self, n: u64) -> WearMap {
+        let mut wear = WearMap::new(self.dims);
+        let lanes = self.dims.lanes();
+        self.eval_plane(&self.prefix_w, n, |i, v| wear.add_write_at(i / lanes, i % lanes, v));
+        if let Some(prefix_r) = &self.prefix_r {
+            self.eval_plane(prefix_r, n, |i, v| wear.add_read_at(i / lanes, i % lanes, v));
+        }
+        wear
+    }
+}
+
+/// Closed form for `Hw` configs with periodic software tables.
+///
+/// Epoch `j`'s kernel depends only on `j mod L_row` and its lane
+/// permutation on `j mod L_col`; the arrangement entering epoch `j` is
+/// `D_j = E₀ᵖ ∘ … ∘ E_{j−1}ᵖ` (with `A₀` the identity, slot space *is*
+/// physical-row space). Over a super-cycle of `L = lcm` epochs the
+/// arrangement advances by the fixed permutation `F = D_L`, so `k` full
+/// super-cycles fold the super-cycle deposit panel over `F`'s cycles, `r`
+/// remainder epochs add a stored prefix panel shifted by `Fᵏ`, and a
+/// partial epoch folds its kernel over `E` and deposits at `Fᵏ[D_r[s]]`.
+#[derive(Debug)]
+struct HwClosedForm {
+    dims: ArrayDims,
+    period: Option<u64>,
+    l: u64,
+    lr: u64,
+    lc: u64,
+    /// One compiled kernel per software row-table phase.
+    kernels: Vec<WearKernel>,
+    /// `[lane phase][class]` → physical lanes.
+    phys_lanes: Vec<Vec<Vec<usize>>>,
+    /// Arrangement entering epoch `j` of a super-cycle, `j = 0..=L`
+    /// (`d[L]` is `F`).
+    d: Vec<Vec<usize>>,
+    /// Cycle folder over `F`.
+    f: PermFolder,
+    /// Cumulative deposits of epochs `0..j` of one super-cycle (flat
+    /// row-major cells), `j = 0..=L`.
+    scp_w: Vec<Vec<u64>>,
+    scp_r: Option<Vec<Vec<u64>>>,
+}
+
+impl HwClosedForm {
+    fn build(trace: &Trace, balance: BalanceConfig, cfg: SimConfig) -> Self {
+        let dims = trace.dims();
+        let (slots, lanes, cells) = (dims.rows(), dims.lanes(), dims.cells());
+        let sw_rows = slots - 1;
+        let track = cfg.track_reads;
+        let identity_lanes =
+            || trace.classes().iter().map(|c| c.iter().collect()).collect::<Vec<Vec<usize>>>();
+        let Some(p) = cfg.schedule.period() else {
+            // Single endless epoch: one kernel over the identity table,
+            // queries fold it over its own end permutation.
+            let table: Vec<usize> = (0..sw_rows).collect();
+            let kernel = kernel::compile(trace, &table, cfg.arch, track);
+            return HwClosedForm {
+                dims,
+                period: None,
+                l: 1,
+                lr: 1,
+                lc: 1,
+                kernels: vec![kernel],
+                phys_lanes: vec![identity_lanes()],
+                d: Vec::new(),
+                f: PermFolder::new((0..slots).collect()),
+                scp_w: Vec::new(),
+                scp_r: None,
+            };
+        };
+        let lr = balance.row.epoch_period(sw_rows).expect("closed form requires periodic rows");
+        let lc = balance.col.epoch_period(lanes).expect("closed form requires periodic lanes");
+        let l = lcm(lr, lc);
+        let kernels: Vec<WearKernel> = (0..lr)
+            .map(|phase| {
+                let table = balance.row.table_at_epoch(sw_rows, phase).expect("periodic rows");
+                kernel::compile(trace, &table, cfg.arch, track)
+            })
+            .collect();
+        // E_phase^p: how one whole epoch at this row phase advances the
+        // arrangement.
+        let epoch_perms: Vec<Vec<usize>> = kernels.iter().map(|k| k.folder().power(p)).collect();
+        let phys_lanes: Vec<Vec<Vec<usize>>> = (0..lc)
+            .map(|phase| {
+                let perm = balance.col.table_at_epoch(lanes, phase).expect("periodic lanes");
+                trace.classes().iter().map(|c| c.iter().map(|l| perm[l]).collect()).collect()
+            })
+            .collect();
+
+        let mut d: Vec<Vec<usize>> = vec![(0..slots).collect()];
+        let mut acc_w = vec![0u64; cells];
+        let mut acc_r = track.then(|| vec![0u64; cells]);
+        let mut scp_w = vec![acc_w.clone()];
+        let mut scp_r = acc_r.clone().map(|z| vec![z]);
+        let mut folded = vec![0u64; slots];
+        for j in 0..l {
+            let kernel = &kernels[(j % lr) as usize];
+            let dj = &d[j as usize];
+            let lanes_of = &phys_lanes[(j % lc) as usize];
+            for (class, class_lanes) in lanes_of.iter().enumerate() {
+                kernel.fold_epoch_into(p, kernel.slot_writes(class), &mut folded);
+                for (s, &delta) in folded.iter().enumerate() {
+                    if delta == 0 {
+                        continue;
+                    }
+                    let base = dj[s] * lanes;
+                    for &lane in class_lanes {
+                        acc_w[base + lane] += delta;
+                    }
+                }
+                if let (Some(acc_r), Some(reads)) = (&mut acc_r, kernel.slot_reads(class)) {
+                    kernel.fold_epoch_into(p, reads, &mut folded);
+                    for (s, &delta) in folded.iter().enumerate() {
+                        if delta == 0 {
+                            continue;
+                        }
+                        let base = dj[s] * lanes;
+                        for &lane in class_lanes {
+                            acc_r[base + lane] += delta;
+                        }
+                    }
+                }
+            }
+            let ep = &epoch_perms[(j % lr) as usize];
+            let next: Vec<usize> = (0..slots).map(|s| dj[ep[s]]).collect();
+            d.push(next);
+            scp_w.push(acc_w.clone());
+            if let (Some(scp_r), Some(acc_r)) = (&mut scp_r, &acc_r) {
+                scp_r.push(acc_r.clone());
+            }
+        }
+        let f = PermFolder::new(d[l as usize].clone());
+        HwClosedForm { dims, period: Some(p), l, lr, lc, kernels, phys_lanes, d, f, scp_w, scp_r }
+    }
+
+    fn query(&self, n: u64) -> WearMap {
+        let mut wear = WearMap::new(self.dims);
+        let lanes = self.dims.lanes();
+        let slots = self.dims.rows();
+        let mut folded = vec![0u64; slots];
+        let Some(p) = self.period else {
+            let kernel = &self.kernels[0];
+            for class in 0..kernel.classes() {
+                kernel.fold_epoch_into(n, kernel.slot_writes(class), &mut folded);
+                for (s, &delta) in folded.iter().enumerate() {
+                    if delta == 0 {
+                        continue;
+                    }
+                    for &lane in &self.phys_lanes[0][class] {
+                        wear.add_write_at(s, lane, delta);
+                    }
+                }
+                if let Some(reads) = kernel.slot_reads(class) {
+                    kernel.fold_epoch_into(n, reads, &mut folded);
+                    for (s, &delta) in folded.iter().enumerate() {
+                        if delta == 0 {
+                            continue;
+                        }
+                        for &lane in &self.phys_lanes[0][class] {
+                            wear.add_read_at(s, lane, delta);
+                        }
+                    }
+                }
+            }
+            return wear;
+        };
+        let (full, rem) = (n / p, n % p);
+        let (k, r) = (full / self.l, (full % self.l) as usize);
+        let cells = self.dims.cells();
+        let mut acc_w = vec![0u64; cells];
+        let mut acc_r = self.scp_r.as_ref().map(|_| vec![0u64; cells]);
+        let mut col_in = vec![0u64; slots];
+        let mut col_out = vec![0u64; slots];
+
+        // (1) k full super-cycles: the super-cycle panel folded over F,
+        // one lane column at a time (F permutes rows uniformly).
+        if k > 0 {
+            let mut fold_plane = |panel: &[u64], acc: &mut [u64]| {
+                for lane in 0..lanes {
+                    for s in 0..slots {
+                        col_in[s] = panel[s * lanes + lane];
+                    }
+                    self.f.fold_into(k, &col_in, &mut col_out);
+                    for s in 0..slots {
+                        acc[s * lanes + lane] += col_out[s];
+                    }
+                }
+            };
+            fold_plane(&self.scp_w[self.l as usize], &mut acc_w);
+            if let (Some(scp_r), Some(acc_r)) = (&self.scp_r, &mut acc_r) {
+                fold_plane(&scp_r[self.l as usize], acc_r);
+            }
+        }
+
+        // (2) r whole remainder epochs: their stored prefix panel, shifted
+        // through F^k.
+        let fk = self.f.power(k);
+        if r > 0 {
+            let shift_plane = |panel: &[u64], acc: &mut [u64]| {
+                for (s, &fs) in fk.iter().enumerate() {
+                    let (src, dst) = (s * lanes, fs * lanes);
+                    for lane in 0..lanes {
+                        acc[dst + lane] += panel[src + lane];
+                    }
+                }
+            };
+            shift_plane(&self.scp_w[r], &mut acc_w);
+            if let (Some(scp_r), Some(acc_r)) = (&self.scp_r, &mut acc_r) {
+                shift_plane(&scp_r[r], acc_r);
+            }
+        }
+
+        // (3) partial final epoch: fold its kernel over E for `rem`
+        // iterations and deposit at F^k[D_r[s]].
+        if rem > 0 {
+            let kernel = &self.kernels[(full % self.lr) as usize];
+            let dr = &self.d[r];
+            let lanes_of = &self.phys_lanes[(full % self.lc) as usize];
+            for (class, class_lanes) in lanes_of.iter().enumerate() {
+                kernel.fold_epoch_into(rem, kernel.slot_writes(class), &mut folded);
+                for (s, &delta) in folded.iter().enumerate() {
+                    if delta == 0 {
+                        continue;
+                    }
+                    let base = fk[dr[s]] * lanes;
+                    for &lane in class_lanes {
+                        acc_w[base + lane] += delta;
+                    }
+                }
+                if let (Some(acc_r), Some(reads)) = (&mut acc_r, kernel.slot_reads(class)) {
+                    kernel.fold_epoch_into(rem, reads, &mut folded);
+                    for (s, &delta) in folded.iter().enumerate() {
+                        if delta == 0 {
+                            continue;
+                        }
+                        let base = fk[dr[s]] * lanes;
+                        for &lane in class_lanes {
+                            acc_r[base + lane] += delta;
+                        }
+                    }
+                }
+            }
+        }
+
+        for (i, &v) in acc_w.iter().enumerate() {
+            if v > 0 {
+                wear.add_write_at(i / lanes, i % lanes, v);
+            }
+        }
+        if let Some(acc_r) = &acc_r {
+            for (i, &v) in acc_r.iter().enumerate() {
+                if v > 0 {
+                    wear.add_read_at(i / lanes, i % lanes, v);
+                }
+            }
+        }
+        wear
+    }
+}
+
+/// Lazy enumerator for software-only configs with `Ra` on an axis: walks
+/// the epoch sequence with the exact seeded mappers, scattering the
+/// precomputed logical panels — one O(cells) scatter per epoch, zero trace
+/// walks. Monotone queries continue from the cached cumulative state.
+#[derive(Debug)]
+struct LazySw {
+    dims: ArrayDims,
+    vw: Vec<Vec<u64>>,
+    vr: Option<Vec<Vec<u64>>>,
+    map: CombinedMap,
+    wear: WearMap,
+    done: u64,
+    phys_scratch: LaneSet,
+}
+
+impl LazySw {
+    fn new(trace: &Trace, balance: BalanceConfig, cfg: SimConfig) -> Self {
+        let dims = trace.dims();
+        let (vw, vr) = logical_panels(trace, cfg.arch, cfg.track_reads);
+        LazySw {
+            dims,
+            vw,
+            vr,
+            map: CombinedMap::new(balance, dims.rows(), dims.lanes(), cfg.seed),
+            wear: WearMap::new(dims),
+            done: 0,
+            phys_scratch: LaneSet::empty(dims.lanes()),
+        }
+    }
+
+    fn query(&mut self, trace: &Trace, balance: BalanceConfig, cfg: SimConfig, n: u64) -> WearMap {
+        if n < self.done {
+            // Deterministic restart: re-derive the epoch sequence from the
+            // seed (backwards queries are rare — sweeps ascend).
+            self.map = CombinedMap::new(balance, self.dims.rows(), self.dims.lanes(), cfg.seed);
+            self.wear = WearMap::new(self.dims);
+            self.done = 0;
+        }
+        while self.done < n {
+            let span = match cfg.schedule.period() {
+                Some(p) => (p - self.done % p).min(n - self.done),
+                None => n - self.done,
+            };
+            let rows = self.map.row_table();
+            let perm = self.map.lane_permutation();
+            for (class, laneset) in trace.classes().iter().enumerate() {
+                laneset.permuted_into(perm, &mut self.phys_scratch);
+                for (row, &v) in self.vw[class].iter().enumerate() {
+                    if v > 0 {
+                        self.wear.add_writes(rows[row], &self.phys_scratch, v * span);
+                    }
+                }
+                if let Some(vr) = &self.vr {
+                    for (row, &v) in vr[class].iter().enumerate() {
+                        if v > 0 {
+                            self.wear.add_reads(rows[row], &self.phys_scratch, v * span);
+                        }
+                    }
+                }
+            }
+            self.done += span;
+            if let Some(p) = cfg.schedule.period() {
+                if self.done % p == 0 {
+                    self.map.advance_epoch();
+                }
+            }
+        }
+        self.wear.clone()
+    }
+}
+
+/// Lazy enumerator for `Hw` configs with periodic rows and `Ra` lanes:
+/// kernels are memoized per row-table phase (at most `L_row` trace walks
+/// ever), each epoch folds its kernel and advances the arrangement exactly
+/// like the simulator's compiled path.
+#[derive(Debug)]
+struct LazyHw {
+    dims: ArrayDims,
+    lr: u64,
+    kernels: Vec<Option<WearKernel>>,
+    scratch: kernel::EpochScratch,
+    map: CombinedMap,
+    wear: WearMap,
+    done: u64,
+}
+
+impl LazyHw {
+    fn new(trace: &Trace, balance: BalanceConfig, cfg: SimConfig) -> Self {
+        let dims = trace.dims();
+        let lr =
+            balance.row.epoch_period(dims.rows() - 1).expect("lazy Hw path requires periodic rows");
+        LazyHw {
+            dims,
+            lr,
+            kernels: (0..lr).map(|_| None).collect(),
+            scratch: kernel::EpochScratch::new(trace, cfg.track_reads),
+            map: CombinedMap::new(balance, dims.rows(), dims.lanes(), cfg.seed),
+            wear: WearMap::new(dims),
+            done: 0,
+        }
+    }
+
+    fn query(&mut self, trace: &Trace, balance: BalanceConfig, cfg: SimConfig, n: u64) -> WearMap {
+        if n < self.done {
+            self.map = CombinedMap::new(balance, self.dims.rows(), self.dims.lanes(), cfg.seed);
+            self.wear = WearMap::new(self.dims);
+            self.done = 0;
+        }
+        let p = cfg.schedule.period().expect("lazy Hw path requires a finite schedule");
+        while self.done < n {
+            let span = (p - self.done % p).min(n - self.done);
+            let phase = ((self.done / p) % self.lr) as usize;
+            if self.kernels[phase].is_none() {
+                self.kernels[phase] = Some(kernel::compile(
+                    trace,
+                    self.map.sw_row_table(),
+                    cfg.arch,
+                    cfg.track_reads,
+                ));
+            }
+            let kernel = self.kernels[phase].as_ref().expect("memoized above");
+            kernel::apply_kernel_epoch(
+                kernel,
+                trace,
+                &mut self.map,
+                span,
+                &mut self.wear,
+                &mut self.scratch,
+            );
+            self.done += span;
+            if self.done % p == 0 {
+                self.map.advance_epoch();
+            }
+        }
+        self.wear.clone()
+    }
+}
+
+#[derive(Debug)]
+enum Backend {
+    Static(StaticClosedForm),
+    HwClosed(HwClosedForm),
+    LazySw(LazySw),
+    LazyHw(LazyHw),
+    Fallback,
+}
+
+/// Replay-free per-cell wear as a function of the iteration count, for one
+/// (workload, configuration) pair — bit-identical to running
+/// [`EnduranceSimulator`] for the same number of iterations.
+///
+/// Construction pays the one-time symbolic cost (trace walks bounded by
+/// the number of distinct software row tables); every
+/// [`AnalyticWearEngine::wear_at`] afterwards is O(cells) on the
+/// closed-form path. See the [module docs](self) for the path criteria.
+#[derive(Debug)]
+pub struct AnalyticWearEngine<'w> {
+    workload: &'w Workload,
+    balance: BalanceConfig,
+    cfg: SimConfig,
+    counts: TraceCounts,
+    backend: Backend,
+}
+
+impl<'w> AnalyticWearEngine<'w> {
+    /// Builds the engine, choosing the strongest reducible path for
+    /// `balance` under `cfg.schedule`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the workload uses more rows than the configuration makes
+    /// available (same contract as the simulator).
+    #[must_use]
+    pub fn new(workload: &'w Workload, balance: BalanceConfig, cfg: SimConfig) -> Self {
+        let trace = workload.trace();
+        let dims = trace.dims();
+        let logical_rows = dims.rows() - usize::from(balance.hw);
+        assert!(
+            trace.rows_used() <= logical_rows,
+            "workload uses {} rows but only {logical_rows} are available under {balance} \
+             (Hw reserves one spare row)",
+            trace.rows_used(),
+        );
+        let counts = trace.counts(cfg.arch);
+        let backend = match classify_inner(balance, cfg.schedule, dims, cfg.track_reads) {
+            PathChoice::Static => Backend::Static(StaticClosedForm::build(trace, balance, cfg)),
+            PathChoice::HwClosed => Backend::HwClosed(HwClosedForm::build(trace, balance, cfg)),
+            PathChoice::LazySw => Backend::LazySw(LazySw::new(trace, balance, cfg)),
+            PathChoice::LazyHw => Backend::LazyHw(LazyHw::new(trace, balance, cfg)),
+            PathChoice::Fallback => Backend::Fallback,
+        };
+        AnalyticWearEngine { workload, balance, cfg, counts, backend }
+    }
+
+    /// The reducibility rung this configuration landed on.
+    #[must_use]
+    pub fn path(&self) -> AnalyticPath {
+        match self.backend {
+            Backend::Static(_) | Backend::HwClosed(_) => AnalyticPath::ClosedForm,
+            Backend::LazySw(_) | Backend::LazyHw(_) => AnalyticPath::Lazy,
+            Backend::Fallback => AnalyticPath::Fallback,
+        }
+    }
+
+    /// The configuration the engine answers for.
+    #[must_use]
+    pub fn balance(&self) -> BalanceConfig {
+        self.balance
+    }
+
+    /// The engine's simulation parameters (`iterations` is ignored —
+    /// queries carry their own count).
+    #[must_use]
+    pub fn sim_config(&self) -> SimConfig {
+        self.cfg
+    }
+
+    /// Sequential steps of one workload iteration (Eq. 4's latency term).
+    #[must_use]
+    pub fn steps_per_iteration(&self) -> u64 {
+        self.counts.sequential_steps
+    }
+
+    /// The wear map after exactly `iterations` iterations, instrumented
+    /// through the process-wide observer if one is installed.
+    #[must_use]
+    pub fn wear_at(&mut self, iterations: u64) -> WearMap {
+        self.result_at(iterations).wear
+    }
+
+    /// [`AnalyticWearEngine::wear_at`] with an explicit event sink.
+    #[must_use]
+    pub fn wear_at_with<S: EventSink>(&mut self, iterations: u64, sink: &S) -> WearMap {
+        self.result_at_with(iterations, sink).wear
+    }
+
+    /// A full [`SimResult`] at `iterations` — bit-identical wear to a
+    /// simulator run, with an empty epoch series on the analytic paths
+    /// (the fallback path honors [`SimConfig::epoch_series`]).
+    #[must_use]
+    pub fn result_at(&mut self, iterations: u64) -> SimResult {
+        match nvpim_obs::observer::current() {
+            Some(observer) => self.result_at_with(iterations, &*observer),
+            None => self.result_at_with(iterations, &NullSink),
+        }
+    }
+
+    /// [`AnalyticWearEngine::result_at`] with an explicit event sink. Each
+    /// call bumps the `sim.analytic_queries` counter; non-fallback paths
+    /// also book the iteration and cell-traffic counters the simulator
+    /// would have, so dashboards stay comparable.
+    #[must_use]
+    pub fn result_at_with<S: EventSink>(&mut self, iterations: u64, sink: &S) -> SimResult {
+        let result = match &mut self.backend {
+            Backend::Fallback => {
+                let sim = EnduranceSimulator::new(self.cfg.with_iterations(iterations));
+                sim.run_with_counts(self.workload, self.balance, sink, self.counts)
+            }
+            backend => {
+                let trace = self.workload.trace();
+                let wear = match backend {
+                    Backend::Static(b) => b.query(iterations),
+                    Backend::HwClosed(b) => b.query(iterations),
+                    Backend::LazySw(b) => b.query(trace, self.balance, self.cfg, iterations),
+                    Backend::LazyHw(b) => b.query(trace, self.balance, self.cfg, iterations),
+                    Backend::Fallback => unreachable!("handled above"),
+                };
+                // Same conservation cross-check as the simulator: the
+                // closed-form algebra and the trace's static counts tally
+                // the same traffic independently.
+                assert_eq!(
+                    wear.total_writes(),
+                    iterations * self.counts.cell_writes,
+                    "analytic wear disagrees with trace write counts under {}",
+                    self.balance
+                );
+                if self.cfg.track_reads {
+                    assert_eq!(
+                        wear.total_reads(),
+                        iterations * self.counts.cell_reads,
+                        "analytic wear disagrees with trace read counts under {}",
+                        self.balance
+                    );
+                }
+                SimResult {
+                    wear,
+                    config: self.balance,
+                    iterations,
+                    steps_per_iteration: self.counts.sequential_steps,
+                    arch: self.cfg.arch,
+                    series: Vec::new(),
+                }
+            }
+        };
+        if sink.enabled() {
+            sink.record(&Event::CounterAdd { name: "sim.analytic_queries", delta: 1 });
+            if !matches!(self.backend, Backend::Fallback) {
+                sink.record(&Event::CounterAdd { name: "sim.iterations", delta: iterations });
+                sink.record(&Event::CounterAdd {
+                    name: "array.cell_writes",
+                    delta: result.wear.total_writes(),
+                });
+                sink.record(&Event::CounterAdd {
+                    name: "array.cell_reads",
+                    delta: result.wear.total_reads(),
+                });
+            }
+            sink.flush();
+        }
+        result
+    }
+
+    /// Writes on the hottest cell after `iterations` iterations — the
+    /// monotone objective [`crate::lifetime::solve`] searches over.
+    /// Uninstrumented (a solve issues O(log N) probes).
+    #[must_use]
+    pub fn max_writes_at(&mut self, iterations: u64) -> u64 {
+        self.result_at_with(iterations, &NullSink).wear.max_writes()
+    }
+}
+
+/// Runs `configs` analytically across `jobs` worker threads (`0` = auto),
+/// answering each at `cfg.iterations` — the analytic counterpart of
+/// [`EnduranceSimulator::run_configs_parallel`], bit-identical to it and
+/// to the serial simulator.
+#[must_use]
+pub fn run_configs_analytic(
+    workload: &Workload,
+    configs: &[BalanceConfig],
+    cfg: SimConfig,
+    jobs: usize,
+) -> Vec<SimResult> {
+    fan_out(configs.to_vec(), jobs, |config, sink| {
+        let mut engine = AnalyticWearEngine::new(workload, config, cfg);
+        match sink {
+            Some(observer) => engine.result_at_with(cfg.iterations, observer),
+            None => engine.result_at_with(cfg.iterations, &NullSink),
+        }
+    })
+}

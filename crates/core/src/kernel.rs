@@ -34,11 +34,12 @@
 use nvpim_array::{ArchStyle, Step, Trace, WearKernel, WearMap, WearPanel};
 use nvpim_balance::{CombinedMap, HwRemapper};
 
-/// Reusable compiled-replay state for one simulation run (kernel cache +
-/// scratch buffers, so steady-state epochs allocate nothing).
+/// Reusable scratch buffers for folding one kernel epoch into a wear map —
+/// shared between the simulator's [`HwKernelEngine`] (which caches one
+/// kernel) and the analytic engine's lazy backend (which memoizes a kernel
+/// per software row-table phase).
 #[derive(Debug)]
-pub(crate) struct HwKernelEngine {
-    kernel: Option<WearKernel>,
+pub(crate) struct EpochScratch {
     panel: WearPanel,
     /// Per-class physical-lane lists under the current lane permutation.
     phys_lanes: Vec<Vec<usize>>,
@@ -51,12 +52,11 @@ pub(crate) struct HwKernelEngine {
     cycle_scratch: Vec<usize>,
 }
 
-impl HwKernelEngine {
+impl EpochScratch {
     pub(crate) fn new(trace: &Trace, track_reads: bool) -> Self {
         let slots = trace.dims().rows();
         let n_classes = trace.classes().len();
-        HwKernelEngine {
-            kernel: None,
+        EpochScratch {
             panel: WearPanel::new(trace.dims(), track_reads),
             phys_lanes: vec![Vec::new(); n_classes],
             totals: vec![vec![0; slots]; n_classes],
@@ -64,6 +64,85 @@ impl HwKernelEngine {
             arrangement: Vec::new(),
             cycle_scratch: Vec::new(),
         }
+    }
+
+    pub(crate) fn tracks_reads(&self) -> bool {
+        self.read_totals.is_some()
+    }
+}
+
+/// Folds one epoch of `span` iterations of `kernel` into `wear` and
+/// advances the map's renaming state, bit-identically to `span` step
+/// replays. The kernel must have been compiled against the map's current
+/// software row table.
+///
+/// # Panics
+///
+/// Panics if the map is not dynamic.
+pub(crate) fn apply_kernel_epoch(
+    kernel: &WearKernel,
+    trace: &Trace,
+    map: &mut CombinedMap,
+    span: u64,
+    wear: &mut WearMap,
+    s: &mut EpochScratch,
+) {
+    debug_assert!(kernel.matches(map.sw_row_table()), "kernel is stale for this epoch");
+    let perm = map.lane_permutation();
+    for (class, lanes) in trace.classes().iter().enumerate() {
+        let out = &mut s.phys_lanes[class];
+        out.clear();
+        out.extend(lanes.iter().map(|l| perm[l]));
+    }
+    let hw = map.hw_mut().expect("compiled path requires a dynamic map");
+    s.arrangement.clear();
+    s.arrangement.extend_from_slice(&hw.arrangement());
+
+    s.panel.clear();
+    if kernel.is_static() {
+        // One iteration's pattern, span times — scaled flat accumulate.
+        for class in 0..kernel.classes() {
+            deposit(
+                &mut s.panel,
+                &s.arrangement,
+                kernel.slot_writes(class),
+                &s.phys_lanes[class],
+                false,
+            );
+            if let Some(reads) = kernel.slot_reads(class) {
+                deposit(&mut s.panel, &s.arrangement, reads, &s.phys_lanes[class], true);
+            }
+        }
+        wear.accumulate_panel(&s.panel, span);
+    } else {
+        for class in 0..kernel.classes() {
+            kernel.fold_epoch_into(span, kernel.slot_writes(class), &mut s.totals[class]);
+            deposit(&mut s.panel, &s.arrangement, &s.totals[class], &s.phys_lanes[class], false);
+            if let Some(reads) = kernel.slot_reads(class) {
+                let read_totals = &mut s.read_totals.as_mut().expect("read scratch")[class];
+                kernel.fold_epoch_into(span, reads, read_totals);
+                deposit(&mut s.panel, &s.arrangement, read_totals, &s.phys_lanes[class], true);
+            }
+        }
+        wear.accumulate_panel(&s.panel, 1);
+    }
+
+    kernel.advance_arrangement(span, &mut s.arrangement, &mut s.cycle_scratch);
+    hw.set_arrangement(&s.arrangement);
+    hw.add_redirects(span * kernel.redirects_per_iteration());
+}
+
+/// Reusable compiled-replay state for one simulation run (kernel cache +
+/// scratch buffers, so steady-state epochs allocate nothing).
+#[derive(Debug)]
+pub(crate) struct HwKernelEngine {
+    kernel: Option<WearKernel>,
+    scratch: EpochScratch,
+}
+
+impl HwKernelEngine {
+    pub(crate) fn new(trace: &Trace, track_reads: bool) -> Self {
+        HwKernelEngine { kernel: None, scratch: EpochScratch::new(trace, track_reads) }
     }
 
     /// Makes sure the cached kernel matches the map's current software row
@@ -79,7 +158,7 @@ impl HwKernelEngine {
         if self.kernel.as_ref().is_some_and(|k| k.matches(table)) {
             return false;
         }
-        self.kernel = Some(compile(trace, table, arch, self.read_totals.is_some()));
+        self.kernel = Some(compile(trace, table, arch, self.scratch.tracks_reads()));
         true
     }
 
@@ -98,72 +177,13 @@ impl HwKernelEngine {
         wear: &mut WearMap,
     ) {
         let kernel = self.kernel.as_ref().expect("ensure_kernel must precede apply_epoch");
-        let perm = map.lane_permutation();
-        for (class, lanes) in trace.classes().iter().enumerate() {
-            let out = &mut self.phys_lanes[class];
-            out.clear();
-            out.extend(lanes.iter().map(|l| perm[l]));
-        }
-        let hw = map.hw_mut().expect("compiled path requires a dynamic map");
-        self.arrangement.clear();
-        self.arrangement.extend_from_slice(&hw.arrangement());
-
-        self.panel.clear();
-        if kernel.is_static() {
-            // One iteration's pattern, span times — scaled flat accumulate.
-            for class in 0..kernel.classes() {
-                deposit(
-                    &mut self.panel,
-                    &self.arrangement,
-                    kernel.slot_writes(class),
-                    &self.phys_lanes[class],
-                    false,
-                );
-                if let Some(reads) = kernel.slot_reads(class) {
-                    deposit(
-                        &mut self.panel,
-                        &self.arrangement,
-                        reads,
-                        &self.phys_lanes[class],
-                        true,
-                    );
-                }
-            }
-            wear.accumulate_panel(&self.panel, span);
-        } else {
-            for class in 0..kernel.classes() {
-                kernel.fold_epoch_into(span, kernel.slot_writes(class), &mut self.totals[class]);
-                deposit(
-                    &mut self.panel,
-                    &self.arrangement,
-                    &self.totals[class],
-                    &self.phys_lanes[class],
-                    false,
-                );
-                if let Some(reads) = kernel.slot_reads(class) {
-                    let read_totals = &mut self.read_totals.as_mut().expect("read scratch")[class];
-                    kernel.fold_epoch_into(span, reads, read_totals);
-                    deposit(
-                        &mut self.panel,
-                        &self.arrangement,
-                        read_totals,
-                        &self.phys_lanes[class],
-                        true,
-                    );
-                }
-            }
-            wear.accumulate_panel(&self.panel, 1);
-        }
-
-        kernel.advance_arrangement(span, &mut self.arrangement, &mut self.cycle_scratch);
-        hw.set_arrangement(&self.arrangement);
-        hw.add_redirects(span * kernel.redirects_per_iteration());
+        apply_kernel_epoch(kernel, trace, map, span, wear, &mut self.scratch);
     }
 }
 
 /// Renders per-slot totals into the flat panel: slot `t`'s delta lands at
 /// physical row `arrangement[t]` across the class's physical lanes.
-fn deposit(
+pub(crate) fn deposit(
     panel: &mut WearPanel,
     arrangement: &[usize],
     slot_totals: &[u64],
@@ -187,7 +207,12 @@ fn deposit(
 /// stage, rows translate through the epoch's software `table`. Mirrors
 /// `Accumulator::replay` operation for operation — in particular a gate
 /// redirects *before* its input reads are tallied.
-fn compile(trace: &Trace, table: &[usize], arch: ArchStyle, track_reads: bool) -> WearKernel {
+pub(crate) fn compile(
+    trace: &Trace,
+    table: &[usize],
+    arch: ArchStyle,
+    track_reads: bool,
+) -> WearKernel {
     let slots = trace.dims().rows();
     let lanes = trace.dims().lanes();
     let mut sym = HwRemapper::new(slots);

@@ -7,9 +7,13 @@
 //! * [`sim`] — replays a workload's per-iteration trace for many iterations
 //!   under a load-balancing configuration, counting every cell write
 //!   (epoch-factorized for speed, bit-exact against naive execution);
+//! * [`analytic`] — replay-free wear evaluation: per-cell wear as a
+//!   closed-form (or lazily enumerated) function of the iteration count,
+//!   bit-identical to [`sim`], with O(cells) lifetime queries;
 //! * [`lifetime`] — Eq. 4: expected array lifetime from the hottest cell's
-//!   write rate, and improvement ratios between strategies (Fig. 17,
-//!   Table 3);
+//!   write rate, improvement ratios between strategies (Fig. 17,
+//!   Table 3), and the analytic failure-iteration solver
+//!   ([`lifetime::solve`]);
 //! * [`limits`] — the closed-form §3.1 bounds (Eqs. 1–2, the 35.56-day MTJ
 //!   and ~5-minute RRAM examples);
 //! * [`failure`] — §3.3: usable cells in the presence of failed devices
@@ -42,6 +46,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod analytic;
 pub mod baseline;
 pub mod failure;
 mod kernel;
@@ -53,6 +58,7 @@ pub mod sim;
 pub mod sweep;
 pub mod system;
 
-pub use lifetime::{Lifetime, LifetimeModel};
+pub use analytic::{run_configs_analytic, AnalyticPath, AnalyticWearEngine};
+pub use lifetime::{solve, Lifetime, LifetimeModel, SolveOutcome};
 pub use parallel::{fan_out, run_matrix, MatrixPoint};
 pub use sim::{EnduranceSimulator, EpochSample, SimConfig, SimResult};

@@ -472,6 +472,18 @@ impl EnduranceSimulator {
         }
     }
 
+    /// Answers the configured iteration count through the replay-free
+    /// analytic engine ([`crate::analytic`]) — bit-identical wear to
+    /// [`EnduranceSimulator::run`], with irreducible configurations
+    /// transparently falling back to the simulator. One-shot convenience;
+    /// callers issuing many queries should hold an
+    /// [`crate::analytic::AnalyticWearEngine`] directly.
+    #[must_use]
+    pub fn run_analytic(&self, workload: &Workload, balance: BalanceConfig) -> SimResult {
+        crate::analytic::AnalyticWearEngine::new(workload, balance, self.cfg)
+            .result_at(self.cfg.iterations)
+    }
+
     /// Runs every one of the paper's 18 balancing configurations.
     #[must_use]
     pub fn run_all_configs(&self, workload: &Workload) -> Vec<SimResult> {

@@ -6,9 +6,11 @@
 //! iterations, with only ~1.6% further improvement from 50 → 10.
 
 use nvpim_balance::{BalanceConfig, RemapSchedule};
+use nvpim_exec::ParallelRunner;
 use nvpim_obs::NullSink;
 use nvpim_workloads::Workload;
 
+use crate::analytic::AnalyticWearEngine;
 use crate::parallel::fan_out;
 use crate::{EnduranceSimulator, LifetimeModel, SimConfig};
 
@@ -56,12 +58,48 @@ pub fn remap_frequency_sweep(
         .collect()
 }
 
+/// The sweep's schedule list: the never-remap baseline first, then one
+/// entry per period.
+fn sweep_schedules(periods: &[u64]) -> Vec<RemapSchedule> {
+    assert!(!periods.is_empty(), "sweep needs at least one period");
+    std::iter::once(RemapSchedule::never())
+        .chain(periods.iter().map(|&p| RemapSchedule::every(p)))
+        .collect()
+}
+
+/// Splits the schedules into at most `effective-threads` contiguous
+/// batches so each pool job amortizes its spawn/join overhead over several
+/// sweep points — a single point can be microseconds of work, for which
+/// one-job-per-point parallelism loses to serial (`BENCH_sim.json`'s old
+/// `parallel_sweep/jobs_*` rows).
+fn sweep_batches(schedules: Vec<RemapSchedule>, jobs: usize) -> Vec<Vec<RemapSchedule>> {
+    let workers = ParallelRunner::new(jobs).effective_threads(schedules.len()).max(1);
+    let batch = schedules.len().div_ceil(workers);
+    schedules.chunks(batch).map(<[RemapSchedule]>::to_vec).collect()
+}
+
+/// Turns the flattened per-schedule lifetimes (baseline first) into sweep
+/// points.
+fn sweep_points(periods: &[u64], lifetimes: &[f64]) -> Vec<SweepPoint> {
+    let never_lifetime = lifetimes[0];
+    periods
+        .iter()
+        .zip(&lifetimes[1..])
+        .map(|(&period, &lifetime_iterations)| SweepPoint {
+            period,
+            lifetime_iterations,
+            improvement_vs_never: lifetime_iterations / never_lifetime,
+        })
+        .collect()
+}
+
 /// [`remap_frequency_sweep`] fanned across `jobs` worker threads (`0` =
 /// auto), bit-identical to the serial sweep.
 ///
-/// The never-remap baseline is submitted as job 0 alongside the sweep
-/// points, so the whole sweep is one parallel batch; improvements are
-/// computed against it after the deterministic submission-order join.
+/// The never-remap baseline rides along as the first sweep point, and
+/// points are batched per pool job ([`sweep_batches`]); improvements are
+/// computed against the baseline after the deterministic submission-order
+/// join.
 ///
 /// # Panics
 ///
@@ -75,32 +113,65 @@ pub fn remap_frequency_sweep_parallel(
     periods: &[u64],
     jobs: usize,
 ) -> Vec<SweepPoint> {
-    assert!(!periods.is_empty(), "sweep needs at least one period");
-    // Job 0 is the never-remap baseline; jobs 1.. are the sweep points.
-    let schedules: Vec<RemapSchedule> = std::iter::once(RemapSchedule::never())
-        .chain(periods.iter().map(|&p| RemapSchedule::every(p)))
-        .collect();
+    let batches = sweep_batches(sweep_schedules(periods), jobs);
     // The trace's static counts don't depend on the schedule: one tally
     // serves every job in the batch.
     let counts = workload.trace().counts(base.arch);
-    let lifetimes: Vec<f64> = fan_out(schedules, jobs, |schedule, sink| {
-        let sim = EnduranceSimulator::new(base.with_schedule(schedule));
-        let result = match sink {
-            Some(observer) => sim.run_with_counts(workload, balance, observer, counts),
-            None => sim.run_with_counts(workload, balance, &NullSink, counts),
-        };
-        model.lifetime(&result).iterations
-    });
-    let never_lifetime = lifetimes[0];
-    periods
-        .iter()
-        .zip(&lifetimes[1..])
-        .map(|(&period, &lifetime_iterations)| SweepPoint {
-            period,
-            lifetime_iterations,
-            improvement_vs_never: lifetime_iterations / never_lifetime,
-        })
-        .collect()
+    let lifetimes: Vec<f64> = fan_out(batches, jobs, |batch, sink| {
+        batch
+            .into_iter()
+            .map(|schedule| {
+                let sim = EnduranceSimulator::new(base.with_schedule(schedule));
+                let result = match sink {
+                    Some(observer) => sim.run_with_counts(workload, balance, observer, counts),
+                    None => sim.run_with_counts(workload, balance, &NullSink, counts),
+                };
+                model.lifetime(&result).iterations
+            })
+            .collect::<Vec<f64>>()
+    })
+    .into_iter()
+    .flatten()
+    .collect();
+    sweep_points(periods, &lifetimes)
+}
+
+/// The analytic form of [`remap_frequency_sweep_parallel`]: each sweep
+/// point answers through a replay-free [`AnalyticWearEngine`] instead of a
+/// simulator run, bit-identical to both (irreducible configurations fall
+/// back to the simulator inside the engine).
+///
+/// # Panics
+///
+/// Panics if `periods` is empty.
+#[must_use]
+pub fn remap_frequency_sweep_analytic(
+    workload: &Workload,
+    balance: BalanceConfig,
+    base: SimConfig,
+    model: LifetimeModel,
+    periods: &[u64],
+    jobs: usize,
+) -> Vec<SweepPoint> {
+    let batches = sweep_batches(sweep_schedules(periods), jobs);
+    let lifetimes: Vec<f64> = fan_out(batches, jobs, |batch, sink| {
+        batch
+            .into_iter()
+            .map(|schedule| {
+                let mut engine =
+                    AnalyticWearEngine::new(workload, balance, base.with_schedule(schedule));
+                let result = match sink {
+                    Some(observer) => engine.result_at_with(base.iterations, observer),
+                    None => engine.result_at_with(base.iterations, &NullSink),
+                };
+                model.lifetime(&result).iterations
+            })
+            .collect::<Vec<f64>>()
+    })
+    .into_iter()
+    .flatten()
+    .collect();
+    sweep_points(periods, &lifetimes)
 }
 
 /// The saturation analysis of §5: the **largest** period (least frequent
@@ -190,6 +261,33 @@ mod tests {
                 jobs,
             );
             assert_eq!(serial, parallel, "sweep with {jobs} jobs diverged");
+        }
+    }
+
+    #[test]
+    fn analytic_sweep_is_bit_identical_to_serial() {
+        let wl = ParallelMul::new(ArrayDims::new(128, 8), 8).build();
+        let base = SimConfig::default().with_iterations(500);
+        let periods = [100u64, 50, 10];
+        // RaxSt exercises the lazy path, BsxBs the closed form, RaxSt+Hw
+        // the simulator fallback — the sweep must not care.
+        for name in ["RaxSt", "BsxBs", "RaxSt+Hw"] {
+            let balance: BalanceConfig = name.parse().unwrap();
+            let serial = remap_frequency_sweep(&wl, balance, base, LifetimeModel::mtj(), &periods);
+            for jobs in [1, 4] {
+                let analytic = remap_frequency_sweep_analytic(
+                    &wl,
+                    balance,
+                    base,
+                    LifetimeModel::mtj(),
+                    &periods,
+                    jobs,
+                );
+                assert_eq!(
+                    serial, analytic,
+                    "analytic sweep for {balance} with {jobs} jobs diverged"
+                );
+            }
         }
     }
 

@@ -16,10 +16,20 @@
 //!   evicted entries stay on disk — so a warm cache survives restarts and
 //!   overflow degrades to a file read, not a re-simulation.
 //!
+//! The spill directory carries an append-only `index.jsonl` (one
+//! `{"key":"<hex>"}` line per spilled entry). The index is loaded into a
+//! key set at startup and consulted before any disk read, so a cold miss
+//! costs a hash lookup instead of a filesystem probe. A directory written
+//! by an older server (entries but no index) is scanned once and the index
+//! rewritten; after that, startup never lists the directory again. The
+//! stored-request collision guard is unchanged — the index only says a key
+//! *may* be on disk, the entry's canonical request still decides.
+//!
 //! [`SimRequest::cache_key`]: crate::request::SimRequest::cache_key
 
-use std::collections::{HashMap, VecDeque};
-use std::path::PathBuf;
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
 
 use nvpim_obs::Json;
 
@@ -48,6 +58,8 @@ pub struct CacheStats {
     pub disk_loads: u64,
     /// Entries currently resident in memory.
     pub resident: usize,
+    /// Keys the spill index knows to exist on disk (0 without spill).
+    pub indexed: usize,
 }
 
 impl CacheStats {
@@ -60,6 +72,85 @@ impl CacheStats {
             .with("evictions", self.evictions)
             .with("disk_loads", self.disk_loads)
             .with("resident", self.resident)
+            .with("indexed", self.indexed)
+    }
+}
+
+/// The in-memory view of `index.jsonl`: which keys have spilled entries.
+struct DiskIndex {
+    keys: HashSet<u64>,
+    path: PathBuf,
+}
+
+impl DiskIndex {
+    const FILE_NAME: &'static str = "index.jsonl";
+
+    /// Loads the index for `dir`, rebuilding it with a one-time directory
+    /// scan when the file is absent (a pre-index spill directory or a
+    /// brand-new one — either way the file exists afterwards).
+    fn open(dir: &Path) -> DiskIndex {
+        let path = dir.join(Self::FILE_NAME);
+        if let Ok(text) = std::fs::read_to_string(&path) {
+            let keys = text
+                .lines()
+                .filter_map(|line| {
+                    let doc = nvpim_obs::json::parse(line).ok()?;
+                    u64::from_str_radix(doc.get("key")?.as_str()?, 16).ok()
+                })
+                .collect();
+            return DiskIndex { keys, path };
+        }
+        let mut index = DiskIndex { keys: HashSet::new(), path };
+        index.rebuild_from_scan(dir);
+        index
+    }
+
+    /// Scans `dir` for `<hex>.json` spill entries and rewrites the index
+    /// file to match. Only runs when the index file is missing.
+    fn rebuild_from_scan(&mut self, dir: &Path) {
+        if let Ok(entries) = std::fs::read_dir(dir) {
+            for entry in entries.flatten() {
+                let name = entry.file_name();
+                let Some(stem) = name.to_str().and_then(|n| n.strip_suffix(".json")) else {
+                    continue;
+                };
+                if let Ok(key) = u64::from_str_radix(stem, 16) {
+                    self.keys.insert(key);
+                }
+            }
+        }
+        let mut doc = String::new();
+        for &key in &self.keys {
+            doc.push_str(&Self::line(key));
+        }
+        if let Err(e) = std::fs::write(&self.path, doc) {
+            eprintln!("nvpim-serve: cache index write to {} failed: {e}", self.path.display());
+        }
+    }
+
+    /// Records a newly spilled key, appending one line to the index file.
+    fn record(&mut self, key: u64) {
+        if !self.keys.insert(key) {
+            return; // re-spill of a known key; the line is already there
+        }
+        let appended = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&self.path)
+            .and_then(|mut f| f.write_all(Self::line(key).as_bytes()));
+        if let Err(e) = appended {
+            eprintln!("nvpim-serve: cache index append to {} failed: {e}", self.path.display());
+        }
+    }
+
+    fn contains(&self, key: u64) -> bool {
+        self.keys.contains(&key)
+    }
+
+    fn line(key: u64) -> String {
+        let mut line = Json::object().with("key", key_hex(key)).render();
+        line.push('\n');
+        line
     }
 }
 
@@ -71,6 +162,8 @@ pub struct ResultCache {
     order: VecDeque<u64>,
     capacity: usize,
     dir: Option<PathBuf>,
+    /// Present exactly when `dir` is.
+    index: Option<DiskIndex>,
     stats: CacheStats,
 }
 
@@ -100,11 +193,13 @@ impl ResultCache {
             std::fs::create_dir_all(dir)
                 .unwrap_or_else(|e| panic!("cannot create cache dir {}: {e}", dir.display()));
         }
+        let index = dir.as_deref().map(DiskIndex::open);
         ResultCache {
             entries: HashMap::new(),
             order: VecDeque::new(),
             capacity,
             dir,
+            index,
             stats: CacheStats::default(),
         }
     }
@@ -157,7 +252,11 @@ impl ResultCache {
     /// Current statistics.
     #[must_use]
     pub fn stats(&self) -> CacheStats {
-        CacheStats { resident: self.entries.len(), ..self.stats }
+        CacheStats {
+            resident: self.entries.len(),
+            indexed: self.index.as_ref().map_or(0, |i| i.keys.len()),
+            ..self.stats
+        }
     }
 
     fn admit(&mut self, key: u64, request: String, body: String) {
@@ -185,15 +284,25 @@ impl ResultCache {
         self.dir.as_ref().map(|d| d.join(format!("{}.json", key_hex(key))))
     }
 
-    fn spill_to_disk(&self, key: u64, request: &str, body: &str) {
+    fn spill_to_disk(&mut self, key: u64, request: &str, body: &str) {
         let Some(path) = self.spill_path(key) else { return };
         let doc = Json::object().with("request", request).with("response", body).render();
         if let Err(e) = std::fs::write(&path, doc) {
             eprintln!("nvpim-serve: cache spill to {} failed: {e}", path.display());
+            return;
+        }
+        if let Some(index) = &mut self.index {
+            index.record(key);
         }
     }
 
     fn load_from_disk(&self, key: u64, canonical_request: &str) -> Option<String> {
+        // The index is authoritative for what this cache (or a prior run
+        // over the same directory) spilled; an unknown key never touches
+        // the filesystem.
+        if !self.index.as_ref()?.contains(key) {
+            return None;
+        }
         let path = self.spill_path(key)?;
         let text = std::fs::read_to_string(path).ok()?;
         let doc = nvpim_obs::json::parse(&text).ok()?;
@@ -283,6 +392,81 @@ mod tests {
         assert_eq!(fresh.stats().disk_loads, 1);
         // ...but only for matching canonical requests.
         assert_eq!(fresh.get(2, "other-request"), None);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    fn scratch_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("nvpim-cache-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn spill_appends_to_the_index_and_startup_loads_it() {
+        let dir = scratch_dir("index");
+        {
+            let mut cache = ResultCache::new(4, Some(dir.clone()));
+            cache.insert(0xA, "ra".into(), "ba".into());
+            cache.insert(0xB, "rb".into(), "bb".into());
+            assert_eq!(cache.stats().indexed, 2);
+        }
+        let index = std::fs::read_to_string(dir.join("index.jsonl")).expect("index written");
+        assert!(index.contains(&key_hex(0xA)), "{index}");
+        assert!(index.contains(&key_hex(0xB)), "{index}");
+        assert_eq!(index.lines().count(), 2, "one line per spilled key: {index}");
+        // A restarted server knows both keys before touching any entry file.
+        let mut fresh = ResultCache::new(4, Some(dir.clone()));
+        assert_eq!(fresh.stats().indexed, 2);
+        assert_eq!(fresh.get(0xA, "ra"), Some("ba".into()));
+        assert_eq!(fresh.get(0xB, "rb"), Some("bb".into()));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_index_is_rebuilt_by_a_one_time_scan() {
+        let dir = scratch_dir("rebuild");
+        {
+            let mut cache = ResultCache::new(4, Some(dir.clone()));
+            cache.insert(0xC, "rc".into(), "bc".into());
+        }
+        // A pre-index directory: entries on disk, no index file.
+        std::fs::remove_file(dir.join("index.jsonl")).expect("index existed");
+        let mut fresh = ResultCache::new(4, Some(dir.clone()));
+        assert_eq!(fresh.stats().indexed, 1, "scan found the spilled entry");
+        assert_eq!(fresh.get(0xC, "rc"), Some("bc".into()));
+        assert!(dir.join("index.jsonl").exists(), "rebuild rewrote the index");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn keys_absent_from_the_index_never_probe_the_disk() {
+        let dir = scratch_dir("gate");
+        // Creating the cache writes an (empty) index for the fresh dir.
+        drop(ResultCache::new(4, Some(dir.clone())));
+        // A file smuggled in behind the index's back is invisible: the key
+        // set gates every disk read.
+        let doc = Json::object().with("request", "rx").with("response", "bx").render();
+        std::fs::write(dir.join(format!("{}.json", key_hex(0xD))), doc).unwrap();
+        let mut cache = ResultCache::new(4, Some(dir.clone()));
+        assert_eq!(cache.get(0xD, "rx"), None);
+        assert_eq!(cache.stats().disk_loads, 0);
+        assert_eq!(cache.stats().indexed, 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn index_survives_a_stale_entry_file() {
+        let dir = scratch_dir("stale");
+        {
+            let mut cache = ResultCache::new(4, Some(dir.clone()));
+            cache.insert(0xE, "re".into(), "be".into());
+        }
+        // Entry file lost (disk cleanup) but index line retained: the
+        // lookup degrades to a miss, never a panic or wrong body.
+        std::fs::remove_file(dir.join(format!("{}.json", key_hex(0xE)))).unwrap();
+        let mut cache = ResultCache::new(4, Some(dir.clone()));
+        assert_eq!(cache.stats().indexed, 1);
+        assert_eq!(cache.get(0xE, "re"), None);
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -33,7 +33,7 @@ use std::sync::mpsc;
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
-use nvpim_core::EnduranceSimulator;
+use nvpim_core::{AnalyticWearEngine, EnduranceSimulator};
 use nvpim_exec::{JobPool, SubmitError, TaskQueue};
 use nvpim_obs::{
     Event, EventSink as _, Json, JsonlSink, Observer, RunManifest, TraceContext, TraceId,
@@ -550,6 +550,14 @@ fn simulate(stream: &mut TcpStream, request: &HttpRequest, state: &Arc<ServeStat
 /// parent context the run is wrapped in a `serve.execute` child span —
 /// opened on whatever thread executes (the detached `/simulate` worker or
 /// a `/batch` pool worker), so the trace shows real lanes.
+///
+/// Requests that do not ask for the per-epoch wear series are answered by
+/// the replay-free [`AnalyticWearEngine`] — a closed-form or lazy query
+/// whose `SimResult` is bit-identical to a full replay (irreducible
+/// configurations fall back to the simulator inside the engine). The body
+/// bytes are therefore identical either way, so analytic answers share
+/// cache identity with simulated ones; the manifest records which engine
+/// path produced the numbers.
 fn execute(
     request: &SimRequest,
     state: &ServeState,
@@ -564,14 +572,21 @@ fn execute(
         span.attr_u64("iterations", request.iterations);
     }
     let run = catch_unwind(AssertUnwindSafe(|| {
-        let simulator = EnduranceSimulator::new(request.sim_config());
+        let cfg = request.sim_config();
         let workload = request.build_workload();
-        let result = simulator.run_with(&workload, request.config, &local);
-        wire::result_body(request, &result)
+        if request.series {
+            let result = EnduranceSimulator::new(cfg).run_with(&workload, request.config, &local);
+            (wire::result_body(request, &result), None)
+        } else {
+            let mut engine = AnalyticWearEngine::new(&workload, request.config, cfg);
+            let path = engine.path();
+            let result = engine.result_at_with(cfg.iterations, &local);
+            (wire::result_body(request, &result), Some(path))
+        }
     }));
     drop(span);
-    let body = match run {
-        Ok(body) => body,
+    let (body, analytic_path) = match run {
+        Ok(outcome) => outcome,
         Err(_) => return Err("simulation rejected the parameter combination".to_owned()),
     };
     let wall_ns = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
@@ -579,8 +594,12 @@ fn execute(
     let key = request.cache_key();
     state.cache.lock().expect("cache poisoned").insert(key, request.canonical_text(), body.clone());
     if let Some(dir) = &state.manifest_dir {
+        let mut config = request.canonical_json();
+        if let Some(path) = analytic_path {
+            config = config.with("analytic_path", path.label());
+        }
         let manifest = RunManifest::new(&format!("serve:{}", request.workload.kind()))
-            .with_config(request.canonical_json())
+            .with_config(config)
             .with_observer(&local)
             .with_wall_ns(wall_ns);
         let path = dir.join(format!("{}.manifest.json", key_hex(key)));

@@ -440,14 +440,24 @@ fn disk_cache_and_manifests_survive_a_server_restart() {
             .and_then(Json::as_str)
             .expect("result carries its cache key")
             .to_owned();
+        // A no-series request is answered analytically, and the engine's
+        // query counter surfaces in the absorbed server metrics.
+        let metrics = client.get("/metrics").unwrap().json().unwrap();
+        assert!(counter(&metrics, "sim.analytic_queries") >= 1);
         handle.request_shutdown();
         handle.join();
     }
 
     assert!(dir.join(format!("{key}.json")).is_file(), "cache entry spilled to disk");
+    let index = std::fs::read_to_string(dir.join("index.jsonl")).expect("spill index written");
+    assert!(index.contains(&key), "spilled key recorded in the index: {index}");
     let manifest_path = dir.join("manifests").join(format!("{key}.manifest.json"));
     let manifest = std::fs::read_to_string(&manifest_path).expect("run manifest written");
     assert!(manifest.contains("serve:mul"));
+    assert!(
+        manifest.contains("\"analytic_path\""),
+        "manifest records which engine path answered: {manifest}"
+    );
     assert!(dir.join("events.jsonl").is_file(), "event log written");
 
     // A restarted server over the same directory is warm immediately.

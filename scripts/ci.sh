@@ -22,6 +22,12 @@ cargo test -q --release --offline -p nvpim-exec
 # optimization level the benchmarks and the repro binary run at.
 cargo test -q --release --offline -p nvpim-core --test kernels
 
+# The replay-free analytic engine in release mode: closed-form, lazy, and
+# fallback answers must be bit-identical to both simulator arms across all
+# 18 configurations, randomized iteration counts, and the exact lifetime
+# solve.
+cargo test -q --release --offline -p nvpim-core --test analytic
+
 # The HTTP service end to end in release mode: concurrent byte-identical
 # responses, cache hits, 429 backpressure, 504 timeouts, graceful drain.
 cargo test -q --release --offline -p nvpim-serve --test integration
