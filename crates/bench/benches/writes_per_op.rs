@@ -1,0 +1,79 @@
+//! Writes-per-op optimization benchmarks: the cost of running the gated
+//! pass pipeline itself, and the evaluation throughput of seed vs
+//! optimized netlists (fewer gates ⇒ fewer cell touches ⇒ faster eval —
+//! the wear saving is also a speed saving).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nvpim_check::equiv::FormalGate;
+use nvpim_logic::opt::PassManager;
+use nvpim_logic::{circuits, Circuit, CircuitBuilder};
+use std::hint::black_box;
+
+fn build_adder(width: usize) -> Circuit {
+    let mut b = CircuitBuilder::new();
+    let xs = b.inputs(width);
+    let ys = b.inputs(width);
+    let s = circuits::ripple_carry_add(&mut b, &xs, &ys);
+    b.mark_outputs(&s);
+    b.build()
+}
+
+fn build_multiplier(width: usize) -> Circuit {
+    let mut b = CircuitBuilder::new();
+    let xs = b.inputs(width);
+    let ys = b.inputs(width);
+    let p = circuits::multiply(&mut b, &xs, &ys);
+    b.mark_outputs(&p);
+    b.build()
+}
+
+fn optimize(seed: &Circuit) -> Circuit {
+    let gate = FormalGate::default();
+    PassManager::new(&gate).run(seed).optimized
+}
+
+/// Full optimize-then-prove pipeline cost, the price `nvpim-lint --equiv`
+/// pays per circuit (includes every gate proof between passes).
+fn bench_optimize(c: &mut Criterion) {
+    let mut group = c.benchmark_group("writes_per_op/optimize");
+    group.sample_size(10);
+    for width in [4usize, 8] {
+        let adder = build_adder(width);
+        group.bench_with_input(BenchmarkId::new("adder", width), &adder, |b, seed| {
+            b.iter(|| black_box(optimize(seed)).stats().cell_writes());
+        });
+        let mul = build_multiplier(width);
+        group.bench_with_input(BenchmarkId::new("multiply", width), &mul, |b, seed| {
+            b.iter(|| black_box(optimize(seed)).stats().cell_writes());
+        });
+    }
+    group.finish();
+}
+
+/// Seed (NAND-scheme) vs optimized netlist evaluation: the per-op cell
+/// touch count the paper prices in §3.1, realized as eval throughput.
+fn bench_eval(c: &mut Criterion) {
+    let width = 16usize;
+    let seed = build_multiplier(width);
+    let optimized = optimize(&seed);
+    assert!(
+        optimized.stats().cell_writes() * 10 <= seed.stats().cell_writes() * 9,
+        "optimizer under-delivered"
+    );
+
+    let inputs: Vec<Vec<bool>> =
+        vec![(0..width).map(|i| i % 3 == 0).collect(), (0..width).map(|i| i % 2 == 1).collect()];
+
+    let mut group = c.benchmark_group("writes_per_op/eval_mul16");
+    group.sample_size(20);
+    group.bench_function("seed", |b| {
+        b.iter(|| black_box(seed.eval(&inputs).expect("seed eval")));
+    });
+    group.bench_function("optimized", |b| {
+        b.iter(|| black_box(optimized.eval(&inputs).expect("optimized eval")));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_optimize, bench_eval);
+criterion_main!(benches);

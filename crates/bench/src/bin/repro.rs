@@ -329,10 +329,11 @@ fn build_manifest(command: &str, args: &[String], scale: Scale, obs: &Observer) 
 }
 
 /// Which analytic-engine path answers each configuration for commands that
-/// route through the replay-free engine (`fig17`/`table3` matrices, the
-/// `sweep` point, and `all`, which runs both) — `closed_form`, `lazy`, or
-/// `fallback` per the reducibility ladder, recorded so a manifest states
-/// how its numbers were produced.
+/// route through the replay-free engine (the `fig14`–`fig16` heatmap
+/// panels, the `fig17`/`table3` matrices, the `sweep` point, and `all`,
+/// which runs them all) — `closed_form`, `lazy`, or `fallback` per the
+/// reducibility ladder, recorded so a manifest states how its numbers were
+/// produced.
 fn analytic_paths_json(command: &str, scale: Scale) -> Option<Json> {
     use nvpim_balance::BalanceConfig;
     let cfg = scale.sim_config();
@@ -340,7 +341,7 @@ fn analytic_paths_json(command: &str, scale: Scale) -> Option<Json> {
         nvpim_core::analytic::classify(config, cfg.schedule, scale.dims, cfg.track_reads).label()
     };
     match command {
-        "fig17" | "table3" | "all" => {
+        "fig14" | "fig15" | "fig16" | "fig17" | "table3" | "all" => {
             let mut obj = Json::object();
             for config in BalanceConfig::all() {
                 obj = obj.with(&config.to_string(), label(config));

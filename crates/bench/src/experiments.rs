@@ -199,21 +199,37 @@ pub fn lanesets_report() -> String {
 /// Fig. 16 (dot-product). `which` ∈ {"mul", "conv", "dot"}.
 #[must_use]
 pub fn heatmap_report(which: &str, scale: Scale) -> String {
+    heatmap_report_via(which, scale, false)
+}
+
+/// [`heatmap_report`] with an explicit engine choice, so the regression
+/// test can pin the analytic path against the replay path bit-for-bit.
+fn heatmap_report_via(which: &str, scale: Scale, force_simulator: bool) -> String {
     let (workload, figure) = match which {
         "mul" => (scale.mul_workload(), "Fig. 14 (multiplication)"),
         "conv" => (scale.conv_workload(), "Fig. 15 (convolution)"),
         "dot" => (scale.dot_workload(), "Fig. 16 (dot-product)"),
         other => panic!("unknown workload `{other}` (expected mul, conv, dot)"),
     };
-    let sim = EnduranceSimulator::new(scale.sim_config());
     let mut out = format!(
         "== {figure}: write distributions, {} iterations, re-compile {} ==\n",
         scale.iterations,
         scale.sim_config().schedule,
     );
-    // The 18 panels are independent simulations: fan them across workers
-    // (bit-identical to the serial loop, rendered in the paper's order).
-    let results = sim.run_all_configs_parallel(&workload, scale.jobs);
+    // The 18 panels only need final wear maps, not trajectories, so they
+    // answer through the replay-free analytic engine (closed-form where
+    // the config is reducible, internal simulator fallback where not) —
+    // bit-identical to the replay path, rendered in the paper's order.
+    let results = if force_simulator {
+        EnduranceSimulator::new(scale.sim_config()).run_all_configs_parallel(&workload, scale.jobs)
+    } else {
+        nvpim_core::run_configs_analytic(
+            &workload,
+            &BalanceConfig::all(),
+            scale.sim_config(),
+            scale.jobs,
+        )
+    };
     for result in &results {
         let config = result.config;
         out.push_str(&format!(
@@ -615,6 +631,18 @@ mod tests {
         let serial = heatmap_report("mul", Scale::tiny().with_jobs(1));
         let parallel = heatmap_report("mul", Scale::tiny().with_jobs(4));
         assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn heatmap_analytic_path_matches_simulator_bit_for_bit() {
+        // The default path answers through the analytic engine; every
+        // panel (all 18 configs + combined) must render byte-identically
+        // to a full simulator replay.
+        for which in ["mul", "conv", "dot"] {
+            let analytic = heatmap_report_via(which, Scale::tiny(), false);
+            let replay = heatmap_report_via(which, Scale::tiny(), true);
+            assert_eq!(analytic, replay, "{which}: analytic heatmap diverges from replay");
+        }
     }
 
     #[test]

@@ -9,6 +9,8 @@
 //!   --epochs N       epoch boundaries per mapping check (default 4)
 //!   --iters N        conservation-run iterations (default 24)
 //!   --seed N         seed for every seeded mapper (default 42)
+//!   --equiv          run only the equivalence/optimization pass family
+//!   --opt            print the writes-per-op optimization table
 //!   --json FILE      write the JSON findings report to FILE (`-` = stdout)
 //!   --manifest FILE  write a RunManifest artifact to FILE
 //!   --quiet          suppress the human-readable summary
@@ -20,7 +22,8 @@
 use std::path::PathBuf;
 use std::time::Instant;
 
-use nvpim_check::driver::{run_all, CheckOptions};
+use nvpim_check::driver::{render_opt_table, run_all, run_equiv_pass, CheckOptions};
+use nvpim_check::Report;
 use nvpim_obs::{Json, RunManifest};
 
 fn main() {
@@ -66,10 +69,31 @@ fn main() {
     let json_out = flag_value(&args, "--json").map(PathBuf::from);
     let manifest_out = flag_value(&args, "--manifest").map(PathBuf::from);
     let quiet = args.iter().any(|a| a == "--quiet");
+    let equiv_only = args.iter().any(|a| a == "--equiv");
+    let opt_table = args.iter().any(|a| a == "--opt");
 
     let start = Instant::now();
-    let report = run_all(&opts);
+    let (report, rows) = if equiv_only {
+        // Equivalence/optimization family only: optimize every builder at
+        // every requested width and prove the results.
+        let mut report = Report::new();
+        let rows = run_equiv_pass(&opts, &mut report);
+        (report, rows)
+    } else if opt_table {
+        // Full pass set, reusing one equiv run for the table.
+        let mut report = Report::new();
+        nvpim_check::driver::run_netlist_pass(&opts, &mut report);
+        let rows = run_equiv_pass(&opts, &mut report);
+        nvpim_check::driver::run_mapping_pass(&opts, &mut report);
+        nvpim_check::driver::run_conservation_pass(&opts, &mut report);
+        (report, rows)
+    } else {
+        (run_all(&opts), Vec::new())
+    };
 
+    if opt_table {
+        print!("{}", render_opt_table(&rows));
+    }
     if !quiet {
         print!("{}", report.render_summary());
     }
@@ -130,6 +154,9 @@ Options:
   --epochs N       epoch boundaries per mapping check (default 4)
   --iters N        conservation-run iterations (default 24)
   --seed N         seed for every seeded mapper (default 42)
+  --equiv          run only the equivalence/optimization pass family
+                   (optimize-then-prove over every circuit builder)
+  --opt            print the writes-per-op table (seed vs optimized)
   --json FILE      write the JSON findings report to FILE (`-` = stdout)
   --manifest FILE  write a RunManifest artifact to FILE
   --quiet          suppress the human-readable summary

@@ -7,8 +7,11 @@ use nvpim_core::SimConfig;
 use nvpim_logic::{circuits, Circuit, CircuitBuilder};
 use nvpim_workloads::parallel_mul::ParallelMul;
 
+use nvpim_logic::opt::{PassManager, PassStatus};
+
+use crate::equiv::{self, EquivOptions};
 use crate::finding::{Finding, Report};
-use crate::{conservation, mapping, netlist};
+use crate::{conservation, mapping, netlist, wearcost};
 
 /// What to check and how hard.
 #[derive(Debug, Clone)]
@@ -97,7 +100,8 @@ pub fn library_at_width(w: usize) -> Vec<LibraryCircuit> {
         format!("negate(w={w})"),
         b.build(),
         1,
-        "negation discards the subtractor's borrow-out; its FA carry gate is priced anyway",
+        "negation discards the subtractor's borrow-out; its FA carry gate is priced anyway \
+         (the `dce` optimizer pass removes it)",
     ));
 
     // absolute difference: the second subtract's borrow is discarded.
@@ -109,7 +113,8 @@ pub fn library_at_width(w: usize) -> Vec<LibraryCircuit> {
         format!("absolute_difference(w={w})"),
         b.build(),
         1,
-        "|x-y| only needs the first subtract's borrow; the second one's carry gate is priced anyway",
+        "|x-y| only needs the first subtract's borrow; the second one's carry gate is priced \
+         anyway (the `dce` optimizer pass removes it)",
     ));
 
     // multiplier (the DADDA scheme needs at least two bits).
@@ -133,7 +138,8 @@ pub fn library_at_width(w: usize) -> Vec<LibraryCircuit> {
         format!("divide(w={w})"),
         b.build(),
         w,
-        "each trial subtract's top difference bit is unused; its FA sum gate is priced anyway",
+        "each trial subtract's top difference bit is unused; its FA sum gate is priced anyway \
+         (the `dce` optimizer pass removes it)",
     ));
 
     // comparator: keeps only the carry chain — one stranded sum gate per FA.
@@ -145,7 +151,8 @@ pub fn library_at_width(w: usize) -> Vec<LibraryCircuit> {
         format!("greater_equal(w={w})"),
         b.build(),
         w,
-        "comparison keeps only FA carries; the 10w-gate cost (§3.2) prices the sum gates anyway",
+        "comparison keeps only FA carries; the 10w-gate cost (§3.2) prices the sum gates anyway \
+         (the `dce` optimizer pass removes them)",
     ));
 
     // popcount
@@ -338,6 +345,146 @@ pub fn run_netlist_pass(opts: &CheckOptions, report: &mut Report) {
     }
 }
 
+/// One row of the writes-per-op optimization summary: seed vs optimized
+/// cell accesses for a library circuit, plus the method that proved (or
+/// vetted) the equivalence.
+#[derive(Debug, Clone)]
+pub struct OptimizationRow {
+    /// Circuit name, e.g. `multiply(w=8)`.
+    pub name: String,
+    /// Cell writes of the seed (NAND-scheme) netlist.
+    pub writes_before: u64,
+    /// Cell writes after optimization.
+    pub writes_after: u64,
+    /// Cell reads of the seed netlist.
+    pub reads_before: u64,
+    /// Cell reads after optimization.
+    pub reads_after: u64,
+    /// How the end-to-end equivalence was established.
+    pub method: String,
+}
+
+impl OptimizationRow {
+    /// Write reduction as a percentage of the seed count (0 for gate-free
+    /// circuits).
+    #[must_use]
+    pub fn reduction_percent(&self) -> f64 {
+        if self.writes_before == 0 {
+            return 0.0;
+        }
+        #[allow(clippy::cast_precision_loss)] // gate counts are far below 2^52
+        {
+            100.0 * (self.writes_before - self.writes_after) as f64 / self.writes_before as f64
+        }
+    }
+}
+
+/// Renders optimization rows as an aligned text table.
+#[must_use]
+pub fn render_opt_table(rows: &[OptimizationRow]) -> String {
+    use std::fmt::Write;
+    let name_width = rows.iter().map(|r| r.name.len()).max().unwrap_or(7).max(7);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<name_width$}  {:>8}  {:>8}  {:>7}  equivalence",
+        "circuit", "writes", "opt", "saved"
+    );
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "{:<name_width$}  {:>8}  {:>8}  {:>6.1}%  {}",
+            r.name,
+            r.writes_before,
+            r.writes_after,
+            r.reduction_percent(),
+            r.method
+        );
+    }
+    out
+}
+
+/// Optimizes one library circuit under the formal gate and verifies the
+/// whole obligation chain: per-pass gating, end-to-end equivalence,
+/// netlist cleanliness with *zero* dead-gate allowance, and the static
+/// wear-cost cross-checks.
+fn check_optimized_circuit(
+    entry: &LibraryCircuit,
+    w: usize,
+    eopts: &EquivOptions,
+    report: &mut Report,
+) -> OptimizationRow {
+    let gate = equiv::FormalGate::new(eopts.clone());
+    let manager = PassManager::new(&gate);
+    let outcome = manager.run(&entry.circuit);
+
+    // Every pass application was gated; a rejection means a pass proposed
+    // a circuit that computes a different function.
+    report.bump_checks(outcome.applications.len() as u64);
+    for app in &outcome.applications {
+        if let PassStatus::Rejected(failure) = &app.status {
+            report.push(Finding::new(
+                "equiv",
+                "pass-rejected",
+                entry.name.clone(),
+                format!("pass `{}` (round {}) rejected: {failure}", app.pass, app.round),
+            ));
+        }
+    }
+
+    // End-to-end: the final circuit against the untouched seed.
+    report.bump_checks(1);
+    let (verdict, findings) =
+        equiv::equivalence_findings(&entry.name, &entry.circuit, &outcome.optimized, eopts);
+    report.extend(findings);
+
+    // Optimized netlists carry a zero dead-gate allowance: `dce` must have
+    // removed every stranded gate the seed circuit was documented to hold.
+    let opt_name = format!("{} [optimized]", entry.name);
+    report.bump_checks(netlist::checks_for(&outcome.optimized));
+    report.extend(netlist::verify_circuit(&opt_name, &outcome.optimized));
+
+    wearcost::verify_optimized_cost(&entry.name, w, &entry.circuit, &outcome, report);
+
+    let seed_stats = entry.circuit.stats();
+    let opt_stats = outcome.optimized.stats();
+    OptimizationRow {
+        name: entry.name.clone(),
+        writes_before: seed_stats.cell_writes(),
+        writes_after: opt_stats.cell_writes(),
+        reads_before: seed_stats.cell_reads(),
+        reads_after: opt_stats.cell_reads(),
+        method: verdict.method.describe(),
+    }
+}
+
+/// Runs the equivalence/optimization pass: every library circuit at every
+/// requested width through optimize-then-prove, returning the
+/// writes-per-op rows for reporting.
+pub fn run_equiv_pass(opts: &CheckOptions, report: &mut Report) -> Vec<OptimizationRow> {
+    let eopts = EquivOptions { seed: opts.seed, ..EquivOptions::default() };
+    let mut rows = Vec::new();
+    for &w in &opts.widths {
+        let mut before = 0u64;
+        let mut after = 0u64;
+        let mut circuits = 0usize;
+        for entry in library_at_width(w) {
+            let row = check_optimized_circuit(&entry, w, &eopts, report);
+            before += row.writes_before;
+            after += row.writes_after;
+            circuits += 1;
+            rows.push(row);
+        }
+        #[allow(clippy::cast_precision_loss)] // gate counts are far below 2^52
+        let saved = if before == 0 { 0.0 } else { 100.0 * (before - after) as f64 / before as f64 };
+        report.note(format!(
+            "equiv(w={w}): {circuits} circuits optimized and proven, \
+             {before} → {after} writes/op (−{saved:.1}%)"
+        ));
+    }
+    rows
+}
+
 /// Runs the mapping pass: every configured [`BalanceConfig`] across epoch
 /// boundaries, every bare [`StrategyMapper`], Start-Gap, and a standalone
 /// `Hw` redirect storm.
@@ -394,6 +541,7 @@ pub fn run_conservation_pass(opts: &CheckOptions, report: &mut Report) {
 pub fn run_all(opts: &CheckOptions) -> Report {
     let mut report = Report::new();
     run_netlist_pass(opts, &mut report);
+    let _ = run_equiv_pass(opts, &mut report);
     run_mapping_pass(opts, &mut report);
     run_conservation_pass(opts, &mut report);
 

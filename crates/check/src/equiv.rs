@@ -1,0 +1,375 @@
+//! Formal combinational equivalence checking.
+//!
+//! The optimization passes in `nvpim_logic::opt` rewrite wear netlists;
+//! this module is the authority that decides whether a rewrite preserved
+//! the computed function. Three methods, in order of strength:
+//!
+//! - **Exhaustive truth table** (circuits with ≤ [`EXHAUSTIVE_LIMIT_BITS`]
+//!   total input bits): every one of the ≤ 2¹² input assignments is
+//!   evaluated through both circuits. A pass here is a *proof* — the
+//!   circuits compute the same Boolean function, full stop.
+//! - **Structural canonicalization** (wider circuits): both circuits are
+//!   hashed into one canonical-class interner (commutative operands
+//!   sorted, `COPY` chains collapsed). Identical per-output classes are
+//!   also a proof: syntactically equal DAGs compute equal functions.
+//! - **Seeded random-vector falsification** (wider circuits that differ
+//!   structurally): a deterministic xorshift PRNG drives input vectors
+//!   through both circuits. This can only *refute* equivalence — passing
+//!   vectors raise confidence but prove nothing, which is why the verdict
+//!   records the method used.
+//!
+//! Counterexamples are concrete: the full input assignment, the diverging
+//! output position, and both computed values, reported per output through
+//! the [`Finding`] model and as [`Counterexample`] values for the
+//! [`PassManager`](nvpim_logic::opt::PassManager) rejection path.
+
+use std::collections::HashMap;
+
+use nvpim_logic::opt::{Counterexample, EquivFailure, EquivGate};
+use nvpim_logic::{Circuit, GateKind};
+
+use crate::finding::Finding;
+
+const PASS: &str = "equiv";
+
+/// Largest total input-bit count for which the checker runs the exhaustive
+/// truth-table proof (2¹² = 4096 evaluations per circuit).
+pub const EXHAUSTIVE_LIMIT_BITS: usize = 12;
+
+/// Tuning for one equivalence check.
+#[derive(Debug, Clone)]
+pub struct EquivOptions {
+    /// Input-bit bound below which the exhaustive proof runs.
+    pub exhaustive_limit_bits: usize,
+    /// Random vectors evaluated in falsification mode.
+    pub random_vectors: u64,
+    /// Seed for the falsification PRNG.
+    pub seed: u64,
+}
+
+impl Default for EquivOptions {
+    fn default() -> Self {
+        EquivOptions { exhaustive_limit_bits: EXHAUSTIVE_LIMIT_BITS, random_vectors: 256, seed: 42 }
+    }
+}
+
+/// How a verdict was reached, and with what strength.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EquivMethod {
+    /// Every input assignment evaluated — a proof.
+    Exhaustive {
+        /// Number of assignments evaluated (2ⁿ).
+        vectors: u64,
+    },
+    /// Canonical output classes identical — a proof.
+    Structural,
+    /// Random vectors only — falsification power, no proof.
+    RandomVectors {
+        /// Number of vectors evaluated.
+        vectors: u64,
+    },
+}
+
+impl EquivMethod {
+    /// Whether a passing verdict under this method is a proof of
+    /// equivalence (rather than an absence of falsification).
+    #[must_use]
+    pub fn is_proof(self) -> bool {
+        !matches!(self, EquivMethod::RandomVectors { .. })
+    }
+
+    /// Short human-readable description.
+    #[must_use]
+    pub fn describe(self) -> String {
+        match self {
+            EquivMethod::Exhaustive { vectors } => format!("exhaustive ({vectors} assignments)"),
+            EquivMethod::Structural => "structural".to_owned(),
+            EquivMethod::RandomVectors { vectors } => format!("random ({vectors} vectors)"),
+        }
+    }
+}
+
+/// Outcome of one equivalence check.
+#[derive(Debug, Clone)]
+pub struct EquivVerdict {
+    /// The strongest method that reached a decision.
+    pub method: EquivMethod,
+    /// Interface mismatch, when the circuits are not even comparable.
+    pub interface_error: Option<String>,
+    /// First counterexample found for each diverging output.
+    pub counterexamples: Vec<Counterexample>,
+}
+
+impl EquivVerdict {
+    /// Whether the candidate passed (no mismatch, no counterexample).
+    #[must_use]
+    pub fn equivalent(&self) -> bool {
+        self.interface_error.is_none() && self.counterexamples.is_empty()
+    }
+}
+
+/// Checks whether `candidate` computes the same function as `reference`.
+#[must_use]
+pub fn check_equivalence(
+    reference: &Circuit,
+    candidate: &Circuit,
+    opts: &EquivOptions,
+) -> EquivVerdict {
+    let n = reference.input_bits().len();
+    if candidate.input_bits().len() != n {
+        return interface_verdict(format!(
+            "candidate declares {} input bits, reference declares {n}",
+            candidate.input_bits().len()
+        ));
+    }
+    if candidate.output_bits().len() != reference.output_bits().len() {
+        return interface_verdict(format!(
+            "candidate declares {} outputs, reference declares {}",
+            candidate.output_bits().len(),
+            reference.output_bits().len()
+        ));
+    }
+
+    if n <= opts.exhaustive_limit_bits.min(63) {
+        return exhaustive_check(reference, candidate, n);
+    }
+    if structurally_identical(reference, candidate) {
+        return EquivVerdict {
+            method: EquivMethod::Structural,
+            interface_error: None,
+            counterexamples: Vec::new(),
+        };
+    }
+    random_check(reference, candidate, n, opts)
+}
+
+fn interface_verdict(detail: String) -> EquivVerdict {
+    EquivVerdict {
+        method: EquivMethod::Structural,
+        interface_error: Some(detail),
+        counterexamples: Vec::new(),
+    }
+}
+
+/// Evaluates both circuits on every one of the 2ⁿ assignments, collecting
+/// the first counterexample per diverging output.
+fn exhaustive_check(reference: &Circuit, candidate: &Circuit, n: usize) -> EquivVerdict {
+    let outputs = reference.output_bits().len();
+    let mut seen = vec![false; outputs];
+    let mut counterexamples = Vec::new();
+    let total = 1u64 << n;
+    for assignment in 0..total {
+        let inputs: Vec<bool> = (0..n).map(|i| (assignment >> i) & 1 == 1).collect();
+        collect_divergences(reference, candidate, &inputs, &mut seen, &mut counterexamples);
+        if counterexamples.len() == outputs {
+            break;
+        }
+    }
+    EquivVerdict {
+        method: EquivMethod::Exhaustive { vectors: total },
+        interface_error: None,
+        counterexamples,
+    }
+}
+
+/// Evaluates both circuits on seeded random vectors; stops at the first
+/// falsifying vector (recording every output it diverges on).
+fn random_check(
+    reference: &Circuit,
+    candidate: &Circuit,
+    n: usize,
+    opts: &EquivOptions,
+) -> EquivVerdict {
+    let outputs = reference.output_bits().len();
+    let mut seen = vec![false; outputs];
+    let mut counterexamples = Vec::new();
+    let mut rng = XorShift64::new(opts.seed);
+    for _ in 0..opts.random_vectors {
+        let inputs: Vec<bool> = (0..n).map(|_| rng.next_bit()).collect();
+        collect_divergences(reference, candidate, &inputs, &mut seen, &mut counterexamples);
+        if !counterexamples.is_empty() {
+            break;
+        }
+    }
+    EquivVerdict {
+        method: EquivMethod::RandomVectors { vectors: opts.random_vectors },
+        interface_error: None,
+        counterexamples,
+    }
+}
+
+/// Runs one input vector through both circuits, recording a counterexample
+/// for every output that diverges for the first time.
+fn collect_divergences(
+    reference: &Circuit,
+    candidate: &Circuit,
+    inputs: &[bool],
+    seen: &mut [bool],
+    counterexamples: &mut Vec<Counterexample>,
+) {
+    let want = reference.eval(&[inputs.to_vec()]).expect("reference eval");
+    let got = candidate.eval(&[inputs.to_vec()]).expect("candidate eval");
+    for (output, (&w, &g)) in want.iter().zip(got.iter()).enumerate() {
+        if w != g && !seen[output] {
+            seen[output] = true;
+            counterexamples.push(Counterexample {
+                inputs: inputs.to_vec(),
+                output,
+                expected: w,
+                got: g,
+            });
+        }
+    }
+}
+
+/// Canonical definition of one bit for structural hashing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum CanonKey {
+    Input(usize),
+    Const(bool),
+    Gate(GateKind, u32, u32),
+}
+
+/// Whether the circuits' outputs are syntactically identical DAGs modulo
+/// bit numbering, `COPY` chains, and commutative operand order. Equal
+/// canonical classes imply equal functions — this is a proof, and it is
+/// hash-collision-free because the interner compares full keys.
+fn structurally_identical(reference: &Circuit, candidate: &Circuit) -> bool {
+    let mut interner: HashMap<CanonKey, u32> = HashMap::new();
+    match (canonical_outputs(reference, &mut interner), canonical_outputs(candidate, &mut interner))
+    {
+        (Some(a), Some(b)) => a == b,
+        // Malformed circuits (operands without definitions) are never
+        // structurally proven; they fall through to vector evaluation.
+        _ => false,
+    }
+}
+
+/// Canonical class of every output of `circuit`, interning through the
+/// shared table so classes are comparable across circuits.
+fn canonical_outputs(circuit: &Circuit, interner: &mut HashMap<CanonKey, u32>) -> Option<Vec<u32>> {
+    let mut class: Vec<Option<u32>> = vec![None; circuit.num_bits() as usize];
+    let intern = |interner: &mut HashMap<CanonKey, u32>, key: CanonKey| -> u32 {
+        let next = u32::try_from(interner.len()).expect("interner overflow");
+        *interner.entry(key).or_insert(next)
+    };
+    for (i, bit) in circuit.input_bits().iter().enumerate() {
+        class[bit.idx()] = Some(intern(interner, CanonKey::Input(i)));
+    }
+    for &(bit, value) in circuit.constant_bits() {
+        class[bit.idx()] = Some(intern(interner, CanonKey::Const(value)));
+    }
+    for g in circuit.gates() {
+        let a = class[g.input_a().idx()]?;
+        let key = match g.input_b() {
+            Some(b) => {
+                let b = class[b.idx()]?;
+                // All six binary kinds are commutative: order-normalize.
+                let (lo, hi) = if b < a { (b, a) } else { (a, b) };
+                CanonKey::Gate(g.kind(), lo, hi)
+            }
+            None if g.kind() == GateKind::Copy => {
+                class[g.output().idx()] = Some(a);
+                continue;
+            }
+            None => CanonKey::Gate(g.kind(), a, a),
+        };
+        class[g.output().idx()] = Some(intern(interner, key));
+    }
+    circuit.output_bits().iter().map(|b| class[b.idx()]).collect()
+}
+
+/// Runs [`check_equivalence`] and renders the verdict as findings against
+/// `subject` (`io-mismatch` for interface errors, one `not-equivalent`
+/// finding per diverging output, counterexample inline).
+#[must_use]
+pub fn equivalence_findings(
+    subject: &str,
+    reference: &Circuit,
+    candidate: &Circuit,
+    opts: &EquivOptions,
+) -> (EquivVerdict, Vec<Finding>) {
+    let verdict = check_equivalence(reference, candidate, opts);
+    let mut findings = Vec::new();
+    if let Some(detail) = &verdict.interface_error {
+        findings.push(Finding::new(PASS, "io-mismatch", subject, detail.clone()));
+    }
+    for cex in &verdict.counterexamples {
+        findings.push(Finding::new(
+            PASS,
+            "not-equivalent",
+            subject,
+            format!("[{}] {cex}", verdict.method.describe()),
+        ));
+    }
+    (verdict, findings)
+}
+
+/// The formal checker as an [`EquivGate`]: this is what makes
+/// `nvpim_logic::opt::PassManager` trustworthy.
+#[derive(Debug, Clone, Default)]
+pub struct FormalGate {
+    opts: EquivOptions,
+}
+
+impl FormalGate {
+    /// A gate with the given tuning.
+    #[must_use]
+    pub fn new(opts: EquivOptions) -> Self {
+        FormalGate { opts }
+    }
+
+    /// The tuning in use.
+    #[must_use]
+    pub fn options(&self) -> &EquivOptions {
+        &self.opts
+    }
+}
+
+impl EquivGate for FormalGate {
+    fn prove(&self, reference: &Circuit, candidate: &Circuit) -> Result<(), EquivFailure> {
+        let verdict = check_equivalence(reference, candidate, &self.opts);
+        if let Some(detail) = verdict.interface_error {
+            return Err(EquivFailure::Interface { detail });
+        }
+        match verdict.counterexamples.into_iter().next() {
+            Some(cex) => Err(EquivFailure::NotEquivalent(cex)),
+            None => Ok(()),
+        }
+    }
+}
+
+/// Deterministic xorshift64 PRNG for falsification vectors — std-only, no
+/// external randomness, identical streams for identical seeds.
+struct XorShift64 {
+    state: u64,
+    buffer: u64,
+    bits_left: u32,
+}
+
+impl XorShift64 {
+    fn new(seed: u64) -> Self {
+        // Zero state would be a fixed point; fold in a constant.
+        XorShift64 { state: seed ^ 0x9e37_79b9_7f4a_7c15, buffer: 0, bits_left: 0 }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.state = x;
+        x
+    }
+
+    fn next_bit(&mut self) -> bool {
+        if self.bits_left == 0 {
+            self.buffer = self.next_u64();
+            self.bits_left = 64;
+        }
+        let bit = self.buffer & 1 == 1;
+        self.buffer >>= 1;
+        self.bits_left -= 1;
+        bit
+    }
+}

@@ -9,10 +9,15 @@
 //! them as a library, so tests, the `repro check` mode, and the
 //! `nvpim-lint` binary all run the same passes.
 //!
-//! Three pass families:
+//! Four pass families:
 //!
 //! - [`netlist`] — per-circuit SSA/liveness verification plus closed-form
 //!   cost-formula cross-checks (§3.2 of the paper);
+//! - [`equiv`] — formal combinational equivalence: every library circuit
+//!   is run through the wear-minimizing optimizer
+//!   (`nvpim_logic::opt`) with the checker as the mandatory gate between
+//!   passes, proved equivalent end-to-end, re-verified dead-gate-free, and
+//!   cross-checked against the §3.1/§3.2 cost formulas ([`wearcost`]);
 //! - [`mapping`] — bijectivity of every [`nvpim_balance`] translation
 //!   layer at every epoch boundary, including the cached `row_table` fast
 //!   path and the aliasing-prone `LaneSet::permuted_into` scatter;
@@ -35,21 +40,23 @@
 
 pub mod conservation;
 pub mod driver;
+pub mod equiv;
 pub mod finding;
 pub mod mapping;
 pub mod netlist;
+pub mod wearcost;
 
 pub use driver::{run_all, CheckOptions};
 pub use finding::{Finding, Report};
 
 /// A named verification pass over some subject universe.
 ///
-/// The three built-in families ([`netlist`], [`mapping`],
+/// The four built-in families ([`netlist`], [`equiv`], [`mapping`],
 /// [`conservation`]) are exposed as free functions for precise targeting;
 /// this trait is the uniform surface the driver and external tooling can
 /// iterate over.
 pub trait Pass {
-    /// Short stable name (`netlist`, `mapping`, `conservation`).
+    /// Short stable name (`netlist`, `equiv`, `mapping`, `conservation`).
     fn name(&self) -> &'static str;
 
     /// One-line description of what the pass proves.
@@ -61,6 +68,9 @@ pub trait Pass {
 
 /// The netlist pass as a [`Pass`] object.
 pub struct NetlistPass;
+
+/// The equivalence/optimization pass as a [`Pass`] object.
+pub struct EquivPass;
 
 /// The mapping pass as a [`Pass`] object.
 pub struct MappingPass;
@@ -79,6 +89,20 @@ impl Pass for NetlistPass {
 
     fn run(&self, opts: &CheckOptions, report: &mut Report) {
         driver::run_netlist_pass(opts, report);
+    }
+}
+
+impl Pass for EquivPass {
+    fn name(&self) -> &'static str {
+        "equiv"
+    }
+
+    fn description(&self) -> &'static str {
+        "formal equivalence of optimized circuits, with zero-allowance netlists and cost cross-checks"
+    }
+
+    fn run(&self, opts: &CheckOptions, report: &mut Report) {
+        let _ = driver::run_equiv_pass(opts, report);
     }
 }
 
@@ -113,5 +137,10 @@ impl Pass for ConservationPass {
 /// All built-in passes, in execution order.
 #[must_use]
 pub fn all_passes() -> Vec<Box<dyn Pass>> {
-    vec![Box::new(NetlistPass), Box::new(MappingPass), Box::new(ConservationPass)]
+    vec![
+        Box::new(NetlistPass),
+        Box::new(EquivPass),
+        Box::new(MappingPass),
+        Box::new(ConservationPass),
+    ]
 }

@@ -1,0 +1,152 @@
+//! Static wear-cost verification of optimized circuits.
+//!
+//! The §3.1 argument of the paper prices a computation by counting cell
+//! touches in its netlist; the optimizer's entire value proposition is that
+//! those counts drop. This pass re-derives the counts of an optimized
+//! circuit *independently* of [`GateStats`] (one write per gate, one read
+//! per gate input — the sense-amp semantics of §2.2) and cross-checks four
+//! obligations:
+//!
+//! - the independent recount matches `GateStats` (`stats-mismatch`);
+//! - optimization never increased `cell_writes()` (`cost-increase`);
+//! - per-pass savings recorded by the manager sum exactly to the
+//!   seed-vs-optimized delta — no write appears or vanishes outside the
+//!   ledger (`savings-ledger`);
+//! - circuits with known closed forms land on them exactly: the optimizer
+//!   reduces the NAND-scheme adder/multiplier to the paper's idealized
+//!   two-input counts, `5b − 3` and `6b² − 8b` (§3.2), so those formulas
+//!   become checkable predictions (`opt-count-mismatch`).
+
+use nvpim_logic::opt::{OptOutcome, PassStatus};
+use nvpim_logic::{counts, Circuit};
+
+use crate::finding::{Finding, Report};
+
+const PASS: &str = "wear-cost";
+
+/// Independent recount of a circuit's cell accesses: `(writes, reads)`.
+#[must_use]
+pub fn recount_accesses(circuit: &Circuit) -> (u64, u64) {
+    let mut writes = 0u64;
+    let mut reads = 0u64;
+    for g in circuit.gates() {
+        writes += 1;
+        reads += g.cell_reads();
+    }
+    (writes, reads)
+}
+
+/// The idealized two-input gate count predicted for an optimized library
+/// circuit, when one is known in closed form.
+#[must_use]
+pub fn ideal_writes(name: &str, w: u64) -> Option<u64> {
+    if name.starts_with("adder(") {
+        Some(counts::add_gates_ideal(w))
+    } else if name.starts_with("multiply(") {
+        Some(counts::mul_gates_ideal(w))
+    } else {
+        None
+    }
+}
+
+/// Cross-checks one optimization outcome against the §3.1/§3.2 cost
+/// accounting, appending findings to `report`.
+pub fn verify_optimized_cost(
+    name: &str,
+    w: usize,
+    seed: &Circuit,
+    outcome: &OptOutcome,
+    report: &mut Report,
+) {
+    let optimized = &outcome.optimized;
+    let stats = optimized.stats();
+    let (writes, reads) = recount_accesses(optimized);
+
+    report.bump_checks(1);
+    if writes != stats.cell_writes() || reads != stats.cell_reads() {
+        report.push(Finding::new(
+            PASS,
+            "stats-mismatch",
+            name,
+            format!(
+                "independent recount says {writes} writes / {reads} reads, \
+                 GateStats says {} / {}",
+                stats.cell_writes(),
+                stats.cell_reads()
+            ),
+        ));
+    }
+
+    let seed_writes = seed.stats().cell_writes();
+    report.bump_checks(1);
+    if writes > seed_writes {
+        report.push(Finding::new(
+            PASS,
+            "cost-increase",
+            name,
+            format!("optimization raised cell writes from {seed_writes} to {writes}"),
+        ));
+    }
+
+    // Every accepted pass application must account for its savings, and
+    // nothing outside the ledger may move the total.
+    let ledger: u64 = outcome
+        .applications
+        .iter()
+        .filter(|a| a.status == PassStatus::Accepted)
+        .map(|a| a.writes_before.saturating_sub(a.writes_after))
+        .sum();
+    report.bump_checks(1);
+    if ledger != seed_writes.saturating_sub(writes) {
+        report.push(Finding::new(
+            PASS,
+            "savings-ledger",
+            name,
+            format!(
+                "per-pass ledger claims {ledger} writes saved, \
+                 seed-vs-optimized delta is {}",
+                seed_writes.saturating_sub(writes)
+            ),
+        ));
+    }
+
+    if let Some(ideal) = ideal_writes(name, w as u64) {
+        report.bump_checks(1);
+        if writes != ideal {
+            report.push(Finding::new(
+                PASS,
+                "opt-count-mismatch",
+                name,
+                format!(
+                    "optimized circuit has {writes} writes; the idealized \
+                     two-input formula (§3.2) predicts {ideal}"
+                ),
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nvpim_logic::{circuits, CircuitBuilder};
+
+    #[test]
+    fn recount_matches_gate_stats() {
+        let mut b = CircuitBuilder::new();
+        let (x, y) = (b.inputs(6), b.inputs(6));
+        let prod = circuits::multiply(&mut b, &x, &y);
+        b.mark_outputs(&prod);
+        let circuit = b.build();
+        let (writes, reads) = recount_accesses(&circuit);
+        assert_eq!(writes, circuit.stats().cell_writes());
+        assert_eq!(reads, circuit.stats().cell_reads());
+    }
+
+    #[test]
+    fn closed_forms_cover_adder_and_multiplier() {
+        assert_eq!(ideal_writes("adder(w=4)", 4), Some(17));
+        assert_eq!(ideal_writes("multiply(w=32)", 32), Some(5_888));
+        assert_eq!(ideal_writes("divide(w=4)", 4), None);
+    }
+}

@@ -1,0 +1,52 @@
+//! Acceptance sweep for the optimize-then-prove pipeline.
+//!
+//! Every `logic::circuits` builder at every operand width 1..=16 goes
+//! through the full optimization pipeline with the formal checker as the
+//! gate between passes, and the result must be (a) proven equivalent with
+//! zero findings, (b) dead-gate-free with zero allowance, and (c) cheaper
+//! by ≥ 10% cell writes on at least three circuits per width.
+
+use nvpim_check::driver::{run_equiv_pass, CheckOptions};
+use nvpim_check::Report;
+
+#[test]
+fn library_optimizes_and_proves_at_widths_1_to_16() {
+    let opts = CheckOptions { widths: (1..=16).collect(), ..Default::default() };
+    let mut report = Report::new();
+    let rows = run_equiv_pass(&opts, &mut report);
+
+    assert!(report.is_clean(), "{}", report.render_summary());
+    assert!(rows.len() >= 16 * 13, "expected a row per circuit per width, got {}", rows.len());
+
+    for &w in &opts.widths {
+        let tag = format!("(w={w})");
+        let at_width: Vec<_> = rows.iter().filter(|r| r.name.ends_with(&tag)).collect();
+        assert!(at_width.len() >= 13, "width {w}: only {} circuits", at_width.len());
+
+        // The optimizer must never make a circuit more expensive…
+        for r in &at_width {
+            assert!(
+                r.writes_after <= r.writes_before,
+                "{}: optimization raised writes {} -> {}",
+                r.name,
+                r.writes_before,
+                r.writes_after
+            );
+        }
+        // …and must cut ≥ 10% of cell writes on at least three circuits.
+        let improved = at_width.iter().filter(|r| r.reduction_percent() >= 10.0).count();
+        assert!(improved >= 3, "width {w}: only {improved} circuits improved ≥ 10%");
+    }
+
+    // Arithmetic workhorses improve at every width where they exist.
+    for prefix in ["adder", "subtract", "multiply", "divide", "greater_equal"] {
+        for r in rows.iter().filter(|r| r.name.starts_with(prefix)) {
+            assert!(
+                r.reduction_percent() >= 10.0,
+                "{}: only {:.1}% saved",
+                r.name,
+                r.reduction_percent()
+            );
+        }
+    }
+}

@@ -43,6 +43,7 @@ pub mod circuit;
 pub mod circuits;
 pub mod counts;
 pub mod gate;
+pub mod opt;
 pub mod words;
 
 pub use bit::BitId;

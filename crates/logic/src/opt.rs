@@ -1,0 +1,530 @@
+//! Wear-minimizing optimization passes over synthesized circuits.
+//!
+//! Every gate in a MAGIC-style netlist is one cell write (§2.2), so gate
+//! count *is* wear: removing a gate from a circuit removes one write from
+//! every execution of that circuit, across every balance strategy and every
+//! workload at once. This module is a classic pass pipeline over
+//! [`Circuit`]s — constant folding, copy/double-negation elimination,
+//! common-subexpression sharing, MAGIC-aware motif rewrites, dead-gate
+//! elimination — with one twist borrowed from hardware generator pipelines:
+//! **no pass output is ever trusted**. A [`PassManager`] cannot be built
+//! without an [`EquivGate`], and every structural change a pass proposes
+//! must be proved equivalent to its input before it is accepted; a failing
+//! pass is rejected with the counterexample attached and the pipeline
+//! continues from the last proven circuit.
+//!
+//! The formal prover lives in `nvpim-check` (`equiv` module) to keep this
+//! crate dependency-free; it implements [`EquivGate`] and plugs in here.
+//! The blanket impl for closures lets tests gate with a brute-force
+//! evaluator.
+//!
+//! # Examples
+//!
+//! ```
+//! use nvpim_logic::{circuits, opt, CircuitBuilder};
+//!
+//! let mut b = CircuitBuilder::new();
+//! let (x, y) = (b.inputs(4), b.inputs(4));
+//! let sum = circuits::ripple_carry_add(&mut b, &x, &y);
+//! b.mark_outputs(&sum);
+//! let seed = b.build();
+//!
+//! // Gate pass outputs with an exhaustive evaluator (8 input bits here).
+//! let manager = opt::PassManager::new(&opt::exhaustive_eval_gate);
+//! let outcome = manager.run(&seed);
+//! assert!(outcome.optimized.stats().cell_writes() < seed.stats().cell_writes());
+//! ```
+
+mod passes;
+mod rebuild;
+
+pub use passes::{
+    default_pipeline, CommonSubexpr, ConstantFold, CopyProp, DeadGateElim, MagicRewrite,
+};
+
+use std::fmt;
+
+use crate::Circuit;
+
+/// A concrete input assignment on which two circuits diverge.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Counterexample {
+    /// Values of every declared input bit, in declaration (LSB-first) order.
+    pub inputs: Vec<bool>,
+    /// Position (in output-declaration order) of the diverging output.
+    pub output: usize,
+    /// What the reference circuit computes on these inputs.
+    pub expected: bool,
+    /// What the candidate circuit computes instead.
+    pub got: bool,
+}
+
+impl Counterexample {
+    /// The input assignment as a binary string with bit 0 rightmost.
+    #[must_use]
+    pub fn inputs_binary(&self) -> String {
+        self.inputs.iter().rev().map(|&b| if b { '1' } else { '0' }).collect()
+    }
+}
+
+impl fmt::Display for Counterexample {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "output #{} diverges on inputs 0b{} (bit 0 rightmost): expected {}, got {}",
+            self.output,
+            self.inputs_binary(),
+            u8::from(self.expected),
+            u8::from(self.got)
+        )
+    }
+}
+
+/// Why an equivalence gate refused a candidate circuit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EquivFailure {
+    /// The candidate does not even present the same interface (input or
+    /// output counts differ), so no functional comparison is possible.
+    Interface {
+        /// Human-readable description of the mismatch.
+        detail: String,
+    },
+    /// The candidate computes a different function, witnessed concretely.
+    NotEquivalent(Counterexample),
+}
+
+impl fmt::Display for EquivFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EquivFailure::Interface { detail } => write!(f, "interface mismatch: {detail}"),
+            EquivFailure::NotEquivalent(cex) => write!(f, "not equivalent: {cex}"),
+        }
+    }
+}
+
+/// The mandatory gate between optimization passes: proves (or refutes) that
+/// a candidate circuit computes the same function as a reference.
+///
+/// Implemented by `nvpim-check`'s formal equivalence checker; also by any
+/// `Fn(&Circuit, &Circuit) -> Result<(), EquivFailure>` closure, which keeps
+/// this crate's own tests self-contained.
+pub trait EquivGate {
+    /// Returns `Ok(())` when `candidate` provably (or, for falsification-only
+    /// gates, plausibly) computes the same function as `reference`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`EquivFailure`] describing the interface mismatch or a
+    /// concrete counterexample when the circuits differ.
+    fn prove(&self, reference: &Circuit, candidate: &Circuit) -> Result<(), EquivFailure>;
+}
+
+impl<F> EquivGate for F
+where
+    F: Fn(&Circuit, &Circuit) -> Result<(), EquivFailure>,
+{
+    fn prove(&self, reference: &Circuit, candidate: &Circuit) -> Result<(), EquivFailure> {
+        self(reference, candidate)
+    }
+}
+
+/// An exhaustive brute-force [`EquivGate`] for small circuits: evaluates
+/// both circuits on every input assignment (panics above 20 input bits —
+/// use the formal checker in `nvpim-check` for real workloads).
+///
+/// # Errors
+///
+/// Returns the first [`EquivFailure`] found.
+pub fn exhaustive_eval_gate(reference: &Circuit, candidate: &Circuit) -> Result<(), EquivFailure> {
+    let n = reference.input_bits().len();
+    if candidate.input_bits().len() != n {
+        return Err(EquivFailure::Interface {
+            detail: format!(
+                "candidate declares {} input bits, reference {n}",
+                candidate.input_bits().len()
+            ),
+        });
+    }
+    if candidate.output_bits().len() != reference.output_bits().len() {
+        return Err(EquivFailure::Interface {
+            detail: format!(
+                "candidate declares {} outputs, reference {}",
+                candidate.output_bits().len(),
+                reference.output_bits().len()
+            ),
+        });
+    }
+    assert!(n <= 20, "exhaustive_eval_gate is for small circuits ({n} input bits)");
+    for assignment in 0u64..(1u64 << n) {
+        let inputs: Vec<bool> = (0..n).map(|i| (assignment >> i) & 1 == 1).collect();
+        let want = reference.eval(std::slice::from_ref(&inputs)).expect("reference eval");
+        let got = candidate.eval(std::slice::from_ref(&inputs)).expect("candidate eval");
+        if let Some(output) = (0..want.len()).find(|&i| want[i] != got[i]) {
+            return Err(EquivFailure::NotEquivalent(Counterexample {
+                inputs,
+                output,
+                expected: want[output],
+                got: got[output],
+            }));
+        }
+    }
+    Ok(())
+}
+
+/// One rewrite pass over a circuit.
+///
+/// A pass is a *pure function* from circuit to circuit: it must preserve the
+/// input/output interface (same declared input count and order, same output
+/// count and order) and is expected — but, crucially, never trusted — to
+/// preserve the computed function. The [`PassManager`] proves every changed
+/// output through its [`EquivGate`] before adopting it.
+pub trait OptPass {
+    /// Short stable name (`const-fold`, `dce`, ...), used in reports.
+    fn name(&self) -> &'static str;
+
+    /// One-line description of the rewrite.
+    fn description(&self) -> &'static str;
+
+    /// Rewrites `circuit`, returning the (possibly identical) result.
+    fn run(&self, circuit: &Circuit) -> Circuit;
+}
+
+/// What happened to one pass application.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PassStatus {
+    /// The pass changed the circuit and the gate proved the change sound.
+    Accepted,
+    /// The pass returned a structurally identical circuit (identity needs
+    /// no proof).
+    NoChange,
+    /// The gate refuted the pass output; the change was discarded and the
+    /// pipeline continued from the last proven circuit.
+    Rejected(EquivFailure),
+}
+
+/// Record of one pass application inside a [`PassManager`] run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PassApplication {
+    /// The pass that ran.
+    pub pass: &'static str,
+    /// 1-based pipeline round.
+    pub round: usize,
+    /// Cell writes of the circuit the pass received.
+    pub writes_before: u64,
+    /// Cell writes of the circuit the pass proposed.
+    pub writes_after: u64,
+    /// Whether the proposal was adopted.
+    pub status: PassStatus,
+}
+
+/// Result of a full [`PassManager`] run.
+#[derive(Debug, Clone)]
+pub struct OptOutcome {
+    /// The final circuit — always provably equivalent to the input, since
+    /// only gated changes were adopted.
+    pub optimized: Circuit,
+    /// Rounds executed before the pipeline reached a fixpoint (or the
+    /// round cap).
+    pub rounds: usize,
+    /// Every pass application, in execution order.
+    pub applications: Vec<PassApplication>,
+}
+
+impl OptOutcome {
+    /// Total cell writes removed by accepted applications.
+    #[must_use]
+    pub fn writes_saved(&self) -> u64 {
+        self.applications
+            .iter()
+            .filter(|a| a.status == PassStatus::Accepted)
+            .map(|a| a.writes_before.saturating_sub(a.writes_after))
+            .sum()
+    }
+
+    /// Applications the gate rejected (empty for sound passes).
+    #[must_use]
+    pub fn rejections(&self) -> Vec<&PassApplication> {
+        self.applications.iter().filter(|a| matches!(a.status, PassStatus::Rejected(_))).collect()
+    }
+}
+
+/// Runs a pipeline of [`OptPass`]es with an [`EquivGate`] between every
+/// pass.
+///
+/// There is deliberately no way to construct a `PassManager` without a
+/// gate: an unproven rewrite of a wear netlist would silently corrupt every
+/// downstream lifetime number.
+pub struct PassManager<'g> {
+    gate: &'g dyn EquivGate,
+    passes: Vec<Box<dyn OptPass>>,
+    max_rounds: usize,
+}
+
+impl<'g> PassManager<'g> {
+    /// A manager running [`default_pipeline`] under `gate`.
+    #[must_use]
+    pub fn new(gate: &'g dyn EquivGate) -> Self {
+        PassManager { gate, passes: default_pipeline(), max_rounds: 4 }
+    }
+
+    /// A manager running a custom pipeline under `gate`.
+    #[must_use]
+    pub fn with_passes(gate: &'g dyn EquivGate, passes: Vec<Box<dyn OptPass>>) -> Self {
+        PassManager { gate, passes, max_rounds: 4 }
+    }
+
+    /// Caps pipeline rounds (default 4). Each round runs every pass once;
+    /// the loop stops early when a round changes nothing.
+    #[must_use]
+    pub fn with_max_rounds(mut self, rounds: usize) -> Self {
+        self.max_rounds = rounds.max(1);
+        self
+    }
+
+    /// The configured pipeline, in execution order.
+    #[must_use]
+    pub fn passes(&self) -> &[Box<dyn OptPass>] {
+        &self.passes
+    }
+
+    /// Optimizes `seed`, proving every adopted change through the gate.
+    ///
+    /// A rejected pass leaves the pipeline on the last proven circuit; the
+    /// rejection (with its counterexample) is recorded in the outcome's
+    /// [`PassApplication`] list rather than aborting the run.
+    #[must_use]
+    pub fn run(&self, seed: &Circuit) -> OptOutcome {
+        let mut current = seed.clone();
+        let mut applications = Vec::new();
+        let mut rounds = 0;
+        for round in 1..=self.max_rounds {
+            rounds = round;
+            let mut changed = false;
+            for pass in &self.passes {
+                let writes_before = current.stats().cell_writes();
+                let candidate = pass.run(&current);
+                let writes_after = candidate.stats().cell_writes();
+                let status = if same_structure(&current, &candidate) {
+                    PassStatus::NoChange
+                } else {
+                    match self.gate.prove(&current, &candidate) {
+                        Ok(()) => {
+                            current = candidate;
+                            changed = true;
+                            PassStatus::Accepted
+                        }
+                        Err(failure) => PassStatus::Rejected(failure),
+                    }
+                };
+                applications.push(PassApplication {
+                    pass: pass.name(),
+                    round,
+                    writes_before,
+                    writes_after,
+                    status,
+                });
+            }
+            if !changed {
+                break;
+            }
+        }
+        OptOutcome { optimized: current, rounds, applications }
+    }
+}
+
+/// Whether two circuits are the same object graph (same gates, bits,
+/// interface) — rebuilt circuits are compactly renumbered, so an identity
+/// pass reproduces its input exactly.
+fn same_structure(a: &Circuit, b: &Circuit) -> bool {
+    a.num_bits() == b.num_bits()
+        && a.gates() == b.gates()
+        && a.input_bits() == b.input_bits()
+        && a.constant_bits() == b.constant_bits()
+        && a.output_bits() == b.output_bits()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{circuits, counts, words, CircuitBuilder, GateKind};
+
+    fn adder(w: usize) -> Circuit {
+        let mut b = CircuitBuilder::new();
+        let (x, y) = (b.inputs(w), b.inputs(w));
+        let sum = circuits::ripple_carry_add(&mut b, &x, &y);
+        b.mark_outputs(&sum);
+        b.build()
+    }
+
+    fn multiplier(w: usize) -> Circuit {
+        let mut b = CircuitBuilder::new();
+        let (x, y) = (b.inputs(w), b.inputs(w));
+        let prod = circuits::multiply(&mut b, &x, &y);
+        b.mark_outputs(&prod);
+        b.build()
+    }
+
+    #[test]
+    fn adder_optimizes_to_ideal_two_input_count() {
+        for w in 1..=6usize {
+            let seed = adder(w);
+            let outcome = PassManager::new(&exhaustive_eval_gate).run(&seed);
+            assert!(outcome.rejections().is_empty());
+            assert_eq!(
+                outcome.optimized.stats().cell_writes(),
+                counts::add_gates_ideal(w as u64),
+                "adder(w={w})"
+            );
+        }
+    }
+
+    #[test]
+    fn multiplier_optimizes_to_ideal_two_input_count() {
+        for w in 2..=4usize {
+            let seed = multiplier(w);
+            let outcome = PassManager::new(&exhaustive_eval_gate).run(&seed);
+            assert_eq!(
+                outcome.optimized.stats().cell_writes(),
+                counts::mul_gates_ideal(w as u64),
+                "multiply(w={w})"
+            );
+        }
+    }
+
+    #[test]
+    fn optimized_multiplier_still_multiplies() {
+        let seed = multiplier(4);
+        let opt = PassManager::new(&exhaustive_eval_gate).run(&seed).optimized;
+        for x in 0..16u64 {
+            for y in 0..16u64 {
+                let out = opt.eval(&[words::to_bits(x, 4), words::to_bits(y, 4)]).unwrap();
+                assert_eq!(words::from_bits(&out), x * y, "{x}*{y}");
+            }
+        }
+    }
+
+    #[test]
+    fn copy_word_collapses_to_aliases() {
+        let mut b = CircuitBuilder::new();
+        let x = b.inputs(8);
+        let c = circuits::copy_word(&mut b, &x);
+        b.mark_outputs(&c);
+        let seed = b.build();
+        let outcome = PassManager::new(&exhaustive_eval_gate).run(&seed);
+        // COPY is pure data movement; as computation it is the identity.
+        assert_eq!(outcome.optimized.stats().cell_writes(), 0);
+        assert_eq!(outcome.optimized.output_bits(), outcome.optimized.input_bits());
+    }
+
+    #[test]
+    fn constant_operands_fold_away() {
+        let mut b = CircuitBuilder::new();
+        let x = b.input();
+        let one = b.constant(true);
+        let zero = b.constant(false);
+        let a = b.gate2(GateKind::And, x, one); // = x
+        let o = b.gate2(GateKind::Or, a, zero); // = x
+        let n = b.gate2(GateKind::Xor, o, one); // = !x
+        b.mark_output(n);
+        let seed = b.build();
+        let outcome = PassManager::new(&exhaustive_eval_gate).run(&seed);
+        assert_eq!(outcome.optimized.stats().cell_writes(), 1);
+        assert_eq!(outcome.optimized.gates()[0].kind(), GateKind::Not);
+        assert!(outcome.optimized.constant_bits().is_empty());
+    }
+
+    #[test]
+    fn unsound_pass_is_rejected_with_counterexample() {
+        /// Deliberately miscompiles: rewires every output to the first one.
+        struct BreakOutputs;
+        impl OptPass for BreakOutputs {
+            fn name(&self) -> &'static str {
+                "break-outputs"
+            }
+            fn description(&self) -> &'static str {
+                "test-only unsound pass"
+            }
+            fn run(&self, circuit: &Circuit) -> Circuit {
+                let outs = circuit.output_bits();
+                let first = outs[0];
+                Circuit::from_parts(
+                    circuit.gates().to_vec(),
+                    circuit.num_bits(),
+                    circuit.input_bits().to_vec(),
+                    circuit.constant_bits().to_vec(),
+                    vec![first; outs.len()],
+                )
+            }
+        }
+
+        let seed = adder(3);
+        let manager = PassManager::with_passes(&exhaustive_eval_gate, vec![Box::new(BreakOutputs)]);
+        let outcome = manager.run(&seed);
+        let rejections = outcome.rejections();
+        assert_eq!(rejections.len(), 1);
+        match &rejections[0].status {
+            PassStatus::Rejected(EquivFailure::NotEquivalent(cex)) => {
+                assert!(cex.output > 0, "only non-first outputs can diverge");
+                assert_eq!(cex.inputs.len(), 6);
+            }
+            other => panic!("expected a counterexample rejection, got {other:?}"),
+        }
+        // The unsound proposal was discarded: the outcome is the seed.
+        assert!(same_structure(&outcome.optimized, &seed));
+    }
+
+    #[test]
+    fn per_pass_savings_sum_to_total() {
+        let seed = multiplier(3);
+        let outcome = PassManager::new(&exhaustive_eval_gate).run(&seed);
+        let total = seed.stats().cell_writes() - outcome.optimized.stats().cell_writes();
+        assert_eq!(outcome.writes_saved(), total);
+        assert!(outcome.rounds >= 2, "fixpoint needs a confirming round");
+    }
+
+    #[test]
+    fn double_negation_and_copies_are_eliminated() {
+        let mut b = CircuitBuilder::new();
+        let x = b.input();
+        let n1 = b.gate1(GateKind::Not, x);
+        let n2 = b.gate1(GateKind::Not, n1);
+        let c = b.gate1(GateKind::Copy, n2);
+        b.mark_output(c);
+        let seed = b.build();
+        let outcome = PassManager::new(&exhaustive_eval_gate).run(&seed);
+        assert_eq!(outcome.optimized.stats().cell_writes(), 0);
+        assert_eq!(outcome.optimized.output_bits(), outcome.optimized.input_bits());
+    }
+
+    #[test]
+    fn counterexample_renders_binary_lsb_right() {
+        let cex = Counterexample {
+            inputs: vec![true, false, true, false],
+            output: 2,
+            expected: true,
+            got: false,
+        };
+        assert_eq!(cex.inputs_binary(), "0101");
+        let s = cex.to_string();
+        assert!(s.contains("output #2"), "{s}");
+        assert!(s.contains("0b0101"), "{s}");
+    }
+
+    #[test]
+    fn interface_violations_are_refused() {
+        let seed = adder(2);
+        let narrower = adder(1);
+        let err = exhaustive_eval_gate(&seed, &narrower).unwrap_err();
+        assert!(matches!(err, EquivFailure::Interface { .. }), "{err}");
+    }
+
+    #[test]
+    fn optimized_gates_stay_within_two_input_alphabet() {
+        // MAGIC rewrites may only introduce gates the lane can execute.
+        let seed = multiplier(4);
+        let opt = PassManager::new(&exhaustive_eval_gate).run(&seed).optimized;
+        for g in opt.gates() {
+            assert!(g.kind().arity() <= 2);
+        }
+    }
+}

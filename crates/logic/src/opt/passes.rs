@@ -1,0 +1,365 @@
+//! The built-in optimization passes.
+//!
+//! Each pass is one linear walk over the source gates through a
+//! [`Rebuilder`]; none of them is trusted — the [`crate::opt::PassManager`]
+//! proves every changed output through its equivalence gate before adopting
+//! it.
+
+use std::collections::HashMap;
+
+use super::rebuild::Rebuilder;
+use super::OptPass;
+use crate::{BitId, Circuit, Gate, GateKind};
+
+/// The standard pipeline, in execution order.
+///
+/// MAGIC rewrites run first so constant folding sees native XOR/AND gates
+/// (a NAND-motif XOR against a constant carry-in only simplifies once it
+/// *is* an XOR); common-subexpression sharing then merges the duplicates
+/// folding exposes, and dead-gate elimination sweeps the orphaned motif
+/// internals. The manager iterates the pipeline to a fixpoint.
+#[must_use]
+pub fn default_pipeline() -> Vec<Box<dyn OptPass>> {
+    vec![
+        Box::new(MagicRewrite),
+        Box::new(ConstantFold),
+        Box::new(CopyProp),
+        Box::new(CommonSubexpr),
+        Box::new(DeadGateElim),
+    ]
+}
+
+/// Propagates constant bits through gates.
+///
+/// Gates whose operands are all known become constants themselves (no gate,
+/// no write); gates with one known operand degrade to an alias (`AND x 1`),
+/// a `NOT` (`NAND x 1`), or a constant (`AND x 0`). Same-operand binaries
+/// (`XOR x x`) fold too.
+pub struct ConstantFold;
+
+impl OptPass for ConstantFold {
+    fn name(&self) -> &'static str {
+        "const-fold"
+    }
+
+    fn description(&self) -> &'static str {
+        "folds gates with constant or duplicate operands into constants, aliases, or NOTs"
+    }
+
+    fn run(&self, circuit: &Circuit) -> Circuit {
+        let mut rb = Rebuilder::new(circuit);
+        for g in circuit.gates() {
+            let a = g.input_a();
+            let Some(b) = g.input_b() else {
+                match rb.const_value(a) {
+                    Some(v) => rb.fold_to_const(g.output(), g.kind().apply(v, v)),
+                    None => rb.emit_as_is(g),
+                }
+                continue;
+            };
+            match (rb.const_value(a), rb.const_value(b)) {
+                (Some(va), Some(vb)) => rb.fold_to_const(g.output(), g.kind().apply(va, vb)),
+                (Some(v), None) => fold_one_const(&mut rb, g, b, v),
+                (None, Some(v)) => fold_one_const(&mut rb, g, a, v),
+                (None, None) if a == b => fold_same_operand(&mut rb, g, a),
+                (None, None) => rb.emit_as_is(g),
+            }
+        }
+        rb.finish()
+    }
+}
+
+/// Simplifies a binary gate with one constant operand `v`; `other` is the
+/// variable operand.
+fn fold_one_const(rb: &mut Rebuilder<'_>, g: &Gate, other: BitId, v: bool) {
+    use GateKind::{And, Nand, Nor, Or, Xnor, Xor};
+    let out = g.output();
+    match (g.kind(), v) {
+        // Identity element: the gate is a wire.
+        (And | Xnor, true) | (Or | Xor, false) => {
+            let n = rb.use_bit(other);
+            rb.alias(out, n);
+        }
+        // Absorbing element: the gate is a constant.
+        (And, false) | (Nor, true) => rb.fold_to_const(out, false),
+        (Or, true) | (Nand, false) => rb.fold_to_const(out, true),
+        // The remaining pairs negate the variable operand.
+        (Nand, true) | (Nor, false) | (Xor, true) | (Xnor, false) => {
+            rb.emit1(GateKind::Not, other, out);
+        }
+        (GateKind::Not | GateKind::Copy, _) => unreachable!("unary gates have one operand"),
+    }
+}
+
+/// Simplifies a binary gate whose operands are the same bit.
+fn fold_same_operand(rb: &mut Rebuilder<'_>, g: &Gate, a: BitId) {
+    use GateKind::{And, Nand, Nor, Or, Xnor, Xor};
+    let out = g.output();
+    match g.kind() {
+        And | Or => {
+            let n = rb.use_bit(a);
+            rb.alias(out, n);
+        }
+        Xor => rb.fold_to_const(out, false),
+        Xnor => rb.fold_to_const(out, true),
+        Nand | Nor => rb.emit1(GateKind::Not, a, out),
+        GateKind::Not | GateKind::Copy => unreachable!("unary gates have one operand"),
+    }
+}
+
+/// Eliminates `COPY` gates and collapses double negations.
+///
+/// `COPY` is pure data movement — as computation it is the identity, so its
+/// output aliases its input. `NOT(NOT(x))` aliases `x`; the inner `NOT`
+/// stays until dead-gate elimination decides whether anything else reads it.
+pub struct CopyProp;
+
+impl OptPass for CopyProp {
+    fn name(&self) -> &'static str {
+        "copy-prop"
+    }
+
+    fn description(&self) -> &'static str {
+        "aliases COPY outputs to their sources and collapses double negations"
+    }
+
+    fn run(&self, circuit: &Circuit) -> Circuit {
+        let mut rb = Rebuilder::new(circuit);
+        // New NOT output → the new bit it negates.
+        let mut negation_of: HashMap<BitId, BitId> = HashMap::new();
+        for g in circuit.gates() {
+            match g.kind() {
+                GateKind::Copy => {
+                    let n = rb.use_bit(g.input_a());
+                    rb.alias(g.output(), n);
+                }
+                GateKind::Not => {
+                    let a = rb.use_bit(g.input_a());
+                    if let Some(&source) = negation_of.get(&a) {
+                        rb.alias(g.output(), source);
+                    } else {
+                        rb.emit1(GateKind::Not, g.input_a(), g.output());
+                        let out = rb.use_bit(g.output());
+                        negation_of.insert(out, a);
+                    }
+                }
+                _ => rb.emit_as_is(g),
+            }
+        }
+        rb.finish()
+    }
+}
+
+/// Shares structurally identical gates.
+///
+/// Two gates with the same kind and the same (resolved) operands compute
+/// the same bit; the second one aliases the first. All six binary kinds in
+/// the alphabet are commutative, so operands are order-normalized in the
+/// structural key.
+pub struct CommonSubexpr;
+
+impl OptPass for CommonSubexpr {
+    fn name(&self) -> &'static str {
+        "cse"
+    }
+
+    fn description(&self) -> &'static str {
+        "shares structurally identical gates via hashed (kind, operands) keys"
+    }
+
+    fn run(&self, circuit: &Circuit) -> Circuit {
+        let mut rb = Rebuilder::new(circuit);
+        let mut seen: HashMap<(GateKind, BitId, BitId), BitId> = HashMap::new();
+        for g in circuit.gates() {
+            let a = rb.use_bit(g.input_a());
+            let key = match g.input_b() {
+                Some(b) => {
+                    let b = rb.use_bit(b);
+                    // Every binary kind here is commutative.
+                    if b < a {
+                        (g.kind(), b, a)
+                    } else {
+                        (g.kind(), a, b)
+                    }
+                }
+                None => (g.kind(), a, a),
+            };
+            if let Some(&prev) = seen.get(&key) {
+                rb.alias(g.output(), prev);
+            } else {
+                rb.emit_as_is(g);
+                let out = rb.use_bit(g.output());
+                seen.insert(key, out);
+            }
+        }
+        rb.finish()
+    }
+}
+
+/// MAGIC-aware motif rewrites: collapses the NAND-scheme idioms of the
+/// paper's Fig. 2 circuits into single native gates, which is where the
+/// bulk of the `cell_writes()` reduction comes from.
+///
+/// - `NAND(NAND(x,n), NAND(y,n))` with `n = NAND(x,y)` → `XOR(x,y)`
+///   (the 4-NAND XOR inside every full/half adder);
+/// - `NOT(g(x,y))` → the complement kind (`NOT(NAND) → AND`, ...);
+/// - `NAND(x,x)` → `NOT(x)`;
+/// - De Morgan over doubly-negated operands
+///   (`NAND(NOT x, NOT y) → OR(x,y)`, ...).
+///
+/// The replaced motif internals go dead and are swept by [`DeadGateElim`].
+pub struct MagicRewrite;
+
+impl OptPass for MagicRewrite {
+    fn name(&self) -> &'static str {
+        "magic-rewrite"
+    }
+
+    fn description(&self) -> &'static str {
+        "collapses NAND motifs (XOR, complements, De Morgan) into single native gates"
+    }
+
+    fn run(&self, circuit: &Circuit) -> Circuit {
+        // Defining gate of each source bit, for motif matching.
+        let mut defs: Vec<Option<Gate>> = vec![None; circuit.num_bits() as usize];
+        for g in circuit.gates() {
+            defs[g.output().idx()] = Some(*g);
+        }
+
+        let mut rb = Rebuilder::new(circuit);
+        for g in circuit.gates() {
+            let out = g.output();
+            let a = g.input_a();
+            match g.input_b() {
+                None if g.kind() == GateKind::Not => match defs[a.idx()] {
+                    // NOT over a binary gate = the complement kind.
+                    Some(d) if d.kind().arity() == 2 => {
+                        rb.emit2(complement(d.kind()), d.input_a(), d.input_b().unwrap(), out);
+                    }
+                    _ => rb.emit_as_is(g),
+                },
+                Some(b) if g.kind() == GateKind::Nand && a == b => {
+                    rb.emit1(GateKind::Not, a, out);
+                }
+                Some(b) if g.kind() == GateKind::Nand => {
+                    if let Some((x, y)) = xor_motif(&defs, a, b) {
+                        rb.emit2(GateKind::Xor, x, y, out);
+                    } else if let Some((x, y)) = double_negated(&defs, a, b) {
+                        rb.emit2(GateKind::Or, x, y, out);
+                    } else {
+                        rb.emit_as_is(g);
+                    }
+                }
+                Some(b) => {
+                    if let Some((x, y)) = double_negated(&defs, a, b) {
+                        rb.emit2(de_morgan(g.kind()), x, y, out);
+                    } else {
+                        rb.emit_as_is(g);
+                    }
+                }
+                None => rb.emit_as_is(g),
+            }
+        }
+        rb.finish()
+    }
+}
+
+/// The kind computing the negation of `kind`'s output.
+fn complement(kind: GateKind) -> GateKind {
+    match kind {
+        GateKind::And => GateKind::Nand,
+        GateKind::Nand => GateKind::And,
+        GateKind::Or => GateKind::Nor,
+        GateKind::Nor => GateKind::Or,
+        GateKind::Xor => GateKind::Xnor,
+        GateKind::Xnor => GateKind::Xor,
+        GateKind::Not | GateKind::Copy => unreachable!("complement is for binary kinds"),
+    }
+}
+
+/// The kind `k'` with `k(¬x, ¬y) = k'(x, y)`.
+fn de_morgan(kind: GateKind) -> GateKind {
+    match kind {
+        GateKind::And => GateKind::Nor,
+        GateKind::Nand => GateKind::Or,
+        GateKind::Or => GateKind::Nand,
+        GateKind::Nor => GateKind::And,
+        // XOR/XNOR absorb double negation unchanged.
+        GateKind::Xor => GateKind::Xor,
+        GateKind::Xnor => GateKind::Xnor,
+        GateKind::Not | GateKind::Copy => unreachable!("De Morgan is for binary kinds"),
+    }
+}
+
+/// Matches `NAND(p, q)` as the tail of the 4-NAND XOR motif, returning the
+/// motif's source operands `(x, y)`.
+fn xor_motif(defs: &[Option<Gate>], p: BitId, q: BitId) -> Option<(BitId, BitId)> {
+    let dp = defs[p.idx()].filter(|d| d.kind() == GateKind::Nand)?;
+    let dq = defs[q.idx()].filter(|d| d.kind() == GateKind::Nand)?;
+    let (p1, p2) = (dp.input_a(), dp.input_b()?);
+    let (q1, q2) = (dq.input_a(), dq.input_b()?);
+    // One operand shared between p and q must itself be NAND(x, y), with the
+    // two non-shared operands being exactly {x, y}.
+    let candidates = [(p1, p2, q1, q2), (p1, p2, q2, q1), (p2, p1, q1, q2), (p2, p1, q2, q1)];
+    for (shared, other_p, shared_q, other_q) in candidates {
+        if shared != shared_q {
+            continue;
+        }
+        let Some(dn) = defs[shared.idx()].filter(|d| d.kind() == GateKind::Nand) else {
+            continue;
+        };
+        let (x, y) = (dn.input_a(), dn.input_b()?);
+        if (other_p, other_q) == (x, y) || (other_p, other_q) == (y, x) {
+            return Some((x, y));
+        }
+    }
+    None
+}
+
+/// Matches two operands that are both `NOT` outputs, returning their
+/// sources.
+fn double_negated(defs: &[Option<Gate>], a: BitId, b: BitId) -> Option<(BitId, BitId)> {
+    let da = defs[a.idx()].filter(|d| d.kind() == GateKind::Not)?;
+    let db = defs[b.idx()].filter(|d| d.kind() == GateKind::Not)?;
+    Some((da.input_a(), db.input_a()))
+}
+
+/// Removes gates whose outputs nothing reads and no output mark exposes.
+///
+/// Liveness is transitive: a gate feeding only dead gates is dead. Unread
+/// constants are dropped with their consumers (the rebuilder materializes
+/// constants lazily), and unread declared inputs survive — they are part of
+/// the circuit's interface.
+pub struct DeadGateElim;
+
+impl OptPass for DeadGateElim {
+    fn name(&self) -> &'static str {
+        "dce"
+    }
+
+    fn description(&self) -> &'static str {
+        "removes transitively dead gates and the constants only they read"
+    }
+
+    fn run(&self, circuit: &Circuit) -> Circuit {
+        let n = circuit.num_bits() as usize;
+        let mut live = vec![false; n];
+        for out in circuit.output_bits() {
+            live[out.idx()] = true;
+        }
+        for g in circuit.gates().iter().rev() {
+            if live[g.output().idx()] {
+                for operand in g.inputs() {
+                    live[operand.idx()] = true;
+                }
+            }
+        }
+        let mut rb = Rebuilder::new(circuit);
+        for g in circuit.gates() {
+            if live[g.output().idx()] {
+                rb.emit_as_is(g);
+            }
+        }
+        rb.finish()
+    }
+}

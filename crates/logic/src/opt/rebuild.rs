@@ -1,0 +1,103 @@
+//! Streaming circuit reconstruction shared by every optimization pass.
+//!
+//! A pass walks the source circuit's gates in execution order and, per
+//! gate, either re-emits it (with remapped operands), redirects its output
+//! bit to an existing value, or folds it to a constant. The rebuilder owns
+//! the bookkeeping: declared inputs are reproduced up front so the external
+//! interface survives verbatim, constants materialize lazily (so folded-away
+//! constants never leak an allocation), and the rebuilt circuit gets fresh
+//! compact [`BitId`]s — the SSA/liveness invariants `nvpim-check` enforces
+//! hold by construction.
+
+use crate::{BitId, Circuit, CircuitBuilder, Gate, GateKind};
+
+/// Rebuilds a circuit gate-by-gate under a pass's direction.
+pub(crate) struct Rebuilder<'c> {
+    src: &'c Circuit,
+    builder: CircuitBuilder,
+    /// Old bit → materialized new bit.
+    map: Vec<Option<BitId>>,
+    /// Old bit → known constant value (declared constants plus folded gates);
+    /// allocated in the new circuit only when something reads it.
+    known: Vec<Option<bool>>,
+}
+
+impl<'c> Rebuilder<'c> {
+    /// Starts a rebuild: declares every source input (in order) so the
+    /// interface is preserved even if an input ends up unread.
+    pub fn new(src: &'c Circuit) -> Self {
+        let n = src.num_bits() as usize;
+        let mut builder = CircuitBuilder::new();
+        let mut map = vec![None; n];
+        let mut known = vec![None; n];
+        for &bit in src.input_bits() {
+            map[bit.idx()] = Some(builder.input());
+        }
+        for &(bit, value) in src.constant_bits() {
+            known[bit.idx()] = Some(value);
+        }
+        Rebuilder { src, builder, map, known }
+    }
+
+    /// The known constant value of old bit `old`, if any.
+    pub fn const_value(&self, old: BitId) -> Option<bool> {
+        self.known[old.idx()]
+    }
+
+    /// Declares that old bit `old` computes the constant `value`. No cell is
+    /// allocated unless a later gate (or an output mark) reads the bit.
+    pub fn fold_to_const(&mut self, old: BitId, value: bool) {
+        self.known[old.idx()] = Some(value);
+    }
+
+    /// Redirects every future use of old bit `old` to the new bit `to`.
+    pub fn alias(&mut self, old: BitId, to: BitId) {
+        self.map[old.idx()] = Some(to);
+    }
+
+    /// The new bit carrying old bit `old`'s value, materializing a constant
+    /// cell on first use. Panics if the pass reads a bit it never defined —
+    /// that is a pass bug, not a circuit defect.
+    pub fn use_bit(&mut self, old: BitId) -> BitId {
+        if let Some(bit) = self.map[old.idx()] {
+            return bit;
+        }
+        let value = self.known[old.idx()]
+            .unwrap_or_else(|| panic!("rebuild reads {old} before it is defined"));
+        let bit = self.builder.constant(value);
+        self.map[old.idx()] = Some(bit);
+        bit
+    }
+
+    /// Emits a one-input gate computing old bit `out`.
+    pub fn emit1(&mut self, kind: GateKind, a: BitId, out: BitId) {
+        let a = self.use_bit(a);
+        let new = self.builder.gate1(kind, a);
+        self.map[out.idx()] = Some(new);
+    }
+
+    /// Emits a two-input gate computing old bit `out`.
+    pub fn emit2(&mut self, kind: GateKind, a: BitId, b: BitId, out: BitId) {
+        let a = self.use_bit(a);
+        let b = self.use_bit(b);
+        let new = self.builder.gate2(kind, a, b);
+        self.map[out.idx()] = Some(new);
+    }
+
+    /// Re-emits `gate` unchanged (operands remapped).
+    pub fn emit_as_is(&mut self, gate: &Gate) {
+        match gate.input_b() {
+            Some(b) => self.emit2(gate.kind(), gate.input_a(), b, gate.output()),
+            None => self.emit1(gate.kind(), gate.input_a(), gate.output()),
+        }
+    }
+
+    /// Marks the source outputs (in order) and finalizes the circuit.
+    pub fn finish(mut self) -> Circuit {
+        for old in self.src.output_bits().to_vec() {
+            let bit = self.use_bit(old);
+            self.builder.mark_output(bit);
+        }
+        self.builder.build()
+    }
+}

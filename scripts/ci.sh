@@ -76,14 +76,21 @@ for example in quickstart custom_workload lifetime_explorer observed_run \
 done
 echo "ci: examples smoke-tested"
 
-# Static verification: nvpim-lint runs the netlist, mapping, and
-# conservation passes over every circuit builder and balancing strategy;
-# any finding exits nonzero and fails the gate. The check crate itself is
-# held to pedantic clippy (scoped via its [lints] table — a command-line
-# -W clippy::pedantic would leak into every compat/ path dependency) on
-# top of the workspace-wide -D warnings.
+# Static verification: nvpim-lint runs the netlist, equivalence,
+# mapping, and conservation passes over every circuit builder and
+# balancing strategy; any finding exits nonzero and fails the gate. The
+# check crate itself is held to pedantic clippy (scoped via its [lints]
+# table — a command-line -W clippy::pedantic would leak into every
+# compat/ path dependency) on top of the workspace-wide -D warnings.
 cargo run --release --offline -q -p nvpim-check --bin nvpim-lint -- --quiet
 cargo clippy --offline -p nvpim-check --all-targets -- -D warnings
+
+# Equivalence stage at full paper width range: every library circuit at
+# widths 1..16 is optimized through the gated pass pipeline and formally
+# proven equivalent to its seed netlist; the writes-per-op table is the
+# visible artifact (seed vs optimized cell writes, proof method used).
+cargo run --release --offline -q -p nvpim-check --bin nvpim-lint -- \
+    --equiv --opt --widths 1,2,3,4,5,6,7,8,9,10,11,12,13,14,15,16 --quiet
 
 # Best-effort: miri the exec crate's scoped-thread pool for UB when a
 # nightly toolchain with miri is installed; skip gracefully otherwise
