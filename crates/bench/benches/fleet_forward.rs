@@ -1,0 +1,154 @@
+//! Cost of the three fleet answer paths, measured over real sockets.
+//!
+//! A three-member in-process fleet serves one cached entry three ways:
+//! `local_hit` asks the owner directly (zero hops — the single-node
+//! baseline), `forwarded_hit` asks a non-owner that proxies one hop to the
+//! owner, and `replica_hit` asks after the owner is shut down, so the
+//! answer comes from the hot-entry replica on the ring successor (the
+//! breaker short-circuits the dead owner once it opens). The gaps bound
+//! what sharding costs over a local hit and what failover costs over a
+//! forward. `scripts/bench.sh` records the medians into `BENCH_serve.json`.
+
+use std::net::TcpListener;
+use std::str::FromStr as _;
+use std::time::{Duration, Instant};
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nvpim_serve::{Client, FleetConfig, HashRing, Server, ServerConfig, ServerHandle, SimRequest};
+use std::hint::black_box;
+
+struct Member {
+    addr: String,
+    handle: ServerHandle,
+    client: Client,
+}
+
+/// Reserves `n` distinct ephemeral addresses by binding and dropping
+/// listeners — free again when the servers claim them moments later.
+fn reserve_addrs(n: usize) -> Vec<String> {
+    let held: Vec<TcpListener> =
+        (0..n).map(|_| TcpListener::bind("127.0.0.1:0").expect("bind ephemeral")).collect();
+    held.iter().map(|l| l.local_addr().unwrap().to_string()).collect()
+}
+
+fn start_fleet(addrs: &[String]) -> Vec<Member> {
+    addrs
+        .iter()
+        .enumerate()
+        .map(|(i, addr)| {
+            let peers: Vec<String> =
+                addrs.iter().enumerate().filter(|&(j, _)| j != i).map(|(_, a)| a.clone()).collect();
+            let mut fleet = FleetConfig::new(addr.clone(), peers);
+            fleet.gossip_interval_ms = 100;
+            fleet.peer_timeout_ms = 1000;
+            fleet.hot_threshold = 2;
+            fleet.replicas = 1;
+            let config =
+                ServerConfig { addr: addr.clone(), fleet: Some(fleet), ..ServerConfig::default() };
+            let handle = Server::start(config).expect("fleet member starts");
+            let client = Client::new(handle.addr());
+            Member { addr: addr.clone(), handle, client }
+        })
+        .collect()
+}
+
+fn small_request(seed: u64) -> String {
+    format!(
+        r#"{{"workload": {{"kind": "mul", "rows": 128, "lanes": 8}}, "iterations": 20, "seed": {seed}}}"#
+    )
+}
+
+fn wait_until(timeout: Duration, mut condition: impl FnMut() -> bool) -> bool {
+    let deadline = Instant::now() + timeout;
+    while Instant::now() < deadline {
+        if condition() {
+            return true;
+        }
+        std::thread::sleep(Duration::from_millis(25));
+    }
+    false
+}
+
+fn bench_fleet_forward(c: &mut Criterion) {
+    let addrs = reserve_addrs(3);
+    // Pin the measured request to a known layout on this run's ring:
+    // owned by member 0, replicated to member 1, so member 2 is a pure
+    // forwarder for it.
+    let ring = HashRing::new(&addrs, nvpim_serve::ring::DEFAULT_VNODES);
+    let (body, _key) = (0..50_000u64)
+        .map(|seed| {
+            let body = small_request(seed);
+            let key = SimRequest::from_str(&body).expect("valid request").cache_key();
+            (body, key)
+        })
+        .find(|(_, key)| {
+            ring.owner_of(*key) == addrs[0] && ring.successors_of(*key, 1) == [addrs[1].clone()]
+        })
+        .expect("a seed maps to the wanted layout");
+
+    let mut members = start_fleet(&addrs).into_iter();
+    let (owner, replica, forwarder) =
+        (members.next().unwrap(), members.next().unwrap(), members.next().unwrap());
+    // Warm the owner's cache, then cross the hot threshold so the entry
+    // replicates to member 1; measuring starts once the replica landed.
+    for _ in 0..3 {
+        let reply = owner.client.post_json("/simulate", &body).expect("warm-up");
+        assert_eq!(reply.status, 200);
+    }
+    assert!(
+        wait_until(Duration::from_secs(5), || {
+            let doc = replica.client.get("/fleet").unwrap().json().unwrap();
+            doc.get("counters")
+                .and_then(|c| c.get("replica_received"))
+                .and_then(nvpim_obs::Json::as_u64)
+                .unwrap_or(0)
+                >= 1
+        }),
+        "hot entry replicates to the ring successor"
+    );
+
+    let mut group = c.benchmark_group("fleet");
+    group.sample_size(10);
+
+    group.bench_function("local_hit", |b| {
+        b.iter(|| {
+            let reply = owner.client.post_json("/simulate", &body).expect("owner answers");
+            assert_eq!(reply.header("x-cache"), Some("hit"));
+            assert_eq!(reply.header("x-fleet-hops"), Some("0"));
+            black_box(reply.body.len())
+        });
+    });
+
+    group.bench_function("forwarded_hit", |b| {
+        b.iter(|| {
+            let reply = forwarder.client.post_json("/simulate", &body).expect("forwarder answers");
+            assert_eq!(reply.header("x-cache"), Some("hit"));
+            assert_eq!(reply.header("x-fleet-hops"), Some("1"));
+            black_box(reply.body.len())
+        });
+    });
+
+    // Kill the owner; the forwarder's requests now fail over to the
+    // replica. The first few calls pay the dead-owner connect attempt,
+    // then the breaker opens and short-circuits it — the steady state a
+    // degraded fleet actually runs in.
+    owner.handle.request_shutdown();
+    owner.handle.join();
+    group.bench_function("replica_hit", |b| {
+        b.iter(|| {
+            let reply = forwarder.client.post_json("/simulate", &body).expect("replica answers");
+            assert_eq!(reply.header("x-cache"), Some("hit"));
+            assert_eq!(reply.header("x-fleet-replica"), Some(replica.addr.as_str()));
+            black_box(reply.body.len())
+        });
+    });
+    group.finish();
+
+    for member in [replica, forwarder] {
+        member.handle.request_shutdown();
+        member.handle.join();
+    }
+}
+
+criterion_group!(benches, bench_fleet_forward);
+criterion_main!(benches);

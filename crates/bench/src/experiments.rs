@@ -278,21 +278,39 @@ pub fn fig17_data(workload: &Workload, scale: Scale) -> Vec<(BalanceConfig, f64)
 /// Fig. 17: lifetime improvement bars for all three benchmarks.
 #[must_use]
 pub fn fig17_report(scale: Scale) -> String {
-    let mut out =
-        format!("== Fig. 17: lifetime improvement vs StxSt ({} iterations) ==\n", scale.iterations);
     let workloads = scale.all_workloads();
     let data: Vec<Vec<(BalanceConfig, f64)>> =
         workloads.iter().map(|wl| fig17_data(wl, scale)).collect();
+    let names: Vec<&str> = workloads.iter().map(Workload::name).collect();
+    fig17_table(&names, &data, scale.iterations)
+}
+
+/// Renders the Fig. 17 table from an already-computed improvement matrix —
+/// shared by the local path and `repro --fleet`, which obtains the same
+/// matrix over a serve fleet's `/batch` endpoint.
+///
+/// # Panics
+///
+/// Panics if `data` is empty or its series disagree on the config order.
+#[must_use]
+pub fn fig17_table(
+    workload_names: &[&str],
+    data: &[Vec<(BalanceConfig, f64)>],
+    iterations: u64,
+) -> String {
+    let mut out =
+        format!("== Fig. 17: lifetime improvement vs StxSt ({iterations} iterations) ==\n");
     let mut rows = Vec::new();
     for (i, (config, _)) in data[0].iter().enumerate() {
         let mut row = vec![config.to_string()];
-        for series in &data {
+        for series in data {
+            assert_eq!(series[i].0, *config, "series must share one config order");
             row.push(format!("{:.3}x", series[i].1));
         }
         rows.push(row);
     }
     let headers: Vec<&str> =
-        std::iter::once("config").chain(workloads.iter().map(|w| w.name())).collect();
+        std::iter::once("config").chain(workload_names.iter().copied()).collect();
     out.push_str(&text_table(&headers, &rows));
     out.push_str("\npaper reference (best config, Table 3): mul 1.59x, conv 2.22x, dot 2.11x\n");
     out
@@ -301,6 +319,22 @@ pub fn fig17_report(scale: Scale) -> String {
 /// Table 3: average lane utilization and best lifetime improvement.
 #[must_use]
 pub fn table3_report(scale: Scale) -> String {
+    let data: Vec<Vec<(BalanceConfig, f64)>> =
+        scale.all_workloads().iter().map(|wl| fig17_data(wl, scale)).collect();
+    table3_table(scale, &data)
+}
+
+/// Renders Table 3 from an already-computed improvement matrix (one series
+/// per workload, in [`Scale::all_workloads`] order) — the matrix either
+/// comes from the local analytic engine or, under `repro --fleet`, from a
+/// serve fleet's `/batch` endpoint. Lane utilization is a static workload
+/// property and is always computed locally.
+///
+/// # Panics
+///
+/// Panics if `data` has fewer series than workloads or an empty series.
+#[must_use]
+pub fn table3_table(scale: Scale, data: &[Vec<(BalanceConfig, f64)>]) -> String {
     let mut out = format!(
         "== Table 3: lane utilization and best lifetime improvement ({} iterations) ==\n",
         scale.iterations
@@ -309,7 +343,7 @@ pub fn table3_report(scale: Scale) -> String {
     let mut rows = Vec::new();
     for (i, wl) in scale.all_workloads().iter().enumerate() {
         let util = 100.0 * wl.lane_utilization(ArchStyle::PresetOutput);
-        let data = fig17_data(wl, scale);
+        let data = &data[i];
         let (best_cfg, best) =
             data.iter().max_by(|a, b| a.1.total_cmp(&b.1)).expect("configs nonempty");
         rows.push(vec![

@@ -17,13 +17,24 @@
 //!   overflow degrades to a file read, not a re-simulation.
 //!
 //! The spill directory carries an append-only `index.jsonl` (one
-//! `{"key":"<hex>"}` line per spilled entry). The index is loaded into a
-//! key set at startup and consulted before any disk read, so a cold miss
-//! costs a hash lookup instead of a filesystem probe. A directory written
-//! by an older server (entries but no index) is scanned once and the index
-//! rewritten; after that, startup never lists the directory again. The
-//! stored-request collision guard is unchanged — the index only says a key
-//! *may* be on disk, the entry's canonical request still decides.
+//! `{"key":"<hex>","bytes":n,"ts":unix_s}` line per spilled entry, in spill
+//! order). The index is loaded at startup and consulted before any disk
+//! read, so a cold miss costs a hash lookup instead of a filesystem probe.
+//! A directory written by an older server (entries but no index) is scanned
+//! once and the index rewritten; after that, startup never lists the
+//! directory again. Lines from a pre-compaction index that lack
+//! `bytes`/`ts` load as zero — size-unknown and ancient — so an age limit
+//! retires them on the first pass rather than letting them escape the
+//! bound. The stored-request collision guard is unchanged — the index only
+//! says a key *may* be on disk, the entry's canonical request still
+//! decides.
+//!
+//! When spill limits are set ([`ResultCache::with_spill_limits`]) every
+//! spill runs a compaction pass: entries are retired oldest-first (index
+//! order *is* LRU-by-spill order) while the directory exceeds its byte
+//! budget or holds entries past the age limit, the entry files are deleted,
+//! and the index is rewritten. Compaction never touches the in-memory tier;
+//! a retired entry simply recomputes on its next cold miss.
 //!
 //! [`SimRequest::cache_key`]: crate::request::SimRequest::cache_key
 
@@ -60,6 +71,14 @@ pub struct CacheStats {
     pub resident: usize,
     /// Keys the spill index knows to exist on disk (0 without spill).
     pub indexed: usize,
+    /// Compaction passes that retired at least one spilled entry.
+    pub compactions: u64,
+    /// Spilled entries retired by compaction (size or age).
+    pub compacted_entries: u64,
+    /// Bytes reclaimed from the spill directory by compaction.
+    pub compacted_bytes: u64,
+    /// Bytes the spill directory currently holds (per the index).
+    pub spill_bytes: u64,
 }
 
 impl CacheStats {
@@ -73,12 +92,37 @@ impl CacheStats {
             .with("disk_loads", self.disk_loads)
             .with("resident", self.resident)
             .with("indexed", self.indexed)
+            .with("compactions", self.compactions)
+            .with("compacted_entries", self.compacted_entries)
+            .with("compacted_bytes", self.compacted_bytes)
+            .with("spill_bytes", self.spill_bytes)
     }
 }
 
-/// The in-memory view of `index.jsonl`: which keys have spilled entries.
+/// Seconds since the Unix epoch (0 if the clock is before it).
+fn unix_now() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::SystemTime::UNIX_EPOCH)
+        .map_or(0, |d| d.as_secs())
+}
+
+/// One spilled entry as the index knows it.
+#[derive(Debug, Clone, Copy)]
+struct IndexEntry {
+    key: u64,
+    /// Entry-file size at spill time (0 when loaded from a pre-compaction
+    /// index line that did not record it).
+    bytes: u64,
+    /// Unix seconds at spill time (0 = unknown, treated as ancient).
+    ts: u64,
+}
+
+/// The in-memory view of `index.jsonl`: which keys have spilled entries,
+/// in spill order (front = oldest, the compaction victim).
 struct DiskIndex {
+    entries: Vec<IndexEntry>,
     keys: HashSet<u64>,
+    total_bytes: u64,
     path: PathBuf,
 }
 
@@ -91,53 +135,73 @@ impl DiskIndex {
     fn open(dir: &Path) -> DiskIndex {
         let path = dir.join(Self::FILE_NAME);
         if let Ok(text) = std::fs::read_to_string(&path) {
-            let keys = text
-                .lines()
-                .filter_map(|line| {
-                    let doc = nvpim_obs::json::parse(line).ok()?;
-                    u64::from_str_radix(doc.get("key")?.as_str()?, 16).ok()
-                })
-                .collect();
-            return DiskIndex { keys, path };
+            let mut index =
+                DiskIndex { entries: Vec::new(), keys: HashSet::new(), total_bytes: 0, path };
+            for line in text.lines() {
+                let Ok(doc) = nvpim_obs::json::parse(line) else { continue };
+                let Some(key) = doc
+                    .get("key")
+                    .and_then(Json::as_str)
+                    .and_then(|h| u64::from_str_radix(h, 16).ok())
+                else {
+                    continue;
+                };
+                let bytes = doc.get("bytes").and_then(Json::as_u64).unwrap_or(0);
+                let ts = doc.get("ts").and_then(Json::as_u64).unwrap_or(0);
+                if index.keys.insert(key) {
+                    index.total_bytes += bytes;
+                    index.entries.push(IndexEntry { key, bytes, ts });
+                }
+            }
+            return index;
         }
-        let mut index = DiskIndex { keys: HashSet::new(), path };
+        let mut index =
+            DiskIndex { entries: Vec::new(), keys: HashSet::new(), total_bytes: 0, path };
         index.rebuild_from_scan(dir);
         index
     }
 
     /// Scans `dir` for `<hex>.json` spill entries and rewrites the index
-    /// file to match. Only runs when the index file is missing.
+    /// file to match, taking sizes and ages from file metadata. Only runs
+    /// when the index file is missing.
     fn rebuild_from_scan(&mut self, dir: &Path) {
-        if let Ok(entries) = std::fs::read_dir(dir) {
-            for entry in entries.flatten() {
+        if let Ok(dir_entries) = std::fs::read_dir(dir) {
+            for entry in dir_entries.flatten() {
                 let name = entry.file_name();
                 let Some(stem) = name.to_str().and_then(|n| n.strip_suffix(".json")) else {
                     continue;
                 };
-                if let Ok(key) = u64::from_str_radix(stem, 16) {
-                    self.keys.insert(key);
+                let Ok(key) = u64::from_str_radix(stem, 16) else { continue };
+                let meta = entry.metadata().ok();
+                let bytes = meta.as_ref().map_or(0, std::fs::Metadata::len);
+                let ts = meta
+                    .and_then(|m| m.modified().ok())
+                    .and_then(|t| t.duration_since(std::time::SystemTime::UNIX_EPOCH).ok())
+                    .map_or(0, |d| d.as_secs());
+                if self.keys.insert(key) {
+                    self.total_bytes += bytes;
+                    self.entries.push(IndexEntry { key, bytes, ts });
                 }
             }
         }
-        let mut doc = String::new();
-        for &key in &self.keys {
-            doc.push_str(&Self::line(key));
-        }
-        if let Err(e) = std::fs::write(&self.path, doc) {
-            eprintln!("nvpim-serve: cache index write to {} failed: {e}", self.path.display());
-        }
+        // Oldest first, so compaction order matches a chronological spill.
+        self.entries.sort_by_key(|e| e.ts);
+        self.rewrite();
     }
 
     /// Records a newly spilled key, appending one line to the index file.
-    fn record(&mut self, key: u64) {
+    fn record(&mut self, key: u64, bytes: u64) {
         if !self.keys.insert(key) {
             return; // re-spill of a known key; the line is already there
         }
+        let entry = IndexEntry { key, bytes, ts: unix_now() };
+        self.total_bytes += bytes;
+        self.entries.push(entry);
         let appended = std::fs::OpenOptions::new()
             .create(true)
             .append(true)
             .open(&self.path)
-            .and_then(|mut f| f.write_all(Self::line(key).as_bytes()));
+            .and_then(|mut f| f.write_all(Self::line(entry).as_bytes()));
         if let Err(e) = appended {
             eprintln!("nvpim-serve: cache index append to {} failed: {e}", self.path.display());
         }
@@ -147,8 +211,52 @@ impl DiskIndex {
         self.keys.contains(&key)
     }
 
-    fn line(key: u64) -> String {
-        let mut line = Json::object().with("key", key_hex(key)).render();
+    /// Retires entries oldest-first while the directory exceeds
+    /// `max_bytes` (0 = no byte bound) or holds entries older than
+    /// `max_age_s` (0 = no age bound), deleting their files and rewriting
+    /// the index. Returns `(entries retired, bytes reclaimed)`.
+    fn compact(&mut self, max_bytes: u64, max_age_s: u64) -> (u64, u64) {
+        let now = unix_now();
+        let mut retired = 0u64;
+        let mut reclaimed = 0u64;
+        while let Some(&oldest) = self.entries.first() {
+            let too_old = max_age_s > 0 && oldest.ts.saturating_add(max_age_s) < now;
+            let too_big = max_bytes > 0 && self.total_bytes > max_bytes;
+            if !too_old && !too_big {
+                break;
+            }
+            self.entries.remove(0);
+            self.keys.remove(&oldest.key);
+            self.total_bytes -= oldest.bytes;
+            retired += 1;
+            reclaimed += oldest.bytes;
+            if let Some(dir) = self.path.parent() {
+                let _ = std::fs::remove_file(dir.join(format!("{}.json", key_hex(oldest.key))));
+            }
+        }
+        if retired > 0 {
+            self.rewrite();
+        }
+        (retired, reclaimed)
+    }
+
+    /// Rewrites the whole index file from the in-memory entries.
+    fn rewrite(&self) {
+        let mut doc = String::new();
+        for &entry in &self.entries {
+            doc.push_str(&Self::line(entry));
+        }
+        if let Err(e) = std::fs::write(&self.path, doc) {
+            eprintln!("nvpim-serve: cache index write to {} failed: {e}", self.path.display());
+        }
+    }
+
+    fn line(entry: IndexEntry) -> String {
+        let mut line = Json::object()
+            .with("key", key_hex(entry.key))
+            .with("bytes", entry.bytes)
+            .with("ts", entry.ts)
+            .render();
         line.push('\n');
         line
     }
@@ -164,6 +272,10 @@ pub struct ResultCache {
     dir: Option<PathBuf>,
     /// Present exactly when `dir` is.
     index: Option<DiskIndex>,
+    /// Spill-directory byte budget (0 = unlimited).
+    max_spill_bytes: u64,
+    /// Spill-entry age limit in seconds (0 = unlimited).
+    max_spill_age_s: u64,
     stats: CacheStats,
 }
 
@@ -200,8 +312,23 @@ impl ResultCache {
             capacity,
             dir,
             index,
+            max_spill_bytes: 0,
+            max_spill_age_s: 0,
             stats: CacheStats::default(),
         }
+    }
+
+    /// Bounds the spill directory: at most `max_bytes` of entry files
+    /// (0 = unlimited) and no entry older than `max_age_s` seconds
+    /// (0 = unlimited). Runs one compaction pass immediately, so a
+    /// restarted server over an oversized directory trims it before
+    /// serving. No-op without a spill directory.
+    #[must_use]
+    pub fn with_spill_limits(mut self, max_bytes: u64, max_age_s: u64) -> Self {
+        self.max_spill_bytes = max_bytes;
+        self.max_spill_age_s = max_age_s;
+        self.compact();
+        self
     }
 
     /// Looks up the body cached for `(key, canonical_request)`, consulting
@@ -255,7 +382,22 @@ impl ResultCache {
         CacheStats {
             resident: self.entries.len(),
             indexed: self.index.as_ref().map_or(0, |i| i.keys.len()),
+            spill_bytes: self.index.as_ref().map_or(0, |i| i.total_bytes),
             ..self.stats
+        }
+    }
+
+    /// Runs one compaction pass against the configured spill limits.
+    fn compact(&mut self) {
+        if self.max_spill_bytes == 0 && self.max_spill_age_s == 0 {
+            return;
+        }
+        let Some(index) = &mut self.index else { return };
+        let (retired, reclaimed) = index.compact(self.max_spill_bytes, self.max_spill_age_s);
+        if retired > 0 {
+            self.stats.compactions += 1;
+            self.stats.compacted_entries += retired;
+            self.stats.compacted_bytes += reclaimed;
         }
     }
 
@@ -287,13 +429,15 @@ impl ResultCache {
     fn spill_to_disk(&mut self, key: u64, request: &str, body: &str) {
         let Some(path) = self.spill_path(key) else { return };
         let doc = Json::object().with("request", request).with("response", body).render();
+        let bytes = doc.len() as u64;
         if let Err(e) = std::fs::write(&path, doc) {
             eprintln!("nvpim-serve: cache spill to {} failed: {e}", path.display());
             return;
         }
         if let Some(index) = &mut self.index {
-            index.record(key);
+            index.record(key, bytes);
         }
+        self.compact();
     }
 
     fn load_from_disk(&self, key: u64, canonical_request: &str) -> Option<String> {
@@ -450,6 +594,82 @@ mod tests {
         let mut cache = ResultCache::new(4, Some(dir.clone()));
         assert_eq!(cache.get(0xD, "rx"), None);
         assert_eq!(cache.stats().disk_loads, 0);
+        assert_eq!(cache.stats().indexed, 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn compaction_bounds_spill_bytes_oldest_first() {
+        let dir = scratch_dir("compact-bytes");
+        let mut cache = ResultCache::new(8, Some(dir.clone())).with_spill_limits(200, 0);
+        let body = "x".repeat(60); // each spill file is ~80 bytes with framing
+        for key in 1..=5u64 {
+            cache.insert(key, format!("r{key}"), body.clone());
+        }
+        let stats = cache.stats();
+        assert!(stats.spill_bytes <= 200, "byte bound violated: {}", stats.spill_bytes);
+        assert!(stats.compactions > 0);
+        assert!(stats.compacted_entries > 0);
+        assert!(stats.compacted_bytes > 0);
+        // The oldest spills are the ones gone from disk; the newest survive.
+        assert!(!dir.join(format!("{}.json", key_hex(1))).exists(), "oldest entry retired");
+        assert!(dir.join(format!("{}.json", key_hex(5))).exists(), "newest entry kept");
+        // A restarted cache honors the compacted index: retired keys miss
+        // without probing the disk, survivors still load.
+        drop(cache);
+        let mut fresh = ResultCache::new(8, Some(dir.clone()));
+        assert!(fresh.stats().spill_bytes <= 200);
+        assert_eq!(fresh.get(1, "r1"), None);
+        assert_eq!(fresh.get(5, "r5"), Some(body));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn compaction_retires_entries_past_the_age_limit() {
+        let dir = scratch_dir("compact-age");
+        {
+            let mut cache = ResultCache::new(4, Some(dir.clone()));
+            cache.insert(1, "r1".into(), "b1".into());
+        }
+        // Backdate the index entry to two hours ago.
+        let index_path = dir.join("index.jsonl");
+        let line = std::fs::read_to_string(&index_path).unwrap();
+        let doc = nvpim_obs::json::parse(line.trim()).unwrap();
+        let bytes = doc.get("bytes").and_then(Json::as_u64).unwrap();
+        let backdated = Json::object()
+            .with("key", key_hex(1))
+            .with("bytes", bytes)
+            .with("ts", unix_now() - 7200)
+            .render();
+        std::fs::write(&index_path, format!("{backdated}\n")).unwrap();
+        // An hour-long age limit retires it at startup.
+        let mut cache = ResultCache::new(4, Some(dir.clone())).with_spill_limits(0, 3600);
+        let stats = cache.stats();
+        assert_eq!(stats.compacted_entries, 1);
+        assert_eq!(stats.indexed, 0);
+        assert!(!dir.join(format!("{}.json", key_hex(1))).exists());
+        assert_eq!(cache.get(1, "r1"), None);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn pre_compaction_index_lines_load_and_age_out() {
+        let dir = scratch_dir("compact-legacy");
+        {
+            let mut cache = ResultCache::new(4, Some(dir.clone()));
+            cache.insert(2, "r2".into(), "b2".into());
+        }
+        // An index written before compaction existed: key only.
+        let legacy = Json::object().with("key", key_hex(2)).render();
+        std::fs::write(dir.join("index.jsonl"), format!("{legacy}\n")).unwrap();
+        // Without limits the entry still serves.
+        let mut cache = ResultCache::new(4, Some(dir.clone()));
+        assert_eq!(cache.get(2, "r2"), Some("b2".into()));
+        drop(cache);
+        std::fs::write(dir.join("index.jsonl"), format!("{legacy}\n")).unwrap();
+        // With an age limit the unknown-age (ts 0) entry counts as ancient.
+        let cache = ResultCache::new(4, Some(dir.clone())).with_spill_limits(0, 3600);
+        assert_eq!(cache.stats().compacted_entries, 1);
         assert_eq!(cache.stats().indexed, 0);
         let _ = std::fs::remove_dir_all(&dir);
     }

@@ -1,15 +1,91 @@
 //! A tiny std-only HTTP client for nvpim-serve.
 //!
-//! Used by the integration suite and the `repro serve-smoke` path, so
+//! Used by the integration suite, the `repro serve-smoke`/`--fleet` paths,
+//! and — most demandingly — the fleet's peer-to-peer forwarding, so
 //! exercising the service never requires external tooling. It speaks the
 //! same one-request-per-connection subset the server does and understands
 //! both `Content-Length` bodies and close-delimited streams (`/batch`).
+//!
+//! Failures surface as a typed [`ClientError`] that distinguishes *refused*
+//! (the peer is down — fail fast, trip the breaker) from *timed out* (the
+//! peer is slow or wedged — equally a breaker strike, but a different
+//! operator story) from *malformed* (the peer answered garbage — a protocol
+//! bug, not a liveness signal). The fleet's circuit breakers key off this
+//! distinction; plain callers can keep treating errors as strings via the
+//! `From<ClientError> for String` impl.
 
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::time::Duration;
 
 use nvpim_obs::Json;
+
+/// Why a client call failed, by operational category.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClientError {
+    /// The peer actively refused the connection (nothing is listening, or
+    /// the host rejected it). The fastest failure mode — the peer is down.
+    Refused(String),
+    /// The connect or read deadline expired. The peer may be up but slow,
+    /// wedged, or partitioned away.
+    TimedOut(String),
+    /// The peer answered, but with bytes this client cannot parse as an
+    /// HTTP response. A protocol bug, not a liveness problem.
+    Malformed(String),
+    /// Any other I/O failure (reset mid-stream, route errors, ...).
+    Io(String),
+}
+
+impl ClientError {
+    /// Whether the failure indicates the peer is unhealthy (refused, timed
+    /// out, or the connection died) as opposed to a protocol-level problem.
+    /// Circuit breakers count these; a malformed reply is debugged, not
+    /// routed around.
+    #[must_use]
+    pub fn is_liveness(&self) -> bool {
+        !matches!(self, ClientError::Malformed(_))
+    }
+
+    /// Stable lowercase token (`refused` / `timed_out` / `malformed` /
+    /// `io`) for metrics labels and `/fleet` documents.
+    #[must_use]
+    pub fn kind(&self) -> &'static str {
+        match self {
+            ClientError::Refused(_) => "refused",
+            ClientError::TimedOut(_) => "timed_out",
+            ClientError::Malformed(_) => "malformed",
+            ClientError::Io(_) => "io",
+        }
+    }
+
+    fn from_io(e: &std::io::Error) -> Self {
+        use std::io::ErrorKind;
+        match e.kind() {
+            ErrorKind::ConnectionRefused => ClientError::Refused(e.to_string()),
+            ErrorKind::TimedOut | ErrorKind::WouldBlock => ClientError::TimedOut(e.to_string()),
+            _ => ClientError::Io(e.to_string()),
+        }
+    }
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Refused(m) => write!(f, "connection refused: {m}"),
+            ClientError::TimedOut(m) => write!(f, "timed out: {m}"),
+            ClientError::Malformed(m) => write!(f, "malformed reply: {m}"),
+            ClientError::Io(m) => write!(f, "i/o error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<ClientError> for String {
+    fn from(e: ClientError) -> String {
+        e.to_string()
+    }
+}
 
 /// A parsed HTTP response.
 #[derive(Debug, Clone)]
@@ -62,14 +138,17 @@ impl HttpReply {
 #[derive(Debug, Clone)]
 pub struct Client {
     addr: SocketAddr,
+    connect_timeout: Duration,
     timeout: Duration,
 }
 
 impl Client {
-    /// A client for the server at `addr` with a 60 s I/O timeout.
+    /// A client for the server at `addr` with a 5 s connect and 60 s I/O
+    /// timeout — generous defaults for interactive callers; peer-to-peer
+    /// fleet calls tighten both with [`Client::with_timeouts`].
     #[must_use]
     pub fn new(addr: SocketAddr) -> Self {
-        Client { addr, timeout: Duration::from_secs(60) }
+        Client { addr, connect_timeout: Duration::from_secs(5), timeout: Duration::from_secs(60) }
     }
 
     /// Overrides the per-connection read/write timeout.
@@ -79,12 +158,21 @@ impl Client {
         self
     }
 
+    /// Overrides both the connect and the read/write timeout — the shape a
+    /// peer call wants (fail fast on a dead host *and* on a wedged one).
+    #[must_use]
+    pub fn with_timeouts(mut self, connect: Duration, io: Duration) -> Self {
+        self.connect_timeout = connect;
+        self.timeout = io;
+        self
+    }
+
     /// Issues `GET path`.
     ///
     /// # Errors
     ///
-    /// Propagates connection and protocol failures as strings.
-    pub fn get(&self, path: &str) -> Result<HttpReply, String> {
+    /// Returns a typed [`ClientError`] for connection and protocol failures.
+    pub fn get(&self, path: &str) -> Result<HttpReply, ClientError> {
         self.send("GET", path, None, &[])
     }
 
@@ -92,23 +180,24 @@ impl Client {
     ///
     /// # Errors
     ///
-    /// Propagates connection and protocol failures as strings.
-    pub fn post_json(&self, path: &str, body: &str) -> Result<HttpReply, String> {
+    /// Returns a typed [`ClientError`] for connection and protocol failures.
+    pub fn post_json(&self, path: &str, body: &str) -> Result<HttpReply, ClientError> {
         self.send("POST", path, Some(body), &[])
     }
 
     /// Issues `POST path` with a JSON body and extra request headers (e.g.
-    /// `X-Trace-Id` to join the request to a caller-owned trace).
+    /// `X-Trace-Id` to join the request to a caller-owned trace, or the
+    /// fleet's `X-Fleet-Hop` loop guard).
     ///
     /// # Errors
     ///
-    /// Propagates connection and protocol failures as strings.
+    /// Returns a typed [`ClientError`] for connection and protocol failures.
     pub fn post_json_with_headers(
         &self,
         path: &str,
         body: &str,
         headers: &[(&str, &str)],
-    ) -> Result<HttpReply, String> {
+    ) -> Result<HttpReply, ClientError> {
         self.send("POST", path, Some(body), headers)
     }
 
@@ -118,11 +207,11 @@ impl Client {
         path: &str,
         body: Option<&str>,
         extra_headers: &[(&str, &str)],
-    ) -> Result<HttpReply, String> {
-        let mut stream =
-            TcpStream::connect_timeout(&self.addr, Duration::from_secs(5)).map_err(err)?;
-        stream.set_read_timeout(Some(self.timeout)).map_err(err)?;
-        stream.set_write_timeout(Some(self.timeout)).map_err(err)?;
+    ) -> Result<HttpReply, ClientError> {
+        let mut stream = TcpStream::connect_timeout(&self.addr, self.connect_timeout)
+            .map_err(|e| ClientError::from_io(&e))?;
+        stream.set_read_timeout(Some(self.timeout)).map_err(|e| ClientError::from_io(&e))?;
+        stream.set_write_timeout(Some(self.timeout)).map_err(|e| ClientError::from_io(&e))?;
         let body = body.unwrap_or("");
         let mut request = format!(
             "{method} {path} HTTP/1.1\r\nHost: {}\r\nContent-Type: application/json\r\n\
@@ -138,29 +227,29 @@ impl Client {
         }
         request.push_str("\r\n");
         request.push_str(body);
-        stream.write_all(request.as_bytes()).map_err(err)?;
-        stream.flush().map_err(err)?;
+        stream.write_all(request.as_bytes()).map_err(|e| ClientError::from_io(&e))?;
+        stream.flush().map_err(|e| ClientError::from_io(&e))?;
         read_reply(&mut stream)
     }
 }
 
-fn err(e: std::io::Error) -> String {
-    e.to_string()
-}
-
-fn read_reply(stream: &mut TcpStream) -> Result<HttpReply, String> {
+fn read_reply(stream: &mut TcpStream) -> Result<HttpReply, ClientError> {
     let mut raw = Vec::new();
-    stream.read_to_end(&mut raw).map_err(err)?;
-    let head_end = find_head_end(&raw).ok_or("response head never terminated")?;
-    let head =
-        std::str::from_utf8(&raw[..head_end]).map_err(|_| "non-UTF-8 response head".to_owned())?;
+    stream.read_to_end(&mut raw).map_err(|e| ClientError::from_io(&e))?;
+    let head_end = find_head_end(&raw)
+        .ok_or_else(|| ClientError::Malformed("response head never terminated".into()))?;
+    let head = std::str::from_utf8(&raw[..head_end])
+        .map_err(|_| ClientError::Malformed("non-UTF-8 response head".into()))?;
     let mut lines = head.split("\r\n");
     let status_line = lines.next().unwrap_or_default();
-    let status = status_line
-        .split_whitespace()
-        .nth(1)
+    let mut tokens = status_line.split_whitespace();
+    if !tokens.next().unwrap_or_default().starts_with("HTTP/") {
+        return Err(ClientError::Malformed(format!("reply is not HTTP: {status_line}")));
+    }
+    let status = tokens
+        .next()
         .and_then(|s| s.parse::<u16>().ok())
-        .ok_or_else(|| format!("malformed status line: {status_line}"))?;
+        .ok_or_else(|| ClientError::Malformed(format!("malformed status line: {status_line}")))?;
     let mut headers = Vec::new();
     for line in lines {
         if line.is_empty() {
@@ -186,4 +275,66 @@ fn read_reply(stream: &mut TcpStream) -> Result<HttpReply, String> {
 
 fn find_head_end(raw: &[u8]) -> Option<usize> {
     raw.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    /// Binds an ephemeral port, learns its address, and drops the listener
+    /// so nothing answers there.
+    fn dead_addr() -> SocketAddr {
+        TcpListener::bind("127.0.0.1:0").unwrap().local_addr().unwrap()
+    }
+
+    #[test]
+    fn refused_connections_are_typed_refused() {
+        let client = Client::new(dead_addr());
+        let err = client.get("/health").expect_err("nothing listens there");
+        assert_eq!(err.kind(), "refused", "{err}");
+        assert!(err.is_liveness());
+    }
+
+    #[test]
+    fn a_silent_peer_times_out_rather_than_hanging() {
+        // A listener that accepts but never answers: the read deadline must
+        // fire and classify as TimedOut.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let hold = std::thread::spawn(move || listener.accept().map(|(s, _)| s));
+        let client =
+            Client::new(addr).with_timeouts(Duration::from_millis(500), Duration::from_millis(50));
+        let err = client.get("/health").expect_err("peer never answers");
+        assert_eq!(err.kind(), "timed_out", "{err}");
+        assert!(err.is_liveness());
+        drop(hold.join());
+    }
+
+    #[test]
+    fn garbage_replies_are_typed_malformed() {
+        use std::io::Write as _;
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            let (mut s, _) = listener.accept().unwrap();
+            // Drain the request so the close is not an RST, then answer
+            // bytes that are not HTTP.
+            let mut scratch = [0u8; 1024];
+            let _ = std::io::Read::read(&mut s, &mut scratch);
+            let _ = s.write_all(b"SMTP 220 ready\r\n\r\n");
+        });
+        let client = Client::new(addr).with_timeout(Duration::from_secs(2));
+        let err = client.get("/").expect_err("reply is not HTTP");
+        assert_eq!(err.kind(), "malformed", "{err}");
+        assert!(!err.is_liveness(), "protocol bugs must not trip breakers");
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn client_errors_convert_to_strings_for_legacy_callers() {
+        let err = ClientError::Refused("no route".into());
+        let s: String = err.into();
+        assert!(s.contains("refused"));
+    }
 }

@@ -1,0 +1,433 @@
+//! The fleet coordinator: one logical cache over many instances.
+//!
+//! Determinism makes this sound: a canonical request fully determines its
+//! result bytes (PR 4), so *any* member can compute *any* request and the
+//! bytes are interchangeable. Sharding is therefore purely an efficiency
+//! decision — each key has one [`HashRing`] owner whose memory+disk cache
+//! accumulates it, non-owners forward, and the worst possible outcome of
+//! any routing mistake is a redundant computation, never a wrong answer.
+//!
+//! The [`Fleet`] owns the routing state: the ring, one [`Peer`] (with its
+//! circuit breaker) per remote member, the [`GossipState`] health view, and
+//! the hot-entry tracker that decides when an owner pushes a replica to its
+//! ring successors. The server wires these into the request path; see
+//! `server.rs` for the forward → replica-probe → local-compute ladder that
+//! guarantees a fleet request never does worse than a single-node one.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+use nvpim_obs::Json;
+
+use crate::gossip::GossipState;
+use crate::peer::Peer;
+use crate::ring::{HashRing, DEFAULT_VNODES};
+
+/// Upper bound on tracked hot-candidate keys; past it the tracker resets
+/// (replication is an optimization — losing counts costs a re-warm, not
+/// correctness).
+const MAX_HOT_TRACKED: usize = 65_536;
+
+/// Fleet membership and tuning, normally from `nvpim-serve --peers`.
+#[derive(Debug, Clone)]
+pub struct FleetConfig {
+    /// The address this instance is known by on the ring (its `--addr`, or
+    /// `--advertise` when binding a wildcard).
+    pub advertise: String,
+    /// Every other member's advertised address.
+    pub peers: Vec<String>,
+    /// Ring successors a hot entry is replicated to.
+    pub replicas: usize,
+    /// Cache hits on an owned entry before it is pushed to the replicas.
+    pub hot_threshold: u64,
+    /// Virtual nodes per member.
+    pub vnodes: usize,
+    /// Connect *and* read timeout for peer calls, in milliseconds.
+    pub peer_timeout_ms: u64,
+    /// Gossip period in milliseconds (`0` disables the gossip thread).
+    pub gossip_interval_ms: u64,
+}
+
+impl FleetConfig {
+    /// A fleet config for `advertise` plus `peers` with the default tuning
+    /// (1 replica, hot threshold 3, 64 vnodes, 1500 ms peer timeout,
+    /// 500 ms gossip).
+    #[must_use]
+    pub fn new(advertise: impl Into<String>, peers: Vec<String>) -> Self {
+        FleetConfig {
+            advertise: advertise.into(),
+            peers,
+            replicas: 1,
+            hot_threshold: 3,
+            vnodes: DEFAULT_VNODES,
+            peer_timeout_ms: 1500,
+            gossip_interval_ms: 500,
+        }
+    }
+}
+
+/// Where a key's request should be served.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Route {
+    /// This instance owns the key.
+    Local,
+    /// The member at this address owns the key.
+    Forward(String),
+}
+
+/// Monotonic fleet counters, mirrored into the observer by the server (the
+/// atomics exist so background threads and `/fleet` can read them without
+/// a metrics snapshot).
+#[derive(Debug, Default)]
+pub struct FleetCounters {
+    /// Requests proxied to their owner.
+    pub forwarded: AtomicU64,
+    /// Replica pushes sent (one per receiving peer).
+    pub replicated: AtomicU64,
+    /// Replica pushes received and stored.
+    pub replica_received: AtomicU64,
+    /// Requests served from a replica probe after their owner failed.
+    pub replica_hits: AtomicU64,
+    /// Requests computed locally because every remote option failed.
+    pub fallback_local: AtomicU64,
+    /// Requests rejected by the `X-Fleet-Hop` loop guard.
+    pub loop_rejected: AtomicU64,
+    /// Gossip rounds completed.
+    pub gossip_rounds: AtomicU64,
+}
+
+impl FleetCounters {
+    fn to_json(&self) -> Json {
+        Json::object()
+            .with("forwarded", self.forwarded.load(Ordering::Relaxed))
+            .with("replicated", self.replicated.load(Ordering::Relaxed))
+            .with("replica_received", self.replica_received.load(Ordering::Relaxed))
+            .with("replica_hits", self.replica_hits.load(Ordering::Relaxed))
+            .with("fallback_local", self.fallback_local.load(Ordering::Relaxed))
+            .with("loop_rejected", self.loop_rejected.load(Ordering::Relaxed))
+            .with("gossip_rounds", self.gossip_rounds.load(Ordering::Relaxed))
+    }
+}
+
+/// The per-instance fleet state.
+pub struct Fleet {
+    config: FleetConfig,
+    ring: HashRing,
+    /// Remote members, sorted by address (parallel to nothing — looked up
+    /// by address).
+    peers: Vec<Peer>,
+    gossip: GossipState,
+    /// Hit counts for owned keys that have not crossed the hot threshold
+    /// yet; crossing removes the entry and triggers replication.
+    hot: Mutex<HashMap<u64, u64>>,
+    next_gossip_target: AtomicUsize,
+    /// Monotonic event counters (also mirrored into the observer).
+    pub counters: FleetCounters,
+}
+
+impl std::fmt::Debug for Fleet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Fleet")
+            .field("advertise", &self.config.advertise)
+            .field("members", &self.ring.members().len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Fleet {
+    /// Builds the fleet state: the ring over `advertise + peers`, one
+    /// breaker-guarded [`Peer`] per remote member, and a fresh gossip view.
+    ///
+    /// # Errors
+    ///
+    /// Fails when a peer address does not resolve, when `advertise` is
+    /// listed in `peers`, or when `replicas`/`hot_threshold` are zero.
+    pub fn new(config: FleetConfig) -> Result<Fleet, String> {
+        if config.peers.contains(&config.advertise) {
+            return Err(format!(
+                "peer list must not contain this instance's own address {}",
+                config.advertise
+            ));
+        }
+        if config.replicas == 0 {
+            return Err("--replicas must be positive (a fleet without replication \
+                        still needs a replica budget for failover probes)"
+                .into());
+        }
+        if config.hot_threshold == 0 {
+            return Err("--hot-threshold must be positive".into());
+        }
+        let timeout = Duration::from_millis(config.peer_timeout_ms.max(1));
+        let mut peers = config
+            .peers
+            .iter()
+            .map(|addr| Peer::new(addr, timeout))
+            .collect::<Result<Vec<_>, _>>()?;
+        peers.sort_by(|a, b| a.addr().cmp(b.addr()));
+        let mut members: Vec<String> = config.peers.clone();
+        members.push(config.advertise.clone());
+        let ring = HashRing::new(&members, config.vnodes);
+        let gossip = GossipState::new(
+            &config.advertise,
+            &config.peers,
+            Duration::from_millis(config.gossip_interval_ms.max(1)),
+        );
+        Ok(Fleet {
+            ring,
+            peers,
+            gossip,
+            hot: Mutex::new(HashMap::new()),
+            next_gossip_target: AtomicUsize::new(0),
+            counters: FleetCounters::default(),
+            config,
+        })
+    }
+
+    /// This instance's ring identity.
+    #[must_use]
+    pub fn advertise(&self) -> &str {
+        &self.config.advertise
+    }
+
+    /// The fleet tuning this instance runs with.
+    #[must_use]
+    pub fn config(&self) -> &FleetConfig {
+        &self.config
+    }
+
+    /// The shared ring.
+    #[must_use]
+    pub fn ring(&self) -> &HashRing {
+        &self.ring
+    }
+
+    /// The health view.
+    #[must_use]
+    pub fn gossip(&self) -> &GossipState {
+        &self.gossip
+    }
+
+    /// Where `key` should be served from.
+    #[must_use]
+    pub fn route(&self, key: u64) -> Route {
+        let owner = self.ring.owner_of(key);
+        if owner == self.config.advertise {
+            Route::Local
+        } else {
+            Route::Forward(owner.to_owned())
+        }
+    }
+
+    /// Whether this instance owns `key`.
+    #[must_use]
+    pub fn owns(&self, key: u64) -> bool {
+        self.route(key) == Route::Local
+    }
+
+    /// The peer at `addr`, if it is a member.
+    #[must_use]
+    pub fn peer(&self, addr: &str) -> Option<&Peer> {
+        self.peers.iter().find(|p| p.addr() == addr)
+    }
+
+    /// The members holding `key`'s replicas: up to `replicas` ring
+    /// successors of the owner, excluding this instance.
+    #[must_use]
+    pub fn replica_peers(&self, key: u64) -> Vec<&Peer> {
+        self.ring
+            .successors_of(key, self.config.replicas)
+            .into_iter()
+            .filter_map(|addr| self.peer(addr))
+            .collect()
+    }
+
+    /// Whether this instance is in `key`'s replica set.
+    #[must_use]
+    pub fn is_replica_for(&self, key: u64) -> bool {
+        self.ring
+            .successors_of(key, self.config.replicas)
+            .iter()
+            .any(|&addr| addr == self.config.advertise)
+    }
+
+    /// Records one cache hit on an owned key; returns `true` exactly when
+    /// the hit count crosses the hot threshold (the caller should push
+    /// replicas now). The entry is removed on crossing, so a long-lived hot
+    /// key re-arms and re-replicates only after another full threshold of
+    /// hits — harmless, since replication is idempotent.
+    #[must_use]
+    pub fn note_owned_hit(&self, key: u64) -> bool {
+        let mut hot = self.hot.lock().expect("hot tracker poisoned");
+        if hot.len() >= MAX_HOT_TRACKED {
+            hot.clear();
+        }
+        let count = hot.entry(key).or_insert(0);
+        *count += 1;
+        if *count >= self.config.hot_threshold {
+            hot.remove(&key);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// The next gossip target, round-robin over the remote members. `None`
+    /// for a fleet of one.
+    #[must_use]
+    pub fn next_gossip_peer(&self) -> Option<&Peer> {
+        if self.peers.is_empty() {
+            return None;
+        }
+        let index = self.next_gossip_target.fetch_add(1, Ordering::Relaxed) % self.peers.len();
+        Some(&self.peers[index])
+    }
+
+    /// The `/fleet` document: identity, ring layout, per-peer health and
+    /// breaker state, and the forward/replica counters.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        let fractions = self.ring.ownership_fractions();
+        let members: Vec<Json> = self
+            .ring
+            .members()
+            .iter()
+            .zip(&fractions)
+            .map(|(addr, &fraction)| {
+                Json::object()
+                    .with("addr", addr.as_str())
+                    .with("owned_fraction", Json::Num(fraction))
+                    .with("is_self", addr == &self.config.advertise)
+            })
+            .collect();
+        let health = self.gossip.members();
+        let peers: Vec<Json> = self
+            .peers
+            .iter()
+            .map(|peer| {
+                let h = health.iter().find(|m| m.addr == peer.addr());
+                peer.to_json()
+                    .with("up", h.is_some_and(|m| m.up))
+                    .with("generation", h.map_or(0, |m| m.generation))
+                    .with("heartbeat", h.map_or(0, |m| m.heartbeat))
+            })
+            .collect();
+        Json::object()
+            .with("self", self.config.advertise.as_str())
+            .with("generation", self.gossip.generation())
+            .with(
+                "ring",
+                Json::object()
+                    .with("vnodes", self.config.vnodes)
+                    .with("replicas", self.config.replicas)
+                    .with("hot_threshold", self.config.hot_threshold)
+                    .with("members", Json::Arr(members)),
+            )
+            .with("peers", Json::Arr(peers))
+            .with("counters", self.counters.to_json())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn local_fleet(n: usize) -> Fleet {
+        // 127.0.0.1 ports resolve without the network; nothing needs to be
+        // listening for routing-state tests.
+        let members: Vec<String> = (0..n).map(|i| format!("127.0.0.1:{}", 9100 + i)).collect();
+        let config = FleetConfig::new(members[0].clone(), members[1..].to_vec());
+        Fleet::new(config).unwrap()
+    }
+
+    #[test]
+    fn every_member_computes_the_same_owner() {
+        let members: Vec<String> = (0..3).map(|i| format!("127.0.0.1:{}", 9200 + i)).collect();
+        let fleets: Vec<Fleet> = (0..3)
+            .map(|i| {
+                let peers: Vec<String> = members
+                    .iter()
+                    .enumerate()
+                    .filter(|&(j, _)| j != i)
+                    .map(|(_, m)| m.clone())
+                    .collect();
+                Fleet::new(FleetConfig::new(members[i].clone(), peers)).unwrap()
+            })
+            .collect();
+        for key in [1u64, 99, 0xfeed, u64::MAX / 3] {
+            let owners: Vec<&str> = fleets.iter().map(|f| f.ring().owner_of(key)).collect();
+            assert!(owners.windows(2).all(|w| w[0] == w[1]), "{owners:?}");
+            // Exactly one member routes Local.
+            let locals = fleets.iter().filter(|f| f.owns(key)).count();
+            assert_eq!(locals, 1);
+        }
+    }
+
+    #[test]
+    fn replica_set_excludes_self_and_matches_ring_successors() {
+        let fleet = local_fleet(3);
+        for key in 0..50u64 {
+            let successors = fleet.ring().successors_of(key, 1);
+            let peers = fleet.replica_peers(key);
+            if successors[0] == fleet.advertise() {
+                assert!(peers.is_empty());
+                assert!(fleet.is_replica_for(key));
+            } else {
+                assert_eq!(peers.len(), 1);
+                assert_eq!(peers[0].addr(), successors[0]);
+                assert!(!fleet.is_replica_for(key));
+            }
+        }
+    }
+
+    #[test]
+    fn hot_tracker_fires_exactly_on_the_threshold_and_rearms() {
+        let members = vec!["127.0.0.1:9301".to_owned()];
+        let mut config = FleetConfig::new("127.0.0.1:9300", members);
+        config.hot_threshold = 3;
+        let fleet = Fleet::new(config).unwrap();
+        assert!(!fleet.note_owned_hit(7));
+        assert!(!fleet.note_owned_hit(7));
+        assert!(fleet.note_owned_hit(7), "third hit crosses the threshold");
+        assert!(!fleet.note_owned_hit(7), "counter re-arms from zero");
+    }
+
+    #[test]
+    fn config_validation_rejects_self_in_peers_and_zero_knobs() {
+        let bad = FleetConfig::new("127.0.0.1:1", vec!["127.0.0.1:1".into()]);
+        assert!(Fleet::new(bad).unwrap_err().contains("own address"));
+        let mut zero_rep = FleetConfig::new("127.0.0.1:1", vec!["127.0.0.1:2".into()]);
+        zero_rep.replicas = 0;
+        assert!(Fleet::new(zero_rep).is_err());
+        let mut zero_hot = FleetConfig::new("127.0.0.1:1", vec!["127.0.0.1:2".into()]);
+        zero_hot.hot_threshold = 0;
+        assert!(Fleet::new(zero_hot).is_err());
+    }
+
+    #[test]
+    fn fleet_doc_names_members_peers_and_counters() {
+        let fleet = local_fleet(3);
+        fleet.counters.forwarded.fetch_add(2, Ordering::Relaxed);
+        let doc = fleet.to_json();
+        assert_eq!(doc.get("self").and_then(Json::as_str), Some(fleet.advertise()));
+        let members = doc.get("ring").and_then(|r| r.get("members")).and_then(Json::as_array);
+        assert_eq!(members.map(<[Json]>::len), Some(3));
+        let peers = doc.get("peers").and_then(Json::as_array).unwrap();
+        assert_eq!(peers.len(), 2);
+        assert_eq!(
+            doc.get("counters").and_then(|c| c.get("forwarded")).and_then(Json::as_u64),
+            Some(2)
+        );
+    }
+
+    #[test]
+    fn gossip_targets_rotate_round_robin() {
+        let fleet = local_fleet(3);
+        let a = fleet.next_gossip_peer().unwrap().addr().to_owned();
+        let b = fleet.next_gossip_peer().unwrap().addr().to_owned();
+        let c = fleet.next_gossip_peer().unwrap().addr().to_owned();
+        assert_ne!(a, b);
+        assert_eq!(a, c, "two remote peers alternate");
+    }
+}

@@ -1,0 +1,286 @@
+//! Lightweight health gossip for a static-membership fleet.
+//!
+//! Membership is fixed at launch (`--peers`); gossip only answers "is this
+//! member *currently* alive, and which incarnation of it am I hearing
+//! from?". Every instance keeps a [`GossipState`]: its own **generation**
+//! (wall-clock millis at startup — a restarted process always gossips a
+//! strictly larger generation, so stale liveness from a previous
+//! incarnation can never shadow the new one) and a monotonically increasing
+//! **heartbeat**. Rounds exchange full views (member → generation ×
+//! heartbeat); entries merge by `(generation, heartbeat)` order, so
+//! information only ever moves forward.
+//!
+//! What this does and does not guarantee: a member marked *up* was heard
+//! from — directly or transitively — within the suspicion window; a member
+//! marked *down* missed it, or a direct call failed. There is no membership
+//! change, no leader, no quorum: ring ownership is untouched by health (a
+//! flapping node keeps its arc; forwarding routes around it), so gossip can
+//! be wrong for a window without ever making a request fail — the worst
+//! case is a wasted forward attempt that the circuit breaker then absorbs.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant, SystemTime};
+
+use nvpim_obs::Json;
+
+/// How many missed gossip intervals mark a member suspect (down).
+pub const SUSPECT_INTERVALS: u32 = 4;
+
+/// What this instance believes about one remote member.
+#[derive(Debug, Clone)]
+struct MemberView {
+    generation: u64,
+    heartbeat: u64,
+    /// When `(generation, heartbeat)` last advanced.
+    advanced_at: Instant,
+    /// Cleared when a direct call to the member fails, set when any gossip
+    /// (direct or relayed) advances its heartbeat.
+    reachable: bool,
+}
+
+/// One member's health as reported by `/fleet`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MemberHealth {
+    /// Member address.
+    pub addr: String,
+    /// Last known generation (0 = never heard from).
+    pub generation: u64,
+    /// Last known heartbeat.
+    pub heartbeat: u64,
+    /// Whether the member is currently considered alive.
+    pub up: bool,
+}
+
+/// This instance's gossip bookkeeping.
+pub struct GossipState {
+    self_addr: String,
+    generation: u64,
+    heartbeat: AtomicU64,
+    suspect_after: Duration,
+    view: Mutex<HashMap<String, MemberView>>,
+}
+
+impl std::fmt::Debug for GossipState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GossipState")
+            .field("self_addr", &self.self_addr)
+            .field("generation", &self.generation)
+            .finish_non_exhaustive()
+    }
+}
+
+impl GossipState {
+    /// Fresh state for this instance. `interval` is the gossip period the
+    /// driver will run at; the suspicion window is [`SUSPECT_INTERVALS`]
+    /// times that (members the fleet has not heard from for that long count
+    /// as down).
+    #[must_use]
+    pub fn new(self_addr: &str, peers: &[String], interval: Duration) -> Self {
+        let generation = SystemTime::now()
+            .duration_since(SystemTime::UNIX_EPOCH)
+            .map_or(1, |d| u64::try_from(d.as_millis()).unwrap_or(u64::MAX));
+        let now = Instant::now();
+        let view = peers
+            .iter()
+            .filter(|p| p.as_str() != self_addr)
+            .map(|p| {
+                (
+                    p.clone(),
+                    // Start optimistic: a freshly launched fleet treats its
+                    // configured peers as up until the suspicion window
+                    // passes without a heartbeat, so startup order does not
+                    // produce a burst of false "down"s.
+                    MemberView { generation: 0, heartbeat: 0, advanced_at: now, reachable: true },
+                )
+            })
+            .collect();
+        GossipState {
+            self_addr: self_addr.to_owned(),
+            generation,
+            heartbeat: AtomicU64::new(0),
+            suspect_after: interval.saturating_mul(SUSPECT_INTERVALS),
+            view: Mutex::new(view),
+        }
+    }
+
+    /// This instance's generation (startup wall-clock millis).
+    #[must_use]
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Advances and returns this instance's heartbeat (one tick per gossip
+    /// round).
+    pub fn tick(&self) -> u64 {
+        self.heartbeat.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// The full local view as a gossip document: who this is, its own
+    /// generation × heartbeat, and everything it knows about the others.
+    #[must_use]
+    pub fn local_doc(&self) -> Json {
+        let view = self.view.lock().expect("gossip view poisoned");
+        let mut members: Vec<Json> = view
+            .iter()
+            .map(|(addr, m)| {
+                Json::object()
+                    .with("addr", addr.as_str())
+                    .with("generation", m.generation)
+                    .with("heartbeat", m.heartbeat)
+            })
+            .collect();
+        members.push(
+            Json::object()
+                .with("addr", self.self_addr.as_str())
+                .with("generation", self.generation)
+                .with("heartbeat", self.heartbeat.load(Ordering::Relaxed)),
+        );
+        members.sort_by_key(|m| m.get("addr").and_then(Json::as_str).unwrap_or("").to_owned());
+        Json::object().with("from", self.self_addr.as_str()).with("view", Json::Arr(members))
+    }
+
+    /// Merges a remote gossip document into the local view. Entries move
+    /// strictly forward: a remote `(generation, heartbeat)` only replaces a
+    /// smaller local one. Advancing an entry re-marks the member reachable
+    /// (someone, somewhere, heard from it recently enough to relay news).
+    /// Unknown addresses are ignored — membership is static.
+    pub fn merge(&self, doc: &Json) {
+        let Some(entries) = doc.get("view").and_then(Json::as_array) else { return };
+        let mut view = self.view.lock().expect("gossip view poisoned");
+        for entry in entries {
+            let Some(addr) = entry.get("addr").and_then(Json::as_str) else { continue };
+            if addr == self.self_addr {
+                continue;
+            }
+            let Some(member) = view.get_mut(addr) else { continue };
+            let generation = entry.get("generation").and_then(Json::as_u64).unwrap_or(0);
+            let heartbeat = entry.get("heartbeat").and_then(Json::as_u64).unwrap_or(0);
+            if (generation, heartbeat) > (member.generation, member.heartbeat) {
+                member.generation = generation;
+                member.heartbeat = heartbeat;
+                member.advanced_at = Instant::now();
+                member.reachable = true;
+            }
+        }
+    }
+
+    /// Records that a direct call to `addr` failed: the member is marked
+    /// unreachable immediately (gossip from third parties can still revive
+    /// it by advancing its heartbeat).
+    pub fn mark_unreachable(&self, addr: &str) {
+        let mut view = self.view.lock().expect("gossip view poisoned");
+        if let Some(member) = view.get_mut(addr) {
+            member.reachable = false;
+        }
+    }
+
+    /// Whether `addr` is currently considered up. Unknown members are down.
+    #[must_use]
+    pub fn is_up(&self, addr: &str) -> bool {
+        let view = self.view.lock().expect("gossip view poisoned");
+        view.get(addr).is_some_and(|m| m.reachable && m.advanced_at.elapsed() < self.suspect_after)
+    }
+
+    /// Health of every known remote member, sorted by address.
+    #[must_use]
+    pub fn members(&self) -> Vec<MemberHealth> {
+        let view = self.view.lock().expect("gossip view poisoned");
+        let mut members: Vec<MemberHealth> = view
+            .iter()
+            .map(|(addr, m)| MemberHealth {
+                addr: addr.clone(),
+                generation: m.generation,
+                heartbeat: m.heartbeat,
+                up: m.reachable && m.advanced_at.elapsed() < self.suspect_after,
+            })
+            .collect();
+        members.sort_by(|a, b| a.addr.cmp(&b.addr));
+        members
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn peers() -> Vec<String> {
+        vec!["a:1".into(), "b:2".into(), "c:3".into()]
+    }
+
+    fn doc_for(addr: &str, generation: u64, heartbeat: u64) -> Json {
+        Json::object().with("from", addr).with(
+            "view",
+            vec![Json::object()
+                .with("addr", addr)
+                .with("generation", generation)
+                .with("heartbeat", heartbeat)],
+        )
+    }
+
+    #[test]
+    fn fresh_peers_start_optimistically_up_then_suspect_without_news() {
+        let state = GossipState::new("a:1", &peers(), Duration::from_millis(10));
+        assert!(state.is_up("b:2"));
+        std::thread::sleep(Duration::from_millis(50));
+        assert!(!state.is_up("b:2"), "no heartbeat within the window = down");
+    }
+
+    #[test]
+    fn merge_moves_entries_forward_only() {
+        let state = GossipState::new("a:1", &peers(), Duration::from_secs(60));
+        state.merge(&doc_for("b:2", 100, 7));
+        let b = state.members().into_iter().find(|m| m.addr == "b:2").unwrap();
+        assert_eq!((b.generation, b.heartbeat), (100, 7));
+        // A stale replay cannot rewind it.
+        state.merge(&doc_for("b:2", 100, 3));
+        let b = state.members().into_iter().find(|m| m.addr == "b:2").unwrap();
+        assert_eq!((b.generation, b.heartbeat), (100, 7));
+        // A restarted incarnation (higher generation, lower heartbeat) wins.
+        state.merge(&doc_for("b:2", 200, 1));
+        let b = state.members().into_iter().find(|m| m.addr == "b:2").unwrap();
+        assert_eq!((b.generation, b.heartbeat), (200, 1));
+    }
+
+    #[test]
+    fn direct_failure_marks_down_and_relayed_news_revives() {
+        let state = GossipState::new("a:1", &peers(), Duration::from_secs(60));
+        state.merge(&doc_for("b:2", 5, 1));
+        assert!(state.is_up("b:2"));
+        state.mark_unreachable("b:2");
+        assert!(!state.is_up("b:2"));
+        // c relays a *newer* heartbeat for b — b is alive somewhere.
+        state.merge(&doc_for("b:2", 5, 2));
+        assert!(state.is_up("b:2"));
+        // Replaying the same heartbeat after another failure does nothing.
+        state.mark_unreachable("b:2");
+        state.merge(&doc_for("b:2", 5, 2));
+        assert!(!state.is_up("b:2"));
+    }
+
+    #[test]
+    fn unknown_and_self_entries_are_ignored() {
+        let state = GossipState::new("a:1", &peers(), Duration::from_secs(60));
+        state.merge(&doc_for("z:9", 1, 1));
+        assert!(!state.is_up("z:9"), "membership is static");
+        state.merge(&doc_for("a:1", u64::MAX, u64::MAX));
+        assert!(state.members().iter().all(|m| m.addr != "a:1"), "self never tracked");
+    }
+
+    #[test]
+    fn local_doc_carries_self_and_every_member() {
+        let state = GossipState::new("a:1", &peers(), Duration::from_secs(1));
+        state.tick();
+        state.tick();
+        let doc = state.local_doc();
+        let view = doc.get("view").and_then(Json::as_array).unwrap();
+        assert_eq!(view.len(), 3, "self + two remote members");
+        let own = view
+            .iter()
+            .find(|m| m.get("addr").and_then(Json::as_str) == Some("a:1"))
+            .expect("self entry present");
+        assert_eq!(own.get("heartbeat").and_then(Json::as_u64), Some(2));
+        assert_eq!(own.get("generation").and_then(Json::as_u64), Some(state.generation()));
+    }
+}

@@ -1,0 +1,288 @@
+//! Per-peer state: circuit breakers, call statistics, and typed outcomes.
+//!
+//! Each fleet member keeps one [`Peer`] per other member. The breaker
+//! protects the *forwarding hot path*: once a peer has failed
+//! [`BREAKER_THRESHOLD`] consecutive liveness checks (refused / timed out /
+//! connection died — a [`ClientError::Malformed`] reply is a protocol bug
+//! and deliberately does not count), calls to it are skipped outright for
+//! [`BREAKER_COOLDOWN`], so a dead peer costs one cheap atomic load instead
+//! of a connect timeout per request. After the cooldown one trial call is
+//! let through (half-open); success closes the breaker, failure re-opens it
+//! for another cooldown.
+//!
+//! [`ClientError::Malformed`]: crate::client::ClientError::Malformed
+
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use nvpim_obs::Json;
+
+use crate::client::{Client, ClientError, HttpReply};
+
+/// Consecutive liveness failures that open the breaker.
+pub const BREAKER_THRESHOLD: u32 = 3;
+
+/// How long an open breaker short-circuits calls before letting one
+/// half-open trial through.
+pub const BREAKER_COOLDOWN: Duration = Duration::from_secs(1);
+
+/// The breaker's position, for `/fleet` reporting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Calls flow normally.
+    Closed,
+    /// Calls are short-circuited until the cooldown expires.
+    Open,
+    /// Cooldown expired; the next call is a trial.
+    HalfOpen,
+}
+
+impl BreakerState {
+    /// Stable lowercase token for JSON documents.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            BreakerState::Closed => "closed",
+            BreakerState::Open => "open",
+            BreakerState::HalfOpen => "half_open",
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Breaker {
+    consecutive_failures: u32,
+    opened_at: Option<Instant>,
+    /// A half-open trial is in flight; concurrent calls keep failing fast
+    /// until it reports back, so a dead peer gets exactly one probe per
+    /// cooldown instead of a thundering herd.
+    trial_in_flight: bool,
+}
+
+/// One remote fleet member, from this instance's point of view.
+#[derive(Debug)]
+pub struct Peer {
+    addr: String,
+    resolved: SocketAddr,
+    client: Client,
+    breaker: Mutex<Breaker>,
+    /// Successful calls to this peer.
+    pub ok_calls: AtomicU64,
+    /// Failed calls (liveness failures; malformed replies count here too
+    /// for visibility, they just do not move the breaker).
+    pub failed_calls: AtomicU64,
+    /// Calls skipped because the breaker was open.
+    pub short_circuits: AtomicU64,
+}
+
+impl Peer {
+    /// A peer at `addr` whose calls use the given connect/read timeouts.
+    ///
+    /// # Errors
+    ///
+    /// Fails when `addr` is not a resolvable `host:port`.
+    pub fn new(addr: &str, timeout: Duration) -> Result<Peer, String> {
+        use std::net::ToSocketAddrs as _;
+        let resolved = addr
+            .to_socket_addrs()
+            .map_err(|e| format!("peer address `{addr}` does not resolve: {e}"))?
+            .next()
+            .ok_or_else(|| format!("peer address `{addr}` resolves to nothing"))?;
+        Ok(Peer {
+            addr: addr.to_owned(),
+            resolved,
+            client: Client::new(resolved).with_timeouts(timeout, timeout),
+            breaker: Mutex::new(Breaker {
+                consecutive_failures: 0,
+                opened_at: None,
+                trial_in_flight: false,
+            }),
+            ok_calls: AtomicU64::new(0),
+            failed_calls: AtomicU64::new(0),
+            short_circuits: AtomicU64::new(0),
+        })
+    }
+
+    /// The member address as configured (the ring identity).
+    #[must_use]
+    pub fn addr(&self) -> &str {
+        &self.addr
+    }
+
+    /// The resolved socket address calls actually connect to.
+    #[must_use]
+    pub fn socket_addr(&self) -> SocketAddr {
+        self.resolved
+    }
+
+    /// The breaker position right now.
+    #[must_use]
+    pub fn breaker_state(&self) -> BreakerState {
+        let breaker = self.breaker.lock().expect("breaker poisoned");
+        match breaker.opened_at {
+            None => BreakerState::Closed,
+            Some(at) if at.elapsed() >= BREAKER_COOLDOWN => BreakerState::HalfOpen,
+            Some(_) => BreakerState::Open,
+        }
+    }
+
+    /// Issues `POST path` through the breaker. An open breaker fails fast
+    /// with `Err(None)`; a real call's failure comes back as `Err(Some(e))`
+    /// after the breaker has been updated.
+    ///
+    /// # Errors
+    ///
+    /// `Err(None)` when short-circuited, `Err(Some(ClientError))` when the
+    /// call itself failed.
+    pub fn post_json(
+        &self,
+        path: &str,
+        body: &str,
+        headers: &[(&str, &str)],
+    ) -> Result<HttpReply, Option<ClientError>> {
+        if !self.admit() {
+            self.short_circuits.fetch_add(1, Ordering::Relaxed);
+            return Err(None);
+        }
+        match self.client.post_json_with_headers(path, body, headers) {
+            Ok(reply) => {
+                self.record_success();
+                Ok(reply)
+            }
+            Err(e) => {
+                self.record_failure(&e);
+                Err(Some(e))
+            }
+        }
+    }
+
+    /// Whether a call may proceed: breaker closed, or half-open with this
+    /// caller claiming the single trial slot.
+    fn admit(&self) -> bool {
+        let mut breaker = self.breaker.lock().expect("breaker poisoned");
+        match breaker.opened_at {
+            None => true,
+            Some(at) if at.elapsed() >= BREAKER_COOLDOWN && !breaker.trial_in_flight => {
+                breaker.trial_in_flight = true;
+                true
+            }
+            Some(_) => false,
+        }
+    }
+
+    fn record_success(&self) {
+        self.ok_calls.fetch_add(1, Ordering::Relaxed);
+        let mut breaker = self.breaker.lock().expect("breaker poisoned");
+        breaker.consecutive_failures = 0;
+        breaker.opened_at = None;
+        breaker.trial_in_flight = false;
+    }
+
+    fn record_failure(&self, error: &ClientError) {
+        self.failed_calls.fetch_add(1, Ordering::Relaxed);
+        if !error.is_liveness() {
+            // A malformed reply means the peer is *up* and talking — close
+            // out a trial without moving the failure count.
+            let mut breaker = self.breaker.lock().expect("breaker poisoned");
+            breaker.trial_in_flight = false;
+            return;
+        }
+        let mut breaker = self.breaker.lock().expect("breaker poisoned");
+        breaker.trial_in_flight = false;
+        breaker.consecutive_failures = breaker.consecutive_failures.saturating_add(1);
+        if breaker.consecutive_failures >= BREAKER_THRESHOLD || breaker.opened_at.is_some() {
+            // Threshold reached, or a failed half-open trial: (re-)open.
+            breaker.opened_at = Some(Instant::now());
+        }
+    }
+
+    /// The peer's state as a `/fleet` JSON fragment.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        Json::object()
+            .with("addr", self.addr.as_str())
+            .with("breaker", self.breaker_state().label())
+            .with("ok_calls", self.ok_calls.load(Ordering::Relaxed))
+            .with("failed_calls", self.failed_calls.load(Ordering::Relaxed))
+            .with("short_circuits", self.short_circuits.load(Ordering::Relaxed))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    fn dead_peer() -> Peer {
+        // Bind-then-drop: the port is real but nothing listens.
+        let addr = TcpListener::bind("127.0.0.1:0").unwrap().local_addr().unwrap();
+        Peer::new(&addr.to_string(), Duration::from_millis(200)).unwrap()
+    }
+
+    #[test]
+    fn bad_addresses_fail_at_construction() {
+        assert!(Peer::new("not an address", Duration::from_secs(1)).is_err());
+    }
+
+    #[test]
+    fn breaker_opens_after_threshold_and_short_circuits() {
+        let peer = dead_peer();
+        assert_eq!(peer.breaker_state(), BreakerState::Closed);
+        for _ in 0..BREAKER_THRESHOLD {
+            let err = peer.post_json("/x", "{}", &[]).expect_err("peer is dead");
+            assert!(err.is_some(), "real calls report the client error");
+        }
+        assert_eq!(peer.breaker_state(), BreakerState::Open);
+        let err = peer.post_json("/x", "{}", &[]).expect_err("breaker is open");
+        assert!(err.is_none(), "open breaker short-circuits without a connect");
+        assert_eq!(peer.short_circuits.load(Ordering::Relaxed), 1);
+        assert_eq!(peer.failed_calls.load(Ordering::Relaxed), u64::from(BREAKER_THRESHOLD));
+    }
+
+    #[test]
+    fn half_open_trial_failure_reopens_for_another_cooldown() {
+        let peer = dead_peer();
+        for _ in 0..BREAKER_THRESHOLD {
+            let _ = peer.post_json("/x", "{}", &[]);
+        }
+        assert_eq!(peer.breaker_state(), BreakerState::Open);
+        // Simulate the cooldown having elapsed by rewinding opened_at.
+        {
+            let mut b = peer.breaker.lock().unwrap();
+            b.opened_at = Some(Instant::now() - BREAKER_COOLDOWN * 2);
+        }
+        assert_eq!(peer.breaker_state(), BreakerState::HalfOpen);
+        let err = peer.post_json("/x", "{}", &[]).expect_err("trial fails too");
+        assert!(err.is_some(), "the half-open trial is a real call");
+        assert_eq!(peer.breaker_state(), BreakerState::Open, "failed trial re-opens");
+    }
+
+    #[test]
+    fn success_closes_the_breaker_and_resets_the_count() {
+        // A live listener that answers minimal HTTP.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            use std::io::{Read as _, Write as _};
+            let (mut s, _) = listener.accept().unwrap();
+            let mut scratch = [0u8; 2048];
+            let _ = s.read(&mut scratch);
+            let _ = s.write_all(b"HTTP/1.1 200 OK\r\nContent-Length: 2\r\n\r\n{}");
+        });
+        let peer = Peer::new(&addr.to_string(), Duration::from_secs(2)).unwrap();
+        // Two failures first (below threshold), against a port that cannot
+        // answer — use a dead address by... the listener IS live, so fake
+        // the count directly.
+        {
+            let mut b = peer.breaker.lock().unwrap();
+            b.consecutive_failures = BREAKER_THRESHOLD - 1;
+        }
+        let reply = peer.post_json("/x", "{}", &[]).expect("live peer answers");
+        assert_eq!(reply.status, 200);
+        assert_eq!(peer.breaker.lock().unwrap().consecutive_failures, 0);
+        assert_eq!(peer.breaker_state(), BreakerState::Closed);
+        server.join().unwrap();
+    }
+}

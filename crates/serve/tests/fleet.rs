@@ -1,0 +1,433 @@
+//! Multi-node fleet tests over real sockets: three in-process instances
+//! exchanging forwards, replicas, and gossip.
+//!
+//! Each test boots its own fleet on ephemeral ports (bound first to learn
+//! the addresses, then released for the servers to claim), so the suite
+//! runs concurrently under the default harness. Everything asserts through
+//! the public surface: `/simulate`, `/batch`, `/fleet`, `/metrics`, and
+//! `/trace/<id>` — the same way an operator would.
+
+use std::net::TcpListener;
+use std::str::FromStr as _;
+use std::time::{Duration, Instant};
+
+use nvpim_obs::Json;
+use nvpim_serve::{Client, FleetConfig, HashRing, Server, ServerConfig, ServerHandle, SimRequest};
+
+struct Member {
+    addr: String,
+    handle: ServerHandle,
+    client: Client,
+}
+
+/// Reserves `n` distinct ephemeral addresses by binding and dropping
+/// listeners — the ports are free again when the servers bind them a few
+/// microseconds later.
+fn reserve_addrs(n: usize) -> Vec<String> {
+    let held: Vec<TcpListener> =
+        (0..n).map(|_| TcpListener::bind("127.0.0.1:0").expect("bind ephemeral")).collect();
+    held.iter().map(|l| l.local_addr().unwrap().to_string()).collect()
+}
+
+/// Boots an `n`-member fleet with fast gossip and peer timeouts suited to
+/// tests; `tune` adjusts each member's fleet config before start.
+fn start_fleet(n: usize, tune: impl Fn(&mut FleetConfig)) -> Vec<Member> {
+    let addrs = reserve_addrs(n);
+    addrs
+        .iter()
+        .enumerate()
+        .map(|(i, addr)| {
+            let peers: Vec<String> =
+                addrs.iter().enumerate().filter(|&(j, _)| j != i).map(|(_, a)| a.clone()).collect();
+            let mut fleet = FleetConfig::new(addr.clone(), peers);
+            fleet.gossip_interval_ms = 50;
+            fleet.peer_timeout_ms = 1000;
+            tune(&mut fleet);
+            let config =
+                ServerConfig { addr: addr.clone(), fleet: Some(fleet), ..ServerConfig::default() };
+            let handle = Server::start(config).expect("fleet member starts");
+            let client = Client::new(handle.addr());
+            Member { addr: addr.clone(), handle, client }
+        })
+        .collect()
+}
+
+fn shutdown(members: Vec<Member>) {
+    for member in &members {
+        member.handle.request_shutdown();
+    }
+    for member in members {
+        member.handle.join();
+    }
+}
+
+/// The ring every member of `addrs` builds — tests use it to predict
+/// ownership exactly as the fleet does.
+fn ring_of(members: &[Member]) -> HashRing {
+    let addrs: Vec<String> = members.iter().map(|m| m.addr.clone()).collect();
+    HashRing::new(&addrs, nvpim_serve::ring::DEFAULT_VNODES)
+}
+
+fn small_request(seed: u64) -> String {
+    format!(
+        r#"{{"workload": {{"kind": "mul", "rows": 128, "lanes": 8}}, "iterations": 20, "seed": {seed}}}"#
+    )
+}
+
+fn key_of(body: &str) -> u64 {
+    SimRequest::from_str(body).expect("valid request").cache_key()
+}
+
+/// The first seed whose request key `predicate` accepts — lets a test pin
+/// a request to a specific owner/replica layout on this run's ring.
+fn seed_where(predicate: impl Fn(u64) -> bool) -> (String, u64) {
+    for seed in 0..50_000u64 {
+        let body = small_request(seed);
+        let key = key_of(&body);
+        if predicate(key) {
+            return (body, key);
+        }
+    }
+    panic!("no seed satisfies the requested ring layout");
+}
+
+fn counter(metrics: &Json, name: &str) -> u64 {
+    metrics
+        .get("metrics")
+        .and_then(|m| m.get(name))
+        .and_then(|c| c.get("value"))
+        .and_then(Json::as_u64)
+        .unwrap_or(0)
+}
+
+fn fleet_counter(doc: &Json, name: &str) -> u64 {
+    doc.get("counters").and_then(|c| c.get(name)).and_then(Json::as_u64).unwrap_or(0)
+}
+
+fn wait_until(timeout: Duration, mut condition: impl FnMut() -> bool) -> bool {
+    let deadline = Instant::now() + timeout;
+    while Instant::now() < deadline {
+        if condition() {
+            return true;
+        }
+        std::thread::sleep(Duration::from_millis(25));
+    }
+    false
+}
+
+#[test]
+fn fleet_endpoint_exposes_ring_peers_and_health() {
+    let members = start_fleet(3, |_| {});
+    for member in &members {
+        let doc = member.client.get("/fleet").unwrap().json().unwrap();
+        assert_eq!(doc.get("self").and_then(Json::as_str), Some(member.addr.as_str()));
+        let ring = doc.get("ring").expect("ring section");
+        let listed = ring.get("members").and_then(Json::as_array).unwrap();
+        assert_eq!(listed.len(), 3);
+        let fractions: Vec<f64> = listed
+            .iter()
+            .map(|m| m.get("owned_fraction").and_then(Json::as_f64).unwrap())
+            .collect();
+        assert!((fractions.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert_eq!(
+            listed.iter().filter(|m| m.get("is_self") == Some(&Json::Bool(true))).count(),
+            1
+        );
+        let peers = doc.get("peers").and_then(Json::as_array).unwrap();
+        assert_eq!(peers.len(), 2);
+        for peer in peers {
+            assert_eq!(peer.get("breaker").and_then(Json::as_str), Some("closed"));
+        }
+        assert!(doc.get("counters").is_some());
+    }
+    // Gossip marks everyone up within a few rounds.
+    assert!(
+        wait_until(Duration::from_secs(5), || {
+            members.iter().all(|m| {
+                let doc = m.client.get("/fleet").unwrap().json().unwrap();
+                doc.get("peers").and_then(Json::as_array).is_some_and(|peers| {
+                    peers.iter().all(|p| p.get("up") == Some(&Json::Bool(true)))
+                })
+            })
+        }),
+        "all members must gossip each other up"
+    );
+    shutdown(members);
+}
+
+#[test]
+fn miss_on_a_non_owner_forwards_and_populates_exactly_the_owner() {
+    let members = start_fleet(3, |_| {});
+    let ring = ring_of(&members);
+    // A request owned by member 0, asked of member 1.
+    let (body, key) = seed_where(|key| ring.owner_of(key) == members[0].addr);
+    assert_eq!(ring.owner_of(key), members[0].addr);
+
+    let reply = members[1].client.post_json("/simulate", &body).unwrap();
+    assert_eq!(reply.status, 200);
+    assert_eq!(reply.header("x-fleet-hops"), Some("1"));
+    assert_eq!(reply.header("x-fleet-owner"), Some(members[0].addr.as_str()));
+    assert_eq!(reply.header("x-cache"), Some("miss"), "first ask computes on the owner");
+
+    // Exactly the owner's cache holds the entry now.
+    for (index, member) in members.iter().enumerate() {
+        let metrics = member.client.get("/metrics").unwrap().json().unwrap();
+        let resident = metrics
+            .get("serve")
+            .and_then(|s| s.get("cache"))
+            .and_then(|c| c.get("resident"))
+            .and_then(Json::as_u64)
+            .unwrap();
+        let expected = u64::from(index == 0);
+        assert_eq!(resident, expected, "member {index} resident count");
+    }
+
+    // Asking the owner directly is a hit with zero hops; the bytes match
+    // the forwarded answer exactly.
+    let direct = members[0].client.post_json("/simulate", &body).unwrap();
+    assert_eq!(direct.header("x-cache"), Some("hit"));
+    assert_eq!(direct.header("x-fleet-hops"), Some("0"));
+    assert_eq!(direct.text(), reply.text(), "forwarded and direct answers are byte-identical");
+
+    // A second ask through the non-owner is a forwarded hit.
+    let again = members[1].client.post_json("/simulate", &body).unwrap();
+    assert_eq!(again.header("x-cache"), Some("hit"));
+    assert_eq!(again.header("x-fleet-hops"), Some("1"));
+    assert_eq!(again.text(), reply.text());
+
+    let doc = members[1].client.get("/fleet").unwrap().json().unwrap();
+    assert!(fleet_counter(&doc, "forwarded") >= 2);
+    let metrics = members[1].client.get("/metrics").unwrap().json().unwrap();
+    assert!(counter(&metrics, "fleet.forwarded") >= 2);
+
+    shutdown(members);
+}
+
+#[test]
+fn fleet_answers_are_byte_identical_to_a_single_node() {
+    let single = Server::start(ServerConfig::default()).expect("single node starts");
+    let single_client = Client::new(single.addr());
+    let members = start_fleet(3, |_| {});
+    for seed in [3u64, 17, 90] {
+        let body = small_request(seed);
+        let reference = single_client.post_json("/simulate", &body).unwrap();
+        assert_eq!(reference.status, 200);
+        for member in &members {
+            let reply = member.client.post_json("/simulate", &body).unwrap();
+            assert_eq!(reply.status, 200);
+            assert_eq!(
+                reply.text(),
+                reference.text(),
+                "member {} must serve the single-node bytes for seed {seed}",
+                member.addr
+            );
+        }
+    }
+    single.request_shutdown();
+    single.join();
+    shutdown(members);
+}
+
+#[test]
+fn loop_guard_rejects_forged_hop_headers() {
+    let members = start_fleet(3, |_| {});
+    let body = small_request(1);
+    for forged in ["2", "0", "banana"] {
+        let reply = members[0]
+            .client
+            .post_json_with_headers("/simulate", &body, &[("X-Fleet-Hop", forged)])
+            .unwrap();
+        assert_eq!(reply.status, 400, "hop {forged:?} must be rejected");
+        assert!(reply.text().contains("single-hop"));
+    }
+    // A legitimate hop value is served locally without re-forwarding, even
+    // by a non-owner.
+    let ring = ring_of(&members);
+    let (foreign, _) = seed_where(|key| ring.owner_of(key) != members[0].addr);
+    let reply = members[0]
+        .client
+        .post_json_with_headers("/simulate", &foreign, &[("X-Fleet-Hop", "1")])
+        .unwrap();
+    assert_eq!(reply.status, 200);
+    assert_eq!(reply.header("x-fleet-hops"), Some("0"), "hopped requests serve locally");
+
+    let doc = members[0].client.get("/fleet").unwrap().json().unwrap();
+    assert_eq!(fleet_counter(&doc, "loop_rejected"), 3);
+    let metrics = members[0].client.get("/metrics").unwrap().json().unwrap();
+    assert_eq!(counter(&metrics, "fleet.loop_rejected"), 3);
+    shutdown(members);
+}
+
+#[test]
+fn hot_entries_replicate_and_a_replica_serves_after_owner_shutdown() {
+    let members = start_fleet(3, |fleet| {
+        fleet.hot_threshold = 2;
+        fleet.replicas = 1;
+    });
+    let ring = ring_of(&members);
+    // Owner = member 0, its ring successor (the replica) = member 1; the
+    // failover client asks member 2.
+    let (body, _key) = seed_where(|key| {
+        ring.owner_of(key) == members[0].addr
+            && ring.successors_of(key, 1) == vec![members[1].addr.as_str()]
+    });
+
+    // One miss, then hits until the hot threshold pushes a replica.
+    let first = members[0].client.post_json("/simulate", &body).unwrap();
+    assert_eq!(first.header("x-cache"), Some("miss"));
+    let reference = first.text();
+    for _ in 0..3 {
+        let hit = members[0].client.post_json("/simulate", &body).unwrap();
+        assert_eq!(hit.header("x-cache"), Some("hit"));
+    }
+    assert!(
+        wait_until(Duration::from_secs(5), || {
+            let doc = members[1].client.get("/fleet").unwrap().json().unwrap();
+            fleet_counter(&doc, "replica_received") >= 1
+        }),
+        "the ring successor must receive the hot entry"
+    );
+
+    // Owner goes away.
+    assert_eq!(members[0].client.post_json("/shutdown", "").unwrap().status, 200);
+
+    // Member 2 (neither owner nor replica for this key) still answers: the
+    // forward fails, the replica probe on member 1 hits.
+    let failover = members[2].client.post_json("/simulate", &body).unwrap();
+    assert_eq!(failover.status, 200, "owner death must degrade, not fail");
+    assert_eq!(failover.header("x-cache"), Some("hit"));
+    assert_eq!(failover.header("x-fleet-replica"), Some(members[1].addr.as_str()));
+    assert_eq!(failover.text(), reference, "replica serves the owner's exact bytes");
+
+    let doc = members[2].client.get("/fleet").unwrap().json().unwrap();
+    assert!(fleet_counter(&doc, "replica_hits") >= 1);
+    let metrics = members[2].client.get("/metrics").unwrap().json().unwrap();
+    assert!(counter(&metrics, "fleet.replica_hits") >= 1);
+
+    // Gossip notices the death: the survivors mark member 0 down.
+    assert!(
+        wait_until(Duration::from_secs(5), || {
+            let doc = members[2].client.get("/fleet").unwrap().json().unwrap();
+            doc.get("peers").and_then(Json::as_array).is_some_and(|peers| {
+                peers.iter().any(|p| {
+                    p.get("addr").and_then(Json::as_str) == Some(members[0].addr.as_str())
+                        && p.get("up") == Some(&Json::Bool(false))
+                })
+            })
+        }),
+        "survivors must gossip the dead owner down"
+    );
+    shutdown(members);
+}
+
+#[test]
+fn a_down_peer_never_fails_a_request() {
+    // Three configured members, but the third never starts: every key it
+    // owns must still be answered by whichever member is asked.
+    let addrs = reserve_addrs(3);
+    let members: Vec<Member> = addrs[..2]
+        .iter()
+        .enumerate()
+        .map(|(i, addr)| {
+            let peers: Vec<String> = addrs.iter().filter(|a| *a != addr).cloned().collect();
+            let mut fleet = FleetConfig::new(addr.clone(), peers);
+            fleet.gossip_interval_ms = 50;
+            fleet.peer_timeout_ms = 500;
+            let _ = i;
+            let config =
+                ServerConfig { addr: addr.clone(), fleet: Some(fleet), ..ServerConfig::default() };
+            let handle = Server::start(config).expect("member starts");
+            let client = Client::new(handle.addr());
+            Member { addr: addr.clone(), handle, client }
+        })
+        .collect();
+    let ring = HashRing::new(&addrs, nvpim_serve::ring::DEFAULT_VNODES);
+    let (body, _key) = seed_where(|key| ring.owner_of(key) == addrs[2]);
+
+    let reply = members[0].client.post_json("/simulate", &body).unwrap();
+    assert_eq!(reply.status, 200, "dead owner must degrade to a local compute");
+    assert_eq!(reply.header("x-cache"), Some("miss"));
+    assert_eq!(reply.header("x-fleet-hops"), Some("0"), "fallback computes locally");
+    let metrics = members[0].client.get("/metrics").unwrap().json().unwrap();
+    assert!(counter(&metrics, "fleet.fallback_local") >= 1);
+
+    // Spraying more keys at both live members: every single one answers.
+    for seed in 100..115u64 {
+        let body = small_request(seed);
+        for member in &members {
+            let reply = member.client.post_json("/simulate", &body).unwrap();
+            assert_eq!(reply.status, 200, "no request may fail outright, seed {seed}");
+        }
+    }
+
+    // The breaker on the dead peer is doing its job: after the threshold,
+    // further calls short-circuit instead of paying the connect each time.
+    let doc = members[0].client.get("/fleet").unwrap().json().unwrap();
+    let dead = doc
+        .get("peers")
+        .and_then(Json::as_array)
+        .and_then(|peers| {
+            peers.iter().find(|p| p.get("addr").and_then(Json::as_str) == Some(addrs[2].as_str()))
+        })
+        .cloned()
+        .expect("dead peer listed");
+    assert!(
+        dead.get("short_circuits").and_then(Json::as_u64).unwrap_or(0) > 0
+            || dead.get("breaker").and_then(Json::as_str) != Some("closed"),
+        "breaker must engage against the dead peer: {dead:?}"
+    );
+    shutdown(members);
+}
+
+#[test]
+fn trace_ids_propagate_across_the_forwarding_hop() {
+    let members = start_fleet(3, |_| {});
+    let ring = ring_of(&members);
+    let (body, _) = seed_where(|key| ring.owner_of(key) == members[0].addr);
+
+    let trace = "00feed0000feed00";
+    let reply = members[1]
+        .client
+        .post_json_with_headers("/simulate", &body, &[("X-Trace-Id", trace)])
+        .unwrap();
+    assert_eq!(reply.status, 200);
+    assert_eq!(reply.header("x-trace-id"), Some(trace));
+    assert_eq!(reply.header("x-fleet-hops"), Some("1"));
+
+    // The forwarding member recorded the request and the fleet.forward span.
+    let local = members[1].client.get(&format!("/trace/{trace}")).unwrap();
+    assert_eq!(local.status, 200);
+    let local_text = local.text();
+    assert!(local_text.contains("serve.request"), "{local_text}");
+    assert!(local_text.contains("fleet.forward"), "{local_text}");
+
+    // The owner adopted the same trace id for its half of the work.
+    let remote = members[0].client.get(&format!("/trace/{trace}")).unwrap();
+    assert_eq!(remote.status, 200, "owner must hold spans for the propagated trace");
+    let remote_text = remote.text();
+    assert!(remote_text.contains("serve.request"), "{remote_text}");
+    assert!(remote_text.contains("serve.execute"), "{remote_text}");
+
+    shutdown(members);
+}
+
+#[test]
+fn batch_on_a_member_reports_per_cell_hops() {
+    let members = start_fleet(3, |_| {});
+    let ring = ring_of(&members);
+    let (local_body, _) = seed_where(|key| ring.owner_of(key) == members[0].addr);
+    let (remote_body, _) = seed_where(|key| ring.owner_of(key) == members[1].addr);
+
+    let batch = format!(r#"{{"requests": [{local_body}, {remote_body}]}}"#);
+    let reply = members[0].client.post_json("/batch", &batch).unwrap();
+    assert_eq!(reply.status, 200);
+    let lines = reply.json_lines().unwrap();
+    assert_eq!(lines.len(), 2);
+    for line in &lines {
+        let index = line.get("index").and_then(Json::as_u64).unwrap();
+        let hops = line.get("hops").and_then(Json::as_u64).expect("fleet batch lines carry hops");
+        assert_eq!(hops, index, "cell 0 is owned locally, cell 1 forwards");
+        assert!(line.get("response").is_some());
+    }
+    shutdown(members);
+}

@@ -421,6 +421,80 @@ fn series_request_streams_the_wear_trajectory() {
 }
 
 #[test]
+fn spill_compaction_bounds_the_disk_tier_across_restarts() {
+    let dir = std::env::temp_dir().join(format!("nvpim-serve-compact-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    fn cache_stat(metrics: &Json, name: &str) -> u64 {
+        metrics
+            .get("serve")
+            .and_then(|s| s.get("cache"))
+            .and_then(|c| c.get(name))
+            .and_then(Json::as_u64)
+            .unwrap_or(0)
+    }
+
+    // Phase 1: spill a run of distinct entries with no byte budget and
+    // measure how much disk they take.
+    let seeds: Vec<u64> = (900..908).collect();
+    let unbounded_bytes;
+    {
+        let config = ServerConfig { cache_dir: Some(dir.clone()), ..ServerConfig::default() };
+        let (handle, client) = start(config);
+        for &seed in &seeds {
+            let reply = client.post_json("/simulate", &small_request(seed)).unwrap();
+            assert_eq!(reply.status, 200);
+            assert_eq!(reply.header("x-cache"), Some("miss"));
+        }
+        let metrics = client.get("/metrics").unwrap().json().unwrap();
+        unbounded_bytes = cache_stat(&metrics, "spill_bytes");
+        assert!(unbounded_bytes > 0, "spill tier grew while unbounded");
+        assert_eq!(cache_stat(&metrics, "compactions"), 0, "no budget, no compaction");
+        handle.request_shutdown();
+        handle.join();
+    }
+
+    // Phase 2: restart over the same directory with half that budget. The
+    // startup compaction must retire oldest-first until the bound holds.
+    let budget = unbounded_bytes / 2;
+    {
+        let config = ServerConfig {
+            cache_dir: Some(dir.clone()),
+            cache_max_bytes: budget,
+            ..ServerConfig::default()
+        };
+        let (handle, client) = start(config);
+        let metrics = client.get("/metrics").unwrap().json().unwrap();
+        assert!(
+            cache_stat(&metrics, "spill_bytes") <= budget,
+            "startup compaction enforces the byte budget: {} > {budget}",
+            cache_stat(&metrics, "spill_bytes")
+        );
+        assert!(cache_stat(&metrics, "compactions") >= 1);
+        assert!(cache_stat(&metrics, "compacted_entries") >= 1);
+        assert!(cache_stat(&metrics, "compacted_bytes") > 0);
+
+        // Eviction is LRU by index order: the oldest entry recomputes, the
+        // newest is still warm from disk.
+        let oldest = client.post_json("/simulate", &small_request(seeds[0])).unwrap();
+        assert_eq!(oldest.header("x-cache"), Some("miss"), "oldest entry was compacted away");
+        let newest = client.post_json("/simulate", &small_request(*seeds.last().unwrap())).unwrap();
+        assert_eq!(newest.header("x-cache"), Some("hit"), "newest entry survives compaction");
+
+        // New spills keep the budget holding steady-state, not just at boot.
+        for seed in 950..956 {
+            assert_eq!(client.post_json("/simulate", &small_request(seed)).unwrap().status, 200);
+        }
+        let metrics = client.get("/metrics").unwrap().json().unwrap();
+        assert!(cache_stat(&metrics, "spill_bytes") <= budget, "budget holds under continued load");
+        handle.request_shutdown();
+        handle.join();
+    }
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn disk_cache_and_manifests_survive_a_server_restart() {
     let dir = std::env::temp_dir().join(format!("nvpim-serve-test-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);

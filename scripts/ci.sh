@@ -32,6 +32,12 @@ cargo test -q --release --offline -p nvpim-core --test analytic
 # responses, cache hits, 429 backpressure, 504 timeouts, graceful drain.
 cargo test -q --release --offline -p nvpim-serve --test integration
 
+# The multi-node fleet suite in release mode: three in-process members
+# exchanging forwards, hot-entry replicas, and gossip over real sockets —
+# ring ownership, the single-hop loop guard, replica failover after an
+# owner shutdown, and byte-identity of fleet vs single-node answers.
+cargo test -q --release --offline -p nvpim-serve --test fleet
+
 # Two-worker smoke of the repro harness at a scaled-down iteration count:
 # exercises the full binary → parallel matrix path end to end. serve-smoke
 # boots an in-process server and round-trips real HTTP requests.
