@@ -149,6 +149,40 @@ impl WearMap {
         }
     }
 
+    /// Adds a flat row-major delta plane to the write counters — the
+    /// cache-blocked analytic scatter path: one contiguous zip over both
+    /// buffers with the grand total accumulated locally, no per-cell
+    /// index arithmetic.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `deltas` is not exactly `cells()` long.
+    pub fn accumulate_flat_writes(&mut self, deltas: &[u64]) {
+        assert_eq!(deltas.len(), self.writes.len(), "flat write plane length mismatch");
+        let mut sum = 0u64;
+        for (cell, &delta) in self.writes.iter_mut().zip(deltas) {
+            *cell += delta;
+            sum += delta;
+        }
+        self.sum_writes += sum;
+    }
+
+    /// Adds a flat row-major delta plane to the read counters (see
+    /// [`WearMap::accumulate_flat_writes`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `deltas` is not exactly `cells()` long.
+    pub fn accumulate_flat_reads(&mut self, deltas: &[u64]) {
+        assert_eq!(deltas.len(), self.reads.len(), "flat read plane length mismatch");
+        let mut sum = 0u64;
+        for (cell, &delta) in self.reads.iter_mut().zip(deltas) {
+            *cell += delta;
+            sum += delta;
+        }
+        self.sum_reads += sum;
+    }
+
     /// Maximum writes over all cells (the lifetime-limiting cell, Eq. 4).
     #[must_use]
     pub fn max_writes(&self) -> u64 {
@@ -474,6 +508,28 @@ mod tests {
         assert_eq!(w.total_reads(), w.recount_reads());
         assert_eq!(w.total_writes(), 12 + 7 + 4);
         assert_eq!(w.total_reads(), 4 + 5 + 4);
+    }
+
+    #[test]
+    fn flat_accumulation_matches_per_cell_adds() {
+        let dims = ArrayDims::new(3, 4);
+        let deltas: Vec<u64> = (0..dims.cells() as u64).collect();
+        let mut flat = WearMap::new(dims);
+        flat.accumulate_flat_writes(&deltas);
+        flat.accumulate_flat_reads(&deltas);
+        let mut slow = WearMap::new(dims);
+        for (i, &d) in deltas.iter().enumerate() {
+            slow.add_write_at(i / 4, i % 4, d);
+            slow.add_read_at(i / 4, i % 4, d);
+        }
+        for r in 0..3 {
+            for l in 0..4 {
+                assert_eq!(flat.writes_at(r, l), slow.writes_at(r, l));
+                assert_eq!(flat.reads_at(r, l), slow.reads_at(r, l));
+            }
+        }
+        assert_eq!(flat.total_writes(), flat.recount_writes());
+        assert_eq!(flat.total_reads(), flat.recount_reads());
     }
 
     #[test]

@@ -45,6 +45,19 @@
 //! all 18 configurations, and each query re-asserts conservation against
 //! the trace's static counts.
 //!
+//! # Artifact reuse
+//!
+//! Engine construction routes its expensive intermediates — the logical
+//! panels of one trace walk, compiled +Hw kernels, and whole closed-form
+//! backends — through [`crate::artifacts`]: a content-addressed store shared
+//! across matrix cells, sweep points, and serve requests. Sibling
+//! configurations that share a trace (all 18 do) or a row-table phase reuse
+//! each other's work; [`SimConfig::artifact_store`] disables the store, and
+//! [`AnalyticWearEngine::artifact_use`] reports how many lookups hit.
+//! Because every memoized builder is deterministic in its key, reuse is
+//! bit-identity-safe (see the `artifacts` module docs for the keying
+//! argument).
+//!
 //! # Examples
 //!
 //! ```
@@ -62,15 +75,22 @@
 //! assert!(wear.max_writes() > 0);
 //! ```
 
+use std::sync::Arc;
+
 use nvpim_array::trace::TraceCounts;
 use nvpim_array::{ArchStyle, ArrayDims, LaneSet, PermFolder, Step, Trace, WearKernel, WearMap};
 use nvpim_balance::{BalanceConfig, CombinedMap, RemapSchedule};
 use nvpim_obs::{Event, EventSink, NullSink};
 use nvpim_workloads::Workload;
 
+use crate::artifacts::{self, ArtifactKind, ArtifactStore, ArtifactUse, Fingerprint, StoreCtx};
 use crate::kernel;
 use crate::parallel::fan_out;
 use crate::sim::{EnduranceSimulator, SimConfig, SimResult};
+
+/// Chunk length (in `u64` cells) for the blocked fold loops: four zipped
+/// streams of 1024 × 8 B stay L1-resident on every target we care about.
+const FOLD_CHUNK: usize = 1 << 10;
 
 /// Ceiling on closed-form prefix-panel storage, in `u64` entries
 /// (`(L + 1) × cells`, doubled when reads are tracked). A super-cycle
@@ -203,16 +223,29 @@ pub fn classify(
     classify_inner(balance, schedule, dims, track_reads).path()
 }
 
-/// Per-class, per-logical-row write (and read) counts of one trace
-/// iteration — the table-independent core of the non-`Hw` replay: an epoch
-/// with row table `T` and lane permutation `P` deposits `V[class][r]` at
-/// `(T[r], P[lane])` for each lane of the class. Mirrors
-/// `Accumulator::replay_cached` with the identity table.
-fn logical_panels(
-    trace: &Trace,
-    arch: ArchStyle,
-    track_reads: bool,
-) -> (Vec<Vec<u64>>, Option<Vec<Vec<u64>>>) {
+/// Per-class, per-logical-row write (and read) panels of one trace walk —
+/// the table-independent core of the non-`Hw` replay, and the first artifact
+/// kind the store shares across configurations (all 18 configs of a matrix
+/// share one trace, hence one panel set).
+#[derive(Debug)]
+struct LogicalPanels {
+    writes: Vec<Vec<u64>>,
+    reads: Option<Vec<Vec<u64>>>,
+}
+
+impl LogicalPanels {
+    fn approx_bytes(&self) -> usize {
+        let entries = self.writes.iter().map(Vec::len).sum::<usize>()
+            + self.reads.as_ref().map_or(0, |r| r.iter().map(Vec::len).sum::<usize>());
+        entries * std::mem::size_of::<u64>()
+    }
+}
+
+/// Walks the trace once into [`LogicalPanels`]: an epoch with row table `T`
+/// and lane permutation `P` deposits `V[class][r]` at `(T[r], P[lane])` for
+/// each lane of the class. Mirrors `Accumulator::replay_cached` with the
+/// identity table.
+fn logical_panels(trace: &Trace, arch: ArchStyle, track_reads: bool) -> LogicalPanels {
     let rows = trace.dims().rows();
     let n_classes = trace.classes().len();
     let writes_per_gate = arch.writes_per_gate();
@@ -243,7 +276,58 @@ fn logical_panels(
             }
         }
     }
-    (writes, reads)
+    LogicalPanels { writes, reads }
+}
+
+/// Fetches (or builds) the trace's logical panels through the store.
+fn fetch_panels(
+    trace: &Trace,
+    cfg: SimConfig,
+    fp: Fingerprint,
+    ctx: &mut StoreCtx<'_>,
+) -> Arc<LogicalPanels> {
+    let key = artifacts::panels_key(fp, cfg.arch, cfg.track_reads);
+    ctx.get_or_build(ArtifactKind::Panels, key, || {
+        let panels = logical_panels(trace, cfg.arch, cfg.track_reads);
+        let bytes = panels.approx_bytes();
+        (panels, bytes)
+    })
+}
+
+/// Fetches (or compiles) the +Hw kernel specialized against `table`.
+fn fetch_kernel(
+    trace: &Trace,
+    table: &[usize],
+    cfg: SimConfig,
+    fp: Fingerprint,
+    ctx: &mut StoreCtx<'_>,
+) -> Arc<WearKernel> {
+    let key = artifacts::kernel_key(fp, table, cfg.arch, cfg.track_reads);
+    let kernel = ctx.get_or_build(ArtifactKind::Kernel, key, || {
+        let kernel = kernel::compile(trace, table, cfg.arch, cfg.track_reads);
+        let bytes = kernel.approx_bytes();
+        (kernel, bytes)
+    });
+    debug_assert!(kernel.matches(table), "kernel artifact keyed to the wrong table");
+    kernel
+}
+
+/// Zeroes `plane` and sizes it to `len` (scratch reuse across queries).
+fn zeroed_plane(plane: &mut Vec<u64>, len: usize) {
+    plane.clear();
+    plane.resize(len, 0);
+}
+
+/// Reusable per-engine query scratch: the closed-form paths evaluate whole
+/// planes into these buffers instead of allocating per call.
+#[derive(Debug, Default)]
+struct QueryScratch {
+    plane_w: Vec<u64>,
+    plane_r: Vec<u64>,
+    folded: Vec<u64>,
+    col_in: Vec<u64>,
+    col_out: Vec<u64>,
+    rows: Vec<u64>,
 }
 
 /// Closed form for software-only configs with periodic tables.
@@ -262,10 +346,15 @@ struct StaticClosedForm {
 }
 
 impl StaticClosedForm {
-    fn build(trace: &Trace, balance: BalanceConfig, cfg: SimConfig) -> Self {
+    fn build(
+        trace: &Trace,
+        panels: &LogicalPanels,
+        balance: BalanceConfig,
+        cfg: SimConfig,
+    ) -> Self {
         let dims = trace.dims();
         let (rows, lanes, cells) = (dims.rows(), dims.lanes(), dims.cells());
-        let (vw, vr) = logical_panels(trace, cfg.arch, cfg.track_reads);
+        let (vw, vr) = (&panels.writes, panels.reads.as_ref());
         let period = cfg.schedule.period();
         let l = match period {
             None => 1,
@@ -348,8 +437,58 @@ impl StaticClosedForm {
         }
     }
 
-    fn query(&self, n: u64) -> WearMap {
+    /// Blocked variant of [`StaticClosedForm::eval_plane`]: writes the
+    /// whole plane into `out` in L1-sized chunks of exact-size slices —
+    /// no per-cell emit dispatch, no bounds checks in the inner loop, and
+    /// the same arithmetic bit for bit.
+    fn eval_plane_into(&self, prefix: &[Vec<u64>], n: u64, out: &mut [u64]) {
+        match self.period {
+            None => {
+                for (o, &q) in out.iter_mut().zip(prefix[1].iter()) {
+                    *o = n * q;
+                }
+            }
+            Some(p) => {
+                let (full, rem) = (n / p, n % p);
+                let (q, r) = (full / self.l, (full % self.l) as usize);
+                let whole = &prefix[self.l as usize];
+                let head = &prefix[r];
+                let next = &prefix[r + 1];
+                let mut start = 0;
+                while start < out.len() {
+                    let end = (start + FOLD_CHUNK).min(out.len());
+                    let o = &mut out[start..end];
+                    let w = &whole[start..end];
+                    let h = &head[start..end];
+                    let x = &next[start..end];
+                    for i in 0..o.len() {
+                        o[i] = p * (q * w[i] + h[i]) + rem * (x[i] - h[i]);
+                    }
+                    start = end;
+                }
+            }
+        }
+    }
+
+    fn approx_bytes(&self) -> usize {
+        let entries = self.prefix_w.iter().map(Vec::len).sum::<usize>()
+            + self.prefix_r.as_ref().map_or(0, |p| p.iter().map(Vec::len).sum::<usize>());
+        entries * std::mem::size_of::<u64>()
+    }
+
+    fn query(&self, n: u64, blocked: bool, s: &mut QueryScratch) -> WearMap {
         let mut wear = WearMap::new(self.dims);
+        if blocked {
+            zeroed_plane(&mut s.plane_w, self.dims.cells());
+            self.eval_plane_into(&self.prefix_w, n, &mut s.plane_w);
+            wear.accumulate_flat_writes(&s.plane_w);
+            if let Some(prefix_r) = &self.prefix_r {
+                zeroed_plane(&mut s.plane_r, self.dims.cells());
+                self.eval_plane_into(prefix_r, n, &mut s.plane_r);
+                wear.accumulate_flat_reads(&s.plane_r);
+            }
+            return wear;
+        }
         let lanes = self.dims.lanes();
         self.eval_plane(&self.prefix_w, n, |i, v| wear.add_write_at(i / lanes, i % lanes, v));
         if let Some(prefix_r) = &self.prefix_r {
@@ -376,8 +515,10 @@ struct HwClosedForm {
     l: u64,
     lr: u64,
     lc: u64,
-    /// One compiled kernel per software row-table phase.
-    kernels: Vec<WearKernel>,
+    /// One compiled kernel per software row-table phase (shared through
+    /// the artifact store — sibling configs with the same row strategy
+    /// reuse the identical kernels).
+    kernels: Vec<Arc<WearKernel>>,
     /// `[lane phase][class]` → physical lanes.
     phys_lanes: Vec<Vec<Vec<usize>>>,
     /// Arrangement entering epoch `j` of a super-cycle, `j = 0..=L`
@@ -392,7 +533,31 @@ struct HwClosedForm {
 }
 
 impl HwClosedForm {
-    fn build(trace: &Trace, balance: BalanceConfig, cfg: SimConfig) -> Self {
+    /// The row tables whose kernels the build needs, one per phase (the
+    /// identity table under a `never()` schedule).
+    fn phase_tables(
+        balance: BalanceConfig,
+        schedule: RemapSchedule,
+        sw_rows: usize,
+    ) -> Vec<Vec<usize>> {
+        match schedule.period() {
+            None => vec![(0..sw_rows).collect()],
+            Some(_) => {
+                let lr =
+                    balance.row.epoch_period(sw_rows).expect("closed form requires periodic rows");
+                (0..lr)
+                    .map(|phase| balance.row.table_at_epoch(sw_rows, phase).expect("periodic rows"))
+                    .collect()
+            }
+        }
+    }
+
+    fn build(
+        trace: &Trace,
+        balance: BalanceConfig,
+        cfg: SimConfig,
+        kernels: Vec<Arc<WearKernel>>,
+    ) -> Self {
         let dims = trace.dims();
         let (slots, lanes, cells) = (dims.rows(), dims.lanes(), dims.cells());
         let sw_rows = slots - 1;
@@ -402,15 +567,13 @@ impl HwClosedForm {
         let Some(p) = cfg.schedule.period() else {
             // Single endless epoch: one kernel over the identity table,
             // queries fold it over its own end permutation.
-            let table: Vec<usize> = (0..sw_rows).collect();
-            let kernel = kernel::compile(trace, &table, cfg.arch, track);
             return HwClosedForm {
                 dims,
                 period: None,
                 l: 1,
                 lr: 1,
                 lc: 1,
-                kernels: vec![kernel],
+                kernels,
                 phys_lanes: vec![identity_lanes()],
                 d: Vec::new(),
                 f: PermFolder::new((0..slots).collect()),
@@ -421,12 +584,7 @@ impl HwClosedForm {
         let lr = balance.row.epoch_period(sw_rows).expect("closed form requires periodic rows");
         let lc = balance.col.epoch_period(lanes).expect("closed form requires periodic lanes");
         let l = lcm(lr, lc);
-        let kernels: Vec<WearKernel> = (0..lr)
-            .map(|phase| {
-                let table = balance.row.table_at_epoch(sw_rows, phase).expect("periodic rows");
-                kernel::compile(trace, &table, cfg.arch, track)
-            })
-            .collect();
+        debug_assert_eq!(kernels.len(), lr as usize, "one kernel per row phase");
         // E_phase^p: how one whole epoch at this row phase advances the
         // arrangement.
         let epoch_perms: Vec<Vec<usize>> = kernels.iter().map(|k| k.folder().power(p)).collect();
@@ -483,31 +641,48 @@ impl HwClosedForm {
         HwClosedForm { dims, period: Some(p), l, lr, lc, kernels, phys_lanes, d, f, scp_w, scp_r }
     }
 
-    fn query(&self, n: u64) -> WearMap {
+    fn approx_bytes(&self) -> usize {
+        let panels = self.scp_w.iter().map(Vec::len).sum::<usize>()
+            + self.scp_r.as_ref().map_or(0, |p| p.iter().map(Vec::len).sum::<usize>());
+        let d = self.d.iter().map(Vec::len).sum::<usize>();
+        let lanes = self
+            .phys_lanes
+            .iter()
+            .flat_map(|per_phase| per_phase.iter())
+            .map(Vec::len)
+            .sum::<usize>();
+        // Kernels are shared store entries in their own right; count only
+        // the Arc handles here so they are not billed twice.
+        (panels + d + lanes) * std::mem::size_of::<u64>()
+            + self.dims.rows() * 2 * std::mem::size_of::<usize>()
+    }
+
+    fn query(&self, n: u64, blocked: bool, s: &mut QueryScratch) -> WearMap {
         let mut wear = WearMap::new(self.dims);
         let lanes = self.dims.lanes();
         let slots = self.dims.rows();
-        let mut folded = vec![0u64; slots];
+        zeroed_plane(&mut s.folded, slots);
+        let folded = &mut s.folded;
         let Some(p) = self.period else {
             let kernel = &self.kernels[0];
             for class in 0..kernel.classes() {
-                kernel.fold_epoch_into(n, kernel.slot_writes(class), &mut folded);
-                for (s, &delta) in folded.iter().enumerate() {
+                kernel.fold_epoch_into(n, kernel.slot_writes(class), folded);
+                for (slot, &delta) in folded.iter().enumerate() {
                     if delta == 0 {
                         continue;
                     }
                     for &lane in &self.phys_lanes[0][class] {
-                        wear.add_write_at(s, lane, delta);
+                        wear.add_write_at(slot, lane, delta);
                     }
                 }
                 if let Some(reads) = kernel.slot_reads(class) {
-                    kernel.fold_epoch_into(n, reads, &mut folded);
-                    for (s, &delta) in folded.iter().enumerate() {
+                    kernel.fold_epoch_into(n, reads, folded);
+                    for (slot, &delta) in folded.iter().enumerate() {
                         if delta == 0 {
                             continue;
                         }
                         for &lane in &self.phys_lanes[0][class] {
-                            wear.add_read_at(s, lane, delta);
+                            wear.add_read_at(slot, lane, delta);
                         }
                     }
                 }
@@ -517,45 +692,60 @@ impl HwClosedForm {
         let (full, rem) = (n / p, n % p);
         let (k, r) = (full / self.l, (full % self.l) as usize);
         let cells = self.dims.cells();
-        let mut acc_w = vec![0u64; cells];
-        let mut acc_r = self.scp_r.as_ref().map(|_| vec![0u64; cells]);
-        let mut col_in = vec![0u64; slots];
-        let mut col_out = vec![0u64; slots];
+        let track = self.scp_r.is_some();
+        zeroed_plane(&mut s.plane_w, cells);
+        if track {
+            zeroed_plane(&mut s.plane_r, cells);
+        }
+        let (acc_w, acc_r) = (&mut s.plane_w, &mut s.plane_r);
 
-        // (1) k full super-cycles: the super-cycle panel folded over F,
-        // one lane column at a time (F permutes rows uniformly).
+        // (1) k full super-cycles: the super-cycle panel folded over F.
+        // Blocked mode folds whole lane *rows* at a time (contiguous
+        // row-major vector adds via the cycle algebra); the legacy mode
+        // gathers one strided lane column per pass.
         if k > 0 {
-            let mut fold_plane = |panel: &[u64], acc: &mut [u64]| {
-                for lane in 0..lanes {
-                    for s in 0..slots {
-                        col_in[s] = panel[s * lanes + lane];
-                    }
-                    self.f.fold_into(k, &col_in, &mut col_out);
-                    for s in 0..slots {
-                        acc[s * lanes + lane] += col_out[s];
-                    }
+            if blocked {
+                self.f.fold_rows_into(k, &self.scp_w[self.l as usize], lanes, acc_w, &mut s.rows);
+                if let Some(scp_r) = &self.scp_r {
+                    self.f.fold_rows_into(k, &scp_r[self.l as usize], lanes, acc_r, &mut s.rows);
                 }
-            };
-            fold_plane(&self.scp_w[self.l as usize], &mut acc_w);
-            if let (Some(scp_r), Some(acc_r)) = (&self.scp_r, &mut acc_r) {
-                fold_plane(&scp_r[self.l as usize], acc_r);
+            } else {
+                zeroed_plane(&mut s.col_in, slots);
+                zeroed_plane(&mut s.col_out, slots);
+                let (col_in, col_out) = (&mut s.col_in, &mut s.col_out);
+                let mut fold_plane = |panel: &[u64], acc: &mut [u64]| {
+                    for lane in 0..lanes {
+                        for slot in 0..slots {
+                            col_in[slot] = panel[slot * lanes + lane];
+                        }
+                        self.f.fold_into(k, col_in, col_out);
+                        for slot in 0..slots {
+                            acc[slot * lanes + lane] += col_out[slot];
+                        }
+                    }
+                };
+                fold_plane(&self.scp_w[self.l as usize], acc_w);
+                if let Some(scp_r) = &self.scp_r {
+                    fold_plane(&scp_r[self.l as usize], acc_r);
+                }
             }
         }
 
         // (2) r whole remainder epochs: their stored prefix panel, shifted
-        // through F^k.
+        // through F^k one contiguous lane row at a time.
         let fk = self.f.power(k);
         if r > 0 {
             let shift_plane = |panel: &[u64], acc: &mut [u64]| {
-                for (s, &fs) in fk.iter().enumerate() {
-                    let (src, dst) = (s * lanes, fs * lanes);
-                    for lane in 0..lanes {
-                        acc[dst + lane] += panel[src + lane];
+                for (slot, &fs) in fk.iter().enumerate() {
+                    let src = &panel[slot * lanes..(slot + 1) * lanes];
+                    let dst = &mut acc[fs * lanes..(fs + 1) * lanes];
+                    for (d, &v) in dst.iter_mut().zip(src.iter()) {
+                        *d += v;
                     }
                 }
             };
-            shift_plane(&self.scp_w[r], &mut acc_w);
-            if let (Some(scp_r), Some(acc_r)) = (&self.scp_r, &mut acc_r) {
+            shift_plane(&self.scp_w[r], acc_w);
+            if let Some(scp_r) = &self.scp_r {
                 shift_plane(&scp_r[r], acc_r);
             }
         }
@@ -567,37 +757,46 @@ impl HwClosedForm {
             let dr = &self.d[r];
             let lanes_of = &self.phys_lanes[(full % self.lc) as usize];
             for (class, class_lanes) in lanes_of.iter().enumerate() {
-                kernel.fold_epoch_into(rem, kernel.slot_writes(class), &mut folded);
-                for (s, &delta) in folded.iter().enumerate() {
+                kernel.fold_epoch_into(rem, kernel.slot_writes(class), folded);
+                for (slot, &delta) in folded.iter().enumerate() {
                     if delta == 0 {
                         continue;
                     }
-                    let base = fk[dr[s]] * lanes;
+                    let base = fk[dr[slot]] * lanes;
                     for &lane in class_lanes {
                         acc_w[base + lane] += delta;
                     }
                 }
-                if let (Some(acc_r), Some(reads)) = (&mut acc_r, kernel.slot_reads(class)) {
-                    kernel.fold_epoch_into(rem, reads, &mut folded);
-                    for (s, &delta) in folded.iter().enumerate() {
-                        if delta == 0 {
-                            continue;
-                        }
-                        let base = fk[dr[s]] * lanes;
-                        for &lane in class_lanes {
-                            acc_r[base + lane] += delta;
+                if let Some(reads) = kernel.slot_reads(class) {
+                    if track {
+                        kernel.fold_epoch_into(rem, reads, folded);
+                        for (slot, &delta) in folded.iter().enumerate() {
+                            if delta == 0 {
+                                continue;
+                            }
+                            let base = fk[dr[slot]] * lanes;
+                            for &lane in class_lanes {
+                                acc_r[base + lane] += delta;
+                            }
                         }
                     }
                 }
             }
         }
 
+        if blocked {
+            wear.accumulate_flat_writes(acc_w);
+            if track {
+                wear.accumulate_flat_reads(acc_r);
+            }
+            return wear;
+        }
         for (i, &v) in acc_w.iter().enumerate() {
             if v > 0 {
                 wear.add_write_at(i / lanes, i % lanes, v);
             }
         }
-        if let Some(acc_r) = &acc_r {
+        if track {
             for (i, &v) in acc_r.iter().enumerate() {
                 if v > 0 {
                     wear.add_read_at(i / lanes, i % lanes, v);
@@ -615,8 +814,7 @@ impl HwClosedForm {
 #[derive(Debug)]
 struct LazySw {
     dims: ArrayDims,
-    vw: Vec<Vec<u64>>,
-    vr: Option<Vec<Vec<u64>>>,
+    panels: Arc<LogicalPanels>,
     map: CombinedMap,
     wear: WearMap,
     done: u64,
@@ -624,13 +822,17 @@ struct LazySw {
 }
 
 impl LazySw {
-    fn new(trace: &Trace, balance: BalanceConfig, cfg: SimConfig) -> Self {
+    fn new(
+        trace: &Trace,
+        balance: BalanceConfig,
+        cfg: SimConfig,
+        fp: Fingerprint,
+        ctx: &mut StoreCtx<'_>,
+    ) -> Self {
         let dims = trace.dims();
-        let (vw, vr) = logical_panels(trace, cfg.arch, cfg.track_reads);
         LazySw {
             dims,
-            vw,
-            vr,
+            panels: fetch_panels(trace, cfg, fp, ctx),
             map: CombinedMap::new(balance, dims.rows(), dims.lanes(), cfg.seed),
             wear: WearMap::new(dims),
             done: 0,
@@ -655,12 +857,12 @@ impl LazySw {
             let perm = self.map.lane_permutation();
             for (class, laneset) in trace.classes().iter().enumerate() {
                 laneset.permuted_into(perm, &mut self.phys_scratch);
-                for (row, &v) in self.vw[class].iter().enumerate() {
+                for (row, &v) in self.panels.writes[class].iter().enumerate() {
                     if v > 0 {
                         self.wear.add_writes(rows[row], &self.phys_scratch, v * span);
                     }
                 }
-                if let Some(vr) = &self.vr {
+                if let Some(vr) = &self.panels.reads {
                     for (row, &v) in vr[class].iter().enumerate() {
                         if v > 0 {
                             self.wear.add_reads(rows[row], &self.phys_scratch, v * span);
@@ -687,7 +889,8 @@ impl LazySw {
 struct LazyHw {
     dims: ArrayDims,
     lr: u64,
-    kernels: Vec<Option<WearKernel>>,
+    kernels: Vec<Option<Arc<WearKernel>>>,
+    fp: Fingerprint,
     scratch: kernel::EpochScratch,
     map: CombinedMap,
     wear: WearMap,
@@ -695,7 +898,7 @@ struct LazyHw {
 }
 
 impl LazyHw {
-    fn new(trace: &Trace, balance: BalanceConfig, cfg: SimConfig) -> Self {
+    fn new(trace: &Trace, balance: BalanceConfig, cfg: SimConfig, fp: Fingerprint) -> Self {
         let dims = trace.dims();
         let lr =
             balance.row.epoch_period(dims.rows() - 1).expect("lazy Hw path requires periodic rows");
@@ -703,6 +906,7 @@ impl LazyHw {
             dims,
             lr,
             kernels: (0..lr).map(|_| None).collect(),
+            fp,
             scratch: kernel::EpochScratch::new(trace, cfg.track_reads),
             map: CombinedMap::new(balance, dims.rows(), dims.lanes(), cfg.seed),
             wear: WearMap::new(dims),
@@ -710,7 +914,14 @@ impl LazyHw {
         }
     }
 
-    fn query(&mut self, trace: &Trace, balance: BalanceConfig, cfg: SimConfig, n: u64) -> WearMap {
+    fn query(
+        &mut self,
+        trace: &Trace,
+        balance: BalanceConfig,
+        cfg: SimConfig,
+        n: u64,
+        ctx: &mut StoreCtx<'_>,
+    ) -> WearMap {
         if n < self.done {
             self.map = CombinedMap::new(balance, self.dims.rows(), self.dims.lanes(), cfg.seed);
             self.wear = WearMap::new(self.dims);
@@ -721,12 +932,8 @@ impl LazyHw {
             let span = (p - self.done % p).min(n - self.done);
             let phase = ((self.done / p) % self.lr) as usize;
             if self.kernels[phase].is_none() {
-                self.kernels[phase] = Some(kernel::compile(
-                    trace,
-                    self.map.sw_row_table(),
-                    cfg.arch,
-                    cfg.track_reads,
-                ));
+                let table = self.map.sw_row_table().to_vec();
+                self.kernels[phase] = Some(fetch_kernel(trace, &table, cfg, self.fp, ctx));
             }
             let kernel = self.kernels[phase].as_ref().expect("memoized above");
             kernel::apply_kernel_epoch(
@@ -748,11 +955,52 @@ impl LazyHw {
 
 #[derive(Debug)]
 enum Backend {
-    Static(StaticClosedForm),
-    HwClosed(HwClosedForm),
-    LazySw(LazySw),
-    LazyHw(LazyHw),
+    Static(Arc<StaticClosedForm>),
+    HwClosed(Arc<HwClosedForm>),
+    LazySw(Box<LazySw>),
+    LazyHw(Box<LazyHw>),
     Fallback,
+}
+
+/// Fetches (or builds) the software-only closed form through the store.
+fn build_static(
+    trace: &Trace,
+    balance: BalanceConfig,
+    cfg: SimConfig,
+    fp: Fingerprint,
+    ctx: &mut StoreCtx<'_>,
+) -> Arc<StaticClosedForm> {
+    let panels = fetch_panels(trace, cfg, fp, ctx);
+    let key = artifacts::closed_form_key(1, fp, balance, cfg.schedule, cfg.arch, cfg.track_reads);
+    ctx.get_or_build(ArtifactKind::ClosedForm, key, || {
+        let form = StaticClosedForm::build(trace, &panels, balance, cfg);
+        let bytes = form.approx_bytes();
+        (form, bytes)
+    })
+}
+
+/// Fetches (or builds) the +Hw closed form. Its per-phase kernels are
+/// fetched first as their own store entries, so a sibling config that
+/// shares the row strategy (or the lazy path of the same config) reuses
+/// them even if the whole closed form misses.
+fn build_hw_closed(
+    trace: &Trace,
+    balance: BalanceConfig,
+    cfg: SimConfig,
+    fp: Fingerprint,
+    ctx: &mut StoreCtx<'_>,
+) -> Arc<HwClosedForm> {
+    let sw_rows = trace.dims().rows() - 1;
+    let kernels: Vec<Arc<WearKernel>> = HwClosedForm::phase_tables(balance, cfg.schedule, sw_rows)
+        .iter()
+        .map(|table| fetch_kernel(trace, table, cfg, fp, ctx))
+        .collect();
+    let key = artifacts::closed_form_key(2, fp, balance, cfg.schedule, cfg.arch, cfg.track_reads);
+    ctx.get_or_build(ArtifactKind::ClosedForm, key, || {
+        let form = HwClosedForm::build(trace, balance, cfg, kernels);
+        let bytes = form.approx_bytes();
+        (form, bytes)
+    })
 }
 
 /// Replay-free per-cell wear as a function of the iteration count, for one
@@ -770,11 +1018,16 @@ pub struct AnalyticWearEngine<'w> {
     cfg: SimConfig,
     counts: TraceCounts,
     backend: Backend,
+    store: Option<&'w ArtifactStore>,
+    usage: ArtifactUse,
+    scratch: QueryScratch,
 }
 
 impl<'w> AnalyticWearEngine<'w> {
     /// Builds the engine, choosing the strongest reducible path for
-    /// `balance` under `cfg.schedule`.
+    /// `balance` under `cfg.schedule`. With [`SimConfig::artifact_store`]
+    /// enabled (the default), intermediates are shared through
+    /// [`artifacts::global`].
     ///
     /// # Panics
     ///
@@ -782,6 +1035,31 @@ impl<'w> AnalyticWearEngine<'w> {
     /// available (same contract as the simulator).
     #[must_use]
     pub fn new(workload: &'w Workload, balance: BalanceConfig, cfg: SimConfig) -> Self {
+        let store = cfg.artifact_store.then(artifacts::global);
+        Self::build_with(workload, balance, cfg, store)
+    }
+
+    /// [`AnalyticWearEngine::new`] against an explicit store (the identity
+    /// suite and `nvpim-check` use private stores to exercise hit, miss,
+    /// and eviction regimes in isolation). The explicit store wins over
+    /// `cfg.artifact_store` for analytic intermediates; a fallback-path
+    /// delegation to the simulator still follows the config flag.
+    #[must_use]
+    pub fn new_with_store(
+        workload: &'w Workload,
+        balance: BalanceConfig,
+        cfg: SimConfig,
+        store: &'w ArtifactStore,
+    ) -> Self {
+        Self::build_with(workload, balance, cfg, Some(store))
+    }
+
+    fn build_with(
+        workload: &'w Workload,
+        balance: BalanceConfig,
+        cfg: SimConfig,
+        store: Option<&'w ArtifactStore>,
+    ) -> Self {
         let trace = workload.trace();
         let dims = trace.dims();
         let logical_rows = dims.rows() - usize::from(balance.hw);
@@ -792,14 +1070,46 @@ impl<'w> AnalyticWearEngine<'w> {
             trace.rows_used(),
         );
         let counts = trace.counts(cfg.arch);
-        let backend = match classify_inner(balance, cfg.schedule, dims, cfg.track_reads) {
-            PathChoice::Static => Backend::Static(StaticClosedForm::build(trace, balance, cfg)),
-            PathChoice::HwClosed => Backend::HwClosed(HwClosedForm::build(trace, balance, cfg)),
-            PathChoice::LazySw => Backend::LazySw(LazySw::new(trace, balance, cfg)),
-            PathChoice::LazyHw => Backend::LazyHw(LazyHw::new(trace, balance, cfg)),
+        let choice = classify_inner(balance, cfg.schedule, dims, cfg.track_reads);
+        // The trace walk for the fingerprint is only worth paying when a
+        // store can reuse it; detached engines and the fallback path (which
+        // delegates to the simulator and never issues panel lookups) skip
+        // it — keys derived from the placeholder go unused.
+        let fp = match (store, choice) {
+            (Some(_), PathChoice::Fallback) | (None, _) => Fingerprint::zero(),
+            (Some(_), _) => artifacts::trace_fingerprint(trace),
+        };
+        let mut ctx = StoreCtx::new(store);
+        let backend = match choice {
+            PathChoice::Static => Backend::Static(build_static(trace, balance, cfg, fp, &mut ctx)),
+            PathChoice::HwClosed => {
+                Backend::HwClosed(build_hw_closed(trace, balance, cfg, fp, &mut ctx))
+            }
+            PathChoice::LazySw => {
+                Backend::LazySw(Box::new(LazySw::new(trace, balance, cfg, fp, &mut ctx)))
+            }
+            PathChoice::LazyHw => Backend::LazyHw(Box::new(LazyHw::new(trace, balance, cfg, fp))),
             PathChoice::Fallback => Backend::Fallback,
         };
-        AnalyticWearEngine { workload, balance, cfg, counts, backend }
+        let usage = ctx.tally();
+        AnalyticWearEngine {
+            workload,
+            balance,
+            cfg,
+            counts,
+            backend,
+            store,
+            usage,
+            scratch: QueryScratch::default(),
+        }
+    }
+
+    /// How many artifact-store lookups this engine has answered from cache
+    /// versus built, across construction and every query so far. All zeros
+    /// when the store is disabled.
+    #[must_use]
+    pub fn artifact_use(&self) -> ArtifactUse {
+        self.usage
     }
 
     /// The reducibility rung this configuration landed on.
@@ -868,11 +1178,17 @@ impl<'w> AnalyticWearEngine<'w> {
             }
             backend => {
                 let trace = self.workload.trace();
+                let blocked = self.cfg.blocked_folds;
                 let wear = match backend {
-                    Backend::Static(b) => b.query(iterations),
-                    Backend::HwClosed(b) => b.query(iterations),
+                    Backend::Static(b) => b.query(iterations, blocked, &mut self.scratch),
+                    Backend::HwClosed(b) => b.query(iterations, blocked, &mut self.scratch),
                     Backend::LazySw(b) => b.query(trace, self.balance, self.cfg, iterations),
-                    Backend::LazyHw(b) => b.query(trace, self.balance, self.cfg, iterations),
+                    Backend::LazyHw(b) => {
+                        let mut ctx = StoreCtx::new(self.store);
+                        let wear = b.query(trace, self.balance, self.cfg, iterations, &mut ctx);
+                        self.usage.absorb(ctx.tally());
+                        wear
+                    }
                     Backend::Fallback => unreachable!("handled above"),
                 };
                 // Same conservation cross-check as the simulator: the
@@ -933,6 +1249,13 @@ impl<'w> AnalyticWearEngine<'w> {
 /// answering each at `cfg.iterations` — the analytic counterpart of
 /// [`EnduranceSimulator::run_configs_parallel`], bit-identical to it and
 /// to the serial simulator.
+///
+/// Every worker shares the same immutable artifact store (passed by
+/// reference into the pool; values come back as `Arc` clones), so sibling
+/// cells reuse trace walks, panels, and kernels regardless of which thread
+/// evaluates them. Per-cell hit/miss tallies are buffered through
+/// [`artifacts::record_provenance`] in submission order for manifest
+/// auditing.
 #[must_use]
 pub fn run_configs_analytic(
     workload: &Workload,
@@ -940,11 +1263,19 @@ pub fn run_configs_analytic(
     cfg: SimConfig,
     jobs: usize,
 ) -> Vec<SimResult> {
-    fan_out(configs.to_vec(), jobs, |config, sink| {
+    let outputs = fan_out(configs.to_vec(), jobs, |config, sink| {
         let mut engine = AnalyticWearEngine::new(workload, config, cfg);
-        match sink {
+        let result = match sink {
             Some(observer) => engine.result_at_with(cfg.iterations, observer),
             None => engine.result_at_with(cfg.iterations, &NullSink),
-        }
-    })
+        };
+        (result, engine.artifact_use())
+    });
+    outputs
+        .into_iter()
+        .map(|(result, usage)| {
+            artifacts::record_provenance(result.config.to_string(), usage);
+            result
+        })
+        .collect()
 }

@@ -38,6 +38,15 @@ use crate::{EnduranceSimulator, SimConfig, SimResult};
 /// against [`NullSink`] for the zero-cost disabled path). Worker observers
 /// are merged into the global one in submission order after all jobs join.
 ///
+/// Jobs never clone shared read-only state: the closure borrows its
+/// environment (workloads, configs) by reference across threads, and the
+/// content-addressed [`crate::artifacts`] store reached through
+/// [`crate::artifacts::global`] is one process-wide instance behind
+/// `Arc`-returning lookups, so pool workers share every memoized panel and
+/// kernel instead of rebuilding per cell. After the jobs join (with a
+/// global observer installed), the store's size and traffic are published
+/// as `artifacts.*` gauges for scrapes of `/metrics`-style exports.
+///
 /// When the run would execute inline anyway (one worker, one job, or a
 /// single-core machine — see [`ParallelRunner::effective_threads`]), the
 /// jobs record straight into the global observer: with a single executor
@@ -68,24 +77,25 @@ where
                 f(job, Some(observer))
             };
             if runner.effective_threads(jobs.len()) <= 1 {
-                return jobs
-                    .into_iter()
-                    .enumerate()
-                    .map(|(i, job)| traced(i, &global, job))
-                    .collect();
+                let outputs: Vec<O> =
+                    jobs.into_iter().enumerate().map(|(i, job)| traced(i, &global, job)).collect();
+                crate::artifacts::publish_gauges(&global);
+                return outputs;
             }
             let outputs = runner.run(jobs.into_iter().enumerate().collect(), |(i, job)| {
                 let local = Observer::collecting();
                 let out = traced(i, &local, job);
                 (out, local)
             });
-            outputs
+            let outputs: Vec<O> = outputs
                 .into_iter()
                 .map(|(out, local)| {
                     global.absorb(&local);
                     out
                 })
-                .collect()
+                .collect();
+            crate::artifacts::publish_gauges(&global);
+            outputs
         }
         None => runner.run(jobs, |job| f(job, None)),
     }

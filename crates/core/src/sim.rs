@@ -65,6 +65,17 @@ pub struct SimConfig {
     /// pure functions of the wear map, so they are bit-identical across
     /// the replayed and compiled paths; off (the default) costs nothing.
     pub epoch_series: bool,
+    /// Whether engines consult the process-wide content-addressed
+    /// [`crate::artifacts`] store for memoized trace walks, panels, and
+    /// compiled kernels. Hits return exactly what recomputation would
+    /// have produced (keys cover all determining inputs), so results are
+    /// identical either way; off exists for ablation and purity tests.
+    pub artifact_store: bool,
+    /// Whether the analytic engine uses the cache-blocked row-major fold
+    /// and flat scatter paths instead of the legacy per-cell loops.
+    /// Identical results either way; off exists only for the ablation
+    /// bench.
+    pub blocked_folds: bool,
 }
 
 impl SimConfig {
@@ -81,6 +92,8 @@ impl SimConfig {
             translation_cache: true,
             hw_kernels: true,
             epoch_series: false,
+            artifact_store: true,
+            blocked_folds: true,
         }
     }
 
@@ -140,6 +153,23 @@ impl SimConfig {
     #[must_use]
     pub fn with_epoch_series(mut self, enabled: bool) -> Self {
         self.epoch_series = enabled;
+        self
+    }
+
+    /// Enables or disables the process-wide artifact store (on by
+    /// default; disabling forces every engine to rebuild its own
+    /// intermediates — for ablation and purity tests).
+    #[must_use]
+    pub fn with_artifact_store(mut self, enabled: bool) -> Self {
+        self.artifact_store = enabled;
+        self
+    }
+
+    /// Enables or disables cache-blocked fold/scatter loops in the
+    /// analytic engine (on by default; off is for the ablation bench).
+    #[must_use]
+    pub fn with_blocked_folds(mut self, enabled: bool) -> Self {
+        self.blocked_folds = enabled;
         self
     }
 }
@@ -313,8 +343,9 @@ impl EnduranceSimulator {
 
         let mut acc = Accumulator::new(trace, self.cfg.track_reads);
         let mut wear = WearMap::new(dims);
-        let mut hw_engine = (map.is_dynamic() && self.cfg.hw_kernels)
-            .then(|| crate::kernel::HwKernelEngine::new(trace, self.cfg.track_reads));
+        let mut hw_engine = (map.is_dynamic() && self.cfg.hw_kernels).then(|| {
+            crate::kernel::HwKernelEngine::new(trace, self.cfg.track_reads, self.cfg.artifact_store)
+        });
 
         // Per-epoch tallies; cheap plain locals even on the disabled path.
         let mut replays = 0u64;

@@ -137,6 +137,9 @@ impl ServeState {
             metrics.gauge("fleet.peers_up").set(up as f64);
             metrics.gauge("fleet.members").set((fleet.ring().members().len()) as f64);
         }
+        // Artifact-store size and traffic (`artifacts.*`), so `/metrics`
+        // shows how much of the batch path's work is being shared.
+        nvpim_core::artifacts::publish_gauges(&self.observer);
     }
 }
 
@@ -980,7 +983,7 @@ fn execute(
             let mut engine = AnalyticWearEngine::new(&workload, request.config, cfg);
             let path = engine.path();
             let result = engine.result_at_with(cfg.iterations, &local);
-            (wire::result_body(request, &result), Some(path))
+            (wire::result_body(request, &result), Some((path, engine.artifact_use())))
         }
     }));
     drop(span);
@@ -994,8 +997,11 @@ fn execute(
     state.cache.lock().expect("cache poisoned").insert(key, request.canonical_text(), body.clone());
     if let Some(dir) = &state.manifest_dir {
         let mut config = request.canonical_json();
-        if let Some(path) = analytic_path {
-            config = config.with("analytic_path", path.label());
+        if let Some((path, usage)) = analytic_path {
+            config = config.with("analytic_path", path.label()).with(
+                "artifacts",
+                Json::object().with("hits", usage.hits).with("misses", usage.misses),
+            );
         }
         let manifest = RunManifest::new(&format!("serve:{}", request.workload.kind()))
             .with_config(config)

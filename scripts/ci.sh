@@ -28,6 +28,13 @@ cargo test -q --release --offline -p nvpim-core --test kernels
 # solve.
 cargo test -q --release --offline -p nvpim-core --test analytic
 
+# The artifact-store bit-identity suite in release mode: wear identical
+# with the store off, cold, warm, and starved to a 1-byte budget (every
+# insert immediately evicted) across all 18 configurations, the blocked
+# vs scalar fold layouts, and a seeded fuzz arm over shapes, schedules,
+# and byte budgets.
+cargo test -q --release --offline -p nvpim-core --test artifacts
+
 # The HTTP service end to end in release mode: concurrent byte-identical
 # responses, cache hits, 429 backpressure, 504 timeouts, graceful drain.
 cargo test -q --release --offline -p nvpim-serve --test integration
@@ -70,6 +77,15 @@ for key in wear.max_writes wear.p99_writes wear.mean_writes wear.gini wear.remap
         { echo "ci: manifest series section is missing $key" >&2; exit 1; }
 done
 echo "ci: traced smoke artifacts validated"
+
+# Cross-configuration artifact reuse end to end: renders the fig14–16
+# heatmaps plus the fig17 lifetime matrix twice in one process and fails
+# unless the second pass answers from the store (artifacts.hits > 0) AND
+# both passes' rendered outputs are byte-identical — memoization must be
+# observable in the counters and invisible in the numbers.
+cargo run --release --offline -q -p nvpim-bench --bin repro -- \
+    reuse-check --iters 40 > /dev/null
+echo "ci: artifact reuse check passed"
 
 # Every example must build and run at a tiny iteration scale (the
 # NVPIM_EXAMPLE_ITERS override exists precisely for this smoke stage).
